@@ -1,0 +1,101 @@
+//! Event counting and latency composition for baseline mechanisms.
+
+use pax_pm::LatencyProfile;
+
+/// Countable events a crash-consistency mechanism performed.
+///
+/// The bench harness converts a report to nanoseconds with
+/// [`CostReport::estimate_ns`], mirroring the paper's methodology of
+/// composing measured event counts with published latencies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Line-sized reads that reached PM.
+    pub pm_reads: u64,
+    /// Writes that reached PM (data + log), in bytes.
+    pub pm_write_bytes: u64,
+    /// Ordering stalls (SFENCE + drain) the mechanism required.
+    pub sfences: u64,
+    /// Write-protection page-fault traps taken.
+    pub traps: u64,
+    /// Bytes of *log* traffic (subset of `pm_write_bytes`).
+    pub log_bytes: u64,
+    /// Bytes the application actually asked to write.
+    pub app_write_bytes: u64,
+}
+
+impl CostReport {
+    /// Write amplification: total PM write traffic per application byte.
+    pub fn write_amplification(&self) -> f64 {
+        if self.app_write_bytes == 0 {
+            0.0
+        } else {
+            self.pm_write_bytes as f64 / self.app_write_bytes as f64
+        }
+    }
+
+    /// Nanoseconds of mechanism overhead under `profile`.
+    ///
+    /// PM writes are charged per line started (the ADR write path);
+    /// fences and traps at their profile costs.
+    pub fn estimate_ns(&self, profile: &LatencyProfile) -> f64 {
+        let line = pax_pm::LINE_SIZE as f64;
+        let write_lines = self.pm_write_bytes as f64 / line;
+        self.pm_reads as f64 * profile.pm.read_ns as f64
+            + write_lines * profile.pm.write_ns as f64
+            + self.sfences as f64 * profile.sfence_ns as f64
+            + self.traps as f64 * profile.trap_ns as f64
+    }
+
+    /// The difference between two snapshots of a report (for per-phase
+    /// accounting in benches).
+    pub fn delta_since(&self, earlier: &CostReport) -> CostReport {
+        CostReport {
+            pm_reads: self.pm_reads - earlier.pm_reads,
+            pm_write_bytes: self.pm_write_bytes - earlier.pm_write_bytes,
+            sfences: self.sfences - earlier.sfences,
+            traps: self.traps - earlier.traps,
+            log_bytes: self.log_bytes - earlier.log_bytes,
+            app_write_bytes: self.app_write_bytes - earlier.app_write_bytes,
+        }
+    }
+}
+
+/// A mechanism that can report its cumulative costs.
+pub trait Costed {
+    /// Cumulative event counts since construction.
+    fn costs(&self) -> CostReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplification_math() {
+        let r = CostReport { pm_write_bytes: 4096, app_write_bytes: 64, ..Default::default() };
+        assert_eq!(r.write_amplification(), 64.0);
+        assert_eq!(CostReport::default().write_amplification(), 0.0);
+    }
+
+    #[test]
+    fn estimate_charges_each_component() {
+        let p = LatencyProfile::c6420();
+        let base = CostReport::default().estimate_ns(&p);
+        assert_eq!(base, 0.0);
+        let r = CostReport { traps: 1, ..Default::default() };
+        assert_eq!(r.estimate_ns(&p), p.trap_ns as f64);
+        let r = CostReport { sfences: 2, ..Default::default() };
+        assert_eq!(r.estimate_ns(&p), 2.0 * p.sfence_ns as f64);
+        let r = CostReport { pm_write_bytes: 128, ..Default::default() };
+        assert_eq!(r.estimate_ns(&p), 2.0 * p.pm.write_ns as f64);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let a = CostReport { sfences: 5, pm_reads: 3, ..Default::default() };
+        let b = CostReport { sfences: 2, pm_reads: 1, ..Default::default() };
+        let d = a.delta_since(&b);
+        assert_eq!(d.sfences, 3);
+        assert_eq!(d.pm_reads, 2);
+    }
+}

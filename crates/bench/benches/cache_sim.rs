@@ -1,0 +1,48 @@
+//! Criterion benchmark: raw simulator overhead — coherent-cache accesses
+//! and miss-rate hierarchy accesses per second. These bound how large a
+//! workload the functional simulation can drive.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pax_cache::{CacheConfig, CoherentCache, Hierarchy, HierarchyConfig, MemoryHome};
+use pax_pm::{CacheLine, DramMedia, LineAddr};
+
+fn bench_coherent_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_sim");
+    g.throughput(Throughput::Elements(1));
+
+    let mut home = MemoryHome::new(DramMedia::new(8 << 20));
+    let mut cache = CoherentCache::new(CacheConfig::tiny(256 << 10, 8));
+    let mut i = 0u64;
+    g.bench_function("read_mixed", |b| {
+        b.iter(|| {
+            i = (i + 61) % (4 << 10);
+            cache.read(LineAddr(i), &mut home).expect("read")
+        });
+    });
+
+    let mut j = 0u64;
+    g.bench_function("write_mixed", |b| {
+        b.iter(|| {
+            j = (j + 61) % (4 << 10);
+            cache.write(LineAddr(j), CacheLine::filled(j as u8), &mut home).expect("write");
+        });
+    });
+    g.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_sim");
+    g.throughput(Throughput::Elements(1));
+    let mut h = Hierarchy::new(HierarchyConfig::c6420_scaled());
+    let mut i = 0u64;
+    g.bench_function("hierarchy_access", |b| {
+        b.iter(|| {
+            i = (i + 61) % (64 << 10);
+            h.access(LineAddr(i))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_coherent_cache, bench_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for the device HBM buffer: lookup and
+//! insert-with-policy (the per-message device work of §3.3).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pax_device::{EvictionPolicy, HbmCache, HbmConfig, HbmLine};
+use pax_pm::{CacheLine, LineAddr};
+
+fn line(i: u64, dirty: bool) -> HbmLine {
+    HbmLine { data: CacheLine::filled(i as u8), dirty, log_offset: dirty.then_some(i) }
+}
+
+fn config(policy: EvictionPolicy) -> HbmConfig {
+    HbmConfig { capacity_bytes: 1 << 20, ways: 8, policy }
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hbm");
+    let mut h = HbmCache::new(config(EvictionPolicy::PreferDurable));
+    for i in 0..8192u64 {
+        h.insert(LineAddr(i), line(i, false), 0);
+    }
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("lookup_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 97) % 8192;
+            h.lookup(LineAddr(i)).is_some()
+        });
+    });
+    g.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hbm");
+    g.throughput(Throughput::Elements(4096));
+    for (name, policy) in
+        [("insert_lru", EvictionPolicy::Lru), ("insert_prefer_durable", EvictionPolicy::PreferDurable)]
+    {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || HbmCache::new(config(policy)),
+                |mut h| {
+                    // Insert 4× capacity worth of dirty lines: every
+                    // insert past capacity exercises victim selection.
+                    for i in 0..4096u64 {
+                        h.insert(LineAddr(i), line(i, true), i / 2);
+                    }
+                    h
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_take_dirty(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hbm");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("take_dirty_1k", |b| {
+        b.iter_batched(
+            || {
+                let mut h = HbmCache::new(config(EvictionPolicy::PreferDurable));
+                for i in 0..1024u64 {
+                    h.insert(LineAddr(i), line(i, true), 0);
+                }
+                h
+            },
+            |mut h| {
+                let dirty = h.take_dirty();
+                assert_eq!(dirty.len(), 1024);
+                h
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_insert, bench_take_dirty);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion benchmark: the same `PHashMap` code on every memory space —
+//! the black-box-reuse comparison in microcosm. Simulator overhead
+//! dominates absolute numbers; the interesting output is the *relative*
+//! cost of each crash-consistency mechanism under identical structure
+//! code.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use libpax::{Heap, MemSpace, PHashMap, PaxConfig, PaxPool, VolatileSpace};
+use pax_baselines::{DirectPmSpace, WalSpace};
+use pax_pm::PoolConfig;
+
+const N: u64 = 512;
+
+fn insert_n<S: MemSpace>(space: S) {
+    let map: PHashMap<u64, u64, S> =
+        PHashMap::attach(Heap::attach(space).expect("heap")).expect("map");
+    for k in 0..N {
+        map.insert(k, k).expect("insert");
+    }
+    assert_eq!(map.len().expect("len"), N);
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phashmap_insert_512");
+    g.throughput(Throughput::Elements(N));
+
+    g.bench_function("volatile", |b| {
+        b.iter_batched(|| VolatileSpace::new(4 << 20), insert_n, BatchSize::SmallInput);
+    });
+
+    g.bench_function("pm_direct", |b| {
+        b.iter_batched(|| DirectPmSpace::new(4 << 20), insert_n, BatchSize::SmallInput);
+    });
+
+    g.bench_function("pmdk_wal", |b| {
+        b.iter_batched(
+            || {
+                WalSpace::create(
+                    PoolConfig::small().with_data_bytes(4 << 20).with_log_bytes(32 << 20),
+                )
+                .expect("wal")
+            },
+            insert_n,
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("pax_vpm", |b| {
+        b.iter_batched(
+            || {
+                PaxPool::create(PaxConfig::default().with_pool(
+                    PoolConfig::small().with_data_bytes(4 << 20).with_log_bytes(32 << 20),
+                ))
+                .expect("pool")
+                .vpm()
+            },
+            insert_n,
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.finish();
+}
+
+fn bench_gets(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phashmap_get");
+    g.throughput(Throughput::Elements(1));
+
+    let space = VolatileSpace::new(4 << 20);
+    let map: PHashMap<u64, u64, _> =
+        PHashMap::attach(Heap::attach(space).expect("heap")).expect("map");
+    for k in 0..N {
+        map.insert(k, k).expect("insert");
+    }
+    let mut k = 0;
+    g.bench_function("volatile_hit", |b| {
+        b.iter(|| {
+            k = (k + 37) % N;
+            map.get(k).expect("get")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_gets);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! A-epoch: ablation of persist() frequency (§3.2).
+//!
+//! "Generally, the application issues persist() after a batch of
+//! operations, which works as a form of group commit … Also, if desired,
+//! libpax can issue persist() periodically to limit undo log growth."
+//!
+//! This ablation sweeps the batch size (operations per persist) and
+//! reports the trade-off: amortized persist cost per op falls with larger
+//! batches while peak log footprint and lost-work-on-crash window grow.
+//!
+//! Run: `cargo run --release -p pax-bench --bin ablation_epoch`
+
+use libpax::{Heap, PHashMap, PaxConfig, PaxPool};
+use pax_bench::print_table;
+use pax_pm::PoolConfig;
+
+const TOTAL_OPS: u64 = 4_096;
+
+fn main() {
+    println!("persist() frequency ablation — {TOTAL_OPS} inserts total\n");
+    let mut rows = vec![vec![
+        "ops/persist".to_string(),
+        "persists".to_string(),
+        "snoops total".to_string(),
+        "snoops/op".to_string(),
+        "peak log entries".to_string(),
+        "log bytes/op".to_string(),
+    ]];
+
+    for batch in [16u64, 64, 256, 1024, 4096] {
+        let pool = PaxPool::create(PaxConfig::default().with_pool(
+            PoolConfig::small().with_data_bytes(32 << 20).with_log_bytes(64 << 20),
+        ))
+        .expect("pool");
+        let map: PHashMap<u64, u64, _> =
+            PHashMap::attach(Heap::attach(pool.vpm()).expect("heap")).expect("map");
+
+        let mut peak_log = 0u64;
+        let mut persists = 0u64;
+        let mut entries_at_last_persist = 0u64;
+        for k in 0..TOTAL_OPS {
+            map.insert(k, k).expect("insert");
+            if (k + 1) % batch == 0 {
+                let m = pool.device_metrics().expect("metrics");
+                // Entries accumulated this epoch before the persist.
+                peak_log = peak_log.max(m.undo_entries - entries_at_last_persist);
+                pool.persist().expect("persist");
+                entries_at_last_persist = m.undo_entries;
+                persists += 1;
+            }
+        }
+        let m = pool.device_metrics().expect("metrics");
+        rows.push(vec![
+            batch.to_string(),
+            persists.to_string(),
+            m.snoops_sent.to_string(),
+            format!("{:.3}", m.snoops_sent as f64 / TOTAL_OPS as f64),
+            peak_log.to_string(),
+            format!("{:.0}", m.log_bytes() as f64 / TOTAL_OPS as f64),
+        ]);
+    }
+    print_table(&rows);
+
+    println!();
+    println!("larger batches amortize the persist-time snoop/write-back sweep over more");
+    println!("operations but let the undo log grow (bounded by the log region) and widen");
+    println!("the window of un-persisted work a crash discards — the §3.2 trade-off.");
+}

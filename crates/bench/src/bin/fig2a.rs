@@ -1,0 +1,64 @@
+//! Figure 2a: AMAT estimates for DRAM, PM, PM via CXL, PM via Enzian.
+//!
+//! Methodology, as in the paper (§5): run a standard hash-table benchmark
+//! performing single-threaded `get()`s with 8 B keys/values under a
+//! uniform random key distribution; measure L1/L2/LLC miss rates; compose
+//! them with per-level latencies and each scenario's memory service time.
+//!
+//! Run: `cargo run --release -p pax-bench --bin fig2a`
+
+use pax_bench::{bar, measure_fig2a_miss_rates, print_table};
+use pax_cache::AmatEstimator;
+use pax_pm::LatencyProfile;
+
+fn main() {
+    let keys = 20_000; // table ≈ 2× the scaled LLC: LLC misses occur but caches filter most
+    let ops = 100_000;
+    eprintln!("measuring miss rates: {keys} keys, {ops} uniform-random get()s …");
+    let stats = measure_fig2a_miss_rates(keys, ops);
+
+    println!("\nFigure 2a — AMAT estimates (ns) servicing LLC misses");
+    println!(
+        "measured miss ratios: L1 {:.3}, L2 {:.3}, LLC {:.3} ({} accesses)\n",
+        stats.l1.miss_ratio(),
+        stats.l2.miss_ratio(),
+        stats.llc.miss_ratio(),
+        stats.total_accesses()
+    );
+
+    let est = AmatEstimator::new(LatencyProfile::c6420());
+    let breakdowns = est.figure_2a(&stats);
+    let max = breakdowns.iter().map(|b| b.total_ns()).fold(0.0, f64::max);
+
+    let mut rows = vec![vec![
+        "scenario".to_string(),
+        "AMAT [ns]".to_string(),
+        "t_mem [ns]".to_string(),
+        "crash-consistent".to_string(),
+        String::new(),
+    ]];
+    for b in &breakdowns {
+        rows.push(vec![
+            b.kind.label().to_string(),
+            format!("{:.1}", b.total_ns()),
+            format!("{:.0}", b.t_mem_ns),
+            if b.kind.crash_consistent() { "yes" } else { "no" }.to_string(),
+            bar(b.total_ns(), max, 28),
+        ]);
+    }
+    print_table(&rows);
+
+    let pm = breakdowns[1].total_ns();
+    let cxl = breakdowns[2].total_ns();
+    let enzian = breakdowns[3].total_ns();
+    println!();
+    println!(
+        "PM via CXL adds {:.0}% to AMAT over raw PM (paper: \"may only add 25%\")",
+        (cxl - pm) / pm * 100.0
+    );
+    println!(
+        "Enzian-based PAX ≈ {:.1}× the AMAT of a CXL-based PAX (paper: \"about a 2× \
+         overhead over an eventual CXL-based implementation\")",
+        enzian / cxl
+    );
+}

@@ -1,0 +1,67 @@
+//! Figure 2b: write-only hash-table throughput vs thread count.
+//!
+//! The paper runs a volatile TBB hash table in DRAM, on PM directly, and
+//! PMDK's TBB-based persistent table, on a 32-core machine. Here the
+//! per-op event profile is *measured* from the functional simulation and
+//! the scaling is produced by the `pax-exec` discrete-event model (this
+//! host may have a single core; see DESIGN.md §2). The PAX series is the
+//! paper's §5 projection: asynchronous logging ≈ PM-Direct performance.
+//!
+//! Run: `cargo run --release -p pax-bench --bin fig2b`
+
+use pax_bench::{measure_insert_profile, print_table};
+use pax_exec::{Backend, MachineParams};
+use pax_pm::{LatencyProfile, Platform};
+
+fn main() {
+    eprintln!("measuring per-op insert profile from the functional simulation …");
+    let profile = measure_insert_profile(20_000, 40_000);
+    eprintln!(
+        "measured: {:.2} misses/op, {:.2} stores/op",
+        profile.misses_per_op, profile.stores_per_op
+    );
+
+    let latency = LatencyProfile::c6420();
+    let machine = MachineParams::paper();
+    let threads = [1usize, 8, 16, 24, 32];
+    let backends = [
+        Backend::Dram,
+        Backend::PmDirect,
+        Backend::Pmdk,
+        Backend::Pax(Platform::Cxl),
+        Backend::Pax(Platform::Enzian),
+    ];
+
+    println!("\nFigure 2b — write-only throughput [Mops] vs threads");
+    let mut rows = vec![{
+        let mut h = vec!["threads".to_string()];
+        h.extend(backends.iter().map(|b| b.label().to_string()));
+        h
+    }];
+    let mut results = vec![vec![0.0f64; backends.len()]; threads.len()];
+    for (ti, &t) in threads.iter().enumerate() {
+        let mut row = vec![t.to_string()];
+        for (bi, b) in backends.iter().enumerate() {
+            let mops = b.throughput(t, 4_000, &latency, &machine, &profile).mops();
+            results[ti][bi] = mops;
+            row.push(format!("{mops:.2}"));
+        }
+        rows.push(row);
+    }
+    print_table(&rows);
+
+    let last = threads.len() - 1;
+    println!();
+    println!(
+        "at 32 threads: PM-Direct/PMDK = {:.2}× (paper: \"≈2× better\")",
+        results[last][1] / results[last][2]
+    );
+    println!(
+        "at 32 threads: PAX(CXL)/PM-Direct = {:.2}× (paper: \"match or beat PM Direct\")",
+        results[last][3] / results[last][1]
+    );
+    println!(
+        "at 32 threads: DRAM/PM-Direct = {:.2}× (volatile headroom)",
+        results[last][0] / results[last][1]
+    );
+}

@@ -1,0 +1,127 @@
+//! T-trap: interposition cost — page-fault traps vs PAX coherence messages.
+//!
+//! §1: page-fault interposition "suffers from extreme trap overheads on
+//! modern x86 CPUs (more than 1 µs per trap)"; PAX interposes "in
+//! hardware with low overhead". This harness runs the same update
+//! workload under both mechanisms and charges each its interposition
+//! events at the profile costs.
+//!
+//! Run: `cargo run --release -p pax-bench --bin trap_overhead`
+
+use libpax::{MemSpace, PaxConfig, PaxPool};
+use pax_baselines::{Costed, HybridSpace, PageFaultSpace};
+use pax_bench::print_table;
+use pax_pm::{LatencyProfile, PoolConfig, PAGE_SIZE};
+
+fn main() {
+    let profile = LatencyProfile::c6420();
+    let updates = 4_000u64;
+    let pages = 256u64;
+    println!("interposition overhead for {updates} 8 B updates over {pages} pages\n");
+
+    let config = PoolConfig::small().with_data_bytes(8 << 20).with_log_bytes(64 << 20);
+
+    // Page-fault tracking.
+    let pf = PageFaultSpace::create(config).expect("pagefault");
+    for i in 0..updates {
+        let addr = (i % pages) * PAGE_SIZE as u64 + (i / pages % 8) * 64;
+        pf.write_u64(addr, i).expect("write");
+    }
+    pf.persist().expect("persist");
+    let pf_costs = pf.costs();
+    let pf_trap_ns = pf_costs.traps as f64 * profile.trap_ns as f64;
+
+    // Hybrid (one remap trap per page, line logging after).
+    let hy = HybridSpace::create(config).expect("hybrid");
+    for i in 0..updates {
+        let addr = (i % pages) * PAGE_SIZE as u64 + (i / pages % 8) * 64;
+        hy.write_u64(addr, i).expect("write");
+    }
+    hy.persist().expect("persist");
+    let hy_costs = hy.costs();
+    let hy_trap_ns = hy_costs.traps as f64 * profile.trap_ns as f64;
+
+    // PAX: interposition = RdOwn messages at CXL wire cost; no traps.
+    let pax = PaxPool::create(PaxConfig::default().with_pool(config)).expect("pool");
+    let vpm = pax.vpm();
+    for i in 0..updates {
+        let addr = (i % pages) * PAGE_SIZE as u64 + (i / pages % 8) * 64;
+        vpm.write_u64(addr, i).expect("write");
+    }
+    pax.persist().expect("persist");
+    let m = pax.device_metrics().expect("metrics");
+    let pax_interpose_ns = m.rd_own as f64 * profile.cxl_overhead_ns as f64;
+
+    let rows = vec![
+        vec![
+            "mechanism".to_string(),
+            "interposition events".to_string(),
+            "cost/event [ns]".to_string(),
+            "total [µs]".to_string(),
+            "ns per update".to_string(),
+        ],
+        vec![
+            "page-fault".to_string(),
+            format!("{} traps", pf_costs.traps),
+            format!("{}", profile.trap_ns),
+            format!("{:.1}", pf_trap_ns / 1e3),
+            format!("{:.0}", pf_trap_ns / updates as f64),
+        ],
+        vec![
+            "hybrid (§5.1)".to_string(),
+            format!("{} traps", hy_costs.traps),
+            format!("{}", profile.trap_ns),
+            format!("{:.1}", hy_trap_ns / 1e3),
+            format!("{:.0}", hy_trap_ns / updates as f64),
+        ],
+        vec![
+            "PAX (CXL)".to_string(),
+            format!("{} RdOwn msgs", m.rd_own),
+            format!("{}", profile.cxl_overhead_ns),
+            format!("{:.1}", pax_interpose_ns / 1e3),
+            format!("{:.0}", pax_interpose_ns / updates as f64),
+        ],
+    ];
+    print_table(&rows);
+
+    println!();
+    println!(
+        "paper claim: traps cost >1 µs each (profile: {} ns) while PAX interposes per",
+        profile.trap_ns
+    );
+    println!(
+        "LLC miss at wire cost ({} ns); paging amortizes per page per epoch, PAX pays",
+        profile.cxl_overhead_ns
+    );
+    println!("per first-touch line — compare the per-update columns across mechanisms.");
+
+    // Density sweep: where does amortization flip the winner?
+    println!("\ninterposition ns per update vs spatial density (one epoch):\n");
+    let mut rows = vec![vec![
+        "updates/page".to_string(),
+        "page-fault [ns/update]".to_string(),
+        "PAX [ns/update]".to_string(),
+        "winner".to_string(),
+    ]];
+    for per_page in [1u64, 2, 4, 8, 16, 64] {
+        let pages = 128u64;
+        let updates = pages * per_page;
+        // Page faults: one trap per page per epoch.
+        let pf_ns = pages as f64 * profile.trap_ns as f64 / updates as f64;
+        // PAX: one RdOwn per distinct line; each update hits a distinct
+        // line up to 64/page, then re-hits.
+        let lines = pages * per_page.min(64);
+        let pax_ns = lines as f64 * profile.cxl_overhead_ns as f64 / updates as f64;
+        rows.push(vec![
+            per_page.to_string(),
+            format!("{pf_ns:.0}"),
+            format!("{pax_ns:.0}"),
+            if pf_ns < pax_ns { "page-fault" } else { "PAX" }.to_string(),
+        ]);
+    }
+    print_table(&rows);
+    println!();
+    println!("the crossover sits near trap_ns/cxl_overhead ≈ 14 updates per page: below");
+    println!("it PAX wins outright; above it paging amortizes its trap — §5.1's \"paging");
+    println!("may capture spatial locality well for some workloads\", quantified.");
+}

@@ -1,0 +1,172 @@
+//! Shared measurement and reporting helpers for the PAX bench harness.
+//!
+//! Each binary in `src/bin/` regenerates one figure or table of the paper
+//! (see DESIGN.md §4 for the index). The helpers here keep the harness
+//! honest: event counts come from *running the functional simulation* —
+//! the same `PHashMap` + device + cache code the tests exercise — and the
+//! timing models convert counts to nanoseconds with the cited constants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use libpax::{Heap, MemSpace, PHashMap, PaxConfig, PaxPool, PStructure};
+use pax_cache::{CacheConfig, HierarchyConfig, HierarchyStats};
+use pax_pm::PoolConfig;
+use pax_workloads::{Op, WorkloadSpec};
+
+/// Prints a fixed-width table; first row is the header.
+pub fn print_table(rows: &[Vec<String>]) {
+    if rows.is_empty() {
+        return;
+    }
+    let cols = rows[0].len();
+    let widths: Vec<usize> = (0..cols)
+        .map(|c| rows.iter().map(|r| r.get(c).map_or(0, |s| s.chars().count())).max().unwrap_or(0))
+        .collect();
+    for (i, row) in rows.iter().enumerate() {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(cell, w)| {
+                let pad = w.saturating_sub(cell.chars().count());
+                format!("{}{}", " ".repeat(pad), cell)
+            })
+            .collect();
+        println!("  {}", line.join("  "));
+        if i == 0 {
+            let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            println!("  {}", rule.join("  "));
+        }
+    }
+}
+
+/// Renders `value` as a horizontal bar of `max_width` scaled to `max`.
+pub fn bar(value: f64, max: f64, max_width: usize) -> String {
+    let n = if max <= 0.0 { 0 } else { ((value / max) * max_width as f64).round() as usize };
+    "█".repeat(n.min(max_width))
+}
+
+/// A pool sized and instrumented for workload measurement. The hierarchy
+/// is the 1/64-scaled c6420 (`HierarchyConfig::c6420_scaled`) so the
+/// scaled-down key space produces c6420-like miss rates.
+pub fn instrumented_pool(data_bytes: usize) -> PaxPool {
+    let config = PaxConfig::default()
+        .with_pool(PoolConfig::small().with_data_bytes(data_bytes).with_log_bytes(8 << 20))
+        .with_cache(CacheConfig::tiny((22 << 20) / 64, 11))
+        .with_instrumentation(HierarchyConfig::c6420_scaled());
+    PaxPool::create(config).expect("pool creation cannot fail with valid config")
+}
+
+/// Runs `spec` against a `PHashMap` on the given space; returns ops run.
+///
+/// # Panics
+///
+/// Panics on simulation errors (they indicate harness bugs, not results).
+pub fn run_workload<S: MemSpace>(space: S, spec: &WorkloadSpec) -> u64
+where
+    PHashMap<u64, u64, S>: PStructure<S>,
+{
+    let heap = Heap::attach(space).expect("heap attach");
+    let map: PHashMap<u64, u64, S> = PHashMap::attach(heap).expect("map attach");
+    // Preload so reads hit (the paper's read benchmarks run on a loaded
+    // table).
+    if spec.mix.read_pct > 0 || spec.mix.update_pct > 0 {
+        for k in spec.load_keys() {
+            map.insert(k, k).expect("load");
+        }
+    }
+    let mut n = 0;
+    for op in spec.ops() {
+        match op {
+            Op::Get(k) => {
+                map.get(k).expect("get");
+            }
+            Op::Insert(k, v) | Op::Update(k, v) => {
+                map.insert(k, v).expect("insert");
+            }
+            Op::Remove(k) => {
+                map.remove(k).expect("remove");
+            }
+        }
+        n += 1;
+    }
+    n
+}
+
+/// Measures Fig. 2a's miss rates: uniform-random `get()`s with 8 B
+/// keys/values on a preloaded table, returning the hierarchy statistics
+/// of the *measurement phase only*.
+pub fn measure_fig2a_miss_rates(keys: u64, ops: u64) -> HierarchyStats {
+    let pool = instrumented_pool(64 << 20);
+    let spec = WorkloadSpec::fig2a_read_only(keys, 0);
+    // Load phase (not measured):
+    run_workload(pool.vpm(), &spec);
+    let loaded = pool.hierarchy_stats().expect("instrumented");
+
+    // Measurement phase:
+    let spec = WorkloadSpec::fig2a_read_only(keys, ops);
+    let heap = Heap::attach(pool.vpm()).expect("heap");
+    let map: PHashMap<u64, u64, _> = PHashMap::attach(heap).expect("map");
+    for op in spec.ops() {
+        if let Op::Get(k) = op {
+            map.get(k).expect("get");
+        }
+    }
+    let total = pool.hierarchy_stats().expect("instrumented");
+    subtract_stats(total, loaded)
+}
+
+fn subtract_stats(a: HierarchyStats, b: HierarchyStats) -> HierarchyStats {
+    use pax_cache::LevelStats;
+    let sub = |x: LevelStats, y: LevelStats| LevelStats {
+        accesses: x.accesses - y.accesses,
+        hits: x.hits - y.hits,
+    };
+    HierarchyStats { l1: sub(a.l1, b.l1), l2: sub(a.l2, b.l2), llc: sub(a.llc, b.llc) }
+}
+
+/// Measures the per-op event profile for write-only inserts by running
+/// the functional device simulation, for use by the Fig. 2b recipes.
+pub fn measure_insert_profile(keys: u64, ops: u64) -> pax_exec::OpProfile {
+    let pool = instrumented_pool(64 << 20);
+    let spec = WorkloadSpec::fig2b_write_only(keys, ops);
+    let n = run_workload(pool.vpm(), &spec);
+    let cache = pool.cache_stats();
+    let misses = (cache.read_misses + cache.write_upgrades) as f64 / n as f64;
+    let stores = cache.write_upgrades as f64 / n as f64;
+    pax_exec::OpProfile {
+        misses_per_op: misses,
+        stores_per_op: stores,
+        compute_ns: 60,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10).chars().count(), 5);
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn fig2a_miss_rates_are_plausible() {
+        let s = measure_fig2a_miss_rates(2_000, 4_000);
+        assert!(s.total_accesses() > 0);
+        // Uniform random gets over a table larger than L1 must miss some.
+        assert!(s.l1.miss_ratio() > 0.01, "L1 miss {}", s.l1.miss_ratio());
+        assert!(s.l1.miss_ratio() < 1.0);
+    }
+
+    #[test]
+    fn insert_profile_is_measured_not_invented() {
+        let p = measure_insert_profile(500, 1_000);
+        assert!(p.misses_per_op > 0.0);
+        assert!(p.stores_per_op > 0.0);
+        assert!(p.stores_per_op < 50.0);
+    }
+}

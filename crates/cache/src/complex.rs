@@ -1,0 +1,324 @@
+//! A multi-core host: per-core coherent caches over one home agent.
+//!
+//! The single [`CoherentCache`] models the socket as one coherence unit —
+//! sufficient for most experiments because the home agent (the PAX
+//! device) sees one request stream either way. What it cannot express is
+//! §3.5's concurrent structure access with *core-to-core* line transfers,
+//! which resolve inside the socket without informing the device. The
+//! [`CoreComplex`] adds that: N private caches, MESI kept coherent among
+//! them, and only socket-leaving traffic (true misses, write backs)
+//! reaching the [`HomeAgent`].
+//!
+//! The PAX-relevant consequence, preserved here exactly: when a modified
+//! line migrates from core A to core B, the device is *not* informed — it
+//! already undo-logged the line at A's original `RdOwn`, and `persist()`
+//! recollects the final value by snooping every core (§3.3), so coverage
+//! is unaffected. The tests pin this down.
+
+use pax_pm::{CacheLine, LineAddr, PersistenceDomain, Result};
+
+use crate::cache::{CacheConfig, CacheStats, CoherentCache, HomeAgent};
+
+/// The host-side snoop surface `persist()` needs: downgrade or invalidate
+/// a line across *all* host caches, returning the freshest data.
+///
+/// Implemented by the single-cache model and by [`CoreComplex`], so the
+/// device's epoch protocol is agnostic to the host's core count.
+pub trait HostSnoop {
+    /// Downgrades every copy of `addr` to shared; returns the data if any
+    /// cache held the line.
+    fn snoop_shared(&mut self, addr: LineAddr) -> Option<CacheLine>;
+
+    /// Invalidates every copy of `addr`; returns the data only if a cache
+    /// held it modified.
+    fn snoop_invalidate(&mut self, addr: LineAddr) -> Option<CacheLine>;
+}
+
+impl HostSnoop for CoherentCache {
+    fn snoop_shared(&mut self, addr: LineAddr) -> Option<CacheLine> {
+        CoherentCache::snoop_shared(self, addr)
+    }
+
+    fn snoop_invalidate(&mut self, addr: LineAddr) -> Option<CacheLine> {
+        CoherentCache::snoop_invalidate(self, addr)
+    }
+}
+
+/// Cross-core traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComplexStats {
+    /// Lines served core-to-core without a home-agent request.
+    pub cache_to_cache_transfers: u64,
+    /// Copies invalidated in peer cores on a store.
+    pub peer_invalidations: u64,
+}
+
+/// N per-core caches kept coherent over one home agent (see module docs).
+#[derive(Debug)]
+pub struct CoreComplex {
+    cores: Vec<CoherentCache>,
+    stats: ComplexStats,
+}
+
+impl CoreComplex {
+    /// A complex of `n` cores, each with a private cache of `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, config: CacheConfig) -> Self {
+        assert!(n > 0, "need at least one core");
+        CoreComplex {
+            cores: (0..n).map(|_| CoherentCache::new(config)).collect(),
+            stats: ComplexStats::default(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Cross-core traffic counters.
+    pub fn stats(&self) -> ComplexStats {
+        self.stats
+    }
+
+    /// Per-core cache statistics.
+    pub fn core_stats(&self, core: usize) -> CacheStats {
+        self.cores[core].stats()
+    }
+
+    /// A load by `core`.
+    ///
+    /// Served in priority order: own cache → a peer's copy (core-to-core
+    /// transfer; a peer's modified copy is written back to the home to
+    /// keep it the owner of dirty data) → the home agent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates home-agent failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn read(
+        &mut self,
+        core: usize,
+        addr: LineAddr,
+        home: &mut impl HomeAgent,
+    ) -> Result<CacheLine> {
+        if self.cores[core].state_of(addr).is_some() {
+            return self.cores[core].read(addr, home);
+        }
+        // Probe peers before leaving the socket.
+        if let Some(peer) = self.peer_with(addr, core) {
+            let was_dirty =
+                self.cores[peer].state_of(addr).is_some_and(|s| s.is_dirty());
+            let data = self.cores[peer]
+                .snoop_shared(addr)
+                .expect("peer held the line");
+            if was_dirty {
+                // Ownership of dirty data returns to the home when the
+                // line becomes shared (MESI has no shared-dirty state).
+                home.dirty_evict(addr, data.clone())?;
+            }
+            self.stats.cache_to_cache_transfers += 1;
+            self.cores[core].install_shared(addr, data.clone(), home)?;
+            return Ok(data);
+        }
+        self.cores[core].read(addr, home)
+    }
+
+    /// A store by `core`: peers' copies are invalidated; a peer's
+    /// modified copy migrates directly (no home message — the line was
+    /// already logged when that peer gained ownership).
+    ///
+    /// # Errors
+    ///
+    /// Propagates home-agent failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn write(
+        &mut self,
+        core: usize,
+        addr: LineAddr,
+        data: CacheLine,
+        home: &mut impl HomeAgent,
+    ) -> Result<()> {
+        // Invalidate every peer copy; capture migrating dirty ownership.
+        let mut migrated_dirty = false;
+        for peer in 0..self.cores.len() {
+            if peer == core {
+                continue;
+            }
+            if self.cores[peer].state_of(addr).is_some() {
+                let dirty = self.cores[peer].snoop_invalidate(addr);
+                self.stats.peer_invalidations += 1;
+                if dirty.is_some() {
+                    migrated_dirty = true;
+                }
+            }
+        }
+        if migrated_dirty {
+            // Silent M-to-M migration: install directly as modified.
+            self.stats.cache_to_cache_transfers += 1;
+            return self.cores[core].install_modified(addr, data, home);
+        }
+        self.cores[core].write(addr, data, home)
+    }
+
+    fn peer_with(&self, addr: LineAddr, not: usize) -> Option<usize> {
+        (0..self.cores.len()).find(|&i| i != not && self.cores[i].state_of(addr).is_some())
+    }
+
+    /// Writes back every dirty line in every core.
+    ///
+    /// # Errors
+    ///
+    /// Propagates home-agent failures.
+    pub fn flush_all(&mut self, home: &mut impl HomeAgent) -> Result<()> {
+        for c in &mut self.cores {
+            c.flush_all(home)?;
+        }
+        Ok(())
+    }
+
+    /// Simulates power loss across all cores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates home-agent failures during an eADR flush.
+    pub fn crash(
+        &mut self,
+        domain: PersistenceDomain,
+        home: &mut impl HomeAgent,
+    ) -> Result<()> {
+        for c in &mut self.cores {
+            c.crash(domain, home)?;
+        }
+        Ok(())
+    }
+}
+
+impl HostSnoop for CoreComplex {
+    fn snoop_shared(&mut self, addr: LineAddr) -> Option<CacheLine> {
+        let mut best: Option<CacheLine> = None;
+        for c in &mut self.cores {
+            let was_dirty = c.state_of(addr).is_some_and(|s| s.is_dirty());
+            if let Some(data) = CoherentCache::snoop_shared(c, addr) {
+                if was_dirty || best.is_none() {
+                    best = Some(data);
+                }
+            }
+        }
+        best
+    }
+
+    fn snoop_invalidate(&mut self, addr: LineAddr) -> Option<CacheLine> {
+        let mut dirty = None;
+        for c in &mut self.cores {
+            if let Some(d) = CoherentCache::snoop_invalidate(c, addr) {
+                dirty = Some(d);
+            }
+        }
+        dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::MemoryHome;
+    use pax_pm::{DramMedia, Memory};
+
+    fn setup(cores: usize) -> (CoreComplex, MemoryHome<DramMedia>) {
+        (
+            CoreComplex::new(cores, CacheConfig::tiny(4 << 10, 4)),
+            MemoryHome::new(DramMedia::new(1 << 20)),
+        )
+    }
+
+    #[test]
+    fn cores_share_clean_lines_without_home_traffic() {
+        let (mut cx, mut home) = setup(4);
+        cx.read(0, LineAddr(1), &mut home).unwrap();
+        let misses_after_first = home.memory().stats().line_reads;
+        for core in 1..4 {
+            cx.read(core, LineAddr(1), &mut home).unwrap();
+        }
+        assert_eq!(
+            home.memory().stats().line_reads,
+            misses_after_first,
+            "peer copies must be served core-to-core"
+        );
+        assert_eq!(cx.stats().cache_to_cache_transfers, 3);
+    }
+
+    #[test]
+    fn store_invalidates_peer_copies() {
+        let (mut cx, mut home) = setup(2);
+        cx.read(0, LineAddr(0), &mut home).unwrap();
+        cx.read(1, LineAddr(0), &mut home).unwrap();
+        cx.write(0, LineAddr(0), CacheLine::filled(9), &mut home).unwrap();
+        assert!(cx.stats().peer_invalidations >= 1);
+        // Core 1 re-reads and must see the new value (via transfer).
+        assert_eq!(cx.read(1, LineAddr(0), &mut home).unwrap(), CacheLine::filled(9));
+    }
+
+    #[test]
+    fn dirty_migration_is_silent_to_the_home() {
+        let (mut cx, mut home) = setup(2);
+        cx.write(0, LineAddr(3), CacheLine::filled(1), &mut home).unwrap();
+        let writes_before = home.memory().stats().line_writes;
+        // Core 1 takes over the modified line.
+        cx.write(1, LineAddr(3), CacheLine::filled(2), &mut home).unwrap();
+        // Migration itself produced no home write (PAX already logged the
+        // line at core 0's RdOwn).
+        assert_eq!(home.memory().stats().line_writes, writes_before);
+        assert_eq!(cx.read(1, LineAddr(3), &mut home).unwrap(), CacheLine::filled(2));
+    }
+
+    #[test]
+    fn reading_a_peers_dirty_line_returns_ownership_to_home() {
+        let (mut cx, mut home) = setup(2);
+        cx.write(0, LineAddr(5), CacheLine::filled(7), &mut home).unwrap();
+        let v = cx.read(1, LineAddr(5), &mut home).unwrap();
+        assert_eq!(v, CacheLine::filled(7));
+        // The dirty data reached the home (write back on downgrade).
+        assert_eq!(
+            home.memory_mut().read_line(LineAddr(5)).unwrap(),
+            CacheLine::filled(7)
+        );
+    }
+
+    #[test]
+    fn complex_snoop_finds_the_modified_copy() {
+        let (mut cx, mut home) = setup(4);
+        cx.read(0, LineAddr(2), &mut home).unwrap();
+        cx.write(3, LineAddr(2), CacheLine::filled(4), &mut home).unwrap();
+        assert_eq!(HostSnoop::snoop_shared(&mut cx, LineAddr(2)), Some(CacheLine::filled(4)));
+        // All cores are now shared; a store must upgrade again.
+        cx.write(1, LineAddr(2), CacheLine::filled(5), &mut home).unwrap();
+        assert_eq!(
+            HostSnoop::snoop_invalidate(&mut cx, LineAddr(2)),
+            Some(CacheLine::filled(5))
+        );
+        assert_eq!(HostSnoop::snoop_invalidate(&mut cx, LineAddr(2)), None);
+    }
+
+    #[test]
+    fn crash_loses_all_cores_dirty_lines() {
+        let (mut cx, mut home) = setup(3);
+        for core in 0..3 {
+            cx.write(core, LineAddr(core as u64 + 10), CacheLine::filled(1), &mut home)
+                .unwrap();
+        }
+        cx.crash(PersistenceDomain::Adr, &mut home).unwrap();
+        for core in 0..3 {
+            assert_eq!(cx.core_stats(core).dirty_lines_lost, 1);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Host-CPU cache hierarchy simulator for the PAX reproduction.
+//!
+//! The paper's mechanism lives entirely in the coherence traffic between
+//! the host CPU's caches and the device that is the *home agent* for vPM
+//! addresses. This crate models the host side:
+//!
+//! * [`set`] — a generic set-associative array with LRU replacement,
+//!   reused by every cache in the workspace (L1/L2/LLC here, the device
+//!   HBM cache in `pax-device`).
+//! * [`mesi`] — MESI coherence states and their legal transitions.
+//! * [`cache`] — the functional, data-carrying coherent cache
+//!   ([`CoherentCache`]): it holds real line contents, requests lines from
+//!   a [`HomeAgent`] on misses and upgrades, answers snoops, and loses its
+//!   dirty lines on crash (unless the platform has eADR). This is the
+//!   component whose behaviour makes crash consistency hard.
+//! * [`hierarchy`] — the three-level (L1/L2/LLC) statistics hierarchy used
+//!   to measure per-level miss rates exactly as the paper's Fig. 2a
+//!   methodology requires.
+//! * [`amat`] — composes miss rates with a
+//!   [`LatencyProfile`](pax_pm::LatencyProfile) into average memory access
+//!   times for DRAM, PM, PM-via-CXL and PM-via-Enzian.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> pax_pm::Result<()> {
+//! use pax_cache::{CoherentCache, CacheConfig, MemoryHome};
+//! use pax_pm::{DramMedia, LineAddr};
+//!
+//! let mut home = MemoryHome::new(DramMedia::new(1 << 20));
+//! let mut cache = CoherentCache::new(CacheConfig::llc_c6420());
+//! let addr = LineAddr(7);
+//! let mut line = cache.read(addr, &mut home)?;
+//! line.write_at(0, &42u64.to_le_bytes());
+//! cache.write(addr, line, &mut home)?;
+//! assert_eq!(cache.read(addr, &mut home)?.read_at(0, 8), &42u64.to_le_bytes());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amat;
+pub mod cache;
+pub mod complex;
+pub mod hierarchy;
+pub mod mesi;
+pub mod set;
+
+pub use amat::{AmatBreakdown, AmatEstimator, MemKind};
+pub use cache::{CacheConfig, CacheStats, CoherentCache, HomeAgent, MemoryHome};
+pub use complex::{ComplexStats, CoreComplex, HostSnoop};
+pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyStats, LevelStats};
+pub use mesi::MesiState;
+pub use set::SetAssoc;

@@ -1,0 +1,118 @@
+//! MESI coherence states.
+//!
+//! The host cache holds each resident line in one of the four MESI states.
+//! PAX's whole trick (§3) hangs off two transitions:
+//!
+//! * a store to a line not held in `M`/`E` forces a *read-for-ownership*
+//!   to the home agent — the device's chance to undo-log the old value;
+//! * a device snoop (`SnpData` at `persist()`) downgrades `M`/`E` to `S`,
+//!   forcing the *next* store in the new epoch to announce itself again.
+
+use std::fmt;
+
+/// The MESI state of a cached line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MesiState {
+    /// Dirty and exclusive: this cache holds the only, modified copy.
+    Modified,
+    /// Clean and exclusive: may be written without informing the home.
+    Exclusive,
+    /// Clean, possibly shared with the home/device.
+    Shared,
+    /// Not present (tracked implicitly by absence; used in transitions).
+    Invalid,
+}
+
+impl MesiState {
+    /// Whether a store may proceed without a coherence message.
+    pub fn can_write_silently(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+
+    /// Whether a load may be served from this copy.
+    pub fn can_read(self) -> bool {
+        !matches!(self, MesiState::Invalid)
+    }
+
+    /// Whether this copy must be written back when dropped.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, MesiState::Modified)
+    }
+
+    /// The state after the line is written (must be writable first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a state that cannot be written silently;
+    /// callers must upgrade via the home agent first.
+    pub fn after_write(self) -> MesiState {
+        assert!(self.can_write_silently(), "write to non-exclusive line requires upgrade");
+        MesiState::Modified
+    }
+
+    /// The state after a `SnpData` snoop (downgrade to shared).
+    pub fn after_snoop_shared(self) -> MesiState {
+        match self {
+            MesiState::Invalid => MesiState::Invalid,
+            _ => MesiState::Shared,
+        }
+    }
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            MesiState::Modified => 'M',
+            MesiState::Exclusive => 'E',
+            MesiState::Shared => 'S',
+            MesiState::Invalid => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_write_permissions() {
+        assert!(MesiState::Modified.can_write_silently());
+        assert!(MesiState::Exclusive.can_write_silently());
+        assert!(!MesiState::Shared.can_write_silently());
+        assert!(!MesiState::Invalid.can_write_silently());
+    }
+
+    #[test]
+    fn write_dirties() {
+        assert_eq!(MesiState::Exclusive.after_write(), MesiState::Modified);
+        assert_eq!(MesiState::Modified.after_write(), MesiState::Modified);
+    }
+
+    #[test]
+    #[should_panic]
+    fn write_to_shared_panics() {
+        let _ = MesiState::Shared.after_write();
+    }
+
+    #[test]
+    fn snoop_downgrades() {
+        assert_eq!(MesiState::Modified.after_snoop_shared(), MesiState::Shared);
+        assert_eq!(MesiState::Exclusive.after_snoop_shared(), MesiState::Shared);
+        assert_eq!(MesiState::Shared.after_snoop_shared(), MesiState::Shared);
+        assert_eq!(MesiState::Invalid.after_snoop_shared(), MesiState::Invalid);
+    }
+
+    #[test]
+    fn only_modified_is_dirty() {
+        assert!(MesiState::Modified.is_dirty());
+        assert!(!MesiState::Exclusive.is_dirty());
+        assert!(!MesiState::Shared.is_dirty());
+    }
+
+    #[test]
+    fn display_single_letter() {
+        assert_eq!(MesiState::Modified.to_string(), "M");
+        assert_eq!(MesiState::Invalid.to_string(), "I");
+    }
+}

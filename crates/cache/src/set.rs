@@ -1,0 +1,288 @@
+//! A generic set-associative array with LRU replacement.
+//!
+//! Both the host caches and the PAX device's HBM cache are set-associative
+//! structures that differ only in what they store per line. [`SetAssoc<T>`]
+//! factors that shape out: it maps a [`LineAddr`] tag to a payload `T`,
+//! evicting the least-recently-used way of a set when it fills.
+
+use pax_pm::LineAddr;
+
+/// One occupied way of a set.
+#[derive(Debug, Clone)]
+struct Way<T> {
+    addr: LineAddr,
+    payload: T,
+    /// Monotonic counter value at last touch; smallest = LRU victim.
+    last_use: u64,
+}
+
+/// A set-associative map from line addresses to payloads with LRU eviction.
+///
+/// # Example
+///
+/// ```
+/// use pax_cache::SetAssoc;
+/// use pax_pm::LineAddr;
+///
+/// let mut sa: SetAssoc<u32> = SetAssoc::new(2, 1); // 2 sets × 1 way
+/// assert_eq!(sa.insert(LineAddr(0), 10), None);
+/// // Address 2 maps to the same set as 0 (2 % 2 == 0) and evicts it.
+/// let evicted = sa.insert(LineAddr(2), 20);
+/// assert_eq!(evicted, Some((LineAddr(0), 10)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssoc<T> {
+    sets: Vec<Vec<Way<T>>>,
+    ways: usize,
+    clock: u64,
+}
+
+impl<T> SetAssoc<T> {
+    /// Creates an array with `num_sets` sets of `ways` ways each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` or `ways` is zero.
+    pub fn new(num_sets: usize, ways: usize) -> Self {
+        assert!(num_sets > 0, "cache must have at least one set");
+        assert!(ways > 0, "cache must have at least one way");
+        SetAssoc { sets: (0..num_sets).map(|_| Vec::with_capacity(ways)).collect(), ways, clock: 0 }
+    }
+
+    /// Builds an array sized for `capacity_bytes` of 64-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity holds fewer lines than `ways`.
+    pub fn with_capacity_bytes(capacity_bytes: usize, ways: usize) -> Self {
+        let lines = capacity_bytes / pax_pm::LINE_SIZE;
+        assert!(lines >= ways, "capacity must hold at least one full set");
+        Self::new(lines / ways, ways)
+    }
+
+    fn set_index(&self, addr: LineAddr) -> usize {
+        (addr.0 % self.sets.len() as u64) as usize
+    }
+
+    /// Number of lines currently resident.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the array holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Looks up `addr`, updating LRU order on hit.
+    pub fn get_mut(&mut self, addr: LineAddr) -> Option<&mut T> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_index(addr);
+        self.sets[set].iter_mut().find(|w| w.addr == addr).map(|w| {
+            w.last_use = clock;
+            &mut w.payload
+        })
+    }
+
+    /// Looks up `addr` without disturbing LRU order (for assertions).
+    pub fn peek(&self, addr: LineAddr) -> Option<&T> {
+        let set = self.set_index(addr);
+        self.sets[set].iter().find(|w| w.addr == addr).map(|w| &w.payload)
+    }
+
+    /// Whether `addr` is resident.
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.peek(addr).is_some()
+    }
+
+    /// Inserts (or replaces) `addr`'s payload, returning an LRU victim if a
+    /// set overflowed — the caller decides what an eviction means (write
+    /// back, drop, stall…).
+    pub fn insert(&mut self, addr: LineAddr, payload: T) -> Option<(LineAddr, T)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_idx = self.set_index(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(w) = set.iter_mut().find(|w| w.addr == addr) {
+            w.payload = payload;
+            w.last_use = clock;
+            return None;
+        }
+        let victim = if set.len() >= self.ways {
+            let (lru_idx, _) =
+                set.iter().enumerate().min_by_key(|(_, w)| w.last_use).expect("set is non-empty");
+            let w = set.swap_remove(lru_idx);
+            Some((w.addr, w.payload))
+        } else {
+            None
+        };
+        set.push(Way { addr, payload, last_use: clock });
+        victim
+    }
+
+    /// Inserts like [`SetAssoc::insert`], but chooses the victim with
+    /// `prefer`: among occupied ways, the way whose payload `prefer`
+    /// returns `true` for with the oldest use is evicted first; if none
+    /// match, plain LRU applies.
+    ///
+    /// The PAX device uses this for §3.3's policy of preferring to evict
+    /// lines whose undo-log entries are already durable.
+    pub fn insert_with_policy(
+        &mut self,
+        addr: LineAddr,
+        payload: T,
+        prefer: impl Fn(&T) -> bool,
+    ) -> Option<(LineAddr, T)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set_idx = self.set_index(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(w) = set.iter_mut().find(|w| w.addr == addr) {
+            w.payload = payload;
+            w.last_use = clock;
+            return None;
+        }
+        let victim = if set.len() >= self.ways {
+            let preferred = set
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| prefer(&w.payload))
+                .min_by_key(|(_, w)| w.last_use)
+                .map(|(i, _)| i);
+            let idx = preferred.unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.last_use)
+                    .map(|(i, _)| i)
+                    .expect("set is non-empty")
+            });
+            let w = set.swap_remove(idx);
+            Some((w.addr, w.payload))
+        } else {
+            None
+        };
+        set.push(Way { addr, payload, last_use: clock });
+        victim
+    }
+
+    /// Removes `addr`, returning its payload.
+    pub fn remove(&mut self, addr: LineAddr) -> Option<T> {
+        let set = self.set_index(addr);
+        let pos = self.sets[set].iter().position(|w| w.addr == addr)?;
+        Some(self.sets[set].swap_remove(pos).payload)
+    }
+
+    /// Iterates over all resident `(addr, payload)` pairs in no particular
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> {
+        self.sets.iter().flatten().map(|w| (w.addr, &w.payload))
+    }
+
+    /// Drains every resident line, leaving the array empty.
+    pub fn drain_all(&mut self) -> Vec<(LineAddr, T)> {
+        let mut out = Vec::with_capacity(self.len());
+        for set in &mut self.sets {
+            for w in set.drain(..) {
+                out.push((w.addr, w.payload));
+            }
+        }
+        out
+    }
+
+    /// Removes every resident line without returning them.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_updates_payload_access() {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(4, 2);
+        sa.insert(LineAddr(1), 11);
+        assert_eq!(sa.get_mut(LineAddr(1)), Some(&mut 11));
+        *sa.get_mut(LineAddr(1)).unwrap() = 12;
+        assert_eq!(sa.peek(LineAddr(1)), Some(&12));
+        assert_eq!(sa.get_mut(LineAddr(2)), None);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_used() {
+        // One set, two ways: 0 and 4 and 8 all collide (mod 4 = 0).
+        let mut sa: SetAssoc<&str> = SetAssoc::new(4, 2);
+        sa.insert(LineAddr(0), "a");
+        sa.insert(LineAddr(4), "b");
+        sa.get_mut(LineAddr(0)); // touch "a"; "b" is now LRU
+        let victim = sa.insert(LineAddr(8), "c");
+        assert_eq!(victim, Some((LineAddr(4), "b")));
+        assert!(sa.contains(LineAddr(0)));
+        assert!(sa.contains(LineAddr(8)));
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(1, 1);
+        sa.insert(LineAddr(0), 1);
+        assert_eq!(sa.insert(LineAddr(0), 2), None);
+        assert_eq!(sa.peek(LineAddr(0)), Some(&2));
+    }
+
+    #[test]
+    fn policy_eviction_prefers_matching_ways() {
+        // One set, two ways; payload bool = "cheap to evict".
+        let mut sa: SetAssoc<bool> = SetAssoc::new(1, 2);
+        sa.insert(LineAddr(0), false);
+        sa.insert(LineAddr(1), true);
+        sa.get_mut(LineAddr(1)); // make the preferred line also the MRU line
+        let victim = sa.insert_with_policy(LineAddr(2), false, |cheap| *cheap);
+        // LRU alone would pick LineAddr(0); the policy overrides to pick 1.
+        assert_eq!(victim, Some((LineAddr(1), true)));
+    }
+
+    #[test]
+    fn policy_falls_back_to_lru() {
+        let mut sa: SetAssoc<bool> = SetAssoc::new(1, 2);
+        sa.insert(LineAddr(0), false);
+        sa.insert(LineAddr(1), false);
+        let victim = sa.insert_with_policy(LineAddr(2), false, |cheap| *cheap);
+        assert_eq!(victim, Some((LineAddr(0), false)));
+    }
+
+    #[test]
+    fn capacity_bytes_constructor() {
+        let sa: SetAssoc<()> = SetAssoc::with_capacity_bytes(32 << 10, 8);
+        assert_eq!(sa.capacity(), 512); // 32 KiB / 64 B
+    }
+
+    #[test]
+    fn remove_and_drain() {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(4, 2);
+        sa.insert(LineAddr(1), 1);
+        sa.insert(LineAddr(2), 2);
+        assert_eq!(sa.remove(LineAddr(1)), Some(1));
+        assert_eq!(sa.remove(LineAddr(1)), None);
+        let drained = sa.drain_all();
+        assert_eq!(drained, vec![(LineAddr(2), 2)]);
+        assert!(sa.is_empty());
+    }
+
+    #[test]
+    fn iter_sees_all_lines() {
+        let mut sa: SetAssoc<u32> = SetAssoc::new(8, 2);
+        for i in 0..10u64 {
+            sa.insert(LineAddr(i), i as u32);
+        }
+        assert_eq!(sa.iter().count(), 10);
+    }
+}

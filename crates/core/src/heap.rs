@@ -1,0 +1,326 @@
+//! The persistent heap: a first-fit allocator living *inside* its space.
+//!
+//! Every piece of allocator metadata — bump pointer, free list, root
+//! pointer — is stored in the managed [`MemSpace`] itself and accessed
+//! through ordinary loads and stores. On a [`VPm`](crate::VPm) space this
+//! means PAX's undo logging covers allocator state exactly like
+//! application data, which is how the paper gets "recovers the pool's
+//! allocator state" (§3.4) for free: rolling back an epoch rolls back
+//! allocations made in it.
+//!
+//! # Layout
+//!
+//! ```text
+//! byte  0..8   magic "PAXHEAP1"
+//! byte  8..16  bump head (next never-allocated byte)
+//! byte 16..24  free-list head (0 = empty)
+//! byte 24..32  user root pointer
+//! byte 32..40  live allocation count
+//! byte 64..    allocatable storage
+//! ```
+//!
+//! Free blocks carry `{next: u64, len: u64}` in their own first 16 bytes.
+
+use crate::error::PaxError;
+use crate::space::MemSpace;
+use crate::Result;
+
+const MAGIC: u64 = u64::from_le_bytes(*b"PAXHEAP1");
+const OFF_MAGIC: u64 = 0;
+const OFF_BUMP: u64 = 8;
+const OFF_FREE: u64 = 16;
+const OFF_ROOT: u64 = 24;
+const OFF_COUNT: u64 = 32;
+const DATA_START: u64 = 64;
+
+/// Smallest allocation the heap hands out (a free block must be able to
+/// hold its own `{next, len}` header when freed).
+pub const MIN_ALLOC: u64 = 16;
+
+/// Allocation alignment in bytes.
+pub const ALIGN: u64 = 8;
+
+/// A persistent first-fit heap over a [`MemSpace`] (see module docs).
+///
+/// The heap performs no internal locking; callers (the structures in
+/// [`structures`](crate::structures)) serialize mutations.
+#[derive(Debug, Clone)]
+pub struct Heap<S> {
+    space: S,
+}
+
+impl<S: MemSpace> Heap<S> {
+    /// Opens the heap in `space`, formatting it on first use.
+    ///
+    /// A zeroed space (fresh pool) is formatted; a space with a valid
+    /// magic is attached as-is — so, as §3.4 requires, constructing and
+    /// recovering are the same call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PaxError::Corrupt`] if the space holds a non-zero,
+    /// non-heap magic, and propagates space I/O errors.
+    pub fn attach(space: S) -> Result<Self> {
+        let magic = space.read_u64(OFF_MAGIC)?;
+        if magic == MAGIC {
+            return Ok(Heap { space });
+        }
+        if magic != 0 {
+            return Err(PaxError::Corrupt(format!("bad heap magic {magic:#x}")));
+        }
+        space.write_u64(OFF_BUMP, DATA_START)?;
+        space.write_u64(OFF_FREE, 0)?;
+        space.write_u64(OFF_ROOT, 0)?;
+        space.write_u64(OFF_COUNT, 0)?;
+        space.write_u64(OFF_MAGIC, MAGIC)?;
+        Ok(Heap { space })
+    }
+
+    /// The space this heap manages.
+    pub fn space(&self) -> &S {
+        &self.space
+    }
+
+    /// The user root pointer (0 when unset).
+    ///
+    /// # Errors
+    ///
+    /// Propagates space I/O errors.
+    pub fn root(&self) -> Result<u64> {
+        self.space.read_u64(OFF_ROOT)
+    }
+
+    /// Durably records the structure root address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates space I/O errors.
+    pub fn set_root(&self, addr: u64) -> Result<()> {
+        self.space.write_u64(OFF_ROOT, addr)
+    }
+
+    /// Live allocations (allocs minus frees).
+    ///
+    /// # Errors
+    ///
+    /// Propagates space I/O errors.
+    pub fn live_allocations(&self) -> Result<u64> {
+        self.space.read_u64(OFF_COUNT)
+    }
+
+    /// Bytes never yet allocated (bump headroom; excludes the free list).
+    ///
+    /// # Errors
+    ///
+    /// Propagates space I/O errors.
+    pub fn headroom(&self) -> Result<u64> {
+        Ok(self.space.capacity_bytes().saturating_sub(self.space.read_u64(OFF_BUMP)?))
+    }
+
+    fn round_up(len: u64) -> u64 {
+        let len = len.max(MIN_ALLOC);
+        len.div_ceil(ALIGN) * ALIGN
+    }
+
+    /// Allocates `len` bytes, returning their byte address.
+    ///
+    /// First-fit over the free list, splitting blocks when the remainder
+    /// can stand alone; falls back to bumping fresh storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PaxError::OutOfMemory`] when neither the free list nor
+    /// the bump region can satisfy the request.
+    pub fn alloc(&self, len: u64) -> Result<u64> {
+        let need = Self::round_up(len);
+
+        // First fit through the free list.
+        let mut prev: Option<u64> = None;
+        let mut cur = self.space.read_u64(OFF_FREE)?;
+        while cur != 0 {
+            let next = self.space.read_u64(cur)?;
+            let blen = self.space.read_u64(cur + 8)?;
+            if blen >= need {
+                let take_all = blen - need < MIN_ALLOC;
+                let replacement = if take_all {
+                    next
+                } else {
+                    // Split: the tail remains free.
+                    let rest = cur + need;
+                    self.space.write_u64(rest, next)?;
+                    self.space.write_u64(rest + 8, blen - need)?;
+                    rest
+                };
+                match prev {
+                    Some(p) => self.space.write_u64(p, replacement)?,
+                    None => self.space.write_u64(OFF_FREE, replacement)?,
+                }
+                self.bump_count(1)?;
+                return Ok(cur);
+            }
+            prev = Some(cur);
+            cur = next;
+        }
+
+        // Bump fresh storage.
+        let bump = self.space.read_u64(OFF_BUMP)?;
+        let end = bump.checked_add(need).ok_or(PaxError::OutOfMemory {
+            requested: need,
+            capacity: self.space.capacity_bytes(),
+        })?;
+        if end > self.space.capacity_bytes() {
+            return Err(PaxError::OutOfMemory {
+                requested: need,
+                capacity: self.space.capacity_bytes(),
+            });
+        }
+        self.space.write_u64(OFF_BUMP, end)?;
+        self.bump_count(1)?;
+        Ok(bump)
+    }
+
+    /// Returns `len` bytes at `addr` to the heap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PaxError::Corrupt`] for addresses outside the heap's
+    /// allocatable range, and propagates space I/O errors.
+    pub fn free(&self, addr: u64, len: u64) -> Result<()> {
+        let need = Self::round_up(len);
+        let bump = self.space.read_u64(OFF_BUMP)?;
+        if addr < DATA_START || addr + need > bump {
+            return Err(PaxError::Corrupt(format!("free of unallocated range {addr:#x}")));
+        }
+        let head = self.space.read_u64(OFF_FREE)?;
+        self.space.write_u64(addr, head)?;
+        self.space.write_u64(addr + 8, need)?;
+        self.space.write_u64(OFF_FREE, addr)?;
+        self.bump_count(-1)?;
+        Ok(())
+    }
+
+    fn bump_count(&self, delta: i64) -> Result<()> {
+        let c = self.space.read_u64(OFF_COUNT)?;
+        self.space.write_u64(OFF_COUNT, c.wrapping_add(delta as u64))
+    }
+
+    /// Typed convenience: allocates and writes an encoded value.
+    ///
+    /// # Errors
+    ///
+    /// See [`Heap::alloc`].
+    pub fn alloc_bytes(&self, data: &[u8]) -> Result<u64> {
+        let addr = self.alloc(data.len() as u64)?;
+        self.space.write_bytes(addr, data)?;
+        Ok(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::VolatileSpace;
+
+    fn heap(cap: usize) -> Heap<VolatileSpace> {
+        Heap::attach(VolatileSpace::new(cap)).unwrap()
+    }
+
+    #[test]
+    fn attach_formats_then_reattaches() {
+        let space = VolatileSpace::new(4096);
+        let h = Heap::attach(space.clone()).unwrap();
+        h.set_root(0x1234).unwrap();
+        drop(h);
+        let h2 = Heap::attach(space).unwrap();
+        assert_eq!(h2.root().unwrap(), 0x1234, "attach must not reformat");
+    }
+
+    #[test]
+    fn attach_rejects_foreign_magic() {
+        let space = VolatileSpace::new(4096);
+        space.write_u64(0, 0xBAD0_BAD0).unwrap();
+        assert!(matches!(Heap::attach(space), Err(PaxError::Corrupt(_))));
+    }
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let h = heap(1 << 16);
+        let a = h.alloc(10).unwrap();
+        let b = h.alloc(100).unwrap();
+        assert_eq!(a % ALIGN, 0);
+        assert_eq!(b % ALIGN, 0);
+        assert!(b >= a + 16, "allocations must not overlap");
+        assert_eq!(h.live_allocations().unwrap(), 2);
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_block() {
+        let h = heap(1 << 16);
+        let a = h.alloc(64).unwrap();
+        let _b = h.alloc(64).unwrap();
+        h.free(a, 64).unwrap();
+        let c = h.alloc(64).unwrap();
+        assert_eq!(c, a, "first fit should reuse the freed block");
+    }
+
+    #[test]
+    fn splitting_leaves_usable_remainder() {
+        let h = heap(1 << 16);
+        let a = h.alloc(256).unwrap();
+        h.free(a, 256).unwrap();
+        let b = h.alloc(64).unwrap();
+        let c = h.alloc(64).unwrap();
+        assert_eq!(b, a);
+        assert_eq!(c, a + 64, "split remainder should serve the next alloc");
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let h = heap(256);
+        let mut got = Vec::new();
+        loop {
+            match h.alloc(64) {
+                Ok(a) => got.push(a),
+                Err(PaxError::OutOfMemory { .. }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn free_validates_range() {
+        let h = heap(4096);
+        assert!(h.free(0, 16).is_err(), "heap header is not allocatable");
+        assert!(h.free(1 << 20, 16).is_err(), "beyond bump head");
+    }
+
+    #[test]
+    fn data_round_trips_through_allocations() {
+        let h = heap(1 << 16);
+        let addr = h.alloc_bytes(b"persistent!").unwrap();
+        let mut buf = [0u8; 11];
+        h.space().read_bytes(addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"persistent!");
+    }
+
+    #[test]
+    fn min_alloc_rounding() {
+        assert_eq!(Heap::<VolatileSpace>::round_up(1), MIN_ALLOC);
+        assert_eq!(Heap::<VolatileSpace>::round_up(16), 16);
+        assert_eq!(Heap::<VolatileSpace>::round_up(17), 24);
+    }
+
+    #[test]
+    fn many_alloc_free_cycles_do_not_leak_headroom() {
+        let h = heap(1 << 16);
+        let before = h.headroom().unwrap();
+        for _ in 0..100 {
+            let a = h.alloc(128).unwrap();
+            h.free(a, 128).unwrap();
+        }
+        let after = h.headroom().unwrap();
+        // One block of bump space may be consumed; cycles reuse it.
+        assert!(before - after <= 128, "leaked {} bytes", before - after);
+    }
+}

@@ -1,0 +1,68 @@
+//! `libpax` — the PAX programming model (§3.1).
+//!
+//! This crate is the library half of the paper: it maps a pool's vPM range
+//! into the "process", wraps it in an allocator, and lets *volatile-style*
+//! data-structure code run unmodified against persistent memory with
+//! crash-consistent snapshot semantics.
+//!
+//! # The programming model, as in Listing 1 of the paper
+//!
+//! ```
+//! use libpax::{HwSnapshotter, PaxConfig, Persistent, PHashMap};
+//!
+//! # fn main() -> libpax::Result<()> {
+//! // 1. Map a pool; the region is wrapped in an allocator object.
+//! let snap = HwSnapshotter::create(PaxConfig::default())?;
+//! // 2. Pass the allocator to an unmodified (volatile-style) structure.
+//! let ht: Persistent<PHashMap<u64, u64>> = Persistent::new(&snap)?;
+//! // 3. Use it with normal loads and stores.
+//! ht.insert(1, 100)?;
+//! assert_eq!(ht.get(1)?, Some(100));
+//! ht.insert(2, 200)?;
+//! // 4. Capture a crash-consistent snapshot.
+//! snap.persist()?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Architecture
+//!
+//! * [`space`] — [`MemSpace`]: the byte-addressed memory abstraction the
+//!   data structures are written against. [`VolatileSpace`] implements it
+//!   over plain memory (the "DRAM" world); [`VPm`] implements it over the
+//!   host-cache + PAX-device simulation. *The structure code is identical
+//!   in both worlds* — that is the paper's black-box-reuse claim in code.
+//! * [`heap`] — a first-fit persistent heap (bump + free list) whose
+//!   metadata lives inside the space it manages, so PAX's undo logging
+//!   covers allocator state like any other data (§3.4 "recovers the
+//!   pool's allocator state").
+//! * [`pool`] — [`PaxPool`]: wires a [`PmPool`](pax_pm::PmPool) to a
+//!   [`PaxDevice`](pax_device::PaxDevice) and a host
+//!   [`CoherentCache`](pax_cache::CoherentCache), exposes `persist()`,
+//!   crash/reopen for tests, and optional miss-rate instrumentation.
+//! * [`structures`] — volatile-style collections ([`PHashMap`], [`PVec`],
+//!   [`PList`]) generic over any [`MemSpace`].
+//! * [`snapshotter`] — the Listing 1 façade: [`HwSnapshotter`] +
+//!   [`Persistent<T>`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod heap;
+pub mod pod;
+pub mod pool;
+pub mod snapshotter;
+pub mod space;
+pub mod structures;
+
+pub use error::PaxError;
+pub use heap::Heap;
+pub use pod::Pod;
+pub use pool::{PaxConfig, PaxPool, VPm};
+pub use snapshotter::{HwSnapshotter, PStructure, Persistent};
+pub use space::{MemSpace, VolatileSpace};
+pub use structures::{PBTreeMap, PHashMap, PList, PRing, PVec};
+
+/// Result alias for libpax operations.
+pub type Result<T> = std::result::Result<T, PaxError>;

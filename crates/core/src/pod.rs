@@ -1,0 +1,135 @@
+//! Plain-old-data encoding for structure elements.
+//!
+//! Persistent structures store fixed-size values; [`Pod`] is the explicit,
+//! `unsafe`-free encoding between a Rust value and its little-endian
+//! on-media bytes. Keys and values of [`PHashMap`](crate::PHashMap),
+//! elements of [`PVec`](crate::PVec), etc. must implement it.
+
+/// A fixed-size, byte-encodable value.
+///
+/// # Example
+///
+/// ```
+/// use libpax::Pod;
+///
+/// let mut buf = [0u8; 8];
+/// 42u64.encode(&mut buf);
+/// assert_eq!(u64::decode(&buf), 42);
+/// assert_eq!(<[u8; 4]>::SIZE, 4);
+/// ```
+pub trait Pod: Sized + Copy {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Writes the value into `buf` (exactly [`Pod::SIZE`] bytes).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `buf.len() != Self::SIZE`.
+    fn encode(&self, buf: &mut [u8]);
+
+    /// Reads a value from `buf` (exactly [`Pod::SIZE`] bytes).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `buf.len() != Self::SIZE`.
+    fn decode(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_pod_int {
+    ($($t:ty),*) => {$(
+        impl Pod for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+
+            fn encode(&self, buf: &mut [u8]) {
+                buf.copy_from_slice(&self.to_le_bytes());
+            }
+
+            fn decode(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf.try_into().expect("buffer size mismatch"))
+            }
+        }
+    )*};
+}
+
+impl_pod_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, f32, f64);
+
+impl Pod for bool {
+    const SIZE: usize = 1;
+
+    fn encode(&self, buf: &mut [u8]) {
+        buf[0] = *self as u8;
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        buf[0] != 0
+    }
+}
+
+impl<const N: usize> Pod for [u8; N] {
+    const SIZE: usize = N;
+
+    fn encode(&self, buf: &mut [u8]) {
+        buf.copy_from_slice(self);
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        buf.try_into().expect("buffer size mismatch")
+    }
+}
+
+impl<A: Pod, B: Pod> Pod for (A, B) {
+    const SIZE: usize = A::SIZE + B::SIZE;
+
+    fn encode(&self, buf: &mut [u8]) {
+        self.0.encode(&mut buf[..A::SIZE]);
+        self.1.encode(&mut buf[A::SIZE..]);
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        (A::decode(&buf[..A::SIZE]), B::decode(&buf[A::SIZE..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Pod + PartialEq + std::fmt::Debug>(v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.encode(&mut buf);
+        assert_eq!(T::decode(&buf), v);
+    }
+
+    #[test]
+    fn integers_round_trip() {
+        round_trip(0u8);
+        round_trip(u16::MAX);
+        round_trip(0xDEAD_BEEFu32);
+        round_trip(u64::MAX - 1);
+        round_trip(-42i64);
+        round_trip(i128::MIN);
+    }
+
+    #[test]
+    fn floats_and_bools_round_trip() {
+        round_trip(3.5f64);
+        round_trip(f32::NEG_INFINITY);
+        round_trip(true);
+        round_trip(false);
+    }
+
+    #[test]
+    fn arrays_and_tuples_round_trip() {
+        round_trip([1u8, 2, 3, 4]);
+        round_trip((7u32, 9u64));
+        assert_eq!(<(u32, u64)>::SIZE, 12);
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let mut buf = [0u8; 4];
+        0x0102_0304u32.encode(&mut buf);
+        assert_eq!(buf, [4, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,648 @@
+//! Pool orchestration: host cache + PAX device + vPM mapping.
+//!
+//! [`PaxPool`] owns the simulated machine for one pool: the
+//! [`PmPool`] media, the [`PaxDevice`](pax_device)
+//! fronting it, and the host [`CoherentCache`]
+//! through which every application access flows. [`VPm`] is the cheap,
+//! cloneable [`MemSpace`] handle structures hold — the analogue of the
+//! mapped vPM virtual address range in §3.1.
+//!
+//! Every `VPm` access walks the full interposition path: host cache →
+//! (on miss) CXL request → device → HBM/undo log/PM. A crash at any point
+//! loses exactly what real hardware would lose; recovery restores the
+//! last `persist()` snapshot.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use pax_cache::{
+    CacheConfig, CacheStats, CoherentCache, CoreComplex, Hierarchy, HierarchyConfig,
+    HierarchyStats, HostSnoop,
+};
+use pax_device::{DeviceConfig, DeviceMetrics, PaxDevice, RecoveryReport};
+use pax_pm::{CrashClock, LineAddr, PmError, PmPool, PoolConfig, LINE_SIZE};
+
+use crate::error::PaxError;
+use crate::space::MemSpace;
+use crate::Result;
+
+/// Everything needed to build a PAX-backed pool.
+#[derive(Debug, Clone, Copy)]
+pub struct PaxConfig {
+    /// PM pool sizing and persistence domain.
+    pub pool: PoolConfig,
+    /// PAX device tuning.
+    pub device: DeviceConfig,
+    /// Host cache geometry (the functional coherence unit).
+    pub cache: CacheConfig,
+    /// Attach a tag-only L1/L2/LLC instrument for miss-rate measurement
+    /// (Fig. 2a methodology); `None` skips the overhead.
+    pub instrument: Option<HierarchyConfig>,
+    /// Host cores. 1 models the socket as one coherence unit; more give
+    /// per-core caches with core-to-core transfers (§3.5) — access them
+    /// through [`PaxPool::vpm_for_core`].
+    pub cores: usize,
+    /// When the undo-log region fills mid-epoch, transparently `persist()`
+    /// and retry instead of surfacing `LogFull` — the paper's "libpax can
+    /// issue persist() periodically to limit undo log growth" (§3.2).
+    pub auto_persist_on_log_full: bool,
+}
+
+impl PaxConfig {
+    /// Returns the config with a different pool configuration.
+    pub fn with_pool(mut self, pool: PoolConfig) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Returns the config with a different device configuration.
+    pub fn with_device(mut self, device: DeviceConfig) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Returns the config with a different host-cache geometry.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Returns the config with miss-rate instrumentation enabled.
+    pub fn with_instrumentation(mut self, h: HierarchyConfig) -> Self {
+        self.instrument = Some(h);
+        self
+    }
+
+    /// Returns the config with a multi-core host model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_cores(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one core");
+        self.cores = n;
+        self
+    }
+
+    /// Returns the config with automatic persist-on-log-full enabled.
+    pub fn with_auto_persist_on_log_full(mut self) -> Self {
+        self.auto_persist_on_log_full = true;
+        self
+    }
+}
+
+impl Default for PaxConfig {
+    fn default() -> Self {
+        PaxConfig {
+            pool: PoolConfig::small(),
+            device: DeviceConfig::default(),
+            cache: CacheConfig::tiny(64 << 10, 8),
+            instrument: None,
+            cores: 1,
+            auto_persist_on_log_full: false,
+        }
+    }
+}
+
+/// The host's cache model: one coherence unit, or per-core caches with
+/// core-to-core transfers (§3.5).
+#[derive(Debug)]
+enum HostModel {
+    Single(CoherentCache),
+    Multi(CoreComplex),
+}
+
+impl HostModel {
+    fn read(
+        &mut self,
+        core: usize,
+        addr: LineAddr,
+        home: &mut PaxDevice,
+    ) -> pax_pm::Result<pax_pm::CacheLine> {
+        match self {
+            HostModel::Single(c) => c.read(addr, home),
+            HostModel::Multi(cx) => cx.read(core, addr, home),
+        }
+    }
+
+    fn write(
+        &mut self,
+        core: usize,
+        addr: LineAddr,
+        data: pax_pm::CacheLine,
+        home: &mut PaxDevice,
+    ) -> pax_pm::Result<()> {
+        match self {
+            HostModel::Single(c) => c.write(addr, data, home),
+            HostModel::Multi(cx) => cx.write(core, addr, data, home),
+        }
+    }
+
+    fn update(
+        &mut self,
+        core: usize,
+        addr: LineAddr,
+        home: &mut PaxDevice,
+        f: impl FnOnce(&mut pax_pm::CacheLine),
+    ) -> pax_pm::Result<()> {
+        let mut line = self.read(core, addr, home)?;
+        f(&mut line);
+        self.write(core, addr, line, home)
+    }
+}
+
+impl HostSnoop for HostModel {
+    fn snoop_shared(&mut self, addr: LineAddr) -> Option<pax_pm::CacheLine> {
+        match self {
+            HostModel::Single(c) => c.snoop_shared(addr),
+            HostModel::Multi(cx) => HostSnoop::snoop_shared(cx, addr),
+        }
+    }
+
+    fn snoop_invalidate(&mut self, addr: LineAddr) -> Option<pax_pm::CacheLine> {
+        match self {
+            HostModel::Single(c) => c.snoop_invalidate(addr),
+            HostModel::Multi(cx) => HostSnoop::snoop_invalidate(cx, addr),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// `None` after a simulated power loss: subsequent accesses fail with
+    /// the crash error, like a real process whose mapping died.
+    device: Option<PaxDevice>,
+    cache: HostModel,
+    hier: Option<Hierarchy>,
+    auto_persist_on_log_full: bool,
+}
+
+impl Inner {
+    fn device(&mut self) -> Result<&mut PaxDevice> {
+        self.device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))
+    }
+}
+
+/// Sink for cache state discarded at a crash (nothing survives).
+struct NullHome;
+
+impl pax_cache::HomeAgent for NullHome {
+    fn read_shared(&mut self, addr: LineAddr) -> pax_pm::Result<pax_pm::CacheLine> {
+        Err(PmError::OutOfBounds { addr, capacity_lines: 0 })
+    }
+
+    fn read_own(&mut self, addr: LineAddr) -> pax_pm::Result<pax_pm::CacheLine> {
+        Err(PmError::OutOfBounds { addr, capacity_lines: 0 })
+    }
+
+    fn clean_evict(&mut self, _addr: LineAddr) {}
+
+    fn dirty_evict(&mut self, _addr: LineAddr, _data: pax_pm::CacheLine) -> pax_pm::Result<()> {
+        Ok(())
+    }
+}
+
+/// A live PAX-backed pool (see module docs).
+#[derive(Debug, Clone)]
+pub struct PaxPool {
+    inner: Arc<Mutex<Inner>>,
+    vpm_bytes: u64,
+}
+
+impl PaxPool {
+    /// Creates a fresh pool with zeroed vPM.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool-layout and media errors.
+    pub fn create(config: PaxConfig) -> Result<Self> {
+        let pool = PmPool::create(config.pool)?;
+        Self::open(pool, config)
+    }
+
+    /// Opens an existing [`PmPool`], running §3.4 recovery. Constructing a
+    /// new pool and recovering one are the same operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recovery/media errors.
+    pub fn open(pool: PmPool, config: PaxConfig) -> Result<Self> {
+        let vpm_bytes = pool.layout().data_lines * LINE_SIZE as u64;
+        let device = PaxDevice::open(pool, config.device)?;
+        Ok(PaxPool {
+            inner: Arc::new(Mutex::new(Inner {
+                device: Some(device),
+                cache: if config.cores <= 1 {
+                    HostModel::Single(CoherentCache::new(config.cache))
+                } else {
+                    HostModel::Multi(CoreComplex::new(config.cores, config.cache))
+                },
+                hier: config.instrument.map(Hierarchy::new),
+                auto_persist_on_log_full: config.auto_persist_on_log_full,
+            })),
+            vpm_bytes,
+        })
+    }
+
+    /// Maps a pool file: loads it if `path` exists, creates it otherwise
+    /// (the `map_pool("./ht.pool")` of Listing 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O and pool-format errors.
+    pub fn map_file(path: impl AsRef<Path>, config: PaxConfig) -> Result<Self> {
+        let path = path.as_ref();
+        let pool = if path.exists() { PmPool::load(path)? } else { PmPool::create(config.pool)? };
+        Self::open(pool, config)
+    }
+
+    /// The vPM handle applications and structures use (core 0's mapping
+    /// on a multi-core host).
+    pub fn vpm(&self) -> VPm {
+        self.vpm_for_core(0)
+    }
+
+    /// A vPM handle whose accesses run through `core`'s private cache —
+    /// hand one to each application thread for the §3.5 concurrency model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range for the configured host.
+    pub fn vpm_for_core(&self, core: usize) -> VPm {
+        {
+            let inner = self.inner.lock();
+            let cores = match &inner.cache {
+                HostModel::Single(_) => 1,
+                HostModel::Multi(cx) => cx.cores(),
+            };
+            assert!(core < cores, "core {core} out of range for {cores}-core host");
+        }
+        VPm { inner: Arc::clone(&self.inner), vpm_bytes: self.vpm_bytes, core }
+    }
+
+    /// Cross-core transfer statistics (multi-core hosts only).
+    pub fn complex_stats(&self) -> Option<pax_cache::ComplexStats> {
+        match &self.inner.lock().cache {
+            HostModel::Single(_) => None,
+            HostModel::Multi(cx) => Some(cx.stats()),
+        }
+    }
+
+    /// Ends the current epoch: durably commits a crash-consistent
+    /// snapshot and returns its epoch number (§3.3).
+    ///
+    /// Per §3.5, the caller must ensure no thread is mid-operation;
+    /// `PaxPool` serializes against *individual* accesses internally, but
+    /// compound structure operations need application-level quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces simulated crashes and media errors.
+    pub fn persist(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let Inner { device, cache, .. } = &mut *inner;
+        let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
+        Ok(device.persist(cache)?)
+    }
+
+    /// Begins a **non-blocking** persist (the paper's §6 extension):
+    /// captures the epoch's modified lines and returns its number
+    /// immediately; the device drains it in the background while the
+    /// application works in the next epoch. Durability holds only once
+    /// the epoch commits — [`PaxPool::persist_poll`] reports it, or
+    /// [`PaxPool::persist_wait`] blocks for it.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces simulated crashes and media errors.
+    pub fn persist_async(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let Inner { device, cache, .. } = &mut *inner;
+        let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
+        Ok(device.persist_async(cache)?)
+    }
+
+    /// Advances a non-blocking persist; `Some(epoch)` when it commits.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces simulated crashes and media errors.
+    pub fn persist_poll(&self) -> Result<Option<u64>> {
+        let mut inner = self.inner.lock();
+        Ok(inner.device()?.persist_poll()?)
+    }
+
+    /// Blocks until any non-blocking persist has committed.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces simulated crashes and media errors.
+    pub fn persist_wait(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        Ok(inner.device()?.persist_wait()?)
+    }
+
+    /// The epoch currently draining from a non-blocking persist, if any.
+    ///
+    /// # Errors
+    ///
+    /// Fails if power was already lost.
+    pub fn persist_pending(&self) -> Result<Option<u64>> {
+        let mut inner = self.inner.lock();
+        Ok(inner.device()?.persist_pending())
+    }
+
+    /// Simulates power loss, returning the pool's durable remains for a
+    /// later [`PaxPool::open`]. All live handles to this pool start
+    /// failing with a crash error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the crash error if power was already lost.
+    pub fn crash(&self) -> Result<PmPool> {
+        let mut inner = self.inner.lock();
+        let device = inner.device.take().ok_or(PaxError::Pm(PmError::Crashed))?;
+        // Host-cache contents die with power. Note that eADR would flush
+        // dirty lines *to the device* — whose buffers are equally volatile
+        // — so under PAX even eADR does not move the recovery point: it is
+        // always the last committed epoch.
+        match &mut inner.cache {
+            HostModel::Single(c) => c
+                .crash(pax_pm::PersistenceDomain::Adr, &mut NullHome)
+                .expect("discarding cache state cannot fail"),
+            HostModel::Multi(cx) => cx
+                .crash(pax_pm::PersistenceDomain::Adr, &mut NullHome)
+                .expect("discarding cache state cannot fail"),
+        }
+        Ok(device.crash_into_pool())
+    }
+
+    /// Saves the pool's durable state to a file (reboot-to-file analogue
+    /// of [`PaxPool::crash`], leaving this pool usable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors; fails after a crash.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let device = inner.device()?;
+        device.save(path)?;
+        Ok(())
+    }
+
+    /// The crash clock shared with the device; arm it to cut power at an
+    /// exact durable-write step.
+    ///
+    /// # Errors
+    ///
+    /// Fails if power was already lost.
+    pub fn crash_clock(&self) -> Result<CrashClock> {
+        let mut inner = self.inner.lock();
+        Ok(inner.device()?.crash_clock())
+    }
+
+    /// The device's event counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails if power was already lost.
+    pub fn device_metrics(&self) -> Result<DeviceMetrics> {
+        let mut inner = self.inner.lock();
+        Ok(inner.device()?.metrics())
+    }
+
+    /// The host cache's event counters (core 0's on a multi-core host).
+    pub fn cache_stats(&self) -> CacheStats {
+        match &self.inner.lock().cache {
+            HostModel::Single(c) => c.stats(),
+            HostModel::Multi(cx) => cx.core_stats(0),
+        }
+    }
+
+    /// Miss-rate instrumentation counters, if enabled.
+    pub fn hierarchy_stats(&self) -> Option<HierarchyStats> {
+        self.inner.lock().hier.as_ref().map(|h| h.stats())
+    }
+
+    /// The recovery report from when this pool was opened.
+    ///
+    /// # Errors
+    ///
+    /// Fails if power was already lost.
+    pub fn recovery_report(&self) -> Result<RecoveryReport> {
+        let mut inner = self.inner.lock();
+        Ok(inner.device()?.recovery_report())
+    }
+
+    /// The committed (recovery-point) epoch.
+    ///
+    /// # Errors
+    ///
+    /// Fails if power was already lost.
+    pub fn committed_epoch(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        Ok(inner.device()?.committed_epoch()?)
+    }
+
+    /// Bytes of vPM exposed to the application.
+    pub fn vpm_bytes(&self) -> u64 {
+        self.vpm_bytes
+    }
+}
+
+/// The mapped vPM range: a [`MemSpace`] whose every access runs the full
+/// host-cache → CXL → device path (see module docs).
+#[derive(Debug, Clone)]
+pub struct VPm {
+    inner: Arc<Mutex<Inner>>,
+    vpm_bytes: u64,
+    /// Which core's cache this mapping's accesses run through.
+    core: usize,
+}
+
+impl VPm {
+    fn check(&self, addr: u64, len: usize) -> Result<()> {
+        if addr.checked_add(len as u64).is_none_or(|end| end > self.vpm_bytes) {
+            return Err(PaxError::Pm(PmError::OutOfBounds {
+                addr: LineAddr::from_byte_addr(addr),
+                capacity_lines: self.vpm_bytes / LINE_SIZE as u64,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Splits `[addr, addr+len)` into per-line `(line, offset, len)`
+    /// pieces.
+    fn pieces(addr: u64, len: usize) -> impl Iterator<Item = (LineAddr, usize, usize)> {
+        let mut cur = addr;
+        let end = addr + len as u64;
+        std::iter::from_fn(move || {
+            if cur >= end {
+                return None;
+            }
+            let line = LineAddr::from_byte_addr(cur);
+            let off = (cur - line.byte_addr()) as usize;
+            let n = ((LINE_SIZE - off) as u64).min(end - cur) as usize;
+            cur += n as u64;
+            Some((line, off, n))
+        })
+    }
+}
+
+impl MemSpace for VPm {
+    fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<()> {
+        self.check(addr, buf.len())?;
+        let mut inner = self.inner.lock();
+        let mut done = 0;
+        for (line, off, n) in Self::pieces(addr, buf.len()) {
+            let Inner { device, cache, hier, .. } = &mut *inner;
+            let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
+            if let Some(h) = hier {
+                h.access(line);
+            }
+            let data = cache.read(self.core, line, device)?;
+            buf[done..done + n].copy_from_slice(data.read_at(off, n));
+            done += n;
+        }
+        Ok(())
+    }
+
+    fn write_bytes(&self, addr: u64, data: &[u8]) -> Result<()> {
+        self.check(addr, data.len())?;
+        let mut inner = self.inner.lock();
+        let mut done = 0;
+        for (line, off, n) in Self::pieces(addr, data.len()) {
+            let Inner { device, cache, hier, auto_persist_on_log_full } = &mut *inner;
+            let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
+            if let Some(h) = hier {
+                h.access(line);
+            }
+            let write_once = |cache: &mut HostModel, device: &mut PaxDevice| {
+                if off == 0 && n == LINE_SIZE {
+                    cache.write(
+                        self.core,
+                        line,
+                        pax_pm::CacheLine::from_bytes(&data[done..done + n]),
+                        device,
+                    )
+                } else {
+                    cache.update(self.core, line, device, |l| {
+                        l.write_at(off, &data[done..done + n])
+                    })
+                }
+            };
+            match write_once(cache, device) {
+                Ok(()) => {}
+                Err(PmError::LogFull { .. }) if *auto_persist_on_log_full => {
+                    // §3.2: persist periodically to limit undo log growth
+                    // — here, exactly when growth hits the limit.
+                    device.persist(cache)?;
+                    write_once(cache, device)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+            done += n;
+        }
+        Ok(())
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.vpm_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let pool = PaxPool::create(PaxConfig::default()).unwrap();
+        let vpm = pool.vpm();
+        vpm.write_u64(128, 0xABCD).unwrap();
+        assert_eq!(vpm.read_u64(128).unwrap(), 0xABCD);
+    }
+
+    #[test]
+    fn unaligned_multi_line_access() {
+        let pool = PaxPool::create(PaxConfig::default()).unwrap();
+        let vpm = pool.vpm();
+        // A write straddling three lines, at an odd offset.
+        let data: Vec<u8> = (0..150u8).collect();
+        vpm.write_bytes(61, &data).unwrap();
+        let mut buf = vec![0u8; 150];
+        vpm.read_bytes(61, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        // Neighbouring bytes untouched.
+        assert_eq!(vpm.read_u32(56).unwrap(), 0);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let pool = PaxPool::create(PaxConfig::default()).unwrap();
+        let vpm = pool.vpm();
+        let cap = vpm.capacity_bytes();
+        assert!(vpm.write_u64(cap - 8, 1).is_ok());
+        assert!(vpm.write_u64(cap - 7, 1).is_err());
+        assert!(vpm.read_u64(u64::MAX - 2).is_err());
+    }
+
+    #[test]
+    fn persist_then_crash_then_reopen_preserves_data() {
+        let pool = PaxPool::create(PaxConfig::default()).unwrap();
+        let vpm = pool.vpm();
+        vpm.write_u64(0, 11).unwrap();
+        vpm.write_u64(4096, 22).unwrap();
+        pool.persist().unwrap();
+        vpm.write_u64(0, 99).unwrap(); // unpersisted
+
+        let pm = pool.crash().unwrap();
+        // Live handles now fail.
+        assert!(vpm.read_u64(0).is_err());
+
+        let reopened = PaxPool::open(pm, PaxConfig::default()).unwrap();
+        let vpm2 = reopened.vpm();
+        assert_eq!(vpm2.read_u64(0).unwrap(), 11, "rolled back to snapshot");
+        assert_eq!(vpm2.read_u64(4096).unwrap(), 22);
+    }
+
+    #[test]
+    fn instrumentation_counts_accesses() {
+        let config = PaxConfig::default().with_instrumentation(HierarchyConfig::c6420());
+        let pool = PaxPool::create(config).unwrap();
+        let vpm = pool.vpm();
+        vpm.write_u64(0, 1).unwrap();
+        vpm.read_u64(0).unwrap();
+        let stats = pool.hierarchy_stats().unwrap();
+        assert!(stats.total_accesses() >= 2);
+        assert!(PaxPool::create(PaxConfig::default()).unwrap().hierarchy_stats().is_none());
+    }
+
+    #[test]
+    fn map_file_round_trip() {
+        let dir = std::env::temp_dir().join("libpax-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("map_file.pool");
+        let _ = std::fs::remove_file(&path);
+
+        let pool = PaxPool::map_file(&path, PaxConfig::default()).unwrap();
+        pool.vpm().write_u64(8, 77).unwrap();
+        pool.persist().unwrap();
+        pool.save_file(&path).unwrap();
+        drop(pool);
+
+        let pool2 = PaxPool::map_file(&path, PaxConfig::default()).unwrap();
+        assert_eq!(pool2.vpm().read_u64(8).unwrap(), 77);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn double_crash_is_an_error() {
+        let pool = PaxPool::create(PaxConfig::default()).unwrap();
+        pool.crash().unwrap();
+        assert!(pool.crash().is_err());
+        assert!(pool.persist().is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! The byte-addressed memory abstraction structures are written against.
+//!
+//! [`MemSpace`] is deliberately minimal: read bytes, write bytes, report
+//! capacity. Data-structure code written against it contains *no* logging,
+//! flushing, or ordering calls — it is volatile-style code. What makes it
+//! persistent is solely which space it runs on:
+//!
+//! * [`VolatileSpace`] — plain memory; the structure is an ordinary
+//!   volatile structure (the "DRAM" bar in the paper's figures).
+//! * [`VPm`](crate::VPm) — the simulated host cache + PAX device; the
+//!   identical structure code becomes crash consistent.
+//!
+//! This is the Rust rendition of "existing volatile data structures can
+//! be transformed to be persistent without code changes" (§1): on stable
+//! Rust, std collections cannot take custom allocators, so the reusable
+//! unit is structure code parameterized by the space, exactly like C++
+//! STL structures parameterized by an allocator.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::PaxError;
+use crate::Result;
+
+/// A byte-addressed memory space (see module docs).
+///
+/// Implementations are cheap cloneable handles sharing the underlying
+/// memory, so a structure and its allocator can both hold the space.
+pub trait MemSpace: Clone {
+    /// Reads `buf.len()` bytes starting at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds reads and simulated crashes surface as [`PaxError`].
+    fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes `data` starting at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds writes and simulated crashes surface as [`PaxError`].
+    fn write_bytes(&self, addr: u64, data: &[u8]) -> Result<()>;
+
+    /// Total bytes in the space.
+    fn capacity_bytes(&self) -> u64;
+
+    /// Reads a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// See [`MemSpace::read_bytes`].
+    fn read_u64(&self, addr: u64) -> Result<u64> {
+        let mut buf = [0u8; 8];
+        self.read_bytes(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u64` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// See [`MemSpace::write_bytes`].
+    fn write_u64(&self, addr: u64, value: u64) -> Result<()> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u32` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// See [`MemSpace::read_bytes`].
+    fn read_u32(&self, addr: u64) -> Result<u32> {
+        let mut buf = [0u8; 4];
+        self.read_bytes(addr, &mut buf)?;
+        Ok(u32::from_le_bytes(buf))
+    }
+
+    /// Writes a little-endian `u32` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// See [`MemSpace::write_bytes`].
+    fn write_u32(&self, addr: u64, value: u32) -> Result<()> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+}
+
+/// Plain volatile memory: the "DRAM" world.
+///
+/// # Example
+///
+/// ```
+/// use libpax::{MemSpace, VolatileSpace};
+///
+/// # fn main() -> libpax::Result<()> {
+/// let space = VolatileSpace::new(4096);
+/// space.write_u64(16, 0xDEAD_BEEF)?;
+/// assert_eq!(space.read_u64(16)?, 0xDEAD_BEEF);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct VolatileSpace {
+    bytes: Arc<Mutex<Vec<u8>>>,
+}
+
+impl VolatileSpace {
+    /// A zero-filled volatile space of `capacity_bytes`.
+    pub fn new(capacity_bytes: usize) -> Self {
+        VolatileSpace { bytes: Arc::new(Mutex::new(vec![0; capacity_bytes])) }
+    }
+
+    fn check(&self, addr: u64, len: usize) -> Result<()> {
+        let cap = self.capacity_bytes();
+        if addr.checked_add(len as u64).is_none_or(|end| end > cap) {
+            return Err(PaxError::OutOfMemory {
+                requested: addr.saturating_add(len as u64),
+                capacity: cap,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl MemSpace for VolatileSpace {
+    fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<()> {
+        self.check(addr, buf.len())?;
+        let bytes = self.bytes.lock();
+        buf.copy_from_slice(&bytes[addr as usize..addr as usize + buf.len()]);
+        Ok(())
+    }
+
+    fn write_bytes(&self, addr: u64, data: &[u8]) -> Result<()> {
+        self.check(addr, data.len())?;
+        let mut bytes = self.bytes.lock();
+        bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.bytes.lock().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_bytes_and_ints() {
+        let s = VolatileSpace::new(128);
+        s.write_bytes(0, &[1, 2, 3]).unwrap();
+        let mut buf = [0u8; 3];
+        s.read_bytes(0, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3]);
+        s.write_u32(64, 7).unwrap();
+        assert_eq!(s.read_u32(64).unwrap(), 7);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let s = VolatileSpace::new(16);
+        assert!(s.write_u64(9, 1).is_err());
+        assert!(s.write_u64(8, 1).is_ok());
+        let mut buf = [0u8; 17];
+        assert!(s.read_bytes(0, &mut buf).is_err());
+        // Overflow-safe bounds check.
+        assert!(s.read_u64(u64::MAX - 3).is_err());
+    }
+
+    #[test]
+    fn clones_share_memory() {
+        let a = VolatileSpace::new(64);
+        let b = a.clone();
+        a.write_u64(0, 42).unwrap();
+        assert_eq!(b.read_u64(0).unwrap(), 42);
+    }
+}

@@ -1,0 +1,194 @@
+//! Latency- and traffic-accounted FIFO channels.
+//!
+//! The paper's software prototype (§4) carries simulated CXL messages over
+//! shared-memory queues ("easily 100 ns or less"); a hardware PAX carries
+//! them over the link's request/response channels. [`Channel`] models
+//! either: a FIFO with a per-message latency attribute and cumulative
+//! traffic statistics that the timing models consume. [`Transport`] pairs
+//! the four channels of a CXL.cache endpoint.
+
+use std::collections::VecDeque;
+
+use crate::message::{D2HReq, D2HResp, H2DReq, H2DResp};
+
+/// Cumulative traffic counters for one channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages enqueued over the channel's lifetime.
+    pub messages: u64,
+    /// Payload bytes (64 per message that carries a line).
+    pub data_bytes: u64,
+}
+
+/// A FIFO message channel with a fixed per-message latency.
+///
+/// # Example
+///
+/// ```
+/// use pax_cxl::Channel;
+///
+/// let mut ch: Channel<u32> = Channel::new(100);
+/// ch.push(1);
+/// ch.push(2);
+/// assert_eq!(ch.pop(), Some(1));
+/// assert_eq!(ch.stats().messages, 2);
+/// assert_eq!(ch.latency_ns(), 100);
+/// ```
+#[derive(Debug)]
+pub struct Channel<T> {
+    queue: VecDeque<T>,
+    latency_ns: u64,
+    stats: ChannelStats,
+}
+
+impl<T> Channel<T> {
+    /// Creates an empty channel whose messages take `latency_ns` to cross.
+    pub fn new(latency_ns: u64) -> Self {
+        Channel { queue: VecDeque::new(), latency_ns, stats: ChannelStats::default() }
+    }
+
+    /// Per-message one-way latency.
+    pub fn latency_ns(&self) -> u64 {
+        self.latency_ns
+    }
+
+    /// Enqueues a message.
+    pub fn push(&mut self, msg: T) {
+        self.stats.messages += 1;
+        self.queue.push_back(msg);
+    }
+
+    /// Enqueues a message that carries a 64-byte line payload.
+    pub fn push_with_data(&mut self, msg: T) {
+        self.stats.data_bytes += pax_pm::LINE_SIZE as u64;
+        self.push(msg);
+    }
+
+    /// Dequeues the oldest message.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Messages currently in flight.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the channel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Cumulative traffic statistics.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Drops any in-flight messages (power loss: link state is volatile).
+    pub fn crash(&mut self) {
+        self.queue.clear();
+    }
+}
+
+/// The four channels of a CXL.cache endpoint, host side on the left.
+#[derive(Debug)]
+pub struct Transport {
+    /// Host→device requests (RdShared/RdOwn/evicts).
+    pub h2d_req: Channel<H2DReq>,
+    /// Device→host responses (GO/data).
+    pub d2h_resp: Channel<D2HResp>,
+    /// Device→host snoops (SnpData/SnpInv).
+    pub d2h_req: Channel<D2HReq>,
+    /// Host→device snoop responses.
+    pub h2d_resp: Channel<H2DResp>,
+}
+
+impl Transport {
+    /// A transport whose channels all have the same one-way latency.
+    pub fn new(latency_ns: u64) -> Self {
+        Transport {
+            h2d_req: Channel::new(latency_ns),
+            d2h_resp: Channel::new(latency_ns),
+            d2h_req: Channel::new(latency_ns),
+            h2d_resp: Channel::new(latency_ns),
+        }
+    }
+
+    /// Round-trip request latency (request + response crossing).
+    pub fn round_trip_ns(&self) -> u64 {
+        self.h2d_req.latency_ns() + self.d2h_resp.latency_ns()
+    }
+
+    /// Total messages across all four channels.
+    pub fn total_messages(&self) -> u64 {
+        self.h2d_req.stats().messages
+            + self.d2h_resp.stats().messages
+            + self.d2h_req.stats().messages
+            + self.h2d_resp.stats().messages
+    }
+
+    /// Total line-payload bytes moved in either direction.
+    pub fn total_data_bytes(&self) -> u64 {
+        self.h2d_req.stats().data_bytes
+            + self.d2h_resp.stats().data_bytes
+            + self.d2h_req.stats().data_bytes
+            + self.h2d_resp.stats().data_bytes
+    }
+
+    /// Drops all in-flight messages.
+    pub fn crash(&mut self) {
+        self.h2d_req.crash();
+        self.d2h_resp.crash();
+        self.d2h_req.crash();
+        self.h2d_resp.crash();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_pm::{CacheLine, LineAddr};
+
+    #[test]
+    fn fifo_order() {
+        let mut ch: Channel<u8> = Channel::new(10);
+        for i in 0..5 {
+            ch.push(i);
+        }
+        for i in 0..5 {
+            assert_eq!(ch.pop(), Some(i));
+        }
+        assert_eq!(ch.pop(), None);
+    }
+
+    #[test]
+    fn data_bytes_counted_only_with_payload() {
+        let mut ch: Channel<H2DReq> = Channel::new(10);
+        ch.push(H2DReq::RdOwn { addr: LineAddr(0) });
+        ch.push_with_data(H2DReq::DirtyEvict { addr: LineAddr(0), data: CacheLine::zeroed() });
+        assert_eq!(ch.stats().messages, 2);
+        assert_eq!(ch.stats().data_bytes, 64);
+    }
+
+    #[test]
+    fn crash_drops_in_flight_but_keeps_stats() {
+        let mut ch: Channel<u8> = Channel::new(10);
+        ch.push(1);
+        ch.crash();
+        assert!(ch.is_empty());
+        assert_eq!(ch.stats().messages, 1);
+    }
+
+    #[test]
+    fn transport_round_trip_and_totals() {
+        let mut t = Transport::new(35);
+        assert_eq!(t.round_trip_ns(), 70);
+        t.h2d_req.push(H2DReq::RdShared { addr: LineAddr(1) });
+        t.d2h_resp
+            .push_with_data(D2HResp::GoData { addr: LineAddr(1), data: CacheLine::zeroed() });
+        assert_eq!(t.total_messages(), 2);
+        assert_eq!(t.total_data_bytes(), 64);
+        t.crash();
+        assert!(t.h2d_req.is_empty() && t.d2h_resp.is_empty());
+    }
+}

@@ -1,0 +1,106 @@
+//! A simplified Enzian ECI message set.
+//!
+//! Enzian exposes the ThunderX-1's native cache-coherence bus to the FPGA
+//! (§4): "the coherence messages observed by the FPGA are at a lower level
+//! than what a CXL-enabled device would receive, and they are tightly
+//! coupled to the ThunderX's microarchitecture". This module models that
+//! lower level with a representative message set: the CXL-equivalent
+//! events are present under microarchitectural names, interleaved with
+//! traffic a CXL device would never see (prefetches, speculative probes,
+//! DVM/TLB maintenance). The [`EnzianAdapter`](crate::EnzianAdapter)
+//! filters and translates this stream to CXL semantics.
+
+use pax_pm::{CacheLine, LineAddr};
+
+/// A coherence-bus message as the Enzian FPGA observes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EciMsg {
+    /// A core's load missed; the line is requested in shared state.
+    LoadMiss {
+        /// The requested line.
+        addr: LineAddr,
+    },
+    /// A core requests exclusive ownership to store.
+    StoreMiss {
+        /// The line to be modified.
+        addr: LineAddr,
+    },
+    /// A shared line is upgraded to exclusive in place.
+    UpgradeReq {
+        /// The line being upgraded.
+        addr: LineAddr,
+    },
+    /// An L2 victim with unmodified contents.
+    VictimClean {
+        /// The line being dropped.
+        addr: LineAddr,
+    },
+    /// An L2 victim with modified contents.
+    VictimDirty {
+        /// The line being written back.
+        addr: LineAddr,
+        /// Its contents.
+        data: CacheLine,
+    },
+    /// Hardware prefetch probe — microarchitectural noise with no CXL
+    /// equivalent; must not trigger undo logging.
+    PrefetchProbe {
+        /// The probed line.
+        addr: LineAddr,
+    },
+    /// Speculative read issued and later squashed — also noise.
+    SpeculativeRead {
+        /// The speculated line.
+        addr: LineAddr,
+    },
+    /// TLB/DVM maintenance broadcast; not a data-line event at all.
+    DvmOp,
+}
+
+impl EciMsg {
+    /// The line this message concerns, if it concerns one.
+    pub fn addr(&self) -> Option<LineAddr> {
+        match self {
+            EciMsg::LoadMiss { addr }
+            | EciMsg::StoreMiss { addr }
+            | EciMsg::UpgradeReq { addr }
+            | EciMsg::VictimClean { addr }
+            | EciMsg::VictimDirty { addr, .. }
+            | EciMsg::PrefetchProbe { addr }
+            | EciMsg::SpeculativeRead { addr } => Some(*addr),
+            EciMsg::DvmOp => None,
+        }
+    }
+
+    /// Whether a CXL.cache device would observe an equivalent event.
+    pub fn has_cxl_equivalent(&self) -> bool {
+        matches!(
+            self,
+            EciMsg::LoadMiss { .. }
+                | EciMsg::StoreMiss { .. }
+                | EciMsg::UpgradeReq { .. }
+                | EciMsg::VictimClean { .. }
+                | EciMsg::VictimDirty { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_messages_have_no_cxl_equivalent() {
+        assert!(!EciMsg::PrefetchProbe { addr: LineAddr(0) }.has_cxl_equivalent());
+        assert!(!EciMsg::SpeculativeRead { addr: LineAddr(0) }.has_cxl_equivalent());
+        assert!(!EciMsg::DvmOp.has_cxl_equivalent());
+        assert!(EciMsg::StoreMiss { addr: LineAddr(0) }.has_cxl_equivalent());
+    }
+
+    #[test]
+    fn dvm_has_no_addr() {
+        assert_eq!(EciMsg::DvmOp.addr(), None);
+        assert_eq!(EciMsg::LoadMiss { addr: LineAddr(3) }.addr(), Some(LineAddr(3)));
+    }
+}

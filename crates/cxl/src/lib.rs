@@ -1,0 +1,36 @@
+//! CXL.cache protocol model for the PAX reproduction.
+//!
+//! PAX (§4) interposes on the coherence messages a CXL 2.0 device receives
+//! as the home agent of the vPM range. This crate models that protocol
+//! surface:
+//!
+//! * [`message`] — the message vocabulary, named after CXL 2.0 §3.2
+//!   opcodes: host→device requests (`RdShared`, `RdOwn`, `CleanEvict`,
+//!   `DirtyEvict`), device→host snoops (`SnpData`, `SnpInv`), and their
+//!   responses.
+//! * [`channel`] — FIFO channels with latency/traffic accounting, modelling
+//!   the shared-memory queues of the paper's software prototype (§4) as
+//!   well as a real link's request/response channels.
+//! * [`eci`] — a simplified rendition of Enzian's lower-level,
+//!   ThunderX-coupled coherence messages.
+//! * [`adapter`] — the paper's "adapter layer": translates platform-native
+//!   messages to CXL semantics so the device logic is portable
+//!   ([`CxlNative`], [`EnzianAdapter`]), with a [`Capability`] lattice for
+//!   the §6 CXL.mem < CXL.cache < Enzian visibility comparison.
+//! * [`link`] — PCIe 5.0 / PM bandwidth model for the §5.1 bottleneck
+//!   analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod channel;
+pub mod eci;
+pub mod link;
+pub mod message;
+
+pub use adapter::{Capability, CoherenceAdapter, CxlNative, EnzianAdapter};
+pub use channel::{Channel, ChannelStats, Transport};
+pub use eci::EciMsg;
+pub use link::{BottleneckReport, LinkModel, Resource};
+pub use message::{D2HReq, D2HResp, H2DReq, H2DResp};

@@ -1,0 +1,913 @@
+//! The PAX device proper (§3).
+//!
+//! [`PaxDevice`] is the home agent for a pool's vPM range. It receives the
+//! host's coherence requests (it implements
+//! [`HomeAgent`], the synchronous rendition of the
+//! CXL.cache H2D channel), performs asynchronous undo logging on ownership
+//! requests, buffers and writes back modified lines, and implements the
+//! `persist()` epoch protocol and post-crash recovery.
+//!
+//! All addresses at this interface are **vPM line offsets** (0-based within
+//! the pool's data region); the device translates them to pool-absolute
+//! lines internally — mirroring how a real PAX owns the physical range it
+//! exposes.
+
+use std::collections::{HashMap, VecDeque};
+
+use pax_cache::{HomeAgent, HostSnoop};
+use pax_pm::{
+    CacheLine, CrashClock, CrashOutcome, LineAddr, PmError, PmPool, Result,
+};
+
+use crate::hbm::{HbmCache, HbmConfig, HbmLine};
+use crate::metrics::DeviceMetrics;
+use crate::recovery::{recover, RecoveryReport};
+use crate::undo_log::{UndoEntry, UndoLog};
+
+/// Tuning knobs for a [`PaxDevice`].
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceConfig {
+    /// HBM buffer geometry and eviction policy.
+    pub hbm: HbmConfig,
+    /// Undo-log entries drained per pump — the background rate of the
+    /// device's asynchronous logging engine.
+    pub log_pump_batch: usize,
+    /// Pump once every this many host requests (1 = every request).
+    /// Larger intervals model a logging engine that lags bursts, which is
+    /// when the HBM eviction policy starts to matter (§3.3).
+    pub log_pump_interval: usize,
+    /// Dirty-durable lines written back per host request (§3.3's
+    /// proactive write back); 0 disables background write back.
+    pub writeback_batch: usize,
+    /// Whether `RdShared` responses are cached in HBM.
+    pub cache_clean_reads: bool,
+}
+
+impl DeviceConfig {
+    /// Returns the config with a different HBM configuration.
+    pub fn with_hbm(mut self, hbm: HbmConfig) -> Self {
+        self.hbm = hbm;
+        self
+    }
+
+    /// Returns the config with a different log pump batch.
+    pub fn with_log_pump_batch(mut self, n: usize) -> Self {
+        self.log_pump_batch = n;
+        self
+    }
+
+    /// Returns the config with a different log pump interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_log_pump_interval(mut self, n: usize) -> Self {
+        assert!(n > 0, "pump interval must be at least 1");
+        self.log_pump_interval = n;
+        self
+    }
+
+    /// Returns the config with a different background write-back batch.
+    pub fn with_writeback_batch(mut self, n: usize) -> Self {
+        self.writeback_batch = n;
+        self
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            hbm: HbmConfig::default_config(),
+            log_pump_batch: 2,
+            log_pump_interval: 1,
+            writeback_batch: 1,
+            cache_clean_reads: true,
+        }
+    }
+}
+
+/// In-flight state of a non-blocking persist (§6 "make persist() fully
+/// non-blocking, so that epochs overlap").
+#[derive(Debug)]
+struct DrainState {
+    /// The epoch being made durable.
+    epoch: u64,
+    /// Lines still to be written to PM, in log-offset order.
+    queue: VecDeque<LineAddr>,
+    /// The epoch-final value of each queued line. Also consulted by
+    /// `resolve`, because these values are newer than PM until written.
+    values: HashMap<LineAddr, CacheLine>,
+    /// Log offset (exclusive) that must be durable before writes proceed.
+    flush_to: u64,
+}
+
+/// The PAX persistence accelerator (see module docs).
+#[derive(Debug)]
+pub struct PaxDevice {
+    pool: PmPool,
+    log: UndoLog,
+    hbm: HbmCache,
+    clock: CrashClock,
+    config: DeviceConfig,
+    /// The epoch currently being built (= committed epoch + 1).
+    current_epoch: u64,
+    /// vPM lines undo-logged this epoch → their log entry offset.
+    epoch_log: HashMap<LineAddr, u64>,
+    /// Dirty lines awaiting opportunistic write back, oldest first.
+    writeback_queue: VecDeque<LineAddr>,
+    /// A previous epoch still being made durable (non-blocking persist).
+    draining: Option<DrainState>,
+    /// Host requests seen since the last background pump.
+    requests_since_pump: usize,
+    metrics: DeviceMetrics,
+    /// Recovery performed when the device was opened.
+    recovery: RecoveryReport,
+}
+
+impl PaxDevice {
+    /// Opens a device over `pool`, running §3.4 recovery first: any undo
+    /// entries newer than the pool's committed epoch are rolled back, so
+    /// the application always observes the last persisted snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces media errors from the recovery scan/rollback.
+    pub fn open(mut pool: PmPool, config: DeviceConfig) -> Result<Self> {
+        let recovery = recover(&mut pool)?;
+        let current_epoch = recovery.committed_epoch + 1;
+        let log = UndoLog::new(&pool);
+        Ok(PaxDevice {
+            hbm: HbmCache::new(config.hbm),
+            log,
+            pool,
+            clock: CrashClock::new(),
+            config,
+            current_epoch,
+            epoch_log: HashMap::new(),
+            writeback_queue: VecDeque::new(),
+            draining: None,
+            requests_since_pump: 0,
+            metrics: DeviceMetrics::default(),
+            recovery,
+        })
+    }
+
+    /// The recovery report from when this device was opened.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// The epoch currently being built.
+    pub fn current_epoch(&self) -> u64 {
+        self.current_epoch
+    }
+
+    /// The committed (recovery-point) epoch.
+    pub fn committed_epoch(&mut self) -> Result<u64> {
+        self.pool.committed_epoch()
+    }
+
+    /// Cumulative event counters.
+    pub fn metrics(&self) -> DeviceMetrics {
+        self.metrics
+    }
+
+    /// Undo-log entries appended in the current epoch.
+    pub fn epoch_log_len(&self) -> usize {
+        self.epoch_log.len()
+    }
+
+    /// The undo log's durable watermark (entries).
+    pub fn log_durable_offset(&self) -> u64 {
+        self.log.durable_offset()
+    }
+
+    /// A handle to the crash clock shared with this device; arm it to cut
+    /// power at an exact durable-write step.
+    pub fn crash_clock(&self) -> CrashClock {
+        self.clock.clone()
+    }
+
+    /// HBM read hit rate so far.
+    pub fn hbm_hit_rate(&self) -> f64 {
+        self.hbm.hit_rate()
+    }
+
+    /// Read-only view of the pool (tests assert on durable state).
+    pub fn pool(&self) -> &PmPool {
+        &self.pool
+    }
+
+    /// Simulates device power loss and returns the pool in its
+    /// post-crash durable state, consuming the device. Volatile device
+    /// state (HBM, pending log appends, epoch tracking) is lost.
+    pub fn crash_into_pool(mut self) -> PmPool {
+        self.hbm.crash();
+        self.log.crash();
+        self.draining = None;
+        self.epoch_log.clear();
+        self.pool.crash();
+        self.pool
+    }
+
+    /// Saves the pool's durable state to `path` (see
+    /// [`PmPool::save`]); non-durable writes are excluded, so the file
+    /// models what a reboot would find.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O errors.
+    pub fn save(&mut self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        self.pool.save(path)
+    }
+
+    /// Gracefully detaches, returning the pool *without* simulating a
+    /// crash (durable state only; equivalent to crash for PAX since
+    /// consistency never depends on a clean shutdown).
+    pub fn into_pool(self) -> PmPool {
+        self.pool
+    }
+
+    fn vpm_to_pool(&self, vpm: LineAddr) -> Result<LineAddr> {
+        self.pool.layout().vpm_to_pool(vpm.0)
+    }
+
+    /// The device's view of the current contents of `vpm` line: HBM first,
+    /// then PM.
+    fn resolve(&mut self, addr: LineAddr) -> Result<CacheLine> {
+        if let Some(l) = self.hbm.lookup(addr) {
+            self.metrics.hbm_read_hits += 1;
+            return Ok(l.data.clone());
+        }
+        // A draining epoch's final values are newer than PM until their
+        // write back lands.
+        if let Some(ds) = &self.draining {
+            if let Some(data) = ds.values.get(&addr) {
+                return Ok(data.clone());
+            }
+        }
+        let abs = self.vpm_to_pool(addr)?;
+        self.metrics.pm_reads += 1;
+        let data = self.pool.read_line(abs)?;
+        if self.config.cache_clean_reads {
+            let victim = self.hbm.insert(
+                addr,
+                HbmLine { data: data.clone(), dirty: false, log_offset: None },
+                self.log.durable_offset(),
+            );
+            if let Some((vaddr, vline)) = victim {
+                self.dispose_victim(vaddr, vline)?;
+            }
+        }
+        Ok(data)
+    }
+
+    /// Writes an HBM eviction victim back to PM if dirty, stalling for a
+    /// log flush when its undo entry is not yet durable.
+    fn dispose_victim(&mut self, addr: LineAddr, line: HbmLine) -> Result<()> {
+        if !line.dirty {
+            return Ok(());
+        }
+        if let Some(offset) = line.log_offset {
+            if offset >= self.log.durable_offset() {
+                // §3.3: the victim's pre-image must be durable before the
+                // new value may reach PM. This is the stall PreferDurable
+                // eviction avoids.
+                self.metrics.forced_log_flushes += 1;
+                while self.log.durable_offset() <= offset {
+                    self.log.pump(&mut self.pool, &self.clock, 1)?;
+                }
+            }
+        }
+        let abs = self.vpm_to_pool(addr)?;
+        self.tick()?;
+        self.pool.write_line(abs, line.data)?;
+        self.metrics.device_writebacks += 1;
+        Ok(())
+    }
+
+    fn tick(&mut self) -> Result<()> {
+        if self.clock.tick() == CrashOutcome::Crashed {
+            self.pool.crash();
+            return Err(PmError::Crashed);
+        }
+        Ok(())
+    }
+
+    /// One background step: drain some log entries and opportunistically
+    /// write back dirty lines whose entries are durable. Runs on every
+    /// host request, modelling the device's free-running engines.
+    fn background(&mut self) -> Result<()> {
+        self.requests_since_pump += 1;
+        if self.requests_since_pump < self.config.log_pump_interval {
+            return Ok(());
+        }
+        self.requests_since_pump = 0;
+        self.persist_poll()?;
+        self.log.pump(&mut self.pool, &self.clock, self.config.log_pump_batch)?;
+        let mut budget = self.config.writeback_batch;
+        while budget > 0 {
+            let Some(&addr) = self.writeback_queue.front() else { break };
+            let durable = self.log.durable_offset();
+            let ready = match self.hbm.peek(addr) {
+                Some(l) if l.dirty => l.log_offset.is_none_or(|o| o < durable),
+                // Cleaned or evicted through another path; just drop it.
+                _ => {
+                    self.writeback_queue.pop_front();
+                    continue;
+                }
+            };
+            if !ready {
+                break; // queue is in log order; later entries aren't durable either
+            }
+            self.writeback_queue.pop_front();
+            if let Some(mut line) = self.hbm.remove(addr) {
+                let data = line.data.clone();
+                line.dirty = false;
+                line.log_offset = None;
+                self.hbm.insert(addr, line, durable);
+                let abs = self.vpm_to_pool(addr)?;
+                self.tick()?;
+                self.pool.write_line(abs, data)?;
+                self.metrics.device_writebacks += 1;
+                self.metrics.background_writebacks += 1;
+            }
+            budget -= 1;
+        }
+        Ok(())
+    }
+
+    /// Undo-logs `addr` if this is its first modification of the epoch,
+    /// returning the covering log offset.
+    fn log_if_first(&mut self, addr: LineAddr, old: &CacheLine) -> Result<u64> {
+        if let Some(&off) = self.epoch_log.get(&addr) {
+            return Ok(off);
+        }
+        let offset = self.log.append(UndoEntry {
+            epoch: self.current_epoch,
+            vpm_line: addr,
+            old: old.clone(),
+        })?;
+        self.epoch_log.insert(addr, offset);
+        self.metrics.undo_entries += 1;
+        Ok(offset)
+    }
+
+    /// Ends the current epoch: makes a crash-consistent snapshot durable
+    /// and returns the committed epoch number (§3.3).
+    ///
+    /// Steps, in order: (1) drain the undo log; (2) for every line logged
+    /// this epoch, send a `SnpData` snoop to the host cache, which
+    /// downgrades the line and forwards its current value; (3) write every
+    /// modified line back to PM; (4) drain PM; (5) atomically commit the
+    /// epoch number in the pool header.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Crashed`] when the crash clock fires mid-epoch
+    /// — recovery will roll the epoch back — and media errors.
+    pub fn persist(&mut self, cache: &mut impl HostSnoop) -> Result<u64> {
+        // (0) A non-blocking persist may still be draining; epochs commit
+        // in order.
+        self.persist_wait()?;
+        // (1) All pre-images durable before any further write back.
+        self.log.flush(&mut self.pool, &self.clock)?;
+
+        // (2)+(3) Iterate logged lines in log order (§3.3 "iterating
+        // through each undo log entry as it persists").
+        let mut logged: Vec<(u64, LineAddr)> =
+            self.epoch_log.iter().map(|(a, o)| (*o, *a)).collect();
+        logged.sort_unstable();
+        for (_offset, addr) in logged {
+            self.metrics.snoops_sent += 1;
+            let host_data = cache.snoop_shared(addr);
+            let data = match host_data {
+                Some(d) => {
+                    self.metrics.snoop_data_returned += 1;
+                    // Refresh the HBM copy so post-persist reads hit.
+                    let durable = self.log.durable_offset();
+                    let victim = self.hbm.insert(
+                        addr,
+                        HbmLine { data: d.clone(), dirty: false, log_offset: None },
+                        durable,
+                    );
+                    if let Some((vaddr, vline)) = victim {
+                        self.dispose_victim(vaddr, vline)?;
+                    }
+                    Some(d)
+                }
+                None => self.hbm.peek(addr).filter(|l| l.dirty).map(|l| l.data.clone()),
+            };
+            if let Some(d) = data {
+                let abs = self.vpm_to_pool(addr)?;
+                self.tick()?;
+                self.pool.write_line(abs, d)?;
+                self.metrics.device_writebacks += 1;
+                if let Some(mut line) = self.hbm.remove(addr) {
+                    line.dirty = false;
+                    line.log_offset = None;
+                    let durable = self.log.durable_offset();
+                    self.hbm.insert(addr, line, durable);
+                }
+            }
+            // Lines with no host data and no dirty HBM copy were already
+            // written back by the eviction/background paths.
+        }
+
+        // (4) Everything reaches media before the commit record.
+        self.pool.drain();
+
+        // (5) The atomic epoch commit.
+        self.tick()?;
+        let committed = self.current_epoch;
+        self.pool.commit_epoch(committed)?;
+
+        self.epoch_log.clear();
+        self.writeback_queue.clear();
+        self.log.reset_after_commit();
+        self.current_epoch = committed + 1;
+        self.metrics.persists += 1;
+        Ok(committed)
+    }
+
+    /// Ends the epoch using **CLWB-style forced flushes** instead of
+    /// device snoops — the alternative §4 argues against: "this is more
+    /// efficient than forcing CPUs to issue CLWBs which are serialized,
+    /// consume cycles, and cause complete evictions of cache lines and
+    /// future cache misses".
+    ///
+    /// For every logged line the host cache is made to *invalidate and
+    /// write back* its copy (the classic CLWB-without-downgrade
+    /// behaviour), so post-persist accesses miss — the `ablation_clwb`
+    /// bench quantifies the cache-warmth difference against the
+    /// snoop-based [`PaxDevice::persist`].
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Crashed`] and media errors.
+    pub fn persist_clwb(&mut self, cache: &mut impl HostSnoop) -> Result<u64> {
+        self.persist_wait()?;
+        self.log.flush(&mut self.pool, &self.clock)?;
+
+        let mut logged: Vec<(u64, LineAddr)> =
+            self.epoch_log.iter().map(|(a, o)| (*o, *a)).collect();
+        logged.sort_unstable();
+        for (_offset, addr) in logged {
+            // CLWB semantics: full eviction from host caches; dirty data
+            // comes back to the device, the line does NOT stay cached.
+            let host_data = cache.snoop_invalidate(addr);
+            let data = match host_data {
+                Some(d) => Some(d),
+                None => self.hbm.peek(addr).filter(|l| l.dirty).map(|l| l.data.clone()),
+            };
+            if let Some(d) = data {
+                let abs = self.vpm_to_pool(addr)?;
+                self.tick()?;
+                self.pool.write_line(abs, d.clone())?;
+                self.metrics.device_writebacks += 1;
+            }
+            if let Some(mut line) = self.hbm.remove(addr) {
+                line.dirty = false;
+                line.log_offset = None;
+                let durable = self.log.durable_offset();
+                self.hbm.insert(addr, line, durable);
+            }
+        }
+
+        self.pool.drain();
+        self.tick()?;
+        let committed = self.current_epoch;
+        self.pool.commit_epoch(committed)?;
+        self.epoch_log.clear();
+        self.writeback_queue.clear();
+        self.log.reset_after_commit();
+        self.current_epoch = committed + 1;
+        self.metrics.persists += 1;
+        Ok(committed)
+    }
+
+    /// Begins a **non-blocking** persist (§6): captures the current
+    /// epoch's modified lines (snooping the host cache once, as the
+    /// synchronous protocol does) and returns immediately with the epoch
+    /// number now draining. The application continues in the next epoch
+    /// while the device flushes the log, writes lines back, and commits in
+    /// the background ([`PaxDevice::persist_poll`] advances it; ordinary
+    /// host requests advance it too).
+    ///
+    /// Durability is only guaranteed once the epoch *commits* —
+    /// [`PaxDevice::persist_poll`] returns it, or
+    /// [`PaxDevice::persist_wait`] blocks for it. A crash before commit
+    /// recovers to the previous epoch.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Crashed`] and media errors. If an earlier
+    /// non-blocking persist is still draining it is completed first
+    /// (epochs commit in order).
+    pub fn persist_async(&mut self, cache: &mut impl HostSnoop) -> Result<u64> {
+        self.persist_wait()?;
+
+        let mut logged: Vec<(u64, LineAddr)> =
+            self.epoch_log.iter().map(|(a, o)| (*o, *a)).collect();
+        logged.sort_unstable();
+        let flush_to = logged.last().map_or(0, |(o, _)| o + 1);
+
+        let mut queue = VecDeque::with_capacity(logged.len());
+        let mut values = HashMap::with_capacity(logged.len());
+        for (_offset, addr) in logged {
+            self.metrics.snoops_sent += 1;
+            let data = match cache.snoop_shared(addr) {
+                Some(d) => {
+                    self.metrics.snoop_data_returned += 1;
+                    let durable = self.log.durable_offset();
+                    let victim = self.hbm.insert(
+                        addr,
+                        HbmLine { data: d.clone(), dirty: false, log_offset: None },
+                        durable,
+                    );
+                    if let Some((vaddr, vline)) = victim {
+                        self.dispose_victim(vaddr, vline)?;
+                    }
+                    Some(d)
+                }
+                None => match self.hbm.peek(addr) {
+                    Some(l) if l.dirty => {
+                        let d = l.data.clone();
+                        if let Some(mut line) = self.hbm.remove(addr) {
+                            line.dirty = false;
+                            line.log_offset = None;
+                            let durable = self.log.durable_offset();
+                            self.hbm.insert(addr, line, durable);
+                        }
+                        Some(d)
+                    }
+                    // Already written back during the epoch; PM is current.
+                    _ => None,
+                },
+            };
+            if let Some(d) = data {
+                queue.push_back(addr);
+                values.insert(addr, d);
+            }
+        }
+
+        let epoch = self.current_epoch;
+        self.draining = Some(DrainState { epoch, queue, values, flush_to });
+        self.epoch_log.clear();
+        self.writeback_queue.clear();
+        self.current_epoch = epoch + 1;
+        Ok(epoch)
+    }
+
+    /// Advances an in-flight non-blocking persist by a bounded amount.
+    /// Returns `Some(epoch)` the moment that epoch durably commits,
+    /// `None` while still draining or when nothing is draining.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Crashed`] and media errors.
+    pub fn persist_poll(&mut self) -> Result<Option<u64>> {
+        let Some(flush_to) = self.draining.as_ref().map(|d| d.flush_to) else {
+            return Ok(None);
+        };
+        // Phase 1: the epoch's undo entries must be durable first.
+        if self.log.durable_offset() < flush_to {
+            self.log.pump(&mut self.pool, &self.clock, self.config.log_pump_batch.max(1))?;
+            if self.log.durable_offset() < flush_to {
+                return Ok(None);
+            }
+        }
+        // Phase 2: write back a few lines per poll.
+        for _ in 0..4 {
+            let Some(ds) = self.draining.as_mut() else { break };
+            let Some(addr) = ds.queue.pop_front() else { break };
+            // Lines resolved early (dirty_evict ordering) have no value.
+            let Some(data) = ds.values.remove(&addr) else { continue };
+            if self.clock.tick() == CrashOutcome::Crashed {
+                self.pool.crash();
+                return Err(PmError::Crashed);
+            }
+            let abs = self.pool.layout().vpm_to_pool(addr.0)?;
+            self.pool.write_line(abs, data)?;
+            self.metrics.device_writebacks += 1;
+        }
+        // Phase 3: commit once everything landed.
+        let done = self.draining.as_ref().is_some_and(|d| d.queue.is_empty());
+        if done {
+            let epoch = self.draining.as_ref().expect("checked").epoch;
+            self.pool.drain();
+            if self.clock.tick() == CrashOutcome::Crashed {
+                self.pool.crash();
+                return Err(PmError::Crashed);
+            }
+            self.pool.commit_epoch(epoch)?;
+            self.draining = None;
+            self.metrics.persists += 1;
+            // The log region can only be recycled when it holds nothing
+            // from the (already running) next epoch.
+            if self.epoch_log.is_empty() && self.log.pending_len() == 0 {
+                self.log.reset_after_commit();
+            }
+            return Ok(Some(epoch));
+        }
+        Ok(None)
+    }
+
+    /// Completes any in-flight non-blocking persist.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Crashed`] and media errors.
+    pub fn persist_wait(&mut self) -> Result<()> {
+        while self.draining.is_some() {
+            self.persist_poll()?;
+        }
+        Ok(())
+    }
+
+    /// The epoch currently draining from a non-blocking persist, if any.
+    pub fn persist_pending(&self) -> Option<u64> {
+        self.draining.as_ref().map(|d| d.epoch)
+    }
+
+    /// Writes the draining epoch's value for `addr` to PM immediately, if
+    /// one is pending — called before a newer value for the same line can
+    /// be buffered, preserving write-back order across epochs.
+    fn drain_one_line_now(&mut self, addr: LineAddr) -> Result<()> {
+        let Some(ds) = self.draining.as_mut() else {
+            return Ok(());
+        };
+        let Some(data) = ds.values.remove(&addr) else {
+            return Ok(());
+        };
+        let flush_to = ds.flush_to;
+        while self.log.durable_offset() < flush_to {
+            self.metrics.forced_log_flushes += 1;
+            self.log.pump(&mut self.pool, &self.clock, usize::MAX)?;
+        }
+        if self.clock.tick() == CrashOutcome::Crashed {
+            self.pool.crash();
+            return Err(PmError::Crashed);
+        }
+        let abs = self.pool.layout().vpm_to_pool(addr.0)?;
+        self.pool.write_line(abs, data)?;
+        self.metrics.device_writebacks += 1;
+        Ok(())
+    }
+}
+
+impl HomeAgent for PaxDevice {
+    fn read_shared(&mut self, addr: LineAddr) -> Result<CacheLine> {
+        self.metrics.rd_shared += 1;
+        self.background()?;
+        self.resolve(addr)
+    }
+
+    fn read_own(&mut self, addr: LineAddr) -> Result<CacheLine> {
+        self.metrics.rd_own += 1;
+        self.background()?;
+        let old = self.resolve(addr)?;
+        // The paper's key move: log asynchronously and acknowledge the
+        // host immediately — no stall for durability here.
+        self.log_if_first(addr, &old)?;
+        Ok(old)
+    }
+
+    fn clean_evict(&mut self, _addr: LineAddr) {
+        self.metrics.clean_evicts += 1;
+    }
+
+    fn dirty_evict(&mut self, addr: LineAddr, data: CacheLine) -> Result<()> {
+        self.metrics.dirty_evicts += 1;
+        self.background()?;
+        // Ordering with a draining epoch: the previous epoch's value for
+        // this line must reach PM before any newer value can (otherwise a
+        // stale drain write could land on top of this epoch's write back).
+        self.drain_one_line_now(addr)?;
+        let offset = match self.epoch_log.get(&addr) {
+            Some(&o) => o,
+            None => {
+                // Protocol anomaly: an eviction for a line we never saw an
+                // ownership request for this epoch. The PM copy is still
+                // the epoch-start value (write back is log-gated), so log
+                // it now.
+                self.metrics.unlogged_dirty_evicts += 1;
+                let abs = self.vpm_to_pool(addr)?;
+                let old = self.pool.read_line(abs)?;
+                self.log_if_first(addr, &old)?
+            }
+        };
+        let durable = self.log.durable_offset();
+        let victim = self.hbm.insert(
+            addr,
+            HbmLine { data, dirty: true, log_offset: Some(offset) },
+            durable,
+        );
+        self.writeback_queue.push_back(addr);
+        if let Some((vaddr, vline)) = victim {
+            self.dispose_victim(vaddr, vline)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hbm::EvictionPolicy;
+    use pax_cache::{CacheConfig, CoherentCache};
+    use pax_pm::PoolConfig;
+
+    fn setup() -> (PaxDevice, CoherentCache) {
+        let pool = PmPool::create(PoolConfig::small()).unwrap();
+        let device = PaxDevice::open(pool, DeviceConfig::default()).unwrap();
+        let cache = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+        (device, cache)
+    }
+
+    #[test]
+    fn open_fresh_pool_starts_epoch_one() {
+        let (mut device, _) = setup();
+        assert_eq!(device.current_epoch(), 1);
+        assert_eq!(device.committed_epoch().unwrap(), 0);
+        assert_eq!(device.recovery_report().rolled_back, 0);
+    }
+
+    #[test]
+    fn store_triggers_exactly_one_undo_entry_per_epoch() {
+        let (mut device, mut cache) = setup();
+        let a = LineAddr(3);
+        cache.write(a, CacheLine::filled(1), &mut device).unwrap();
+        cache.write(a, CacheLine::filled(2), &mut device).unwrap(); // silent (M)
+        assert_eq!(device.metrics().rd_own, 1);
+        assert_eq!(device.metrics().undo_entries, 1);
+
+        device.persist(&mut cache).unwrap();
+        // Snoop downgraded the line; the next store re-announces.
+        cache.write(a, CacheLine::filled(3), &mut device).unwrap();
+        assert_eq!(device.metrics().rd_own, 2);
+        assert_eq!(device.metrics().undo_entries, 2);
+    }
+
+    #[test]
+    fn persist_commits_host_cached_values() {
+        let (mut device, mut cache) = setup();
+        let a = LineAddr(0);
+        cache.write(a, CacheLine::filled(0x77), &mut device).unwrap();
+        // Value only lives in the host cache; PM is still zero.
+        let epoch = device.persist(&mut cache).unwrap();
+        assert_eq!(epoch, 1);
+        let mut pool = device.crash_into_pool();
+        let abs = pool.layout().vpm_to_pool(0).unwrap();
+        assert_eq!(pool.read_line(abs).unwrap(), CacheLine::filled(0x77));
+        assert_eq!(pool.committed_epoch().unwrap(), 1);
+    }
+
+    #[test]
+    fn crash_before_persist_rolls_back_to_prior_epoch() {
+        let (mut device, mut cache) = setup();
+        let a = LineAddr(5);
+        cache.write(a, CacheLine::filled(1), &mut device).unwrap();
+        device.persist(&mut cache).unwrap(); // epoch 1: value 1
+
+        cache.write(a, CacheLine::filled(2), &mut device).unwrap();
+        // Force the new value to PM without persisting: evict the dirty
+        // host line, then drain background write back.
+        let evicted = cache.snoop_invalidate(a).unwrap();
+        device.dirty_evict(a, evicted).unwrap();
+        for _ in 0..64 {
+            device.read_shared(LineAddr(40)).unwrap(); // pump background
+        }
+        // Crash. Recovery must restore value 1 (the epoch-1 snapshot).
+        let pool = device.crash_into_pool();
+        let mut device = PaxDevice::open(pool, DeviceConfig::default()).unwrap();
+        assert!(device.recovery_report().rolled_back >= 1);
+        let mut cache2 = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+        assert_eq!(cache2.read(a, &mut device).unwrap(), CacheLine::filled(1));
+    }
+
+    #[test]
+    fn reads_hit_hbm_after_first_touch() {
+        let (mut device, mut cache) = setup();
+        cache.read(LineAddr(9), &mut device).unwrap();
+        cache.snoop_invalidate(LineAddr(9)); // force the host copy out
+        cache.read(LineAddr(9), &mut device).unwrap();
+        assert_eq!(device.metrics().rd_shared, 2);
+        assert!(device.metrics().hbm_read_hits >= 1);
+    }
+
+    #[test]
+    fn multiple_epochs_round_trip() {
+        let (mut device, mut cache) = setup();
+        for epoch in 1..=5u64 {
+            cache
+                .write(LineAddr(epoch), CacheLine::filled(epoch as u8), &mut device)
+                .unwrap();
+            assert_eq!(device.persist(&mut cache).unwrap(), epoch);
+        }
+        assert_eq!(device.committed_epoch().unwrap(), 5);
+        for epoch in 1..=5u64 {
+            assert_eq!(
+                cache.read(LineAddr(epoch), &mut device).unwrap(),
+                CacheLine::filled(epoch as u8)
+            );
+        }
+    }
+
+    #[test]
+    fn working_set_larger_than_hbm_still_persists() {
+        // §3.3 "No Working Set Size Limits": HBM of 8 lines, epoch touches
+        // 64 lines. Evictions must proactively write back without
+        // breaking the snapshot.
+        let pool = PmPool::create(PoolConfig::small()).unwrap();
+        let config = DeviceConfig::default().with_hbm(
+            HbmConfig { capacity_bytes: 8 * 64, ways: 2, policy: EvictionPolicy::PreferDurable },
+        );
+        let mut device = PaxDevice::open(pool, config).unwrap();
+        let mut cache = CoherentCache::new(CacheConfig::tiny(4 * 64, 2)); // tiny host cache too
+        for i in 0..64u64 {
+            cache.write(LineAddr(i), CacheLine::filled(i as u8), &mut device).unwrap();
+        }
+        device.persist(&mut cache).unwrap();
+        let mut pool = device.crash_into_pool();
+        for i in 0..64u64 {
+            let abs = pool.layout().vpm_to_pool(i).unwrap();
+            assert_eq!(pool.read_line(abs).unwrap(), CacheLine::filled(i as u8), "line {i}");
+        }
+    }
+
+    #[test]
+    fn unpersisted_epoch_is_invisible_after_crash() {
+        let (mut device, mut cache) = setup();
+        cache.write(LineAddr(1), CacheLine::filled(9), &mut device).unwrap();
+        // No persist: crash loses the host-cached value AND any partial
+        // device state; recovery sees epoch 0 (empty pool).
+        let pool = device.crash_into_pool();
+        let mut device = PaxDevice::open(pool, DeviceConfig::default()).unwrap();
+        let mut cache2 = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+        assert_eq!(cache2.read(LineAddr(1), &mut device).unwrap(), CacheLine::zeroed());
+    }
+
+    #[test]
+    fn crash_clock_mid_persist_keeps_old_snapshot() {
+        let (mut device, mut cache) = setup();
+        cache.write(LineAddr(2), CacheLine::filled(1), &mut device).unwrap();
+        device.persist(&mut cache).unwrap(); // epoch 1
+
+        for i in 0..8u64 {
+            cache.write(LineAddr(i), CacheLine::filled(0xEE), &mut device).unwrap();
+        }
+        // Arm the clock so persist crashes partway through write back.
+        device.crash_clock().arm(device.crash_clock().steps_taken() + 4);
+        let err = device.persist(&mut cache).unwrap_err();
+        assert!(matches!(err, PmError::Crashed));
+
+        let pool = device.crash_into_pool();
+        let mut device = PaxDevice::open(pool, DeviceConfig::default()).unwrap();
+        assert_eq!(device.committed_epoch().unwrap(), 1);
+        let mut cache2 = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+        // Epoch-1 state: line 2 == 1, everything else zero.
+        assert_eq!(cache2.read(LineAddr(2), &mut device).unwrap(), CacheLine::filled(1));
+        for i in [0u64, 1, 3, 4, 5, 6, 7] {
+            assert_eq!(
+                cache2.read(LineAddr(i), &mut device).unwrap(),
+                CacheLine::zeroed(),
+                "line {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn persist_clwb_is_crash_consistent_but_cold() {
+        let (mut device, mut cache) = setup();
+        for i in 0..8u64 {
+            cache.write(LineAddr(i), CacheLine::filled(1), &mut device).unwrap();
+        }
+        let epoch = device.persist_clwb(&mut cache).unwrap();
+        assert_eq!(epoch, 1);
+        // CLWB evicted the working set from the host cache.
+        for i in 0..8u64 {
+            assert_eq!(cache.state_of(LineAddr(i)), None, "line {i} must be evicted");
+        }
+        // Durability matches the snoop-based protocol exactly.
+        let mut pool = device.crash_into_pool();
+        assert_eq!(pool.committed_epoch().unwrap(), 1);
+        for i in 0..8u64 {
+            let abs = pool.layout().vpm_to_pool(i).unwrap();
+            assert_eq!(pool.read_line(abs).unwrap(), CacheLine::filled(1));
+        }
+    }
+
+    #[test]
+    fn rdown_never_stalls_for_log_durability() {
+        let (mut device, mut cache) = setup();
+        // With pumping disabled, stores must still complete immediately.
+        device.config.log_pump_batch = 0;
+        device.config.writeback_batch = 0;
+        for i in 0..16u64 {
+            cache.write(LineAddr(i), CacheLine::filled(1), &mut device).unwrap();
+        }
+        assert_eq!(device.metrics().undo_entries, 16);
+        assert_eq!(device.log_durable_offset(), 0, "nothing drained, yet no store stalled");
+    }
+}

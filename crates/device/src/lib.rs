@@ -1,0 +1,55 @@
+//! The PAX persistence accelerator.
+//!
+//! This crate implements the device half of the paper (§3): a
+//! cache-coherent accelerator that is the home agent for a pool's vPM
+//! range and provides crash-consistent snapshot semantics *asynchronously*
+//! — the host CPU never stalls for logging.
+//!
+//! * [`undo_log`] — the persistent, epoch-tagged undo log with a
+//!   monotonically increasing durable watermark (§3.2–3.3).
+//! * [`hbm`] — the on-device HBM buffer of modified lines, each tagged
+//!   with the log offset whose durability gates its write back; its
+//!   eviction policy can prefer already-durable lines (§3.3).
+//! * [`device`] — [`PaxDevice`]: handles `RdShared`/`RdOwn`/evictions,
+//!   performs undo logging on ownership requests, coordinates write back,
+//!   and implements the `persist()` epoch protocol.
+//! * [`recovery`] — the §3.4 procedure: roll back every undo entry tagged
+//!   with an epoch newer than the pool's committed epoch.
+//! * [`metrics`] — event counters consumed by the benchmark harness.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> pax_pm::Result<()> {
+//! use pax_cache::{CacheConfig, CoherentCache};
+//! use pax_device::{DeviceConfig, PaxDevice};
+//! use pax_pm::{CacheLine, LineAddr, PmPool, PoolConfig};
+//!
+//! let pool = PmPool::create(PoolConfig::small())?;
+//! let mut device = PaxDevice::open(pool, DeviceConfig::default())?;
+//! let mut cache = CoherentCache::new(CacheConfig::llc_c6420());
+//!
+//! // Host stores go through the cache; the device undo-logs them.
+//! cache.write(LineAddr(0), CacheLine::filled(1), &mut device)?;
+//! let epoch = device.persist(&mut cache)?; // crash-consistent snapshot
+//! assert_eq!(epoch, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod endpoint;
+pub mod hbm;
+pub mod metrics;
+pub mod recovery;
+pub mod undo_log;
+
+pub use device::{DeviceConfig, PaxDevice};
+pub use endpoint::CxlEndpoint;
+pub use hbm::{EvictionPolicy, HbmCache, HbmConfig, HbmLine};
+pub use metrics::DeviceMetrics;
+pub use recovery::{recover, RecoveryReport};
+pub use undo_log::{UndoEntry, UndoLog, ENTRY_LINES};

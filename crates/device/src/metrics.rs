@@ -1,0 +1,84 @@
+//! Device event counters.
+//!
+//! Every quantitative claim in the paper's §5 reduces to counts of these
+//! events multiplied by latency/bandwidth constants; the bench harness
+//! reads them from [`PaxDevice::metrics`](crate::PaxDevice::metrics).
+
+/// Cumulative counters for one [`PaxDevice`](crate::PaxDevice).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceMetrics {
+    /// `RdShared` requests received (host read misses).
+    pub rd_shared: u64,
+    /// `RdOwn` requests received (host store intents) — each is a
+    /// potential undo-log append.
+    pub rd_own: u64,
+    /// Clean evictions received.
+    pub clean_evicts: u64,
+    /// Dirty evictions (host write backs) received.
+    pub dirty_evicts: u64,
+    /// Undo entries appended.
+    pub undo_entries: u64,
+    /// Dirty evictions that arrived for a line the device had not logged
+    /// this epoch (protocol anomaly handled defensively).
+    pub unlogged_dirty_evicts: u64,
+    /// `SnpData` snoops sent to the host during `persist()`.
+    pub snoops_sent: u64,
+    /// Snoops that returned data from the host cache.
+    pub snoop_data_returned: u64,
+    /// Lines the device wrote back to PM.
+    pub device_writebacks: u64,
+    /// Times an HBM eviction had to stall for a synchronous log flush
+    /// (the cost [`EvictionPolicy::PreferDurable`](crate::EvictionPolicy)
+    /// minimises).
+    pub forced_log_flushes: u64,
+    /// Lines written back opportunistically before `persist()` (§3.3's
+    /// proactive write back).
+    pub background_writebacks: u64,
+    /// `persist()` calls completed.
+    pub persists: u64,
+    /// Reads served from device HBM instead of PM.
+    pub hbm_read_hits: u64,
+    /// Reads that had to touch PM.
+    pub pm_reads: u64,
+}
+
+impl DeviceMetrics {
+    /// Total coherence messages the device has handled (its §5.1
+    /// message-rate bottleneck input).
+    pub fn total_messages(&self) -> u64 {
+        self.rd_shared + self.rd_own + self.clean_evicts + self.dirty_evicts + self.snoops_sent
+    }
+
+    /// Bytes of undo-log traffic to PM (64-byte pre-image + 64-byte
+    /// header per entry).
+    pub fn log_bytes(&self) -> u64 {
+        self.undo_entries * 2 * pax_pm::LINE_SIZE as u64
+    }
+
+    /// Bytes of data write back traffic to PM.
+    pub fn writeback_bytes(&self) -> u64 {
+        self.device_writebacks * pax_pm::LINE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_compose() {
+        let m = DeviceMetrics {
+            rd_shared: 1,
+            rd_own: 2,
+            clean_evicts: 3,
+            dirty_evicts: 4,
+            snoops_sent: 5,
+            undo_entries: 2,
+            device_writebacks: 3,
+            ..DeviceMetrics::default()
+        };
+        assert_eq!(m.total_messages(), 15);
+        assert_eq!(m.log_bytes(), 256);
+        assert_eq!(m.writeback_bytes(), 192);
+    }
+}

@@ -1,0 +1,137 @@
+//! Post-crash recovery (§3.4).
+//!
+//! "libpax reads the epoch number stored in the pool, then it looks for
+//! undo log entries associated with the pool tagged with any later epoch
+//! number. For each such entry, libpax overwrites the corresponding cache
+//! line in PM with the value stored in the log entry. Next, it performs an
+//! SFENCE, and initializes the device and vPM as usual."
+//!
+//! [`recover`] is that procedure. It is idempotent — recovering twice is
+//! harmless — and running it on a clean pool is a no-op, which is why
+//! "from the application's perspective, there is no difference between
+//! constructing a new persistent map and recovering one".
+
+use pax_pm::{PmPool, Result};
+
+use crate::undo_log::UndoLog;
+
+/// What a recovery pass observed and did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The committed epoch the pool was restored to.
+    pub committed_epoch: u64,
+    /// Valid undo entries found in the log region.
+    pub scanned: usize,
+    /// Entries rolled back (tagged with an epoch newer than committed).
+    pub rolled_back: usize,
+}
+
+/// Rolls the pool back to its last committed snapshot.
+///
+/// # Errors
+///
+/// Surfaces media errors from the scan and rollback writes.
+pub fn recover(pool: &mut PmPool) -> Result<RecoveryReport> {
+    let committed = pool.committed_epoch()?;
+    let entries = UndoLog::scan(pool)?;
+    let scanned = entries.len();
+    let mut rolled_back = 0;
+    // Newest-first: each entry restores its line's epoch-start value, and
+    // reverse order makes the pass correct even if a future format logs a
+    // line more than once per epoch.
+    for (_, entry) in entries.iter().rev() {
+        if entry.epoch > committed {
+            let abs = pool.layout().vpm_to_pool(entry.vpm_line.0)?;
+            pool.write_line(abs, entry.old.clone())?;
+            rolled_back += 1;
+        }
+    }
+    // The §3.4 SFENCE: rollback writes reach media before execution
+    // continues.
+    pool.drain();
+    Ok(RecoveryReport { committed_epoch: committed, scanned, rolled_back })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::undo_log::{UndoEntry, UndoLog};
+    use pax_pm::{CacheLine, CrashClock, LineAddr, PoolConfig};
+
+    #[test]
+    fn clean_pool_recovers_to_epoch_zero() {
+        let mut pool = PmPool::create(PoolConfig::small()).unwrap();
+        let r = recover(&mut pool).unwrap();
+        assert_eq!(r, RecoveryReport { committed_epoch: 0, scanned: 0, rolled_back: 0 });
+    }
+
+    #[test]
+    fn entries_newer_than_committed_are_rolled_back() {
+        let mut pool = PmPool::create(PoolConfig::small()).unwrap();
+        let clock = CrashClock::new();
+        pool.commit_epoch(2).unwrap();
+
+        // Simulate a crash mid-epoch-3: line 4's pre-image (0xAB) is
+        // logged and the "new" value (0xCD) already reached PM.
+        let mut log = UndoLog::new(&pool);
+        log.append(UndoEntry {
+            epoch: 3,
+            vpm_line: LineAddr(4),
+            old: CacheLine::filled(0xAB),
+        })
+        .unwrap();
+        log.flush(&mut pool, &clock).unwrap();
+        let abs = pool.layout().vpm_to_pool(4).unwrap();
+        pool.write_line(abs, CacheLine::filled(0xCD)).unwrap();
+        pool.drain();
+
+        let r = recover(&mut pool).unwrap();
+        assert_eq!(r.rolled_back, 1);
+        assert_eq!(pool.read_line(abs).unwrap(), CacheLine::filled(0xAB));
+    }
+
+    #[test]
+    fn entries_from_committed_epochs_are_ignored() {
+        let mut pool = PmPool::create(PoolConfig::small()).unwrap();
+        let clock = CrashClock::new();
+        let mut log = UndoLog::new(&pool);
+        log.append(UndoEntry {
+            epoch: 1,
+            vpm_line: LineAddr(0),
+            old: CacheLine::filled(0x11),
+        })
+        .unwrap();
+        log.flush(&mut pool, &clock).unwrap();
+        pool.commit_epoch(1).unwrap(); // epoch 1 committed: entry is stale
+
+        let abs = pool.layout().vpm_to_pool(0).unwrap();
+        pool.write_line(abs, CacheLine::filled(0x22)).unwrap();
+        pool.drain();
+
+        let r = recover(&mut pool).unwrap();
+        assert_eq!(r.scanned, 1);
+        assert_eq!(r.rolled_back, 0);
+        assert_eq!(pool.read_line(abs).unwrap(), CacheLine::filled(0x22));
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut pool = PmPool::create(PoolConfig::small()).unwrap();
+        let clock = CrashClock::new();
+        let mut log = UndoLog::new(&pool);
+        log.append(UndoEntry {
+            epoch: 1,
+            vpm_line: LineAddr(2),
+            old: CacheLine::filled(0x33),
+        })
+        .unwrap();
+        log.flush(&mut pool, &clock).unwrap();
+
+        let r1 = recover(&mut pool).unwrap();
+        let r2 = recover(&mut pool).unwrap();
+        assert_eq!(r1.rolled_back, 1);
+        assert_eq!(r2.rolled_back, 1); // same rollback, same result
+        let abs = pool.layout().vpm_to_pool(2).unwrap();
+        assert_eq!(pool.read_line(abs).unwrap(), CacheLine::filled(0x33));
+    }
+}

@@ -1,0 +1,368 @@
+//! The persistent, epoch-tagged undo log (§3.2–3.3).
+//!
+//! On every first-in-epoch `RdOwn` the device appends an entry recording
+//! the line's *old* value. Appends are buffered in device SRAM and drained
+//! to the pool's log region asynchronously; durability advances at a
+//! monotonically increasing entry offset (the *watermark*), which is what
+//! lets the device write modified data lines back to PM mid-epoch: a data
+//! line may be written back as soon as the entry covering it is durable.
+//!
+//! # On-media format
+//!
+//! Each entry occupies [`ENTRY_LINES`] = 2 consecutive lines in the pool's
+//! log region:
+//!
+//! ```text
+//! line 0 (header): magic[8] | epoch u64 | vpm_line u64 | checksum u64
+//! line 1 (data):   the 64-byte pre-image of the logged line
+//! ```
+//!
+//! The checksum folds the data line with the header fields so recovery can
+//! detect (and safely skip) entries torn by a crash mid-append: a torn
+//! entry's data write back cannot have happened — write back is gated on
+//! the entry being durable — so skipping it is always sound.
+
+use pax_pm::{CacheLine, CrashOutcome, LineAddr, PmError, PmPool, Result, LINE_SIZE};
+
+/// Lines per undo-log entry (header + pre-image).
+pub const ENTRY_LINES: u64 = 2;
+
+const LOG_MAGIC: &[u8; 8] = b"PAXUNDO1";
+
+/// One undo-log record: "line `vpm_line` held `old` at the start of
+/// `epoch`".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndoEntry {
+    /// Epoch during which the line was first modified.
+    pub epoch: u64,
+    /// The vPM line the entry covers.
+    pub vpm_line: LineAddr,
+    /// The line's contents when the epoch began.
+    pub old: CacheLine,
+}
+
+impl UndoEntry {
+    fn checksum(&self) -> u64 {
+        let mut sum = 0xfeed_face_cafe_beefu64;
+        sum ^= self.epoch.rotate_left(17);
+        sum ^= self.vpm_line.0.rotate_left(31);
+        for chunk in self.old.as_bytes().chunks(8) {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            sum = sum.rotate_left(7) ^ u64::from_le_bytes(b);
+        }
+        sum
+    }
+
+    fn header_line(&self) -> CacheLine {
+        let mut l = CacheLine::zeroed();
+        l.write_at(0, LOG_MAGIC);
+        l.write_at(8, &self.epoch.to_le_bytes());
+        l.write_at(16, &self.vpm_line.0.to_le_bytes());
+        l.write_at(24, &self.checksum().to_le_bytes());
+        l
+    }
+
+    fn parse(header: &CacheLine, data: &CacheLine) -> Option<UndoEntry> {
+        if header.read_at(0, 8) != LOG_MAGIC {
+            return None;
+        }
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(header.read_at(8, 8));
+        let epoch = u64::from_le_bytes(buf);
+        buf.copy_from_slice(header.read_at(16, 8));
+        let vpm_line = LineAddr(u64::from_le_bytes(buf));
+        buf.copy_from_slice(header.read_at(24, 8));
+        let stored_sum = u64::from_le_bytes(buf);
+        let entry = UndoEntry { epoch, vpm_line, old: data.clone() };
+        (entry.checksum() == stored_sum).then_some(entry)
+    }
+}
+
+/// The device's undo-log writer: volatile append buffer + durable
+/// watermark over the pool's log region.
+#[derive(Debug)]
+pub struct UndoLog {
+    /// Entries appended but not yet written durably, oldest first.
+    pending: Vec<UndoEntry>,
+    /// Entries durably on media from the start of the region.
+    durable_entries: u64,
+    /// Capacity of the log region in entries.
+    capacity_entries: u64,
+    /// Total bytes of log writes issued (for write-amplification benches).
+    bytes_written: u64,
+}
+
+impl UndoLog {
+    /// A log writer over a pool's log region.
+    pub fn new(pool: &PmPool) -> Self {
+        UndoLog {
+            pending: Vec::new(),
+            durable_entries: 0,
+            capacity_entries: pool.layout().log_lines / ENTRY_LINES,
+            bytes_written: 0,
+        }
+    }
+
+    /// Entries known durable; write back of a data line tagged with offset
+    /// `o` is legal once `o < durable_offset()`.
+    pub fn durable_offset(&self) -> u64 {
+        self.durable_entries
+    }
+
+    /// Entries appended so far this epoch cycle (durable + pending).
+    pub fn appended(&self) -> u64 {
+        self.durable_entries + self.pending.len() as u64
+    }
+
+    /// Entries awaiting the background drain.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Capacity of the log region, in entries.
+    pub fn capacity_entries(&self) -> u64 {
+        self.capacity_entries
+    }
+
+    /// Total log bytes issued to media.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Appends an entry, returning its offset (entry index).
+    ///
+    /// The append itself is volatile — this is the asynchrony of §3.2: the
+    /// host's `RdOwn` is acknowledged without waiting for durability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::LogFull`] when the region is exhausted; the
+    /// caller (libpax) should `persist()` to reset the log.
+    pub fn append(&mut self, entry: UndoEntry) -> Result<u64> {
+        let offset = self.appended();
+        if offset >= self.capacity_entries {
+            return Err(PmError::LogFull { capacity_entries: self.capacity_entries });
+        }
+        self.pending.push(entry);
+        Ok(offset)
+    }
+
+    /// Drains up to `max_entries` pending entries to the pool's log region
+    /// and advances the durable watermark. Returns entries drained.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Crashed`] if the pool's crash clock fires, and
+    /// media errors from the pool.
+    pub fn pump(
+        &mut self,
+        pool: &mut PmPool,
+        clock: &pax_pm::CrashClock,
+        max_entries: usize,
+    ) -> Result<usize> {
+        let n = max_entries.min(self.pending.len());
+        for _ in 0..n {
+            if clock.tick() == CrashOutcome::Crashed {
+                pool.crash();
+                return Err(PmError::Crashed);
+            }
+            let entry = self.pending.remove(0);
+            let base = pool.layout().log_start().0 + self.durable_entries * ENTRY_LINES;
+            pool.write_line(LineAddr(base), entry.header_line())?;
+            pool.write_line(LineAddr(base + 1), entry.old.clone())?;
+            // The watermark only advances once both lines are durable.
+            pool.drain();
+            self.durable_entries += 1;
+            self.bytes_written += (ENTRY_LINES as usize * LINE_SIZE) as u64;
+        }
+        Ok(n)
+    }
+
+    /// Drains everything pending (the synchronous step inside `persist()`).
+    ///
+    /// # Errors
+    ///
+    /// See [`UndoLog::pump`].
+    pub fn flush(&mut self, pool: &mut PmPool, clock: &pax_pm::CrashClock) -> Result<()> {
+        while !self.pending.is_empty() {
+            self.pump(pool, clock, usize::MAX)?;
+        }
+        Ok(())
+    }
+
+    /// Resets the volatile tail after an epoch commits: subsequent appends
+    /// overwrite the region from the start. Stale entries left on media
+    /// belong to committed epochs and are ignored by recovery.
+    pub fn reset_after_commit(&mut self) {
+        debug_assert!(self.pending.is_empty(), "reset with undrained entries");
+        self.pending.clear();
+        self.durable_entries = 0;
+    }
+
+    /// Drops the volatile tail (power loss).
+    pub fn crash(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Scans the pool's log region for valid entries (recovery, §3.4).
+    ///
+    /// Every slot is parsed; torn or never-written slots fail checksum
+    /// validation and are skipped. Returns entries in on-media order.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces media read errors.
+    pub fn scan(pool: &mut PmPool) -> Result<Vec<(u64, UndoEntry)>> {
+        let layout = pool.layout();
+        let capacity = layout.log_lines / ENTRY_LINES;
+        let mut out = Vec::new();
+        for i in 0..capacity {
+            let base = layout.log_start().0 + i * ENTRY_LINES;
+            let header = pool.read_line(LineAddr(base))?;
+            // Cheap pre-filter: never-written slots have no magic.
+            if header.read_at(0, 8) != LOG_MAGIC {
+                continue;
+            }
+            let data = pool.read_line(LineAddr(base + 1))?;
+            if let Some(entry) = UndoEntry::parse(&header, &data) {
+                out.push((i, entry));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pax_pm::{CrashClock, PoolConfig};
+
+    fn pool() -> PmPool {
+        PmPool::create(PoolConfig::small()).unwrap()
+    }
+
+    fn entry(epoch: u64, line: u64, fill: u8) -> UndoEntry {
+        UndoEntry { epoch, vpm_line: LineAddr(line), old: CacheLine::filled(fill) }
+    }
+
+    #[test]
+    fn append_assigns_monotonic_offsets() {
+        let p = pool();
+        let mut log = UndoLog::new(&p);
+        assert_eq!(log.append(entry(1, 0, 0)).unwrap(), 0);
+        assert_eq!(log.append(entry(1, 1, 0)).unwrap(), 1);
+        assert_eq!(log.appended(), 2);
+        assert_eq!(log.durable_offset(), 0); // nothing drained yet
+    }
+
+    #[test]
+    fn pump_advances_watermark_incrementally() {
+        let mut p = pool();
+        let clock = CrashClock::new();
+        let mut log = UndoLog::new(&p);
+        for i in 0..5 {
+            log.append(entry(1, i, i as u8)).unwrap();
+        }
+        assert_eq!(log.pump(&mut p, &clock, 2).unwrap(), 2);
+        assert_eq!(log.durable_offset(), 2);
+        assert_eq!(log.pending_len(), 3);
+        log.flush(&mut p, &clock).unwrap();
+        assert_eq!(log.durable_offset(), 5);
+    }
+
+    #[test]
+    fn scan_round_trips_entries() {
+        let mut p = pool();
+        let clock = CrashClock::new();
+        let mut log = UndoLog::new(&p);
+        log.append(entry(3, 7, 0xAA)).unwrap();
+        log.append(entry(3, 9, 0xBB)).unwrap();
+        log.flush(&mut p, &clock).unwrap();
+        let scanned = UndoLog::scan(&mut p).unwrap();
+        assert_eq!(scanned.len(), 2);
+        assert_eq!(scanned[0].1, entry(3, 7, 0xAA));
+        assert_eq!(scanned[1].1, entry(3, 9, 0xBB));
+    }
+
+    #[test]
+    fn pending_entries_are_lost_on_crash() {
+        let mut p = pool();
+        let clock = CrashClock::new();
+        let mut log = UndoLog::new(&p);
+        log.append(entry(1, 0, 1)).unwrap();
+        log.pump(&mut p, &clock, 1).unwrap();
+        log.append(entry(1, 1, 2)).unwrap();
+        log.crash();
+        p.crash();
+        let scanned = UndoLog::scan(&mut p).unwrap();
+        assert_eq!(scanned.len(), 1, "only the drained entry survives");
+        assert_eq!(scanned[0].1.vpm_line, LineAddr(0));
+    }
+
+    #[test]
+    fn torn_entry_fails_checksum_and_is_skipped() {
+        let mut p = pool();
+        let clock = CrashClock::new();
+        let mut log = UndoLog::new(&p);
+        log.append(entry(1, 0, 1)).unwrap();
+        log.flush(&mut p, &clock).unwrap();
+        // Corrupt the data line of the entry (simulated torn write).
+        let data_line = LineAddr(p.layout().log_start().0 + 1);
+        p.write_line(data_line, CacheLine::filled(0xFF)).unwrap();
+        p.drain();
+        assert!(UndoLog::scan(&mut p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn log_full_is_reported() {
+        let mut cfg = PoolConfig::small();
+        cfg.log_bytes = 4 * LINE_SIZE; // room for 2 entries
+        let p = PmPool::create(cfg).unwrap();
+        let mut log = UndoLog::new(&p);
+        log.append(entry(1, 0, 0)).unwrap();
+        log.append(entry(1, 1, 0)).unwrap();
+        assert!(matches!(log.append(entry(1, 2, 0)), Err(PmError::LogFull { .. })));
+    }
+
+    #[test]
+    fn reset_after_commit_reuses_region() {
+        let mut p = pool();
+        let clock = CrashClock::new();
+        let mut log = UndoLog::new(&p);
+        log.append(entry(1, 5, 1)).unwrap();
+        log.flush(&mut p, &clock).unwrap();
+        log.reset_after_commit();
+        assert_eq!(log.durable_offset(), 0);
+        log.append(entry(2, 6, 2)).unwrap();
+        log.flush(&mut p, &clock).unwrap();
+        let scanned = UndoLog::scan(&mut p).unwrap();
+        // Slot 0 now holds the epoch-2 entry; the epoch-1 entry is gone.
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0].1.epoch, 2);
+    }
+
+    #[test]
+    fn crash_clock_interrupts_pump() {
+        let mut p = pool();
+        let clock = CrashClock::new();
+        let mut log = UndoLog::new(&p);
+        for i in 0..4 {
+            log.append(entry(1, i, 0)).unwrap();
+        }
+        clock.arm(2); // two pump steps succeed, third crashes
+        assert_eq!(log.pump(&mut p, &clock, 2).unwrap(), 2);
+        assert!(matches!(log.flush(&mut p, &clock), Err(PmError::Crashed)));
+        assert_eq!(log.durable_offset(), 2);
+    }
+
+    #[test]
+    fn bytes_written_counts_both_lines() {
+        let mut p = pool();
+        let clock = CrashClock::new();
+        let mut log = UndoLog::new(&p);
+        log.append(entry(1, 0, 0)).unwrap();
+        log.flush(&mut p, &clock).unwrap();
+        assert_eq!(log.bytes_written(), 128);
+    }
+}

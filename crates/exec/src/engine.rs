@@ -1,0 +1,390 @@
+//! The deterministic discrete-event engine.
+//!
+//! A [`SimMachine`] holds a set of [`Resource`]s (bounded-concurrency
+//! servers with FIFO queues) and simulates `threads` logical threads,
+//! each executing the same [`OpRecipe`] in a closed loop. Stages either
+//! burn thread-local time ([`Stage::Compute`]) or occupy a resource slot
+//! for a service time ([`Stage::Use`]). The run ends when every thread
+//! has completed its operation quota; throughput is total ops over
+//! simulated makespan.
+//!
+//! Determinism: ties in the event heap break by (time, sequence number),
+//! and queues are FIFO, so a given configuration always produces the same
+//! report.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Index of a resource within a [`SimMachine`].
+pub type ResourceId = usize;
+
+/// One step of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Thread-local work for the given nanoseconds (never contended).
+    Compute(u64),
+    /// Occupy one slot of `resource` for `service_ns`.
+    Use {
+        /// Which resource to occupy.
+        resource: ResourceId,
+        /// Service time once a slot is granted.
+        service_ns: u64,
+    },
+}
+
+/// The per-operation stage sequence a backend executes.
+#[derive(Debug, Clone, Default)]
+pub struct OpRecipe {
+    /// Stages executed in order for every operation.
+    pub stages: Vec<Stage>,
+}
+
+impl OpRecipe {
+    /// Sum of all stage service times (the uncontended op latency).
+    pub fn uncontended_ns(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| match s {
+                Stage::Compute(ns) => *ns,
+                Stage::Use { service_ns, .. } => *service_ns,
+            })
+            .sum()
+    }
+}
+
+/// A bounded-concurrency server (DRAM banks, PM DIMM write buffers, the
+/// device message pipeline…).
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Maximum requests in service simultaneously.
+    pub concurrency: usize,
+}
+
+#[derive(Debug, Default)]
+struct ResourceState {
+    in_service: usize,
+    queue: VecDeque<(usize, u64)>, // (thread, service_ns)
+    busy_ns: u64,
+    served: u64,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Event {
+    /// Thread finished its current stage and should start the next.
+    StageDone { thread: usize },
+    /// Thread finished service at a resource.
+    ServiceDone { thread: usize, resource: ResourceId },
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Total operations completed.
+    pub ops: u64,
+    /// Simulated wall-clock for the run, ns.
+    pub makespan_ns: u64,
+    /// Per-resource utilisation (busy time / makespan / concurrency).
+    pub utilisation: Vec<(&'static str, f64)>,
+}
+
+impl SimReport {
+    /// Throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.ops as f64 * 1e9 / self.makespan_ns as f64
+        }
+    }
+
+    /// Throughput in Mops (the unit Fig. 2b uses).
+    pub fn mops(&self) -> f64 {
+        self.ops_per_sec() / 1e6
+    }
+}
+
+/// The simulated machine (see module docs).
+#[derive(Debug)]
+pub struct SimMachine {
+    resources: Vec<Resource>,
+}
+
+impl SimMachine {
+    /// A machine with the given resources.
+    pub fn new(resources: Vec<Resource>) -> Self {
+        SimMachine { resources }
+    }
+
+    /// The resource table.
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
+    /// Runs `threads` logical threads, each executing `recipe` for
+    /// `ops_per_thread` closed-loop operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stage references an unknown resource or `threads` is 0.
+    pub fn run(&self, threads: usize, ops_per_thread: u64, recipe: &OpRecipe) -> SimReport {
+        assert!(threads > 0, "need at least one thread");
+        for s in &recipe.stages {
+            if let Stage::Use { resource, .. } = s {
+                assert!(*resource < self.resources.len(), "unknown resource {resource}");
+            }
+        }
+
+        let mut res: Vec<ResourceState> =
+            self.resources.iter().map(|_| ResourceState::default()).collect();
+        // Per-thread progress: (ops done, index of next stage).
+        let mut thread_stage = vec![0usize; threads];
+        let mut thread_ops = vec![0u64; threads];
+        let mut completed_threads = 0usize;
+        let mut total_ops = 0u64;
+
+        // (time, seq) keyed min-heap.
+        let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut events: Vec<Option<Event>> = Vec::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<_>, events: &mut Vec<Option<Event>>,
+                        time: u64, ev: Event, seq: &mut u64| {
+            events.push(Some(ev));
+            heap.push(Reverse((time, *seq, events.len() - 1)));
+            *seq += 1;
+        };
+
+        // Kick every thread off at t=0.
+        for t in 0..threads {
+            push(&mut heap, &mut events, 0, Event::StageDone { thread: t }, &mut seq);
+        }
+
+        let mut now = 0u64;
+        while let Some(Reverse((time, _, idx))) = heap.pop() {
+            now = time;
+            let ev = events[idx].take().expect("event consumed twice");
+            match ev {
+                Event::ServiceDone { thread, resource } => {
+                    let st = &mut res[resource];
+                    st.in_service -= 1;
+                    st.served += 1;
+                    // Grant the next queued request, FIFO.
+                    if let Some((next_thread, service)) = st.queue.pop_front() {
+                        st.in_service += 1;
+                        st.busy_ns += service;
+                        push(
+                            &mut heap,
+                            &mut events,
+                            now + service,
+                            Event::ServiceDone { thread: next_thread, resource },
+                            &mut seq,
+                        );
+                    }
+                    // The thread that finished moves to its next stage.
+                    push(&mut heap, &mut events, now, Event::StageDone { thread }, &mut seq);
+                }
+                Event::StageDone { thread } => {
+                    // Advance through stages; Compute stages chain by
+                    // scheduling, Use stages may block in a queue.
+                    if thread_stage[thread] >= recipe.stages.len() {
+                        // Operation complete.
+                        thread_stage[thread] = 0;
+                        thread_ops[thread] += 1;
+                        total_ops += 1;
+                        if thread_ops[thread] >= ops_per_thread {
+                            completed_threads += 1;
+                            if completed_threads == threads {
+                                break;
+                            }
+                            continue; // thread retires
+                        }
+                    }
+                    let stage = recipe.stages[thread_stage[thread]];
+                    thread_stage[thread] += 1;
+                    match stage {
+                        Stage::Compute(ns) => {
+                            push(
+                                &mut heap,
+                                &mut events,
+                                now + ns,
+                                Event::StageDone { thread },
+                                &mut seq,
+                            );
+                        }
+                        Stage::Use { resource, service_ns } => {
+                            let st = &mut res[resource];
+                            if st.in_service < self.resources[resource].concurrency {
+                                st.in_service += 1;
+                                st.busy_ns += service_ns;
+                                push(
+                                    &mut heap,
+                                    &mut events,
+                                    now + service_ns,
+                                    Event::ServiceDone { thread, resource },
+                                    &mut seq,
+                                );
+                            } else {
+                                st.queue.push_back((thread, service_ns));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let makespan = now.max(1);
+        SimReport {
+            ops: total_ops,
+            makespan_ns: makespan,
+            utilisation: self
+                .resources
+                .iter()
+                .zip(&res)
+                .map(|(r, st)| {
+                    (r.name, st.busy_ns as f64 / (makespan as f64 * r.concurrency as f64))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(concurrency: usize) -> SimMachine {
+        SimMachine::new(vec![Resource { name: "mem", concurrency }])
+    }
+
+    #[test]
+    fn single_thread_throughput_matches_recipe_latency() {
+        let m = machine(1);
+        let recipe = OpRecipe {
+            stages: vec![Stage::Compute(60), Stage::Use { resource: 0, service_ns: 40 }],
+        };
+        let r = m.run(1, 1000, &recipe);
+        assert_eq!(r.ops, 1000);
+        // 100 ns/op → 10 Mops.
+        let mops = r.mops();
+        assert!((mops - 10.0).abs() < 0.2, "got {mops}");
+    }
+
+    #[test]
+    fn compute_only_scales_linearly() {
+        let m = machine(1);
+        let recipe = OpRecipe { stages: vec![Stage::Compute(100)] };
+        let t1 = m.run(1, 500, &recipe).mops();
+        let t8 = m.run(8, 500, &recipe).mops();
+        assert!((t8 / t1 - 8.0).abs() < 0.2, "ratio {}", t8 / t1);
+    }
+
+    #[test]
+    fn saturated_resource_caps_throughput() {
+        // Resource with concurrency 1, 100 ns service: ceiling 10 Mops
+        // regardless of thread count.
+        let m = machine(1);
+        let recipe = OpRecipe {
+            stages: vec![Stage::Compute(10), Stage::Use { resource: 0, service_ns: 100 }],
+        };
+        let t16 = m.run(16, 500, &recipe).mops();
+        assert!(t16 < 10.5, "got {t16}");
+        assert!(t16 > 9.0, "got {t16}");
+        let (_, util) = m.run(16, 500, &recipe).utilisation[0];
+        assert!(util > 0.95, "resource should be saturated, util {util}");
+    }
+
+    #[test]
+    fn higher_concurrency_raises_the_ceiling() {
+        let recipe = OpRecipe {
+            stages: vec![Stage::Compute(10), Stage::Use { resource: 0, service_ns: 100 }],
+        };
+        let narrow = machine(1).run(16, 300, &recipe).mops();
+        let wide = machine(8).run(16, 300, &recipe).mops();
+        assert!(wide > narrow * 4.0, "narrow {narrow}, wide {wide}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let m = machine(2);
+        let recipe = OpRecipe {
+            stages: vec![Stage::Compute(7), Stage::Use { resource: 0, service_ns: 13 }],
+        };
+        let a = m.run(5, 200, &recipe);
+        let b = m.run(5, 200, &recipe);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uncontended_ns_sums_stages() {
+        let recipe = OpRecipe {
+            stages: vec![Stage::Compute(5), Stage::Use { resource: 0, service_ns: 11 }],
+        };
+        assert_eq!(recipe.uncontended_ns(), 16);
+    }
+
+    #[test]
+    fn work_conservation_under_random_recipes() {
+        // ops counted == threads × ops_per_thread, and makespan is at
+        // least the critical-path bound, for a spread of configurations.
+        let mut seed = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let threads = (next() % 8 + 1) as usize;
+            let ops = next() % 50 + 1;
+            let conc = (next() % 4 + 1) as usize;
+            let mut stages = Vec::new();
+            for _ in 0..(next() % 4 + 1) {
+                if next() % 2 == 0 {
+                    stages.push(Stage::Compute(next() % 100 + 1));
+                } else {
+                    stages.push(Stage::Use { resource: 0, service_ns: next() % 100 + 1 });
+                }
+            }
+            let recipe = OpRecipe { stages };
+            let m = SimMachine::new(vec![Resource { name: "r", concurrency: conc }]);
+            let r = m.run(threads, ops, &recipe);
+            assert_eq!(r.ops, threads as u64 * ops, "conservation");
+            // One thread's serial chain is a lower bound on makespan.
+            assert!(
+                r.makespan_ns >= ops * recipe.uncontended_ns() / 2,
+                "makespan {} vs bound {}",
+                r.makespan_ns,
+                ops * recipe.uncontended_ns()
+            );
+            // Utilisation is a valid fraction.
+            for (_, u) in &r.utilisation {
+                assert!((0.0..=1.0 + 1e-9).contains(u), "util {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_never_reduce_total_throughput() {
+        let m = machine(4);
+        let recipe = OpRecipe {
+            stages: vec![Stage::Compute(30), Stage::Use { resource: 0, service_ns: 50 }],
+        };
+        let mut last = 0.0;
+        for threads in [1usize, 2, 4, 8, 16] {
+            let mops = m.run(threads, 300, &recipe).mops();
+            assert!(mops >= last * 0.99, "{threads} threads: {mops} < {last}");
+            last = mops;
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_resource_is_rejected() {
+        machine(1).run(
+            1,
+            1,
+            &OpRecipe { stages: vec![Stage::Use { resource: 5, service_ns: 1 }] },
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Discrete-event multicore timing simulator.
+//!
+//! Fig. 2b of the paper plots hash-table throughput against thread count
+//! (1–32) on a 32-core machine. This reproduction runs on whatever host it
+//! lands on (possibly a single core), so the scaling experiment is run on
+//! a *simulated* multicore: N logical threads execute operations whose
+//! stage costs come from the same latency constants as the rest of the
+//! workspace, contending for shared resources (DRAM banks, PM DIMM
+//! buffers, the PAX device pipeline) modelled as bounded-concurrency
+//! servers.
+//!
+//! * [`engine`] — the deterministic event-heap simulator: threads,
+//!   resources, stages.
+//! * [`backend`] — per-mechanism operation recipes (DRAM, PM-Direct,
+//!   PMDK-style WAL, PAX), parameterized by measured per-op event counts
+//!   so the recipes stay tied to the functional simulation rather than
+//!   invented numbers.
+//!
+//! The absolute Mops are model outputs, not hardware measurements; what
+//! the model preserves — and what EXPERIMENTS.md checks — is the *shape*:
+//! who wins, by what factor, and how gaps evolve with thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod engine;
+
+pub use backend::{Backend, MachineParams, OpProfile};
+pub use engine::{OpRecipe, Resource, SimMachine, SimReport, Stage};

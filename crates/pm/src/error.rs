@@ -1,0 +1,93 @@
+//! Error types for the PM substrate.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use crate::line::LineAddr;
+
+/// Errors produced by PM media, pools, and crash injection.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PmError {
+    /// An access targeted a line outside the media or region bounds.
+    OutOfBounds {
+        /// The offending line address.
+        addr: LineAddr,
+        /// Number of lines in the media/region.
+        capacity_lines: u64,
+    },
+    /// The simulated machine has crashed; the operation did not take effect.
+    ///
+    /// Components surface this when the [`CrashClock`](crate::CrashClock)
+    /// fires mid-operation, so tests can unwind to the recovery path.
+    Crashed,
+    /// A pool file had a bad magic number or unsupported version.
+    BadPool(String),
+    /// A pool was configured with inconsistent region sizes.
+    BadLayout(String),
+    /// The persistent undo-log region is full.
+    LogFull {
+        /// Capacity of the log region in entries.
+        capacity_entries: u64,
+    },
+    /// Underlying file I/O failed while loading or syncing a pool file.
+    Io(io::Error),
+}
+
+impl fmt::Display for PmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmError::OutOfBounds { addr, capacity_lines } => {
+                write!(f, "{addr} is out of bounds for media of {capacity_lines} lines")
+            }
+            PmError::Crashed => write!(f, "simulated crash occurred"),
+            PmError::BadPool(msg) => write!(f, "invalid pool file: {msg}"),
+            PmError::BadLayout(msg) => write!(f, "invalid pool layout: {msg}"),
+            PmError::LogFull { capacity_entries } => {
+                write!(f, "undo log region full ({capacity_entries} entries)")
+            }
+            PmError::Io(e) => write!(f, "pool file I/O failed: {e}"),
+        }
+    }
+}
+
+impl Error for PmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PmError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PmError {
+    fn from(e: io::Error) -> Self {
+        PmError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = PmError::OutOfBounds { addr: LineAddr(16), capacity_lines: 8 };
+        let s = e.to_string();
+        assert!(s.contains("out of bounds"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        let e = PmError::from(io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PmError>();
+    }
+}

@@ -1,0 +1,221 @@
+//! Cache lines and line-aligned addressing.
+//!
+//! Every component in the PAX stack — host CPU caches, CXL coherence
+//! messages, the device HBM cache, and the undo log — operates on 64-byte
+//! cache lines. This module provides the [`CacheLine`] value type and the
+//! [`LineAddr`] newtype that statically distinguishes line numbers from raw
+//! byte addresses (the source of a whole class of off-by-shift bugs).
+
+use std::fmt;
+
+/// Size of a cache line in bytes on the simulated platform (x86/ThunderX).
+pub const LINE_SIZE: usize = 64;
+
+/// Size of a virtual memory page in bytes; the granularity at which the
+/// page-fault-based baselines must log (§1 of the paper).
+pub const PAGE_SIZE: usize = 4096;
+
+/// A line-aligned address: the index of a 64-byte line within a memory.
+///
+/// `LineAddr(3)` refers to bytes `[192, 256)`. Using a newtype instead of a
+/// bare `u64` keeps byte offsets and line numbers from being confused
+/// (C-NEWTYPE).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Converts a byte address to the address of the line containing it.
+    ///
+    /// ```
+    /// use pax_pm::LineAddr;
+    /// assert_eq!(LineAddr::from_byte_addr(0), LineAddr(0));
+    /// assert_eq!(LineAddr::from_byte_addr(63), LineAddr(0));
+    /// assert_eq!(LineAddr::from_byte_addr(64), LineAddr(1));
+    /// ```
+    #[inline]
+    pub fn from_byte_addr(byte: u64) -> Self {
+        LineAddr(byte / LINE_SIZE as u64)
+    }
+
+    /// The byte address of the first byte of this line.
+    #[inline]
+    pub fn byte_addr(self) -> u64 {
+        self.0 * LINE_SIZE as u64
+    }
+
+    /// The page number this line falls in (for page-granularity baselines).
+    #[inline]
+    pub fn page(self) -> u64 {
+        self.byte_addr() / PAGE_SIZE as u64
+    }
+
+    /// The next line address.
+    #[inline]
+    pub fn next(self) -> Self {
+        LineAddr(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {:#x}", self.0)
+    }
+}
+
+impl From<LineAddr> for u64 {
+    fn from(a: LineAddr) -> u64 {
+        a.0
+    }
+}
+
+/// The contents of one 64-byte cache line.
+///
+/// `CacheLine` is a plain value: copying it models moving line data between
+/// caches, the device, and media. It is deliberately *not* `Copy` to make
+/// 64-byte copies visible in the code that performs them.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CacheLine([u8; LINE_SIZE]);
+
+impl CacheLine {
+    /// A line of all-zero bytes (the content of never-written PM).
+    pub fn zeroed() -> Self {
+        CacheLine([0; LINE_SIZE])
+    }
+
+    /// A line with every byte set to `b`; handy in tests.
+    pub fn filled(b: u8) -> Self {
+        CacheLine([b; LINE_SIZE])
+    }
+
+    /// Builds a line from exactly [`LINE_SIZE`] bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() != LINE_SIZE`.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), LINE_SIZE, "cache line must be 64 bytes");
+        let mut arr = [0u8; LINE_SIZE];
+        arr.copy_from_slice(bytes);
+        CacheLine(arr)
+    }
+
+    /// Read-only view of the line's bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8; LINE_SIZE] {
+        &self.0
+    }
+
+    /// Mutable view of the line's bytes.
+    #[inline]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8; LINE_SIZE] {
+        &mut self.0
+    }
+
+    /// Copies `src` into the line starting at byte `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + src.len() > LINE_SIZE`.
+    pub fn write_at(&mut self, offset: usize, src: &[u8]) {
+        self.0[offset..offset + src.len()].copy_from_slice(src);
+    }
+
+    /// Returns the `len` bytes starting at `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len > LINE_SIZE`.
+    pub fn read_at(&self, offset: usize, len: usize) -> &[u8] {
+        &self.0[offset..offset + len]
+    }
+}
+
+impl Default for CacheLine {
+    fn default() -> Self {
+        CacheLine::zeroed()
+    }
+}
+
+impl fmt::Debug for CacheLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Print only a prefix; full 64-byte dumps drown test output.
+        write!(
+            f,
+            "CacheLine[{:02x}{:02x}{:02x}{:02x}…]",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+impl From<[u8; LINE_SIZE]> for CacheLine {
+    fn from(arr: [u8; LINE_SIZE]) -> Self {
+        CacheLine(arr)
+    }
+}
+
+impl AsRef<[u8]> for CacheLine {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_addr_round_trip() {
+        for byte in [0u64, 1, 63, 64, 65, 4095, 4096, u32::MAX as u64] {
+            let l = LineAddr::from_byte_addr(byte);
+            assert!(l.byte_addr() <= byte);
+            assert!(byte < l.byte_addr() + LINE_SIZE as u64);
+        }
+    }
+
+    #[test]
+    fn line_addr_page() {
+        assert_eq!(LineAddr::from_byte_addr(0).page(), 0);
+        assert_eq!(LineAddr::from_byte_addr(4095).page(), 0);
+        assert_eq!(LineAddr::from_byte_addr(4096).page(), 1);
+        // 64 lines per 4 KiB page.
+        assert_eq!(LineAddr(63).page(), 0);
+        assert_eq!(LineAddr(64).page(), 1);
+    }
+
+    #[test]
+    fn cache_line_write_read_at() {
+        let mut l = CacheLine::zeroed();
+        l.write_at(8, &[1, 2, 3, 4]);
+        assert_eq!(l.read_at(8, 4), &[1, 2, 3, 4]);
+        assert_eq!(l.read_at(0, 8), &[0; 8]);
+        assert_eq!(l.read_at(12, 4), &[0; 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cache_line_write_out_of_bounds() {
+        let mut l = CacheLine::zeroed();
+        l.write_at(60, &[0; 8]);
+    }
+
+    #[test]
+    fn cache_line_from_bytes() {
+        let bytes = [7u8; LINE_SIZE];
+        let l = CacheLine::from_bytes(&bytes);
+        assert_eq!(l.as_bytes(), &bytes);
+        assert_eq!(l, CacheLine::filled(7));
+        assert_ne!(l, CacheLine::zeroed());
+    }
+
+    #[test]
+    fn next_advances_one_line() {
+        assert_eq!(LineAddr(7).next(), LineAddr(8));
+        assert_eq!(LineAddr(7).next().byte_addr(), 8 * 64);
+    }
+}

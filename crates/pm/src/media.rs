@@ -1,0 +1,392 @@
+//! Memory media with an explicit durability boundary.
+//!
+//! The whole point of crash-consistency work is the gap between *written*
+//! and *durable*. This module makes that gap explicit:
+//!
+//! * [`PmMedia`] models a persistent DIMM plus the memory controller's
+//!   write-pending queue (WPQ). A written line sits in the WPQ until it
+//!   drains to the durable array. The configured [`PersistenceDomain`]
+//!   decides what happens to the WPQ at a crash: under **ADR** (and eADR)
+//!   the WPQ is inside the persistence domain and drains on power loss;
+//!   with [`PersistenceDomain::None`] queued writes are lost.
+//! * [`DramMedia`] models volatile memory: a crash clears everything.
+//!
+//! Host-CPU caches are *not* part of any medium — dirty lines living in the
+//! simulated CPU cache (see `pax-cache`) are simply absent from the medium
+//! and therefore lost on crash, exactly the hazard the paper addresses.
+
+use std::collections::VecDeque;
+
+use crate::error::PmError;
+use crate::line::{CacheLine, LineAddr};
+use crate::Result;
+
+/// Which part of the write path survives power loss (§1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PersistenceDomain {
+    /// Nothing queued survives; only lines already on media do.
+    None,
+    /// Asynchronous DRAM Refresh: writes accepted by the memory
+    /// controller's WPQ are flushed on power loss and survive.
+    Adr,
+    /// Extended ADR: CPU caches are also flushed on power loss. The cache
+    /// simulator consults this to decide whether dirty CPU lines survive;
+    /// at the media level it behaves like [`PersistenceDomain::Adr`].
+    Eadr,
+}
+
+impl PersistenceDomain {
+    /// Whether writes sitting in the WPQ survive a crash.
+    pub fn wpq_survives(self) -> bool {
+        !matches!(self, PersistenceDomain::None)
+    }
+
+    /// Whether dirty lines in CPU caches survive a crash.
+    pub fn cpu_caches_survive(self) -> bool {
+        matches!(self, PersistenceDomain::Eadr)
+    }
+}
+
+/// Access statistics for a medium; inputs to the timing models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediaStats {
+    /// Number of line reads served.
+    pub line_reads: u64,
+    /// Number of line writes accepted.
+    pub line_writes: u64,
+    /// Number of lines dropped from the WPQ by a crash.
+    pub lines_lost_in_wpq: u64,
+    /// Number of crashes this medium has survived.
+    pub crashes: u64,
+}
+
+impl MediaStats {
+    /// Total bytes read from the medium.
+    pub fn bytes_read(&self) -> u64 {
+        self.line_reads * crate::LINE_SIZE as u64
+    }
+
+    /// Total bytes written to the medium.
+    pub fn bytes_written(&self) -> u64 {
+        self.line_writes * crate::LINE_SIZE as u64
+    }
+}
+
+/// Line-granularity memory with crash semantics.
+///
+/// Implemented by [`PmMedia`] and [`DramMedia`]. All PAX components are
+/// written against this trait so tests can swap media freely.
+pub trait Memory {
+    /// Reads the line at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::OutOfBounds`] if `addr` is past the end.
+    fn read_line(&mut self, addr: LineAddr) -> Result<CacheLine>;
+
+    /// Writes the line at `addr`.
+    ///
+    /// For persistent media the write is only *queued*; call
+    /// [`Memory::drain`] (or rely on the persistence domain at crash time)
+    /// for durability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::OutOfBounds`] if `addr` is past the end.
+    fn write_line(&mut self, addr: LineAddr, line: CacheLine) -> Result<()>;
+
+    /// Forces all queued writes to the durable array (an `SFENCE` +
+    /// queue-drain on real hardware).
+    fn drain(&mut self);
+
+    /// Simulates power loss, applying the medium's persistence semantics.
+    fn crash(&mut self);
+
+    /// Capacity in lines.
+    fn capacity_lines(&self) -> u64;
+
+    /// Cumulative access statistics.
+    fn stats(&self) -> MediaStats;
+}
+
+/// Simulated persistent memory: durable array + write-pending queue.
+///
+/// # Example
+///
+/// ```
+/// use pax_pm::{PmMedia, Memory, PersistenceDomain, LineAddr, CacheLine};
+///
+/// // Without ADR, a crash loses writes still sitting in the WPQ.
+/// let mut pm = PmMedia::new(4096, PersistenceDomain::None);
+/// pm.write_line(LineAddr(0), CacheLine::filled(9)).unwrap();
+/// pm.crash();
+/// assert_eq!(pm.read_line(LineAddr(0)).unwrap(), CacheLine::zeroed());
+/// ```
+#[derive(Debug)]
+pub struct PmMedia {
+    durable: Vec<CacheLine>,
+    wpq: VecDeque<(LineAddr, CacheLine)>,
+    wpq_capacity: usize,
+    domain: PersistenceDomain,
+    stats: MediaStats,
+}
+
+/// Default depth of the write-pending queue (tens of entries on real iMCs).
+pub const DEFAULT_WPQ_DEPTH: usize = 64;
+
+impl PmMedia {
+    /// Creates a zero-filled persistent medium of `capacity_bytes`
+    /// (rounded up to whole lines) with the given persistence domain.
+    pub fn new(capacity_bytes: usize, domain: PersistenceDomain) -> Self {
+        let lines = capacity_bytes.div_ceil(crate::LINE_SIZE);
+        PmMedia {
+            durable: vec![CacheLine::zeroed(); lines],
+            wpq: VecDeque::new(),
+            wpq_capacity: DEFAULT_WPQ_DEPTH,
+            domain,
+            stats: MediaStats::default(),
+        }
+    }
+
+    /// The configured persistence domain.
+    pub fn domain(&self) -> PersistenceDomain {
+        self.domain
+    }
+
+    /// Number of writes currently pending in the WPQ.
+    pub fn wpq_len(&self) -> usize {
+        self.wpq.len()
+    }
+
+    /// Reads the *durable* contents at `addr`, ignoring the WPQ.
+    ///
+    /// This is what a post-crash reader would see if the WPQ were lost;
+    /// recovery tests use it to assert on-media state.
+    pub fn read_durable(&self, addr: LineAddr) -> Result<CacheLine> {
+        self.check(addr)?;
+        Ok(self.durable[addr.0 as usize].clone())
+    }
+
+    fn check(&self, addr: LineAddr) -> Result<()> {
+        if addr.0 >= self.durable.len() as u64 {
+            return Err(PmError::OutOfBounds { addr, capacity_lines: self.durable.len() as u64 });
+        }
+        Ok(())
+    }
+
+    fn drain_one(&mut self) {
+        if let Some((addr, line)) = self.wpq.pop_front() {
+            self.durable[addr.0 as usize] = line;
+        }
+    }
+}
+
+impl Memory for PmMedia {
+    fn read_line(&mut self, addr: LineAddr) -> Result<CacheLine> {
+        self.check(addr)?;
+        self.stats.line_reads += 1;
+        // Reads must observe queued writes (store-to-load forwarding at
+        // the controller); scan the WPQ newest-first.
+        for (a, l) in self.wpq.iter().rev() {
+            if *a == addr {
+                return Ok(l.clone());
+            }
+        }
+        Ok(self.durable[addr.0 as usize].clone())
+    }
+
+    fn write_line(&mut self, addr: LineAddr, line: CacheLine) -> Result<()> {
+        self.check(addr)?;
+        self.stats.line_writes += 1;
+        if self.wpq.len() >= self.wpq_capacity {
+            // A full WPQ forces the oldest entry to media, like real iMCs.
+            self.drain_one();
+        }
+        self.wpq.push_back((addr, line));
+        Ok(())
+    }
+
+    fn drain(&mut self) {
+        while !self.wpq.is_empty() {
+            self.drain_one();
+        }
+    }
+
+    fn crash(&mut self) {
+        self.stats.crashes += 1;
+        if self.domain.wpq_survives() {
+            self.drain();
+        } else {
+            self.stats.lines_lost_in_wpq += self.wpq.len() as u64;
+            self.wpq.clear();
+        }
+    }
+
+    fn capacity_lines(&self) -> u64 {
+        self.durable.len() as u64
+    }
+
+    fn stats(&self) -> MediaStats {
+        self.stats
+    }
+}
+
+/// Volatile memory: contents are cleared by a crash.
+#[derive(Debug)]
+pub struct DramMedia {
+    lines: Vec<CacheLine>,
+    stats: MediaStats,
+}
+
+impl DramMedia {
+    /// Creates a zero-filled volatile medium of `capacity_bytes`.
+    pub fn new(capacity_bytes: usize) -> Self {
+        let lines = capacity_bytes.div_ceil(crate::LINE_SIZE);
+        DramMedia { lines: vec![CacheLine::zeroed(); lines], stats: MediaStats::default() }
+    }
+
+    fn check(&self, addr: LineAddr) -> Result<()> {
+        if addr.0 >= self.lines.len() as u64 {
+            return Err(PmError::OutOfBounds { addr, capacity_lines: self.lines.len() as u64 });
+        }
+        Ok(())
+    }
+}
+
+impl Memory for DramMedia {
+    fn read_line(&mut self, addr: LineAddr) -> Result<CacheLine> {
+        self.check(addr)?;
+        self.stats.line_reads += 1;
+        Ok(self.lines[addr.0 as usize].clone())
+    }
+
+    fn write_line(&mut self, addr: LineAddr, line: CacheLine) -> Result<()> {
+        self.check(addr)?;
+        self.stats.line_writes += 1;
+        self.lines[addr.0 as usize] = line;
+        Ok(())
+    }
+
+    fn drain(&mut self) {}
+
+    fn crash(&mut self) {
+        self.stats.crashes += 1;
+        for l in &mut self.lines {
+            *l = CacheLine::zeroed();
+        }
+    }
+
+    fn capacity_lines(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    fn stats(&self) -> MediaStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(b: u8) -> CacheLine {
+        CacheLine::filled(b)
+    }
+
+    #[test]
+    fn write_then_read_sees_wpq_contents() {
+        let mut pm = PmMedia::new(1 << 16, PersistenceDomain::None);
+        pm.write_line(LineAddr(3), fill(1)).unwrap();
+        assert_eq!(pm.read_line(LineAddr(3)).unwrap(), fill(1));
+        // Durable view still zero until drained.
+        assert_eq!(pm.read_durable(LineAddr(3)).unwrap(), CacheLine::zeroed());
+        pm.drain();
+        assert_eq!(pm.read_durable(LineAddr(3)).unwrap(), fill(1));
+    }
+
+    #[test]
+    fn newest_wpq_write_wins() {
+        let mut pm = PmMedia::new(1 << 16, PersistenceDomain::Adr);
+        pm.write_line(LineAddr(5), fill(1)).unwrap();
+        pm.write_line(LineAddr(5), fill(2)).unwrap();
+        assert_eq!(pm.read_line(LineAddr(5)).unwrap(), fill(2));
+        pm.drain();
+        assert_eq!(pm.read_durable(LineAddr(5)).unwrap(), fill(2));
+    }
+
+    #[test]
+    fn adr_crash_preserves_queued_writes() {
+        let mut pm = PmMedia::new(1 << 16, PersistenceDomain::Adr);
+        pm.write_line(LineAddr(0), fill(7)).unwrap();
+        pm.crash();
+        assert_eq!(pm.read_line(LineAddr(0)).unwrap(), fill(7));
+        assert_eq!(pm.stats().lines_lost_in_wpq, 0);
+    }
+
+    #[test]
+    fn no_adr_crash_drops_queued_writes() {
+        let mut pm = PmMedia::new(1 << 16, PersistenceDomain::None);
+        pm.write_line(LineAddr(0), fill(7)).unwrap();
+        pm.crash();
+        assert_eq!(pm.read_line(LineAddr(0)).unwrap(), CacheLine::zeroed());
+        assert_eq!(pm.stats().lines_lost_in_wpq, 1);
+    }
+
+    #[test]
+    fn wpq_overflow_spills_oldest_to_media() {
+        let mut pm = PmMedia::new(1 << 20, PersistenceDomain::None);
+        for i in 0..(DEFAULT_WPQ_DEPTH as u64 + 8) {
+            pm.write_line(LineAddr(i), fill(i as u8)).unwrap();
+        }
+        assert_eq!(pm.wpq_len(), DEFAULT_WPQ_DEPTH);
+        // The first 8 writes were forced out and are durable even after a
+        // non-ADR crash.
+        pm.crash();
+        for i in 0..8u64 {
+            assert_eq!(pm.read_durable(LineAddr(i)).unwrap(), fill(i as u8));
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut pm = PmMedia::new(64, PersistenceDomain::Adr);
+        assert!(matches!(
+            pm.read_line(LineAddr(1)),
+            Err(PmError::OutOfBounds { .. })
+        ));
+        assert!(pm.write_line(LineAddr(99), fill(0)).is_err());
+    }
+
+    #[test]
+    fn dram_crash_clears_contents() {
+        let mut d = DramMedia::new(1 << 12);
+        d.write_line(LineAddr(1), fill(3)).unwrap();
+        assert_eq!(d.read_line(LineAddr(1)).unwrap(), fill(3));
+        d.crash();
+        assert_eq!(d.read_line(LineAddr(1)).unwrap(), CacheLine::zeroed());
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let mut pm = PmMedia::new(1 << 12, PersistenceDomain::Adr);
+        pm.write_line(LineAddr(0), fill(1)).unwrap();
+        pm.read_line(LineAddr(0)).unwrap();
+        assert_eq!(pm.stats().bytes_written(), 64);
+        assert_eq!(pm.stats().bytes_read(), 64);
+    }
+
+    #[test]
+    fn domain_predicates() {
+        assert!(!PersistenceDomain::None.wpq_survives());
+        assert!(PersistenceDomain::Adr.wpq_survives());
+        assert!(!PersistenceDomain::Adr.cpu_caches_survive());
+        assert!(PersistenceDomain::Eadr.cpu_caches_survive());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_lines() {
+        let pm = PmMedia::new(65, PersistenceDomain::Adr);
+        assert_eq!(pm.capacity_lines(), 2);
+    }
+}

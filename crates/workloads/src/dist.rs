@@ -1,0 +1,200 @@
+//! Key-selection distributions.
+
+use rand::Rng;
+
+/// How keys are drawn from the key space `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum KeyDistribution {
+    /// Every key equally likely — the paper's Fig. 2a workload.
+    Uniform,
+    /// Zipfian with skew `theta` (YCSB uses 0.99); popular keys dominate.
+    Zipfian {
+        /// Skew parameter in `(0, 1)`; larger = more skewed.
+        theta: f64,
+    },
+    /// Keys drawn in ascending sequence (scan-like locality).
+    Sequential,
+}
+
+impl KeyDistribution {
+    /// Builds a sampler for a key space of `n` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or a Zipfian `theta` is outside `(0, 1)`.
+    pub fn sampler(self, n: u64) -> KeySampler {
+        assert!(n > 0, "key space must be non-empty");
+        match self {
+            KeyDistribution::Uniform => KeySampler::Uniform { n },
+            KeyDistribution::Zipfian { theta } => {
+                assert!(
+                    theta > 0.0 && theta < 1.0,
+                    "zipfian theta must be in (0, 1), got {theta}"
+                );
+                // Gray et al.'s quick Zipfian sampler, as used by YCSB.
+                let zetan = zeta(n, theta);
+                let zeta2 = zeta(2, theta);
+                let alpha = 1.0 / (1.0 - theta);
+                let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+                KeySampler::Zipfian { n, theta, zetan, alpha, eta }
+            }
+            KeyDistribution::Sequential => KeySampler::Sequential { n, next: 0 },
+        }
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Exact for small n; sampled-extrapolated for large n so construction
+    // stays O(1e6) instead of O(n).
+    const EXACT_LIMIT: u64 = 1_000_000;
+    if n <= EXACT_LIMIT {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    } else {
+        let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        // Integral approximation of the tail.
+        let tail = ((n as f64).powf(1.0 - theta) - (EXACT_LIMIT as f64).powf(1.0 - theta))
+            / (1.0 - theta);
+        head + tail
+    }
+}
+
+/// A prepared sampler over a fixed key space (see [`KeyDistribution`]).
+#[derive(Debug, Clone)]
+pub enum KeySampler {
+    /// Uniform sampler state.
+    Uniform {
+        /// Key-space size.
+        n: u64,
+    },
+    /// Zipfian sampler state (Gray's method).
+    Zipfian {
+        /// Key-space size.
+        n: u64,
+        /// Skew.
+        theta: f64,
+        /// Precomputed harmonic normalizer.
+        zetan: f64,
+        /// Precomputed `1/(1-theta)`.
+        alpha: f64,
+        /// Precomputed eta.
+        eta: f64,
+    },
+    /// Sequential sampler state.
+    Sequential {
+        /// Key-space size.
+        n: u64,
+        /// Next key to emit.
+        next: u64,
+    },
+}
+
+impl KeySampler {
+    /// Draws the next key.
+    pub fn sample<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        match self {
+            KeySampler::Uniform { n } => rng.gen_range(0..*n),
+            KeySampler::Zipfian { n, theta, zetan, alpha, eta } => {
+                let u: f64 = rng.gen();
+                let uz = u * *zetan;
+                if uz < 1.0 {
+                    0
+                } else if uz < 1.0 + 0.5f64.powf(*theta) {
+                    1
+                } else {
+                    let rank = (*n as f64 * (*eta * u - *eta + 1.0).powf(*alpha)) as u64;
+                    // Scramble so hot keys spread over the key space, as
+                    // YCSB's scrambled-zipfian does.
+                    scramble(rank.min(*n - 1)) % *n
+                }
+            }
+            KeySampler::Sequential { n, next } => {
+                let k = *next;
+                *next = (*next + 1) % *n;
+                k
+            }
+        }
+    }
+}
+
+fn scramble(k: u64) -> u64 {
+    // FNV-style scrambling keeps the rank→key mapping stable.
+    let mut h = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_key_space() {
+        let mut s = KeyDistribution::Uniform.sampler(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5000 {
+            let k = s.sample(&mut rng);
+            assert!(k < 100);
+            seen.insert(k);
+        }
+        assert_eq!(seen.len(), 100, "uniform should touch every key");
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut s = KeyDistribution::Zipfian { theta: 0.99 }.sampler(10_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(s.sample(&mut rng)).or_insert(0u64) += 1;
+        }
+        let mut freq: Vec<u64> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = freq.iter().take(10).sum();
+        assert!(
+            top10 > 20_000 / 4,
+            "top-10 keys should dominate a 0.99-zipfian, got {top10}/20000"
+        );
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut s = KeyDistribution::Sequential.sampler(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let ks: Vec<u64> = (0..7).map(|_| s.sample(&mut rng)).collect();
+        assert_eq!(ks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn zipfian_keys_stay_in_range() {
+        let mut s = KeyDistribution::Zipfian { theta: 0.5 }.sampler(7);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(s.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_keys_rejected() {
+        KeyDistribution::Uniform.sampler(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_theta_rejected() {
+        KeyDistribution::Zipfian { theta: 1.5 }.sampler(10);
+    }
+
+    #[test]
+    fn zeta_large_n_is_finite_and_monotone() {
+        let a = zeta(1_000_000, 0.99);
+        let b = zeta(10_000_000, 0.99);
+        assert!(a.is_finite() && b.is_finite());
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic key-value workload generators for the PAX benchmarks.
+//!
+//! The paper's evaluation uses two workload shapes: a read-only
+//! hash-table benchmark with "small 8 B keys and values and a uniform
+//! random key access distribution" (Fig. 2a) and a "write-only workload"
+//! (Fig. 2b). This crate generates those — plus Zipfian skew and
+//! YCSB-style mixes for the extended experiments — as reproducible,
+//! seeded operation streams.
+//!
+//! # Example
+//!
+//! ```
+//! use pax_workloads::{OpMix, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::fig2a_read_only(10_000, 100).with_seed(7);
+//! let ops: Vec<_> = spec.ops().collect();
+//! assert_eq!(ops.len(), 100);
+//! assert!(ops.iter().all(|op| op.is_read()));
+//! // Deterministic: the same seed yields the same stream.
+//! assert_eq!(ops, spec.ops().collect::<Vec<_>>());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod mix;
+pub mod spec;
+
+pub use dist::KeyDistribution;
+pub use mix::OpMix;
+pub use spec::{Op, WorkloadSpec};

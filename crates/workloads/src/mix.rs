@@ -1,0 +1,96 @@
+//! Operation mixes.
+
+/// Percentages of each operation type in a workload (must sum to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Point lookups.
+    pub read_pct: u8,
+    /// Inserts of possibly-new keys.
+    pub insert_pct: u8,
+    /// Overwrites of existing keys.
+    pub update_pct: u8,
+    /// Removals.
+    pub remove_pct: u8,
+}
+
+impl OpMix {
+    /// Constructs a mix, validating the percentages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fields do not sum to 100.
+    pub fn new(read_pct: u8, insert_pct: u8, update_pct: u8, remove_pct: u8) -> Self {
+        let m = OpMix { read_pct, insert_pct, update_pct, remove_pct };
+        assert_eq!(
+            read_pct as u32 + insert_pct as u32 + update_pct as u32 + remove_pct as u32,
+            100,
+            "op mix must sum to 100"
+        );
+        m
+    }
+
+    /// Fig. 2a's workload: 100% `get()`.
+    pub const fn read_only() -> Self {
+        OpMix { read_pct: 100, insert_pct: 0, update_pct: 0, remove_pct: 0 }
+    }
+
+    /// Fig. 2b's workload: write-only inserts.
+    pub const fn write_only() -> Self {
+        OpMix { read_pct: 0, insert_pct: 100, update_pct: 0, remove_pct: 0 }
+    }
+
+    /// YCSB-A: 50% reads, 50% updates.
+    pub const fn ycsb_a() -> Self {
+        OpMix { read_pct: 50, insert_pct: 0, update_pct: 50, remove_pct: 0 }
+    }
+
+    /// YCSB-B: 95% reads, 5% updates.
+    pub const fn ycsb_b() -> Self {
+        OpMix { read_pct: 95, insert_pct: 0, update_pct: 5, remove_pct: 0 }
+    }
+
+    /// A churn mix exercising allocation recycling: inserts vs removals.
+    pub const fn churn() -> Self {
+        OpMix { read_pct: 20, insert_pct: 40, update_pct: 0, remove_pct: 40 }
+    }
+
+    /// Fraction of operations that mutate state.
+    pub fn write_fraction(&self) -> f64 {
+        (self.insert_pct + self.update_pct + self.remove_pct) as f64 / 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_sum_to_100() {
+        for m in [
+            OpMix::read_only(),
+            OpMix::write_only(),
+            OpMix::ycsb_a(),
+            OpMix::ycsb_b(),
+            OpMix::churn(),
+        ] {
+            assert_eq!(
+                m.read_pct as u32 + m.insert_pct as u32 + m.update_pct as u32
+                    + m.remove_pct as u32,
+                100
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_mix_rejected() {
+        OpMix::new(50, 10, 10, 10);
+    }
+
+    #[test]
+    fn write_fraction() {
+        assert_eq!(OpMix::read_only().write_fraction(), 0.0);
+        assert_eq!(OpMix::write_only().write_fraction(), 1.0);
+        assert_eq!(OpMix::ycsb_a().write_fraction(), 0.5);
+    }
+}

@@ -1,0 +1,197 @@
+//! Workload specifications and operation streams.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::{KeyDistribution, KeySampler};
+use crate::mix::OpMix;
+
+/// One key-value operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Point lookup.
+    Get(u64),
+    /// Insert (or overwrite) `key → value`.
+    Insert(u64, u64),
+    /// Overwrite of a (presumed existing) key.
+    Update(u64, u64),
+    /// Removal.
+    Remove(u64),
+}
+
+impl Op {
+    /// The key the operation targets.
+    pub fn key(&self) -> u64 {
+        match self {
+            Op::Get(k) | Op::Insert(k, _) | Op::Update(k, _) | Op::Remove(k) => *k,
+        }
+    }
+
+    /// Whether the operation is a read.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Get(_))
+    }
+}
+
+/// A reproducible workload: key space, mix, distribution, length, seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Size of the key space.
+    pub keys: u64,
+    /// Number of operations to generate.
+    pub ops: u64,
+    /// Key-selection distribution.
+    pub dist: KeyDistribution,
+    /// Operation mix.
+    pub mix: OpMix,
+    /// RNG seed (same seed ⇒ same stream).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's Fig. 2a workload: uniform-random `get()`s over small
+    /// keys/values.
+    pub fn fig2a_read_only(keys: u64, ops: u64) -> Self {
+        WorkloadSpec { keys, ops, dist: KeyDistribution::Uniform, mix: OpMix::read_only(), seed: 42 }
+    }
+
+    /// The paper's Fig. 2b workload: write-only inserts, uniform keys.
+    pub fn fig2b_write_only(keys: u64, ops: u64) -> Self {
+        WorkloadSpec {
+            keys,
+            ops,
+            dist: KeyDistribution::Uniform,
+            mix: OpMix::write_only(),
+            seed: 42,
+        }
+    }
+
+    /// Returns the spec with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the spec with a different distribution.
+    pub fn with_dist(mut self, dist: KeyDistribution) -> Self {
+        self.dist = dist;
+        self
+    }
+
+    /// Returns the spec with a different mix.
+    pub fn with_mix(mut self, mix: OpMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// The operation stream, deterministically derived from the seed.
+    pub fn ops(&self) -> OpStream {
+        OpStream {
+            rng: StdRng::seed_from_u64(self.seed),
+            sampler: self.dist.sampler(self.keys),
+            mix: self.mix,
+            remaining: self.ops,
+        }
+    }
+
+    /// Keys to preload before running a read/update-heavy stream (every
+    /// key in the space, so lookups hit).
+    pub fn load_keys(&self) -> impl Iterator<Item = u64> {
+        0..self.keys
+    }
+}
+
+/// Iterator over a spec's operations (see [`WorkloadSpec::ops`]).
+#[derive(Debug, Clone)]
+pub struct OpStream {
+    rng: StdRng,
+    sampler: KeySampler,
+    mix: OpMix,
+    remaining: u64,
+}
+
+impl Iterator for OpStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let key = self.sampler.sample(&mut self.rng);
+        let roll: u8 = self.rng.gen_range(0..100);
+        let value: u64 = self.rng.gen();
+        let m = self.mix;
+        Some(if roll < m.read_pct {
+            Op::Get(key)
+        } else if roll < m.read_pct + m.insert_pct {
+            Op::Insert(key, value)
+        } else if roll < m.read_pct + m.insert_pct + m.update_pct {
+            Op::Update(key, value)
+        } else {
+            Op::Remove(key)
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+impl ExactSizeIterator for OpStream {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let spec = WorkloadSpec::fig2b_write_only(1000, 500).with_seed(9);
+        let a: Vec<Op> = spec.ops().collect();
+        let b: Vec<Op> = spec.ops().collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<Op> = WorkloadSpec::fig2b_write_only(1000, 100).with_seed(1).ops().collect();
+        let b: Vec<Op> = WorkloadSpec::fig2b_write_only(1000, 100).with_seed(2).ops().collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mix_proportions_are_respected() {
+        let spec = WorkloadSpec {
+            keys: 100,
+            ops: 10_000,
+            dist: KeyDistribution::Uniform,
+            mix: OpMix::ycsb_b(),
+            seed: 3,
+        };
+        let reads = spec.ops().filter(Op::is_read).count();
+        assert!((9_200..=9_800).contains(&reads), "95% reads expected, got {reads}");
+    }
+
+    #[test]
+    fn fig2a_is_pure_reads_and_fig2b_pure_inserts() {
+        assert!(WorkloadSpec::fig2a_read_only(10, 100).ops().all(|o| o.is_read()));
+        assert!(WorkloadSpec::fig2b_write_only(10, 100)
+            .ops()
+            .all(|o| matches!(o, Op::Insert(_, _))));
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let mut s = WorkloadSpec::fig2a_read_only(10, 5).ops();
+        assert_eq!(s.len(), 5);
+        s.next();
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn op_accessors() {
+        assert_eq!(Op::Insert(3, 4).key(), 3);
+        assert!(!Op::Remove(1).is_read());
+    }
+}

@@ -1,0 +1,161 @@
+//! Non-blocking persist (§6 "Looking Forward"): epochs overlap — the
+//! application continues into epoch N+1 while epoch N drains; durability
+//! of N holds from the moment it commits; recovery always lands on the
+//! newest *committed* epoch, even with interleaved cross-epoch writes to
+//! the same lines.
+
+use libpax::{Heap, MemSpace, PHashMap, PaxConfig, PaxPool};
+use pax_pm::PoolConfig;
+
+fn config() -> PaxConfig {
+    PaxConfig::default()
+        .with_pool(PoolConfig::small().with_data_bytes(8 << 20).with_log_bytes(64 << 20))
+}
+
+#[test]
+fn async_persist_returns_immediately_and_commits_later() {
+    let pool = PaxPool::create(config()).unwrap();
+    let vpm = pool.vpm();
+    for i in 0..32u64 {
+        vpm.write_u64(i * 64, 1).unwrap();
+    }
+    let epoch = pool.persist_async().unwrap();
+    assert_eq!(epoch, 1);
+    assert_eq!(pool.persist_pending().unwrap(), Some(1));
+    // Not yet committed:
+    assert_eq!(pool.committed_epoch().unwrap(), 0);
+
+    // The application keeps working; background progress happens on its
+    // accesses, plus explicit polls.
+    let mut committed = None;
+    for i in 0..200u64 {
+        vpm.write_u64((64 + i % 8) * 64, i).unwrap();
+        if committed.is_none() {
+            committed = pool.persist_poll().unwrap();
+        }
+    }
+    if committed.is_none() {
+        pool.persist_wait().unwrap();
+    }
+    assert_eq!(pool.committed_epoch().unwrap(), 1);
+    assert_eq!(pool.persist_pending().unwrap(), None);
+}
+
+#[test]
+fn work_during_drain_lands_in_the_next_epoch() {
+    let pool = PaxPool::create(config()).unwrap();
+    let vpm = pool.vpm();
+    vpm.write_u64(0, 10).unwrap();
+    pool.persist_async().unwrap(); // epoch 1 draining
+
+    // Epoch 2 work, interleaved with the drain:
+    vpm.write_u64(64, 20).unwrap();
+    pool.persist_wait().unwrap(); // epoch 1 committed
+    assert_eq!(pool.committed_epoch().unwrap(), 1);
+
+    // Crash now: epoch 2 is lost, epoch 1 survives.
+    let pm = pool.crash().unwrap();
+    let pool = PaxPool::open(pm, config()).unwrap();
+    let vpm = pool.vpm();
+    assert_eq!(vpm.read_u64(0).unwrap(), 10);
+    assert_eq!(vpm.read_u64(64).unwrap(), 0, "epoch-2 write must be rolled back");
+}
+
+#[test]
+fn cross_epoch_rewrites_of_the_same_line_are_ordered() {
+    // The hard case from §6: the same line is modified in epoch N (value
+    // A, draining) and again in epoch N+1 (value B) before N commits. The
+    // pre-image logged for N+1 must be A (not the pre-N value), and the
+    // final PM state must be B after N+1 commits.
+    let pool = PaxPool::create(config()).unwrap();
+    let vpm = pool.vpm();
+    vpm.write_u64(0, 0xA).unwrap();
+    pool.persist_async().unwrap(); // epoch 1 draining with value A
+
+    vpm.write_u64(0, 0xB).unwrap(); // epoch 2 rewrite, drain still pending
+    pool.persist_wait().unwrap(); // epoch 1 commits
+
+    // Crash before epoch 2 persists: must recover value A.
+    let pm = pool.crash().unwrap();
+    let pool = PaxPool::open(pm, config()).unwrap();
+    let vpm = pool.vpm();
+    assert_eq!(vpm.read_u64(0).unwrap(), 0xA, "epoch-2 pre-image must be the epoch-1 value");
+
+    // And the full pipeline: rewrite + async persist of both epochs.
+    vpm.write_u64(0, 0xC).unwrap();
+    pool.persist_async().unwrap();
+    vpm.write_u64(0, 0xD).unwrap();
+    pool.persist_wait().unwrap();
+    pool.persist().unwrap(); // commit the D epoch synchronously
+    let pm = pool.crash().unwrap();
+    let pool = PaxPool::open(pm, config()).unwrap();
+    assert_eq!(pool.vpm().read_u64(0).unwrap(), 0xD);
+}
+
+#[test]
+fn crash_while_draining_recovers_to_previous_epoch() {
+    let pool = PaxPool::create(config()).unwrap();
+    let vpm = pool.vpm();
+    vpm.write_u64(0, 1).unwrap();
+    pool.persist().unwrap(); // epoch 1, committed
+
+    for i in 0..16u64 {
+        vpm.write_u64(i * 64, 100 + i).unwrap();
+    }
+    pool.persist_async().unwrap(); // epoch 2 draining
+    // Crash before the drain completes (no polls issued).
+    let pm = pool.crash().unwrap();
+    let pool = PaxPool::open(pm, config()).unwrap();
+    assert_eq!(pool.committed_epoch().unwrap(), 1);
+    let vpm = pool.vpm();
+    assert_eq!(vpm.read_u64(0).unwrap(), 1);
+    for i in 1..16u64 {
+        assert_eq!(vpm.read_u64(i * 64).unwrap(), 0, "line {i}");
+    }
+}
+
+#[test]
+fn overlapping_epochs_with_structures() {
+    let pool = PaxPool::create(config()).unwrap();
+    let map: PHashMap<u64, u64, _> =
+        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+
+    let mut committed_lens = Vec::new();
+    for batch in 0..6u64 {
+        for k in 0..50u64 {
+            map.insert(batch * 100 + k, batch).unwrap();
+        }
+        pool.persist_async().unwrap();
+        committed_lens.push((batch + 1) * 50);
+    }
+    pool.persist_wait().unwrap();
+    assert_eq!(pool.committed_epoch().unwrap(), 6);
+
+    let pm = pool.crash().unwrap();
+    let pool = PaxPool::open(pm, config()).unwrap();
+    let map: PHashMap<u64, u64, _> =
+        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    assert_eq!(map.len().unwrap(), 300);
+    assert_eq!(map.get(523).unwrap(), Some(5));
+}
+
+#[test]
+fn sync_persist_flushes_a_pending_drain_first() {
+    let pool = PaxPool::create(config()).unwrap();
+    let vpm = pool.vpm();
+    vpm.write_u64(0, 1).unwrap();
+    pool.persist_async().unwrap(); // epoch 1 draining
+    vpm.write_u64(64, 2).unwrap(); // epoch 2
+    let epoch = pool.persist().unwrap(); // must commit 1 then 2
+    assert_eq!(epoch, 2);
+    assert_eq!(pool.committed_epoch().unwrap(), 2);
+    assert_eq!(pool.persist_pending().unwrap(), None);
+}
+
+#[test]
+fn empty_async_epoch_commits() {
+    let pool = PaxPool::create(config()).unwrap();
+    let e = pool.persist_async().unwrap();
+    pool.persist_wait().unwrap();
+    assert_eq!(pool.committed_epoch().unwrap(), e);
+}

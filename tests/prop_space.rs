@@ -1,0 +1,129 @@
+//! Byte-level oracle tests: `VPm` must behave exactly like a flat byte
+//! array for arbitrary access patterns — every line split, offset, and
+//! partial-line read-modify-write in the interposition path is checked
+//! against a `Vec<u8>` model, including across persist/crash/recover.
+
+use libpax::{MemSpace, PaxConfig, PaxPool};
+use pax_pm::PoolConfig;
+use proptest::prelude::*;
+
+const SPACE_BYTES: usize = 16 << 10;
+
+fn config() -> PaxConfig {
+    PaxConfig::default()
+        .with_pool(PoolConfig::small().with_data_bytes(SPACE_BYTES).with_log_bytes(8 << 20))
+}
+
+#[derive(Debug, Clone)]
+enum Access {
+    Write { addr: u64, data: Vec<u8> },
+    Read { addr: u64, len: usize },
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    let max = SPACE_BYTES as u64;
+    prop_oneof![
+        (0..max, proptest::collection::vec(any::<u8>(), 1..200)).prop_map(move |(a, d)| {
+            let addr = a.min(max - d.len() as u64);
+            Access::Write { addr, data: d }
+        }),
+        (0..max, 1usize..200).prop_map(move |(a, l)| {
+            let addr = a.min(max - l as u64);
+            Access::Read { addr, len: l }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every read observes exactly what the byte-array model predicts,
+    /// regardless of how accesses split across cache lines and what the
+    /// cache/device/HBM/log machinery does underneath.
+    #[test]
+    fn vpm_matches_flat_byte_array(
+        accesses in proptest::collection::vec(access_strategy(), 1..120)
+    ) {
+        let pool = PaxPool::create(config()).unwrap();
+        let vpm = pool.vpm();
+        let mut model = vec![0u8; SPACE_BYTES];
+        for a in &accesses {
+            match a {
+                Access::Write { addr, data } => {
+                    vpm.write_bytes(*addr, data).unwrap();
+                    model[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+                }
+                Access::Read { addr, len } => {
+                    let mut buf = vec![0u8; *len];
+                    vpm.read_bytes(*addr, &mut buf).unwrap();
+                    prop_assert_eq!(
+                        &buf[..],
+                        &model[*addr as usize..*addr as usize + len],
+                        "read at {} len {}", addr, len
+                    );
+                }
+            }
+        }
+    }
+
+    /// After persist + crash + recover, every byte of vPM equals the
+    /// model at persist time.
+    #[test]
+    fn recovered_bytes_match_model_at_persist(
+        before in proptest::collection::vec(access_strategy(), 1..60),
+        after in proptest::collection::vec(access_strategy(), 0..40),
+    ) {
+        let pool = PaxPool::create(config()).unwrap();
+        let vpm = pool.vpm();
+        let mut model = vec![0u8; SPACE_BYTES];
+        for a in &before {
+            if let Access::Write { addr, data } = a {
+                vpm.write_bytes(*addr, data).unwrap();
+                model[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+            }
+        }
+        pool.persist().unwrap();
+        // Post-persist garbage that recovery must erase:
+        for a in &after {
+            if let Access::Write { addr, data } = a {
+                vpm.write_bytes(*addr, data).unwrap();
+            }
+        }
+
+        let pm = pool.crash().unwrap();
+        let pool = PaxPool::open(pm, config()).unwrap();
+        let vpm = pool.vpm();
+        let mut recovered = vec![0u8; SPACE_BYTES];
+        vpm.read_bytes(0, &mut recovered).unwrap();
+        prop_assert_eq!(recovered, model);
+    }
+
+    /// The multi-core host is byte-for-byte coherent: interleaved accesses
+    /// from different cores observe one consistent flat space.
+    #[test]
+    fn multicore_vpm_matches_flat_byte_array(
+        accesses in proptest::collection::vec((access_strategy(), 0usize..3), 1..80)
+    ) {
+        let pool = PaxPool::create(config().with_cores(3)).unwrap();
+        let vpms: Vec<_> = (0..3).map(|c| pool.vpm_for_core(c)).collect();
+        let mut model = vec![0u8; SPACE_BYTES];
+        for (a, core) in &accesses {
+            let vpm = &vpms[*core];
+            match a {
+                Access::Write { addr, data } => {
+                    vpm.write_bytes(*addr, data).unwrap();
+                    model[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+                }
+                Access::Read { addr, len } => {
+                    let mut buf = vec![0u8; *len];
+                    vpm.read_bytes(*addr, &mut buf).unwrap();
+                    prop_assert_eq!(
+                        &buf[..],
+                        &model[*addr as usize..*addr as usize + len],
+                        "core {} read at {} len {}", core, addr, len
+                    );
+                }
+            }
+        }
+    }
+}
