@@ -306,8 +306,7 @@ mod tests {
         }
         let pool = space.crash().unwrap();
         let space2 = WalSpace::open(pool).unwrap();
-        let m2: PHashMap<u64, u64, _> =
-            PHashMap::attach(Heap::attach(space2).unwrap()).unwrap();
+        let m2: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(space2).unwrap()).unwrap();
         assert_eq!(m2.get(1).unwrap(), Some(100));
         assert_eq!(m2.get(2).unwrap(), Some(200));
     }

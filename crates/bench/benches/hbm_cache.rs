@@ -33,9 +33,10 @@ fn bench_lookup(c: &mut Criterion) {
 fn bench_insert(c: &mut Criterion) {
     let mut g = c.benchmark_group("hbm");
     g.throughput(Throughput::Elements(4096));
-    for (name, policy) in
-        [("insert_lru", EvictionPolicy::Lru), ("insert_prefer_durable", EvictionPolicy::PreferDurable)]
-    {
+    for (name, policy) in [
+        ("insert_lru", EvictionPolicy::Lru),
+        ("insert_prefer_durable", EvictionPolicy::PreferDurable),
+    ] {
         g.bench_function(name, |b| {
             b.iter_batched(
                 || HbmCache::new(config(policy)),

@@ -12,9 +12,10 @@
 //! (re-reads hit), the CLWB path evicts them (re-reads miss and travel to
 //! the device again).
 //!
-//! Run: `cargo run --release -p pax-bench --bin ablation_clwb`
+//! Run: `cargo run --release -p pax-bench --bin ablation_clwb` (add
+//! `--json` for machine-readable output)
 
-use pax_bench::print_table;
+use pax_bench::{BenchOut, Json};
 use pax_cache::{CacheConfig, CoherentCache};
 use pax_device::{DeviceConfig, PaxDevice};
 use pax_pm::{CacheLine, LatencyProfile, LineAddr, PmPool, PoolConfig};
@@ -22,10 +23,9 @@ use pax_pm::{CacheLine, LatencyProfile, LineAddr, PmPool, PoolConfig};
 const LINES: u64 = 256;
 
 fn run(clwb: bool) -> (u64, u64, f64) {
-    let pool = PmPool::create(
-        PoolConfig::small().with_data_bytes(8 << 20).with_log_bytes(32 << 20),
-    )
-    .expect("pool");
+    let pool =
+        PmPool::create(PoolConfig::small().with_data_bytes(8 << 20).with_log_bytes(32 << 20))
+            .expect("pool");
     let mut device = PaxDevice::open(pool, DeviceConfig::default()).expect("device");
     let mut cache = CoherentCache::new(CacheConfig::tiny(64 << 10, 8));
 
@@ -55,7 +55,11 @@ fn run(clwb: bool) -> (u64, u64, f64) {
 }
 
 fn main() {
-    println!("persist flush mechanism vs post-persist cache warmth ({LINES}-line epoch)\n");
+    let mut out = BenchOut::from_args("ablation_clwb");
+    out.config("epoch_lines", Json::U64(LINES));
+    out.line(format!(
+        "persist flush mechanism vs post-persist cache warmth ({LINES}-line epoch)\n"
+    ));
     let (snoop_hits, snoop_misses, snoop_ns) = run(false);
     let (clwb_hits, clwb_misses, clwb_ns) = run(true);
 
@@ -79,11 +83,24 @@ fn main() {
             format!("{clwb_ns:.0}"),
         ],
     ];
-    print_table(&rows);
-    println!();
-    println!("the snoop-based protocol downgrades lines to shared — the working set stays");
-    println!("cached across persist() and re-reads hit. CLWB-style flushes evict, so every");
-    println!("re-read pays a device round trip: the \"complete evictions … and future cache");
-    println!("misses\" §4 predicts. (Future Intel CPUs that downgrade on CLWB would close");
-    println!("the gap — which is exactly the paper's parenthetical.)");
+    out.table(&rows);
+    for (mechanism, hits, misses, ns) in [
+        ("snpdata_downgrade", snoop_hits, snoop_misses, snoop_ns),
+        ("clwb_eviction", clwb_hits, clwb_misses, clwb_ns),
+    ] {
+        out.push_result(
+            Json::obj()
+                .field("mechanism", Json::str(mechanism))
+                .field("reread_hits", Json::U64(hits))
+                .field("reread_misses", Json::U64(misses))
+                .field("extra_ns_per_line", Json::F64(ns)),
+        );
+    }
+    out.blank();
+    out.line("the snoop-based protocol downgrades lines to shared — the working set stays");
+    out.line("cached across persist() and re-reads hit. CLWB-style flushes evict, so every");
+    out.line("re-read pays a device round trip: the \"complete evictions … and future cache");
+    out.line("misses\" §4 predicts. (Future Intel CPUs that downgrade on CLWB would close");
+    out.line("the gap — which is exactly the paper's parenthetical.)");
+    out.finish();
 }

@@ -8,16 +8,19 @@
 //! reports the trade-off: amortized persist cost per op falls with larger
 //! batches while peak log footprint and lost-work-on-crash window grow.
 //!
-//! Run: `cargo run --release -p pax-bench --bin ablation_epoch`
+//! Run: `cargo run --release -p pax-bench --bin ablation_epoch` (add
+//! `--json` for machine-readable output)
 
 use libpax::{Heap, PHashMap, PaxConfig, PaxPool};
-use pax_bench::print_table;
+use pax_bench::{BenchOut, Json};
 use pax_pm::PoolConfig;
 
 const TOTAL_OPS: u64 = 4_096;
 
 fn main() {
-    println!("persist() frequency ablation — {TOTAL_OPS} inserts total\n");
+    let mut out = BenchOut::from_args("ablation_epoch");
+    out.config("total_ops", Json::U64(TOTAL_OPS));
+    out.line(format!("persist() frequency ablation — {TOTAL_OPS} inserts total\n"));
     let mut rows = vec![vec![
         "ops/persist".to_string(),
         "persists".to_string(),
@@ -27,10 +30,12 @@ fn main() {
         "log bytes/op".to_string(),
     ]];
 
+    let mut last_telemetry = None;
     for batch in [16u64, 64, 256, 1024, 4096] {
-        let pool = PaxPool::create(PaxConfig::default().with_pool(
-            PoolConfig::small().with_data_bytes(32 << 20).with_log_bytes(64 << 20),
-        ))
+        let pool = PaxPool::create(
+            PaxConfig::default()
+                .with_pool(PoolConfig::small().with_data_bytes(32 << 20).with_log_bytes(64 << 20)),
+        )
         .expect("pool");
         let map: PHashMap<u64, u64, _> =
             PHashMap::attach(Heap::attach(pool.vpm()).expect("heap")).expect("map");
@@ -58,11 +63,25 @@ fn main() {
             peak_log.to_string(),
             format!("{:.0}", m.log_bytes() as f64 / TOTAL_OPS as f64),
         ]);
+        out.push_result(
+            Json::obj()
+                .field("ops_per_persist", Json::U64(batch))
+                .field("persists", Json::U64(persists))
+                .field("snoops_sent", Json::U64(m.snoops_sent))
+                .field("snoops_per_op", Json::F64(m.snoops_sent as f64 / TOTAL_OPS as f64))
+                .field("peak_log_entries", Json::U64(peak_log))
+                .field("log_bytes_per_op", Json::F64(m.log_bytes() as f64 / TOTAL_OPS as f64)),
+        );
+        last_telemetry = Some(pool.telemetry());
     }
-    print_table(&rows);
+    if let Some(t) = &last_telemetry {
+        out.attach_telemetry(t);
+    }
+    out.table(&rows);
 
-    println!();
-    println!("larger batches amortize the persist-time snoop/write-back sweep over more");
-    println!("operations but let the undo log grow (bounded by the log region) and widen");
-    println!("the window of un-persisted work a crash discards — the §3.2 trade-off.");
+    out.blank();
+    out.line("larger batches amortize the persist-time snoop/write-back sweep over more");
+    out.line("operations but let the undo log grow (bounded by the log region) and widen");
+    out.line("the window of un-persisted work a crash discards — the §3.2 trade-off.");
+    out.finish();
 }

@@ -13,10 +13,11 @@
 //! * **prefer-durable** sacrifices a hot line whose entry persisted long
 //!   ago ⇒ write back with no stall.
 //!
-//! Run: `cargo run --release -p pax-bench --bin ablation_eviction`
+//! Run: `cargo run --release -p pax-bench --bin ablation_eviction` (add
+//! `--json` for machine-readable output)
 
 use libpax::{MemSpace, PaxConfig, PaxPool};
-use pax_bench::print_table;
+use pax_bench::{BenchOut, Json};
 use pax_cache::CacheConfig;
 use pax_device::{DeviceConfig, EvictionPolicy, HbmConfig};
 use pax_pm::{PoolConfig, LINE_SIZE};
@@ -35,11 +36,7 @@ fn run(policy: EvictionPolicy, pump_interval: usize) -> (u64, u64, u64) {
             )
             .with_device(
                 DeviceConfig::default()
-                    .with_hbm(HbmConfig {
-                        capacity_bytes: 32 * LINE_SIZE,
-                        ways: 4,
-                        policy,
-                    })
+                    .with_hbm(HbmConfig { capacity_bytes: 32 * LINE_SIZE, ways: 4, policy })
                     .with_log_pump_batch(1)
                     .with_log_pump_interval(pump_interval)
                     .with_writeback_batch(0),
@@ -66,9 +63,12 @@ fn run(policy: EvictionPolicy, pump_interval: usize) -> (u64, u64, u64) {
 }
 
 fn main() {
-    println!(
+    let mut out = BenchOut::from_args("ablation_eviction");
+    out.config("hot_lines", Json::U64(HOT_LINES));
+    out.config("cold_lines", Json::U64(COLD_LINES));
+    out.line(format!(
         "HBM eviction policy ablation — {HOT_LINES} hot + {COLD_LINES} cold lines, 32-line HBM\n"
-    );
+    ));
     let mut rows = vec![vec![
         "log pump rate".to_string(),
         "policy".to_string(),
@@ -86,15 +86,23 @@ fn main() {
                 stalls.to_string(),
                 wb.to_string(),
             ]);
+            out.push_result(
+                Json::obj()
+                    .field("pump_interval", Json::U64(interval as u64))
+                    .field("policy", Json::str(name))
+                    .field("eviction_stalls", Json::U64(stalls))
+                    .field("device_writebacks", Json::U64(wb)),
+            );
         }
     }
-    print_table(&rows);
-    println!();
-    println!("measured finding: when the pump keeps up (1/1) neither policy ever stalls;");
-    println!("when it lags, prefer-durable shaves only a few percent of stalls. Because the");
-    println!("undo log is append-ordered, a line's LRU age correlates with its entry's");
-    println!("durability, so plain LRU already approximates the §3.3 policy — the paper's");
-    println!("\"can try to minimize stalls\" hypothesis buys little beyond LRU unless the");
-    println!("workload re-dirties early-epoch lines late (which keeps early, durable log");
-    println!("offsets attached to recently-used lines).");
+    out.table(&rows);
+    out.blank();
+    out.line("measured finding: when the pump keeps up (1/1) neither policy ever stalls;");
+    out.line("when it lags, prefer-durable shaves only a few percent of stalls. Because the");
+    out.line("undo log is append-ordered, a line's LRU age correlates with its entry's");
+    out.line("durability, so plain LRU already approximates the §3.3 policy — the paper's");
+    out.line("\"can try to minimize stalls\" hypothesis buys little beyond LRU unless the");
+    out.line("workload re-dirties early-epoch lines late (which keeps early, durable log");
+    out.line("offsets attached to recently-used lines).");
+    out.finish();
 }

@@ -10,10 +10,11 @@
 //! size — the work a blocking `persist()` does in the caller's critical
 //! path versus what overlap defers.
 //!
-//! Run: `cargo run --release -p pax-bench --bin ablation_overlap`
+//! Run: `cargo run --release -p pax-bench --bin ablation_overlap` (add
+//! `--json` for machine-readable output)
 
 use libpax::{MemSpace, PaxConfig, PaxPool};
-use pax_bench::print_table;
+use pax_bench::{BenchOut, Json};
 use pax_pm::PoolConfig;
 
 fn config() -> PaxConfig {
@@ -22,7 +23,8 @@ fn config() -> PaxConfig {
 }
 
 fn main() {
-    println!("non-blocking persist: inline device steps the application waits for\n");
+    let mut out = BenchOut::from_args("ablation_overlap");
+    out.line("non-blocking persist: inline device steps the application waits for\n");
     let mut rows = vec![vec![
         "epoch size [lines]".to_string(),
         "sync persist (inline)".to_string(),
@@ -64,14 +66,26 @@ fn main() {
             drain_steps.to_string(),
             format!("{:.0}×", sync_inline as f64 / async_inline.max(1) as f64),
         ]);
+        out.push_result(
+            Json::obj()
+                .field("epoch_lines", Json::U64(lines))
+                .field("sync_inline_steps", Json::U64(sync_inline))
+                .field("async_inline_steps", Json::U64(async_inline))
+                .field("deferred_drain_steps", Json::U64(drain_steps))
+                .field(
+                    "inline_reduction",
+                    Json::F64(sync_inline as f64 / async_inline.max(1) as f64),
+                ),
+        );
     }
-    print_table(&rows);
+    out.table(&rows);
 
-    println!();
-    println!("persist_async() returns after the snoop sweep alone; the log flush, write");
-    println!("back, and epoch commit ride on subsequent device activity. Total work is");
-    println!("unchanged (inline+deferred ≈ sync) — it has moved off the caller's critical");
-    println!("path, which is precisely the §6 goal. The §6 caveat also shows up: the undo");
-    println!("log cannot recycle while an overlapped epoch drains, so sustained overlap");
-    println!("needs a larger log region (here 128 MiB).");
+    out.blank();
+    out.line("persist_async() returns after the snoop sweep alone; the log flush, write");
+    out.line("back, and epoch commit ride on subsequent device activity. Total work is");
+    out.line("unchanged (inline+deferred ≈ sync) — it has moved off the caller's critical");
+    out.line("path, which is precisely the §6 goal. The §6 caveat also shows up: the undo");
+    out.line("log cannot recycle while an overlapped epoch drains, so sustained overlap");
+    out.line("needs a larger log region (here 128 MiB).");
+    out.finish();
 }

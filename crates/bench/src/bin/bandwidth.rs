@@ -7,14 +7,28 @@
 //! (But) the CVU9P FPGA that runs PAX is clocked at 300 MHz … we expect
 //! this will still be a bottleneck."
 //!
-//! Run: `cargo run --release -p pax-bench --bin bandwidth`
+//! Run: `cargo run --release -p pax-bench --bin bandwidth` (add `--json`
+//! for machine-readable output)
 
-use pax_bench::print_table;
+use pax_bench::{BenchOut, Json};
 use pax_cxl::link::OfferedLoad;
 use pax_cxl::{LinkModel, Resource};
 use pax_pm::BandwidthProfile;
 
-fn report(model: &LinkModel, name: &str, load: &OfferedLoad, rows: &mut Vec<Vec<String>>) {
+const SCENARIOS: [(&str, f64, f64, f64); 3] = [
+    ("read-heavy", 100e6, 5e6, 5e6),
+    ("mixed", 100e6, 50e6, 50e6),
+    ("write-heavy", 20e6, 150e6, 150e6),
+];
+
+fn report(
+    out: &mut BenchOut,
+    model: &LinkModel,
+    device: &str,
+    name: &str,
+    load: &OfferedLoad,
+    rows: &mut Vec<Vec<String>>,
+) {
     let r = model.analyze(load);
     let (binding, u) = r.binding();
     rows.push(vec![
@@ -27,10 +41,21 @@ fn report(model: &LinkModel, name: &str, load: &OfferedLoad, rows: &mut Vec<Vec<
         format!("{:.1}%", r.of(Resource::DeviceMsgRate) * 100.0),
         format!("{} ({:.0}%)", binding.label(), u * 100.0),
     ]);
+    out.push_result(
+        Json::obj()
+            .field("device", Json::str(device))
+            .field("scenario", Json::str(name))
+            .field("read_misses_per_sec", Json::F64(load.read_misses_per_sec))
+            .field("rdown_per_sec", Json::F64(load.rdown_per_sec))
+            .field("dirty_evicts_per_sec", Json::F64(load.dirty_evicts_per_sec))
+            .field("report", r.to_json()),
+    );
 }
 
 fn main() {
-    println!("§5.1 bottleneck analysis — resource utilisation under offered load\n");
+    let mut out = BenchOut::from_args("bandwidth");
+    out.config("hbm_hit_rate", Json::F64(0.5));
+    out.line("§5.1 bottleneck analysis — resource utilisation under offered load\n");
     let header = vec![
         "scenario".to_string(),
         "misses/s".to_string(),
@@ -44,13 +69,11 @@ fn main() {
 
     let fpga = LinkModel::new(BandwidthProfile::paper());
     let mut rows = vec![header.clone()];
-    for (name, misses, rdown, evicts) in [
-        ("read-heavy", 100e6, 5e6, 5e6),
-        ("mixed", 100e6, 50e6, 50e6),
-        ("write-heavy", 20e6, 150e6, 150e6),
-    ] {
+    for (name, misses, rdown, evicts) in SCENARIOS {
         report(
+            &mut out,
             &fpga,
+            "fpga_300mhz",
             name,
             &OfferedLoad {
                 read_misses_per_sec: misses,
@@ -61,8 +84,8 @@ fn main() {
             &mut rows,
         );
     }
-    println!("300 MHz FPGA device (the Enzian prototype):");
-    print_table(&rows);
+    out.line("300 MHz FPGA device (the Enzian prototype):");
+    out.table(&rows);
 
     let asic = LinkModel::new(BandwidthProfile {
         device_clock_hz: 2.0e9,
@@ -70,13 +93,11 @@ fn main() {
         ..BandwidthProfile::paper()
     });
     let mut rows = vec![header];
-    for (name, misses, rdown, evicts) in [
-        ("read-heavy", 100e6, 5e6, 5e6),
-        ("mixed", 100e6, 50e6, 50e6),
-        ("write-heavy", 20e6, 150e6, 150e6),
-    ] {
+    for (name, misses, rdown, evicts) in SCENARIOS {
         report(
+            &mut out,
             &asic,
+            "asic_2ghz",
             name,
             &OfferedLoad {
                 read_misses_per_sec: misses,
@@ -87,16 +108,17 @@ fn main() {
             &mut rows,
         );
     }
-    println!("\nASIC-class device (2 GHz, §5.1 \"designs … that include ASICs\"):");
-    print_table(&rows);
+    out.line("\nASIC-class device (2 GHz, §5.1 \"designs … that include ASICs\"):");
+    out.table(&rows);
 
     let b = BandwidthProfile::paper();
-    println!();
-    println!(
+    out.blank();
+    out.line(format!(
         "link supports {:.0}M line transfers/s vs device {:.0}M msgs/s:",
         b.cxl_lines_per_sec() / 1e6,
         b.device_msgs_per_sec() / 1e6
-    );
-    println!("the I/O bus is not the primary bottleneck (§5.1); the FPGA message rate is,");
-    println!("and with an ASIC the binding resource shifts to PM write bandwidth.");
+    ));
+    out.line("the I/O bus is not the primary bottleneck (§5.1); the FPGA message rate is,");
+    out.line("and with an ASIC the binding resource shifts to PM write bandwidth.");
+    out.finish();
 }

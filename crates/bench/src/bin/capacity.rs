@@ -10,10 +10,11 @@
 //! buffer capacity and shows every epoch still commits, plus the PM
 //! capacity a copy-based snapshotter would have needed.
 //!
-//! Run: `cargo run --release -p pax-bench --bin capacity`
+//! Run: `cargo run --release -p pax-bench --bin capacity` (add `--json`
+//! for machine-readable output)
 
 use libpax::{MemSpace, PaxConfig, PaxPool};
-use pax_bench::print_table;
+use pax_bench::{BenchOut, Json};
 use pax_cache::CacheConfig;
 use pax_device::{DeviceConfig, EvictionPolicy, HbmConfig};
 use pax_pm::{PoolConfig, LINE_SIZE};
@@ -21,9 +22,11 @@ use pax_pm::{PoolConfig, LINE_SIZE};
 const HBM_LINES: usize = 64;
 
 fn main() {
-    println!(
+    let mut out = BenchOut::from_args("capacity");
+    out.config("hbm_lines", Json::U64(HBM_LINES as u64));
+    out.line(format!(
         "epochs with write sets up to 32× the device HBM buffer ({HBM_LINES} lines)\n"
-    );
+    ));
 
     let mut rows = vec![vec![
         "write set [lines]".to_string(),
@@ -71,11 +74,23 @@ fn main() {
             "1".to_string(),
             "2".to_string(),
         ]);
+        out.push_result(
+            Json::obj()
+                .field("write_set_lines", Json::U64(lines as u64))
+                .field("hbm_factor", Json::U64(factor as u64))
+                .field("epoch_committed", Json::Bool(true))
+                .field("committed_epoch", Json::U64(epoch))
+                .field("background_writebacks", Json::U64(m.background_writebacks))
+                .field("eviction_stalls", Json::U64(m.forced_log_flushes))
+                .field("pm_copies_pax", Json::U64(1))
+                .field("pm_copies_snapshot", Json::U64(2)),
+        );
     }
-    print_table(&rows);
+    out.table(&rows);
 
-    println!();
-    println!("every epoch commits regardless of write-set size: logged-durable lines are");
-    println!("evicted from HBM mid-epoch and written back early (§3.3). Kamino-Tx/Pronto-");
-    println!("style physical snapshots would hold a second full copy on PM (2× capacity).");
+    out.blank();
+    out.line("every epoch commits regardless of write-set size: logged-durable lines are");
+    out.line("evicted from HBM mid-epoch and written back early (§3.3). Kamino-Tx/Pronto-");
+    out.line("style physical snapshots would hold a second full copy on PM (2× capacity).");
+    out.finish();
 }

@@ -7,19 +7,23 @@
 //! host may have a single core; see DESIGN.md §2). The PAX series is the
 //! paper's §5 projection: asynchronous logging ≈ PM-Direct performance.
 //!
-//! Run: `cargo run --release -p pax-bench --bin fig2b`
+//! Run: `cargo run --release -p pax-bench --bin fig2b` (add `--json` for
+//! machine-readable output)
 
-use pax_bench::{measure_insert_profile, print_table};
+use pax_bench::{measure_insert_profile, BenchOut, Json};
 use pax_exec::{Backend, MachineParams};
 use pax_pm::{LatencyProfile, Platform};
 
 fn main() {
+    let mut out = BenchOut::from_args("fig2b");
     eprintln!("measuring per-op insert profile from the functional simulation …");
     let profile = measure_insert_profile(20_000, 40_000);
     eprintln!(
         "measured: {:.2} misses/op, {:.2} stores/op",
         profile.misses_per_op, profile.stores_per_op
     );
+    out.config("misses_per_op", Json::F64(profile.misses_per_op));
+    out.config("stores_per_op", Json::F64(profile.stores_per_op));
 
     let latency = LatencyProfile::c6420();
     let machine = MachineParams::paper();
@@ -32,7 +36,7 @@ fn main() {
         Backend::Pax(Platform::Enzian),
     ];
 
-    println!("\nFigure 2b — write-only throughput [Mops] vs threads");
+    out.line("\nFigure 2b — write-only throughput [Mops] vs threads");
     let mut rows = vec![{
         let mut h = vec!["threads".to_string()];
         h.extend(backends.iter().map(|b| b.label().to_string()));
@@ -45,23 +49,30 @@ fn main() {
             let mops = b.throughput(t, 4_000, &latency, &machine, &profile).mops();
             results[ti][bi] = mops;
             row.push(format!("{mops:.2}"));
+            out.push_result(
+                Json::obj()
+                    .field("threads", Json::U64(t as u64))
+                    .field("backend", Json::str(b.label()))
+                    .field("mops", Json::F64(mops)),
+            );
         }
         rows.push(row);
     }
-    print_table(&rows);
+    out.table(&rows);
 
     let last = threads.len() - 1;
-    println!();
-    println!(
+    out.blank();
+    out.line(format!(
         "at 32 threads: PM-Direct/PMDK = {:.2}× (paper: \"≈2× better\")",
         results[last][1] / results[last][2]
-    );
-    println!(
+    ));
+    out.line(format!(
         "at 32 threads: PAX(CXL)/PM-Direct = {:.2}× (paper: \"match or beat PM Direct\")",
         results[last][3] / results[last][1]
-    );
-    println!(
+    ));
+    out.line(format!(
         "at 32 threads: DRAM/PM-Direct = {:.2}× (volatile headroom)",
         results[last][0] / results[last][1]
-    );
+    ));
+    out.finish();
 }

@@ -9,11 +9,12 @@
 //! This harness runs identical `PHashMap` inserts over each mechanism and
 //! counts the ordering stalls the application threads experienced.
 //!
-//! Run: `cargo run --release -p pax-bench --bin persist_cost`
+//! Run: `cargo run --release -p pax-bench --bin persist_cost` (add
+//! `--json` for machine-readable output)
 
 use libpax::{Heap, PHashMap, PaxConfig, PaxPool};
 use pax_baselines::{Costed, RedoSpace, WalSpace};
-use pax_bench::print_table;
+use pax_bench::{BenchOut, Json};
 use pax_pm::{LatencyProfile, PoolConfig};
 
 const OPS: u64 = 2_000;
@@ -23,8 +24,10 @@ fn pool_config() -> PoolConfig {
 }
 
 fn main() {
+    let mut out = BenchOut::from_args("persist_cost");
+    out.config("ops", Json::U64(OPS));
     let profile = LatencyProfile::c6420();
-    println!("ordering stalls for {OPS} PHashMap inserts (8 B keys/values)\n");
+    out.line(format!("ordering stalls for {OPS} PHashMap inserts (8 B keys/values)\n"));
 
     // PMDK-style undo WAL: one tx per insert.
     let wal = WalSpace::create(pool_config()).expect("wal");
@@ -60,51 +63,45 @@ fn main() {
     pax.persist().expect("persist");
     let m = pax.device_metrics().expect("metrics");
 
-    let rows = vec![
-        vec![
-            "mechanism".to_string(),
-            "stalls total".to_string(),
-            "stalls/op".to_string(),
-            "stall ns/op".to_string(),
-            "log bytes/op".to_string(),
-        ],
-        vec![
-            "PMDK undo WAL".to_string(),
-            wal_costs.sfences.to_string(),
-            format!("{:.2}", wal_costs.sfences as f64 / OPS as f64),
-            format!(
-                "{:.0}",
-                wal_costs.sfences as f64 * profile.sfence_ns as f64 / OPS as f64
-            ),
-            format!("{:.0}", wal_costs.log_bytes as f64 / OPS as f64),
-        ],
-        vec![
-            "redo WAL".to_string(),
-            redo_costs.sfences.to_string(),
-            format!("{:.2}", redo_costs.sfences as f64 / OPS as f64),
-            format!(
-                "{:.0}",
-                redo_costs.sfences as f64 * profile.sfence_ns as f64 / OPS as f64
-            ),
-            format!("{:.0}", redo_costs.log_bytes as f64 / OPS as f64),
-        ],
-        vec![
-            "PAX (async, group commit)".to_string(),
-            "0".to_string(),
-            "0.00".to_string(),
-            "0".to_string(),
-            format!("{:.0}", m.log_bytes() as f64 / OPS as f64),
-        ],
-    ];
-    print_table(&rows);
+    let mut rows = vec![vec![
+        "mechanism".to_string(),
+        "stalls total".to_string(),
+        "stalls/op".to_string(),
+        "stall ns/op".to_string(),
+        "log bytes/op".to_string(),
+    ]];
+    for (mechanism, label, stalls, log_bytes) in [
+        ("pmdk_undo_wal", "PMDK undo WAL", wal_costs.sfences, wal_costs.log_bytes),
+        ("redo_wal", "redo WAL", redo_costs.sfences, redo_costs.log_bytes),
+        ("pax_group_commit", "PAX (async, group commit)", 0, m.log_bytes()),
+    ] {
+        let stall_ns_per_op = stalls as f64 * profile.sfence_ns as f64 / OPS as f64;
+        rows.push(vec![
+            label.to_string(),
+            stalls.to_string(),
+            format!("{:.2}", stalls as f64 / OPS as f64),
+            format!("{stall_ns_per_op:.0}"),
+            format!("{:.0}", log_bytes as f64 / OPS as f64),
+        ]);
+        out.push_result(
+            Json::obj()
+                .field("mechanism", Json::str(mechanism))
+                .field("stalls_total", Json::U64(stalls))
+                .field("stalls_per_op", Json::F64(stalls as f64 / OPS as f64))
+                .field("stall_ns_per_op", Json::F64(stall_ns_per_op))
+                .field("log_bytes_per_op", Json::F64(log_bytes as f64 / OPS as f64)),
+        );
+    }
+    out.table(&rows);
 
-    println!();
-    println!(
+    out.blank();
+    out.line(format!(
         "PAX undo-logged {} lines and wrote back {} — all off the application's",
         m.undo_entries, m.device_writebacks
-    );
-    println!(
+    ));
+    out.line(format!(
         "critical path; the epoch's single persist() sent {} snoops and committed once.",
         m.snoops_sent
-    );
+    ));
+    out.finish();
 }

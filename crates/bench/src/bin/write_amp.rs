@@ -9,11 +9,12 @@
 //! amortization catches up (§5.1 "paging may capture spatial locality
 //! well for some workloads").
 //!
-//! Run: `cargo run --release -p pax-bench --bin write_amp`
+//! Run: `cargo run --release -p pax-bench --bin write_amp` (add `--json`
+//! for machine-readable output)
 
 use libpax::{MemSpace, PaxConfig, PaxPool};
 use pax_baselines::{Costed, DirectPmSpace, HybridSpace, PageFaultSpace, WalSpace};
-use pax_bench::print_table;
+use pax_bench::{BenchOut, Json};
 use pax_pm::{PoolConfig, PAGE_SIZE};
 
 /// Performs `writes` 8-byte updates, `per_page` of them in each page.
@@ -31,9 +32,11 @@ fn pool_config() -> PoolConfig {
 }
 
 fn main() {
+    let mut out = BenchOut::from_args("write_amp");
     let writes = 2_000u64;
-    println!("write amplification: PM bytes written per application byte");
-    println!("{writes} random 8 B field updates, varying fields touched per 4 KiB page\n");
+    out.config("writes", Json::U64(writes));
+    out.line("write amplification: PM bytes written per application byte");
+    out.line(format!("{writes} random 8 B field updates, varying fields touched per 4 KiB page\n"));
 
     let mut rows = vec![vec![
         "fields/page".to_string(),
@@ -47,10 +50,8 @@ fn main() {
 
     for per_page in [1u64, 4, 16, 64] {
         // PAX: measured from the device's own log/write-back counters.
-        let pax_pool = PaxPool::create(
-            PaxConfig::default().with_pool(pool_config()),
-        )
-        .expect("pool");
+        let pax_pool =
+            PaxPool::create(PaxConfig::default().with_pool(pool_config())).expect("pool");
         let vpm = pax_pool.vpm();
         run_pattern(&vpm, writes, per_page);
         pax_pool.persist().expect("persist");
@@ -81,10 +82,21 @@ fn main() {
             format!("{:.1}×", pf.costs().write_amplification()),
             pf.costs().traps.to_string(),
         ]);
+        out.push_result(
+            Json::obj()
+                .field("fields_per_page", Json::U64(per_page))
+                .field("pm_direct_amp", Json::F64(direct.costs().write_amplification()))
+                .field("pax_amp", Json::F64(pax_amp))
+                .field("hybrid_amp", Json::F64(hy.costs().write_amplification()))
+                .field("pmdk_wal_amp", Json::F64(wal.costs().write_amplification()))
+                .field("page_fault_amp", Json::F64(pf.costs().write_amplification()))
+                .field("page_fault_traps", Json::U64(pf.costs().traps)),
+        );
     }
-    print_table(&rows);
-    println!();
-    println!("shape check: page-fault amplification collapses toward the others only as");
-    println!("locality rises (64 fields/page = every line in the page is written), while");
-    println!("PAX stays flat — \"low write amplification\" (§1) without locality assumptions.");
+    out.table(&rows);
+    out.blank();
+    out.line("shape check: page-fault amplification collapses toward the others only as");
+    out.line("locality rises (64 fields/page = every line in the page is written), while");
+    out.line("PAX stays flat — \"low write amplification\" (§1) without locality assumptions.");
+    out.finish();
 }

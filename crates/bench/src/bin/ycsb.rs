@@ -7,11 +7,12 @@
 //! two workloads, reporting the mechanism's event-model overhead per
 //! operation (latency-profile composition of its counted events).
 //!
-//! Run: `cargo run --release -p pax-bench --bin ycsb`
+//! Run: `cargo run --release -p pax-bench --bin ycsb` (add `--json` for
+//! machine-readable output)
 
 use libpax::{Heap, MemSpace, PHashMap, PaxConfig, PaxPool};
 use pax_baselines::{Costed, DirectPmSpace, HybridSpace, PageFaultSpace, WalSpace};
-use pax_bench::print_table;
+use pax_bench::{BenchOut, Json};
 use pax_pm::{LatencyProfile, PoolConfig};
 use pax_workloads::{Op, OpMix, WorkloadSpec};
 
@@ -47,6 +48,9 @@ fn run_ops<S: MemSpace>(space: &S, spec: &WorkloadSpec, measure_from: impl FnOnc
 }
 
 fn main() {
+    let mut out = BenchOut::from_args("ycsb");
+    out.config("keys", Json::U64(KEYS));
+    out.config("ops", Json::U64(OPS));
     let profile = LatencyProfile::c6420();
     let mixes: Vec<(&str, OpMix)> = vec![
         ("fig2a read-only", OpMix::read_only()),
@@ -56,10 +60,10 @@ fn main() {
         ("churn", OpMix::churn()),
     ];
 
-    println!(
+    out.line(format!(
         "mechanism overhead [ns/op] — {KEYS}-key PHashMap, {OPS} ops, event counts × \
          cited latencies\n"
-    );
+    ));
     let mut rows = vec![vec![
         "workload".to_string(),
         "PM-Direct".to_string(),
@@ -125,8 +129,7 @@ fn main() {
         let b = base.get();
         let pax_ns = per_op(
             (m.pm_reads - b.pm_reads) as f64 * profile.pm.read_ns as f64
-                + (((m.log_bytes() + m.writeback_bytes())
-                    - (b.log_bytes() + b.writeback_bytes()))
+                + (((m.log_bytes() + m.writeback_bytes()) - (b.log_bytes() + b.writeback_bytes()))
                     / 64) as f64
                     * profile.pm.write_ns as f64,
         );
@@ -139,12 +142,22 @@ fn main() {
             format!("{:.0} (+{:.0})", hy_ns, hy_ns - direct_ns),
             format!("{pax_ns:.0}"),
         ]);
+        out.push_result(
+            Json::obj()
+                .field("workload", Json::str(name))
+                .field("pm_direct_ns_per_op", Json::F64(direct_ns))
+                .field("pmdk_wal_ns_per_op", Json::F64(wal_ns))
+                .field("page_fault_ns_per_op", Json::F64(pf_ns))
+                .field("hybrid_ns_per_op", Json::F64(hy_ns))
+                .field("pax_ns_per_op", Json::F64(pax_ns)),
+        );
     }
-    print_table(&rows);
-    println!();
-    println!("PAX's column is device-side work that overlaps the application (§3.2); the");
-    println!("WAL/page-fault columns include synchronous stalls on the application path.");
-    println!("The hybrid tracks PAX closely while the pure page-fault mechanism pays for");
-    println!("its traps and page images on every write-containing mix — the §5.1 outcome");
-    println!("(\"we may find that a combination of the approaches works best\").");
+    out.table(&rows);
+    out.blank();
+    out.line("PAX's column is device-side work that overlaps the application (§3.2); the");
+    out.line("WAL/page-fault columns include synchronous stalls on the application path.");
+    out.line("The hybrid tracks PAX closely while the pure page-fault mechanism pays for");
+    out.line("its traps and page images on every write-containing mix — the §5.1 outcome");
+    out.line("(\"we may find that a combination of the approaches works best\").");
+    out.finish();
 }

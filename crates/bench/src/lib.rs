@@ -9,10 +9,79 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use libpax::{Heap, MemSpace, PHashMap, PaxConfig, PaxPool, PStructure};
+use libpax::{Heap, MemSpace, PHashMap, PStructure, PaxConfig, PaxPool};
 use pax_cache::{CacheConfig, HierarchyConfig, HierarchyStats};
 use pax_pm::PoolConfig;
 use pax_workloads::{Op, WorkloadSpec};
+
+pub use pax_telemetry::{Json, Report, TelemetrySnapshot};
+
+/// Shared output sink for every bench binary: human tables by default,
+/// one schema-consistent JSON [`Report`] on stdout when the binary is
+/// invoked with `--json`.
+///
+/// Binaries route *all* stdout through this sink — [`BenchOut::line`] and
+/// [`BenchOut::table`] are suppressed in JSON mode, so `--json` output is
+/// exactly one parseable object. Progress chatter belongs on stderr
+/// (`eprintln!`), which stays available in both modes.
+pub struct BenchOut {
+    json: bool,
+    report: Report,
+}
+
+impl BenchOut {
+    /// A sink for the named benchmark; JSON mode when `--json` is among
+    /// the process arguments.
+    pub fn from_args(bench: &str) -> Self {
+        BenchOut { json: std::env::args().any(|a| a == "--json"), report: Report::new(bench) }
+    }
+
+    /// Whether `--json` was requested.
+    pub fn json(&self) -> bool {
+        self.json
+    }
+
+    /// Records one configuration knob into the report.
+    pub fn config(&mut self, key: &str, value: Json) {
+        self.report.set_config(key, value);
+    }
+
+    /// Appends one result row (any JSON object) to the report.
+    pub fn push_result(&mut self, row: Json) {
+        self.report.push_result(row);
+    }
+
+    /// Attaches a cross-layer telemetry snapshot to the report.
+    pub fn attach_telemetry(&mut self, snapshot: &TelemetrySnapshot) {
+        self.report.attach_telemetry(snapshot);
+    }
+
+    /// Prints one line of human output (suppressed under `--json`).
+    pub fn line(&self, text: impl AsRef<str>) {
+        if !self.json {
+            println!("{}", text.as_ref());
+        }
+    }
+
+    /// Prints a blank human line (suppressed under `--json`).
+    pub fn blank(&self) {
+        self.line("");
+    }
+
+    /// Prints a fixed-width human table (suppressed under `--json`).
+    pub fn table(&self, rows: &[Vec<String>]) {
+        if !self.json {
+            print_table(rows);
+        }
+    }
+
+    /// Emits the report to stdout when in JSON mode. Call last.
+    pub fn finish(&self) {
+        if self.json {
+            println!("{}", self.report.render());
+        }
+    }
+}
 
 /// Prints a fixed-width table; first row is the header.
 pub fn print_table(rows: &[Vec<String>]) {
@@ -134,11 +203,7 @@ pub fn measure_insert_profile(keys: u64, ops: u64) -> pax_exec::OpProfile {
     let cache = pool.cache_stats();
     let misses = (cache.read_misses + cache.write_upgrades) as f64 / n as f64;
     let stores = cache.write_upgrades as f64 / n as f64;
-    pax_exec::OpProfile {
-        misses_per_op: misses,
-        stores_per_op: stores,
-        compute_ns: 60,
-    }
+    pax_exec::OpProfile { misses_per_op: misses, stores_per_op: stores, compute_ns: 60 }
 }
 
 #[cfg(test)]

@@ -120,8 +120,8 @@ impl AmatEstimator {
 
     fn interposed_ns(&self, platform: Platform) -> f64 {
         let p = &self.profile;
-        let backing = self.hbm_hit_rate * p.hbm_ns as f64
-            + (1.0 - self.hbm_hit_rate) * p.pm.read_ns as f64;
+        let backing =
+            self.hbm_hit_rate * p.hbm_ns as f64 + (1.0 - self.hbm_hit_rate) * p.pm.read_ns as f64;
         p.interposition_ns(platform) as f64 + backing
     }
 

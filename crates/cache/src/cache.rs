@@ -23,6 +23,7 @@
 //! persistence domain is eADR — the precise hazard the paper's §1 sets up.
 
 use pax_pm::{CacheLine, LineAddr, Memory, PersistenceDomain, Result};
+use pax_telemetry::{Counter, MetricSet, MetricSnapshot};
 
 use crate::mesi::MesiState;
 use crate::set::SetAssoc;
@@ -60,6 +61,9 @@ impl CacheConfig {
 }
 
 /// Event counts for one [`CoherentCache`].
+///
+/// A point-in-time view over the cache's [`MetricSet`] registry, which
+/// owns the counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Loads served without contacting the home agent.
@@ -80,6 +84,50 @@ pub struct CacheStats {
     pub snoop_misses: u64,
     /// Dirty lines lost to a crash (not eADR).
     pub dirty_lines_lost: u64,
+}
+
+/// Counter handles for one cache's [`MetricSet`].
+#[derive(Debug, Clone, Copy)]
+struct CacheCounters {
+    read_hits: Counter,
+    read_misses: Counter,
+    write_hits: Counter,
+    write_upgrades: Counter,
+    dirty_evictions: Counter,
+    clean_evictions: Counter,
+    snoop_hits: Counter,
+    snoop_misses: Counter,
+    dirty_lines_lost: Counter,
+}
+
+impl CacheCounters {
+    fn register(metrics: &mut MetricSet) -> Self {
+        CacheCounters {
+            read_hits: metrics.counter("read_hits"),
+            read_misses: metrics.counter("read_misses"),
+            write_hits: metrics.counter("write_hits"),
+            write_upgrades: metrics.counter("write_upgrades"),
+            dirty_evictions: metrics.counter("dirty_evictions"),
+            clean_evictions: metrics.counter("clean_evictions"),
+            snoop_hits: metrics.counter("snoop_hits"),
+            snoop_misses: metrics.counter("snoop_misses"),
+            dirty_lines_lost: metrics.counter("dirty_lines_lost"),
+        }
+    }
+
+    fn view(&self, metrics: &MetricSet) -> CacheStats {
+        CacheStats {
+            read_hits: metrics.get(self.read_hits),
+            read_misses: metrics.get(self.read_misses),
+            write_hits: metrics.get(self.write_hits),
+            write_upgrades: metrics.get(self.write_upgrades),
+            dirty_evictions: metrics.get(self.dirty_evictions),
+            clean_evictions: metrics.get(self.clean_evictions),
+            snoop_hits: metrics.get(self.snoop_hits),
+            snoop_misses: metrics.get(self.snoop_misses),
+            dirty_lines_lost: metrics.get(self.dirty_lines_lost),
+        }
+    }
 }
 
 /// The home side of the coherence protocol for some address range.
@@ -170,21 +218,30 @@ struct CachedLine {
 #[derive(Debug)]
 pub struct CoherentCache {
     lines: SetAssoc<CachedLine>,
-    stats: CacheStats,
+    metrics: MetricSet,
+    ctr: CacheCounters,
 }
 
 impl CoherentCache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
+        let mut metrics = MetricSet::new("host_cache");
+        let ctr = CacheCounters::register(&mut metrics);
         CoherentCache {
             lines: SetAssoc::with_capacity_bytes(config.capacity_bytes, config.ways),
-            stats: CacheStats::default(),
+            metrics,
+            ctr,
         }
     }
 
     /// Cumulative event counts.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.ctr.view(&self.metrics)
+    }
+
+    /// Snapshot of the cache's metric registry.
+    pub fn metrics(&self) -> MetricSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Number of resident lines.
@@ -205,10 +262,10 @@ impl CoherentCache {
     ) -> Result<()> {
         if let Some((vaddr, victim)) = self.lines.insert(addr, line) {
             if victim.state.is_dirty() {
-                self.stats.dirty_evictions += 1;
+                self.metrics.inc(self.ctr.dirty_evictions);
                 home.dirty_evict(vaddr, victim.data)?;
             } else {
-                self.stats.clean_evictions += 1;
+                self.metrics.inc(self.ctr.clean_evictions);
                 home.clean_evict(vaddr);
             }
         }
@@ -222,10 +279,10 @@ impl CoherentCache {
     /// Propagates home-agent failures (bounds, simulated crash).
     pub fn read(&mut self, addr: LineAddr, home: &mut impl HomeAgent) -> Result<CacheLine> {
         if let Some(l) = self.lines.get_mut(addr) {
-            self.stats.read_hits += 1;
+            self.metrics.inc(self.ctr.read_hits);
             return Ok(l.data.clone());
         }
-        self.stats.read_misses += 1;
+        self.metrics.inc(self.ctr.read_misses);
         let data = home.read_shared(addr)?;
         self.install(addr, CachedLine { state: MesiState::Shared, data: data.clone() }, home)?;
         Ok(data)
@@ -248,14 +305,14 @@ impl CoherentCache {
     ) -> Result<()> {
         if let Some(l) = self.lines.get_mut(addr) {
             if l.state.can_write_silently() {
-                self.stats.write_hits += 1;
+                self.metrics.inc(self.ctr.write_hits);
                 l.state = l.state.after_write();
                 l.data = data;
                 return Ok(());
             }
         }
         // Miss, or resident in S: request ownership (the PAX hook).
-        self.stats.write_upgrades += 1;
+        self.metrics.inc(self.ctr.write_upgrades);
         home.read_own(addr)?;
         self.install(addr, CachedLine { state: MesiState::Modified, data }, home)
     }
@@ -316,12 +373,12 @@ impl CoherentCache {
     pub fn snoop_shared(&mut self, addr: LineAddr) -> Option<CacheLine> {
         match self.lines.get_mut(addr) {
             Some(l) => {
-                self.stats.snoop_hits += 1;
+                self.metrics.inc(self.ctr.snoop_hits);
                 l.state = l.state.after_snoop_shared();
                 Some(l.data.clone())
             }
             None => {
-                self.stats.snoop_misses += 1;
+                self.metrics.inc(self.ctr.snoop_misses);
                 None
             }
         }
@@ -332,11 +389,11 @@ impl CoherentCache {
     pub fn snoop_invalidate(&mut self, addr: LineAddr) -> Option<CacheLine> {
         match self.lines.remove(addr) {
             Some(l) => {
-                self.stats.snoop_hits += 1;
+                self.metrics.inc(self.ctr.snoop_hits);
                 l.state.is_dirty().then_some(l.data)
             }
             None => {
-                self.stats.snoop_misses += 1;
+                self.metrics.inc(self.ctr.snoop_misses);
                 None
             }
         }
@@ -351,10 +408,10 @@ impl CoherentCache {
     pub fn flush_all(&mut self, home: &mut impl HomeAgent) -> Result<()> {
         for (addr, l) in self.lines.drain_all() {
             if l.state.is_dirty() {
-                self.stats.dirty_evictions += 1;
+                self.metrics.inc(self.ctr.dirty_evictions);
                 home.dirty_evict(addr, l.data)?;
             } else {
-                self.stats.clean_evictions += 1;
+                self.metrics.inc(self.ctr.clean_evictions);
                 home.clean_evict(addr);
             }
         }
@@ -367,16 +424,12 @@ impl CoherentCache {
     /// # Errors
     ///
     /// Propagates home-agent failures during an eADR flush.
-    pub fn crash(
-        &mut self,
-        domain: PersistenceDomain,
-        home: &mut impl HomeAgent,
-    ) -> Result<()> {
+    pub fn crash(&mut self, domain: PersistenceDomain, home: &mut impl HomeAgent) -> Result<()> {
         if domain.cpu_caches_survive() {
             return self.flush_all(home);
         }
         let lost = self.lines.iter().filter(|(_, l)| l.state.is_dirty()).count();
-        self.stats.dirty_lines_lost += lost as u64;
+        self.metrics.add(self.ctr.dirty_lines_lost, lost as u64);
         self.lines.clear();
         Ok(())
     }
@@ -422,10 +475,7 @@ mod tests {
         c.write(LineAddr(0), CacheLine::filled(9), &mut home).unwrap();
         c.write(LineAddr(1), CacheLine::filled(8), &mut home).unwrap();
         assert_eq!(c.stats().dirty_evictions, 1);
-        assert_eq!(
-            home.memory_mut().read_line(LineAddr(0)).unwrap(),
-            CacheLine::filled(9)
-        );
+        assert_eq!(home.memory_mut().read_line(LineAddr(0)).unwrap(), CacheLine::filled(9));
     }
 
     #[test]

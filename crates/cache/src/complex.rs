@@ -16,6 +16,7 @@
 //! is unaffected. The tests pin this down.
 
 use pax_pm::{CacheLine, LineAddr, PersistenceDomain, Result};
+use pax_telemetry::{Counter, MetricSet, MetricSnapshot};
 
 use crate::cache::{CacheConfig, CacheStats, CoherentCache, HomeAgent};
 
@@ -45,6 +46,9 @@ impl HostSnoop for CoherentCache {
 }
 
 /// Cross-core traffic counters.
+///
+/// A point-in-time view over the complex's [`MetricSet`] registry,
+/// which owns the counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ComplexStats {
     /// Lines served core-to-core without a home-agent request.
@@ -57,7 +61,9 @@ pub struct ComplexStats {
 #[derive(Debug)]
 pub struct CoreComplex {
     cores: Vec<CoherentCache>,
-    stats: ComplexStats,
+    metrics: MetricSet,
+    cache_to_cache_transfers: Counter,
+    peer_invalidations: Counter,
 }
 
 impl CoreComplex {
@@ -68,9 +74,14 @@ impl CoreComplex {
     /// Panics if `n == 0`.
     pub fn new(n: usize, config: CacheConfig) -> Self {
         assert!(n > 0, "need at least one core");
+        let mut metrics = MetricSet::new("core_complex");
+        let cache_to_cache_transfers = metrics.counter("cache_to_cache_transfers");
+        let peer_invalidations = metrics.counter("peer_invalidations");
         CoreComplex {
             cores: (0..n).map(|_| CoherentCache::new(config)).collect(),
-            stats: ComplexStats::default(),
+            metrics,
+            cache_to_cache_transfers,
+            peer_invalidations,
         }
     }
 
@@ -81,7 +92,23 @@ impl CoreComplex {
 
     /// Cross-core traffic counters.
     pub fn stats(&self) -> ComplexStats {
-        self.stats
+        ComplexStats {
+            cache_to_cache_transfers: self.metrics.get(self.cache_to_cache_transfers),
+            peer_invalidations: self.metrics.get(self.peer_invalidations),
+        }
+    }
+
+    /// Snapshot of the complex's own registry (cross-core traffic only;
+    /// per-core cache counters come via [`CoreComplex::cache_metrics`]).
+    pub fn metrics(&self) -> MetricSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// One `"host_cache"` snapshot summing every core's cache registry.
+    pub fn cache_metrics(&self) -> MetricSnapshot {
+        self.cores
+            .iter()
+            .fold(MetricSnapshot::empty("host_cache"), |acc, c| acc.merge(&c.metrics()))
     }
 
     /// Per-core cache statistics.
@@ -113,17 +140,14 @@ impl CoreComplex {
         }
         // Probe peers before leaving the socket.
         if let Some(peer) = self.peer_with(addr, core) {
-            let was_dirty =
-                self.cores[peer].state_of(addr).is_some_and(|s| s.is_dirty());
-            let data = self.cores[peer]
-                .snoop_shared(addr)
-                .expect("peer held the line");
+            let was_dirty = self.cores[peer].state_of(addr).is_some_and(|s| s.is_dirty());
+            let data = self.cores[peer].snoop_shared(addr).expect("peer held the line");
             if was_dirty {
                 // Ownership of dirty data returns to the home when the
                 // line becomes shared (MESI has no shared-dirty state).
                 home.dirty_evict(addr, data.clone())?;
             }
-            self.stats.cache_to_cache_transfers += 1;
+            self.metrics.inc(self.cache_to_cache_transfers);
             self.cores[core].install_shared(addr, data.clone(), home)?;
             return Ok(data);
         }
@@ -156,7 +180,7 @@ impl CoreComplex {
             }
             if self.cores[peer].state_of(addr).is_some() {
                 let dirty = self.cores[peer].snoop_invalidate(addr);
-                self.stats.peer_invalidations += 1;
+                self.metrics.inc(self.peer_invalidations);
                 if dirty.is_some() {
                     migrated_dirty = true;
                 }
@@ -164,7 +188,7 @@ impl CoreComplex {
         }
         if migrated_dirty {
             // Silent M-to-M migration: install directly as modified.
-            self.stats.cache_to_cache_transfers += 1;
+            self.metrics.inc(self.cache_to_cache_transfers);
             return self.cores[core].install_modified(addr, data, home);
         }
         self.cores[core].write(addr, data, home)
@@ -191,11 +215,7 @@ impl CoreComplex {
     /// # Errors
     ///
     /// Propagates home-agent failures during an eADR flush.
-    pub fn crash(
-        &mut self,
-        domain: PersistenceDomain,
-        home: &mut impl HomeAgent,
-    ) -> Result<()> {
+    pub fn crash(&mut self, domain: PersistenceDomain, home: &mut impl HomeAgent) -> Result<()> {
         for c in &mut self.cores {
             c.crash(domain, home)?;
         }
@@ -288,10 +308,7 @@ mod tests {
         let v = cx.read(1, LineAddr(5), &mut home).unwrap();
         assert_eq!(v, CacheLine::filled(7));
         // The dirty data reached the home (write back on downgrade).
-        assert_eq!(
-            home.memory_mut().read_line(LineAddr(5)).unwrap(),
-            CacheLine::filled(7)
-        );
+        assert_eq!(home.memory_mut().read_line(LineAddr(5)).unwrap(), CacheLine::filled(7));
     }
 
     #[test]
@@ -302,10 +319,7 @@ mod tests {
         assert_eq!(HostSnoop::snoop_shared(&mut cx, LineAddr(2)), Some(CacheLine::filled(4)));
         // All cores are now shared; a store must upgrade again.
         cx.write(1, LineAddr(2), CacheLine::filled(5), &mut home).unwrap();
-        assert_eq!(
-            HostSnoop::snoop_invalidate(&mut cx, LineAddr(2)),
-            Some(CacheLine::filled(5))
-        );
+        assert_eq!(HostSnoop::snoop_invalidate(&mut cx, LineAddr(2)), Some(CacheLine::filled(5)));
         assert_eq!(HostSnoop::snoop_invalidate(&mut cx, LineAddr(2)), None);
     }
 
@@ -313,8 +327,7 @@ mod tests {
     fn crash_loses_all_cores_dirty_lines() {
         let (mut cx, mut home) = setup(3);
         for core in 0..3 {
-            cx.write(core, LineAddr(core as u64 + 10), CacheLine::filled(1), &mut home)
-                .unwrap();
+            cx.write(core, LineAddr(core as u64 + 10), CacheLine::filled(1), &mut home).unwrap();
         }
         cx.crash(PersistenceDomain::Adr, &mut home).unwrap();
         for core in 0..3 {

@@ -9,6 +9,7 @@
 //! can drive both without the instrument perturbing correctness.
 
 use pax_pm::LineAddr;
+use pax_telemetry::{Counter, MetricSet, MetricSnapshot};
 
 use crate::cache::CacheConfig;
 use crate::set::SetAssoc;
@@ -91,6 +92,9 @@ impl LevelStats {
 }
 
 /// Per-level statistics for the whole hierarchy.
+///
+/// A point-in-time view over the hierarchy's [`MetricSet`] registry,
+/// which owns the counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// L1 counters.
@@ -113,47 +117,98 @@ impl HierarchyStats {
     }
 }
 
+/// Counter handles for the hierarchy's [`MetricSet`]: an
+/// `(accesses, hits)` pair per level.
+#[derive(Debug, Clone, Copy)]
+struct HierarchyCounters {
+    l1_accesses: Counter,
+    l1_hits: Counter,
+    l2_accesses: Counter,
+    l2_hits: Counter,
+    llc_accesses: Counter,
+    llc_hits: Counter,
+}
+
+impl HierarchyCounters {
+    fn register(metrics: &mut MetricSet) -> Self {
+        HierarchyCounters {
+            l1_accesses: metrics.counter("l1_accesses"),
+            l1_hits: metrics.counter("l1_hits"),
+            l2_accesses: metrics.counter("l2_accesses"),
+            l2_hits: metrics.counter("l2_hits"),
+            llc_accesses: metrics.counter("llc_accesses"),
+            llc_hits: metrics.counter("llc_hits"),
+        }
+    }
+
+    fn view(&self, metrics: &MetricSet) -> HierarchyStats {
+        HierarchyStats {
+            l1: LevelStats {
+                accesses: metrics.get(self.l1_accesses),
+                hits: metrics.get(self.l1_hits),
+            },
+            l2: LevelStats {
+                accesses: metrics.get(self.l2_accesses),
+                hits: metrics.get(self.l2_hits),
+            },
+            llc: LevelStats {
+                accesses: metrics.get(self.llc_accesses),
+                hits: metrics.get(self.llc_hits),
+            },
+        }
+    }
+}
+
 /// Tag-only inclusive L1/L2/LLC stack (see module docs).
 #[derive(Debug)]
 pub struct Hierarchy {
     l1: SetAssoc<()>,
     l2: SetAssoc<()>,
     llc: SetAssoc<()>,
-    stats: HierarchyStats,
+    metrics: MetricSet,
+    ctr: HierarchyCounters,
 }
 
 impl Hierarchy {
     /// Creates an empty hierarchy with the given geometry.
     pub fn new(config: HierarchyConfig) -> Self {
+        let mut metrics = MetricSet::new("cache_hierarchy");
+        let ctr = HierarchyCounters::register(&mut metrics);
         Hierarchy {
             l1: SetAssoc::with_capacity_bytes(config.l1.capacity_bytes, config.l1.ways),
             l2: SetAssoc::with_capacity_bytes(config.l2.capacity_bytes, config.l2.ways),
             llc: SetAssoc::with_capacity_bytes(config.llc.capacity_bytes, config.llc.ways),
-            stats: HierarchyStats::default(),
+            metrics,
+            ctr,
         }
     }
 
     /// Cumulative per-level statistics.
     pub fn stats(&self) -> HierarchyStats {
-        self.stats
+        self.ctr.view(&self.metrics)
+    }
+
+    /// Snapshot of the hierarchy's metric registry.
+    pub fn metrics(&self) -> MetricSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Classifies one access to `addr` and updates tag state.
     pub fn access(&mut self, addr: LineAddr) -> ServedBy {
-        self.stats.l1.accesses += 1;
+        self.metrics.inc(self.ctr.l1_accesses);
         if self.l1.get_mut(addr).is_some() {
-            self.stats.l1.hits += 1;
+            self.metrics.inc(self.ctr.l1_hits);
             return ServedBy::L1;
         }
-        self.stats.l2.accesses += 1;
+        self.metrics.inc(self.ctr.l2_accesses);
         if self.l2.get_mut(addr).is_some() {
-            self.stats.l2.hits += 1;
+            self.metrics.inc(self.ctr.l2_hits);
             self.fill_l1(addr);
             return ServedBy::L2;
         }
-        self.stats.llc.accesses += 1;
+        self.metrics.inc(self.ctr.llc_accesses);
         if self.llc.get_mut(addr).is_some() {
-            self.stats.llc.hits += 1;
+            self.metrics.inc(self.ctr.llc_hits);
             self.fill_l2(addr);
             self.fill_l1(addr);
             return ServedBy::Llc;
@@ -251,8 +306,8 @@ mod tests {
     #[test]
     fn uniform_scan_larger_than_llc_mostly_misses() {
         let mut h = tiny(); // LLC: 64 lines
-        // Two sequential sweeps over 256 lines: every access misses LLC
-        // because LRU evicts lines long before they are revisited.
+                            // Two sequential sweeps over 256 lines: every access misses LLC
+                            // because LRU evicts lines long before they are revisited.
         let mut memory = 0;
         for _ in 0..2 {
             for a in 0..256u64 {

@@ -23,6 +23,7 @@ use pax_cache::{
 };
 use pax_device::{DeviceConfig, DeviceMetrics, PaxDevice, RecoveryReport};
 use pax_pm::{CrashClock, LineAddr, PmError, PmPool, PoolConfig, LINE_SIZE};
+use pax_telemetry::{MetricSet, MetricSnapshot, TelemetrySnapshot, TraceBuf};
 
 use crate::error::PaxError;
 use crate::space::MemSpace;
@@ -169,6 +170,16 @@ impl HostSnoop for HostModel {
     }
 }
 
+/// Forensic state preserved across a simulated power loss: the trace and
+/// final metric snapshots a debugger attached to the dead machine would
+/// still hold.
+#[derive(Debug)]
+struct PostCrash {
+    trace: TraceBuf,
+    /// Final `cxl`/`device`/`media` snapshots, in stack order.
+    components: Vec<MetricSnapshot>,
+}
+
 #[derive(Debug)]
 struct Inner {
     /// `None` after a simulated power loss: subsequent accesses fail with
@@ -177,6 +188,9 @@ struct Inner {
     cache: HostModel,
     hier: Option<Hierarchy>,
     auto_persist_on_log_full: bool,
+    /// Populated by [`PaxPool::crash`] so telemetry and the trace dump
+    /// stay readable post-mortem.
+    post_crash: Option<PostCrash>,
 }
 
 impl Inner {
@@ -241,6 +255,7 @@ impl PaxPool {
                 },
                 hier: config.instrument.map(Hierarchy::new),
                 auto_persist_on_log_full: config.auto_persist_on_log_full,
+                post_crash: None,
             })),
             vpm_bytes,
         })
@@ -376,7 +391,11 @@ impl PaxPool {
                 .crash(pax_pm::PersistenceDomain::Adr, &mut NullHome)
                 .expect("discarding cache state cannot fail"),
         }
-        Ok(device.crash_into_pool())
+        let cxl = Self::link_snapshot(&device.metrics());
+        let (pm, trace, device_snapshot) = device.crash_into_parts();
+        inner.post_crash =
+            Some(PostCrash { trace, components: vec![cxl, device_snapshot, pm.media_metrics()] });
+        Ok(pm)
     }
 
     /// Saves the pool's durable state to a file (reboot-to-file analogue
@@ -424,6 +443,69 @@ impl PaxPool {
     /// Miss-rate instrumentation counters, if enabled.
     pub fn hierarchy_stats(&self) -> Option<HierarchyStats> {
         self.inner.lock().hier.as_ref().map(|h| h.stats())
+    }
+
+    /// The implied CXL link traffic of the synchronous host↔device path,
+    /// in the same schema a [`pax_cxl::Transport`] records (`messages`,
+    /// `data_bytes`): every request earns a response, and data crosses on
+    /// read responses, dirty-evict payloads, and snoop data returns.
+    fn link_snapshot(m: &DeviceMetrics) -> MetricSnapshot {
+        let mut set = MetricSet::new("cxl");
+        let messages = set.counter("messages");
+        let data_bytes = set.counter("data_bytes");
+        set.add(messages, 2 * m.total_messages());
+        set.add(
+            data_bytes,
+            (m.rd_shared + m.rd_own + m.dirty_evicts + m.snoop_data_returned) * LINE_SIZE as u64,
+        );
+        set.snapshot()
+    }
+
+    /// One cross-layer snapshot of every component's metric registry, in
+    /// stack order: host cache (plus `core_complex` and `cache_hierarchy`
+    /// when configured), `cxl`, `device`, `media`.
+    ///
+    /// Works after a crash too: [`PaxPool::crash`] stashes the device-side
+    /// components' final snapshots, so post-mortem accounting (e.g. "how
+    /// many undo entries had been appended when power died?") keeps
+    /// working while accesses fail.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let inner = self.inner.lock();
+        let mut components = Vec::new();
+        match &inner.cache {
+            HostModel::Single(c) => components.push(c.metrics()),
+            HostModel::Multi(cx) => {
+                components.push(cx.cache_metrics());
+                components.push(cx.metrics());
+            }
+        }
+        if let Some(h) = &inner.hier {
+            components.push(h.metrics());
+        }
+        match (&inner.device, &inner.post_crash) {
+            (Some(d), _) => {
+                components.push(Self::link_snapshot(&d.metrics()));
+                components.push(d.metric_snapshot());
+                components.push(d.pool().media_metrics());
+            }
+            (None, Some(pc)) => components.extend(pc.components.iter().cloned()),
+            (None, None) => {}
+        }
+        TelemetrySnapshot::new(components)
+    }
+
+    /// The device's structured trace as JSON lines (oldest first).
+    ///
+    /// Live pools dump the device's current buffer; crashed pools dump
+    /// the stashed final trace, whose last events are the log appends and
+    /// the injected crash — the forensic record replay tooling consumes.
+    pub fn trace_dump(&self) -> String {
+        let inner = self.inner.lock();
+        match (&inner.device, &inner.post_crash) {
+            (Some(d), _) => d.trace_dump(),
+            (None, Some(pc)) => pc.trace.dump_json_lines(),
+            (None, None) => String::new(),
+        }
     }
 
     /// The recovery report from when this pool was opened.
@@ -514,7 +596,7 @@ impl MemSpace for VPm {
         let mut inner = self.inner.lock();
         let mut done = 0;
         for (line, off, n) in Self::pieces(addr, data.len()) {
-            let Inner { device, cache, hier, auto_persist_on_log_full } = &mut *inner;
+            let Inner { device, cache, hier, auto_persist_on_log_full, .. } = &mut *inner;
             let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
             if let Some(h) = hier {
                 h.access(line);
@@ -528,9 +610,8 @@ impl MemSpace for VPm {
                         device,
                     )
                 } else {
-                    cache.update(self.core, line, device, |l| {
-                        l.write_at(off, &data[done..done + n])
-                    })
+                    cache
+                        .update(self.core, line, device, |l| l.write_at(off, &data[done..done + n]))
                 }
             };
             match write_once(cache, device) {

@@ -186,9 +186,8 @@ mod tests {
         let pm = snap.pool().crash().unwrap();
 
         // Reopen: Persistent::new recovers instead of constructing.
-        let snap2 = HwSnapshotter::from_pool(
-            crate::PaxPool::open(pm, PaxConfig::default()).unwrap(),
-        );
+        let snap2 =
+            HwSnapshotter::from_pool(crate::PaxPool::open(pm, PaxConfig::default()).unwrap());
         let ht: Persistent<PHashMap<u64, u64>> = Persistent::new(&snap2).unwrap();
         assert_eq!(ht.get(5).unwrap(), Some(50));
     }

@@ -75,8 +75,7 @@ mod tests {
         assert_eq!(hash_bytes(b"abc"), hash_bytes(b"abc"));
         assert_ne!(hash_bytes(b"abc"), hash_bytes(b"abd"));
         // Sequential u64 keys land in different low bits.
-        let h: Vec<u64> =
-            (0u64..16).map(|k| hash_bytes(&k.to_le_bytes()) % 16).collect();
+        let h: Vec<u64> = (0u64..16).map(|k| hash_bytes(&k.to_le_bytes()) % 16).collect();
         let distinct: std::collections::HashSet<_> = h.iter().collect();
         assert!(distinct.len() > 8, "poor spread: {h:?}");
     }

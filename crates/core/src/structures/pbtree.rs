@@ -157,8 +157,7 @@ impl<K: Pod + Ord, V: Pod, S: MemSpace> PBTreeMap<K, V, S> {
     }
 
     fn free_node(&self, node: u64) -> Result<()> {
-        let bytes =
-            if self.is_leaf(node)? { Self::leaf_bytes() } else { Self::internal_bytes() };
+        let bytes = if self.is_leaf(node)? { Self::leaf_bytes() } else { Self::internal_bytes() };
         self.heap.free(node, bytes)
     }
 
@@ -320,11 +319,7 @@ impl<K: Pod + Ord, V: Pod, S: MemSpace> PBTreeMap<K, V, S> {
                 // The separator that moved up may redirect us (equal keys
                 // go right: the median copy lives in the right leaf).
                 let sep = self.key(node, idx)?;
-                node = if key >= sep {
-                    self.child(node, idx + 1)?
-                } else {
-                    self.child(node, idx)?
-                };
+                node = if key >= sep { self.child(node, idx + 1)? } else { self.child(node, idx)? };
             } else {
                 node = child;
             }
@@ -700,8 +695,7 @@ mod tests {
                 t.insert(k, k).unwrap();
             }
         }
-        let t: PBTreeMap<u64, u64, _> =
-            PBTreeMap::attach(Heap::attach(space).unwrap()).unwrap();
+        let t: PBTreeMap<u64, u64, _> = PBTreeMap::attach(Heap::attach(space).unwrap()).unwrap();
         assert_eq!(t.len().unwrap(), 100);
         assert_eq!(t.get(42).unwrap(), Some(42));
         t.check_invariants().unwrap();

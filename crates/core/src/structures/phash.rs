@@ -360,8 +360,7 @@ mod tests {
                 PHashMap::attach(Heap::attach(space.clone()).unwrap()).unwrap();
             m.insert(7, 77).unwrap();
         }
-        let m2: PHashMap<u64, u64, _> =
-            PHashMap::attach(Heap::attach(space).unwrap()).unwrap();
+        let m2: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(space).unwrap()).unwrap();
         assert_eq!(m2.get(7).unwrap(), Some(77));
     }
 
@@ -396,10 +395,7 @@ mod tests {
         let heap = Heap::attach(space).unwrap();
         let junk = heap.alloc(64).unwrap();
         heap.set_root(junk).unwrap();
-        assert!(matches!(
-            PHashMap::<u64, u64, _>::attach(heap),
-            Err(PaxError::Corrupt(_))
-        ));
+        assert!(matches!(PHashMap::<u64, u64, _>::attach(heap), Err(PaxError::Corrupt(_))));
     }
 
     #[test]

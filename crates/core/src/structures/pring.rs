@@ -243,8 +243,7 @@ mod tests {
     fn reattach_preserves_contents_and_capacity() {
         let space = VolatileSpace::new(1 << 20);
         {
-            let r: PRing<u32, _> =
-                PRing::create(Heap::attach(space.clone()).unwrap(), 3).unwrap();
+            let r: PRing<u32, _> = PRing::create(Heap::attach(space.clone()).unwrap(), 3).unwrap();
             r.push(7).unwrap();
         }
         // Different capacity argument is ignored on reattach.

@@ -9,9 +9,14 @@
 
 use std::collections::VecDeque;
 
+use pax_telemetry::{Counter, MetricSet, MetricSnapshot};
+
 use crate::message::{D2HReq, D2HResp, H2DReq, H2DResp};
 
 /// Cumulative traffic counters for one channel.
+///
+/// A point-in-time view over the channel's [`MetricSet`] registry,
+/// which owns the actual counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
     /// Messages enqueued over the channel's lifetime.
@@ -38,13 +43,24 @@ pub struct ChannelStats {
 pub struct Channel<T> {
     queue: VecDeque<T>,
     latency_ns: u64,
-    stats: ChannelStats,
+    metrics: MetricSet,
+    messages: Counter,
+    data_bytes: Counter,
 }
 
 impl<T> Channel<T> {
     /// Creates an empty channel whose messages take `latency_ns` to cross.
     pub fn new(latency_ns: u64) -> Self {
-        Channel { queue: VecDeque::new(), latency_ns, stats: ChannelStats::default() }
+        Self::with_component(latency_ns, "cxl_channel")
+    }
+
+    /// Like [`Channel::new`], with a component name for the channel's
+    /// metric registry (so [`Transport`] can tell its channels apart).
+    pub fn with_component(latency_ns: u64, component: &'static str) -> Self {
+        let mut metrics = MetricSet::new(component);
+        let messages = metrics.counter("messages");
+        let data_bytes = metrics.counter("data_bytes");
+        Channel { queue: VecDeque::new(), latency_ns, metrics, messages, data_bytes }
     }
 
     /// Per-message one-way latency.
@@ -54,13 +70,13 @@ impl<T> Channel<T> {
 
     /// Enqueues a message.
     pub fn push(&mut self, msg: T) {
-        self.stats.messages += 1;
+        self.metrics.inc(self.messages);
         self.queue.push_back(msg);
     }
 
     /// Enqueues a message that carries a 64-byte line payload.
     pub fn push_with_data(&mut self, msg: T) {
-        self.stats.data_bytes += pax_pm::LINE_SIZE as u64;
+        self.metrics.add(self.data_bytes, pax_pm::LINE_SIZE as u64);
         self.push(msg);
     }
 
@@ -81,7 +97,15 @@ impl<T> Channel<T> {
 
     /// Cumulative traffic statistics.
     pub fn stats(&self) -> ChannelStats {
-        self.stats
+        ChannelStats {
+            messages: self.metrics.get(self.messages),
+            data_bytes: self.metrics.get(self.data_bytes),
+        }
+    }
+
+    /// Snapshot of the channel's metric registry.
+    pub fn metrics(&self) -> MetricSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Drops any in-flight messages (power loss: link state is volatile).
@@ -107,10 +131,10 @@ impl Transport {
     /// A transport whose channels all have the same one-way latency.
     pub fn new(latency_ns: u64) -> Self {
         Transport {
-            h2d_req: Channel::new(latency_ns),
-            d2h_resp: Channel::new(latency_ns),
-            d2h_req: Channel::new(latency_ns),
-            h2d_resp: Channel::new(latency_ns),
+            h2d_req: Channel::with_component(latency_ns, "cxl_h2d_req"),
+            d2h_resp: Channel::with_component(latency_ns, "cxl_d2h_resp"),
+            d2h_req: Channel::with_component(latency_ns, "cxl_d2h_req"),
+            h2d_resp: Channel::with_component(latency_ns, "cxl_h2d_resp"),
         }
     }
 
@@ -141,6 +165,17 @@ impl Transport {
         self.d2h_resp.crash();
         self.d2h_req.crash();
         self.h2d_resp.crash();
+    }
+
+    /// One `"cxl"` snapshot summing the four channels' registries
+    /// (`messages`, `data_bytes`); per-channel registries remain
+    /// reachable through each channel's `metrics()`.
+    pub fn metrics(&self) -> MetricSnapshot {
+        MetricSnapshot::empty("cxl")
+            .merge(&self.h2d_req.metrics())
+            .merge(&self.d2h_resp.metrics())
+            .merge(&self.d2h_req.metrics())
+            .merge(&self.h2d_resp.metrics())
     }
 }
 
@@ -184,8 +219,7 @@ mod tests {
         let mut t = Transport::new(35);
         assert_eq!(t.round_trip_ns(), 70);
         t.h2d_req.push(H2DReq::RdShared { addr: LineAddr(1) });
-        t.d2h_resp
-            .push_with_data(D2HResp::GoData { addr: LineAddr(1), data: CacheLine::zeroed() });
+        t.d2h_resp.push_with_data(D2HResp::GoData { addr: LineAddr(1), data: CacheLine::zeroed() });
         assert_eq!(t.total_messages(), 2);
         assert_eq!(t.total_data_bytes(), 64);
         t.crash();

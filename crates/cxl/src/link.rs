@@ -37,6 +37,17 @@ impl Resource {
             Resource::DeviceMsgRate => "device message rate",
         }
     }
+
+    /// Stable machine-readable key used in JSON reports.
+    pub fn key(self) -> &'static str {
+        match self {
+            Resource::LinkH2D => "link_h2d",
+            Resource::LinkD2H => "link_d2h",
+            Resource::PmRead => "pm_read",
+            Resource::PmWrite => "pm_write",
+            Resource::DeviceMsgRate => "device_msg_rate",
+        }
+    }
 }
 
 /// Offered load on the PAX data path, in events per second.
@@ -77,6 +88,22 @@ impl BottleneckReport {
     /// Utilisation of a specific resource.
     pub fn of(&self, r: Resource) -> f64 {
         self.utilisation.iter().find(|(res, _)| *res == r).map(|(_, u)| *u).unwrap_or(0.0)
+    }
+
+    /// The report as a JSON object: per-resource utilisation plus the
+    /// binding resource, in the shared bench report schema.
+    pub fn to_json(&self) -> pax_telemetry::Json {
+        use pax_telemetry::Json;
+        let mut util = Json::obj();
+        for (r, u) in &self.utilisation {
+            util = util.field(r.key(), Json::F64(*u));
+        }
+        let (binding, u) = self.binding();
+        Json::obj()
+            .field("utilisation", util)
+            .field("binding", Json::str(binding.key()))
+            .field("binding_utilisation", Json::F64(u))
+            .field("feasible", Json::Bool(self.feasible()))
     }
 }
 
@@ -119,8 +146,7 @@ impl LinkModel {
         // Writes that reach PM: undo-log append per RdOwn + data write back.
         let pm_write_bytes = (load.rdown_per_sec + load.dirty_evicts_per_sec) * line;
 
-        let msgs =
-            load.read_misses_per_sec + load.rdown_per_sec + load.dirty_evicts_per_sec;
+        let msgs = load.read_misses_per_sec + load.rdown_per_sec + load.dirty_evicts_per_sec;
 
         let gb = 1e9;
         BottleneckReport {
@@ -181,10 +207,7 @@ mod tests {
         // Remove the device bottleneck (ASIC-class message rate, §5.1's
         // "designs ... that include ASICs would likely outperform") and a
         // write-heavy load binds on PM's 14 GB/s write side.
-        let fast_device = BandwidthProfile {
-            device_clock_hz: 3.0e9,
-            ..BandwidthProfile::paper()
-        };
+        let fast_device = BandwidthProfile { device_clock_hz: 3.0e9, ..BandwidthProfile::paper() };
         let m = LinkModel::new(fast_device);
         let r = m.analyze(&load(10e6, 100e6, 100e6));
         assert_eq!(r.binding().0, Resource::PmWrite);

@@ -15,14 +15,16 @@
 use std::collections::{HashMap, VecDeque};
 
 use pax_cache::{HomeAgent, HostSnoop};
-use pax_pm::{
-    CacheLine, CrashClock, CrashOutcome, LineAddr, PmError, PmPool, Result,
-};
+use pax_pm::{CacheLine, CrashClock, CrashOutcome, LineAddr, PmError, PmPool, Result};
+use pax_telemetry::{MetricSet, MetricSnapshot, TraceBuf, TraceEvent};
 
 use crate::hbm::{HbmCache, HbmConfig, HbmLine};
-use crate::metrics::DeviceMetrics;
-use crate::recovery::{recover, RecoveryReport};
+use crate::metrics::{DeviceCounters, DeviceMetrics};
+use crate::recovery::{recover_traced, RecoveryReport};
 use crate::undo_log::{UndoEntry, UndoLog};
+
+/// Component name stamped on the device's metrics and trace records.
+const COMPONENT: &str = "device";
 
 /// Tuning knobs for a [`PaxDevice`].
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +43,9 @@ pub struct DeviceConfig {
     pub writeback_batch: usize,
     /// Whether `RdShared` responses are cached in HBM.
     pub cache_clean_reads: bool,
+    /// Most recent trace events retained by the device's [`TraceBuf`]
+    /// (0 disables tracing entirely).
+    pub trace_capacity: usize,
 }
 
 impl DeviceConfig {
@@ -72,6 +77,13 @@ impl DeviceConfig {
         self.writeback_batch = n;
         self
     }
+
+    /// Returns the config with a different trace-buffer capacity
+    /// (0 disables tracing).
+    pub fn with_trace_capacity(mut self, n: usize) -> Self {
+        self.trace_capacity = n;
+        self
+    }
 }
 
 impl Default for DeviceConfig {
@@ -82,6 +94,7 @@ impl Default for DeviceConfig {
             log_pump_interval: 1,
             writeback_batch: 1,
             cache_clean_reads: true,
+            trace_capacity: 1024,
         }
     }
 }
@@ -99,6 +112,8 @@ struct DrainState {
     values: HashMap<LineAddr, CacheLine>,
     /// Log offset (exclusive) that must be durable before writes proceed.
     flush_to: u64,
+    /// Lines logged in the draining epoch (for the commit trace event).
+    entries: u64,
 }
 
 /// The PAX persistence accelerator (see module docs).
@@ -119,7 +134,12 @@ pub struct PaxDevice {
     draining: Option<DrainState>,
     /// Host requests seen since the last background pump.
     requests_since_pump: usize,
-    metrics: DeviceMetrics,
+    /// The counter registry; [`DeviceMetrics`] is a view over it.
+    metrics: MetricSet,
+    /// Counter handles into `metrics`.
+    ctr: DeviceCounters,
+    /// Bounded structured event trace (crash forensics, replay tests).
+    trace: TraceBuf,
     /// Recovery performed when the device was opened.
     recovery: RecoveryReport,
 }
@@ -133,9 +153,12 @@ impl PaxDevice {
     ///
     /// Surfaces media errors from the recovery scan/rollback.
     pub fn open(mut pool: PmPool, config: DeviceConfig) -> Result<Self> {
-        let recovery = recover(&mut pool)?;
+        let mut trace = TraceBuf::new(config.trace_capacity);
+        let recovery = recover_traced(&mut pool, &mut trace)?;
         let current_epoch = recovery.committed_epoch + 1;
         let log = UndoLog::new(&pool);
+        let mut metrics = MetricSet::new(COMPONENT);
+        let ctr = DeviceCounters::register(&mut metrics);
         Ok(PaxDevice {
             hbm: HbmCache::new(config.hbm),
             log,
@@ -147,7 +170,9 @@ impl PaxDevice {
             writeback_queue: VecDeque::new(),
             draining: None,
             requests_since_pump: 0,
-            metrics: DeviceMetrics::default(),
+            metrics,
+            ctr,
+            trace,
             recovery,
         })
     }
@@ -167,9 +192,24 @@ impl PaxDevice {
         self.pool.committed_epoch()
     }
 
-    /// Cumulative event counters.
+    /// Cumulative event counters (a typed view over the registry).
     pub fn metrics(&self) -> DeviceMetrics {
-        self.metrics
+        self.ctr.view(&self.metrics)
+    }
+
+    /// Snapshot of the device's metric registry.
+    pub fn metric_snapshot(&self) -> MetricSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The device's structured event trace.
+    pub fn trace(&self) -> &TraceBuf {
+        &self.trace
+    }
+
+    /// The trace serialized as JSON lines (oldest first).
+    pub fn trace_dump(&self) -> String {
+        self.trace.dump_json_lines()
     }
 
     /// Undo-log entries appended in the current epoch.
@@ -201,13 +241,23 @@ impl PaxDevice {
     /// Simulates device power loss and returns the pool in its
     /// post-crash durable state, consuming the device. Volatile device
     /// state (HBM, pending log appends, epoch tracking) is lost.
-    pub fn crash_into_pool(mut self) -> PmPool {
+    pub fn crash_into_pool(self) -> PmPool {
+        self.crash_into_parts().0
+    }
+
+    /// Like [`PaxDevice::crash_into_pool`], but also hands back the
+    /// trace (with the injected [`TraceEvent::Crash`] appended) and the
+    /// final metric snapshot — forensic state a real crash would leave in
+    /// the debugger, which the pool layer stashes for post-mortems.
+    pub fn crash_into_parts(mut self) -> (PmPool, TraceBuf, MetricSnapshot) {
+        self.trace.record(COMPONENT, TraceEvent::Crash { epoch: self.current_epoch });
         self.hbm.crash();
         self.log.crash();
         self.draining = None;
         self.epoch_log.clear();
         self.pool.crash();
-        self.pool
+        let snapshot = self.metrics.snapshot();
+        (self.pool, self.trace, snapshot)
     }
 
     /// Saves the pool's durable state to `path` (see
@@ -236,7 +286,7 @@ impl PaxDevice {
     /// then PM.
     fn resolve(&mut self, addr: LineAddr) -> Result<CacheLine> {
         if let Some(l) = self.hbm.lookup(addr) {
-            self.metrics.hbm_read_hits += 1;
+            self.metrics.inc(self.ctr.hbm_read_hits);
             return Ok(l.data.clone());
         }
         // A draining epoch's final values are newer than PM until their
@@ -247,7 +297,7 @@ impl PaxDevice {
             }
         }
         let abs = self.vpm_to_pool(addr)?;
-        self.metrics.pm_reads += 1;
+        self.metrics.inc(self.ctr.pm_reads);
         let data = self.pool.read_line(abs)?;
         if self.config.cache_clean_reads {
             let victim = self.hbm.insert(
@@ -273,7 +323,7 @@ impl PaxDevice {
                 // §3.3: the victim's pre-image must be durable before the
                 // new value may reach PM. This is the stall PreferDurable
                 // eviction avoids.
-                self.metrics.forced_log_flushes += 1;
+                self.metrics.inc(self.ctr.forced_log_flushes);
                 while self.log.durable_offset() <= offset {
                     self.log.pump(&mut self.pool, &self.clock, 1)?;
                 }
@@ -282,7 +332,8 @@ impl PaxDevice {
         let abs = self.vpm_to_pool(addr)?;
         self.tick()?;
         self.pool.write_line(abs, line.data)?;
-        self.metrics.device_writebacks += 1;
+        self.metrics.inc(self.ctr.device_writebacks);
+        self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
         Ok(())
     }
 
@@ -329,8 +380,9 @@ impl PaxDevice {
                 let abs = self.vpm_to_pool(addr)?;
                 self.tick()?;
                 self.pool.write_line(abs, data)?;
-                self.metrics.device_writebacks += 1;
-                self.metrics.background_writebacks += 1;
+                self.metrics.inc(self.ctr.device_writebacks);
+                self.metrics.inc(self.ctr.background_writebacks);
+                self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
             }
             budget -= 1;
         }
@@ -349,7 +401,9 @@ impl PaxDevice {
             old: old.clone(),
         })?;
         self.epoch_log.insert(addr, offset);
-        self.metrics.undo_entries += 1;
+        self.metrics.inc(self.ctr.undo_entries);
+        self.trace
+            .record(COMPONENT, TraceEvent::LogAppend { epoch: self.current_epoch, line: addr.0 });
         Ok(offset)
     }
 
@@ -379,11 +433,13 @@ impl PaxDevice {
             self.epoch_log.iter().map(|(a, o)| (*o, *a)).collect();
         logged.sort_unstable();
         for (_offset, addr) in logged {
-            self.metrics.snoops_sent += 1;
+            self.metrics.inc(self.ctr.snoops_sent);
+            self.trace
+                .record(COMPONENT, TraceEvent::Coherence { op: "snp_data".into(), line: addr.0 });
             let host_data = cache.snoop_shared(addr);
             let data = match host_data {
                 Some(d) => {
-                    self.metrics.snoop_data_returned += 1;
+                    self.metrics.inc(self.ctr.snoop_data_returned);
                     // Refresh the HBM copy so post-persist reads hit.
                     let durable = self.log.durable_offset();
                     let victim = self.hbm.insert(
@@ -402,7 +458,8 @@ impl PaxDevice {
                 let abs = self.vpm_to_pool(addr)?;
                 self.tick()?;
                 self.pool.write_line(abs, d)?;
-                self.metrics.device_writebacks += 1;
+                self.metrics.inc(self.ctr.device_writebacks);
+                self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
                 if let Some(mut line) = self.hbm.remove(addr) {
                     line.dirty = false;
                     line.log_offset = None;
@@ -422,11 +479,13 @@ impl PaxDevice {
         let committed = self.current_epoch;
         self.pool.commit_epoch(committed)?;
 
+        let entries = self.epoch_log.len() as u64;
         self.epoch_log.clear();
         self.writeback_queue.clear();
         self.log.reset_after_commit();
         self.current_epoch = committed + 1;
-        self.metrics.persists += 1;
+        self.metrics.inc(self.ctr.persists);
+        self.trace.record(COMPONENT, TraceEvent::EpochCommit { epoch: committed, entries });
         Ok(committed)
     }
 
@@ -455,6 +514,8 @@ impl PaxDevice {
         for (_offset, addr) in logged {
             // CLWB semantics: full eviction from host caches; dirty data
             // comes back to the device, the line does NOT stay cached.
+            self.trace
+                .record(COMPONENT, TraceEvent::Coherence { op: "snp_inv".into(), line: addr.0 });
             let host_data = cache.snoop_invalidate(addr);
             let data = match host_data {
                 Some(d) => Some(d),
@@ -464,7 +525,8 @@ impl PaxDevice {
                 let abs = self.vpm_to_pool(addr)?;
                 self.tick()?;
                 self.pool.write_line(abs, d.clone())?;
-                self.metrics.device_writebacks += 1;
+                self.metrics.inc(self.ctr.device_writebacks);
+                self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
             }
             if let Some(mut line) = self.hbm.remove(addr) {
                 line.dirty = false;
@@ -478,11 +540,13 @@ impl PaxDevice {
         self.tick()?;
         let committed = self.current_epoch;
         self.pool.commit_epoch(committed)?;
+        let entries = self.epoch_log.len() as u64;
         self.epoch_log.clear();
         self.writeback_queue.clear();
         self.log.reset_after_commit();
         self.current_epoch = committed + 1;
-        self.metrics.persists += 1;
+        self.metrics.inc(self.ctr.persists);
+        self.trace.record(COMPONENT, TraceEvent::EpochCommit { epoch: committed, entries });
         Ok(committed)
     }
 
@@ -512,13 +576,16 @@ impl PaxDevice {
         logged.sort_unstable();
         let flush_to = logged.last().map_or(0, |(o, _)| o + 1);
 
+        let entries = logged.len() as u64;
         let mut queue = VecDeque::with_capacity(logged.len());
         let mut values = HashMap::with_capacity(logged.len());
         for (_offset, addr) in logged {
-            self.metrics.snoops_sent += 1;
+            self.metrics.inc(self.ctr.snoops_sent);
+            self.trace
+                .record(COMPONENT, TraceEvent::Coherence { op: "snp_data".into(), line: addr.0 });
             let data = match cache.snoop_shared(addr) {
                 Some(d) => {
-                    self.metrics.snoop_data_returned += 1;
+                    self.metrics.inc(self.ctr.snoop_data_returned);
                     let durable = self.log.durable_offset();
                     let victim = self.hbm.insert(
                         addr,
@@ -552,7 +619,7 @@ impl PaxDevice {
         }
 
         let epoch = self.current_epoch;
-        self.draining = Some(DrainState { epoch, queue, values, flush_to });
+        self.draining = Some(DrainState { epoch, queue, values, flush_to, entries });
         self.epoch_log.clear();
         self.writeback_queue.clear();
         self.current_epoch = epoch + 1;
@@ -589,12 +656,14 @@ impl PaxDevice {
             }
             let abs = self.pool.layout().vpm_to_pool(addr.0)?;
             self.pool.write_line(abs, data)?;
-            self.metrics.device_writebacks += 1;
+            self.metrics.inc(self.ctr.device_writebacks);
+            self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
         }
         // Phase 3: commit once everything landed.
         let done = self.draining.as_ref().is_some_and(|d| d.queue.is_empty());
         if done {
-            let epoch = self.draining.as_ref().expect("checked").epoch;
+            let ds = self.draining.as_ref().expect("checked");
+            let (epoch, entries) = (ds.epoch, ds.entries);
             self.pool.drain();
             if self.clock.tick() == CrashOutcome::Crashed {
                 self.pool.crash();
@@ -602,7 +671,8 @@ impl PaxDevice {
             }
             self.pool.commit_epoch(epoch)?;
             self.draining = None;
-            self.metrics.persists += 1;
+            self.metrics.inc(self.ctr.persists);
+            self.trace.record(COMPONENT, TraceEvent::EpochCommit { epoch, entries });
             // The log region can only be recycled when it holds nothing
             // from the (already running) next epoch.
             if self.epoch_log.is_empty() && self.log.pending_len() == 0 {
@@ -642,7 +712,7 @@ impl PaxDevice {
         };
         let flush_to = ds.flush_to;
         while self.log.durable_offset() < flush_to {
-            self.metrics.forced_log_flushes += 1;
+            self.metrics.inc(self.ctr.forced_log_flushes);
             self.log.pump(&mut self.pool, &self.clock, usize::MAX)?;
         }
         if self.clock.tick() == CrashOutcome::Crashed {
@@ -651,20 +721,24 @@ impl PaxDevice {
         }
         let abs = self.pool.layout().vpm_to_pool(addr.0)?;
         self.pool.write_line(abs, data)?;
-        self.metrics.device_writebacks += 1;
+        self.metrics.inc(self.ctr.device_writebacks);
+        self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
         Ok(())
     }
 }
 
 impl HomeAgent for PaxDevice {
     fn read_shared(&mut self, addr: LineAddr) -> Result<CacheLine> {
-        self.metrics.rd_shared += 1;
+        self.metrics.inc(self.ctr.rd_shared);
+        self.trace
+            .record(COMPONENT, TraceEvent::Coherence { op: "rd_shared".into(), line: addr.0 });
         self.background()?;
         self.resolve(addr)
     }
 
     fn read_own(&mut self, addr: LineAddr) -> Result<CacheLine> {
-        self.metrics.rd_own += 1;
+        self.metrics.inc(self.ctr.rd_own);
+        self.trace.record(COMPONENT, TraceEvent::Coherence { op: "rd_own".into(), line: addr.0 });
         self.background()?;
         let old = self.resolve(addr)?;
         // The paper's key move: log asynchronously and acknowledge the
@@ -673,12 +747,16 @@ impl HomeAgent for PaxDevice {
         Ok(old)
     }
 
-    fn clean_evict(&mut self, _addr: LineAddr) {
-        self.metrics.clean_evicts += 1;
+    fn clean_evict(&mut self, addr: LineAddr) {
+        self.metrics.inc(self.ctr.clean_evicts);
+        self.trace
+            .record(COMPONENT, TraceEvent::Coherence { op: "clean_evict".into(), line: addr.0 });
     }
 
     fn dirty_evict(&mut self, addr: LineAddr, data: CacheLine) -> Result<()> {
-        self.metrics.dirty_evicts += 1;
+        self.metrics.inc(self.ctr.dirty_evicts);
+        self.trace
+            .record(COMPONENT, TraceEvent::Coherence { op: "dirty_evict".into(), line: addr.0 });
         self.background()?;
         // Ordering with a draining epoch: the previous epoch's value for
         // this line must reach PM before any newer value can (otherwise a
@@ -691,18 +769,15 @@ impl HomeAgent for PaxDevice {
                 // ownership request for this epoch. The PM copy is still
                 // the epoch-start value (write back is log-gated), so log
                 // it now.
-                self.metrics.unlogged_dirty_evicts += 1;
+                self.metrics.inc(self.ctr.unlogged_dirty_evicts);
                 let abs = self.vpm_to_pool(addr)?;
                 let old = self.pool.read_line(abs)?;
                 self.log_if_first(addr, &old)?
             }
         };
         let durable = self.log.durable_offset();
-        let victim = self.hbm.insert(
-            addr,
-            HbmLine { data, dirty: true, log_offset: Some(offset) },
-            durable,
-        );
+        let victim =
+            self.hbm.insert(addr, HbmLine { data, dirty: true, log_offset: Some(offset) }, durable);
         self.writeback_queue.push_back(addr);
         if let Some((vaddr, vline)) = victim {
             self.dispose_victim(vaddr, vline)?;
@@ -800,9 +875,7 @@ mod tests {
     fn multiple_epochs_round_trip() {
         let (mut device, mut cache) = setup();
         for epoch in 1..=5u64 {
-            cache
-                .write(LineAddr(epoch), CacheLine::filled(epoch as u8), &mut device)
-                .unwrap();
+            cache.write(LineAddr(epoch), CacheLine::filled(epoch as u8), &mut device).unwrap();
             assert_eq!(device.persist(&mut cache).unwrap(), epoch);
         }
         assert_eq!(device.committed_epoch().unwrap(), 5);
@@ -820,9 +893,11 @@ mod tests {
         // 64 lines. Evictions must proactively write back without
         // breaking the snapshot.
         let pool = PmPool::create(PoolConfig::small()).unwrap();
-        let config = DeviceConfig::default().with_hbm(
-            HbmConfig { capacity_bytes: 8 * 64, ways: 2, policy: EvictionPolicy::PreferDurable },
-        );
+        let config = DeviceConfig::default().with_hbm(HbmConfig {
+            capacity_bytes: 8 * 64,
+            ways: 2,
+            policy: EvictionPolicy::PreferDurable,
+        });
         let mut device = PaxDevice::open(pool, config).unwrap();
         let mut cache = CoherentCache::new(CacheConfig::tiny(4 * 64, 2)); // tiny host cache too
         for i in 0..64u64 {

@@ -133,9 +133,7 @@ impl<A: CoherenceAdapter> CxlEndpoint<A> {
             }
             // `H2DReq` is non-exhaustive: future opcodes must be wired
             // explicitly rather than silently dropped.
-            other => {
-                return Err(PmError::BadPool(format!("unhandled request opcode {other:?}")))
-            }
+            other => return Err(PmError::BadPool(format!("unhandled request opcode {other:?}"))),
         };
         if matches!(resp, D2HResp::GoData { .. }) {
             self.transport.d2h_resp.push_with_data(resp);
@@ -213,8 +211,7 @@ mod tests {
         let mut enzian = endpoint(EnzianAdapter::new());
         // A raw bus stream with interleaved noise:
         enzian.deliver_native(EciMsg::PrefetchProbe { addr: LineAddr(0) }).unwrap();
-        let r =
-            enzian.deliver_native(EciMsg::StoreMiss { addr: LineAddr(0) }).unwrap().unwrap();
+        let r = enzian.deliver_native(EciMsg::StoreMiss { addr: LineAddr(0) }).unwrap().unwrap();
         assert!(matches!(r, D2HResp::GoData { .. }));
         enzian.deliver_native(EciMsg::DvmOp).unwrap();
         enzian

@@ -153,11 +153,9 @@ impl HbmCache {
     ) -> Option<(LineAddr, HbmLine)> {
         match self.policy {
             EvictionPolicy::Lru => self.lines.insert(addr, line),
-            EvictionPolicy::PreferDurable => {
-                self.lines.insert_with_policy(addr, line, |l| {
-                    !l.dirty || l.log_offset.is_none_or(|o| o < durable_offset)
-                })
-            }
+            EvictionPolicy::PreferDurable => self.lines.insert_with_policy(addr, line, |l| {
+                !l.dirty || l.log_offset.is_none_or(|o| o < durable_offset)
+            }),
         }
     }
 
@@ -169,12 +167,8 @@ impl HbmCache {
     /// Drains all dirty lines (persist-time write back), leaving clean
     /// copies resident so post-persist reads still hit.
     pub fn take_dirty(&mut self) -> Vec<(LineAddr, CacheLine)> {
-        let dirty: Vec<LineAddr> = self
-            .lines
-            .iter()
-            .filter(|(_, l)| l.dirty)
-            .map(|(a, _)| a)
-            .collect();
+        let dirty: Vec<LineAddr> =
+            self.lines.iter().filter(|(_, l)| l.dirty).map(|(a, _)| a).collect();
         dirty
             .into_iter()
             .map(|addr| {

@@ -51,5 +51,5 @@ pub use device::{DeviceConfig, PaxDevice};
 pub use endpoint::CxlEndpoint;
 pub use hbm::{EvictionPolicy, HbmCache, HbmConfig, HbmLine};
 pub use metrics::DeviceMetrics;
-pub use recovery::{recover, RecoveryReport};
+pub use recovery::{recover, recover_traced, RecoveryReport};
 pub use undo_log::{UndoEntry, UndoLog, ENTRY_LINES};

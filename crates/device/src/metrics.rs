@@ -3,8 +3,17 @@
 //! Every quantitative claim in the paper's §5 reduces to counts of these
 //! events multiplied by latency/bandwidth constants; the bench harness
 //! reads them from [`PaxDevice::metrics`](crate::PaxDevice::metrics).
+//!
+//! The counters themselves live in the device's
+//! [`MetricSet`] registry; [`DeviceMetrics`] is a point-in-time typed
+//! view built by [`DeviceCounters::view`].
+
+use pax_telemetry::{Counter, MetricSet};
 
 /// Cumulative counters for one [`PaxDevice`](crate::PaxDevice).
+///
+/// A point-in-time view over the device's [`MetricSet`] registry, which
+/// owns the counter state.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeviceMetrics {
     /// `RdShared` requests received (host read misses).
@@ -58,6 +67,66 @@ impl DeviceMetrics {
     /// Bytes of data write back traffic to PM.
     pub fn writeback_bytes(&self) -> u64 {
         self.device_writebacks * pax_pm::LINE_SIZE as u64
+    }
+}
+
+/// Counter handles into the device's [`MetricSet`] registry — one per
+/// [`DeviceMetrics`] field.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DeviceCounters {
+    pub(crate) rd_shared: Counter,
+    pub(crate) rd_own: Counter,
+    pub(crate) clean_evicts: Counter,
+    pub(crate) dirty_evicts: Counter,
+    pub(crate) undo_entries: Counter,
+    pub(crate) unlogged_dirty_evicts: Counter,
+    pub(crate) snoops_sent: Counter,
+    pub(crate) snoop_data_returned: Counter,
+    pub(crate) device_writebacks: Counter,
+    pub(crate) forced_log_flushes: Counter,
+    pub(crate) background_writebacks: Counter,
+    pub(crate) persists: Counter,
+    pub(crate) hbm_read_hits: Counter,
+    pub(crate) pm_reads: Counter,
+}
+
+impl DeviceCounters {
+    pub(crate) fn register(metrics: &mut MetricSet) -> Self {
+        DeviceCounters {
+            rd_shared: metrics.counter("rd_shared"),
+            rd_own: metrics.counter("rd_own"),
+            clean_evicts: metrics.counter("clean_evicts"),
+            dirty_evicts: metrics.counter("dirty_evicts"),
+            undo_entries: metrics.counter("undo_entries"),
+            unlogged_dirty_evicts: metrics.counter("unlogged_dirty_evicts"),
+            snoops_sent: metrics.counter("snoops_sent"),
+            snoop_data_returned: metrics.counter("snoop_data_returned"),
+            device_writebacks: metrics.counter("device_writebacks"),
+            forced_log_flushes: metrics.counter("forced_log_flushes"),
+            background_writebacks: metrics.counter("background_writebacks"),
+            persists: metrics.counter("persists"),
+            hbm_read_hits: metrics.counter("hbm_read_hits"),
+            pm_reads: metrics.counter("pm_reads"),
+        }
+    }
+
+    pub(crate) fn view(&self, metrics: &MetricSet) -> DeviceMetrics {
+        DeviceMetrics {
+            rd_shared: metrics.get(self.rd_shared),
+            rd_own: metrics.get(self.rd_own),
+            clean_evicts: metrics.get(self.clean_evicts),
+            dirty_evicts: metrics.get(self.dirty_evicts),
+            undo_entries: metrics.get(self.undo_entries),
+            unlogged_dirty_evicts: metrics.get(self.unlogged_dirty_evicts),
+            snoops_sent: metrics.get(self.snoops_sent),
+            snoop_data_returned: metrics.get(self.snoop_data_returned),
+            device_writebacks: metrics.get(self.device_writebacks),
+            forced_log_flushes: metrics.get(self.forced_log_flushes),
+            background_writebacks: metrics.get(self.background_writebacks),
+            persists: metrics.get(self.persists),
+            hbm_read_hits: metrics.get(self.hbm_read_hits),
+            pm_reads: metrics.get(self.pm_reads),
+        }
     }
 }
 

@@ -12,6 +12,7 @@
 //! constructing a new persistent map and recovering one".
 
 use pax_pm::{PmPool, Result};
+use pax_telemetry::{TraceBuf, TraceEvent};
 
 use crate::undo_log::UndoLog;
 
@@ -32,6 +33,16 @@ pub struct RecoveryReport {
 ///
 /// Surfaces media errors from the scan and rollback writes.
 pub fn recover(pool: &mut PmPool) -> Result<RecoveryReport> {
+    recover_traced(pool, &mut TraceBuf::disabled())
+}
+
+/// Like [`recover`], emitting a [`TraceEvent::RecoveryStep`] per rolled
+/// back line into `trace` so the rollback order is replayable.
+///
+/// # Errors
+///
+/// Surfaces media errors from the scan and rollback writes.
+pub fn recover_traced(pool: &mut PmPool, trace: &mut TraceBuf) -> Result<RecoveryReport> {
     let committed = pool.committed_epoch()?;
     let entries = UndoLog::scan(pool)?;
     let scanned = entries.len();
@@ -43,6 +54,10 @@ pub fn recover(pool: &mut PmPool) -> Result<RecoveryReport> {
         if entry.epoch > committed {
             let abs = pool.layout().vpm_to_pool(entry.vpm_line.0)?;
             pool.write_line(abs, entry.old.clone())?;
+            trace.record(
+                "device",
+                TraceEvent::RecoveryStep { epoch: entry.epoch, line: entry.vpm_line.0 },
+            );
             rolled_back += 1;
         }
     }
@@ -74,12 +89,8 @@ mod tests {
         // Simulate a crash mid-epoch-3: line 4's pre-image (0xAB) is
         // logged and the "new" value (0xCD) already reached PM.
         let mut log = UndoLog::new(&pool);
-        log.append(UndoEntry {
-            epoch: 3,
-            vpm_line: LineAddr(4),
-            old: CacheLine::filled(0xAB),
-        })
-        .unwrap();
+        log.append(UndoEntry { epoch: 3, vpm_line: LineAddr(4), old: CacheLine::filled(0xAB) })
+            .unwrap();
         log.flush(&mut pool, &clock).unwrap();
         let abs = pool.layout().vpm_to_pool(4).unwrap();
         pool.write_line(abs, CacheLine::filled(0xCD)).unwrap();
@@ -95,12 +106,8 @@ mod tests {
         let mut pool = PmPool::create(PoolConfig::small()).unwrap();
         let clock = CrashClock::new();
         let mut log = UndoLog::new(&pool);
-        log.append(UndoEntry {
-            epoch: 1,
-            vpm_line: LineAddr(0),
-            old: CacheLine::filled(0x11),
-        })
-        .unwrap();
+        log.append(UndoEntry { epoch: 1, vpm_line: LineAddr(0), old: CacheLine::filled(0x11) })
+            .unwrap();
         log.flush(&mut pool, &clock).unwrap();
         pool.commit_epoch(1).unwrap(); // epoch 1 committed: entry is stale
 
@@ -119,12 +126,8 @@ mod tests {
         let mut pool = PmPool::create(PoolConfig::small()).unwrap();
         let clock = CrashClock::new();
         let mut log = UndoLog::new(&pool);
-        log.append(UndoEntry {
-            epoch: 1,
-            vpm_line: LineAddr(2),
-            old: CacheLine::filled(0x33),
-        })
-        .unwrap();
+        log.append(UndoEntry { epoch: 1, vpm_line: LineAddr(2), old: CacheLine::filled(0x33) })
+            .unwrap();
         log.flush(&mut pool, &clock).unwrap();
 
         let r1 = recover(&mut pool).unwrap();

@@ -125,10 +125,8 @@ impl Backend {
         // Deterministic expansion of fractional event counts.
         let misses = op.misses_per_op.round() as usize;
         let stores = op.stores_per_op.round() as usize;
-        let pm_read =
-            Resource { name: "PM read", concurrency: machine.pm_read_concurrency };
-        let pm_write =
-            Resource { name: "PM write", concurrency: machine.pm_write_concurrency };
+        let pm_read = Resource { name: "PM read", concurrency: machine.pm_read_concurrency };
+        let pm_write = Resource { name: "PM write", concurrency: machine.pm_write_concurrency };
 
         match self {
             Backend::Dram => {
@@ -148,10 +146,8 @@ impl Backend {
                 for _ in 0..stores {
                     // The store is ADR-complete quickly, but the DIMM
                     // write slot stays occupied for the media write.
-                    stages.push(Stage::Use {
-                        resource: 1,
-                        service_ns: machine.pm_write_service_ns,
-                    });
+                    stages
+                        .push(Stage::Use { resource: 1, service_ns: machine.pm_write_service_ns });
                 }
                 (SimMachine::new(vec![pm_read, pm_write]), OpRecipe { stages })
             }
@@ -203,10 +199,7 @@ impl Backend {
                     // PM write bandwidth is the open question §5.1 flags,
                     // modelled separately in the `bandwidth` harness.
                     stages.push(Stage::Compute(interpose));
-                    stages.push(Stage::Use {
-                        resource: 2,
-                        service_ns: machine.device_service_ns,
-                    });
+                    stages.push(Stage::Use { resource: 2, service_ns: machine.device_service_ns });
                 }
                 (SimMachine::new(vec![pm_read, pm_write, device]), OpRecipe { stages })
             }
@@ -261,10 +254,7 @@ mod tests {
         for threads in [1, 8, 16, 24, 32] {
             let direct = mops(Backend::PmDirect, threads);
             let pax = mops(Backend::Pax(Platform::Cxl), threads);
-            assert!(
-                pax >= direct * 0.95,
-                "{threads} threads: PAX {pax} vs direct {direct}"
-            );
+            assert!(pax >= direct * 0.95, "{threads} threads: PAX {pax} vs direct {direct}");
         }
     }
 

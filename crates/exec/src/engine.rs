@@ -148,8 +148,11 @@ impl SimMachine {
         let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
         let mut events: Vec<Option<Event>> = Vec::new();
         let mut seq = 0u64;
-        let push = |heap: &mut BinaryHeap<_>, events: &mut Vec<Option<Event>>,
-                        time: u64, ev: Event, seq: &mut u64| {
+        let push = |heap: &mut BinaryHeap<_>,
+                    events: &mut Vec<Option<Event>>,
+                    time: u64,
+                    ev: Event,
+                    seq: &mut u64| {
             events.push(Some(ev));
             heap.push(Reverse((time, *seq, events.len() - 1)));
             *seq += 1;
@@ -381,10 +384,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn unknown_resource_is_rejected() {
-        machine(1).run(
-            1,
-            1,
-            &OpRecipe { stages: vec![Stage::Use { resource: 5, service_ns: 1 }] },
-        );
+        machine(1).run(1, 1, &OpRecipe { stages: vec![Stage::Use { resource: 5, service_ns: 1 }] });
     }
 }

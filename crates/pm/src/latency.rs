@@ -73,9 +73,9 @@ impl LatencyProfile {
     /// The Cloudlab c6420 model used for the paper's Fig. 2a estimates.
     pub const fn c6420() -> Self {
         LatencyProfile {
-            l1_ns: 2,    // 4 cycles @ 2.6 GHz
-            l2_ns: 5,    // 14 cycles
-            llc_ns: 20,  // ~52 cycles
+            l1_ns: 2,   // 4 cycles @ 2.6 GHz
+            l2_ns: 5,   // 14 cycles
+            llc_ns: 20, // ~52 cycles
             dram: MediaLatency { read_ns: 81, write_ns: 86 },
             pm: MediaLatency { read_ns: 305, write_ns: 94 },
             cxl_overhead_ns: 70,

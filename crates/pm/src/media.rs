@@ -17,6 +17,8 @@
 
 use std::collections::VecDeque;
 
+use pax_telemetry::{Counter, MetricSet, MetricSnapshot};
+
 use crate::error::PmError;
 use crate::line::{CacheLine, LineAddr};
 use crate::Result;
@@ -49,6 +51,10 @@ impl PersistenceDomain {
 }
 
 /// Access statistics for a medium; inputs to the timing models.
+///
+/// This is a point-in-time *view* built from the medium's
+/// [`MetricSet`] registry — the registry is the single owner of the
+/// counters; this struct just gives call sites typed field access.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MediaStats {
     /// Number of line reads served.
@@ -59,6 +65,35 @@ pub struct MediaStats {
     pub lines_lost_in_wpq: u64,
     /// Number of crashes this medium has survived.
     pub crashes: u64,
+}
+
+/// Counter handles for one medium's [`MetricSet`].
+#[derive(Debug, Clone, Copy)]
+struct MediaCounters {
+    line_reads: Counter,
+    line_writes: Counter,
+    lines_lost_in_wpq: Counter,
+    crashes: Counter,
+}
+
+impl MediaCounters {
+    fn register(metrics: &mut MetricSet) -> Self {
+        MediaCounters {
+            line_reads: metrics.counter("line_reads"),
+            line_writes: metrics.counter("line_writes"),
+            lines_lost_in_wpq: metrics.counter("lines_lost_in_wpq"),
+            crashes: metrics.counter("crashes"),
+        }
+    }
+
+    fn view(&self, metrics: &MetricSet) -> MediaStats {
+        MediaStats {
+            line_reads: metrics.get(self.line_reads),
+            line_writes: metrics.get(self.line_writes),
+            lines_lost_in_wpq: metrics.get(self.lines_lost_in_wpq),
+            crashes: metrics.get(self.crashes),
+        }
+    }
 }
 
 impl MediaStats {
@@ -106,8 +141,11 @@ pub trait Memory {
     /// Capacity in lines.
     fn capacity_lines(&self) -> u64;
 
-    /// Cumulative access statistics.
+    /// Cumulative access statistics (a typed view of [`Memory::metrics`]).
     fn stats(&self) -> MediaStats;
+
+    /// Snapshot of the medium's metric registry.
+    fn metrics(&self) -> MetricSnapshot;
 }
 
 /// Simulated persistent memory: durable array + write-pending queue.
@@ -129,7 +167,8 @@ pub struct PmMedia {
     wpq: VecDeque<(LineAddr, CacheLine)>,
     wpq_capacity: usize,
     domain: PersistenceDomain,
-    stats: MediaStats,
+    metrics: MetricSet,
+    ctr: MediaCounters,
 }
 
 /// Default depth of the write-pending queue (tens of entries on real iMCs).
@@ -140,12 +179,15 @@ impl PmMedia {
     /// (rounded up to whole lines) with the given persistence domain.
     pub fn new(capacity_bytes: usize, domain: PersistenceDomain) -> Self {
         let lines = capacity_bytes.div_ceil(crate::LINE_SIZE);
+        let mut metrics = MetricSet::new("media");
+        let ctr = MediaCounters::register(&mut metrics);
         PmMedia {
             durable: vec![CacheLine::zeroed(); lines],
             wpq: VecDeque::new(),
             wpq_capacity: DEFAULT_WPQ_DEPTH,
             domain,
-            stats: MediaStats::default(),
+            metrics,
+            ctr,
         }
     }
 
@@ -185,7 +227,7 @@ impl PmMedia {
 impl Memory for PmMedia {
     fn read_line(&mut self, addr: LineAddr) -> Result<CacheLine> {
         self.check(addr)?;
-        self.stats.line_reads += 1;
+        self.metrics.inc(self.ctr.line_reads);
         // Reads must observe queued writes (store-to-load forwarding at
         // the controller); scan the WPQ newest-first.
         for (a, l) in self.wpq.iter().rev() {
@@ -198,7 +240,7 @@ impl Memory for PmMedia {
 
     fn write_line(&mut self, addr: LineAddr, line: CacheLine) -> Result<()> {
         self.check(addr)?;
-        self.stats.line_writes += 1;
+        self.metrics.inc(self.ctr.line_writes);
         if self.wpq.len() >= self.wpq_capacity {
             // A full WPQ forces the oldest entry to media, like real iMCs.
             self.drain_one();
@@ -214,11 +256,11 @@ impl Memory for PmMedia {
     }
 
     fn crash(&mut self) {
-        self.stats.crashes += 1;
+        self.metrics.inc(self.ctr.crashes);
         if self.domain.wpq_survives() {
             self.drain();
         } else {
-            self.stats.lines_lost_in_wpq += self.wpq.len() as u64;
+            self.metrics.add(self.ctr.lines_lost_in_wpq, self.wpq.len() as u64);
             self.wpq.clear();
         }
     }
@@ -228,7 +270,11 @@ impl Memory for PmMedia {
     }
 
     fn stats(&self) -> MediaStats {
-        self.stats
+        self.ctr.view(&self.metrics)
+    }
+
+    fn metrics(&self) -> MetricSnapshot {
+        self.metrics.snapshot()
     }
 }
 
@@ -236,14 +282,17 @@ impl Memory for PmMedia {
 #[derive(Debug)]
 pub struct DramMedia {
     lines: Vec<CacheLine>,
-    stats: MediaStats,
+    metrics: MetricSet,
+    ctr: MediaCounters,
 }
 
 impl DramMedia {
     /// Creates a zero-filled volatile medium of `capacity_bytes`.
     pub fn new(capacity_bytes: usize) -> Self {
         let lines = capacity_bytes.div_ceil(crate::LINE_SIZE);
-        DramMedia { lines: vec![CacheLine::zeroed(); lines], stats: MediaStats::default() }
+        let mut metrics = MetricSet::new("dram_media");
+        let ctr = MediaCounters::register(&mut metrics);
+        DramMedia { lines: vec![CacheLine::zeroed(); lines], metrics, ctr }
     }
 
     fn check(&self, addr: LineAddr) -> Result<()> {
@@ -257,13 +306,13 @@ impl DramMedia {
 impl Memory for DramMedia {
     fn read_line(&mut self, addr: LineAddr) -> Result<CacheLine> {
         self.check(addr)?;
-        self.stats.line_reads += 1;
+        self.metrics.inc(self.ctr.line_reads);
         Ok(self.lines[addr.0 as usize].clone())
     }
 
     fn write_line(&mut self, addr: LineAddr, line: CacheLine) -> Result<()> {
         self.check(addr)?;
-        self.stats.line_writes += 1;
+        self.metrics.inc(self.ctr.line_writes);
         self.lines[addr.0 as usize] = line;
         Ok(())
     }
@@ -271,7 +320,7 @@ impl Memory for DramMedia {
     fn drain(&mut self) {}
 
     fn crash(&mut self) {
-        self.stats.crashes += 1;
+        self.metrics.inc(self.ctr.crashes);
         for l in &mut self.lines {
             *l = CacheLine::zeroed();
         }
@@ -282,7 +331,11 @@ impl Memory for DramMedia {
     }
 
     fn stats(&self) -> MediaStats {
-        self.stats
+        self.ctr.view(&self.metrics)
+    }
+
+    fn metrics(&self) -> MetricSnapshot {
+        self.metrics.snapshot()
     }
 }
 
@@ -351,10 +404,7 @@ mod tests {
     #[test]
     fn out_of_bounds_is_reported() {
         let mut pm = PmMedia::new(64, PersistenceDomain::Adr);
-        assert!(matches!(
-            pm.read_line(LineAddr(1)),
-            Err(PmError::OutOfBounds { .. })
-        ));
+        assert!(matches!(pm.read_line(LineAddr(1)), Err(PmError::OutOfBounds { .. })));
         assert!(pm.write_line(LineAddr(99), fill(0)).is_err());
     }
 

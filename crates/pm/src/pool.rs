@@ -181,8 +181,7 @@ impl PmPool {
     /// Returns [`PmError::BadLayout`] if a region is smaller than a line.
     pub fn create(config: PoolConfig) -> Result<Self> {
         let layout = PoolLayout::from_config(&config)?;
-        let media =
-            PmMedia::new(layout.total_lines() as usize * LINE_SIZE, config.domain);
+        let media = PmMedia::new(layout.total_lines() as usize * LINE_SIZE, config.domain);
         let mut pool = PmPool { media, layout, domain: config.domain };
         pool.write_meta()?;
         pool.media.drain();
@@ -258,6 +257,11 @@ impl PmPool {
         self.media.stats()
     }
 
+    /// Snapshot of the backing media's metric registry.
+    pub fn media_metrics(&self) -> pax_telemetry::MetricSnapshot {
+        self.media.metrics()
+    }
+
     /// Serializes the durable contents to `path`.
     ///
     /// Queued (non-durable) writes are **not** saved — the file holds what
@@ -319,8 +323,7 @@ impl PmPool {
             t => return Err(PmError::BadPool(format!("unknown persistence domain tag {t}"))),
         };
         let layout = PoolLayout { header_lines: HEADER_LINES, log_lines, data_lines };
-        let mut media =
-            PmMedia::new(layout.total_lines() as usize * LINE_SIZE, domain);
+        let mut media = PmMedia::new(layout.total_lines() as usize * LINE_SIZE, domain);
         let mut buf = vec![0u8; LINE_SIZE];
         for i in 0..layout.total_lines() {
             f.read_exact(&mut buf)?;

@@ -1,0 +1,425 @@
+//! Named counter / histogram registry with snapshot, diff, and merge.
+
+use crate::json::Json;
+
+/// Handle to a counter slot in a [`MetricSet`].
+///
+/// Handles are plain indices: incrementing through one is an array add,
+/// with no name lookup on the hot path. A handle is only meaningful for
+/// the set that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u32);
+
+/// Handle to a histogram slot in a [`MetricSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram(u32);
+
+/// Power-of-two bucket count: bucket `i` holds values whose bit length
+/// is `i`, i.e. bucket 0 is exactly zero, bucket 1 is `1`, bucket 2 is
+/// `2..=3`, and so on up to bucket 64.
+const BUCKETS: usize = 65;
+
+#[derive(Debug, Clone)]
+struct Hist {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; BUCKETS] }
+    }
+
+    fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[(64 - value.leading_zeros()) as usize] += 1;
+    }
+}
+
+/// A component-owned registry of named counters and histograms.
+///
+/// Each simulated component (`pm`, `cxl`, `host_cache`, `device`, …)
+/// owns exactly one set; the component's legacy typed stats structs are
+/// derived views over it, so there is a single copy of every number.
+#[derive(Debug, Clone)]
+pub struct MetricSet {
+    component: &'static str,
+    counter_names: Vec<&'static str>,
+    counters: Vec<u64>,
+    histogram_names: Vec<&'static str>,
+    histograms: Vec<Hist>,
+}
+
+impl MetricSet {
+    /// An empty set for the named component.
+    pub fn new(component: &'static str) -> Self {
+        MetricSet {
+            component,
+            counter_names: Vec::new(),
+            counters: Vec::new(),
+            histogram_names: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// The component name this set was created with.
+    pub fn component(&self) -> &'static str {
+        self.component
+    }
+
+    /// Registers (or re-finds) a counter and returns its handle.
+    pub fn counter(&mut self, name: &'static str) -> Counter {
+        if let Some(i) = self.counter_names.iter().position(|n| *n == name) {
+            return Counter(i as u32);
+        }
+        self.counter_names.push(name);
+        self.counters.push(0);
+        Counter((self.counters.len() - 1) as u32)
+    }
+
+    /// Registers (or re-finds) a histogram and returns its handle.
+    pub fn histogram(&mut self, name: &'static str) -> Histogram {
+        if let Some(i) = self.histogram_names.iter().position(|n| *n == name) {
+            return Histogram(i as u32);
+        }
+        self.histogram_names.push(name);
+        self.histograms.push(Hist::new());
+        Histogram((self.histograms.len() - 1) as u32)
+    }
+
+    /// Adds one to a counter.
+    #[inline]
+    pub fn inc(&mut self, c: Counter) {
+        self.counters[c.0 as usize] += 1;
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    pub fn add(&mut self, c: Counter, delta: u64) {
+        self.counters[c.0 as usize] += delta;
+    }
+
+    /// Current value of a counter.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c.0 as usize]
+    }
+
+    /// Records one observation into a histogram.
+    #[inline]
+    pub fn record(&mut self, h: Histogram, value: u64) {
+        self.histograms[h.0 as usize].record(value);
+    }
+
+    /// An owned, point-in-time copy of every metric in the set.
+    pub fn snapshot(&self) -> MetricSnapshot {
+        MetricSnapshot {
+            component: self.component.to_string(),
+            counters: self
+                .counter_names
+                .iter()
+                .zip(&self.counters)
+                .map(|(n, v)| (n.to_string(), *v))
+                .collect(),
+            histograms: self
+                .histogram_names
+                .iter()
+                .zip(&self.histograms)
+                .map(|(n, h)| {
+                    (
+                        n.to_string(),
+                        HistogramSnapshot {
+                            count: h.count,
+                            sum: h.sum,
+                            min: if h.count == 0 { 0 } else { h.min },
+                            max: h.max,
+                            buckets: h.buckets.to_vec(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Saturating sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Power-of-two buckets; index = bit length of the value.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("count", Json::U64(self.count))
+            .field("sum", Json::U64(self.sum))
+            .field("min", Json::U64(self.min))
+            .field("max", Json::U64(self.max))
+            .field("mean", Json::F64(self.mean()))
+    }
+}
+
+/// Point-in-time copy of one component's [`MetricSet`].
+///
+/// Snapshots support `diff` (what happened between two points) and
+/// `merge` (combine parallel components), which together give interval
+/// accounting without any extra state in the components themselves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Component name the metrics belong to.
+    pub component: String,
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricSnapshot {
+    /// An empty snapshot for a named component (useful as a merge seed).
+    pub fn empty(component: impl Into<String>) -> Self {
+        MetricSnapshot { component: component.into(), counters: Vec::new(), histograms: Vec::new() }
+    }
+
+    /// Value of a named counter; 0 when the counter is absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// A named histogram, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// All counters in registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Counters accumulated since `earlier` (saturating, so a component
+    /// reset between snapshots reads as zero rather than wrapping).
+    /// Histograms are not intervals and are dropped from the diff.
+    pub fn diff(&self, earlier: &MetricSnapshot) -> MetricSnapshot {
+        MetricSnapshot {
+            component: self.component.clone(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), v.saturating_sub(earlier.counter(n))))
+                .collect(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Sum of this snapshot and `other`, counter by counter. Counters
+    /// present in only one side are kept; histograms are combined
+    /// bucket-wise.
+    pub fn merge(&self, other: &MetricSnapshot) -> MetricSnapshot {
+        let mut counters = self.counters.clone();
+        for (name, v) in &other.counters {
+            match counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => counters.push((name.clone(), *v)),
+            }
+        }
+        let mut histograms = self.histograms.clone();
+        for (name, h) in &other.histograms {
+            match histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => {
+                    mine.count += h.count;
+                    mine.sum = mine.sum.saturating_add(h.sum);
+                    mine.min = if mine.count == 0 { 0 } else { mine.min.min(h.min) };
+                    mine.max = mine.max.max(h.max);
+                    for (a, b) in mine.buckets.iter_mut().zip(&h.buckets) {
+                        *a += b;
+                    }
+                }
+                None => histograms.push((name.clone(), h.clone())),
+            }
+        }
+        MetricSnapshot { component: self.component.clone(), counters, histograms }
+    }
+
+    /// Renders the snapshot as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (n, v) in &self.counters {
+            counters = counters.field(n, Json::U64(*v));
+        }
+        let mut out = Json::obj().field("component", Json::str(&self.component));
+        out = out.field("counters", counters);
+        if !self.histograms.is_empty() {
+            let mut hists = Json::obj();
+            for (n, h) in &self.histograms {
+                hists = hists.field(n, h.to_json());
+            }
+            out = out.field("histograms", hists);
+        }
+        out
+    }
+}
+
+/// A cross-layer snapshot: one [`MetricSnapshot`] per component, in
+/// stack order (host cache first, media last). This is what
+/// `PaxPool::telemetry()` hands back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Per-component snapshots in stack order.
+    pub components: Vec<MetricSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// A snapshot over the given components.
+    pub fn new(components: Vec<MetricSnapshot>) -> Self {
+        TelemetrySnapshot { components }
+    }
+
+    /// The snapshot for a named component, when present.
+    pub fn component(&self, name: &str) -> Option<&MetricSnapshot> {
+        self.components.iter().find(|c| c.component == name)
+    }
+
+    /// Shorthand: counter `name` in component `component`, else 0.
+    pub fn counter(&self, component: &str, name: &str) -> u64 {
+        self.component(component).map_or(0, |c| c.counter(name))
+    }
+
+    /// Component-wise diff against an earlier cross-layer snapshot.
+    pub fn diff(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            components: self
+                .components
+                .iter()
+                .map(|c| match earlier.component(&c.component) {
+                    Some(e) => c.diff(e),
+                    None => c.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the snapshot as a JSON object keyed by component name.
+    pub fn to_json(&self) -> Json {
+        let mut out = Json::obj();
+        for c in &self.components {
+            out = out.field(&c.component, c.to_json());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> (MetricSet, Counter, Counter) {
+        let mut ms = MetricSet::new("dev");
+        let a = ms.counter("reads");
+        let b = ms.counter("writes");
+        (ms, a, b)
+    }
+
+    #[test]
+    fn registering_twice_returns_same_slot() {
+        let (mut ms, a, _) = sample_set();
+        assert_eq!(ms.counter("reads"), a);
+        ms.inc(a);
+        assert_eq!(ms.snapshot().counter("reads"), 1);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_an_interval() {
+        let (mut ms, a, b) = sample_set();
+        ms.add(a, 10);
+        let before = ms.snapshot();
+        ms.add(a, 5);
+        ms.inc(b);
+        let delta = ms.snapshot().diff(&before);
+        assert_eq!(delta.counter("reads"), 5);
+        assert_eq!(delta.counter("writes"), 1);
+    }
+
+    #[test]
+    fn diff_saturates_instead_of_wrapping() {
+        let (mut ms, a, _) = sample_set();
+        ms.add(a, 7);
+        let high = ms.snapshot();
+        let fresh = MetricSet::new("dev").snapshot();
+        assert_eq!(fresh.diff(&high).counter("reads"), 0);
+    }
+
+    #[test]
+    fn merge_adds_shared_and_keeps_disjoint_counters() {
+        let (mut ms1, a, _) = sample_set();
+        ms1.add(a, 3);
+        let mut ms2 = MetricSet::new("dev");
+        let r = ms2.counter("reads");
+        let e = ms2.counter("evicts");
+        ms2.add(r, 4);
+        ms2.inc(e);
+        let merged = ms1.snapshot().merge(&ms2.snapshot());
+        assert_eq!(merged.counter("reads"), 7);
+        assert_eq!(merged.counter("writes"), 0);
+        assert_eq!(merged.counter("evicts"), 1);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_extrema() {
+        let mut ms = MetricSet::new("dev");
+        let h = ms.histogram("batch");
+        for v in [1u64, 2, 3, 100] {
+            ms.record(h, v);
+        }
+        let snap = ms.snapshot();
+        let hist = snap.histogram("batch").unwrap();
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.sum, 106);
+        assert_eq!(hist.min, 1);
+        assert_eq!(hist.max, 100);
+        assert!((hist.mean() - 26.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_snapshot_lookup_and_diff() {
+        let (mut ms, a, _) = sample_set();
+        ms.add(a, 2);
+        let t0 = TelemetrySnapshot::new(vec![ms.snapshot()]);
+        ms.add(a, 3);
+        let t1 = TelemetrySnapshot::new(vec![ms.snapshot()]);
+        assert_eq!(t1.counter("dev", "reads"), 5);
+        assert_eq!(t1.diff(&t0).counter("dev", "reads"), 3);
+        assert!(t1.component("nope").is_none());
+    }
+
+    #[test]
+    fn snapshot_json_contains_all_counters() {
+        let (mut ms, a, b) = sample_set();
+        ms.inc(a);
+        ms.add(b, 2);
+        let rendered = ms.snapshot().to_json().render();
+        assert!(rendered.contains("\"reads\":1"));
+        assert!(rendered.contains("\"writes\":2"));
+        assert!(rendered.contains("\"component\":\"dev\""));
+    }
+}

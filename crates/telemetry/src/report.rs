@@ -1,0 +1,113 @@
+//! Schema-consistent JSON reports for benchmarks and tools.
+
+use crate::json::Json;
+use crate::metrics::TelemetrySnapshot;
+
+/// Builder for the one JSON shape every PAX benchmark emits:
+///
+/// ```json
+/// {
+///   "schema_version": 1,
+///   "bench": "<name>",
+///   "config": { ... },
+///   "results": [ { ... }, ... ],
+///   "telemetry": { ... }            // optional cross-layer snapshot
+/// }
+/// ```
+///
+/// `config` holds the knobs the run was invoked with, `results` holds
+/// one object per measured configuration/data point. A fixed top-level
+/// shape keeps downstream tooling (ratchets, plotters) independent of
+/// which benchmark produced the file.
+#[derive(Debug, Clone)]
+pub struct Report {
+    bench: String,
+    config: Json,
+    results: Vec<Json>,
+    telemetry: Option<Json>,
+}
+
+/// Version of the report schema; bump when the top-level shape changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+impl Report {
+    /// A report for the named benchmark.
+    pub fn new(bench: impl Into<String>) -> Self {
+        Report { bench: bench.into(), config: Json::obj(), results: Vec::new(), telemetry: None }
+    }
+
+    /// Records one configuration knob.
+    pub fn config(mut self, key: &str, value: Json) -> Self {
+        self.config = self.config.field(key, value);
+        self
+    }
+
+    /// Records a configuration knob by mutable reference (for loops).
+    pub fn set_config(&mut self, key: &str, value: Json) {
+        let config = std::mem::replace(&mut self.config, Json::obj());
+        self.config = config.field(key, value);
+    }
+
+    /// Appends one result row (any JSON object).
+    pub fn push_result(&mut self, row: Json) {
+        self.results.push(row);
+    }
+
+    /// Attaches a cross-layer telemetry snapshot.
+    pub fn attach_telemetry(&mut self, snapshot: &TelemetrySnapshot) {
+        self.telemetry = Some(snapshot.to_json());
+    }
+
+    /// The report as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut out = Json::obj()
+            .field("schema_version", Json::U64(SCHEMA_VERSION))
+            .field("bench", Json::str(&self.bench))
+            .field("config", self.config.clone())
+            .field("results", Json::Arr(self.results.clone()));
+        if let Some(t) = &self.telemetry {
+            out = out.field("telemetry", t.clone());
+        }
+        out
+    }
+
+    /// Compact single-line JSON, for piping into other tools.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Indented JSON, for humans.
+    pub fn render_pretty(&self) -> String {
+        self.to_json().render_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricSet;
+
+    #[test]
+    fn report_shape_is_stable() {
+        let mut report = Report::new("fig2a").config("lines", Json::U64(4096));
+        report.push_result(Json::obj().field("miss_rate", Json::F64(0.25)));
+        let j = Json::parse(&report.render()).unwrap();
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(SCHEMA_VERSION));
+        assert_eq!(j.get("bench").and_then(Json::as_str), Some("fig2a"));
+        assert_eq!(j.get("config").unwrap().get("lines").and_then(Json::as_u64), Some(4096));
+        assert_eq!(j.get("results").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+    }
+
+    #[test]
+    fn telemetry_attachment_appears_per_component() {
+        let mut ms = MetricSet::new("device");
+        let c = ms.counter("rd_own");
+        ms.add(c, 9);
+        let snap = TelemetrySnapshot::new(vec![ms.snapshot()]);
+        let mut report = Report::new("x");
+        report.attach_telemetry(&snap);
+        let j = Json::parse(&report.render()).unwrap();
+        let dev = j.get("telemetry").unwrap().get("device").unwrap();
+        assert_eq!(dev.get("counters").unwrap().get("rd_own").and_then(Json::as_u64), Some(9));
+    }
+}

@@ -28,10 +28,7 @@ impl KeyDistribution {
         match self {
             KeyDistribution::Uniform => KeySampler::Uniform { n },
             KeyDistribution::Zipfian { theta } => {
-                assert!(
-                    theta > 0.0 && theta < 1.0,
-                    "zipfian theta must be in (0, 1), got {theta}"
-                );
+                assert!(theta > 0.0 && theta < 1.0, "zipfian theta must be in (0, 1), got {theta}");
                 // Gray et al.'s quick Zipfian sampler, as used by YCSB.
                 let zetan = zeta(n, theta);
                 let zeta2 = zeta(2, theta);
@@ -53,8 +50,8 @@ fn zeta(n: u64, theta: f64) -> f64 {
     } else {
         let head: f64 = (1..=EXACT_LIMIT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
         // Integral approximation of the tail.
-        let tail = ((n as f64).powf(1.0 - theta) - (EXACT_LIMIT as f64).powf(1.0 - theta))
-            / (1.0 - theta);
+        let tail =
+            ((n as f64).powf(1.0 - theta) - (EXACT_LIMIT as f64).powf(1.0 - theta)) / (1.0 - theta);
         head + tail
     }
 }

@@ -74,8 +74,7 @@ mod tests {
             OpMix::churn(),
         ] {
             assert_eq!(
-                m.read_pct as u32 + m.insert_pct as u32 + m.update_pct as u32
-                    + m.remove_pct as u32,
+                m.read_pct as u32 + m.insert_pct as u32 + m.update_pct as u32 + m.remove_pct as u32,
                 100
             );
         }

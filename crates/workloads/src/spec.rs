@@ -52,7 +52,13 @@ impl WorkloadSpec {
     /// The paper's Fig. 2a workload: uniform-random `get()`s over small
     /// keys/values.
     pub fn fig2a_read_only(keys: u64, ops: u64) -> Self {
-        WorkloadSpec { keys, ops, dist: KeyDistribution::Uniform, mix: OpMix::read_only(), seed: 42 }
+        WorkloadSpec {
+            keys,
+            ops,
+            dist: KeyDistribution::Uniform,
+            mix: OpMix::read_only(),
+            seed: 42,
+        }
     }
 
     /// The paper's Fig. 2b workload: write-only inserts, uniform keys.

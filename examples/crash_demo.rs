@@ -26,7 +26,7 @@ fn main() -> libpax::Result<()> {
         let direct = pax_baselines::DirectPmSpace::new(1 << 20);
         direct.write_u64(0, 0xAAAA)?; // field 1: value
         direct.write_u64(64, 0xBBBB)?; // field 2: index pointer
-        // power fails before field 3 (the "record valid" flag)
+                                       // power fails before field 3 (the "record valid" flag)
         direct.crash();
         println!(
             "  after reboot: value={:#x} index={:#x} valid={:#x}  ← inconsistent forever",
@@ -39,8 +39,7 @@ fn main() -> libpax::Result<()> {
     println!("== (b) PMDK-style WAL: safe, but every store stalled ==");
     {
         let wal = WalSpace::create(pool_config())?;
-        let map: PHashMap<u64, u64, _> =
-            PHashMap::attach(Heap::attach(wal.clone())?)?;
+        let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(wal.clone())?)?;
         wal.tx(|| map.insert(1, 100).map(|_| ()))?;
         // Crash mid-transaction:
         wal.begin_tx()?;
@@ -60,8 +59,7 @@ fn main() -> libpax::Result<()> {
     {
         let config = PaxConfig::default().with_pool(pool_config());
         let pool = PaxPool::create(config)?;
-        let map: PHashMap<u64, u64, _> =
-            PHashMap::attach(Heap::attach(pool.vpm())?)?;
+        let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm())?)?;
         map.insert(1, 100)?;
         pool.persist()?;
         map.insert(2, 200)?; // epoch 2, in flight
@@ -79,8 +77,7 @@ fn main() -> libpax::Result<()> {
         let pm = pool.crash()?;
         let pool = PaxPool::open(pm, PaxConfig::default().with_pool(pool_config()))?;
         let report = pool.recovery_report()?;
-        let map: PHashMap<u64, u64, _> =
-            PHashMap::attach(Heap::attach(pool.vpm())?)?;
+        let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm())?)?;
         println!(
             "  after reboot: key1={:?} key2={:?}; rolled back {} lines; op-path stalls: {}",
             map.get(1)?,

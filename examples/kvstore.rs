@@ -66,7 +66,7 @@ fn main() -> libpax::Result<()> {
         // has left one account but not arrived in the other.
         let from = balances.get(user(0))?.expect("exists");
         balances.insert(user(0), from - 50)?; // debit…
-                                                  // -- crash before credit --
+                                              // -- crash before credit --
         let pm = snap.pool().crash()?;
         println!("session 2: power failed mid-transfer!");
         let mut pm = pm;
@@ -77,8 +77,7 @@ fn main() -> libpax::Result<()> {
     {
         let snap = HwSnapshotter::map_pool(&path, config())?;
         let balances: Persistent<PHashMap<UserId, u64>> = Persistent::new(&snap)?;
-        let total: u64 =
-            balances.entries()?.iter().map(|(_, v)| *v).sum();
+        let total: u64 = balances.entries()?.iter().map(|(_, v)| *v).sum();
         println!(
             "session 3: {} accounts, total balance {total} (expected {})",
             balances.len()?,

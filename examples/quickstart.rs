@@ -30,8 +30,11 @@ fn main() -> libpax::Result<()> {
     // Beyond Listing 1: mutate again WITHOUT persisting, then lose power.
     persistent_ht.insert(3, 300)?;
     persistent_ht.remove(1)?;
-    println!("pre-crash (unpersisted): key 3 = {:?}, key 1 = {:?}",
-        persistent_ht.get(3)?, persistent_ht.get(1)?);
+    println!(
+        "pre-crash (unpersisted): key 3 = {:?}, key 1 = {:?}",
+        persistent_ht.get(3)?,
+        persistent_ht.get(1)?
+    );
 
     let pm = allocator.pool().crash()?;
     println!("-- power failure --");

@@ -71,8 +71,7 @@ fn main() -> libpax::Result<()> {
     // Downstream index: rebuilt from recovered data — two structures,
     // one pool API.
     let index_pool = PaxPool::create(config())?;
-    let latest: PHashMap<u64, u64, _> =
-        PHashMap::attach(Heap::attach(index_pool.vpm())?)?;
+    let latest: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(index_pool.vpm())?)?;
     for i in 0..recovered {
         let r = readings.get(i)?.expect("in range");
         let sensor = (r >> 96) as u64;

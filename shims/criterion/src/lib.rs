@@ -1,0 +1,277 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and builder surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, throughput,
+//! `iter`/`iter_batched`) with plain wall-clock timing and a text report.
+//! No statistics engine: each benchmark is timed over a short fixed
+//! window. When invoked by `cargo test` (which runs `harness = false`
+//! bench targets with a `--test` flag), every benchmark executes exactly
+//! one iteration so the suite stays fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long each benchmark is measured for in full (bench) mode.
+const MEASURE_WINDOW: Duration = Duration::from_millis(120);
+
+/// Top-level harness state shared by all groups.
+pub struct Criterion {
+    /// True when run under `cargo test`: one iteration per bench, no timing.
+    smoke_test: bool,
+}
+
+impl Criterion {
+    /// Builds the harness from the process CLI arguments.
+    ///
+    /// Cargo passes `--test` when a `harness = false` bench target is run
+    /// by `cargo test`; everything else (`--bench`, filters) is accepted
+    /// and ignored.
+    pub fn from_args() -> Self {
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion { smoke_test }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.smoke_test {
+            println!("\n== {name} ==");
+        }
+        BenchmarkGroup { criterion: self, name, throughput: None }
+    }
+
+    /// Benchmarks a closure outside of any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let report = run_bench(self.smoke_test, &mut f);
+        if !self.smoke_test {
+            print_line(&id.to_string(), &report, None);
+        }
+        self
+    }
+
+    /// Prints the closing summary (no-op in the shim).
+    pub fn final_summary(&self) {}
+}
+
+/// Units for reporting how much work one iteration does.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark identifier (`BenchmarkId::new("x", 42)`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An identifier combining a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{name}/{parameter}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// How `iter_batched` amortises setup cost (ignored by the shim's timer).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    #[allow(dead_code)]
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration of subsequent benches does.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure under the given name.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let report = run_bench(self.criterion.smoke_test, &mut f);
+        if !self.criterion.smoke_test {
+            print_line(&id.to_string(), &report, self.throughput);
+        }
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let report = run_bench(self.criterion.smoke_test, &mut |b: &mut Bencher| f(b, input));
+        if !self.criterion.smoke_test {
+            print_line(&id.to_string(), &report, self.throughput);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing results for one benchmark.
+struct Report {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+/// Passed to each benchmark closure to drive the measured routine.
+pub struct Bencher {
+    smoke_test: bool,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement window closes.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let deadline = Instant::now() + MEASURE_WINDOW;
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+            if self.smoke_test || Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + MEASURE_WINDOW;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if self.smoke_test || Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench(smoke_test: bool, f: &mut impl FnMut(&mut Bencher)) -> Report {
+    let mut bencher = Bencher { smoke_test, total: Duration::ZERO, iters: 0 };
+    f(&mut bencher);
+    let iters = bencher.iters.max(1);
+    Report { ns_per_iter: bencher.total.as_nanos() as f64 / iters as f64, iters }
+}
+
+fn print_line(id: &str, report: &Report, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| {
+        let per_sec = |units: u64| units as f64 * 1e9 / report.ns_per_iter.max(1.0);
+        match t {
+            Throughput::Elements(n) => format!("  {:>12.0} elem/s", per_sec(n)),
+            Throughput::Bytes(n) => format!("  {:>12.0} B/s", per_sec(n)),
+        }
+    });
+    println!(
+        "{id:<44} {:>12.1} ns/iter  ({} iters){}",
+        report.ns_per_iter,
+        report.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Bundles benchmark functions into a group callable by `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_exactly_once() {
+        let mut calls = 0u32;
+        let report = run_bench(true, &mut |b: &mut Bencher| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+        assert_eq!(report.iters, 1);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut next = 0u32;
+        let mut seen = Vec::new();
+        run_bench(true, &mut |b: &mut Bencher| {
+            b.iter_batched(
+                || {
+                    next += 1;
+                    next
+                },
+                |v| seen.push(v),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(seen, vec![1]);
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_param() {
+        assert_eq!(BenchmarkId::new("undo", 64).to_string(), "undo/64");
+    }
+}

@@ -87,10 +87,10 @@ fn direct_pm_exposes_torn_operations_where_pax_does_not() {
     let direct = DirectPmSpace::new(1 << 20);
     direct.write_u64(0, 0xA).unwrap(); // field 1
     direct.write_u64(64, 0xB).unwrap(); // field 2 (different line)
-    // crash before field 3
+                                        // crash before field 3
     direct.crash();
-    let torn = (direct.read_u64(0).unwrap(), direct.read_u64(64).unwrap(),
-                direct.read_u64(128).unwrap());
+    let torn =
+        (direct.read_u64(0).unwrap(), direct.read_u64(64).unwrap(), direct.read_u64(128).unwrap());
     assert_eq!(torn, (0xA, 0xB, 0), "direct PM exposes the partial operation");
 
     // -- PAX: same partial operation, never persisted.
@@ -137,8 +137,7 @@ fn wal_and_pax_recover_the_same_state_for_the_same_committed_work() {
     };
     let run_pax = || {
         let pax = PaxPool::create(PaxConfig::default().with_pool(pool_config())).unwrap();
-        let m: PHashMap<u64, u64, _> =
-            PHashMap::attach(Heap::attach(pax.vpm()).unwrap()).unwrap();
+        let m: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pax.vpm()).unwrap()).unwrap();
         for k in 0..50 {
             m.insert(k, k).unwrap();
         }
@@ -149,8 +148,7 @@ fn wal_and_pax_recover_the_same_state_for_the_same_committed_work() {
         // no persist
         let pm = pax.crash().unwrap();
         let pax = PaxPool::open(pm, PaxConfig::default().with_pool(pool_config())).unwrap();
-        let m: PHashMap<u64, u64, _> =
-            PHashMap::attach(Heap::attach(pax.vpm()).unwrap()).unwrap();
+        let m: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pax.vpm()).unwrap()).unwrap();
         let mut e = m.entries().unwrap();
         e.sort_unstable();
         e

@@ -24,8 +24,7 @@ fn unpersisted_operations_roll_back() {
     }
     let pm = pool.crash().unwrap();
     let pool = PaxPool::open(pm, config()).unwrap();
-    let map: PHashMap<u64, u64, _> =
-        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     assert_eq!(map.get(1).unwrap(), Some(100), "remove rolled back");
     assert_eq!(map.get(2).unwrap(), Some(200));
     assert_eq!(map.get(3).unwrap(), None, "unpersisted insert rolled back");
@@ -133,11 +132,7 @@ fn crash_at_every_early_step_of_a_persist() {
                 assert_eq!(vpm.read_u64(640).unwrap(), 8, "step {crash_step}");
                 for i in 1..8u64 {
                     if i * 64 != 640 {
-                        assert_eq!(
-                            vpm.read_u64(i * 64).unwrap(),
-                            0,
-                            "step {crash_step} line {i}"
-                        );
+                        assert_eq!(vpm.read_u64(i * 64).unwrap(), 0, "step {crash_step} line {i}");
                     }
                 }
             }
@@ -161,7 +156,6 @@ fn recovery_is_transparent_for_fresh_pools() {
     let report = pool.recovery_report().unwrap();
     assert_eq!(report.rolled_back, 0);
     assert_eq!(report.committed_epoch, 0);
-    let map: PHashMap<u64, u64, _> =
-        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     assert!(map.is_empty().unwrap());
 }

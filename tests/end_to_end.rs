@@ -13,8 +13,7 @@ fn config() -> PaxConfig {
 fn listing_1_programming_model() {
     // Line-for-line the paper's Listing 1, in working code.
     let allocator = HwSnapshotter::create(config()).unwrap(); // map_pool
-    let persistent_ht: Persistent<PHashMap<u64, u64>> =
-        Persistent::new(&allocator).unwrap();
+    let persistent_ht: Persistent<PHashMap<u64, u64>> = Persistent::new(&allocator).unwrap();
     persistent_ht.insert(1, 100).unwrap();
     assert_eq!(persistent_ht.get(1).unwrap(), Some(100)); // "Key 1 = 100"
     persistent_ht.insert(2, 200).unwrap();

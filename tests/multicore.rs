@@ -9,10 +9,9 @@ use pax_device::{DeviceConfig, PaxDevice};
 use pax_pm::{CacheLine, LineAddr, PmPool, PoolConfig};
 
 fn setup(cores: usize) -> (PaxDevice, CoreComplex) {
-    let pool = PmPool::create(
-        PoolConfig::small().with_data_bytes(8 << 20).with_log_bytes(32 << 20),
-    )
-    .unwrap();
+    let pool =
+        PmPool::create(PoolConfig::small().with_data_bytes(8 << 20).with_log_bytes(32 << 20))
+            .unwrap();
     let device = PaxDevice::open(pool, DeviceConfig::default()).unwrap();
     let complex = CoreComplex::new(cores, CacheConfig::tiny(8 << 10, 4));
     (device, complex)
@@ -112,10 +111,7 @@ fn read_sharing_after_writer_core() {
     // Readers on other cores see the value without extra device reads.
     let pm_reads_before = device.metrics().pm_reads;
     for core in 1..3 {
-        assert_eq!(
-            cx.read(core, LineAddr(4), &mut device).unwrap(),
-            CacheLine::filled(0xAB)
-        );
+        assert_eq!(cx.read(core, LineAddr(4), &mut device).unwrap(), CacheLine::filled(0xAB));
     }
     assert_eq!(device.metrics().pm_reads, pm_reads_before);
     assert!(cx.stats().cache_to_cache_transfers >= 2);
@@ -140,9 +136,7 @@ mod libpax_level {
         // Each "thread" gets its own core's mapping; the structure code is
         // identical — only the space handle differs.
         let maps: Vec<PHashMap<u64, u64, _>> = (0..4)
-            .map(|core| {
-                PHashMap::attach(Heap::attach(pool.vpm_for_core(core)).unwrap()).unwrap()
-            })
+            .map(|core| PHashMap::attach(Heap::attach(pool.vpm_for_core(core)).unwrap()).unwrap())
             .collect();
         for (core, map) in maps.iter().enumerate() {
             for i in 0..50u64 {
@@ -197,9 +191,8 @@ mod log_full {
 
     fn tiny_log(auto: bool) -> PaxConfig {
         // Room for only 16 undo entries per epoch.
-        let cfg = PaxConfig::default().with_pool(
-            PoolConfig::small().with_data_bytes(1 << 20).with_log_bytes(16 * 128),
-        );
+        let cfg = PaxConfig::default()
+            .with_pool(PoolConfig::small().with_data_bytes(1 << 20).with_log_bytes(16 * 128));
         if auto {
             cfg.with_auto_persist_on_log_full()
         } else {

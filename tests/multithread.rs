@@ -38,8 +38,7 @@ fn concurrent_inserts_then_quiescent_persist() {
 
     let pm = pool.crash().unwrap();
     let pool = PaxPool::open(pm, config()).unwrap();
-    let map: PHashMap<u64, u64, _> =
-        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     assert_eq!(map.len().unwrap(), threads * per_thread);
     for t in 0..threads {
         for i in (0..per_thread).step_by(17) {
@@ -123,8 +122,7 @@ fn epochs_interleave_with_thread_batches() {
 
     let pm = pool.crash().unwrap();
     let pool = PaxPool::open(pm, config()).unwrap();
-    let map: PHashMap<u64, u64, _> =
-        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     assert_eq!(map.len().unwrap(), 3 * 3 * 50);
     assert_eq!(map.get(3_000).unwrap(), None);
     assert_eq!(map.get(2_149).unwrap(), Some(2));

@@ -103,7 +103,7 @@ fn crash_while_draining_recovers_to_previous_epoch() {
         vpm.write_u64(i * 64, 100 + i).unwrap();
     }
     pool.persist_async().unwrap(); // epoch 2 draining
-    // Crash before the drain completes (no polls issued).
+                                   // Crash before the drain completes (no polls issued).
     let pm = pool.crash().unwrap();
     let pool = PaxPool::open(pm, config()).unwrap();
     assert_eq!(pool.committed_epoch().unwrap(), 1);
@@ -117,8 +117,7 @@ fn crash_while_draining_recovers_to_previous_epoch() {
 #[test]
 fn overlapping_epochs_with_structures() {
     let pool = PaxPool::create(config()).unwrap();
-    let map: PHashMap<u64, u64, _> =
-        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
 
     let mut committed_lens = Vec::new();
     for batch in 0..6u64 {
@@ -133,8 +132,7 @@ fn overlapping_epochs_with_structures() {
 
     let pm = pool.crash().unwrap();
     let pool = PaxPool::open(pm, config()).unwrap();
-    let map: PHashMap<u64, u64, _> =
-        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     assert_eq!(map.len().unwrap(), 300);
     assert_eq!(map.get(523).unwrap(), Some(5));
 }

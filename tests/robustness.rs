@@ -109,10 +109,7 @@ fn truncated_pool_file_is_rejected_cleanly() {
         std::fs::write(&path, &full[..keep]).unwrap();
         let err = PmPool::load(&path).unwrap_err();
         let msg = err.to_string();
-        assert!(
-            msg.contains("pool") || msg.contains("I/O"),
-            "keep={keep}: unexpected error {msg}"
-        );
+        assert!(msg.contains("pool") || msg.contains("I/O"), "keep={keep}: unexpected error {msg}");
     }
     std::fs::remove_file(&path).unwrap();
 }

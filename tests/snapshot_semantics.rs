@@ -15,13 +15,9 @@ fn config() -> PaxConfig {
 /// A tiny-everything config that forces heavy eviction traffic, so lines
 /// reach PM mid-epoch — the hardest case for snapshot atomicity.
 fn stress_config() -> PaxConfig {
-    config()
-        .with_cache(CacheConfig::tiny(4 * 64, 2))
-        .with_device(DeviceConfig::default().with_hbm(HbmConfig {
-            capacity_bytes: 8 * 64,
-            ways: 2,
-            policy: EvictionPolicy::PreferDurable,
-        }))
+    config().with_cache(CacheConfig::tiny(4 * 64, 2)).with_device(DeviceConfig::default().with_hbm(
+        HbmConfig { capacity_bytes: 8 * 64, ways: 2, policy: EvictionPolicy::PreferDurable },
+    ))
 }
 
 #[test]
@@ -73,10 +69,7 @@ fn mid_epoch_writebacks_never_leak_into_the_snapshot() {
         vpm.read_u64(i * 64).unwrap();
     }
     let metrics = pool.device_metrics().unwrap();
-    assert!(
-        metrics.device_writebacks > 0,
-        "test needs mid-epoch write back to be meaningful"
-    );
+    assert!(metrics.device_writebacks > 0, "test needs mid-epoch write back to be meaningful");
 
     let pm = pool.crash().unwrap();
     let pool = PaxPool::open(pm, config()).unwrap();

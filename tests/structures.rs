@@ -3,7 +3,9 @@
 //! identically on `VPm`, including across crash/recovery — the black-box
 //! reuse claim.
 
-use libpax::{Heap, MemSpace, PBTreeMap, PHashMap, PList, PRing, PVec, PaxConfig, PaxPool, VolatileSpace};
+use libpax::{
+    Heap, MemSpace, PBTreeMap, PHashMap, PList, PRing, PVec, PaxConfig, PaxPool, VolatileSpace,
+};
 use pax_pm::PoolConfig;
 
 fn config() -> PaxConfig {
@@ -62,8 +64,7 @@ fn vec_and_list_on_vpm() {
 #[test]
 fn hashmap_growth_survives_persist_and_crash() {
     let pool = pool();
-    let map: PHashMap<u64, u64, _> =
-        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     // Enough inserts to trigger several rehashes.
     for k in 0..2_000u64 {
         map.insert(k, k + 1).unwrap();
@@ -73,8 +74,7 @@ fn hashmap_growth_survives_persist_and_crash() {
 
     let pm = pool.crash().unwrap();
     let pool = PaxPool::open(pm, config()).unwrap();
-    let map: PHashMap<u64, u64, _> =
-        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     assert_eq!(map.len().unwrap(), 2_000);
     for k in (0..2_000u64).step_by(37) {
         assert_eq!(map.get(k).unwrap(), Some(k + 1), "key {k}");
@@ -87,8 +87,7 @@ fn crash_mid_rehash_rolls_back_cleanly() {
     // over the threshold (rehash) without persisting; crash. The
     // recovered map must be the pre-rehash snapshot, fully intact.
     let pool = pool();
-    let map: PHashMap<u64, u64, _> =
-        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     for k in 0..31u64 {
         map.insert(k, k).unwrap();
     }
@@ -102,8 +101,7 @@ fn crash_mid_rehash_rolls_back_cleanly() {
 
     let pm = pool.crash().unwrap();
     let pool = PaxPool::open(pm, config()).unwrap();
-    let map: PHashMap<u64, u64, _> =
-        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     assert_eq!(map.bucket_count().unwrap(), buckets_before);
     assert_eq!(map.len().unwrap(), 31);
     for k in 0..31u64 {
