@@ -27,32 +27,42 @@ fn main() {
 
     let latency = LatencyProfile::c6420();
     let machine = MachineParams::paper();
+    let sharded = MachineParams { device_shards: 4, ..MachineParams::paper() };
     let threads = [1usize, 8, 16, 24, 32];
-    let backends = [
-        Backend::Dram,
-        Backend::PmDirect,
-        Backend::Pmdk,
-        Backend::Pax(Platform::Cxl),
-        Backend::Pax(Platform::Enzian),
+    // (series label, backend, machine) — the S=4 row reruns PAX (CXL) on
+    // a 4-shard device (banked pipelines + log engines, cf.
+    // `DeviceConfig::with_shards`).
+    let series: Vec<(String, Backend, MachineParams)> = vec![
+        (Backend::Dram.label().to_string(), Backend::Dram, machine),
+        (Backend::PmDirect.label().to_string(), Backend::PmDirect, machine),
+        (Backend::Pmdk.label().to_string(), Backend::Pmdk, machine),
+        (Backend::Pax(Platform::Cxl).label().to_string(), Backend::Pax(Platform::Cxl), machine),
+        ("PAX (CXL) S=4".to_string(), Backend::Pax(Platform::Cxl), sharded),
+        (
+            Backend::Pax(Platform::Enzian).label().to_string(),
+            Backend::Pax(Platform::Enzian),
+            machine,
+        ),
     ];
 
     out.line("\nFigure 2b — write-only throughput [Mops] vs threads");
     let mut rows = vec![{
         let mut h = vec!["threads".to_string()];
-        h.extend(backends.iter().map(|b| b.label().to_string()));
+        h.extend(series.iter().map(|(label, _, _)| label.clone()));
         h
     }];
-    let mut results = vec![vec![0.0f64; backends.len()]; threads.len()];
+    let mut results = vec![vec![0.0f64; series.len()]; threads.len()];
     for (ti, &t) in threads.iter().enumerate() {
         let mut row = vec![t.to_string()];
-        for (bi, b) in backends.iter().enumerate() {
-            let mops = b.throughput(t, 4_000, &latency, &machine, &profile).mops();
-            results[ti][bi] = mops;
+        for (si, (label, b, m)) in series.iter().enumerate() {
+            let mops = b.throughput(t, 4_000, &latency, m, &profile).mops();
+            results[ti][si] = mops;
             row.push(format!("{mops:.2}"));
             out.push_result(
                 Json::obj()
                     .field("threads", Json::U64(t as u64))
-                    .field("backend", Json::str(b.label()))
+                    .field("backend", Json::str(label))
+                    .field("shards", Json::U64(m.device_shards as u64))
                     .field("mops", Json::F64(mops)),
             );
         }
@@ -69,6 +79,10 @@ fn main() {
     out.line(format!(
         "at 32 threads: PAX(CXL)/PM-Direct = {:.2}× (paper: \"match or beat PM Direct\")",
         results[last][3] / results[last][1]
+    ));
+    out.line(format!(
+        "at 32 threads: PAX(CXL) S=4/S=1 = {:.2}× (shard parallelism; bar: ≥ 1.5×)",
+        results[last][4] / results[last][3]
     ));
     out.line(format!(
         "at 32 threads: DRAM/PM-Direct = {:.2}× (volatile headroom)",

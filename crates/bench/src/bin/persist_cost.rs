@@ -103,5 +103,38 @@ fn main() {
         "critical path; the epoch's single persist() sent {} snoops and committed once.",
         m.snoops_sent
     ));
+
+    // Large-epoch flush throughput: draining the undo log's pending queue
+    // is O(n) (a VecDeque pop per entry), so one big epoch must flush in
+    // linear time. The old `Vec::remove(0)` drain was quadratic and blows
+    // this bound by orders of magnitude at this epoch size.
+    const LARGE: u64 = 20_000;
+    let big = PaxPool::create(PaxConfig::default().with_pool(pool_config())).expect("pool");
+    {
+        use libpax::MemSpace;
+        let vpm = big.vpm();
+        for i in 0..LARGE {
+            vpm.write_u64(i * 64, i).expect("write");
+        }
+    }
+    let start = std::time::Instant::now();
+    big.persist().expect("large persist");
+    let elapsed = start.elapsed();
+    let ns_per_entry = elapsed.as_nanos() as f64 / LARGE as f64;
+    assert!(
+        ns_per_entry < 10_000.0,
+        "large-epoch flush is not linear: {ns_per_entry:.0} host-ns per entry"
+    );
+    out.blank();
+    out.line(format!(
+        "large epoch: flushed {LARGE} undo entries in {:.1} ms ({ns_per_entry:.0} host-ns/entry)",
+        elapsed.as_secs_f64() * 1e3
+    ));
+    out.push_result(
+        Json::obj()
+            .field("mechanism", Json::str("pax_large_epoch_flush"))
+            .field("flush_entries", Json::U64(LARGE))
+            .field("flush_host_ns_per_entry", Json::F64(ns_per_entry)),
+    );
     out.finish();
 }

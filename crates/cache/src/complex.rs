@@ -45,6 +45,23 @@ impl HostSnoop for CoherentCache {
     }
 }
 
+/// A [`HomeAgent`] whose per-line state is split into address-interleaved
+/// shards — independent banks that can service requests for different
+/// lines concurrently (the PAX device's HBM slices and log banks).
+///
+/// The host side doesn't route *to* a shard — the interleave is the
+/// home's own — but knowing the mapping lets the complex account which
+/// bank each request lands on ([`CoreComplex::read_on`] /
+/// [`CoreComplex::write_on`]), which is what the throughput model and the
+/// cross-layer telemetry need to see shard parallelism.
+pub trait ShardedHome: HomeAgent {
+    /// Number of address-interleaved shards.
+    fn shard_count(&self) -> usize;
+
+    /// The shard whose banks own `addr`.
+    fn shard_of_line(&self, addr: LineAddr) -> usize;
+}
+
 /// Cross-core traffic counters.
 ///
 /// A point-in-time view over the complex's [`MetricSet`] registry,
@@ -64,6 +81,9 @@ pub struct CoreComplex {
     metrics: MetricSet,
     cache_to_cache_transfers: Counter,
     peer_invalidations: Counter,
+    /// Accesses issued through `read_on`/`write_on`, by home shard; grown
+    /// to the home's shard count on first use.
+    shard_traffic: Vec<u64>,
 }
 
 impl CoreComplex {
@@ -82,6 +102,7 @@ impl CoreComplex {
             metrics,
             cache_to_cache_transfers,
             peer_invalidations,
+            shard_traffic: Vec::new(),
         }
     }
 
@@ -192,6 +213,62 @@ impl CoreComplex {
             return self.cores[core].install_modified(addr, data, home);
         }
         self.cores[core].write(addr, data, home)
+    }
+
+    /// Like [`CoreComplex::read`], against a [`ShardedHome`]: the access
+    /// is additionally accounted to the shard owning `addr`, so callers
+    /// can observe how evenly the interleave spreads the workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates home-agent failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn read_on(
+        &mut self,
+        core: usize,
+        addr: LineAddr,
+        home: &mut impl ShardedHome,
+    ) -> Result<CacheLine> {
+        self.note_shard(home.shard_count(), home.shard_of_line(addr));
+        self.read(core, addr, home)
+    }
+
+    /// Like [`CoreComplex::write`], against a [`ShardedHome`], with the
+    /// same per-shard accounting as [`CoreComplex::read_on`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates home-agent failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn write_on(
+        &mut self,
+        core: usize,
+        addr: LineAddr,
+        data: CacheLine,
+        home: &mut impl ShardedHome,
+    ) -> Result<()> {
+        self.note_shard(home.shard_count(), home.shard_of_line(addr));
+        self.write(core, addr, data, home)
+    }
+
+    fn note_shard(&mut self, count: usize, shard: usize) {
+        if self.shard_traffic.len() < count {
+            self.shard_traffic.resize(count, 0);
+        }
+        self.shard_traffic[shard] += 1;
+    }
+
+    /// Accesses issued through [`CoreComplex::read_on`] /
+    /// [`CoreComplex::write_on`] per home shard. Empty until the first
+    /// sharded access.
+    pub fn shard_traffic(&self) -> &[u64] {
+        &self.shard_traffic
     }
 
     fn peer_with(&self, addr: LineAddr, not: usize) -> Option<usize> {
@@ -321,6 +398,70 @@ mod tests {
         cx.write(1, LineAddr(2), CacheLine::filled(5), &mut home).unwrap();
         assert_eq!(HostSnoop::snoop_invalidate(&mut cx, LineAddr(2)), Some(CacheLine::filled(5)));
         assert_eq!(HostSnoop::snoop_invalidate(&mut cx, LineAddr(2)), None);
+    }
+
+    /// A test home that stripes lines across `shards` banks by modulo —
+    /// the same interleave the PAX device uses.
+    struct StripedHome {
+        inner: MemoryHome<DramMedia>,
+        shards: usize,
+    }
+
+    impl HomeAgent for StripedHome {
+        fn read_shared(&mut self, addr: LineAddr) -> Result<CacheLine> {
+            self.inner.read_shared(addr)
+        }
+        fn read_own(&mut self, addr: LineAddr) -> Result<CacheLine> {
+            self.inner.read_own(addr)
+        }
+        fn clean_evict(&mut self, addr: LineAddr) {
+            self.inner.clean_evict(addr)
+        }
+        fn dirty_evict(&mut self, addr: LineAddr, data: CacheLine) -> Result<()> {
+            self.inner.dirty_evict(addr, data)
+        }
+    }
+
+    impl ShardedHome for StripedHome {
+        fn shard_count(&self) -> usize {
+            self.shards
+        }
+        fn shard_of_line(&self, addr: LineAddr) -> usize {
+            addr.0 as usize % self.shards
+        }
+    }
+
+    #[test]
+    fn sharded_accesses_are_accounted_per_bank() {
+        let mut cx = CoreComplex::new(2, CacheConfig::tiny(4 << 10, 4));
+        let mut home = StripedHome { inner: MemoryHome::new(DramMedia::new(1 << 20)), shards: 4 };
+        assert!(cx.shard_traffic().is_empty(), "no sharded traffic yet");
+        // 8 writes + 8 reads over lines 0..8: every shard sees 2 lines,
+        // twice each.
+        for i in 0..8u64 {
+            cx.write_on(0, LineAddr(i), CacheLine::filled(i as u8), &mut home).unwrap();
+        }
+        for i in 0..8u64 {
+            assert_eq!(cx.read_on(1, LineAddr(i), &mut home).unwrap(), CacheLine::filled(i as u8));
+        }
+        assert_eq!(cx.shard_traffic(), &[4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn sharded_routing_matches_unsharded_protocol() {
+        // read_on/write_on are accounting wrappers: coherence behaviour
+        // (invalidations, transfers) must be identical to read/write.
+        let mut cx_a = CoreComplex::new(2, CacheConfig::tiny(4 << 10, 4));
+        let mut cx_b = CoreComplex::new(2, CacheConfig::tiny(4 << 10, 4));
+        let mut home_a = StripedHome { inner: MemoryHome::new(DramMedia::new(1 << 20)), shards: 4 };
+        let mut home_b = MemoryHome::new(DramMedia::new(1 << 20));
+        for i in 0..6u64 {
+            cx_a.write_on(0, LineAddr(i), CacheLine::filled(1), &mut home_a).unwrap();
+            cx_b.write(0, LineAddr(i), CacheLine::filled(1), &mut home_b).unwrap();
+            cx_a.read_on(1, LineAddr(i), &mut home_a).unwrap();
+            cx_b.read(1, LineAddr(i), &mut home_b).unwrap();
+        }
+        assert_eq!(cx_a.stats(), cx_b.stats());
     }
 
     #[test]

@@ -10,9 +10,13 @@
 //! * [`hbm`] — the on-device HBM buffer of modified lines, each tagged
 //!   with the log offset whose durability gates its write back; its
 //!   eviction policy can prefer already-durable lines (§3.3).
-//! * [`device`] — [`PaxDevice`]: handles `RdShared`/`RdOwn`/evictions,
-//!   performs undo logging on ownership requests, coordinates write back,
-//!   and implements the `persist()` epoch protocol.
+//! * [`shard`] — [`DeviceShard`]: the address-interleaved slice of the
+//!   device's per-line state (HBM sets, undo-log bank, write-back queue,
+//!   metrics); `S` shards service independent lines without contending.
+//! * [`device`] — [`PaxDevice`]: routes `RdShared`/`RdOwn`/evictions to
+//!   the owning shard, performs undo logging on ownership requests,
+//!   coordinates write back, and implements the `persist()` epoch
+//!   protocol as a cross-shard barrier with one atomic commit.
 //! * [`recovery`] — the §3.4 procedure: roll back every undo entry tagged
 //!   with an epoch newer than the pool's committed epoch.
 //! * [`metrics`] — event counters consumed by the benchmark harness.
@@ -45,6 +49,7 @@ pub mod endpoint;
 pub mod hbm;
 pub mod metrics;
 pub mod recovery;
+pub mod shard;
 pub mod undo_log;
 
 pub use device::{DeviceConfig, PaxDevice};
@@ -52,4 +57,5 @@ pub use endpoint::CxlEndpoint;
 pub use hbm::{EvictionPolicy, HbmCache, HbmConfig, HbmLine};
 pub use metrics::DeviceMetrics;
 pub use recovery::{recover, recover_traced, RecoveryReport};
+pub use shard::DeviceShard;
 pub use undo_log::{UndoEntry, UndoLog, ENTRY_LINES};

@@ -70,6 +70,31 @@ impl DeviceMetrics {
     }
 }
 
+impl std::ops::Add for DeviceMetrics {
+    type Output = DeviceMetrics;
+
+    /// Field-wise sum — how a sharded device composes its per-shard views
+    /// into one device-level [`DeviceMetrics`].
+    fn add(self, rhs: DeviceMetrics) -> DeviceMetrics {
+        DeviceMetrics {
+            rd_shared: self.rd_shared + rhs.rd_shared,
+            rd_own: self.rd_own + rhs.rd_own,
+            clean_evicts: self.clean_evicts + rhs.clean_evicts,
+            dirty_evicts: self.dirty_evicts + rhs.dirty_evicts,
+            undo_entries: self.undo_entries + rhs.undo_entries,
+            unlogged_dirty_evicts: self.unlogged_dirty_evicts + rhs.unlogged_dirty_evicts,
+            snoops_sent: self.snoops_sent + rhs.snoops_sent,
+            snoop_data_returned: self.snoop_data_returned + rhs.snoop_data_returned,
+            device_writebacks: self.device_writebacks + rhs.device_writebacks,
+            forced_log_flushes: self.forced_log_flushes + rhs.forced_log_flushes,
+            background_writebacks: self.background_writebacks + rhs.background_writebacks,
+            persists: self.persists + rhs.persists,
+            hbm_read_hits: self.hbm_read_hits + rhs.hbm_read_hits,
+            pm_reads: self.pm_reads + rhs.pm_reads,
+        }
+    }
+}
+
 /// Counter handles into the device's [`MetricSet`] registry — one per
 /// [`DeviceMetrics`] field.
 #[derive(Debug, Clone, Copy)]

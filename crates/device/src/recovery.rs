@@ -44,13 +44,17 @@ pub fn recover(pool: &mut PmPool) -> Result<RecoveryReport> {
 /// Surfaces media errors from the scan and rollback writes.
 pub fn recover_traced(pool: &mut PmPool, trace: &mut TraceBuf) -> Result<RecoveryReport> {
     let committed = pool.committed_epoch()?;
-    let entries = UndoLog::scan(pool)?;
+    let mut entries = UndoLog::scan(pool)?;
     let scanned = entries.len();
     let mut rolled_back = 0;
-    // Newest-first: each entry restores its line's epoch-start value, and
-    // reverse order makes the pass correct even if a future format logs a
-    // line more than once per epoch.
-    for (_, entry) in entries.iter().rev() {
+    // Newest-epoch-first: each entry restores its line's epoch-start
+    // value, so when the same line was logged in several uncommitted
+    // epochs the *oldest* pre-image must be applied last. Slot order is
+    // not append order — the log is a ring and banked per shard — so the
+    // epoch tag, not the slot index, decides the order. Within an epoch a
+    // line is logged at most once, so intra-epoch order is free.
+    entries.sort_by(|(sa, a), (sb, b)| b.epoch.cmp(&a.epoch).then(sa.cmp(sb)));
+    for (_, entry) in entries.iter() {
         if entry.epoch > committed {
             let abs = pool.layout().vpm_to_pool(entry.vpm_line.0)?;
             pool.write_line(abs, entry.old.clone())?;
@@ -119,6 +123,45 @@ mod tests {
         assert_eq!(r.scanned, 1);
         assert_eq!(r.rolled_back, 0);
         assert_eq!(pool.read_line(abs).unwrap(), CacheLine::filled(0x22));
+    }
+
+    #[test]
+    fn wrapped_slots_roll_back_in_epoch_order() {
+        // The ring makes slot order disagree with append order: the same
+        // line is logged in uncommitted epochs 2 (slot 3) and 3 (slot 0,
+        // wrapped). Rollback must finish with the epoch-2 pre-image —
+        // slot-order iteration would finish with epoch 3's.
+        let mut cfg = PoolConfig::small();
+        cfg.log_bytes = 8 * pax_pm::LINE_SIZE; // 4 slots
+        let mut pool = PmPool::create(cfg).unwrap();
+        let clock = CrashClock::new();
+        pool.commit_epoch(1).unwrap();
+
+        let mut log = UndoLog::new(&pool);
+        for i in 0..3 {
+            // Committed-epoch fillers occupying slots 0..3.
+            log.append(UndoEntry { epoch: 1, vpm_line: LineAddr(i), old: CacheLine::zeroed() })
+                .unwrap();
+        }
+        log.append(UndoEntry { epoch: 2, vpm_line: LineAddr(7), old: CacheLine::filled(0x22) })
+            .unwrap();
+        log.flush(&mut pool, &clock).unwrap();
+        log.recycle_to(3); // epoch-1 slots free; epoch-2 entry stays live
+        log.append(UndoEntry { epoch: 3, vpm_line: LineAddr(7), old: CacheLine::filled(0x33) })
+            .unwrap(); // wraps into slot 0
+        log.flush(&mut pool, &clock).unwrap();
+
+        let abs = pool.layout().vpm_to_pool(7).unwrap();
+        pool.write_line(abs, CacheLine::filled(0x99)).unwrap();
+        pool.drain();
+
+        let r = recover(&mut pool).unwrap();
+        assert_eq!(r.rolled_back, 2);
+        assert_eq!(
+            pool.read_line(abs).unwrap(),
+            CacheLine::filled(0x22),
+            "oldest uncommitted pre-image must win"
+        );
     }
 
     #[test]

@@ -1,0 +1,536 @@
+//! Address-interleaved device shards.
+//!
+//! The paper's home agent pipelines independent lines; a monolithic
+//! [`PaxDevice`](crate::PaxDevice) cannot express that — every request
+//! serializes on one HBM array, one undo-log append port, and one
+//! write-back queue. A [`DeviceShard`] is the per-line-address slice of
+//! that state: lines are interleaved across `S` shards by
+//! `addr % S` (the mandatory banking of a CXL home agent), and each shard
+//! owns
+//!
+//! * its own HBM sets (a `1/S` slice of the buffer, indexed in
+//!   shard-local address space so interleaving cannot alias sets),
+//! * its own undo-log **bank** — a `capacity/S` slice of the pool's log
+//!   region with an independent monotonic watermark, so appends on
+//!   different shards never contend on one append port,
+//! * its own write-back queue and epoch-log map, and
+//! * its own [`MetricSet`] (all stamped with the `device` component, so
+//!   cross-layer telemetry merges them back into one view).
+//!
+//! What stays *global* is the epoch: `persist()` is a cross-shard barrier
+//! — flush every bank, snoop, write back, then one atomic `commit_epoch`
+//! — so sharding changes concurrency, never crash-consistency semantics.
+
+use std::collections::{HashMap, VecDeque};
+
+use pax_pm::{CacheLine, CrashClock, LineAddr, PmError, PmPool, Result};
+use pax_telemetry::{MetricSet, MetricSnapshot, TraceBuf, TraceEvent};
+
+use crate::hbm::{HbmCache, HbmConfig, HbmLine};
+use crate::metrics::{DeviceCounters, DeviceMetrics};
+use crate::undo_log::{UndoEntry, UndoLog, ENTRY_LINES};
+
+/// Component name stamped on every shard's metrics and trace records —
+/// identical to the device's, so merged snapshots stay one `device` row.
+pub(crate) const COMPONENT: &str = "device";
+
+/// One address-interleaved slice of the device's per-line state (see
+/// module docs).
+#[derive(Debug)]
+pub struct DeviceShard {
+    /// This shard's index within the device.
+    index: u64,
+    /// Total shards in the device (the interleave stride).
+    stride: u64,
+    /// This shard's slice of the HBM buffer, keyed by shard-local line.
+    pub(crate) hbm: HbmCache,
+    /// This shard's undo-log bank.
+    pub(crate) log: UndoLog,
+    /// vPM lines undo-logged this epoch → their log entry offset.
+    pub(crate) epoch_log: HashMap<LineAddr, u64>,
+    /// Dirty lines awaiting opportunistic write back, oldest first.
+    pub(crate) writeback_queue: VecDeque<LineAddr>,
+    /// The shard's own counter registry.
+    pub(crate) metrics: MetricSet,
+    /// Counter handles into `metrics` (same registration order as the
+    /// device's, so typed views compose by field-wise addition).
+    pub(crate) ctr: DeviceCounters,
+}
+
+impl DeviceShard {
+    /// Builds shard `index` of `stride`, owning a `1/stride` slice of the
+    /// HBM geometry in `hbm` and the log bank `[log_base, log_base +
+    /// log_capacity_entries)` of the pool's log region.
+    pub(crate) fn new(
+        index: usize,
+        stride: usize,
+        hbm: HbmConfig,
+        log_base: u64,
+        log_capacity_entries: u64,
+    ) -> Self {
+        let per_shard = HbmConfig {
+            // Each shard gets its share of the buffer, floored at one set.
+            capacity_bytes: (hbm.capacity_bytes / stride).max(hbm.ways * pax_pm::LINE_SIZE),
+            ..hbm
+        };
+        let mut metrics = MetricSet::new(COMPONENT);
+        let ctr = DeviceCounters::register(&mut metrics);
+        DeviceShard {
+            index: index as u64,
+            stride: stride as u64,
+            hbm: HbmCache::new(per_shard),
+            log: UndoLog::with_region(log_base, log_capacity_entries),
+            epoch_log: HashMap::new(),
+            writeback_queue: VecDeque::new(),
+            metrics,
+            ctr,
+        }
+    }
+
+    /// This shard's index.
+    pub fn index(&self) -> usize {
+        self.index as usize
+    }
+
+    /// Snapshot of this shard's counter registry (component `device`).
+    pub(crate) fn snapshot(&self) -> MetricSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Typed view over this shard's counters.
+    pub(crate) fn view_metrics(&self) -> DeviceMetrics {
+        self.ctr.view(&self.metrics)
+    }
+
+    /// Counts a `RdShared` routed to this shard.
+    pub(crate) fn count_rd_shared(&mut self) {
+        self.metrics.inc(self.ctr.rd_shared);
+    }
+
+    /// Counts a `RdOwn` routed to this shard.
+    pub(crate) fn count_rd_own(&mut self) {
+        self.metrics.inc(self.ctr.rd_own);
+    }
+
+    /// Counts a clean eviction routed to this shard.
+    pub(crate) fn count_clean_evict(&mut self) {
+        self.metrics.inc(self.ctr.clean_evicts);
+    }
+
+    /// Counts a dirty eviction routed to this shard.
+    pub(crate) fn count_dirty_evict(&mut self) {
+        self.metrics.inc(self.ctr.dirty_evicts);
+    }
+
+    /// Counts a dirty eviction for a line this shard never logged.
+    pub(crate) fn count_unlogged_dirty_evict(&mut self) {
+        self.metrics.inc(self.ctr.unlogged_dirty_evicts);
+    }
+
+    /// Counts a line this shard wrote back to PM.
+    pub(crate) fn count_writeback(&mut self) {
+        self.metrics.inc(self.ctr.device_writebacks);
+    }
+
+    /// Counts a stall that forced a synchronous log flush on this shard.
+    pub(crate) fn count_forced_flush(&mut self) {
+        self.metrics.inc(self.ctr.forced_log_flushes);
+    }
+
+    /// The log offset covering `addr` this epoch, if it was logged here.
+    pub(crate) fn epoch_offset_of(&self, addr: LineAddr) -> Option<u64> {
+        self.epoch_log.get(&addr).copied()
+    }
+
+    /// Marks any resident HBM copy of `addr` clean (its value just
+    /// reached PM through a persist-path write back).
+    pub(crate) fn hbm_mark_clean(&mut self, addr: LineAddr) {
+        if let Some(mut line) = self.hbm_remove(addr) {
+            line.dirty = false;
+            line.log_offset = None;
+            let durable = self.log.durable_offset();
+            self.hbm_insert(addr, line, durable);
+        }
+    }
+
+    /// Starts the next epoch after a non-blocking persist captured this
+    /// one: per-epoch maps reset, but the log bank stays live until the
+    /// drain commits and recycles it.
+    pub(crate) fn begin_next_epoch(&mut self) {
+        self.epoch_log.clear();
+        self.writeback_queue.clear();
+    }
+
+    /// Undo-log entries appended in the current epoch on this shard.
+    pub fn epoch_log_len(&self) -> usize {
+        self.epoch_log.len()
+    }
+
+    /// This shard's durable log watermark.
+    pub fn log_durable_offset(&self) -> u64 {
+        self.log.durable_offset()
+    }
+
+    /// Maps a global vPM line (which satisfies `addr % stride == index`)
+    /// to the shard-local key the HBM slice is indexed by. Interleaved
+    /// addresses stride by `stride`; dividing it out keeps the slice's
+    /// sets uniformly used (a power-of-two stride would otherwise alias
+    /// every shard-resident line into `sets/stride` sets).
+    fn hbm_key(&self, addr: LineAddr) -> LineAddr {
+        debug_assert_eq!(addr.0 % self.stride, self.index, "line routed to wrong shard");
+        LineAddr(addr.0 / self.stride)
+    }
+
+    /// Inverse of [`DeviceShard::hbm_key`].
+    fn hbm_unkey(&self, local: LineAddr) -> LineAddr {
+        LineAddr(local.0 * self.stride + self.index)
+    }
+
+    /// HBM lookup counting hit/miss, in global address space.
+    pub(crate) fn hbm_lookup(&mut self, addr: LineAddr) -> Option<&HbmLine> {
+        let key = self.hbm_key(addr);
+        self.hbm.lookup(key)
+    }
+
+    /// HBM peek (no hit/miss accounting), in global address space.
+    pub(crate) fn hbm_peek(&self, addr: LineAddr) -> Option<&HbmLine> {
+        self.hbm.peek(self.hbm_key(addr))
+    }
+
+    /// HBM remove, in global address space.
+    pub(crate) fn hbm_remove(&mut self, addr: LineAddr) -> Option<HbmLine> {
+        let key = self.hbm_key(addr);
+        self.hbm.remove(key)
+    }
+
+    /// HBM insert, in global address space; the victim (if any) comes
+    /// back with its global address.
+    pub(crate) fn hbm_insert(
+        &mut self,
+        addr: LineAddr,
+        line: HbmLine,
+        durable_offset: u64,
+    ) -> Option<(LineAddr, HbmLine)> {
+        let key = self.hbm_key(addr);
+        let victim = self.hbm.insert(key, line, durable_offset);
+        victim.map(|(local, l)| (self.hbm_unkey(local), l))
+    }
+
+    /// Re-inserts `addr` as a clean copy of `data` (post-write back or
+    /// post-snoop refresh), disposing of any victim.
+    pub(crate) fn hbm_refresh_clean(
+        &mut self,
+        pool: &mut PmPool,
+        clock: &CrashClock,
+        trace: &mut TraceBuf,
+        addr: LineAddr,
+        data: CacheLine,
+    ) -> Result<()> {
+        let durable = self.log.durable_offset();
+        let victim =
+            self.hbm_insert(addr, HbmLine { data, dirty: false, log_offset: None }, durable);
+        if let Some((vaddr, vline)) = victim {
+            self.dispose_victim(pool, clock, trace, vaddr, vline)?;
+        }
+        Ok(())
+    }
+
+    /// The shard's view of the current contents of `addr`: HBM first,
+    /// then a draining epoch's captured value, then PM.
+    pub(crate) fn resolve(
+        &mut self,
+        pool: &mut PmPool,
+        clock: &CrashClock,
+        trace: &mut TraceBuf,
+        cache_clean_reads: bool,
+        drain_value: Option<CacheLine>,
+        addr: LineAddr,
+    ) -> Result<CacheLine> {
+        if let Some(l) = self.hbm_lookup(addr) {
+            let data = l.data.clone();
+            self.metrics.inc(self.ctr.hbm_read_hits);
+            return Ok(data);
+        }
+        // A draining epoch's final values are newer than PM until their
+        // write back lands.
+        if let Some(data) = drain_value {
+            return Ok(data);
+        }
+        let abs = pool.layout().vpm_to_pool(addr.0)?;
+        self.metrics.inc(self.ctr.pm_reads);
+        let data = pool.read_line(abs)?;
+        if cache_clean_reads {
+            self.hbm_refresh_clean(pool, clock, trace, addr, data.clone())?;
+        }
+        Ok(data)
+    }
+
+    /// Writes an HBM eviction victim back to PM if dirty, stalling for a
+    /// log flush when its undo entry is not yet durable.
+    ///
+    /// The stall is bounded: every iteration must drain an entry from the
+    /// shard's pending buffer. A victim whose covering offset is neither
+    /// durable nor pending cannot exist (offsets are monotonic and
+    /// assigned by this shard's own appends) — if it does, the state is
+    /// corrupt and the loop surfaces [`PmError::ProtocolViolation`]
+    /// instead of spinning.
+    pub(crate) fn dispose_victim(
+        &mut self,
+        pool: &mut PmPool,
+        clock: &CrashClock,
+        trace: &mut TraceBuf,
+        addr: LineAddr,
+        line: HbmLine,
+    ) -> Result<()> {
+        if !line.dirty {
+            return Ok(());
+        }
+        if let Some(offset) = line.log_offset {
+            if offset >= self.log.durable_offset() {
+                // §3.3: the victim's pre-image must be durable before the
+                // new value may reach PM. This is the stall PreferDurable
+                // eviction avoids.
+                self.metrics.inc(self.ctr.forced_log_flushes);
+                while self.log.durable_offset() <= offset {
+                    if self.log.pump(pool, clock, 1)? == 0 {
+                        return Err(PmError::ProtocolViolation {
+                            invariant: "HBM victim's undo entry is neither durable nor pending",
+                        });
+                    }
+                }
+            }
+        }
+        let abs = pool.layout().vpm_to_pool(addr.0)?;
+        tick(clock, pool)?;
+        pool.write_line(abs, line.data)?;
+        self.metrics.inc(self.ctr.device_writebacks);
+        trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
+        Ok(())
+    }
+
+    /// One background step for this shard's free-running engines: drain
+    /// some log entries, then opportunistically write back dirty lines
+    /// whose entries are durable.
+    pub(crate) fn background(
+        &mut self,
+        pool: &mut PmPool,
+        clock: &CrashClock,
+        trace: &mut TraceBuf,
+        log_pump_batch: usize,
+        writeback_batch: usize,
+    ) -> Result<()> {
+        self.log.pump(pool, clock, log_pump_batch)?;
+        let mut budget = writeback_batch;
+        while budget > 0 {
+            let Some(&addr) = self.writeback_queue.front() else { break };
+            let durable = self.log.durable_offset();
+            let ready = match self.hbm_peek(addr) {
+                Some(l) if l.dirty => l.log_offset.is_none_or(|o| o < durable),
+                // Cleaned or evicted through another path; just drop it.
+                _ => {
+                    self.writeback_queue.pop_front();
+                    continue;
+                }
+            };
+            if !ready {
+                break; // queue is in log order; later entries aren't durable either
+            }
+            self.writeback_queue.pop_front();
+            if let Some(mut line) = self.hbm_remove(addr) {
+                let data = line.data.clone();
+                line.dirty = false;
+                line.log_offset = None;
+                self.hbm_insert(addr, line, durable);
+                let abs = pool.layout().vpm_to_pool(addr.0)?;
+                tick(clock, pool)?;
+                pool.write_line(abs, data)?;
+                self.metrics.inc(self.ctr.device_writebacks);
+                self.metrics.inc(self.ctr.background_writebacks);
+                trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
+            }
+            budget -= 1;
+        }
+        Ok(())
+    }
+
+    /// Undo-logs `addr` if this is its first modification of the epoch,
+    /// returning the covering log offset.
+    pub(crate) fn log_if_first(
+        &mut self,
+        trace: &mut TraceBuf,
+        epoch: u64,
+        addr: LineAddr,
+        old: &CacheLine,
+    ) -> Result<u64> {
+        if let Some(&off) = self.epoch_log.get(&addr) {
+            return Ok(off);
+        }
+        let offset = self.log.append(UndoEntry { epoch, vpm_line: addr, old: old.clone() })?;
+        self.epoch_log.insert(addr, offset);
+        self.metrics.inc(self.ctr.undo_entries);
+        trace.record(COMPONENT, TraceEvent::LogAppend { epoch, line: addr.0 });
+        Ok(offset)
+    }
+
+    /// The epoch's logged lines in this shard, in log-offset order (§3.3
+    /// "iterating through each undo log entry as it persists").
+    pub(crate) fn sorted_epoch_log(&self) -> Vec<(u64, LineAddr)> {
+        let mut logged: Vec<(u64, LineAddr)> =
+            self.epoch_log.iter().map(|(a, o)| (*o, *a)).collect();
+        logged.sort_unstable();
+        logged
+    }
+
+    /// Per-epoch volatile state reset after a fully-drained commit.
+    pub(crate) fn reset_after_commit(&mut self) {
+        self.epoch_log.clear();
+        self.writeback_queue.clear();
+        self.log.reset_after_commit();
+    }
+
+    /// Drops all volatile state (power loss).
+    pub(crate) fn crash(&mut self) {
+        self.hbm.crash();
+        self.log.crash();
+        self.epoch_log.clear();
+        self.writeback_queue.clear();
+    }
+}
+
+/// Advances the crash clock one durable-write step; crashing the pool and
+/// unwinding if it fires.
+pub(crate) fn tick(clock: &CrashClock, pool: &mut PmPool) -> Result<()> {
+    if clock.tick() == pax_pm::CrashOutcome::Crashed {
+        pool.crash();
+        return Err(PmError::Crashed);
+    }
+    Ok(())
+}
+
+/// Splits a pool's log region into `shards` equal banks, returning each
+/// bank's `(base_line, capacity_entries)`. The shard count is clamped so
+/// every bank holds at least one entry.
+pub(crate) fn split_log_region(pool: &PmPool, shards: usize) -> Vec<(u64, u64)> {
+    let layout = pool.layout();
+    let capacity = (layout.log_lines / ENTRY_LINES).max(1);
+    let shards = (shards.max(1) as u64).min(capacity);
+    let per_shard = capacity / shards;
+    (0..shards).map(|s| (layout.log_start().0 + s * per_shard * ENTRY_LINES, per_shard)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hbm::EvictionPolicy;
+    use pax_pm::{PoolConfig, LINE_SIZE};
+
+    fn shard_pair() -> (PmPool, DeviceShard, DeviceShard) {
+        let pool = PmPool::create(PoolConfig::small()).unwrap();
+        let banks = split_log_region(&pool, 2);
+        let hbm = HbmConfig::default_config();
+        let a = DeviceShard::new(0, 2, hbm, banks[0].0, banks[0].1);
+        let b = DeviceShard::new(1, 2, hbm, banks[1].0, banks[1].1);
+        (pool, a, b)
+    }
+
+    #[test]
+    fn split_covers_region_without_overlap() {
+        let pool = PmPool::create(PoolConfig::small()).unwrap();
+        let banks = split_log_region(&pool, 4);
+        assert_eq!(banks.len(), 4);
+        for w in banks.windows(2) {
+            assert_eq!(w[0].0 + w[0].1 * ENTRY_LINES, w[1].0, "banks must be adjacent");
+        }
+        let total: u64 = banks.iter().map(|(_, c)| c).sum();
+        assert!(total <= pool.layout().log_lines / ENTRY_LINES);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_log_capacity() {
+        let mut cfg = PoolConfig::small();
+        cfg.log_bytes = 4 * LINE_SIZE; // 2 entries
+        let pool = PmPool::create(cfg).unwrap();
+        assert_eq!(split_log_region(&pool, 8).len(), 2);
+    }
+
+    #[test]
+    fn hbm_keys_round_trip_and_stay_disjoint() {
+        let (_pool, a, b) = shard_pair();
+        for addr in [0u64, 2, 4, 100] {
+            assert_eq!(a.hbm_unkey(a.hbm_key(LineAddr(addr))), LineAddr(addr));
+        }
+        for addr in [1u64, 3, 5, 101] {
+            assert_eq!(b.hbm_unkey(b.hbm_key(LineAddr(addr))), LineAddr(addr));
+        }
+    }
+
+    #[test]
+    fn interleaved_lines_use_all_hbm_sets() {
+        // With a power-of-two stride, raw global addresses would alias
+        // into half the sets; the shard-local key must spread them.
+        let mut shard = DeviceShard::new(
+            0,
+            2,
+            HbmConfig { capacity_bytes: 4 * 128, ways: 2, policy: EvictionPolicy::Lru },
+            0,
+            64,
+        );
+        // Shard capacity: 4 lines (2 sets × 2 ways) after the 1/2 split.
+        // Insert 4 shard-0 lines (global addresses 0,2,4,6): all resident
+        // only if both sets are used.
+        for g in [0u64, 2, 4, 6] {
+            let v = shard.hbm_insert(
+                LineAddr(g),
+                HbmLine { data: CacheLine::filled(g as u8), dirty: false, log_offset: None },
+                0,
+            );
+            assert!(v.is_none(), "line {g} must not evict");
+        }
+        assert_eq!(shard.hbm.resident(), 4);
+    }
+
+    #[test]
+    fn dispose_victim_with_unsatisfiable_offset_errors_instead_of_spinning() {
+        // The pinned invariant: a dirty victim whose covering log offset
+        // is neither durable nor pending is corrupt state. The drain loop
+        // must surface it, not spin forever pumping an empty buffer.
+        let (mut pool, mut a, _b) = shard_pair();
+        let clock = CrashClock::new();
+        let mut trace = TraceBuf::disabled();
+        let line = HbmLine { data: CacheLine::filled(1), dirty: true, log_offset: Some(99) };
+        let err = a.dispose_victim(&mut pool, &clock, &mut trace, LineAddr(0), line).unwrap_err();
+        assert!(
+            matches!(err, PmError::ProtocolViolation { .. }),
+            "expected a protocol-invariant error, got {err}"
+        );
+    }
+
+    #[test]
+    fn dispose_victim_drains_pending_entry_then_writes_back() {
+        let (mut pool, mut a, _b) = shard_pair();
+        let clock = CrashClock::new();
+        let mut trace = TraceBuf::disabled();
+        let off = a.log_if_first(&mut trace, 1, LineAddr(0), &CacheLine::zeroed()).unwrap();
+        let line = HbmLine { data: CacheLine::filled(7), dirty: true, log_offset: Some(off) };
+        a.dispose_victim(&mut pool, &clock, &mut trace, LineAddr(0), line).unwrap();
+        assert!(a.log.durable_offset() > off, "covering entry was drained first");
+        let abs = pool.layout().vpm_to_pool(0).unwrap();
+        assert_eq!(pool.read_line(abs).unwrap(), CacheLine::filled(7));
+    }
+
+    #[test]
+    fn shard_banks_append_independently() {
+        let (mut pool, mut a, mut b) = shard_pair();
+        let clock = CrashClock::new();
+        let mut trace = TraceBuf::disabled();
+        a.log_if_first(&mut trace, 1, LineAddr(0), &CacheLine::filled(1)).unwrap();
+        b.log_if_first(&mut trace, 1, LineAddr(1), &CacheLine::filled(2)).unwrap();
+        b.log_if_first(&mut trace, 1, LineAddr(3), &CacheLine::filled(3)).unwrap();
+        a.log.flush(&mut pool, &clock).unwrap();
+        b.log.flush(&mut pool, &clock).unwrap();
+        assert_eq!(a.log.durable_offset(), 1);
+        assert_eq!(b.log.durable_offset(), 2);
+        // Every entry is visible to the (global) recovery scan.
+        assert_eq!(UndoLog::scan(&mut pool).unwrap().len(), 3);
+    }
+}

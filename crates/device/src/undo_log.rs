@@ -7,10 +7,26 @@
 //! lets the device write modified data lines back to PM mid-epoch: a data
 //! line may be written back as soon as the entry covering it is durable.
 //!
+//! # Offsets are logical and monotonic
+//!
+//! Entry offsets never reset: they count appends over the writer's whole
+//! lifetime. The physical slot of offset `o` is `o % capacity`, so the
+//! region is a ring. A slot may be overwritten only once the epoch of the
+//! entry it holds has committed — [`UndoLog::recycle_to`] advances the
+//! recycle watermark when that happens. This makes two things true by
+//! construction:
+//!
+//! 1. a `log_offset` stamped on a buffered line stays comparable against
+//!    [`UndoLog::durable_offset`] forever (committed entries are simply
+//!    `< durable` for the rest of time — no stale-offset ambiguity), and
+//! 2. the region can be recycled *incrementally* under overlapped epochs:
+//!    committing epoch N frees exactly N's slots, even while epoch N+1 is
+//!    already appending.
+//!
 //! # On-media format
 //!
-//! Each entry occupies [`ENTRY_LINES`] = 2 consecutive lines in the pool's
-//! log region:
+//! Each entry occupies [`ENTRY_LINES`] = 2 consecutive lines in its slot
+//! of the pool's log region:
 //!
 //! ```text
 //! line 0 (header): magic[8] | epoch u64 | vpm_line u64 | checksum u64
@@ -21,6 +37,8 @@
 //! detect (and safely skip) entries torn by a crash mid-append: a torn
 //! entry's data write back cannot have happened — write back is gated on
 //! the entry being durable — so skipping it is always sound.
+
+use std::collections::VecDeque;
 
 use pax_pm::{CacheLine, CrashOutcome, LineAddr, PmError, PmPool, Result, LINE_SIZE};
 
@@ -80,26 +98,44 @@ impl UndoEntry {
 }
 
 /// The device's undo-log writer: volatile append buffer + durable
-/// watermark over the pool's log region.
+/// watermark over (a slice of) the pool's log region.
 #[derive(Debug)]
 pub struct UndoLog {
     /// Entries appended but not yet written durably, oldest first.
-    pending: Vec<UndoEntry>,
-    /// Entries durably on media from the start of the region.
-    durable_entries: u64,
-    /// Capacity of the log region in entries.
+    /// A `VecDeque` because `pump` drains from the front: draining N
+    /// entries is O(N), not the O(N²) a `Vec::remove(0)` loop would be.
+    pending: VecDeque<UndoEntry>,
+    /// Logical offset of the durable watermark (entries drained to media
+    /// over the writer's lifetime; monotonic, never resets).
+    durable: u64,
+    /// Logical offsets below this belong to committed epochs; their slots
+    /// may be overwritten.
+    recycled_below: u64,
+    /// First pool line of this writer's slice of the log region.
+    region_start: u64,
+    /// Capacity of this writer's slice, in entries.
     capacity_entries: u64,
     /// Total bytes of log writes issued (for write-amplification benches).
     bytes_written: u64,
 }
 
 impl UndoLog {
-    /// A log writer over a pool's log region.
+    /// A log writer over a pool's whole log region.
     pub fn new(pool: &PmPool) -> Self {
+        let layout = pool.layout();
+        Self::with_region(layout.log_start().0, layout.log_lines / ENTRY_LINES)
+    }
+
+    /// A log writer over `capacity_entries` slots starting at pool line
+    /// `region_start` — how a sharded device gives each shard its own
+    /// bank of the log region.
+    pub fn with_region(region_start: u64, capacity_entries: u64) -> Self {
         UndoLog {
-            pending: Vec::new(),
-            durable_entries: 0,
-            capacity_entries: pool.layout().log_lines / ENTRY_LINES,
+            pending: VecDeque::new(),
+            durable: 0,
+            recycled_below: 0,
+            region_start,
+            capacity_entries,
             bytes_written: 0,
         }
     }
@@ -107,12 +143,13 @@ impl UndoLog {
     /// Entries known durable; write back of a data line tagged with offset
     /// `o` is legal once `o < durable_offset()`.
     pub fn durable_offset(&self) -> u64 {
-        self.durable_entries
+        self.durable
     }
 
-    /// Entries appended so far this epoch cycle (durable + pending).
+    /// Entries appended so far over the writer's lifetime (durable +
+    /// pending). The next append gets this offset.
     pub fn appended(&self) -> u64 {
-        self.durable_entries + self.pending.len() as u64
+        self.durable + self.pending.len() as u64
     }
 
     /// Entries awaiting the background drain.
@@ -120,7 +157,12 @@ impl UndoLog {
         self.pending.len()
     }
 
-    /// Capacity of the log region, in entries.
+    /// Entries whose slots are still held by uncommitted epochs.
+    pub fn live_entries(&self) -> u64 {
+        self.appended() - self.recycled_below
+    }
+
+    /// Capacity of this writer's region slice, in entries.
     pub fn capacity_entries(&self) -> u64 {
         self.capacity_entries
     }
@@ -130,26 +172,32 @@ impl UndoLog {
         self.bytes_written
     }
 
-    /// Appends an entry, returning its offset (entry index).
+    /// Pool line of the slot backing logical offset `offset`.
+    fn slot_base(&self, offset: u64) -> u64 {
+        self.region_start + (offset % self.capacity_entries) * ENTRY_LINES
+    }
+
+    /// Appends an entry, returning its logical offset.
     ///
     /// The append itself is volatile — this is the asynchrony of §3.2: the
     /// host's `RdOwn` is acknowledged without waiting for durability.
     ///
     /// # Errors
     ///
-    /// Returns [`PmError::LogFull`] when the region is exhausted; the
-    /// caller (libpax) should `persist()` to reset the log.
+    /// Returns [`PmError::LogFull`] when every slot is held by an
+    /// uncommitted epoch; the caller (libpax) should `persist()` to
+    /// recycle the region.
     pub fn append(&mut self, entry: UndoEntry) -> Result<u64> {
-        let offset = self.appended();
-        if offset >= self.capacity_entries {
+        if self.live_entries() >= self.capacity_entries {
             return Err(PmError::LogFull { capacity_entries: self.capacity_entries });
         }
-        self.pending.push(entry);
+        let offset = self.appended();
+        self.pending.push_back(entry);
         Ok(offset)
     }
 
-    /// Drains up to `max_entries` pending entries to the pool's log region
-    /// and advances the durable watermark. Returns entries drained.
+    /// Drains up to `max_entries` pending entries to the log region and
+    /// advances the durable watermark. Returns entries drained.
     ///
     /// # Errors
     ///
@@ -167,13 +215,13 @@ impl UndoLog {
                 pool.crash();
                 return Err(PmError::Crashed);
             }
-            let entry = self.pending.remove(0);
-            let base = pool.layout().log_start().0 + self.durable_entries * ENTRY_LINES;
+            let entry = self.pending.pop_front().expect("n bounded by pending length");
+            let base = self.slot_base(self.durable);
             pool.write_line(LineAddr(base), entry.header_line())?;
             pool.write_line(LineAddr(base + 1), entry.old.clone())?;
             // The watermark only advances once both lines are durable.
             pool.drain();
-            self.durable_entries += 1;
+            self.durable += 1;
             self.bytes_written += (ENTRY_LINES as usize * LINE_SIZE) as u64;
         }
         Ok(n)
@@ -191,13 +239,22 @@ impl UndoLog {
         Ok(())
     }
 
-    /// Resets the volatile tail after an epoch commits: subsequent appends
-    /// overwrite the region from the start. Stale entries left on media
-    /// belong to committed epochs and are ignored by recovery.
+    /// Marks every entry below logical offset `watermark` as committed,
+    /// freeing its slot for reuse. Called when the epoch that appended
+    /// those entries durably commits; the watermark is clamped to the
+    /// durable offset (an undrained entry cannot belong to a committed
+    /// epoch) and never moves backwards.
+    pub fn recycle_to(&mut self, watermark: u64) {
+        self.recycled_below = self.recycled_below.max(watermark.min(self.durable));
+    }
+
+    /// Recycles the whole region after a fully-drained epoch commits (the
+    /// synchronous-persist epilogue). Offsets stay monotonic; only slot
+    /// ownership resets. Stale entries left on media belong to committed
+    /// epochs and are ignored by recovery.
     pub fn reset_after_commit(&mut self) {
         debug_assert!(self.pending.is_empty(), "reset with undrained entries");
-        self.pending.clear();
-        self.durable_entries = 0;
+        self.recycle_to(self.durable);
     }
 
     /// Drops the volatile tail (power loss).
@@ -208,7 +265,10 @@ impl UndoLog {
     /// Scans the pool's log region for valid entries (recovery, §3.4).
     ///
     /// Every slot is parsed; torn or never-written slots fail checksum
-    /// validation and are skipped. Returns entries in on-media order.
+    /// validation and are skipped. Returns entries in on-media slot order
+    /// — **not** append order once the ring has wrapped; recovery orders
+    /// rollback by epoch, which slot reuse cannot disturb (a slot is only
+    /// overwritten after its epoch commits).
     ///
     /// # Errors
     ///
@@ -326,20 +386,84 @@ mod tests {
     }
 
     #[test]
-    fn reset_after_commit_reuses_region() {
+    fn reset_after_commit_reuses_slots_with_monotonic_offsets() {
         let mut p = pool();
         let clock = CrashClock::new();
         let mut log = UndoLog::new(&p);
         log.append(entry(1, 5, 1)).unwrap();
         log.flush(&mut p, &clock).unwrap();
         log.reset_after_commit();
-        assert_eq!(log.durable_offset(), 0);
-        log.append(entry(2, 6, 2)).unwrap();
+        // Offsets keep counting — no ambiguity against stale buffered
+        // offsets — but the region is free again.
+        assert_eq!(log.durable_offset(), 1);
+        assert_eq!(log.live_entries(), 0);
+        assert_eq!(log.append(entry(2, 6, 2)).unwrap(), 1);
         log.flush(&mut p, &clock).unwrap();
         let scanned = UndoLog::scan(&mut p).unwrap();
-        // Slot 0 now holds the epoch-2 entry; the epoch-1 entry is gone.
-        assert_eq!(scanned.len(), 1);
-        assert_eq!(scanned[0].1.epoch, 2);
+        // Both slots hold valid entries; recovery tells them apart by
+        // epoch, not by position.
+        assert_eq!(scanned.len(), 2);
+        assert_eq!(scanned.iter().filter(|(_, e)| e.epoch == 2).count(), 1);
+    }
+
+    #[test]
+    fn recycle_to_frees_slots_incrementally() {
+        let mut cfg = PoolConfig::small();
+        cfg.log_bytes = 8 * LINE_SIZE; // 4 slots
+        let mut p = PmPool::create(cfg).unwrap();
+        let clock = CrashClock::new();
+        let mut log = UndoLog::new(&p);
+        for i in 0..4 {
+            log.append(entry(1, i, 0)).unwrap();
+        }
+        assert!(matches!(log.append(entry(2, 9, 0)), Err(PmError::LogFull { .. })));
+        log.flush(&mut p, &clock).unwrap();
+        // Epoch 1 committed up to offset 2: two slots free, two still live.
+        log.recycle_to(2);
+        assert_eq!(log.live_entries(), 2);
+        assert_eq!(log.append(entry(2, 9, 0)).unwrap(), 4);
+        assert_eq!(log.append(entry(2, 10, 0)).unwrap(), 5);
+        assert!(matches!(log.append(entry(2, 11, 0)), Err(PmError::LogFull { .. })));
+        // The wrapped entries physically overwrite the recycled slots.
+        log.flush(&mut p, &clock).unwrap();
+        let scanned = UndoLog::scan(&mut p).unwrap();
+        assert_eq!(scanned.len(), 4);
+        assert_eq!(scanned.iter().filter(|(_, e)| e.epoch == 2).count(), 2);
+    }
+
+    #[test]
+    fn recycle_to_clamps_to_durable_and_never_regresses() {
+        let mut p = pool();
+        let clock = CrashClock::new();
+        let mut log = UndoLog::new(&p);
+        for i in 0..3 {
+            log.append(entry(1, i, 0)).unwrap();
+        }
+        log.pump(&mut p, &clock, 1).unwrap();
+        log.recycle_to(99); // clamped: only 1 entry is durable
+        assert_eq!(log.live_entries(), 2);
+        log.recycle_to(0); // never regresses
+        assert_eq!(log.live_entries(), 2);
+    }
+
+    #[test]
+    fn sharded_regions_do_not_overlap() {
+        let mut p = pool();
+        let clock = CrashClock::new();
+        let layout = p.layout();
+        let per_shard = 2u64;
+        let mut a = UndoLog::with_region(layout.log_start().0, per_shard);
+        let mut b = UndoLog::with_region(layout.log_start().0 + per_shard * ENTRY_LINES, per_shard);
+        a.append(entry(1, 0, 0xA)).unwrap();
+        a.append(entry(1, 2, 0xA)).unwrap();
+        b.append(entry(1, 1, 0xB)).unwrap();
+        a.flush(&mut p, &clock).unwrap();
+        b.flush(&mut p, &clock).unwrap();
+        let scanned = UndoLog::scan(&mut p).unwrap();
+        assert_eq!(scanned.len(), 3);
+        // Shard B's entry landed in its own bank (slot index 2).
+        assert_eq!(scanned[2].0, 2);
+        assert_eq!(scanned[2].1.old, CacheLine::filled(0xB));
     }
 
     #[test]
@@ -364,5 +488,28 @@ mod tests {
         log.append(entry(1, 0, 0)).unwrap();
         log.flush(&mut p, &clock).unwrap();
         assert_eq!(log.bytes_written(), 128);
+    }
+
+    #[test]
+    fn large_pending_drain_is_linear() {
+        // The remove(0) regression: draining N pending entries must be
+        // O(N). 50k entries through repeated small pumps completes in
+        // well under a second with a VecDeque; the old Vec::remove(0)
+        // drain was O(N²) and took tens of seconds.
+        let mut cfg = PoolConfig::small();
+        cfg.log_bytes = 50_000 * (ENTRY_LINES as usize) * LINE_SIZE;
+        let mut p = PmPool::create(cfg).unwrap();
+        let clock = CrashClock::new();
+        let mut log = UndoLog::new(&p);
+        for i in 0..50_000u64 {
+            log.append(entry(1, i % 1024, i as u8)).unwrap();
+        }
+        let start = std::time::Instant::now();
+        log.flush(&mut p, &clock).unwrap();
+        let per_entry_ns = start.elapsed().as_nanos() as u64 / 50_000;
+        assert_eq!(log.durable_offset(), 50_000);
+        // Generous bound: a linear drain spends ~100 ns/entry; the
+        // quadratic one spent tens of µs/entry at this size.
+        assert!(per_entry_ns < 10_000, "drain took {per_entry_ns} ns/entry");
     }
 }

@@ -30,6 +30,21 @@ pub enum Stage {
         /// Service time once a slot is granted.
         service_ns: u64,
     },
+    /// Occupy one slot of the *least-loaded* resource in the contiguous
+    /// range `first .. first + count` for `service_ns`.
+    ///
+    /// Load is in-service requests plus queued requests at dispatch time;
+    /// ties break to the lowest index, keeping runs deterministic. This
+    /// models a banked server (e.g. the sharded PAX device pipeline)
+    /// where each request may be steered to any bank.
+    UseAny {
+        /// First resource of the bank group.
+        first: ResourceId,
+        /// Number of interchangeable banks (must be ≥ 1).
+        count: usize,
+        /// Service time once a slot is granted.
+        service_ns: u64,
+    },
 }
 
 /// The per-operation stage sequence a backend executes.
@@ -46,7 +61,7 @@ impl OpRecipe {
             .iter()
             .map(|s| match s {
                 Stage::Compute(ns) => *ns,
-                Stage::Use { service_ns, .. } => *service_ns,
+                Stage::Use { service_ns, .. } | Stage::UseAny { service_ns, .. } => *service_ns,
             })
             .sum()
     }
@@ -131,8 +146,19 @@ impl SimMachine {
     pub fn run(&self, threads: usize, ops_per_thread: u64, recipe: &OpRecipe) -> SimReport {
         assert!(threads > 0, "need at least one thread");
         for s in &recipe.stages {
-            if let Stage::Use { resource, .. } = s {
-                assert!(*resource < self.resources.len(), "unknown resource {resource}");
+            match s {
+                Stage::Use { resource, .. } => {
+                    assert!(*resource < self.resources.len(), "unknown resource {resource}");
+                }
+                Stage::UseAny { first, count, .. } => {
+                    assert!(*count > 0, "UseAny needs at least one bank");
+                    assert!(
+                        first + count <= self.resources.len(),
+                        "UseAny range {first}..{} exceeds resource table",
+                        first + count
+                    );
+                }
+                Stage::Compute(_) => {}
             }
         }
 
@@ -205,7 +231,7 @@ impl SimMachine {
                     }
                     let stage = recipe.stages[thread_stage[thread]];
                     thread_stage[thread] += 1;
-                    match stage {
+                    let (resource, service_ns) = match stage {
                         Stage::Compute(ns) => {
                             push(
                                 &mut heap,
@@ -214,23 +240,29 @@ impl SimMachine {
                                 Event::StageDone { thread },
                                 &mut seq,
                             );
+                            continue;
                         }
-                        Stage::Use { resource, service_ns } => {
-                            let st = &mut res[resource];
-                            if st.in_service < self.resources[resource].concurrency {
-                                st.in_service += 1;
-                                st.busy_ns += service_ns;
-                                push(
-                                    &mut heap,
-                                    &mut events,
-                                    now + service_ns,
-                                    Event::ServiceDone { thread, resource },
-                                    &mut seq,
-                                );
-                            } else {
-                                st.queue.push_back((thread, service_ns));
-                            }
+                        Stage::Use { resource, service_ns } => (resource, service_ns),
+                        Stage::UseAny { first, count, service_ns } => {
+                            let pick = (first..first + count)
+                                .min_by_key(|&r| (res[r].in_service + res[r].queue.len(), r))
+                                .expect("UseAny count validated non-zero");
+                            (pick, service_ns)
                         }
+                    };
+                    let st = &mut res[resource];
+                    if st.in_service < self.resources[resource].concurrency {
+                        st.in_service += 1;
+                        st.busy_ns += service_ns;
+                        push(
+                            &mut heap,
+                            &mut events,
+                            now + service_ns,
+                            Event::ServiceDone { thread, resource },
+                            &mut seq,
+                        );
+                    } else {
+                        st.queue.push_back((thread, service_ns));
                     }
                 }
             }
@@ -385,5 +417,80 @@ mod tests {
     #[should_panic]
     fn unknown_resource_is_rejected() {
         machine(1).run(1, 1, &OpRecipe { stages: vec![Stage::Use { resource: 5, service_ns: 1 }] });
+    }
+
+    fn banked(banks: usize) -> SimMachine {
+        SimMachine::new(
+            (0..banks).map(|_| Resource { name: "bank", concurrency: 1 }).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn use_any_spreads_load_across_banks() {
+        // One bank at 100 ns caps at 10 Mops; four interchangeable banks
+        // should scale the ceiling close to 4×.
+        let recipe = |count| OpRecipe {
+            stages: vec![Stage::Compute(5), Stage::UseAny { first: 0, count, service_ns: 100 }],
+        };
+        let one = banked(1).run(16, 400, &recipe(1)).mops();
+        let four = banked(4).run(16, 400, &recipe(4)).mops();
+        assert!(four > one * 3.0, "one bank {one}, four banks {four}");
+        // Every bank saw traffic.
+        let report = banked(4).run(16, 400, &recipe(4));
+        for (name, util) in &report.utilisation {
+            assert!(*util > 0.5, "{name} underused: {util}");
+        }
+    }
+
+    #[test]
+    fn use_any_over_one_bank_matches_use() {
+        let m = banked(1);
+        let via_use = m.run(
+            6,
+            300,
+            &OpRecipe {
+                stages: vec![Stage::Compute(9), Stage::Use { resource: 0, service_ns: 21 }],
+            },
+        );
+        let via_any = m.run(
+            6,
+            300,
+            &OpRecipe {
+                stages: vec![
+                    Stage::Compute(9),
+                    Stage::UseAny { first: 0, count: 1, service_ns: 21 },
+                ],
+            },
+        );
+        assert_eq!(via_use, via_any);
+    }
+
+    #[test]
+    fn use_any_is_deterministic() {
+        let m = banked(3);
+        let recipe = OpRecipe {
+            stages: vec![Stage::Compute(7), Stage::UseAny { first: 0, count: 3, service_ns: 13 }],
+        };
+        assert_eq!(m.run(9, 150, &recipe), m.run(9, 150, &recipe));
+    }
+
+    #[test]
+    #[should_panic]
+    fn use_any_range_past_table_is_rejected() {
+        banked(2).run(
+            1,
+            1,
+            &OpRecipe { stages: vec![Stage::UseAny { first: 1, count: 2, service_ns: 1 }] },
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn use_any_empty_range_is_rejected() {
+        banked(2).run(
+            1,
+            1,
+            &OpRecipe { stages: vec![Stage::UseAny { first: 0, count: 0, service_ns: 1 }] },
+        );
     }
 }

@@ -31,6 +31,13 @@ pub enum PmError {
         /// Capacity of the log region in entries.
         capacity_entries: u64,
     },
+    /// A device protocol invariant was violated — internal state is
+    /// inconsistent in a way no caller action can produce. Surfaced
+    /// instead of looping or asserting so tests can pin the invariant.
+    ProtocolViolation {
+        /// The invariant that did not hold.
+        invariant: &'static str,
+    },
     /// Underlying file I/O failed while loading or syncing a pool file.
     Io(io::Error),
 }
@@ -46,6 +53,9 @@ impl fmt::Display for PmError {
             PmError::BadLayout(msg) => write!(f, "invalid pool layout: {msg}"),
             PmError::LogFull { capacity_entries } => {
                 write!(f, "undo log region full ({capacity_entries} entries)")
+            }
+            PmError::ProtocolViolation { invariant } => {
+                write!(f, "device protocol invariant violated: {invariant}")
             }
             PmError::Io(e) => write!(f, "pool file I/O failed: {e}"),
         }

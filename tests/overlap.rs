@@ -4,12 +4,19 @@
 //! newest *committed* epoch, even with interleaved cross-epoch writes to
 //! the same lines.
 
-use libpax::{Heap, MemSpace, PHashMap, PaxConfig, PaxPool};
-use pax_pm::PoolConfig;
+use libpax::{Heap, MemSpace, PHashMap, PaxConfig, PaxError, PaxPool};
+use pax_pm::{PmError, PoolConfig, LINE_SIZE};
 
 fn config() -> PaxConfig {
     PaxConfig::default()
         .with_pool(PoolConfig::small().with_data_bytes(8 << 20).with_log_bytes(64 << 20))
+}
+
+/// A pool whose undo log holds only `slots` entries (2 lines per entry).
+fn tiny_log_config(slots: usize) -> PaxConfig {
+    PaxConfig::default().with_pool(
+        PoolConfig::small().with_data_bytes(1 << 20).with_log_bytes(slots * 2 * LINE_SIZE),
+    )
 }
 
 #[test]
@@ -148,6 +155,55 @@ fn sync_persist_flushes_a_pending_drain_first() {
     assert_eq!(epoch, 2);
     assert_eq!(pool.committed_epoch().unwrap(), 2);
     assert_eq!(pool.persist_pending().unwrap(), None);
+}
+
+#[test]
+fn continuous_overlapping_epochs_recycle_the_log() {
+    // Regression: `persist_poll` used to return committed epochs' log
+    // slots only once the device was completely idle (empty epoch log AND
+    // no pending drain). Under continuous overlapped traffic that moment
+    // never arrives, so cumulative appends eventually crossed the log
+    // capacity and writes died with a spurious `LogFull`. The fix
+    // recycles each committed epoch's slots up to its drain watermark.
+    let pool = PaxPool::create(tiny_log_config(16)).unwrap();
+    let vpm = pool.vpm();
+    // 20 rounds × up to 7 appends ≫ 16 slots: only recycling keeps this
+    // alive (the pre-fix code failed around round 3).
+    for round in 0..20u64 {
+        for i in 0..6u64 {
+            vpm.write_u64(i * 64, round * 10 + i).unwrap();
+        }
+        pool.persist_async().unwrap();
+        // Next-epoch traffic while the drain is in flight keeps the
+        // device from ever going idle.
+        vpm.write_u64((6 + round % 4) * 64, round).unwrap();
+        pool.persist_wait().unwrap();
+    }
+    assert!(pool.committed_epoch().unwrap() >= 20);
+    for i in 0..6u64 {
+        assert_eq!(vpm.read_u64(i * 64).unwrap(), 19 * 10 + i);
+    }
+}
+
+#[test]
+fn oversized_single_epoch_still_reports_log_full() {
+    // The recycling fix must not erode the capacity guard: one epoch
+    // touching more distinct lines than the log holds is a real overflow.
+    let pool = PaxPool::create(tiny_log_config(16)).unwrap();
+    let vpm = pool.vpm();
+    let mut err = None;
+    for i in 0..64u64 {
+        if let Err(e) = vpm.write_u64(i * 64, i) {
+            err = Some(e);
+            break;
+        }
+    }
+    match err {
+        Some(PaxError::Pm(PmError::LogFull { capacity_entries })) => {
+            assert_eq!(capacity_entries, 16);
+        }
+        other => panic!("expected LogFull, got {other:?}"),
+    }
 }
 
 #[test]

@@ -1,0 +1,174 @@
+//! Property tests for the sharded PAX device.
+//!
+//! Sharding splits the device's per-line state into `S` address-
+//! interleaved banks, but it is a performance structure, not a semantic
+//! one: for ANY interleaving of reads, writes, and persists across cores,
+//! a pool on an `S`-shard device must be state-equivalent to the same
+//! run on a 1-shard device — including what survives a crash. A second
+//! property checks the §3.4 invariant directly on sharded devices: a
+//! crash at an arbitrary device step recovers exactly the last
+//! *committed* epoch's snapshot, never a mix.
+
+use libpax::{MemSpace, PaxConfig, PaxPool};
+use pax_device::DeviceConfig;
+use pax_pm::PoolConfig;
+use proptest::prelude::*;
+
+const CORES: usize = 3;
+const LINES: u64 = 24;
+
+fn config(shards: usize) -> PaxConfig {
+    PaxConfig::default()
+        .with_pool(PoolConfig::small().with_data_bytes(4 << 20).with_log_bytes(16 << 20))
+        .with_cores(CORES)
+        .with_device(DeviceConfig::default().with_shards(shards))
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { core: u8, line: u8, value: u64 },
+    Read { core: u8, line: u8 },
+    Persist,
+    PersistAsync,
+    Poll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (0u8..CORES as u8, 0u8..LINES as u8, any::<u64>())
+            .prop_map(|(core, line, value)| Op::Write { core, line, value }),
+        3 => (0u8..CORES as u8, 0u8..LINES as u8)
+            .prop_map(|(core, line)| Op::Read { core, line }),
+        1 => Just(Op::Persist),
+        1 => Just(Op::PersistAsync),
+        2 => Just(Op::Poll),
+    ]
+}
+
+/// Runs `ops`, commits everything pending, crashes, reopens, and returns
+/// every observable: the values reads saw, the committed epoch, and the
+/// recovered contents of all lines.
+fn run_to_end(shards: usize, ops: &[Op]) -> (Vec<u64>, u64, Vec<u64>) {
+    let pool = PaxPool::create(config(shards)).unwrap();
+    let mut observed = Vec::new();
+    for op in ops {
+        match op {
+            Op::Write { core, line, value } => {
+                pool.vpm_for_core(*core as usize).write_u64(*line as u64 * 64, *value).unwrap();
+            }
+            Op::Read { core, line } => {
+                observed
+                    .push(pool.vpm_for_core(*core as usize).read_u64(*line as u64 * 64).unwrap());
+            }
+            Op::Persist => {
+                pool.persist().unwrap();
+            }
+            Op::PersistAsync => {
+                pool.persist_async().unwrap();
+            }
+            Op::Poll => {
+                // Commit timing varies with the shard count (each poll
+                // pumps every bank), so the poll result is not part of
+                // the equivalence surface — the final wait below is.
+                let _ = pool.persist_poll().unwrap();
+            }
+        }
+    }
+    pool.persist_wait().unwrap();
+    let committed = pool.committed_epoch().unwrap();
+
+    let pm = pool.crash().unwrap();
+    let pool = PaxPool::open(pm, config(shards)).unwrap();
+    assert_eq!(pool.committed_epoch().unwrap(), committed);
+    let vpm = pool.vpm();
+    let recovered = (0..LINES).map(|l| vpm.read_u64(l * 64).unwrap()).collect();
+    (observed, committed, recovered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any interleaving of reads, writes, and persists across cores is
+    /// state-equivalent on S ∈ {2, 8} shards to the same run on S = 1.
+    #[test]
+    fn shard_count_is_state_transparent(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        let baseline = run_to_end(1, &ops);
+        for shards in [2usize, 8] {
+            let sharded = run_to_end(shards, &ops);
+            prop_assert_eq!(&baseline, &sharded, "S={} diverged from S=1", shards);
+        }
+    }
+
+    /// With a crash armed at an arbitrary device step — possibly mid-op,
+    /// mid-snoop, or mid-drain — a sharded pool recovers exactly the
+    /// snapshot of whatever epoch had committed, for every shard count.
+    #[test]
+    fn sharded_crash_recovery_lands_on_a_committed_snapshot(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        crash_offset in 0u64..300,
+        shards in prop_oneof![Just(1usize), Just(2), Just(8)],
+    ) {
+        let pool = PaxPool::create(config(shards)).unwrap();
+        // snapshots[e] is what epoch e must restore; epoch 0 is all
+        // zeroes.
+        let mut state = vec![0u64; LINES as usize];
+        let mut snapshots = vec![state.clone()];
+
+        let clock = pool.crash_clock().unwrap();
+        clock.arm(clock.steps_taken() + crash_offset);
+        for op in &ops {
+            let mut step = || -> libpax::Result<()> {
+                match op {
+                    Op::Write { core, line, value } => {
+                        pool.vpm_for_core(*core as usize)
+                            .write_u64(*line as u64 * 64, *value)?;
+                        state[*line as usize] = *value;
+                    }
+                    Op::Read { core, line } => {
+                        pool.vpm_for_core(*core as usize).read_u64(*line as u64 * 64)?;
+                    }
+                    Op::Persist => {
+                        // The snapshot's content is fixed when the epoch
+                        // closes, even if the call then dies mid-commit.
+                        snapshots.push(state.clone());
+                        pool.persist()?;
+                    }
+                    Op::PersistAsync => {
+                        snapshots.push(state.clone());
+                        pool.persist_async()?;
+                    }
+                    Op::Poll => {
+                        pool.persist_poll()?;
+                    }
+                }
+                Ok(())
+            };
+            if step().is_err() {
+                break; // the armed crash fired
+            }
+        }
+
+        let pm = pool.crash().unwrap();
+        let pool = PaxPool::open(pm, config(shards)).unwrap();
+        let committed = pool.committed_epoch().unwrap() as usize;
+        prop_assert!(
+            committed < snapshots.len(),
+            "committed epoch {} but only {} epochs were opened",
+            committed,
+            snapshots.len()
+        );
+        let vpm = pool.vpm();
+        for line in 0..LINES {
+            prop_assert_eq!(
+                vpm.read_u64(line * 64).unwrap(),
+                snapshots[committed][line as usize],
+                "line {} under committed epoch {} (S={})",
+                line,
+                committed,
+                shards
+            );
+        }
+    }
+}

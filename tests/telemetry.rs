@@ -88,6 +88,38 @@ fn conservation_invariants_hold_on_a_deterministic_workload() {
 }
 
 #[test]
+fn conservation_invariants_hold_summed_across_shards() {
+    // The sharded device keeps one MetricSet per bank;
+    // `PaxPool::telemetry()` must merge them so the cross-layer
+    // conservation laws keep holding on the summed counters, with the
+    // shard count surfaced as its own dimension.
+    let cfg = config().with_device(pax_device::DeviceConfig::default().with_shards(4));
+    let pool = PaxPool::create(cfg).expect("pool");
+    run_workload(&pool);
+    let t = pool.telemetry();
+
+    assert_eq!(t.counter("device", "shards"), 4);
+    assert_conservation(&t);
+
+    // Same workload as the unsharded test: the summed traffic counters
+    // must not change with the bank count.
+    assert!(t.counter("device", "rd_own") >= 96);
+    assert_eq!(t.counter("device", "persists"), 2);
+    let unsharded = {
+        let pool = PaxPool::create(config()).expect("pool");
+        run_workload(&pool);
+        pool.telemetry()
+    };
+    for name in ["rd_own", "rd_shared", "undo_entries", "persists"] {
+        assert_eq!(
+            t.counter("device", name),
+            unsharded.counter("device", name),
+            "summed {name} must match the 1-shard run"
+        );
+    }
+}
+
+#[test]
 fn telemetry_diff_isolates_an_epoch_and_preserves_conservation() {
     let pool = PaxPool::create(config()).expect("pool");
     run_workload(&pool);
