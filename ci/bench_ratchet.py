@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Bench ratchet: fail CI when a headline benchmark regresses.
+
+Usage: bench_ratchet.py BASELINE_DIR CURRENT_DIR
+
+Compares the current run's --json outputs against the previous run's
+(restored from the CI cache). Tolerances per metric:
+
+  fig2b            mops               must be >= 0.95x baseline (per
+                                      (threads, backend) point)
+  ablation_epoch   snoops_per_op      must be <= 1.05x baseline (per
+                                      ops_per_persist point)
+  ablation_overlap inline_reduction   must be >= 0.95x baseline (per
+                                      epoch_lines point, legacy series)
+
+Independently of any baseline, the free-running series of
+ablation_overlap must meet the absolute acceptance bar: at the largest
+tick budget, steady inline persist steps stay within 2x the snoop-sweep
+cost.
+
+A missing baseline file seeds the ratchet (exit 0); the workflow then
+saves CURRENT_DIR as the next run's baseline.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+FIG2B_TOL = 0.95
+SNOOPS_TOL = 1.05
+REDUCTION_TOL = 0.95
+FREE_RUNNING_FACTOR = 2.0
+
+
+def load(path: Path):
+    if not path.exists():
+        return None
+    with path.open() as f:
+        return json.load(f)
+
+
+def check_free_running_acceptance(current, failures):
+    """Absolute bar, no baseline needed."""
+    rows = [r for r in current["results"] if r.get("series") == "free_running"]
+    if not rows:
+        failures.append("ablation_overlap: free_running series missing")
+        return
+    top = max(rows, key=lambda r: r["tick_budget"])
+    bar = FREE_RUNNING_FACTOR * max(top["snoop_sweep_steps"], 1)
+    if top["inline_steps"] > bar:
+        failures.append(
+            f"ablation_overlap free_running: inline_steps {top['inline_steps']} "
+            f"exceeds {FREE_RUNNING_FACTOR}x snoop sweep ({bar:.0f}) at "
+            f"tick_budget {top['tick_budget']}"
+        )
+    else:
+        print(
+            f"free_running acceptance ok: inline {top['inline_steps']} <= "
+            f"{bar:.0f} at tick_budget {top['tick_budget']}"
+        )
+
+
+def ratchet_fig2b(baseline, current, failures):
+    base = {(r["threads"], r["backend"]): r["mops"] for r in baseline["results"]}
+    for r in current["results"]:
+        key = (r["threads"], r["backend"])
+        if key not in base:
+            continue  # new series seed on their first appearance
+        floor = FIG2B_TOL * base[key]
+        if r["mops"] < floor:
+            failures.append(
+                f"fig2b {key}: {r['mops']:.2f} Mops < {FIG2B_TOL}x baseline "
+                f"{base[key]:.2f}"
+            )
+
+
+def ratchet_ablation_epoch(baseline, current, failures):
+    base = {r["ops_per_persist"]: r["snoops_per_op"] for r in baseline["results"]}
+    for r in current["results"]:
+        key = r["ops_per_persist"]
+        if key not in base:
+            continue
+        ceil = SNOOPS_TOL * base[key]
+        if r["snoops_per_op"] > ceil:
+            failures.append(
+                f"ablation_epoch ops_per_persist={key}: snoops_per_op "
+                f"{r['snoops_per_op']:.3f} > {SNOOPS_TOL}x baseline {base[key]:.3f}"
+            )
+
+
+def ratchet_ablation_overlap(baseline, current, failures):
+    def legacy(doc):
+        return {
+            r["epoch_lines"]: r["inline_reduction"]
+            for r in doc["results"]
+            if "series" not in r
+        }
+
+    base = legacy(baseline)
+    for lines, reduction in legacy(current).items():
+        if lines not in base:
+            continue
+        floor = REDUCTION_TOL * base[lines]
+        if reduction < floor:
+            failures.append(
+                f"ablation_overlap epoch_lines={lines}: inline_reduction "
+                f"{reduction:.1f} < {REDUCTION_TOL}x baseline {base[lines]:.1f}"
+            )
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    baseline_dir, current_dir = Path(sys.argv[1]), Path(sys.argv[2])
+
+    failures = []
+    ratchets = {
+        "fig2b.json": ratchet_fig2b,
+        "ablation_epoch.json": ratchet_ablation_epoch,
+        "ablation_overlap.json": ratchet_ablation_overlap,
+    }
+
+    overlap = load(current_dir / "ablation_overlap.json")
+    if overlap is None:
+        failures.append("current ablation_overlap.json missing")
+    else:
+        check_free_running_acceptance(overlap, failures)
+
+    for name, ratchet in ratchets.items():
+        current = load(current_dir / name)
+        if current is None:
+            failures.append(f"current {name} missing")
+            continue
+        baseline = load(baseline_dir / name)
+        if baseline is None:
+            print(f"{name}: no baseline, seeding the ratchet")
+            continue
+        before = len(failures)
+        ratchet(baseline, current, failures)
+        if len(failures) == before:
+            print(f"{name}: within tolerance of baseline")
+
+    if failures:
+        print("\nBENCH RATCHET FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench ratchet passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

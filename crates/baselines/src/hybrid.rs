@@ -36,6 +36,9 @@ struct State {
 struct Inner {
     state: Option<State>,
     costs: CostReport,
+    /// Undo entries the background engine drains per store burst; 0
+    /// disables draining outside `persist()`.
+    background_pump_batch: usize,
 }
 
 /// A [`MemSpace`] combining page-fault mapping with line-granularity
@@ -76,9 +79,30 @@ impl HybridSpace {
                     logged_lines: HashSet::new(),
                 }),
                 costs: CostReport::default(),
+                background_pump_batch: 2,
             })),
             capacity,
         })
+    }
+
+    /// Returns the space with a different background pump batch — the
+    /// undo entries drained per store burst (the analogue of the PAX
+    /// device's per-tick log-drain budget; 0 defers all draining to
+    /// [`HybridSpace::persist`]).
+    pub fn with_background_pump_batch(self, n: usize) -> Self {
+        self.inner.lock().background_pump_batch = n;
+        self
+    }
+
+    /// Undo entries drained durably to PM so far.
+    ///
+    /// # Errors
+    ///
+    /// Fails if power was already lost.
+    pub fn log_durable_entries(&self) -> libpax::Result<u64> {
+        let inner = self.inner.lock();
+        let state = inner.state.as_ref().ok_or(PaxError::Pm(PmError::Crashed))?;
+        Ok(state.log.durable_offset())
     }
 
     /// Ends the epoch: drain, commit, re-protect pages.
@@ -88,7 +112,7 @@ impl HybridSpace {
     /// Fails after a simulated crash; propagates media errors.
     pub fn persist(&self) -> libpax::Result<u64> {
         let mut inner = self.inner.lock();
-        let Inner { state, costs } = &mut *inner;
+        let Inner { state, costs, .. } = &mut *inner;
         let state = state.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
         state.log.flush(&mut state.pool, &state.clock)?;
         state.pool.drain();
@@ -130,7 +154,7 @@ impl MemSpace for HybridSpace {
     fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> libpax::Result<()> {
         self.check(addr, buf.len())?;
         let mut inner = self.inner.lock();
-        let Inner { state, costs } = &mut *inner;
+        let Inner { state, costs, .. } = &mut *inner;
         let state = state.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
         let mut done = 0;
         let mut cur = addr;
@@ -151,7 +175,7 @@ impl MemSpace for HybridSpace {
     fn write_bytes(&self, addr: u64, data: &[u8]) -> libpax::Result<()> {
         self.check(addr, data.len())?;
         let mut inner = self.inner.lock();
-        let Inner { state, costs } = &mut *inner;
+        let Inner { state, costs, .. } = &mut *inner;
         let state = state.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
         let mut done = 0;
         let mut cur = addr;
@@ -187,9 +211,14 @@ impl MemSpace for HybridSpace {
             cur += n as u64;
         }
         // Model asynchronous draining: a bounded background pump.
-        let Inner { state, .. } = &mut *inner;
-        if let Some(state) = state.as_mut() {
-            state.log.pump(&mut state.pool, &state.clock, 2).map_err(PaxError::from)?;
+        let Inner { state, background_pump_batch, .. } = &mut *inner;
+        if *background_pump_batch > 0 {
+            if let Some(state) = state.as_mut() {
+                state
+                    .log
+                    .pump(&mut state.pool, &state.clock, *background_pump_batch)
+                    .map_err(PaxError::from)?;
+            }
         }
         Ok(())
     }
@@ -229,6 +258,26 @@ mod tests {
         // 128 B log + 64 B data for 8 app bytes = 24×, vs paging's >500×.
         let amp = s.costs().write_amplification();
         assert!(amp < 30.0, "amp = {amp}");
+    }
+
+    #[test]
+    fn pump_batch_is_configurable() {
+        // Default batch drains incrementally as stores arrive.
+        let s = HybridSpace::create(PoolConfig::small()).unwrap();
+        for i in 0..8u64 {
+            s.write_u64(i * LINE_SIZE as u64, i).unwrap();
+        }
+        assert!(s.log_durable_entries().unwrap() > 0, "default batch drains in the background");
+
+        // Batch 0 defers every entry to persist().
+        let deferred =
+            HybridSpace::create(PoolConfig::small()).unwrap().with_background_pump_batch(0);
+        for i in 0..8u64 {
+            deferred.write_u64(i * LINE_SIZE as u64, i).unwrap();
+        }
+        assert_eq!(deferred.log_durable_entries().unwrap(), 0, "batch 0 must not drain");
+        deferred.persist().unwrap();
+        assert_eq!(deferred.log_durable_entries().unwrap(), 8, "persist flushes everything");
     }
 
     #[test]

@@ -28,16 +28,20 @@ fn main() {
     let latency = LatencyProfile::c6420();
     let machine = MachineParams::paper();
     let sharded = MachineParams { device_shards: 4, ..MachineParams::paper() };
+    let slow_tick = MachineParams { device_tick_ns: 100, ..MachineParams::paper() };
     let threads = [1usize, 8, 16, 24, 32];
     // (series label, backend, machine) — the S=4 row reruns PAX (CXL) on
     // a 4-shard device (banked pipelines + log engines, cf.
-    // `DeviceConfig::with_shards`).
+    // `DeviceConfig::with_shards`); the tick=100ns row reruns it with a
+    // free-running scheduler clocked 4× slower than the log engine, so
+    // sustained stores queue behind the tick period.
     let series: Vec<(String, Backend, MachineParams)> = vec![
         (Backend::Dram.label().to_string(), Backend::Dram, machine),
         (Backend::PmDirect.label().to_string(), Backend::PmDirect, machine),
         (Backend::Pmdk.label().to_string(), Backend::Pmdk, machine),
         (Backend::Pax(Platform::Cxl).label().to_string(), Backend::Pax(Platform::Cxl), machine),
         ("PAX (CXL) S=4".to_string(), Backend::Pax(Platform::Cxl), sharded),
+        ("PAX (CXL) tick=100ns".to_string(), Backend::Pax(Platform::Cxl), slow_tick),
         (
             Backend::Pax(Platform::Enzian).label().to_string(),
             Backend::Pax(Platform::Enzian),
@@ -83,6 +87,10 @@ fn main() {
     out.line(format!(
         "at 32 threads: PAX(CXL) S=4/S=1 = {:.2}× (shard parallelism; bar: ≥ 1.5×)",
         results[last][4] / results[last][3]
+    ));
+    out.line(format!(
+        "at 32 threads: PAX(CXL) tick=100ns/tick=25ns = {:.2}× (scheduler as the bottleneck)",
+        results[last][5] / results[last][3]
     ));
     out.line(format!(
         "at 32 threads: DRAM/PM-Direct = {:.2}× (volatile headroom)",

@@ -391,6 +391,32 @@ impl PaxPool {
         Ok(inner.device()?.persist_pending())
     }
 
+    /// Advances the device's virtual-time scheduler by `ticks`: every
+    /// shard's background engines (and any draining non-blocking persist)
+    /// make their per-tick budget of progress, independent of foreground
+    /// traffic. Returns the durable-write steps performed — the
+    /// application-level handle on §3.2's "the device may write back a
+    /// dirty line at any time once its undo entry is durable".
+    ///
+    /// # Errors
+    ///
+    /// Surfaces simulated crashes and media errors.
+    pub fn run_device(&self, ticks: u64) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        Ok(inner.device()?.tick(ticks)?)
+    }
+
+    /// Virtual ticks the device scheduler has executed
+    /// ([`PaxPool::run_device`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if power was already lost.
+    pub fn device_ticks(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        Ok(inner.device()?.ticks_elapsed())
+    }
+
     /// Simulates power loss, returning the pool's durable remains for a
     /// later [`PaxPool::open`]. All live handles to this pool start
     /// failing with a crash error.
@@ -776,6 +802,28 @@ mod tests {
         pool.vpm().write_u64(0, 1).unwrap();
         assert!(pool.shard_traffic().is_none());
         assert_eq!(pool.shard_count().unwrap(), 1);
+    }
+
+    #[test]
+    fn run_device_commits_an_async_persist_without_traffic() {
+        // Pump interval so large that foreground requests never pump:
+        // only explicit virtual ticks can drain the epoch.
+        let config = PaxConfig::default()
+            .with_device(DeviceConfig::default().with_log_pump_interval(usize::MAX));
+        let pool = PaxPool::create(config).unwrap();
+        let vpm = pool.vpm();
+        for i in 0..8u64 {
+            vpm.write_u64(i * LINE_SIZE as u64, i + 1).unwrap();
+        }
+        let epoch = pool.persist_async().unwrap();
+        assert_eq!(pool.persist_pending().unwrap(), Some(epoch));
+        let mut worked = 0;
+        while pool.persist_pending().unwrap().is_some() {
+            worked += pool.run_device(1).unwrap();
+        }
+        assert!(worked > 0);
+        assert!(pool.device_ticks().unwrap() > 0);
+        assert_eq!(pool.committed_epoch().unwrap(), epoch);
     }
 
     #[test]

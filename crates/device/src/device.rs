@@ -29,6 +29,7 @@ use pax_telemetry::{MetricSet, MetricSnapshot, TraceBuf, TraceEvent};
 use crate::hbm::{HbmConfig, HbmLine};
 use crate::metrics::{DeviceCounters, DeviceMetrics};
 use crate::recovery::{recover_traced, RecoveryReport};
+use crate::sched::{DeviceScheduler, SchedConfig};
 use crate::shard::{split_log_region, tick, DeviceShard};
 
 /// Component name stamped on the device's metrics and trace records.
@@ -59,6 +60,10 @@ pub struct DeviceConfig {
     /// into (clamped so every shard's log bank holds at least one entry).
     /// 1 = the unsharded device.
     pub shards: usize,
+    /// Per-tick engine budgets of the virtual-time scheduler
+    /// ([`PaxDevice::tick`]); the persist-drain budget also paces
+    /// [`PaxDevice::persist_poll`].
+    pub sched: SchedConfig,
 }
 
 impl DeviceConfig {
@@ -108,6 +113,12 @@ impl DeviceConfig {
         self.shards = n;
         self
     }
+
+    /// Returns the config with different scheduler tick budgets.
+    pub fn with_sched(mut self, sched: SchedConfig) -> Self {
+        self.sched = sched;
+        self
+    }
 }
 
 impl Default for DeviceConfig {
@@ -120,6 +131,7 @@ impl Default for DeviceConfig {
             cache_clean_reads: true,
             trace_capacity: 1024,
             shards: 1,
+            sched: SchedConfig::default(),
         }
     }
 }
@@ -154,8 +166,9 @@ pub struct PaxDevice {
     current_epoch: u64,
     /// A previous epoch still being made durable (non-blocking persist).
     draining: Option<DrainState>,
-    /// Host requests seen since the last background pump.
-    requests_since_pump: usize,
+    /// Virtual-time run-queue state: per-shard pump credits, the
+    /// round-robin idle-service cursor, and the tick counter.
+    sched: DeviceScheduler,
     /// Device-level counter registry: epoch/persist-path events that
     /// belong to no single shard. Shard registries merge into it in every
     /// snapshot.
@@ -193,6 +206,16 @@ impl PaxDevice {
         // sharded device's numbers apart without out-of-band context.
         let shards_gauge = metrics.counter("shards");
         metrics.add(shards_gauge, stride as u64);
+        // So are the tick budgets: a trace full of `tick` events is only
+        // replayable knowing how much work each tick was allowed.
+        for (name, value) in [
+            ("sched_log_budget", config.sched.log_drain_per_tick),
+            ("sched_writeback_budget", config.sched.writeback_per_tick),
+            ("sched_persist_budget", config.sched.persist_drain_per_tick),
+        ] {
+            let gauge = metrics.counter(name);
+            metrics.add(gauge, value as u64);
+        }
         Ok(PaxDevice {
             pool,
             clock: CrashClock::new(),
@@ -200,7 +223,7 @@ impl PaxDevice {
             shards,
             current_epoch,
             draining: None,
-            requests_since_pump: 0,
+            sched: DeviceScheduler::new(stride),
             metrics,
             ctr,
             trace,
@@ -351,15 +374,15 @@ impl PaxDevice {
 
     /// One background step on the shard a request routed to: advance any
     /// draining persist, then let that shard's free-running engines pump
-    /// the log and write back. Other shards' engines run when their own
-    /// traffic arrives — background work scales with per-shard load,
-    /// exactly the independence the interleave buys.
+    /// the log and write back. Each shard earns pump credit from its *own*
+    /// traffic (a skewed workload cannot eat another shard's budget), and
+    /// every pump donates one round-robin step to a different shard with
+    /// pending work — so a shard without traffic still drains instead of
+    /// starving until the next `persist()`.
     fn background(&mut self, shard_idx: usize) -> Result<()> {
-        self.requests_since_pump += 1;
-        if self.requests_since_pump < self.config.log_pump_interval {
+        if !self.sched.charge(shard_idx, self.config.log_pump_interval) {
             return Ok(());
         }
-        self.requests_since_pump = 0;
         self.persist_poll()?;
         let shard = &mut self.shards[shard_idx];
         shard.background(
@@ -368,7 +391,82 @@ impl PaxDevice {
             &mut self.trace,
             self.config.log_pump_batch,
             self.config.writeback_batch,
-        )
+        )?;
+        // The donated idle-shard step runs at unit rate, gated on the same
+        // knobs (a device with pumping disabled stays fully quiescent).
+        let idle_log = self.config.log_pump_batch.min(1);
+        let idle_wb = self.config.writeback_batch.min(1);
+        if self.shards.len() > 1 && idle_log + idle_wb > 0 {
+            let shards = &self.shards;
+            let idle =
+                self.sched.next_idle(shards.len(), shard_idx, |s| shards[s].has_background_work());
+            if let Some(s) = idle {
+                let before = self.clock.steps_taken();
+                self.shards[s].background(
+                    &mut self.pool,
+                    &self.clock,
+                    &mut self.trace,
+                    idle_log,
+                    idle_wb,
+                )?;
+                self.metrics.add(self.ctr.sched_idle_steps, self.clock.steps_taken() - before);
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the device's free-running engines by `n` **virtual
+    /// ticks**, fully decoupled from foreground traffic: each tick first
+    /// moves any draining non-blocking persist along
+    /// ([`SchedConfig::persist_drain_per_tick`]), then runs every shard's
+    /// log-drain and write-back engines at their per-tick budgets, in
+    /// shard-index order. Returns the number of durable-write steps
+    /// performed.
+    ///
+    /// Determinism contract: ticks are the device's only time source, so
+    /// the same request sequence interleaved with the same tick schedule
+    /// performs the identical sequence of durable-write steps — an armed
+    /// [`CrashClock`] cuts power at the identical machine state on every
+    /// replay.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Crashed`] when the crash clock fires mid-tick,
+    /// and media errors.
+    pub fn tick(&mut self, n: u64) -> Result<u64> {
+        let cfg = self.config.sched;
+        let mut total = 0u64;
+        for _ in 0..n {
+            let before = self.clock.steps_taken();
+            if self.draining.is_some() {
+                self.persist_poll()?;
+            }
+            for s in 0..self.shards.len() {
+                if !self.shards[s].has_background_work() {
+                    continue;
+                }
+                self.shards[s].background(
+                    &mut self.pool,
+                    &self.clock,
+                    &mut self.trace,
+                    cfg.log_drain_per_tick,
+                    cfg.writeback_per_tick,
+                )?;
+            }
+            let now = self.sched.advance();
+            self.metrics.inc(self.ctr.sched_ticks);
+            let work = self.clock.steps_taken() - before;
+            if work > 0 {
+                self.trace.record(COMPONENT, TraceEvent::Tick { tick: now, work });
+            }
+            total += work;
+        }
+        Ok(total)
+    }
+
+    /// Virtual ticks the scheduler has executed ([`PaxDevice::tick`]).
+    pub fn ticks_elapsed(&self) -> u64 {
+        self.sched.ticks()
     }
 
     /// Ends the current epoch: makes a crash-consistent snapshot durable
@@ -623,9 +721,10 @@ impl PaxDevice {
         if lagging {
             return Ok(None);
         }
-        // Phase 2: write back a few lines per poll.
+        // Phase 2: write back the scheduler's persist-drain budget per
+        // poll (clamped to 1 so `persist_wait` always makes progress).
         let nshards = self.shards.len();
-        for _ in 0..4 {
+        for _ in 0..self.config.sched.persist_drain_per_tick.max(1) {
             let Some(ds) = self.draining.as_mut() else { break };
             let Some(addr) = ds.queue.pop_front() else { break };
             // Lines resolved early (dirty_evict ordering) have no value.
@@ -990,6 +1089,100 @@ mod tests {
         }
         assert_eq!(device.metrics().undo_entries, 16);
         assert_eq!(device.log_durable_offset(), 0, "nothing drained, yet no store stalled");
+    }
+
+    #[test]
+    fn ticks_drain_the_log_without_foreground_traffic() {
+        let pool = PmPool::create(PoolConfig::small()).unwrap();
+        // Pump interval so large the request path never pumps: background
+        // progress can only come from explicit virtual ticks.
+        let config = DeviceConfig::default().with_log_pump_interval(usize::MAX);
+        let mut device = PaxDevice::open(pool, config).unwrap();
+        let mut cache = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+        for i in 0..8u64 {
+            cache.write(LineAddr(i), CacheLine::filled(1), &mut device).unwrap();
+        }
+        assert_eq!(device.log_durable_offset(), 0, "request path must not have pumped");
+
+        let work = device.tick(16).unwrap();
+        assert!(work > 0, "ticks must perform durable-write steps");
+        assert_eq!(device.log_durable_offset(), 8, "16 ticks x 2 entries covers 8 appends");
+        assert_eq!(device.ticks_elapsed(), 16);
+        assert_eq!(device.metrics().sched_ticks, 16);
+        // Working ticks leave trace evidence.
+        assert!(device.trace_dump().contains("\"type\":\"tick\""));
+    }
+
+    #[test]
+    fn tick_advances_a_draining_persist_to_commit() {
+        let pool = PmPool::create(PoolConfig::small()).unwrap();
+        let config = DeviceConfig::default().with_log_pump_interval(usize::MAX);
+        let mut device = PaxDevice::open(pool, config).unwrap();
+        let mut cache = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+        for i in 0..8u64 {
+            cache.write(LineAddr(i), CacheLine::filled(7), &mut device).unwrap();
+        }
+        let epoch = device.persist_async(&mut cache).unwrap();
+        assert_eq!(device.persist_pending(), Some(epoch));
+        // Only virtual time moves the drain forward.
+        for _ in 0..256 {
+            if device.persist_pending().is_none() {
+                break;
+            }
+            device.tick(1).unwrap();
+        }
+        assert_eq!(device.persist_pending(), None, "ticks alone must commit the epoch");
+        assert_eq!(device.committed_epoch().unwrap(), epoch);
+    }
+
+    #[test]
+    fn identical_tick_schedules_replay_identical_crash_states() {
+        let run = |crash_at: u64| -> (u64, Vec<CacheLine>) {
+            let pool = PmPool::create(PoolConfig::small()).unwrap();
+            let mut device = PaxDevice::open(pool, DeviceConfig::default().with_shards(4)).unwrap();
+            let mut cache = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+            device.crash_clock().arm(crash_at);
+            let mut interleave = || -> Result<()> {
+                for i in 0..16u64 {
+                    cache.write(LineAddr(i), CacheLine::filled(i as u8 + 1), &mut device)?;
+                    device.tick(2)?;
+                }
+                device.persist(&mut cache)?;
+                Ok(())
+            };
+            assert!(matches!(interleave(), Err(PmError::Crashed)));
+            let pool = device.crash_into_pool();
+            let mut device = PaxDevice::open(pool, DeviceConfig::default()).unwrap();
+            let committed = device.committed_epoch().unwrap();
+            let mut cache2 = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+            let state = (0..16u64)
+                .map(|i| cache2.read(LineAddr(i), &mut device).unwrap())
+                .collect::<Vec<_>>();
+            (committed, state)
+        };
+        for crash_at in [3, 9, 17] {
+            assert_eq!(run(crash_at), run(crash_at), "crash step {crash_at} must replay");
+        }
+    }
+
+    #[test]
+    fn skewed_traffic_no_longer_starves_other_shards() {
+        let (mut device, mut cache) = setup_sharded(4);
+        // Seed shard 1 with pending background work: a logged store whose
+        // dirty line the host evicts back to the device.
+        cache.write(LineAddr(1), CacheLine::filled(0xAB), &mut device).unwrap();
+        let line = cache.snoop_invalidate(LineAddr(1)).unwrap();
+        device.dirty_evict(LineAddr(1), line).unwrap();
+        // Then hammer shard 0 only.
+        for _ in 0..64 {
+            device.read_shared(LineAddr(0)).unwrap();
+        }
+        let m = device.metrics();
+        assert!(
+            m.background_writebacks >= 1,
+            "shard 1's dirty line must drain from donated idle steps, got {m:?}"
+        );
+        assert!(m.sched_idle_steps >= 1, "donated steps must be accounted");
     }
 
     #[test]

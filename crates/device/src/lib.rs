@@ -19,6 +19,9 @@
 //!   protocol as a cross-shard barrier with one atomic commit.
 //! * [`recovery`] — the §3.4 procedure: roll back every undo entry tagged
 //!   with an epoch newer than the pool's committed epoch.
+//! * [`sched`] — the virtual-time scheduler: background engines advance
+//!   on explicit, budgeted ticks in a fixed shard order, so progress is
+//!   decoupled from foreground traffic yet crash points stay replayable.
 //! * [`metrics`] — event counters consumed by the benchmark harness.
 //!
 //! # Example
@@ -49,6 +52,7 @@ pub mod endpoint;
 pub mod hbm;
 pub mod metrics;
 pub mod recovery;
+pub mod sched;
 pub mod shard;
 pub mod undo_log;
 
@@ -57,5 +61,6 @@ pub use endpoint::CxlEndpoint;
 pub use hbm::{EvictionPolicy, HbmCache, HbmConfig, HbmLine};
 pub use metrics::DeviceMetrics;
 pub use recovery::{recover, recover_traced, RecoveryReport};
+pub use sched::{DeviceScheduler, SchedConfig};
 pub use shard::DeviceShard;
 pub use undo_log::{UndoEntry, UndoLog, ENTRY_LINES};

@@ -49,6 +49,12 @@ pub struct DeviceMetrics {
     pub hbm_read_hits: u64,
     /// Reads that had to touch PM.
     pub pm_reads: u64,
+    /// Virtual ticks executed by the device scheduler
+    /// ([`PaxDevice::tick`](crate::PaxDevice::tick)).
+    pub sched_ticks: u64,
+    /// Durable-write steps donated round-robin to shards with pending
+    /// work but no traffic of their own (the pump-starvation fix).
+    pub sched_idle_steps: u64,
 }
 
 impl DeviceMetrics {
@@ -91,6 +97,8 @@ impl std::ops::Add for DeviceMetrics {
             persists: self.persists + rhs.persists,
             hbm_read_hits: self.hbm_read_hits + rhs.hbm_read_hits,
             pm_reads: self.pm_reads + rhs.pm_reads,
+            sched_ticks: self.sched_ticks + rhs.sched_ticks,
+            sched_idle_steps: self.sched_idle_steps + rhs.sched_idle_steps,
         }
     }
 }
@@ -113,6 +121,8 @@ pub(crate) struct DeviceCounters {
     pub(crate) persists: Counter,
     pub(crate) hbm_read_hits: Counter,
     pub(crate) pm_reads: Counter,
+    pub(crate) sched_ticks: Counter,
+    pub(crate) sched_idle_steps: Counter,
 }
 
 impl DeviceCounters {
@@ -132,6 +142,8 @@ impl DeviceCounters {
             persists: metrics.counter("persists"),
             hbm_read_hits: metrics.counter("hbm_read_hits"),
             pm_reads: metrics.counter("pm_reads"),
+            sched_ticks: metrics.counter("sched_ticks"),
+            sched_idle_steps: metrics.counter("sched_idle_steps"),
         }
     }
 
@@ -151,6 +163,8 @@ impl DeviceCounters {
             persists: metrics.get(self.persists),
             hbm_read_hits: metrics.get(self.hbm_read_hits),
             pm_reads: metrics.get(self.pm_reads),
+            sched_ticks: metrics.get(self.sched_ticks),
+            sched_idle_steps: metrics.get(self.sched_idle_steps),
         }
     }
 }

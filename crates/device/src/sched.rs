@@ -1,0 +1,176 @@
+//! Virtual-time device scheduler.
+//!
+//! The paper's home agent makes background progress continuously — "the
+//! device may write back a dirty line at any time once its undo entry is
+//! durable" (§3.2) — yet a functional simulation needs that progress to
+//! be *deterministic and replayable*, or armed crash points stop
+//! reproducing. [`DeviceScheduler`] squares the two: background engines
+//! advance only on explicit **virtual ticks**
+//! ([`PaxDevice::tick`](crate::PaxDevice::tick)), and each tick runs a
+//! fixed per-shard budget of work in a fixed shard order. Same writes +
+//! same tick schedule ⇒ the same sequence of durable-write steps ⇒ the
+//! same [`CrashClock`](pax_pm::CrashClock) crash state, always.
+//!
+//! The scheduler also owns the *foreground* pump bookkeeping: each shard
+//! earns credit from its own routed requests (replacing the old global
+//! `requests_since_pump` counter), and every pump donates one round-robin
+//! step to a different shard that has pending work but no traffic — so a
+//! shard can no longer starve behind a skewed access pattern.
+
+/// Per-tick engine budgets of a [`DeviceScheduler`].
+///
+/// The defaults match the request-path pump rates
+/// ([`DeviceConfig::log_pump_batch`](crate::DeviceConfig::log_pump_batch)
+/// = 2, `writeback_batch` = 1) and the persist drain rate `persist_poll`
+/// historically hard-coded (4), so a device driven only by foreground
+/// traffic behaves exactly as before this scheduler existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Undo-log entries each shard's logging engine drains per tick.
+    pub log_drain_per_tick: usize,
+    /// Dirty-durable lines each shard writes back per tick (§3.3's
+    /// proactive write back).
+    pub writeback_per_tick: usize,
+    /// Lines of a draining non-blocking persist written back per tick
+    /// (and per `persist_poll`).
+    pub persist_drain_per_tick: usize,
+}
+
+impl SchedConfig {
+    /// Returns the config with a different log-drain budget.
+    pub fn with_log_drain(mut self, n: usize) -> Self {
+        self.log_drain_per_tick = n;
+        self
+    }
+
+    /// Returns the config with a different write-back budget.
+    pub fn with_writeback(mut self, n: usize) -> Self {
+        self.writeback_per_tick = n;
+        self
+    }
+
+    /// Returns the config with a different persist-drain budget.
+    pub fn with_persist_drain(mut self, n: usize) -> Self {
+        self.persist_drain_per_tick = n;
+        self
+    }
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig { log_drain_per_tick: 2, writeback_per_tick: 1, persist_drain_per_tick: 4 }
+    }
+}
+
+/// Deterministic run-queue state for one device: virtual time, per-shard
+/// foreground pump credits, and the round-robin cursor for idle-shard
+/// service (see module docs).
+#[derive(Debug)]
+pub struct DeviceScheduler {
+    /// Virtual ticks executed so far.
+    ticks: u64,
+    /// Foreground requests each shard has accumulated toward its next
+    /// pump (its private run-queue depth).
+    credits: Vec<usize>,
+    /// Round-robin cursor over shards for the donated idle-shard step.
+    cursor: usize,
+}
+
+impl DeviceScheduler {
+    /// A scheduler for a device with `shards` run queues.
+    pub(crate) fn new(shards: usize) -> Self {
+        DeviceScheduler { ticks: 0, credits: vec![0; shards.max(1)], cursor: 0 }
+    }
+
+    /// Virtual ticks executed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Advances virtual time by one tick.
+    pub(crate) fn advance(&mut self) -> u64 {
+        self.ticks += 1;
+        self.ticks
+    }
+
+    /// Charges one foreground request to `shard`'s run queue; `true` when
+    /// the shard has accumulated `interval` requests and its pump is due
+    /// (the credit resets).
+    pub(crate) fn charge(&mut self, shard: usize, interval: usize) -> bool {
+        let credit = &mut self.credits[shard];
+        *credit += 1;
+        if *credit >= interval.max(1) {
+            *credit = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The next shard other than `routed` whose run queue reports pending
+    /// work, scanning round-robin from the cursor (which advances past the
+    /// pick, so service rotates fairly under sustained skew).
+    pub(crate) fn next_idle(
+        &mut self,
+        shards: usize,
+        routed: usize,
+        has_work: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        for i in 0..shards {
+            let s = (self.cursor + i) % shards;
+            if s != routed && has_work(s) {
+                self.cursor = (s + 1) % shards;
+                return Some(s);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budgets_match_the_legacy_pump_rates() {
+        let c = SchedConfig::default();
+        assert_eq!(c.log_drain_per_tick, 2);
+        assert_eq!(c.writeback_per_tick, 1);
+        assert_eq!(c.persist_drain_per_tick, 4);
+    }
+
+    #[test]
+    fn charge_is_per_shard_and_respects_the_interval() {
+        let mut sched = DeviceScheduler::new(2);
+        // Interval 2: every other request per shard, independently.
+        assert!(!sched.charge(0, 2));
+        assert!(!sched.charge(1, 2), "shard 1's credit is its own");
+        assert!(sched.charge(0, 2));
+        assert!(sched.charge(1, 2));
+        assert!(!sched.charge(0, 2), "credit reset after the pump");
+        // Interval 1 (and the degenerate 0) pump every request.
+        assert!(sched.charge(1, 1));
+        assert!(sched.charge(1, 0));
+    }
+
+    #[test]
+    fn next_idle_round_robins_and_skips_the_routed_shard() {
+        let mut sched = DeviceScheduler::new(4);
+        let all = |_s: usize| true;
+        assert_eq!(sched.next_idle(4, 0, all), Some(1));
+        assert_eq!(sched.next_idle(4, 0, all), Some(2));
+        assert_eq!(sched.next_idle(4, 0, all), Some(3));
+        assert_eq!(sched.next_idle(4, 0, all), Some(1), "cursor wraps past the routed shard");
+        assert_eq!(sched.next_idle(4, 2, |s| s == 2), None, "only the routed shard has work");
+        assert_eq!(sched.next_idle(1, 0, all), None, "an unsharded device has no other shard");
+    }
+
+    #[test]
+    fn virtual_time_is_monotonic() {
+        let mut sched = DeviceScheduler::new(1);
+        assert_eq!(sched.ticks(), 0);
+        assert_eq!(sched.advance(), 1);
+        assert_eq!(sched.advance(), 2);
+        assert_eq!(sched.ticks(), 2);
+    }
+}

@@ -353,6 +353,14 @@ impl DeviceShard {
         Ok(())
     }
 
+    /// Whether this shard's run queue has background work pending: undo
+    /// entries not yet durable, or dirty lines awaiting write back. The
+    /// scheduler consults this to donate idle-shard steps (and to skip
+    /// shards a tick would visit for nothing).
+    pub(crate) fn has_background_work(&self) -> bool {
+        self.log.pending_len() > 0 || !self.writeback_queue.is_empty()
+    }
+
     /// Undo-logs `addr` if this is its first modification of the epoch,
     /// returning the covering log offset.
     pub(crate) fn log_if_first(

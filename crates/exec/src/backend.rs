@@ -67,6 +67,13 @@ pub struct MachineParams {
     /// (HBM log-buffer append; the PM drain is asynchronous). Serial
     /// within a shard — this is what sharding parallelises.
     pub log_engine_ns: u64,
+    /// Period of the device's virtual-time scheduler tick, ns. Sustained
+    /// store throughput cannot outrun the background engines: a shard's
+    /// log bank admits at most one entry per tick, so its effective
+    /// append occupancy is `log_engine_ns.max(device_tick_ns)`. The
+    /// paper-default 25 ns equals `log_engine_ns` — a scheduler clocked
+    /// as fast as the append engine is invisible.
+    pub device_tick_ns: u64,
 }
 
 impl MachineParams {
@@ -85,6 +92,7 @@ impl MachineParams {
             hbm_hit_rate: 0.5,
             device_shards: 1,
             log_engine_ns: 25,
+            device_tick_ns: 25,
         }
     }
 }
@@ -236,7 +244,7 @@ impl Backend {
                     stages.push(Stage::UseAny {
                         first: logs,
                         count: shards,
-                        service_ns: machine.log_engine_ns,
+                        service_ns: machine.log_engine_ns.max(machine.device_tick_ns),
                     });
                 }
                 (SimMachine::new(resources), OpRecipe { stages })
@@ -354,6 +362,30 @@ mod tests {
     fn shard_count_one_is_the_default() {
         assert_eq!(MachineParams::paper().device_shards, 1);
         assert_eq!(MachineParams::default(), MachineParams::paper());
+    }
+
+    #[test]
+    fn default_tick_rate_is_invisible() {
+        // device_tick_ns == log_engine_ns by default, so the scheduler
+        // changes no number the model produced before it existed.
+        assert_eq!(MachineParams::paper().device_tick_ns, MachineParams::paper().log_engine_ns);
+        let explicit = MachineParams { device_tick_ns: 25, ..MachineParams::paper() };
+        assert_eq!(pax_mops(&explicit, 32), pax_mops(&MachineParams::paper(), 32));
+    }
+
+    #[test]
+    fn slow_ticks_throttle_sustained_store_throughput() {
+        // A scheduler ticking slower than the append engine becomes the
+        // log bank's bottleneck: stores queue behind the tick period.
+        let fast = pax_mops(&MachineParams::paper(), 32);
+        let slow = pax_mops(&MachineParams { device_tick_ns: 200, ..MachineParams::paper() }, 32);
+        assert!(slow < fast, "tick=200ns {slow} Mops vs tick=25ns {fast} Mops");
+        // Sharding still parallelises the (slower) banks.
+        let slow4 = pax_mops(
+            &MachineParams { device_tick_ns: 200, device_shards: 4, ..MachineParams::paper() },
+            32,
+        );
+        assert!(slow4 > slow, "S=4 {slow4} Mops vs S=1 {slow} Mops at tick=200ns");
     }
 
     #[test]

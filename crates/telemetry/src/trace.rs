@@ -70,6 +70,15 @@ pub enum TraceEvent {
         /// Restored line address.
         line: u64,
     },
+    /// One virtual tick of the device scheduler made background progress
+    /// (zero-work ticks are identity transitions and are not recorded).
+    Tick {
+        /// The scheduler's virtual-time tick counter after the tick.
+        tick: u64,
+        /// Durable-write steps performed during the tick (log drain,
+        /// write back, persist drain, commit).
+        work: u64,
+    },
 }
 
 impl TraceEvent {
@@ -81,6 +90,7 @@ impl TraceEvent {
             TraceEvent::EpochCommit { .. } => "epoch_commit",
             TraceEvent::Crash { .. } => "crash",
             TraceEvent::RecoveryStep { .. } => "recovery_step",
+            TraceEvent::Tick { .. } => "tick",
         }
     }
 
@@ -100,6 +110,9 @@ impl TraceEvent {
             TraceEvent::Crash { epoch } => base.field("epoch", Json::U64(*epoch)),
             TraceEvent::RecoveryStep { epoch, line } => {
                 base.field("epoch", Json::U64(*epoch)).field("line", Json::U64(*line))
+            }
+            TraceEvent::Tick { tick, work } => {
+                base.field("tick", Json::U64(*tick)).field("work", Json::U64(*work))
             }
         }
     }
@@ -134,6 +147,7 @@ impl TraceEvent {
                 epoch: u64_field("epoch")?,
                 line: u64_field("line")?,
             }),
+            "tick" => Ok(TraceEvent::Tick { tick: u64_field("tick")?, work: u64_field("work")? }),
             other => Err(format!("unknown event type '{other}'")),
         }
     }
@@ -346,6 +360,7 @@ mod tests {
         buf.record("dev", TraceEvent::EpochCommit { epoch: 2, entries: 1 });
         buf.record("dev", TraceEvent::Crash { epoch: 3 });
         buf.record("dev", TraceEvent::RecoveryStep { epoch: 3, line: 9 });
+        buf.record("dev", TraceEvent::Tick { tick: 41, work: 6 });
         let parsed = TraceBuf::parse_json_lines(&buf.dump_json_lines()).unwrap();
         let original: Vec<TraceRecord> = buf.records().cloned().collect();
         assert_eq!(parsed, original);

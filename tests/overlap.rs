@@ -207,6 +207,42 @@ fn oversized_single_epoch_still_reports_log_full() {
 }
 
 #[test]
+fn free_running_ticks_drain_an_async_persist_without_traffic() {
+    use pax_device::DeviceConfig;
+
+    // Foreground requests never pump (interval usize::MAX): the only
+    // background progress is the virtual-time scheduler — the decoupled
+    // "device makes progress on its own" deployment.
+    let free_running =
+        config().with_device(DeviceConfig::default().with_log_pump_interval(usize::MAX));
+    let pool = PaxPool::create(free_running).unwrap();
+    let vpm = pool.vpm();
+    for i in 0..32u64 {
+        vpm.write_u64(i * 64, i + 7).unwrap();
+    }
+    let epoch = pool.persist_async().unwrap();
+    assert_eq!(pool.committed_epoch().unwrap(), 0, "nothing committed yet");
+
+    // No further application traffic, no polls: ticks alone must flush
+    // the log, write everything back, and commit (bounded for safety).
+    let mut ticks_needed = 0u64;
+    while pool.persist_pending().unwrap().is_some() {
+        pool.run_device(1).unwrap();
+        ticks_needed += 1;
+        assert!(ticks_needed < 10_000, "drain must converge");
+    }
+    assert_eq!(pool.committed_epoch().unwrap(), epoch);
+
+    // The committed snapshot is the real thing: it survives a crash.
+    let pm = pool.crash().unwrap();
+    let pool = PaxPool::open(pm, config()).unwrap();
+    let vpm = pool.vpm();
+    for i in 0..32u64 {
+        assert_eq!(vpm.read_u64(i * 64).unwrap(), i + 7, "line {i}");
+    }
+}
+
+#[test]
 fn empty_async_epoch_commits() {
     let pool = PaxPool::create(config()).unwrap();
     let e = pool.persist_async().unwrap();

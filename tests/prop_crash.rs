@@ -318,6 +318,48 @@ proptest! {
         }
     }
 
+    /// Virtual-time determinism (the scheduler's contract): the same
+    /// write sequence interleaved with the same tick schedule, with the
+    /// crash clock armed at the same step, replays the IDENTICAL crash
+    /// state — crash outcome, committed epoch, and every recovered line.
+    #[test]
+    fn identical_tick_schedules_replay_identical_crash_states(
+        ticks in proptest::collection::vec(0u64..6, 8..32),
+        crash_offset in 1u64..250,
+    ) {
+        use libpax::MemSpace;
+
+        let run = || {
+            let pool = PaxPool::create(config()).unwrap();
+            let vpm = pool.vpm();
+            // A fresh pool's crash clock starts at step 0, so the same
+            // offset names the same durable-write step in both runs.
+            let clock = pool.crash_clock().unwrap();
+            clock.arm(crash_offset);
+            let outcome = (|| -> libpax::Result<()> {
+                for (i, &n) in ticks.iter().enumerate() {
+                    vpm.write_u64(i as u64 * 64, i as u64 + 1)?;
+                    pool.run_device(n)?;
+                    if i == ticks.len() / 2 {
+                        pool.persist_async()?;
+                    }
+                }
+                pool.persist()?;
+                Ok(())
+            })();
+            let crashed = outcome.is_err();
+
+            let pm = pool.crash().unwrap();
+            let pool = PaxPool::open(pm, config()).unwrap();
+            let committed = pool.committed_epoch().unwrap();
+            let vpm = pool.vpm();
+            let state: Vec<u64> =
+                (0..ticks.len() as u64).map(|i| vpm.read_u64(i * 64).unwrap()).collect();
+            (crashed, committed, state)
+        };
+        prop_assert_eq!(run(), run(), "same seed + same tick schedule must replay");
+    }
+
     /// The ordered map obeys the same snapshot invariant as the hash map,
     /// and its structural invariants hold after recovery (mid-rebalance
     /// states roll back atomically).
