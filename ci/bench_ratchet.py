@@ -12,11 +12,16 @@ Compares the current run's --json outputs against the previous run's
                                       ops_per_persist point)
   ablation_overlap inline_reduction   must be >= 0.95x baseline (per
                                       epoch_lines point, legacy series)
+  tenants          victim_ops_per_kstep  must be >= 0.95x baseline (per
+                                      solo/noisy series)
 
-Independently of any baseline, the free-running series of
-ablation_overlap must meet the absolute acceptance bar: at the largest
-tick budget, steady inline persist steps stay within 2x the snoop-sweep
-cost.
+Independently of any baseline, two absolute acceptance bars apply:
+
+  - the free-running series of ablation_overlap: at the largest tick
+    budget, steady inline persist steps stay within 2x the snoop-sweep
+    cost;
+  - the tenants isolation series: the noisy-neighbor victim keeps at
+    least 70% of its solo throughput (victim_ratio >= 0.70).
 
 A missing baseline file seeds the ratchet (exit 0); the workflow then
 saves CURRENT_DIR as the next run's baseline.
@@ -30,6 +35,8 @@ FIG2B_TOL = 0.95
 SNOOPS_TOL = 1.05
 REDUCTION_TOL = 0.95
 FREE_RUNNING_FACTOR = 2.0
+TENANTS_TOL = 0.95
+ISOLATION_FLOOR = 0.70
 
 
 def load(path: Path):
@@ -58,6 +65,42 @@ def check_free_running_acceptance(current, failures):
             f"free_running acceptance ok: inline {top['inline_steps']} <= "
             f"{bar:.0f} at tick_budget {top['tick_budget']}"
         )
+
+
+def check_tenant_isolation(current, failures):
+    """Absolute isolation floor, no baseline needed: the noisy-neighbor
+    victim keeps at least ISOLATION_FLOOR of its solo throughput."""
+    rows = [r for r in current["results"] if r.get("series") == "isolation"]
+    if not rows:
+        failures.append("tenants: isolation series missing")
+        return
+    ratio = rows[0]["victim_ratio"]
+    if ratio < ISOLATION_FLOOR:
+        failures.append(
+            f"tenants isolation: victim_ratio {ratio:.3f} below the "
+            f"{ISOLATION_FLOOR} floor (noisy neighbor starves the victim)"
+        )
+    else:
+        print(f"tenant isolation ok: victim_ratio {ratio:.3f} >= {ISOLATION_FLOOR}")
+
+
+def ratchet_tenants(baseline, current, failures):
+    base = {
+        r["series"]: r["victim_ops_per_kstep"]
+        for r in baseline["results"]
+        if "victim_ops_per_kstep" in r
+    }
+    for r in current["results"]:
+        key = r.get("series")
+        if key not in base or "victim_ops_per_kstep" not in r:
+            continue
+        floor = TENANTS_TOL * base[key]
+        if r["victim_ops_per_kstep"] < floor:
+            failures.append(
+                f"tenants {key}: victim_ops_per_kstep "
+                f"{r['victim_ops_per_kstep']:.1f} < {TENANTS_TOL}x baseline "
+                f"{base[key]:.1f}"
+            )
 
 
 def ratchet_fig2b(baseline, current, failures):
@@ -119,6 +162,7 @@ def main() -> int:
         "fig2b.json": ratchet_fig2b,
         "ablation_epoch.json": ratchet_ablation_epoch,
         "ablation_overlap.json": ratchet_ablation_overlap,
+        "tenants.json": ratchet_tenants,
     }
 
     overlap = load(current_dir / "ablation_overlap.json")
@@ -126,6 +170,12 @@ def main() -> int:
         failures.append("current ablation_overlap.json missing")
     else:
         check_free_running_acceptance(overlap, failures)
+
+    tenants = load(current_dir / "tenants.json")
+    if tenants is None:
+        failures.append("current tenants.json missing")
+    else:
+        check_tenant_isolation(tenants, failures)
 
     for name, ratchet in ratchets.items():
         current = load(current_dir / name)

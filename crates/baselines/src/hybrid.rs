@@ -193,7 +193,7 @@ impl MemSpace for HybridSpace {
                 let abs = state.pool.layout().vpm_to_pool(vline.0)?;
                 let old = state.pool.read_line(abs)?;
                 costs.pm_reads += 1;
-                state.log.append(UndoEntry { epoch: state.epoch, vpm_line: vline, old })?;
+                state.log.append(UndoEntry::single(state.epoch, vline, old))?;
                 costs.log_bytes += 128;
                 costs.pm_write_bytes += 128;
             }

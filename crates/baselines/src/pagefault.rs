@@ -172,7 +172,7 @@ impl MemSpace for PageFaultSpace {
                     let abs = state.pool.layout().vpm_to_pool(pline.0)?;
                     let old = state.pool.read_line(abs)?;
                     costs.pm_reads += 1;
-                    state.log.append(UndoEntry { epoch: state.epoch, vpm_line: pline, old })?;
+                    state.log.append(UndoEntry::single(state.epoch, pline, old))?;
                     costs.log_bytes += 128;
                     costs.pm_write_bytes += 128;
                 }

@@ -119,11 +119,7 @@ impl RedoSpace {
             state.buffer.iter().map(|(a, l)| (*a, l.clone())).collect();
         lines.sort_by_key(|(a, _)| a.0);
         for (addr, data) in &lines {
-            state.log.append(UndoEntry {
-                epoch: state.txid,
-                vpm_line: *addr,
-                old: data.clone(),
-            })?;
+            state.log.append(UndoEntry::single(state.txid, *addr, data.clone()))?;
             costs.log_bytes += 128;
             costs.pm_write_bytes += 128;
         }
@@ -297,11 +293,11 @@ mod tests {
         let mut pool = PmPool::create(PoolConfig::small()).unwrap();
         let clock = CrashClock::new();
         let mut log = UndoLog::new(&pool);
-        log.append(UndoEntry {
-            epoch: 1,
-            vpm_line: LineAddr(3),
-            old: CacheLine::filled(0x44), // redo: the NEW value
-        })
+        log.append(UndoEntry::single(
+            1,
+            LineAddr(3),
+            CacheLine::filled(0x44), // redo: the NEW value
+        ))
         .unwrap();
         log.flush(&mut pool, &clock).unwrap();
         pool.commit_epoch(1).unwrap();

@@ -208,7 +208,7 @@ impl MemSpace for WalSpace {
             if !state.logged.contains(&vline) {
                 let old = state.pool.read_line(abs)?;
                 costs.pm_reads += 1;
-                state.log.append(UndoEntry { epoch: state.txid, vpm_line: vline, old })?;
+                state.log.append(UndoEntry::single(state.txid, vline, old))?;
                 state.log.flush(&mut state.pool, &state.clock)?;
                 costs.sfences += 1;
                 costs.log_bytes += 128;

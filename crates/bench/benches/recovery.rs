@@ -16,12 +16,8 @@ fn crashed_pool(entries: u64) -> PmPool {
     let clock = CrashClock::new();
     let mut log = UndoLog::new(&pool);
     for i in 0..entries {
-        log.append(UndoEntry {
-            epoch: 1, // pool's committed epoch is 0 → all entries roll back
-            vpm_line: LineAddr(i),
-            old: CacheLine::filled(i as u8),
-        })
-        .expect("append");
+        // Pool's committed epoch is 0 → all entries roll back.
+        log.append(UndoEntry::single(1, LineAddr(i), CacheLine::filled(i as u8))).expect("append");
     }
     log.flush(&mut pool, &clock).expect("flush");
     pool

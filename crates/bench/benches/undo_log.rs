@@ -10,7 +10,7 @@ fn pool() -> PmPool {
 }
 
 fn entry(i: u64) -> UndoEntry {
-    UndoEntry { epoch: 1, vpm_line: LineAddr(i), old: CacheLine::filled(i as u8) }
+    UndoEntry::single(1, LineAddr(i), CacheLine::filled(i as u8))
 }
 
 fn bench_append(c: &mut Criterion) {

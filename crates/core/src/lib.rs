@@ -59,7 +59,7 @@ pub mod structures;
 pub use error::PaxError;
 pub use heap::Heap;
 pub use pod::Pod;
-pub use pool::{PaxConfig, PaxPool, VPm};
+pub use pool::{PaxConfig, PaxPool, PaxTenant, VPm};
 pub use snapshotter::{HwSnapshotter, PStructure, Persistent};
 pub use space::{MemSpace, VolatileSpace};
 pub use structures::{PBTreeMap, PHashMap, PList, PRing, PVec};

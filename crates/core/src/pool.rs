@@ -21,7 +21,7 @@ use pax_cache::{
     CacheConfig, CacheStats, CoherentCache, CoreComplex, Hierarchy, HierarchyConfig,
     HierarchyStats, HostSnoop,
 };
-use pax_device::{DeviceConfig, DeviceMetrics, PaxDevice, RecoveryReport};
+use pax_device::{even_split, DeviceConfig, DeviceMetrics, PaxDevice, RecoveryReport, TenantId};
 use pax_pm::{CrashClock, LineAddr, PmError, PmPool, PoolConfig, LINE_SIZE};
 use pax_telemetry::{MetricSet, MetricSnapshot, TelemetrySnapshot, TraceBuf};
 
@@ -49,6 +49,11 @@ pub struct PaxConfig {
     /// and retry instead of surfacing `LogFull` — the paper's "libpax can
     /// issue persist() periodically to limit undo log growth" (§3.2).
     pub auto_persist_on_log_full: bool,
+    /// Pool contexts (tenants) the device hosts. 1 is the classic
+    /// single-pool device; more splits the vPM range evenly into
+    /// independent tenant extents, each with its own epoch counter and
+    /// recovery state — attach to one with [`PaxPool::attach`].
+    pub tenants: usize,
 }
 
 impl PaxConfig {
@@ -92,6 +97,14 @@ impl PaxConfig {
         self.auto_persist_on_log_full = true;
         self
     }
+
+    /// Returns the config hosting `n` tenant pool contexts (even vPM
+    /// split, equal scheduler weights). A zero count is rejected when the
+    /// pool opens.
+    pub fn with_tenants(mut self, n: usize) -> Self {
+        self.tenants = n;
+        self
+    }
 }
 
 impl Default for PaxConfig {
@@ -103,6 +116,7 @@ impl Default for PaxConfig {
             instrument: None,
             cores: 1,
             auto_persist_on_log_full: false,
+            tenants: 1,
         }
     }
 }
@@ -247,7 +261,8 @@ impl PaxPool {
     /// Propagates recovery/media errors.
     pub fn open(pool: PmPool, config: PaxConfig) -> Result<Self> {
         let vpm_bytes = pool.layout().data_lines * LINE_SIZE as u64;
-        let device = PaxDevice::open(pool, config.device)?;
+        let regions = even_split(pool.layout().data_lines, config.tenants);
+        let device = PaxDevice::open_multi(pool, config.device, regions)?;
         Ok(PaxPool {
             inner: Arc::new(Mutex::new(Inner {
                 device: Some(device),
@@ -297,7 +312,44 @@ impl PaxPool {
             };
             assert!(core < cores, "core {core} out of range for {cores}-core host");
         }
-        VPm { inner: Arc::clone(&self.inner), vpm_bytes: self.vpm_bytes, core }
+        VPm { inner: Arc::clone(&self.inner), base_bytes: 0, vpm_bytes: self.vpm_bytes, core }
+    }
+
+    /// Attaches to tenant `t`'s pool context, returning a handle whose
+    /// vPM window and persist operations cover only that tenant's extent
+    /// — the multi-pool analogue of mapping one pool among many hosted by
+    /// the same device.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a config error for an out-of-range tenant, or if power
+    /// was already lost.
+    pub fn attach(&self, t: TenantId) -> Result<PaxTenant> {
+        let mut inner = self.inner.lock();
+        let device = inner.device()?;
+        if t >= device.tenant_count() {
+            return Err(PaxError::Pm(PmError::Config(format!(
+                "tenant {t} out of range for a {}-tenant pool",
+                device.tenant_count()
+            ))));
+        }
+        let region = device.tenants().region(t);
+        Ok(PaxTenant {
+            inner: Arc::clone(&self.inner),
+            tenant: t,
+            base_bytes: region.vpm_base * LINE_SIZE as u64,
+            vpm_bytes: region.vpm_lines * LINE_SIZE as u64,
+        })
+    }
+
+    /// Tenant pool contexts hosted by the device.
+    ///
+    /// # Errors
+    ///
+    /// Fails if power was already lost.
+    pub fn tenant_count(&self) -> Result<usize> {
+        let mut inner = self.inner.lock();
+        Ok(inner.device()?.tenant_count())
     }
 
     /// Cross-core transfer statistics (multi-core hosts only).
@@ -582,11 +634,123 @@ impl PaxPool {
     }
 }
 
+/// A handle onto one tenant's pool context of a multi-tenant
+/// [`PaxPool`]: its vPM window and its independent persist/epoch
+/// operations. Cheap to clone; all handles share the one simulated
+/// machine.
+#[derive(Debug, Clone)]
+pub struct PaxTenant {
+    inner: Arc<Mutex<Inner>>,
+    tenant: TenantId,
+    base_bytes: u64,
+    vpm_bytes: u64,
+}
+
+impl PaxTenant {
+    /// This handle's tenant index.
+    pub fn tenant_id(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// Bytes of vPM in this tenant's window.
+    pub fn vpm_bytes(&self) -> u64 {
+        self.vpm_bytes
+    }
+
+    /// The tenant's vPM mapping: address 0 is the tenant extent's base,
+    /// and accesses past the extent fail the bounds check — one tenant
+    /// cannot name another's lines through its own window.
+    pub fn vpm(&self) -> VPm {
+        self.vpm_for_core(0)
+    }
+
+    /// A vPM handle for this tenant running through `core`'s cache.
+    pub fn vpm_for_core(&self, core: usize) -> VPm {
+        VPm {
+            inner: Arc::clone(&self.inner),
+            base_bytes: self.base_bytes,
+            vpm_bytes: self.vpm_bytes,
+            core,
+        }
+    }
+
+    /// Ends this tenant's epoch: a barrier over the tenant's own lanes
+    /// only, ending in an atomic commit of its header epoch slot. Other
+    /// tenants' in-flight epochs are never flushed or stalled.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces simulated crashes and media errors.
+    pub fn persist(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let Inner { device, cache, .. } = &mut *inner;
+        let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
+        Ok(device.persist_tenant(self.tenant, cache)?)
+    }
+
+    /// Begins a non-blocking persist of this tenant's epoch (§6).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces simulated crashes and media errors.
+    pub fn persist_async(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        let Inner { device, cache, .. } = &mut *inner;
+        let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
+        Ok(device.persist_async_tenant(self.tenant, cache)?)
+    }
+
+    /// Advances this tenant's non-blocking persist; `Some(epoch)` when it
+    /// commits.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces simulated crashes and media errors.
+    pub fn persist_poll(&self) -> Result<Option<u64>> {
+        let mut inner = self.inner.lock();
+        Ok(inner.device()?.persist_poll_tenant(self.tenant)?)
+    }
+
+    /// Completes this tenant's non-blocking persist, if one is draining.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces simulated crashes and media errors.
+    pub fn persist_wait(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        Ok(inner.device()?.persist_wait_tenant(self.tenant)?)
+    }
+
+    /// The epoch this tenant is currently draining, if any.
+    ///
+    /// # Errors
+    ///
+    /// Fails if power was already lost.
+    pub fn persist_pending(&self) -> Result<Option<u64>> {
+        let mut inner = self.inner.lock();
+        Ok(inner.device()?.persist_pending_tenant(self.tenant))
+    }
+
+    /// This tenant's committed (recovery-point) epoch.
+    ///
+    /// # Errors
+    ///
+    /// Fails if power was already lost.
+    pub fn committed_epoch(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        Ok(inner.device()?.committed_epoch_for(self.tenant)?)
+    }
+}
+
 /// The mapped vPM range: a [`MemSpace`] whose every access runs the full
 /// host-cache → CXL → device path (see module docs).
 #[derive(Debug, Clone)]
 pub struct VPm {
     inner: Arc<Mutex<Inner>>,
+    /// First byte of the mapped window in device vPM space (non-zero for
+    /// a tenant's mapping, whose address 0 is its extent's base).
+    base_bytes: u64,
+    /// Bytes in the window; the bounds check is against this extent.
     vpm_bytes: u64,
     /// Which core's cache this mapping's accesses run through.
     core: usize,
@@ -626,7 +790,7 @@ impl MemSpace for VPm {
         self.check(addr, buf.len())?;
         let mut inner = self.inner.lock();
         let mut done = 0;
-        for (line, off, n) in Self::pieces(addr, buf.len()) {
+        for (line, off, n) in Self::pieces(self.base_bytes + addr, buf.len()) {
             let Inner { device, cache, hier, .. } = &mut *inner;
             let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
             if let Some(h) = hier {
@@ -643,7 +807,7 @@ impl MemSpace for VPm {
         self.check(addr, data.len())?;
         let mut inner = self.inner.lock();
         let mut done = 0;
-        for (line, off, n) in Self::pieces(addr, data.len()) {
+        for (line, off, n) in Self::pieces(self.base_bytes + addr, data.len()) {
             let Inner { device, cache, hier, auto_persist_on_log_full, .. } = &mut *inner;
             let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
             if let Some(h) = hier {
@@ -666,8 +830,13 @@ impl MemSpace for VPm {
                 Ok(()) => {}
                 Err(PmError::LogFull { .. }) if *auto_persist_on_log_full => {
                     // §3.2: persist periodically to limit undo log growth
-                    // — here, exactly when growth hits the limit.
-                    device.persist(cache)?;
+                    // — here, exactly when growth hits the limit, and only
+                    // for the tenant whose bank filled: another tenant's
+                    // open epoch must not be committed on its behalf.
+                    match device.tenant_of(line) {
+                        Some(t) => device.persist_tenant(t, cache)?,
+                        None => device.persist(cache)?,
+                    };
                     write_once(cache, device)?;
                 }
                 Err(e) => return Err(e.into()),
@@ -832,5 +1001,69 @@ mod tests {
         pool.crash().unwrap();
         assert!(pool.crash().is_err());
         assert!(pool.persist().is_err());
+    }
+
+    #[test]
+    fn tenants_have_windowed_vpm_and_independent_persist() {
+        let pool = PaxPool::create(PaxConfig::default().with_tenants(2)).unwrap();
+        assert_eq!(pool.tenant_count().unwrap(), 2);
+        let a = pool.attach(0).unwrap();
+        let b = pool.attach(1).unwrap();
+        assert!(pool.attach(2).is_err());
+        // Both tenants write at *their own* address 0 — distinct lines.
+        a.vpm().write_u64(0, 0xA).unwrap();
+        b.vpm().write_u64(0, 0xB).unwrap();
+        assert_eq!(a.vpm().read_u64(0).unwrap(), 0xA);
+        assert_eq!(b.vpm().read_u64(0).unwrap(), 0xB);
+        // A window cannot reach past its extent.
+        assert!(a.vpm().write_u64(a.vpm_bytes(), 1).is_err());
+        // A's persist commits A's epoch only.
+        assert_eq!(a.persist().unwrap(), 1);
+        assert_eq!(a.committed_epoch().unwrap(), 1);
+        assert_eq!(b.committed_epoch().unwrap(), 0);
+    }
+
+    #[test]
+    fn tenant_crash_recovers_each_window_independently() {
+        let config = PaxConfig::default().with_tenants(2);
+        let pool = PaxPool::create(config).unwrap();
+        let a = pool.attach(0).unwrap();
+        let b = pool.attach(1).unwrap();
+        a.vpm().write_u64(0, 1).unwrap();
+        b.vpm().write_u64(0, 1).unwrap();
+        a.persist().unwrap();
+        b.persist().unwrap();
+        a.vpm().write_u64(0, 2).unwrap();
+        b.vpm().write_u64(0, 2).unwrap();
+        b.persist().unwrap(); // only B's second epoch commits
+
+        let pm = pool.crash().unwrap();
+        let reopened = PaxPool::open(pm, config).unwrap();
+        let a2 = reopened.attach(0).unwrap();
+        let b2 = reopened.attach(1).unwrap();
+        assert_eq!(a2.vpm().read_u64(0).unwrap(), 1, "A rolls back to its epoch 1");
+        assert_eq!(b2.vpm().read_u64(0).unwrap(), 2, "B keeps its epoch 2");
+        assert_eq!(a2.committed_epoch().unwrap(), 1);
+        assert_eq!(b2.committed_epoch().unwrap(), 2);
+    }
+
+    #[test]
+    fn log_full_auto_persist_commits_only_the_filling_tenant() {
+        let mut cfg = PoolConfig::small();
+        // A log region small enough to fill quickly once split across the
+        // tenants' banks.
+        cfg.log_bytes = 64 * LINE_SIZE;
+        let config =
+            PaxConfig::default().with_pool(cfg).with_tenants(2).with_auto_persist_on_log_full();
+        let pool = PaxPool::create(config).unwrap();
+        let a = pool.attach(0).unwrap();
+        let b = pool.attach(1).unwrap();
+        b.vpm().write_u64(0, 7).unwrap();
+        // Hammer distinct lines through A until its bank must recycle.
+        for i in 0..256u64 {
+            a.vpm().write_u64((i % 128) * LINE_SIZE as u64, i).unwrap();
+        }
+        assert!(a.committed_epoch().unwrap() >= 1, "A auto-persisted on log full");
+        assert_eq!(b.committed_epoch().unwrap(), 0, "B's open epoch was not committed for it");
     }
 }

@@ -12,13 +12,19 @@
 //! lines internally — mirroring how a real PAX owns the physical range it
 //! exposes.
 //!
-//! Internally the per-line state lives in `S` address-interleaved
-//! [`DeviceShard`]s (line → shard `addr % S`): each shard owns its slice
-//! of the HBM buffer, its bank of the undo-log region, its write-back
-//! queue, and its own metric registry. Requests route to exactly one shard
-//! with no cross-shard coupling; only the epoch is global — `persist()` is
-//! a cross-shard barrier ending in a single atomic commit, so sharding
-//! multiplies concurrency without touching the crash-consistency argument.
+//! Internally the per-line state lives in **lanes**: the cross product of
+//! `T` tenant pool contexts ([`TenantMap`]) and `S` address-interleaved
+//! shards, tenant `t`'s line `addr` landing in lane `t*S + addr % S`. Each
+//! lane owns its slice of the HBM buffer, its bank of the undo-log region,
+//! its write-back queue, and its own metric registry. Requests route to
+//! exactly one lane with no cross-lane coupling, and the epoch is **per
+//! tenant** — tenant `t`'s `persist()` is a barrier across `t`'s own `S`
+//! lanes only, ending in an atomic commit of `t`'s header epoch slot. One
+//! tenant persisting or hammering its log never flushes, stalls, or
+//! commits another tenant's in-flight epoch; what tenants share is
+//! capacity (HBM, log region) and time (per-shard tick budgets divided by
+//! scheduler weight). A single-tenant device (`T = 1`, the [`PaxDevice::open`]
+//! default) degenerates to the classic sharded device exactly.
 
 use std::collections::{HashMap, VecDeque};
 
@@ -29,8 +35,9 @@ use pax_telemetry::{MetricSet, MetricSnapshot, TraceBuf, TraceEvent};
 use crate::hbm::{HbmConfig, HbmLine};
 use crate::metrics::{DeviceCounters, DeviceMetrics};
 use crate::recovery::{recover_traced, RecoveryReport};
-use crate::sched::{DeviceScheduler, SchedConfig};
+use crate::sched::{weighted_budget, DeviceScheduler, SchedConfig};
 use crate::shard::{split_log_region, tick, DeviceShard};
+use crate::tenant::{TenantId, TenantMap, TenantRegion};
 
 /// Component name stamped on the device's metrics and trace records.
 const COMPONENT: &str = "device";
@@ -39,10 +46,10 @@ const COMPONENT: &str = "device";
 #[derive(Debug, Clone, Copy)]
 pub struct DeviceConfig {
     /// HBM buffer geometry and eviction policy (split evenly across
-    /// shards).
+    /// lanes).
     pub hbm: HbmConfig,
     /// Undo-log entries drained per pump — the background rate of each
-    /// shard's asynchronous logging engine.
+    /// lane's asynchronous logging engine.
     pub log_pump_batch: usize,
     /// Pump once every this many host requests (1 = every request).
     /// Larger intervals model a logging engine that lags bursts, which is
@@ -56,9 +63,8 @@ pub struct DeviceConfig {
     /// Most recent trace events retained by the device's [`TraceBuf`]
     /// (0 disables tracing entirely).
     pub trace_capacity: usize,
-    /// Address-interleaved shards the device's per-line state is split
-    /// into (clamped so every shard's log bank holds at least one entry).
-    /// 1 = the unsharded device.
+    /// Address-interleaved shards each tenant's per-line state is split
+    /// into. 1 = the unsharded device.
     pub shards: usize,
     /// Per-tick engine budgets of the virtual-time scheduler
     /// ([`PaxDevice::tick`]); the persist-drain budget also paces
@@ -79,13 +85,10 @@ impl DeviceConfig {
         self
     }
 
-    /// Returns the config with a different log pump interval.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
+    /// Returns the config with a different log pump interval. A zero
+    /// interval is rejected by [`DeviceConfig::validate`] when the device
+    /// opens.
     pub fn with_log_pump_interval(mut self, n: usize) -> Self {
-        assert!(n > 0, "pump interval must be at least 1");
         self.log_pump_interval = n;
         self
     }
@@ -103,13 +106,9 @@ impl DeviceConfig {
         self
     }
 
-    /// Returns the config with a different shard count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
+    /// Returns the config with a different shard count. A zero count is
+    /// rejected by [`DeviceConfig::validate`] when the device opens.
     pub fn with_shards(mut self, n: usize) -> Self {
-        assert!(n > 0, "shard count must be at least 1");
         self.shards = n;
         self
     }
@@ -118,6 +117,35 @@ impl DeviceConfig {
     pub fn with_sched(mut self, sched: SchedConfig) -> Self {
         self.sched = sched;
         self
+    }
+
+    /// Checks the config against a device hosting `tenants` pool
+    /// contexts. Run by [`PaxDevice::open_multi`] before any state is
+    /// built, so a bad geometry is a typed error, not a panic deep in
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::Config`] when the shard count or pump interval
+    /// is zero, or the HBM cannot give each of the `shards × tenants`
+    /// lanes at least one full associativity set.
+    pub fn validate(&self, tenants: usize) -> Result<()> {
+        if self.shards == 0 {
+            return Err(PmError::Config("shard count must be at least 1".into()));
+        }
+        if self.log_pump_interval == 0 {
+            return Err(PmError::Config("log pump interval must be at least 1".into()));
+        }
+        let lanes = self.shards * tenants.max(1);
+        let set_bytes = self.hbm.ways * pax_pm::LINE_SIZE;
+        if set_bytes == 0 || self.hbm.capacity_bytes / lanes < set_bytes {
+            return Err(PmError::Config(format!(
+                "HBM capacity of {} B cannot give each of {lanes} lanes \
+                 (shards x tenants) one {}-way set",
+                self.hbm.capacity_bytes, self.hbm.ways
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -136,19 +164,20 @@ impl Default for DeviceConfig {
     }
 }
 
-/// In-flight state of a non-blocking persist (§6 "make persist() fully
-/// non-blocking, so that epochs overlap").
+/// In-flight state of one tenant's non-blocking persist (§6 "make
+/// persist() fully non-blocking, so that epochs overlap").
 #[derive(Debug)]
 struct DrainState {
     /// The epoch being made durable.
     epoch: u64,
-    /// Lines still to be written to PM, in (shard, log-offset) order.
+    /// Lines still to be written to PM, in (lane, log-offset) order.
     queue: VecDeque<LineAddr>,
     /// The epoch-final value of each queued line. Also consulted by
     /// `resolve`, because these values are newer than PM until written.
     values: HashMap<LineAddr, CacheLine>,
-    /// Per-shard log offset (exclusive) that must be durable before
-    /// writes proceed — the epoch's slots, which commit frees.
+    /// Per-lane log offset (exclusive) over the tenant's `S` lanes in
+    /// phase order that must be durable before writes proceed — the
+    /// epoch's slots, which commit frees.
     flush_to: Vec<u64>,
     /// Lines logged in the draining epoch (for the commit trace event).
     entries: u64,
@@ -160,18 +189,26 @@ pub struct PaxDevice {
     pool: PmPool,
     clock: CrashClock,
     config: DeviceConfig,
-    /// The address-interleaved per-line state (line → shard `addr % S`).
+    /// The validated tenant layout; [`PaxDevice::open`] installs a single
+    /// tenant spanning the whole data region.
+    tenants: TenantMap,
+    /// Physical interleave `S`: tenant `t`'s line `addr` lives in lane
+    /// `t*S + addr % S`.
+    stride: usize,
+    /// The per-line state, one [`DeviceShard`] per lane (`T*S` total,
+    /// tenant-major).
     shards: Vec<DeviceShard>,
-    /// The epoch currently being built (= committed epoch + 1).
-    current_epoch: u64,
-    /// A previous epoch still being made durable (non-blocking persist).
-    draining: Option<DrainState>,
-    /// Virtual-time run-queue state: per-shard pump credits, the
-    /// round-robin idle-service cursor, and the tick counter.
+    /// Per tenant: the epoch currently being built (= that tenant's
+    /// committed epoch + 1).
+    epochs: Vec<u64>,
+    /// Per tenant: a previous epoch still being made durable
+    /// (non-blocking persist).
+    draining: Vec<Option<DrainState>>,
+    /// Virtual-time run-queue state: per-lane pump credits and adaptive
+    /// boosts, the round-robin idle-service cursor, and the tick counter.
     sched: DeviceScheduler,
-    /// Device-level counter registry: epoch/persist-path events that
-    /// belong to no single shard. Shard registries merge into it in every
-    /// snapshot.
+    /// Device-level counter registry: scheduler events that belong to no
+    /// single lane. Lane registries merge into it in every snapshot.
     metrics: MetricSet,
     /// Counter handles into `metrics`.
     ctr: DeviceCounters,
@@ -182,30 +219,68 @@ pub struct PaxDevice {
 }
 
 impl PaxDevice {
-    /// Opens a device over `pool`, running §3.4 recovery first: any undo
-    /// entries newer than the pool's committed epoch are rolled back, so
-    /// the application always observes the last persisted snapshot.
+    /// Opens a single-tenant device over `pool`, running §3.4 recovery
+    /// first: any undo entries newer than the pool's committed epoch are
+    /// rolled back, so the application always observes the last persisted
+    /// snapshot.
     ///
     /// # Errors
     ///
-    /// Surfaces media errors from the recovery scan/rollback.
-    pub fn open(mut pool: PmPool, config: DeviceConfig) -> Result<Self> {
+    /// Surfaces [`PmError::Config`] from [`DeviceConfig::validate`] and
+    /// media errors from the recovery scan/rollback.
+    pub fn open(pool: PmPool, config: DeviceConfig) -> Result<Self> {
+        let data_lines = pool.layout().data_lines;
+        Self::open_multi(pool, config, vec![TenantRegion::new(0, data_lines)])
+    }
+
+    /// Opens a device exposing one pool context per entry of `regions`:
+    /// tenant `t` owns `regions[t]`'s vPM extent, epoch counter, header
+    /// epoch slot, and recovery state. Recovery runs first and rolls each
+    /// tenant back against its *own* committed epoch, even though all
+    /// tenants' undo entries interleave in the shared log region.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Config`] for an invalid device geometry or
+    /// tenant layout (overlapping, zero-length, or out-of-bounds regions),
+    /// and media errors from recovery.
+    pub fn open_multi(
+        mut pool: PmPool,
+        config: DeviceConfig,
+        regions: Vec<TenantRegion>,
+    ) -> Result<Self> {
+        config.validate(regions.len())?;
+        let tenants = TenantMap::new(regions, pool.layout().data_lines)?;
+        let t = tenants.len();
         let mut trace = TraceBuf::new(config.trace_capacity);
         let recovery = recover_traced(&mut pool, &mut trace)?;
-        let current_epoch = recovery.committed_epoch + 1;
-        let banks = split_log_region(&pool, config.shards);
-        let stride = banks.len();
+        let epochs =
+            (0..t).map(|i| Ok(pool.committed_epoch_for(i)? + 1)).collect::<Result<Vec<u64>>>()?;
+        let banks = split_log_region(&pool, config.shards * t);
+        if !banks.len().is_multiple_of(t) {
+            return Err(PmError::Config(format!(
+                "log region holds only {} banks, not divisible across {t} tenants",
+                banks.len()
+            )));
+        }
+        let stride = banks.len() / t;
+        let lanes = banks.len();
         let shards: Vec<DeviceShard> = banks
             .iter()
             .enumerate()
-            .map(|(i, &(base, cap))| DeviceShard::new(i, stride, config.hbm, base, cap))
+            .map(|(i, &(base, cap))| {
+                DeviceShard::new(i, i / stride, stride, lanes, config.hbm, base, cap)
+            })
             .collect();
         let mut metrics = MetricSet::new(COMPONENT);
         let ctr = DeviceCounters::register(&mut metrics);
-        // The shard count is a telemetry dimension: reports can tell a
-        // sharded device's numbers apart without out-of-band context.
+        // The shard and tenant counts are telemetry dimensions: reports
+        // can tell a partitioned device's numbers apart without
+        // out-of-band context.
         let shards_gauge = metrics.counter("shards");
         metrics.add(shards_gauge, stride as u64);
+        let tenants_gauge = metrics.counter("tenants");
+        metrics.add(tenants_gauge, t as u64);
         // So are the tick budgets: a trace full of `tick` events is only
         // replayable knowing how much work each tick was allowed.
         for (name, value) in [
@@ -220,10 +295,12 @@ impl PaxDevice {
             pool,
             clock: CrashClock::new(),
             config,
+            tenants,
+            stride,
             shards,
-            current_epoch,
-            draining: None,
-            sched: DeviceScheduler::new(stride),
+            epochs,
+            draining: (0..t).map(|_| None).collect(),
+            sched: DeviceScheduler::new(lanes),
             metrics,
             ctr,
             trace,
@@ -236,23 +313,55 @@ impl PaxDevice {
         self.recovery
     }
 
-    /// The epoch currently being built.
+    /// The epoch currently being built (tenant 0's on a multi-tenant
+    /// device; see [`PaxDevice::current_epoch_for`]).
     pub fn current_epoch(&self) -> u64 {
-        self.current_epoch
+        self.epochs[0]
     }
 
-    /// The committed (recovery-point) epoch.
+    /// The epoch tenant `t` is currently building.
+    pub fn current_epoch_for(&self, t: TenantId) -> u64 {
+        self.epochs[t]
+    }
+
+    /// The committed (recovery-point) epoch (tenant 0's).
     pub fn committed_epoch(&mut self) -> Result<u64> {
         self.pool.committed_epoch()
     }
 
-    /// Shards the device's per-line state is interleaved across.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
+    /// Tenant `t`'s committed (recovery-point) epoch.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Config`] for an out-of-range tenant and media
+    /// errors.
+    pub fn committed_epoch_for(&mut self, t: TenantId) -> Result<u64> {
+        self.pool.committed_epoch_for(t)
     }
 
-    /// Cumulative event counters: the field-wise sum of every shard's
-    /// typed view plus the device-level (persist-path) counters.
+    /// Physical shards each tenant's per-line state is interleaved
+    /// across.
+    pub fn shard_count(&self) -> usize {
+        self.stride
+    }
+
+    /// Pool contexts this device hosts.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The validated tenant layout.
+    pub fn tenants(&self) -> &TenantMap {
+        &self.tenants
+    }
+
+    /// The tenant owning vPM line `addr`, if any region contains it.
+    pub fn tenant_of(&self, addr: LineAddr) -> Option<TenantId> {
+        self.tenants.tenant_of(addr)
+    }
+
+    /// Cumulative event counters: the field-wise sum of every lane's
+    /// typed view plus the device-level (scheduler) counters.
     pub fn metrics(&self) -> DeviceMetrics {
         self.shards
             .iter()
@@ -260,11 +369,26 @@ impl PaxDevice {
             .fold(self.ctr.view(&self.metrics), |acc, m| acc + m)
     }
 
-    /// Snapshot of the device's metric registry, with every shard's
+    /// Snapshot of the device's metric registry, with every lane's
     /// registry merged in (counter-wise sums under one `device`
-    /// component).
+    /// component). A sharded device additionally rolls each physical
+    /// shard up under a `shard{s}/` label, and a multi-tenant device each
+    /// tenant under `tenant{t}/` — both rollups conserve: the labeled
+    /// counters sum to the plain totals.
     pub fn metric_snapshot(&self) -> MetricSnapshot {
-        self.shards.iter().fold(self.metrics.snapshot(), |acc, s| acc.merge(&s.snapshot()))
+        let mut snap =
+            self.shards.iter().fold(self.metrics.snapshot(), |acc, s| acc.merge(&s.snapshot()));
+        if self.stride > 1 {
+            for (i, lane) in self.shards.iter().enumerate() {
+                snap = snap.merge_labeled(&format!("shard{}", i % self.stride), &lane.snapshot());
+            }
+        }
+        if self.tenants.len() > 1 {
+            for (i, lane) in self.shards.iter().enumerate() {
+                snap = snap.merge_labeled(&format!("tenant{}", i / self.stride), &lane.snapshot());
+            }
+        }
+        snap
     }
 
     /// The device's structured event trace.
@@ -277,14 +401,25 @@ impl PaxDevice {
         self.trace.dump_json_lines()
     }
 
-    /// Undo-log entries appended in the current epoch (all shards).
+    /// Undo-log entries appended in the current epoch (all lanes).
     pub fn epoch_log_len(&self) -> usize {
         self.shards.iter().map(|s| s.epoch_log_len()).sum()
     }
 
-    /// Total entries drained durably across all shard log banks.
+    /// Undo-log entries tenant `t` appended in its current epoch.
+    pub fn epoch_log_len_for(&self, t: TenantId) -> usize {
+        self.tenant_lanes(t).map(|l| self.shards[l].epoch_log_len()).sum()
+    }
+
+    /// Total entries drained durably across all lane log banks.
     pub fn log_durable_offset(&self) -> u64 {
         self.shards.iter().map(|s| s.log_durable_offset()).sum()
+    }
+
+    /// Undo-log entries tenant `t` has appended but not yet drained
+    /// durably — the backlog the scheduler's weighted budgets work off.
+    pub fn log_pending_for(&self, t: TenantId) -> usize {
+        self.tenant_lanes(t).map(|l| self.shards[l].log.pending_len()).sum()
     }
 
     /// A handle to the crash clock shared with this device; arm it to cut
@@ -293,7 +428,7 @@ impl PaxDevice {
         self.clock.clone()
     }
 
-    /// HBM read hit rate so far (aggregated over shards).
+    /// HBM read hit rate so far (aggregated over lanes).
     pub fn hbm_hit_rate(&self) -> f64 {
         let hits: u64 = self.shards.iter().map(|s| s.hbm.hits()).sum();
         let misses: u64 = self.shards.iter().map(|s| s.hbm.misses()).sum();
@@ -322,11 +457,13 @@ impl PaxDevice {
     /// final metric snapshot — forensic state a real crash would leave in
     /// the debugger, which the pool layer stashes for post-mortems.
     pub fn crash_into_parts(mut self) -> (PmPool, TraceBuf, MetricSnapshot) {
-        self.trace.record(COMPONENT, TraceEvent::Crash { epoch: self.current_epoch });
+        self.trace.record(COMPONENT, TraceEvent::Crash { epoch: self.epochs[0] });
         for shard in &mut self.shards {
             shard.crash();
         }
-        self.draining = None;
+        for d in &mut self.draining {
+            *d = None;
+        }
         self.pool.crash();
         let snapshot = self.metric_snapshot();
         (self.pool, self.trace, snapshot)
@@ -350,18 +487,34 @@ impl PaxDevice {
         self.pool
     }
 
-    /// The shard owning `addr` — the interleave is plain modulo.
-    fn shard_of(&self, addr: LineAddr) -> usize {
-        addr.0 as usize % self.shards.len()
+    /// The lanes belonging to tenant `t`, in phase order.
+    fn tenant_lanes(&self, t: TenantId) -> std::ops::Range<usize> {
+        t * self.stride..(t + 1) * self.stride
     }
 
-    /// The device's view of the current contents of `vpm` line: the
-    /// owning shard's HBM first, then a draining epoch's captured value,
-    /// then PM.
-    fn resolve(&mut self, addr: LineAddr) -> Result<CacheLine> {
-        let drain_value = self.draining.as_ref().and_then(|d| d.values.get(&addr)).cloned();
-        let s = self.shard_of(addr);
-        let shard = &mut self.shards[s];
+    /// The lane owning `addr`: its tenant's slice, interleaved by plain
+    /// modulo.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::OutOfBounds`] when no tenant region contains
+    /// `addr`.
+    fn lane_of(&self, addr: LineAddr) -> Result<usize> {
+        match self.tenants.tenant_of(addr) {
+            Some(t) => Ok(t * self.stride + addr.0 as usize % self.stride),
+            None => {
+                Err(PmError::OutOfBounds { addr, capacity_lines: self.pool.layout().data_lines })
+            }
+        }
+    }
+
+    /// The device's view of the current contents of the vPM line at
+    /// `addr` (owned by `lane`): the lane's HBM first, then the owning
+    /// tenant's draining-epoch captured value, then PM.
+    fn resolve(&mut self, lane: usize, addr: LineAddr) -> Result<CacheLine> {
+        let t = lane / self.stride;
+        let drain_value = self.draining[t].as_ref().and_then(|d| d.values.get(&addr)).cloned();
+        let shard = &mut self.shards[lane];
         shard.resolve(
             &mut self.pool,
             &self.clock,
@@ -372,19 +525,19 @@ impl PaxDevice {
         )
     }
 
-    /// One background step on the shard a request routed to: advance any
-    /// draining persist, then let that shard's free-running engines pump
-    /// the log and write back. Each shard earns pump credit from its *own*
-    /// traffic (a skewed workload cannot eat another shard's budget), and
-    /// every pump donates one round-robin step to a different shard with
-    /// pending work — so a shard without traffic still drains instead of
+    /// One background step on the lane a request routed to: advance any
+    /// draining persist, then let that lane's free-running engines pump
+    /// the log and write back. Each lane earns pump credit from its *own*
+    /// traffic (a skewed workload cannot eat another lane's budget), and
+    /// every pump donates one round-robin step to a different lane with
+    /// pending work — so a lane without traffic still drains instead of
     /// starving until the next `persist()`.
-    fn background(&mut self, shard_idx: usize) -> Result<()> {
-        if !self.sched.charge(shard_idx, self.config.log_pump_interval) {
+    fn background(&mut self, lane: usize) -> Result<()> {
+        if !self.sched.charge(lane, self.config.log_pump_interval) {
             return Ok(());
         }
         self.persist_poll()?;
-        let shard = &mut self.shards[shard_idx];
+        let shard = &mut self.shards[lane];
         shard.background(
             &mut self.pool,
             &self.clock,
@@ -392,14 +545,14 @@ impl PaxDevice {
             self.config.log_pump_batch,
             self.config.writeback_batch,
         )?;
-        // The donated idle-shard step runs at unit rate, gated on the same
+        // The donated idle-lane step runs at unit rate, gated on the same
         // knobs (a device with pumping disabled stays fully quiescent).
         let idle_log = self.config.log_pump_batch.min(1);
         let idle_wb = self.config.writeback_batch.min(1);
         if self.shards.len() > 1 && idle_log + idle_wb > 0 {
             let shards = &self.shards;
             let idle =
-                self.sched.next_idle(shards.len(), shard_idx, |s| shards[s].has_background_work());
+                self.sched.next_idle(shards.len(), lane, |s| shards[s].has_background_work());
             if let Some(s) = idle {
                 let before = self.clock.steps_taken();
                 self.shards[s].background(
@@ -418,16 +571,21 @@ impl PaxDevice {
     /// Advances the device's free-running engines by `n` **virtual
     /// ticks**, fully decoupled from foreground traffic: each tick first
     /// moves any draining non-blocking persist along
-    /// ([`SchedConfig::persist_drain_per_tick`]), then runs every shard's
-    /// log-drain and write-back engines at their per-tick budgets, in
-    /// shard-index order. Returns the number of durable-write steps
-    /// performed.
+    /// ([`SchedConfig::persist_drain_per_tick`]), then runs every lane's
+    /// log-drain and write-back engines, in lane-index order. Within each
+    /// physical shard the tick budgets are divided across the tenants
+    /// that have pending work by their scheduler weight, floored at one
+    /// unit — a log-hammering tenant gets a proportional share, never the
+    /// whole shard, and a light tenant always makes progress. In adaptive
+    /// mode ([`SchedConfig::adaptive`]) each lane's log budget scales
+    /// with its observed backlog before the weighted split.
     ///
     /// Determinism contract: ticks are the device's only time source, so
     /// the same request sequence interleaved with the same tick schedule
     /// performs the identical sequence of durable-write steps — an armed
     /// [`CrashClock`] cuts power at the identical machine state on every
-    /// replay.
+    /// replay. (The adaptive controller keeps this: its only inputs are
+    /// queue depths, never wall-clock time.)
     ///
     /// # Errors
     ///
@@ -438,20 +596,35 @@ impl PaxDevice {
         let mut total = 0u64;
         for _ in 0..n {
             let before = self.clock.steps_taken();
-            if self.draining.is_some() {
+            if self.draining.iter().any(Option::is_some) {
                 self.persist_poll()?;
             }
-            for s in 0..self.shards.len() {
-                if !self.shards[s].has_background_work() {
-                    continue;
+            for s in 0..self.stride {
+                let active: Vec<usize> = (0..self.tenants.len())
+                    .map(|t| t * self.stride + s)
+                    .filter(|&l| self.shards[l].has_background_work())
+                    .collect();
+                let active_weight: u64 =
+                    active.iter().map(|&l| self.tenants.weight(l / self.stride) as u64).sum();
+                for &l in &active {
+                    let w = self.tenants.weight(l / self.stride) as u64;
+                    let log_budget =
+                        weighted_budget(self.sched.log_budget(l, &cfg), w, active_weight);
+                    let wb_budget = weighted_budget(cfg.writeback_per_tick, w, active_weight);
+                    self.shards[l].background(
+                        &mut self.pool,
+                        &self.clock,
+                        &mut self.trace,
+                        log_budget,
+                        wb_budget,
+                    )?;
                 }
-                self.shards[s].background(
-                    &mut self.pool,
-                    &self.clock,
-                    &mut self.trace,
-                    cfg.log_drain_per_tick,
-                    cfg.writeback_per_tick,
-                )?;
+            }
+            if cfg.adaptive {
+                for l in 0..self.shards.len() {
+                    let pending = self.shards[l].log.pending_len();
+                    self.sched.observe_log_depth(l, pending, &cfg);
+                }
             }
             let now = self.sched.advance();
             self.metrics.inc(self.ctr.sched_ticks);
@@ -469,47 +642,71 @@ impl PaxDevice {
         self.sched.ticks()
     }
 
-    /// Ends the current epoch: makes a crash-consistent snapshot durable
-    /// and returns the committed epoch number (§3.3).
-    ///
-    /// This is the cross-shard barrier. Steps, in order: (1) drain every
-    /// shard's undo-log bank; (2) for every line logged this epoch (shard
-    /// by shard, in log order within each), send a `SnpData` snoop to the
-    /// host cache, which downgrades the line and forwards its current
-    /// value; (3) write every modified line back to PM; (4) drain PM;
-    /// (5) atomically commit the epoch number in the pool header — one
-    /// commit for all shards.
+    /// Ends every tenant's current epoch in tenant order and returns
+    /// tenant 0's committed epoch number — the single-tenant (and legacy)
+    /// `persist()`. Multi-tenant callers wanting an independent barrier
+    /// use [`PaxDevice::persist_tenant`].
     ///
     /// # Errors
     ///
     /// Surfaces [`PmError::Crashed`] when the crash clock fires mid-epoch
     /// — recovery will roll the epoch back — and media errors.
     pub fn persist(&mut self, cache: &mut impl HostSnoop) -> Result<u64> {
-        // (0) A non-blocking persist may still be draining; epochs commit
-        // in order.
-        self.persist_wait()?;
-        // (1) All pre-images durable before any further write back.
-        for shard in &mut self.shards {
-            shard.log.flush(&mut self.pool, &self.clock)?;
+        let mut first = 0;
+        for t in 0..self.tenants.len() {
+            let committed = self.persist_tenant(t, cache)?;
+            if t == 0 {
+                first = committed;
+            }
+        }
+        Ok(first)
+    }
+
+    /// Ends tenant `t`'s current epoch: makes a crash-consistent snapshot
+    /// of `t`'s pool context durable and returns the committed epoch
+    /// number (§3.3).
+    ///
+    /// This is a barrier across `t`'s own lanes only. Steps, in order:
+    /// (1) drain `t`'s undo-log banks; (2) for every line `t` logged this
+    /// epoch (lane by lane, in log order within each), send a `SnpData`
+    /// snoop to the host cache, which downgrades the line and forwards
+    /// its current value; (3) write every modified line back to PM;
+    /// (4) drain PM; (5) atomically commit the epoch number in `t`'s
+    /// header epoch slot. Other tenants' in-flight epochs are never
+    /// flushed, stalled, or committed.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Config`] for an out-of-range tenant,
+    /// [`PmError::Crashed`], and media errors.
+    pub fn persist_tenant(&mut self, t: TenantId, cache: &mut impl HostSnoop) -> Result<u64> {
+        self.check_tenant(t)?;
+        // (0) A non-blocking persist by this tenant may still be
+        // draining; its epochs commit in order.
+        self.persist_wait_tenant(t)?;
+        // (1) All of t's pre-images durable before any further write
+        // back.
+        for l in self.tenant_lanes(t) {
+            self.shards[l].log.flush(&mut self.pool, &self.clock)?;
         }
 
         // (2)+(3) Iterate logged lines in log order (§3.3 "iterating
-        // through each undo log entry as it persists"), shard by shard.
+        // through each undo log entry as it persists"), lane by lane.
         let mut entries = 0u64;
-        for s in 0..self.shards.len() {
-            let logged = self.shards[s].sorted_epoch_log();
+        for l in self.tenant_lanes(t) {
+            let logged = self.shards[l].sorted_epoch_log();
             entries += logged.len() as u64;
             for (_offset, addr) in logged {
-                self.metrics.inc(self.ctr.snoops_sent);
+                self.shards[l].count_snoop_sent();
                 self.trace.record(
                     COMPONENT,
                     TraceEvent::Coherence { op: "snp_data".into(), line: addr.0 },
                 );
                 let host_data = cache.snoop_shared(addr);
-                let shard = &mut self.shards[s];
+                let shard = &mut self.shards[l];
                 let data = match host_data {
                     Some(d) => {
-                        self.metrics.inc(self.ctr.snoop_data_returned);
+                        shard.count_snoop_data_returned();
                         // Refresh the HBM copy so post-persist reads hit.
                         shard.hbm_refresh_clean(
                             &mut self.pool,
@@ -526,6 +723,7 @@ impl PaxDevice {
                     let abs = self.pool.layout().vpm_to_pool(addr.0)?;
                     tick(&self.clock, &mut self.pool)?;
                     self.pool.write_line(abs, d)?;
+                    let shard = &mut self.shards[l];
                     shard.count_writeback();
                     self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
                     shard.hbm_mark_clean(addr);
@@ -535,33 +733,53 @@ impl PaxDevice {
             }
         }
 
-        self.commit_current_epoch(entries)
+        self.commit_tenant_epoch(t, entries)
     }
 
-    /// Ends the epoch using **CLWB-style forced flushes** instead of
-    /// device snoops — the alternative §4 argues against: "this is more
-    /// efficient than forcing CPUs to issue CLWBs which are serialized,
-    /// consume cycles, and cause complete evictions of cache lines and
-    /// future cache misses".
-    ///
-    /// For every logged line the host cache is made to *invalidate and
-    /// write back* its copy (the classic CLWB-without-downgrade
-    /// behaviour), so post-persist accesses miss — the `ablation_clwb`
-    /// bench quantifies the cache-warmth difference against the
-    /// snoop-based [`PaxDevice::persist`].
+    /// Ends every tenant's epoch using **CLWB-style forced flushes**
+    /// (see [`PaxDevice::persist_clwb_tenant`]); returns tenant 0's
+    /// committed epoch.
     ///
     /// # Errors
     ///
     /// Surfaces [`PmError::Crashed`] and media errors.
     pub fn persist_clwb(&mut self, cache: &mut impl HostSnoop) -> Result<u64> {
-        self.persist_wait()?;
-        for shard in &mut self.shards {
-            shard.log.flush(&mut self.pool, &self.clock)?;
+        let mut first = 0;
+        for t in 0..self.tenants.len() {
+            let committed = self.persist_clwb_tenant(t, cache)?;
+            if t == 0 {
+                first = committed;
+            }
+        }
+        Ok(first)
+    }
+
+    /// Ends tenant `t`'s epoch using **CLWB-style forced flushes**
+    /// instead of device snoops — the alternative §4 argues against:
+    /// "this is more efficient than forcing CPUs to issue CLWBs which are
+    /// serialized, consume cycles, and cause complete evictions of cache
+    /// lines and future cache misses".
+    ///
+    /// For every logged line the host cache is made to *invalidate and
+    /// write back* its copy (the classic CLWB-without-downgrade
+    /// behaviour), so post-persist accesses miss — the `ablation_clwb`
+    /// bench quantifies the cache-warmth difference against the
+    /// snoop-based [`PaxDevice::persist_tenant`].
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Config`] for an out-of-range tenant,
+    /// [`PmError::Crashed`], and media errors.
+    pub fn persist_clwb_tenant(&mut self, t: TenantId, cache: &mut impl HostSnoop) -> Result<u64> {
+        self.check_tenant(t)?;
+        self.persist_wait_tenant(t)?;
+        for l in self.tenant_lanes(t) {
+            self.shards[l].log.flush(&mut self.pool, &self.clock)?;
         }
 
         let mut entries = 0u64;
-        for s in 0..self.shards.len() {
-            let logged = self.shards[s].sorted_epoch_log();
+        for l in self.tenant_lanes(t) {
+            let logged = self.shards[l].sorted_epoch_log();
             entries += logged.len() as u64;
             for (_offset, addr) in logged {
                 // CLWB semantics: full eviction from host caches; dirty
@@ -572,7 +790,7 @@ impl PaxDevice {
                     TraceEvent::Coherence { op: "snp_inv".into(), line: addr.0 },
                 );
                 let host_data = cache.snoop_invalidate(addr);
-                let shard = &mut self.shards[s];
+                let shard = &mut self.shards[l];
                 let data = match host_data {
                     Some(d) => Some(d),
                     None => shard.hbm_peek(addr).filter(|l| l.dirty).map(|l| l.data.clone()),
@@ -581,80 +799,109 @@ impl PaxDevice {
                     let abs = self.pool.layout().vpm_to_pool(addr.0)?;
                     tick(&self.clock, &mut self.pool)?;
                     self.pool.write_line(abs, d)?;
+                    let shard = &mut self.shards[l];
                     shard.count_writeback();
                     self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
                 }
-                shard.hbm_mark_clean(addr);
+                self.shards[l].hbm_mark_clean(addr);
             }
         }
 
-        self.commit_current_epoch(entries)
+        self.commit_tenant_epoch(t, entries)
     }
 
-    /// The shared epilogue of every synchronous persist flavour: drain PM,
-    /// atomically commit the built epoch, reset each shard's per-epoch
-    /// state (recycling its log bank), and advance the epoch counter.
+    /// The shared epilogue of every synchronous persist flavour: drain
+    /// PM, atomically commit tenant `t`'s built epoch into its header
+    /// slot, reset `t`'s lanes' per-epoch state (recycling their log
+    /// banks), and advance `t`'s epoch counter.
     ///
     /// # Errors
     ///
     /// Surfaces [`PmError::Crashed`] (the commit record never made it —
     /// recovery rolls the epoch back) and media errors.
-    fn commit_current_epoch(&mut self, entries: u64) -> Result<u64> {
+    fn commit_tenant_epoch(&mut self, t: TenantId, entries: u64) -> Result<u64> {
         // (4) Everything reaches media before the commit record.
         self.pool.drain();
 
-        // (5) The atomic epoch commit — one record covers all shards.
+        // (5) The atomic epoch commit — one record covers the tenant's
+        // lanes, and only that tenant's header slot moves.
         tick(&self.clock, &mut self.pool)?;
-        let committed = self.current_epoch;
-        self.pool.commit_epoch(committed)?;
+        let committed = self.epochs[t];
+        self.pool.commit_epoch_for(t, committed)?;
 
-        for shard in &mut self.shards {
-            shard.reset_after_commit();
+        for l in self.tenant_lanes(t) {
+            self.shards[l].reset_after_commit();
         }
-        self.current_epoch = committed + 1;
-        self.metrics.inc(self.ctr.persists);
+        self.epochs[t] = committed + 1;
+        // Charged to the tenant's phase-0 lane so per-tenant rollups
+        // conserve the persist count.
+        self.shards[t * self.stride].count_persist();
         self.trace.record(COMPONENT, TraceEvent::EpochCommit { epoch: committed, entries });
         Ok(committed)
     }
 
-    /// Begins a **non-blocking** persist (§6): captures the current
-    /// epoch's modified lines (snooping the host cache once, as the
-    /// synchronous protocol does) and returns immediately with the epoch
-    /// number now draining. The application continues in the next epoch
-    /// while the device flushes the log, writes lines back, and commits in
-    /// the background ([`PaxDevice::persist_poll`] advances it; ordinary
-    /// host requests advance it too).
+    /// Typed guard for the tenant-indexed entry points.
+    fn check_tenant(&self, t: TenantId) -> Result<()> {
+        if t >= self.tenants.len() {
+            return Err(PmError::Config(format!(
+                "tenant {t} out of range for a {}-tenant device",
+                self.tenants.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Begins a **non-blocking** persist of tenant 0's epoch (§6) — the
+    /// single-tenant legacy entry point; see
+    /// [`PaxDevice::persist_async_tenant`].
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Crashed`] and media errors.
+    pub fn persist_async(&mut self, cache: &mut impl HostSnoop) -> Result<u64> {
+        self.persist_async_tenant(0, cache)
+    }
+
+    /// Begins a **non-blocking** persist of tenant `t`'s epoch (§6):
+    /// captures `t`'s modified lines (snooping the host cache once, as
+    /// the synchronous protocol does) and returns immediately with the
+    /// epoch number now draining. The tenant continues in its next epoch
+    /// while the device flushes the log, writes lines back, and commits
+    /// in the background ([`PaxDevice::persist_poll`] advances it;
+    /// ordinary host requests advance it too).
     ///
     /// Durability is only guaranteed once the epoch *commits* —
     /// [`PaxDevice::persist_poll`] returns it, or
     /// [`PaxDevice::persist_wait`] blocks for it. A crash before commit
-    /// recovers to the previous epoch.
+    /// recovers to the tenant's previous epoch.
     ///
     /// # Errors
     ///
-    /// Surfaces [`PmError::Crashed`] and media errors. If an earlier
-    /// non-blocking persist is still draining it is completed first
-    /// (epochs commit in order).
-    pub fn persist_async(&mut self, cache: &mut impl HostSnoop) -> Result<u64> {
-        self.persist_wait()?;
+    /// Surfaces [`PmError::Config`] for an out-of-range tenant,
+    /// [`PmError::Crashed`], and media errors. If an earlier non-blocking
+    /// persist by the same tenant is still draining it is completed first
+    /// (a tenant's epochs commit in order).
+    pub fn persist_async_tenant(&mut self, t: TenantId, cache: &mut impl HostSnoop) -> Result<u64> {
+        self.check_tenant(t)?;
+        self.persist_wait_tenant(t)?;
 
         let mut entries = 0u64;
         let mut queue = VecDeque::new();
         let mut values = HashMap::new();
-        for s in 0..self.shards.len() {
-            let logged = self.shards[s].sorted_epoch_log();
+        for l in self.tenant_lanes(t) {
+            let logged = self.shards[l].sorted_epoch_log();
             entries += logged.len() as u64;
             for (_offset, addr) in logged {
-                self.metrics.inc(self.ctr.snoops_sent);
+                self.shards[l].count_snoop_sent();
                 self.trace.record(
                     COMPONENT,
                     TraceEvent::Coherence { op: "snp_data".into(), line: addr.0 },
                 );
                 let host_data = cache.snoop_shared(addr);
-                let shard = &mut self.shards[s];
+                let shard = &mut self.shards[l];
                 let data = match host_data {
                     Some(d) => {
-                        self.metrics.inc(self.ctr.snoop_data_returned);
+                        shard.count_snoop_data_returned();
                         shard.hbm_refresh_clean(
                             &mut self.pool,
                             &self.clock,
@@ -682,35 +929,55 @@ impl PaxDevice {
             }
         }
 
-        // Each shard's bank must drain through the epoch's last entry;
-        // commit will recycle exactly those slots.
-        let flush_to: Vec<u64> = self.shards.iter().map(|s| s.log.appended()).collect();
-        let epoch = self.current_epoch;
-        self.draining = Some(DrainState { epoch, queue, values, flush_to, entries });
-        for shard in &mut self.shards {
-            shard.begin_next_epoch();
+        // Each of the tenant's banks must drain through the epoch's last
+        // entry; commit will recycle exactly those slots.
+        let flush_to: Vec<u64> =
+            self.tenant_lanes(t).map(|l| self.shards[l].log.appended()).collect();
+        let epoch = self.epochs[t];
+        self.draining[t] = Some(DrainState { epoch, queue, values, flush_to, entries });
+        for l in self.tenant_lanes(t) {
+            self.shards[l].begin_next_epoch();
         }
-        self.current_epoch = epoch + 1;
+        self.epochs[t] = epoch + 1;
         Ok(epoch)
     }
 
-    /// Advances an in-flight non-blocking persist by a bounded amount.
-    /// Returns `Some(epoch)` the moment that epoch durably commits,
-    /// `None` while still draining or when nothing is draining.
+    /// Advances every tenant's in-flight non-blocking persist by a
+    /// bounded amount. Returns `Some(epoch)` the moment an epoch durably
+    /// commits (the last one, if several tenants commit in the same
+    /// poll), `None` while still draining or when nothing is draining.
     ///
     /// # Errors
     ///
     /// Surfaces [`PmError::Crashed`] and media errors.
     pub fn persist_poll(&mut self) -> Result<Option<u64>> {
-        let Some(flush_to) = self.draining.as_ref().map(|d| d.flush_to.clone()) else {
+        let mut committed = None;
+        for t in 0..self.tenants.len() {
+            if let Some(e) = self.persist_poll_tenant(t)? {
+                committed = Some(e);
+            }
+        }
+        Ok(committed)
+    }
+
+    /// Advances tenant `t`'s in-flight non-blocking persist by a bounded
+    /// amount; `Some(epoch)` the moment it durably commits.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Config`] for an out-of-range tenant,
+    /// [`PmError::Crashed`], and media errors.
+    pub fn persist_poll_tenant(&mut self, t: TenantId) -> Result<Option<u64>> {
+        self.check_tenant(t)?;
+        let Some(flush_to) = self.draining[t].as_ref().map(|d| d.flush_to.clone()) else {
             return Ok(None);
         };
-        // Phase 1: every shard's undo entries for the epoch must be
+        // Phase 1: the tenant's undo entries for the epoch must be
         // durable first.
         let batch = self.config.log_pump_batch.max(1);
         let mut lagging = false;
-        for (s, &target) in flush_to.iter().enumerate() {
-            let shard = &mut self.shards[s];
+        for (i, &target) in flush_to.iter().enumerate() {
+            let shard = &mut self.shards[t * self.stride + i];
             if shard.log.durable_offset() < target {
                 shard.log.pump(&mut self.pool, &self.clock, batch)?;
                 if shard.log.durable_offset() < target {
@@ -723,26 +990,26 @@ impl PaxDevice {
         }
         // Phase 2: write back the scheduler's persist-drain budget per
         // poll (clamped to 1 so `persist_wait` always makes progress).
-        let nshards = self.shards.len();
+        let stride = self.stride;
         for _ in 0..self.config.sched.persist_drain_per_tick.max(1) {
-            let Some(ds) = self.draining.as_mut() else { break };
+            let Some(ds) = self.draining[t].as_mut() else { break };
             let Some(addr) = ds.queue.pop_front() else { break };
             // Lines resolved early (dirty_evict ordering) have no value.
             let Some(data) = ds.values.remove(&addr) else { continue };
             tick(&self.clock, &mut self.pool)?;
             let abs = self.pool.layout().vpm_to_pool(addr.0)?;
             self.pool.write_line(abs, data)?;
-            self.shards[addr.0 as usize % nshards].count_writeback();
+            self.shards[t * stride + addr.0 as usize % stride].count_writeback();
             self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
         }
         // Phase 3: commit once everything landed.
-        let done = self.draining.as_ref().is_some_and(|d| d.queue.is_empty());
+        let done = self.draining[t].as_ref().is_some_and(|d| d.queue.is_empty());
         if done {
-            let ds = self.draining.take().expect("checked");
+            let ds = self.draining[t].take().expect("checked");
             self.pool.drain();
             tick(&self.clock, &mut self.pool)?;
-            self.pool.commit_epoch(ds.epoch)?;
-            self.metrics.inc(self.ctr.persists);
+            self.pool.commit_epoch_for(t, ds.epoch)?;
+            self.shards[t * self.stride].count_persist();
             self.trace.record(
                 COMPONENT,
                 TraceEvent::EpochCommit { epoch: ds.epoch, entries: ds.entries },
@@ -753,44 +1020,66 @@ impl PaxDevice {
             // log to go idle — under continuous overlapped traffic that
             // never happens, and the region filled up with committed
             // entries until spurious `LogFull`.)
-            for (s, &target) in ds.flush_to.iter().enumerate() {
-                self.shards[s].log.recycle_to(target);
+            for (i, &target) in ds.flush_to.iter().enumerate() {
+                self.shards[t * self.stride + i].log.recycle_to(target);
             }
             return Ok(Some(ds.epoch));
         }
         Ok(None)
     }
 
-    /// Completes any in-flight non-blocking persist.
+    /// Completes every tenant's in-flight non-blocking persist.
     ///
     /// # Errors
     ///
     /// Surfaces [`PmError::Crashed`] and media errors.
     pub fn persist_wait(&mut self) -> Result<()> {
-        while self.draining.is_some() {
-            self.persist_poll()?;
+        for t in 0..self.tenants.len() {
+            self.persist_wait_tenant(t)?;
         }
         Ok(())
     }
 
-    /// The epoch currently draining from a non-blocking persist, if any.
-    pub fn persist_pending(&self) -> Option<u64> {
-        self.draining.as_ref().map(|d| d.epoch)
+    /// Completes tenant `t`'s in-flight non-blocking persist, if any.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Crashed`] and media errors.
+    pub fn persist_wait_tenant(&mut self, t: TenantId) -> Result<()> {
+        while self.draining[t].is_some() {
+            self.persist_poll_tenant(t)?;
+        }
+        Ok(())
     }
 
-    /// Writes the draining epoch's value for `addr` to PM immediately, if
-    /// one is pending — called before a newer value for the same line can
-    /// be buffered, preserving write-back order across epochs.
+    /// The epoch currently draining from a non-blocking persist, if any
+    /// tenant has one (the first, scanning in tenant order).
+    pub fn persist_pending(&self) -> Option<u64> {
+        self.draining.iter().flatten().next().map(|d| d.epoch)
+    }
+
+    /// The epoch tenant `t` is currently draining, if any.
+    pub fn persist_pending_tenant(&self, t: TenantId) -> Option<u64> {
+        self.draining.get(t)?.as_ref().map(|d| d.epoch)
+    }
+
+    /// Writes the owning tenant's draining-epoch value for `addr` to PM
+    /// immediately, if one is pending — called before a newer value for
+    /// the same line can be buffered, preserving write-back order across
+    /// epochs.
     fn drain_one_line_now(&mut self, addr: LineAddr) -> Result<()> {
-        let s = addr.0 as usize % self.shards.len();
-        let Some(ds) = self.draining.as_mut() else {
+        let Some(t) = self.tenants.tenant_of(addr) else {
+            return Ok(());
+        };
+        let s = addr.0 as usize % self.stride;
+        let Some(ds) = self.draining[t].as_mut() else {
             return Ok(());
         };
         let Some(data) = ds.values.remove(&addr) else {
             return Ok(());
         };
         let flush_to = ds.flush_to[s];
-        let shard = &mut self.shards[s];
+        let shard = &mut self.shards[t * self.stride + s];
         while shard.log.durable_offset() < flush_to {
             shard.count_forced_flush();
             if shard.log.pump(&mut self.pool, &self.clock, usize::MAX)? == 0 {
@@ -810,59 +1099,60 @@ impl PaxDevice {
 
 impl HomeAgent for PaxDevice {
     fn read_shared(&mut self, addr: LineAddr) -> Result<CacheLine> {
-        let s = self.shard_of(addr);
-        self.shards[s].count_rd_shared();
+        let l = self.lane_of(addr)?;
+        self.shards[l].count_rd_shared();
         self.trace
             .record(COMPONENT, TraceEvent::Coherence { op: "rd_shared".into(), line: addr.0 });
-        self.background(s)?;
-        self.resolve(addr)
+        self.background(l)?;
+        self.resolve(l, addr)
     }
 
     fn read_own(&mut self, addr: LineAddr) -> Result<CacheLine> {
-        let s = self.shard_of(addr);
-        self.shards[s].count_rd_own();
+        let l = self.lane_of(addr)?;
+        self.shards[l].count_rd_own();
         self.trace.record(COMPONENT, TraceEvent::Coherence { op: "rd_own".into(), line: addr.0 });
-        self.background(s)?;
-        let old = self.resolve(addr)?;
+        self.background(l)?;
+        let old = self.resolve(l, addr)?;
         // The paper's key move: log asynchronously and acknowledge the
         // host immediately — no stall for durability here.
-        let epoch = self.current_epoch;
-        self.shards[s].log_if_first(&mut self.trace, epoch, addr, &old)?;
+        let epoch = self.epochs[l / self.stride];
+        self.shards[l].log_if_first(&mut self.trace, epoch, addr, &old)?;
         Ok(old)
     }
 
     fn clean_evict(&mut self, addr: LineAddr) {
-        let s = self.shard_of(addr);
-        self.shards[s].count_clean_evict();
+        if let Ok(l) = self.lane_of(addr) {
+            self.shards[l].count_clean_evict();
+        }
         self.trace
             .record(COMPONENT, TraceEvent::Coherence { op: "clean_evict".into(), line: addr.0 });
     }
 
     fn dirty_evict(&mut self, addr: LineAddr, data: CacheLine) -> Result<()> {
-        let s = self.shard_of(addr);
-        self.shards[s].count_dirty_evict();
+        let l = self.lane_of(addr)?;
+        self.shards[l].count_dirty_evict();
         self.trace
             .record(COMPONENT, TraceEvent::Coherence { op: "dirty_evict".into(), line: addr.0 });
-        self.background(s)?;
+        self.background(l)?;
         // Ordering with a draining epoch: the previous epoch's value for
         // this line must reach PM before any newer value can (otherwise a
         // stale drain write could land on top of this epoch's write back).
         self.drain_one_line_now(addr)?;
-        let epoch = self.current_epoch;
-        let offset = match self.shards[s].epoch_offset_of(addr) {
+        let epoch = self.epochs[l / self.stride];
+        let offset = match self.shards[l].epoch_offset_of(addr) {
             Some(o) => o,
             None => {
                 // Protocol anomaly: an eviction for a line we never saw an
                 // ownership request for this epoch. The PM copy is still
                 // the epoch-start value (write back is log-gated), so log
                 // it now.
-                self.shards[s].count_unlogged_dirty_evict();
+                self.shards[l].count_unlogged_dirty_evict();
                 let abs = self.pool.layout().vpm_to_pool(addr.0)?;
                 let old = self.pool.read_line(abs)?;
-                self.shards[s].log_if_first(&mut self.trace, epoch, addr, &old)?
+                self.shards[l].log_if_first(&mut self.trace, epoch, addr, &old)?
             }
         };
-        let shard = &mut self.shards[s];
+        let shard = &mut self.shards[l];
         let durable = shard.log.durable_offset();
         let victim = shard.hbm_insert(
             addr,
@@ -883,7 +1173,9 @@ impl ShardedHome for PaxDevice {
     }
 
     fn shard_of_line(&self, addr: LineAddr) -> usize {
-        self.shard_of(addr)
+        self.tenants.tenant_of(addr).map_or(addr.0 as usize % self.stride, |t| {
+            t * self.stride + addr.0 as usize % self.stride
+        })
     }
 }
 
@@ -891,6 +1183,7 @@ impl ShardedHome for PaxDevice {
 mod tests {
     use super::*;
     use crate::hbm::EvictionPolicy;
+    use crate::tenant::even_split;
     use pax_cache::{CacheConfig, CoherentCache};
     use pax_pm::PoolConfig;
 
@@ -901,6 +1194,16 @@ mod tests {
     fn setup_sharded(shards: usize) -> (PaxDevice, CoherentCache) {
         let pool = PmPool::create(PoolConfig::small()).unwrap();
         let device = PaxDevice::open(pool, DeviceConfig::default().with_shards(shards)).unwrap();
+        let cache = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+        (device, cache)
+    }
+
+    fn setup_tenants(tenants: usize, shards: usize) -> (PaxDevice, CoherentCache) {
+        let pool = PmPool::create(PoolConfig::small()).unwrap();
+        let regions = even_split(pool.layout().data_lines, tenants);
+        let device =
+            PaxDevice::open_multi(pool, DeviceConfig::default().with_shards(shards), regions)
+                .unwrap();
         let cache = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
         (device, cache)
     }
@@ -1252,5 +1555,147 @@ mod tests {
                 "line {i}"
             );
         }
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_geometry() {
+        let mk = || PmPool::create(PoolConfig::small()).unwrap();
+        let err = PaxDevice::open(mk(), DeviceConfig::default().with_shards(0)).unwrap_err();
+        assert!(matches!(err, PmError::Config(_)), "got {err}");
+        let err =
+            PaxDevice::open(mk(), DeviceConfig::default().with_log_pump_interval(0)).unwrap_err();
+        assert!(matches!(err, PmError::Config(_)), "got {err}");
+        // HBM too small to give each of the 4 lanes one 8-way set.
+        let tiny = DeviceConfig::default().with_shards(4).with_hbm(HbmConfig {
+            capacity_bytes: 2 * 64 * 8,
+            ways: 8,
+            policy: EvictionPolicy::Lru,
+        });
+        let err = PaxDevice::open(mk(), tiny).unwrap_err();
+        assert!(matches!(err, PmError::Config(_)), "got {err}");
+        // Overlapping tenant regions are rejected before any state is
+        // built.
+        let regions = vec![TenantRegion::new(0, 64), TenantRegion::new(32, 64)];
+        let err = PaxDevice::open_multi(mk(), DeviceConfig::default(), regions).unwrap_err();
+        assert!(matches!(err, PmError::Config(_)), "got {err}");
+    }
+
+    #[test]
+    fn tenant_persist_does_not_drain_the_other_tenants_epoch() {
+        let (mut device, mut cache) = setup_tenants(2, 2);
+        let b = device.tenants().region(1).vpm_base;
+        cache.write(LineAddr(0), CacheLine::filled(0xA1), &mut device).unwrap();
+        cache.write(LineAddr(b), CacheLine::filled(0xB1), &mut device).unwrap();
+        assert_eq!(device.epoch_log_len_for(0), 1);
+        assert_eq!(device.epoch_log_len_for(1), 1);
+
+        // Tenant 0 persists; tenant 1's epoch stays open and uncommitted.
+        assert_eq!(device.persist_tenant(0, &mut cache).unwrap(), 1);
+        assert_eq!(device.committed_epoch_for(0).unwrap(), 1);
+        assert_eq!(device.committed_epoch_for(1).unwrap(), 0);
+        assert_eq!(device.epoch_log_len_for(1), 1, "tenant 1's epoch log must be untouched");
+        assert_eq!(device.current_epoch_for(0), 2);
+        assert_eq!(device.current_epoch_for(1), 1);
+        // Tenant 1's line is still only host-cached: its epoch was not
+        // flushed by tenant 0's barrier.
+        assert!(cache.state_of(LineAddr(b)).is_some(), "tenant 1's line must stay cached");
+    }
+
+    #[test]
+    fn tenant_async_persist_drains_independently() {
+        let (mut device, mut cache) = setup_tenants(2, 2);
+        let b = device.tenants().region(1).vpm_base;
+        for i in 0..4u64 {
+            cache.write(LineAddr(i), CacheLine::filled(0xA0 + i as u8), &mut device).unwrap();
+            cache.write(LineAddr(b + i), CacheLine::filled(0xB0 + i as u8), &mut device).unwrap();
+        }
+        let ea = device.persist_async_tenant(0, &mut cache).unwrap();
+        assert_eq!(device.persist_pending_tenant(0), Some(ea));
+        assert_eq!(device.persist_pending_tenant(1), None);
+        // Tenant 1 commits synchronously while tenant 0 is still
+        // draining; the barrier must not complete tenant 0's drain.
+        device.persist_tenant(1, &mut cache).unwrap();
+        assert_eq!(device.committed_epoch_for(1).unwrap(), 1);
+        device.persist_wait_tenant(0).unwrap();
+        assert_eq!(device.committed_epoch_for(0).unwrap(), ea);
+    }
+
+    #[test]
+    fn crash_mid_tenant_epoch_recovers_each_pool_independently() {
+        let (mut device, mut cache) = setup_tenants(2, 2);
+        let b = device.tenants().region(1).vpm_base;
+        cache.write(LineAddr(0), CacheLine::filled(0xA1), &mut device).unwrap();
+        cache.write(LineAddr(b), CacheLine::filled(0xB1), &mut device).unwrap();
+        device.persist_tenant(0, &mut cache).unwrap();
+        device.persist_tenant(1, &mut cache).unwrap();
+        // Next epoch: both tenants write again, only tenant 1 persists.
+        cache.write(LineAddr(0), CacheLine::filled(0xA2), &mut device).unwrap();
+        cache.write(LineAddr(b), CacheLine::filled(0xB2), &mut device).unwrap();
+        device.persist_tenant(1, &mut cache).unwrap();
+
+        let pool = device.crash_into_pool();
+        let regions = even_split(pool.layout().data_lines, 2);
+        let mut device =
+            PaxDevice::open_multi(pool, DeviceConfig::default().with_shards(2), regions).unwrap();
+        assert_eq!(device.committed_epoch_for(0).unwrap(), 1);
+        assert_eq!(device.committed_epoch_for(1).unwrap(), 2);
+        let mut cache2 = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+        // Tenant 0 rolls back to its epoch-1 snapshot; tenant 1 keeps its
+        // epoch-2 data — no cross-contamination either way.
+        assert_eq!(cache2.read(LineAddr(0), &mut device).unwrap(), CacheLine::filled(0xA1));
+        assert_eq!(cache2.read(LineAddr(b), &mut device).unwrap(), CacheLine::filled(0xB2));
+    }
+
+    #[test]
+    fn tenant_labels_conserve_counter_totals() {
+        let (mut device, mut cache) = setup_tenants(2, 2);
+        let b = device.tenants().region(1).vpm_base;
+        for i in 0..4u64 {
+            cache.write(LineAddr(i), CacheLine::filled(1), &mut device).unwrap();
+        }
+        for i in 0..2u64 {
+            cache.write(LineAddr(b + i), CacheLine::filled(2), &mut device).unwrap();
+        }
+        device.persist_tenant(0, &mut cache).unwrap();
+        let snap = device.metric_snapshot();
+        assert_eq!(snap.counter("tenants"), 2);
+        for name in ["rd_own", "undo_entries", "persists", "device_writebacks"] {
+            assert_eq!(
+                snap.counter(&format!("tenant0/{name}")) + snap.counter(&format!("tenant1/{name}")),
+                snap.counter(name),
+                "{name} must conserve across tenant labels"
+            );
+        }
+        assert_eq!(snap.counter("tenant0/undo_entries"), 4);
+        assert_eq!(snap.counter("tenant1/undo_entries"), 2);
+        assert_eq!(snap.counter("tenant0/persists"), 1);
+        assert_eq!(snap.counter("tenant1/persists"), 0);
+    }
+
+    #[test]
+    fn adaptive_budgets_drain_backlog_faster() {
+        let run = |adaptive: bool| -> u64 {
+            let pool = PmPool::create(PoolConfig::small()).unwrap();
+            let sched = if adaptive {
+                SchedConfig::default().with_adaptive()
+            } else {
+                SchedConfig::default()
+            };
+            let config =
+                DeviceConfig::default().with_log_pump_interval(usize::MAX).with_sched(sched);
+            let mut device = PaxDevice::open(pool, config).unwrap();
+            let mut cache = CoherentCache::new(CacheConfig::tiny(64 << 10, 8));
+            for i in 0..64u64 {
+                cache.write(LineAddr(i), CacheLine::filled(1), &mut device).unwrap();
+            }
+            let mut ticks = 0u64;
+            while device.log_durable_offset() < 64 {
+                device.tick(1).unwrap();
+                ticks += 1;
+                assert!(ticks < 1_000, "backlog must drain");
+            }
+            ticks
+        };
+        assert!(run(true) < run(false), "adaptive boost must drain a deep backlog in fewer ticks");
     }
 }

@@ -19,8 +19,12 @@
 //!   protocol as a cross-shard barrier with one atomic commit.
 //! * [`recovery`] — the §3.4 procedure: roll back every undo entry tagged
 //!   with an epoch newer than the pool's committed epoch.
+//! * [`tenant`] — [`TenantMap`]: the validated multi-pool layout; one
+//!   device hosts `T` tenant contexts, each with its own vPM extent,
+//!   epoch counter, header epoch slot, and scheduler weight.
 //! * [`sched`] — the virtual-time scheduler: background engines advance
-//!   on explicit, budgeted ticks in a fixed shard order, so progress is
+//!   on explicit, budgeted ticks in a fixed shard order, with per-shard
+//!   budgets divided across active tenants by weight, so progress is
 //!   decoupled from foreground traffic yet crash points stay replayable.
 //! * [`metrics`] — event counters consumed by the benchmark harness.
 //!
@@ -54,6 +58,7 @@ pub mod metrics;
 pub mod recovery;
 pub mod sched;
 pub mod shard;
+pub mod tenant;
 pub mod undo_log;
 
 pub use device::{DeviceConfig, PaxDevice};
@@ -63,4 +68,5 @@ pub use metrics::DeviceMetrics;
 pub use recovery::{recover, recover_traced, RecoveryReport};
 pub use sched::{DeviceScheduler, SchedConfig};
 pub use shard::DeviceShard;
+pub use tenant::{even_split, TenantId, TenantMap, TenantRegion};
 pub use undo_log::{UndoEntry, UndoLog, ENTRY_LINES};

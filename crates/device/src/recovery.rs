@@ -52,10 +52,24 @@ pub fn recover_traced(pool: &mut PmPool, trace: &mut TraceBuf) -> Result<Recover
     // epochs the *oldest* pre-image must be applied last. Slot order is
     // not append order — the log is a ring and banked per shard — so the
     // epoch tag, not the slot index, decides the order. Within an epoch a
-    // line is logged at most once, so intra-epoch order is free.
+    // line is logged at most once, so intra-epoch order is free. Tenants'
+    // entries interleave in the shared region but never name the same
+    // line (regions are disjoint), so one global sort is sound.
     entries.sort_by(|(sa, a), (sb, b)| b.epoch.cmp(&a.epoch).then(sa.cmp(sb)));
+    // Each entry rolls back against *its own tenant's* committed epoch —
+    // tenant A crashing mid-epoch must not unwind B's committed data.
+    let mut committed_for = std::collections::HashMap::new();
     for (_, entry) in entries.iter() {
-        if entry.epoch > committed {
+        let tenant = entry.tenant as usize;
+        let tenant_committed = match committed_for.entry(tenant) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                // A tenant tag past the header's epoch slots can only come
+                // from corrupt media the checksum missed; skip, don't die.
+                *v.insert(pool.committed_epoch_for(tenant).unwrap_or(u64::MAX))
+            }
+        };
+        if entry.epoch > tenant_committed {
             let abs = pool.layout().vpm_to_pool(entry.vpm_line.0)?;
             pool.write_line(abs, entry.old.clone())?;
             trace.record(
@@ -93,8 +107,7 @@ mod tests {
         // Simulate a crash mid-epoch-3: line 4's pre-image (0xAB) is
         // logged and the "new" value (0xCD) already reached PM.
         let mut log = UndoLog::new(&pool);
-        log.append(UndoEntry { epoch: 3, vpm_line: LineAddr(4), old: CacheLine::filled(0xAB) })
-            .unwrap();
+        log.append(UndoEntry::single(3, LineAddr(4), CacheLine::filled(0xAB))).unwrap();
         log.flush(&mut pool, &clock).unwrap();
         let abs = pool.layout().vpm_to_pool(4).unwrap();
         pool.write_line(abs, CacheLine::filled(0xCD)).unwrap();
@@ -110,8 +123,7 @@ mod tests {
         let mut pool = PmPool::create(PoolConfig::small()).unwrap();
         let clock = CrashClock::new();
         let mut log = UndoLog::new(&pool);
-        log.append(UndoEntry { epoch: 1, vpm_line: LineAddr(0), old: CacheLine::filled(0x11) })
-            .unwrap();
+        log.append(UndoEntry::single(1, LineAddr(0), CacheLine::filled(0x11))).unwrap();
         log.flush(&mut pool, &clock).unwrap();
         pool.commit_epoch(1).unwrap(); // epoch 1 committed: entry is stale
 
@@ -140,15 +152,12 @@ mod tests {
         let mut log = UndoLog::new(&pool);
         for i in 0..3 {
             // Committed-epoch fillers occupying slots 0..3.
-            log.append(UndoEntry { epoch: 1, vpm_line: LineAddr(i), old: CacheLine::zeroed() })
-                .unwrap();
+            log.append(UndoEntry::single(1, LineAddr(i), CacheLine::zeroed())).unwrap();
         }
-        log.append(UndoEntry { epoch: 2, vpm_line: LineAddr(7), old: CacheLine::filled(0x22) })
-            .unwrap();
+        log.append(UndoEntry::single(2, LineAddr(7), CacheLine::filled(0x22))).unwrap();
         log.flush(&mut pool, &clock).unwrap();
         log.recycle_to(3); // epoch-1 slots free; epoch-2 entry stays live
-        log.append(UndoEntry { epoch: 3, vpm_line: LineAddr(7), old: CacheLine::filled(0x33) })
-            .unwrap(); // wraps into slot 0
+        log.append(UndoEntry::single(3, LineAddr(7), CacheLine::filled(0x33))).unwrap(); // wraps into slot 0
         log.flush(&mut pool, &clock).unwrap();
 
         let abs = pool.layout().vpm_to_pool(7).unwrap();
@@ -165,12 +174,53 @@ mod tests {
     }
 
     #[test]
+    fn each_tenant_rolls_back_against_its_own_committed_epoch() {
+        // Tenant 0 committed through epoch 1; tenant 1 through epoch 3.
+        // Interleaved entries at epoch 2: tenant 0's is uncommitted (rolls
+        // back), tenant 1's is history (must NOT roll back) — a global
+        // committed epoch would get one of the two wrong either way.
+        let mut pool = PmPool::create(PoolConfig::small()).unwrap();
+        let clock = CrashClock::new();
+        pool.commit_epoch_for(0, 1).unwrap();
+        pool.commit_epoch_for(1, 3).unwrap();
+
+        let mut log = UndoLog::new(&pool);
+        log.append(UndoEntry {
+            epoch: 2,
+            vpm_line: LineAddr(4),
+            tenant: 0,
+            old: CacheLine::filled(0xA0),
+        })
+        .unwrap();
+        log.append(UndoEntry {
+            epoch: 2,
+            vpm_line: LineAddr(9),
+            tenant: 1,
+            old: CacheLine::filled(0xB0),
+        })
+        .unwrap();
+        log.flush(&mut pool, &clock).unwrap();
+        for line in [4u64, 9] {
+            let abs = pool.layout().vpm_to_pool(line).unwrap();
+            pool.write_line(abs, CacheLine::filled(0xFF)).unwrap();
+        }
+        pool.drain();
+
+        let r = recover(&mut pool).unwrap();
+        assert_eq!(r.scanned, 2);
+        assert_eq!(r.rolled_back, 1, "only tenant 0's entry is uncommitted");
+        let abs0 = pool.layout().vpm_to_pool(4).unwrap();
+        let abs1 = pool.layout().vpm_to_pool(9).unwrap();
+        assert_eq!(pool.read_line(abs0).unwrap(), CacheLine::filled(0xA0));
+        assert_eq!(pool.read_line(abs1).unwrap(), CacheLine::filled(0xFF), "tenant 1 untouched");
+    }
+
+    #[test]
     fn recovery_is_idempotent() {
         let mut pool = PmPool::create(PoolConfig::small()).unwrap();
         let clock = CrashClock::new();
         let mut log = UndoLog::new(&pool);
-        log.append(UndoEntry { epoch: 1, vpm_line: LineAddr(2), old: CacheLine::filled(0x33) })
-            .unwrap();
+        log.append(UndoEntry::single(1, LineAddr(2), CacheLine::filled(0x33))).unwrap();
         log.flush(&mut pool, &clock).unwrap();
 
         let r1 = recover(&mut pool).unwrap();

@@ -34,6 +34,19 @@ pub struct SchedConfig {
     /// Lines of a draining non-blocking persist written back per tick
     /// (and per `persist_poll`).
     pub persist_drain_per_tick: usize,
+    /// When true, each lane's effective log-drain budget adapts to its
+    /// pending-log depth: it doubles (up to `log_drain_per_tick *
+    /// log_boost_max`) whenever the depth reaches `log_high_water`, and
+    /// halves back toward the base whenever it falls to `log_low_water`.
+    /// The inputs are pure device state — queue depths, never wall-clock
+    /// time — so tick-schedule crash replay stays deterministic.
+    pub adaptive: bool,
+    /// Pending-depth threshold that grows the boost (adaptive mode).
+    pub log_high_water: usize,
+    /// Pending-depth threshold that decays the boost (adaptive mode).
+    pub log_low_water: usize,
+    /// Ceiling on the adaptive boost multiplier.
+    pub log_boost_max: usize,
 }
 
 impl SchedConfig {
@@ -54,12 +67,46 @@ impl SchedConfig {
         self.persist_drain_per_tick = n;
         self
     }
+
+    /// Enables adaptive log-drain budgets with the default watermarks.
+    pub fn with_adaptive(mut self) -> Self {
+        self.adaptive = true;
+        self
+    }
+
+    /// Enables adaptive budgets with explicit watermarks and boost cap.
+    pub fn with_adaptive_watermarks(mut self, high: usize, low: usize, boost_max: usize) -> Self {
+        self.adaptive = true;
+        self.log_high_water = high;
+        self.log_low_water = low;
+        self.log_boost_max = boost_max.max(1);
+        self
+    }
 }
 
 impl Default for SchedConfig {
     fn default() -> Self {
-        SchedConfig { log_drain_per_tick: 2, writeback_per_tick: 1, persist_drain_per_tick: 4 }
+        SchedConfig {
+            log_drain_per_tick: 2,
+            writeback_per_tick: 1,
+            persist_drain_per_tick: 4,
+            adaptive: false,
+            log_high_water: 16,
+            log_low_water: 4,
+            log_boost_max: 8,
+        }
     }
+}
+
+/// Weighted share of a per-shard tick budget: `base * weight /
+/// active_weight`, floored at 1 so a tenant with pending work always
+/// makes progress — starvation is impossible by construction, whatever
+/// the weights. With one active tenant the share is the whole budget.
+pub(crate) fn weighted_budget(base: usize, weight: u64, active_weight: u64) -> usize {
+    if base == 0 {
+        return 0;
+    }
+    ((base as u64 * weight) / active_weight.max(1)).max(1) as usize
 }
 
 /// Deterministic run-queue state for one device: virtual time, per-shard
@@ -69,17 +116,51 @@ impl Default for SchedConfig {
 pub struct DeviceScheduler {
     /// Virtual ticks executed so far.
     ticks: u64,
-    /// Foreground requests each shard has accumulated toward its next
+    /// Foreground requests each lane has accumulated toward its next
     /// pump (its private run-queue depth).
     credits: Vec<usize>,
-    /// Round-robin cursor over shards for the donated idle-shard step.
+    /// Round-robin cursor over lanes for the donated idle-lane step.
     cursor: usize,
+    /// Adaptive log-drain boost multiplier per lane (1 = base rate).
+    boosts: Vec<usize>,
 }
 
 impl DeviceScheduler {
-    /// A scheduler for a device with `shards` run queues.
-    pub(crate) fn new(shards: usize) -> Self {
-        DeviceScheduler { ticks: 0, credits: vec![0; shards.max(1)], cursor: 0 }
+    /// A scheduler for a device with `lanes` run queues (one per tenant ×
+    /// shard pair; an unsharded single-tenant device has exactly one).
+    pub(crate) fn new(lanes: usize) -> Self {
+        let lanes = lanes.max(1);
+        DeviceScheduler { ticks: 0, credits: vec![0; lanes], cursor: 0, boosts: vec![1; lanes] }
+    }
+
+    /// The effective log-drain budget of `lane` this tick: the configured
+    /// base times the lane's adaptive boost (1 when adaptive mode is off).
+    pub(crate) fn log_budget(&self, lane: usize, cfg: &SchedConfig) -> usize {
+        if cfg.adaptive {
+            cfg.log_drain_per_tick * self.boosts[lane]
+        } else {
+            cfg.log_drain_per_tick
+        }
+    }
+
+    /// The current adaptive boost multiplier of `lane`.
+    pub fn boost(&self, lane: usize) -> usize {
+        self.boosts[lane]
+    }
+
+    /// Feeds `lane`'s observed pending-log depth into the adaptive
+    /// controller. Depth is device state, never wall-clock, preserving
+    /// the replay-determinism contract.
+    pub(crate) fn observe_log_depth(&mut self, lane: usize, pending: usize, cfg: &SchedConfig) {
+        if !cfg.adaptive {
+            return;
+        }
+        let boost = &mut self.boosts[lane];
+        if pending >= cfg.log_high_water {
+            *boost = (*boost * 2).min(cfg.log_boost_max.max(1));
+        } else if pending <= cfg.log_low_water {
+            *boost = (*boost / 2).max(1);
+        }
     }
 
     /// Virtual ticks executed so far.
@@ -163,6 +244,49 @@ mod tests {
         assert_eq!(sched.next_idle(4, 0, all), Some(1), "cursor wraps past the routed shard");
         assert_eq!(sched.next_idle(4, 2, |s| s == 2), None, "only the routed shard has work");
         assert_eq!(sched.next_idle(1, 0, all), None, "an unsharded device has no other shard");
+    }
+
+    #[test]
+    fn weighted_budget_splits_by_weight_with_a_floor_of_one() {
+        // Two active tenants at 3:1 split a budget of 4.
+        assert_eq!(weighted_budget(4, 3, 4), 3);
+        assert_eq!(weighted_budget(4, 1, 4), 1);
+        // A lone tenant gets the whole budget.
+        assert_eq!(weighted_budget(4, 7, 7), 4);
+        // Tiny weights still make progress; a zero base stays disabled.
+        assert_eq!(weighted_budget(2, 1, 100), 1);
+        assert_eq!(weighted_budget(0, 1, 2), 0);
+    }
+
+    #[test]
+    fn adaptive_boost_grows_at_high_water_and_decays_at_low_water() {
+        let cfg = SchedConfig::default().with_adaptive_watermarks(8, 2, 4);
+        let mut sched = DeviceScheduler::new(1);
+        assert_eq!(sched.log_budget(0, &cfg), cfg.log_drain_per_tick);
+        sched.observe_log_depth(0, 8, &cfg);
+        assert_eq!(sched.boost(0), 2);
+        sched.observe_log_depth(0, 20, &cfg);
+        assert_eq!(sched.boost(0), 4);
+        sched.observe_log_depth(0, 100, &cfg);
+        assert_eq!(sched.boost(0), 4, "boost is capped");
+        assert_eq!(sched.log_budget(0, &cfg), 2 * 4);
+        // Between the watermarks the boost holds steady.
+        sched.observe_log_depth(0, 5, &cfg);
+        assert_eq!(sched.boost(0), 4);
+        sched.observe_log_depth(0, 2, &cfg);
+        assert_eq!(sched.boost(0), 2);
+        sched.observe_log_depth(0, 0, &cfg);
+        sched.observe_log_depth(0, 0, &cfg);
+        assert_eq!(sched.boost(0), 1, "boost decays back to the base rate");
+    }
+
+    #[test]
+    fn non_adaptive_mode_ignores_depth_observations() {
+        let cfg = SchedConfig::default();
+        let mut sched = DeviceScheduler::new(1);
+        sched.observe_log_depth(0, 1_000, &cfg);
+        assert_eq!(sched.boost(0), 1);
+        assert_eq!(sched.log_budget(0, &cfg), cfg.log_drain_per_tick);
     }
 
     #[test]

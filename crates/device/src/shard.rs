@@ -36,11 +36,26 @@ pub(crate) const COMPONENT: &str = "device";
 
 /// One address-interleaved slice of the device's per-line state (see
 /// module docs).
+///
+/// With tenancy ([`crate::tenant`]) a `DeviceShard` is one **lane**: the
+/// slice owned by a single `(tenant, interleave-phase)` pair. Tenant
+/// `t`'s traffic on physical shard `s = addr % S` lands in lane `t*S +
+/// s`, so each lane's undo-log bank, epoch-log map, and write-back queue
+/// belong to exactly one tenant — which is what lets one tenant's epoch
+/// flush, commit, and recycle without touching another's. A
+/// single-tenant device's lanes are exactly its shards.
 #[derive(Debug)]
 pub struct DeviceShard {
-    /// This shard's index within the device.
+    /// This lane's index within the device (`tenant * interleave +
+    /// phase`).
     index: u64,
-    /// Total shards in the device (the interleave stride).
+    /// The tenant (pool context) this lane belongs to.
+    tenant: usize,
+    /// This lane's interleave phase: it owns lines with `addr % stride ==
+    /// phase` (within its tenant's region).
+    phase: u64,
+    /// Physical address-interleave stride (the device's shard count `S`,
+    /// *not* its lane count).
     stride: u64,
     /// This shard's slice of the HBM buffer, keyed by shard-local line.
     pub(crate) hbm: HbmCache,
@@ -58,27 +73,34 @@ pub struct DeviceShard {
 }
 
 impl DeviceShard {
-    /// Builds shard `index` of `stride`, owning a `1/stride` slice of the
-    /// HBM geometry in `hbm` and the log bank `[log_base, log_base +
-    /// log_capacity_entries)` of the pool's log region.
+    /// Builds lane `index` for `tenant` at interleave phase `index %
+    /// stride`, owning a `1/lanes` slice of the HBM geometry in `hbm` and
+    /// the log bank `[log_base, log_base + log_capacity_entries)` of the
+    /// pool's log region. `lanes` is the device's total lane count
+    /// (`tenants * stride`); for a single-tenant device it equals
+    /// `stride` and this is exactly the PR-2 shard constructor.
     pub(crate) fn new(
         index: usize,
+        tenant: usize,
         stride: usize,
+        lanes: usize,
         hbm: HbmConfig,
         log_base: u64,
         log_capacity_entries: u64,
     ) -> Self {
-        let per_shard = HbmConfig {
-            // Each shard gets its share of the buffer, floored at one set.
-            capacity_bytes: (hbm.capacity_bytes / stride).max(hbm.ways * pax_pm::LINE_SIZE),
+        let per_lane = HbmConfig {
+            // Each lane gets its share of the buffer, floored at one set.
+            capacity_bytes: (hbm.capacity_bytes / lanes.max(1)).max(hbm.ways * pax_pm::LINE_SIZE),
             ..hbm
         };
         let mut metrics = MetricSet::new(COMPONENT);
         let ctr = DeviceCounters::register(&mut metrics);
         DeviceShard {
             index: index as u64,
+            tenant,
+            phase: (index % stride.max(1)) as u64,
             stride: stride as u64,
-            hbm: HbmCache::new(per_shard),
+            hbm: HbmCache::new(per_lane),
             log: UndoLog::with_region(log_base, log_capacity_entries),
             epoch_log: HashMap::new(),
             writeback_queue: VecDeque::new(),
@@ -87,9 +109,14 @@ impl DeviceShard {
         }
     }
 
-    /// This shard's index.
+    /// This lane's index.
     pub fn index(&self) -> usize {
         self.index as usize
+    }
+
+    /// The tenant (pool context) this lane serves.
+    pub fn tenant(&self) -> usize {
+        self.tenant
     }
 
     /// Snapshot of this shard's counter registry (component `device`).
@@ -137,6 +164,22 @@ impl DeviceShard {
         self.metrics.inc(self.ctr.forced_log_flushes);
     }
 
+    /// Counts a persist-path snoop sent for a line this lane logged.
+    pub(crate) fn count_snoop_sent(&mut self) {
+        self.metrics.inc(self.ctr.snoops_sent);
+    }
+
+    /// Counts a snoop that returned host data.
+    pub(crate) fn count_snoop_data_returned(&mut self) {
+        self.metrics.inc(self.ctr.snoop_data_returned);
+    }
+
+    /// Counts an epoch commit against this lane's tenant (charged to the
+    /// tenant's phase-0 lane so per-tenant rollups conserve `persists`).
+    pub(crate) fn count_persist(&mut self) {
+        self.metrics.inc(self.ctr.persists);
+    }
+
     /// The log offset covering `addr` this epoch, if it was logged here.
     pub(crate) fn epoch_offset_of(&self, addr: LineAddr) -> Option<u64> {
         self.epoch_log.get(&addr).copied()
@@ -171,19 +214,21 @@ impl DeviceShard {
         self.log.durable_offset()
     }
 
-    /// Maps a global vPM line (which satisfies `addr % stride == index`)
-    /// to the shard-local key the HBM slice is indexed by. Interleaved
+    /// Maps a global vPM line (which satisfies `addr % stride == phase`)
+    /// to the lane-local key the HBM slice is indexed by. Interleaved
     /// addresses stride by `stride`; dividing it out keeps the slice's
     /// sets uniformly used (a power-of-two stride would otherwise alias
-    /// every shard-resident line into `sets/stride` sets).
+    /// every lane-resident line into `sets/stride` sets). Two tenants'
+    /// lanes at the same phase key identically but into disjoint
+    /// [`HbmCache`] instances, so no disambiguation is needed.
     fn hbm_key(&self, addr: LineAddr) -> LineAddr {
-        debug_assert_eq!(addr.0 % self.stride, self.index, "line routed to wrong shard");
+        debug_assert_eq!(addr.0 % self.stride, self.phase, "line routed to wrong lane");
         LineAddr(addr.0 / self.stride)
     }
 
     /// Inverse of [`DeviceShard::hbm_key`].
     fn hbm_unkey(&self, local: LineAddr) -> LineAddr {
-        LineAddr(local.0 * self.stride + self.index)
+        LineAddr(local.0 * self.stride + self.phase)
     }
 
     /// HBM lookup counting hit/miss, in global address space.
@@ -373,7 +418,12 @@ impl DeviceShard {
         if let Some(&off) = self.epoch_log.get(&addr) {
             return Ok(off);
         }
-        let offset = self.log.append(UndoEntry { epoch, vpm_line: addr, old: old.clone() })?;
+        let offset = self.log.append(UndoEntry {
+            epoch,
+            vpm_line: addr,
+            tenant: self.tenant as u32,
+            old: old.clone(),
+        })?;
         self.epoch_log.insert(addr, offset);
         self.metrics.inc(self.ctr.undo_entries);
         trace.record(COMPONENT, TraceEvent::LogAppend { epoch, line: addr.0 });
@@ -436,8 +486,8 @@ mod tests {
         let pool = PmPool::create(PoolConfig::small()).unwrap();
         let banks = split_log_region(&pool, 2);
         let hbm = HbmConfig::default_config();
-        let a = DeviceShard::new(0, 2, hbm, banks[0].0, banks[0].1);
-        let b = DeviceShard::new(1, 2, hbm, banks[1].0, banks[1].1);
+        let a = DeviceShard::new(0, 0, 2, 2, hbm, banks[0].0, banks[0].1);
+        let b = DeviceShard::new(1, 0, 2, 2, hbm, banks[1].0, banks[1].1);
         (pool, a, b)
     }
 
@@ -478,6 +528,8 @@ mod tests {
         // into half the sets; the shard-local key must spread them.
         let mut shard = DeviceShard::new(
             0,
+            0,
+            2,
             2,
             HbmConfig { capacity_bytes: 4 * 128, ways: 2, policy: EvictionPolicy::Lru },
             0,

@@ -29,7 +29,7 @@
 //! of the pool's log region:
 //!
 //! ```text
-//! line 0 (header): magic[8] | epoch u64 | vpm_line u64 | checksum u64
+//! line 0 (header): magic[8] | epoch u64 | vpm_line u64 | checksum u64 | tenant u32
 //! line 1 (data):   the 64-byte pre-image of the logged line
 //! ```
 //!
@@ -51,19 +51,31 @@ const LOG_MAGIC: &[u8; 8] = b"PAXUNDO1";
 /// `epoch`".
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UndoEntry {
-    /// Epoch during which the line was first modified.
+    /// Epoch during which the line was first modified. Epoch numbers are
+    /// **per tenant**: entries of different tenants are never compared.
     pub epoch: u64,
     /// The vPM line the entry covers.
     pub vpm_line: LineAddr,
+    /// The pool context (tenant) the entry belongs to. Recovery rolls
+    /// each entry back against *its own tenant's* committed epoch, so
+    /// entries of different tenants can interleave freely in shared
+    /// banks without cross-contaminating rollback.
+    pub tenant: u32,
     /// The line's contents when the epoch began.
     pub old: CacheLine,
 }
 
 impl UndoEntry {
+    /// An entry for the single-tenant (tenant 0) pool context.
+    pub fn single(epoch: u64, vpm_line: LineAddr, old: CacheLine) -> Self {
+        UndoEntry { epoch, vpm_line, tenant: 0, old }
+    }
+
     fn checksum(&self) -> u64 {
         let mut sum = 0xfeed_face_cafe_beefu64;
         sum ^= self.epoch.rotate_left(17);
         sum ^= self.vpm_line.0.rotate_left(31);
+        sum ^= (self.tenant as u64).rotate_left(47);
         for chunk in self.old.as_bytes().chunks(8) {
             let mut b = [0u8; 8];
             b.copy_from_slice(chunk);
@@ -78,6 +90,7 @@ impl UndoEntry {
         l.write_at(8, &self.epoch.to_le_bytes());
         l.write_at(16, &self.vpm_line.0.to_le_bytes());
         l.write_at(24, &self.checksum().to_le_bytes());
+        l.write_at(32, &self.tenant.to_le_bytes());
         l
     }
 
@@ -92,7 +105,10 @@ impl UndoEntry {
         let vpm_line = LineAddr(u64::from_le_bytes(buf));
         buf.copy_from_slice(header.read_at(24, 8));
         let stored_sum = u64::from_le_bytes(buf);
-        let entry = UndoEntry { epoch, vpm_line, old: data.clone() };
+        let mut tbuf = [0u8; 4];
+        tbuf.copy_from_slice(header.read_at(32, 4));
+        let tenant = u32::from_le_bytes(tbuf);
+        let entry = UndoEntry { epoch, vpm_line, tenant, old: data.clone() };
         (entry.checksum() == stored_sum).then_some(entry)
     }
 }
@@ -303,7 +319,27 @@ mod tests {
     }
 
     fn entry(epoch: u64, line: u64, fill: u8) -> UndoEntry {
-        UndoEntry { epoch, vpm_line: LineAddr(line), old: CacheLine::filled(fill) }
+        UndoEntry::single(epoch, LineAddr(line), CacheLine::filled(fill))
+    }
+
+    #[test]
+    fn tenant_tag_round_trips_and_is_checksummed() {
+        let mut p = pool();
+        let clock = CrashClock::new();
+        let mut log = UndoLog::new(&p);
+        log.append(UndoEntry { tenant: 3, ..entry(1, 7, 0xAA) }).unwrap();
+        log.flush(&mut p, &clock).unwrap();
+        let scanned = UndoLog::scan(&mut p).unwrap();
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0].1.tenant, 3);
+        // Flipping the on-media tenant field must fail the checksum: a
+        // corrupted tag cannot silently reassign an entry to another pool.
+        let header = LineAddr(p.layout().log_start().0);
+        let mut line = p.read_line(header).unwrap();
+        line.write_at(32, &5u32.to_le_bytes());
+        p.write_line(header, line).unwrap();
+        p.drain();
+        assert!(UndoLog::scan(&mut p).unwrap().is_empty());
     }
 
     #[test]

@@ -74,6 +74,13 @@ pub struct MachineParams {
     /// paper-default 25 ns equals `log_engine_ns` — a scheduler clocked
     /// as fast as the append engine is invisible.
     pub device_tick_ns: u64,
+    /// Tenant pool contexts sharing the device (`PaxDevice::open_multi`).
+    /// Each physical shard's tick budget is divided across its active
+    /// tenants, so a tenant's lane admits one entry per `T` ticks under
+    /// full contention: the effective append occupancy becomes
+    /// `log_engine_ns.max(device_tick_ns * T)`. The default 1 leaves
+    /// every number unchanged.
+    pub device_tenants: usize,
 }
 
 impl MachineParams {
@@ -93,6 +100,7 @@ impl MachineParams {
             device_shards: 1,
             log_engine_ns: 25,
             device_tick_ns: 25,
+            device_tenants: 1,
         }
     }
 }
@@ -241,10 +249,14 @@ impl Backend {
                         count: shards,
                         service_ns: machine.device_service_ns,
                     });
+                    // Under full multi-tenant contention a lane sees one
+                    // tick's budget every T ticks (weighted round-robin),
+                    // stretching the admission period accordingly.
+                    let tick_share = machine.device_tick_ns * machine.device_tenants.max(1) as u64;
                     stages.push(Stage::UseAny {
                         first: logs,
                         count: shards,
-                        service_ns: machine.log_engine_ns.max(machine.device_tick_ns),
+                        service_ns: machine.log_engine_ns.max(tick_share),
                     });
                 }
                 (SimMachine::new(resources), OpRecipe { stages })
@@ -386,6 +398,29 @@ mod tests {
             32,
         );
         assert!(slow4 > slow, "S=4 {slow4} Mops vs S=1 {slow} Mops at tick=200ns");
+    }
+
+    #[test]
+    fn single_tenant_is_the_invisible_default() {
+        assert_eq!(MachineParams::paper().device_tenants, 1);
+        let explicit = MachineParams { device_tenants: 1, ..MachineParams::paper() };
+        assert_eq!(pax_mops(&explicit, 32), pax_mops(&MachineParams::paper(), 32));
+    }
+
+    #[test]
+    fn tenant_contention_throttles_per_tenant_stores_and_shards_recover_it() {
+        // Four tenants contending for one shard's tick budget stretch the
+        // per-lane admission period 4x; giving the device four shards
+        // gives the parallelism back.
+        let solo = pax_mops(&MachineParams::paper(), 32);
+        let contended =
+            pax_mops(&MachineParams { device_tenants: 4, ..MachineParams::paper() }, 32);
+        assert!(contended < solo, "T=4 {contended} Mops vs T=1 {solo} Mops");
+        let sharded = pax_mops(
+            &MachineParams { device_tenants: 4, device_shards: 4, ..MachineParams::paper() },
+            32,
+        );
+        assert!(sharded > contended, "S=4 {sharded} Mops vs S=1 {contended} Mops at T=4");
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub enum PmError {
     BadPool(String),
     /// A pool was configured with inconsistent region sizes.
     BadLayout(String),
+    /// A device or tenant configuration was rejected before construction
+    /// (overlapping VPM regions, zero-length extents, shard counts that
+    /// don't divide the HBM geometry, …).
+    Config(String),
     /// The persistent undo-log region is full.
     LogFull {
         /// Capacity of the log region in entries.
@@ -51,6 +55,7 @@ impl fmt::Display for PmError {
             PmError::Crashed => write!(f, "simulated crash occurred"),
             PmError::BadPool(msg) => write!(f, "invalid pool file: {msg}"),
             PmError::BadLayout(msg) => write!(f, "invalid pool layout: {msg}"),
+            PmError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             PmError::LogFull { capacity_entries } => {
                 write!(f, "undo log region full ({capacity_entries} entries)")
             }
@@ -87,6 +92,14 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("out of bounds"));
         assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn config_error_displays_reason() {
+        let e = PmError::Config("tenant 1 region overlaps tenant 0".into());
+        let s = e.to_string();
+        assert!(s.contains("invalid configuration"));
+        assert!(s.contains("overlaps"));
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use error::PmError;
 pub use latency::{BandwidthProfile, LatencyProfile, MediaLatency, Platform};
 pub use line::{CacheLine, LineAddr, LINE_SIZE, PAGE_SIZE};
 pub use media::{DramMedia, MediaStats, Memory, PersistenceDomain, PmMedia};
-pub use pool::{PmPool, PoolConfig, PoolLayout};
+pub use pool::{PmPool, PoolConfig, PoolLayout, MAX_TENANTS};
 
 /// Result alias used throughout the PM substrate.
 pub type Result<T> = std::result::Result<T, PmError>;

@@ -43,6 +43,14 @@ const HDR_EPOCH: u64 = 1; // committed epoch number, alone on its line
 /// Lines in the header region (one 4 KiB page).
 const HEADER_LINES: u64 = (PAGE_SIZE / LINE_SIZE) as u64;
 
+/// Maximum number of tenants a pool header can hold epoch slots for.
+///
+/// Each tenant's committed epoch lives alone on header line `1 + tenant`
+/// (tenant 0 aliases the legacy [`HDR_EPOCH`] line) so an 8-byte store
+/// commits it atomically without touching any other tenant's slot. The
+/// header page has 64 lines; 32 leaves room for future header fields.
+pub const MAX_TENANTS: usize = 32;
+
 /// Sizing and durability parameters for a new pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolConfig {
@@ -212,10 +220,33 @@ impl PmPool {
     /// After recovery, the application observes the pool exactly as it was
     /// when this epoch was committed.
     pub fn committed_epoch(&mut self) -> Result<u64> {
-        let line = self.media.read_line(LineAddr(HDR_EPOCH))?;
+        self.committed_epoch_for(0)
+    }
+
+    /// The epoch most recently committed for `tenant`'s pool context.
+    ///
+    /// Tenant 0 reads the same header line as [`committed_epoch`]
+    /// (single-tenant pools are the degenerate case of this API).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::Config`] if `tenant >= MAX_TENANTS`.
+    ///
+    /// [`committed_epoch`]: PmPool::committed_epoch
+    pub fn committed_epoch_for(&mut self, tenant: usize) -> Result<u64> {
+        let line = self.media.read_line(Self::epoch_slot(tenant)?)?;
         let mut buf = [0u8; 8];
         buf.copy_from_slice(line.read_at(0, 8));
         Ok(u64::from_le_bytes(buf))
+    }
+
+    fn epoch_slot(tenant: usize) -> Result<LineAddr> {
+        if tenant >= MAX_TENANTS {
+            return Err(PmError::Config(format!(
+                "tenant {tenant} out of range (pool header holds {MAX_TENANTS} epoch slots)"
+            )));
+        }
+        Ok(LineAddr(HDR_EPOCH + tenant as u64))
     }
 
     /// Durably commits `epoch` as the recovery point.
@@ -225,9 +256,20 @@ impl PmPool {
     /// device writes the current epoch number to a special location in the
     /// structure's pool file".
     pub fn commit_epoch(&mut self, epoch: u64) -> Result<()> {
+        self.commit_epoch_for(0, epoch)
+    }
+
+    /// Durably commits `epoch` as the recovery point of `tenant`'s pool
+    /// context. The write targets that tenant's dedicated header line, so
+    /// the commit is atomic and independent of every other tenant's slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::Config`] if `tenant >= MAX_TENANTS`.
+    pub fn commit_epoch_for(&mut self, tenant: usize, epoch: u64) -> Result<()> {
         let mut line = CacheLine::zeroed();
         line.write_at(0, &epoch.to_le_bytes());
-        self.media.write_line(LineAddr(HDR_EPOCH), line)?;
+        self.media.write_line(Self::epoch_slot(tenant)?, line)?;
         self.media.drain();
         Ok(())
     }
@@ -375,6 +417,36 @@ mod tests {
         pool.commit_epoch(7).unwrap();
         pool.crash();
         assert_eq!(pool.committed_epoch().unwrap(), 7);
+    }
+
+    #[test]
+    fn tenant_epoch_slots_are_independent() {
+        let mut pool = PmPool::create(PoolConfig::small()).unwrap();
+        pool.commit_epoch_for(0, 5).unwrap();
+        pool.commit_epoch_for(1, 9).unwrap();
+        pool.commit_epoch_for(3, 2).unwrap();
+        assert_eq!(pool.committed_epoch_for(0).unwrap(), 5);
+        assert_eq!(pool.committed_epoch_for(1).unwrap(), 9);
+        assert_eq!(pool.committed_epoch_for(2).unwrap(), 0);
+        assert_eq!(pool.committed_epoch_for(3).unwrap(), 2);
+        // Tenant 0 aliases the legacy single-tenant slot.
+        assert_eq!(pool.committed_epoch().unwrap(), 5);
+    }
+
+    #[test]
+    fn tenant_epoch_commit_survives_crash() {
+        let mut pool =
+            PmPool::create(PoolConfig::small().with_domain(PersistenceDomain::None)).unwrap();
+        pool.commit_epoch_for(2, 11).unwrap();
+        pool.crash();
+        assert_eq!(pool.committed_epoch_for(2).unwrap(), 11);
+    }
+
+    #[test]
+    fn tenant_slot_out_of_range_is_config_error() {
+        let mut pool = PmPool::create(PoolConfig::small()).unwrap();
+        assert!(matches!(pool.committed_epoch_for(MAX_TENANTS), Err(PmError::Config(_))));
+        assert!(matches!(pool.commit_epoch_for(MAX_TENANTS, 1), Err(PmError::Config(_))));
     }
 
     #[test]

@@ -261,6 +261,43 @@ impl MetricSnapshot {
         MetricSnapshot { component: self.component.clone(), counters, histograms }
     }
 
+    /// Merges `other` into this snapshot under a per-source label.
+    ///
+    /// Every counter `name` of `other` is added as `label/name`
+    /// **only** — the plain name is untouched, so labeled rollups
+    /// compose with the plain [`merge`](MetricSnapshot::merge) totals
+    /// without double counting: after
+    /// `total.merge(&s).merge_labeled("shard0", &s)` the conservation
+    /// law `sum over labels of "label/name" == counter(name)` holds.
+    /// Histograms keep their identity the same way (`label/name`).
+    pub fn merge_labeled(&self, label: &str, other: &MetricSnapshot) -> MetricSnapshot {
+        let mut counters = self.counters.clone();
+        for (name, v) in &other.counters {
+            let labeled = format!("{label}/{name}");
+            match counters.iter_mut().find(|(n, _)| *n == labeled) {
+                Some((_, mine)) => *mine += v,
+                None => counters.push((labeled, *v)),
+            }
+        }
+        let mut histograms = self.histograms.clone();
+        for (name, h) in &other.histograms {
+            let labeled = format!("{label}/{name}");
+            match histograms.iter_mut().find(|(n, _)| *n == labeled) {
+                Some((_, mine)) => {
+                    mine.count += h.count;
+                    mine.sum = mine.sum.saturating_add(h.sum);
+                    mine.min = if mine.count == 0 { 0 } else { mine.min.min(h.min) };
+                    mine.max = mine.max.max(h.max);
+                    for (a, b) in mine.buckets.iter_mut().zip(&h.buckets) {
+                        *a += b;
+                    }
+                }
+                None => histograms.push((labeled, h.clone())),
+            }
+        }
+        MetricSnapshot { component: self.component.clone(), counters, histograms }
+    }
+
     /// Renders the snapshot as a JSON object.
     pub fn to_json(&self) -> Json {
         let mut counters = Json::obj();
@@ -382,6 +419,42 @@ mod tests {
         assert_eq!(merged.counter("reads"), 7);
         assert_eq!(merged.counter("writes"), 0);
         assert_eq!(merged.counter("evicts"), 1);
+    }
+
+    #[test]
+    fn merge_labeled_preserves_source_identity_and_conserves_totals() {
+        let mut shard0 = MetricSet::new("dev");
+        let r0 = shard0.counter("reads");
+        shard0.add(r0, 3);
+        let mut shard1 = MetricSet::new("dev");
+        let r1 = shard1.counter("reads");
+        shard1.add(r1, 4);
+
+        // The rollup pattern: plain merge for totals, labeled merge for
+        // per-source breakdown, on the same snapshot.
+        let mut total = MetricSnapshot::empty("dev");
+        for (i, s) in [&shard0, &shard1].iter().enumerate() {
+            let snap = s.snapshot();
+            total = total.merge(&snap);
+            total = total.merge_labeled(&format!("shard{i}"), &snap);
+        }
+        assert_eq!(total.counter("shard0/reads"), 3);
+        assert_eq!(total.counter("shard1/reads"), 4);
+        // Conservation: labeled parts sum to the plain total.
+        assert_eq!(
+            total.counter("shard0/reads") + total.counter("shard1/reads"),
+            total.counter("reads")
+        );
+    }
+
+    #[test]
+    fn merge_labeled_keeps_histogram_identity() {
+        let mut ms = MetricSet::new("dev");
+        let h = ms.histogram("batch");
+        ms.record(h, 8);
+        let labeled = MetricSnapshot::empty("dev").merge_labeled("t0", &ms.snapshot());
+        assert!(labeled.histogram("batch").is_none());
+        assert_eq!(labeled.histogram("t0/batch").unwrap().count, 1);
     }
 
     #[test]
