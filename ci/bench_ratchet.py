@@ -14,14 +14,19 @@ Compares the current run's --json outputs against the previous run's
                                       epoch_lines point, legacy series)
   tenants          victim_ops_per_kstep  must be >= 0.95x baseline (per
                                       solo/noisy series)
+  snoopfilter      ops_per_kstep      must be >= 0.95x baseline (per
+                                      filtered/unfiltered series);
+                   snoops_per_op      must be <= 1.05x baseline
 
-Independently of any baseline, two absolute acceptance bars apply:
+Independently of any baseline, three absolute acceptance bars apply:
 
   - the free-running series of ablation_overlap: at the largest tick
     budget, steady inline persist steps stay within 2x the snoop-sweep
     cost;
   - the tenants isolation series: the noisy-neighbor victim keeps at
-    least 70% of its solo throughput (victim_ratio >= 0.70).
+    least 70% of its solo throughput (victim_ratio >= 0.70);
+  - the snoopfilter spill workload: the ownership directory must cut
+    persist snoops/op at least 2x (filtered <= 0.5x unfiltered).
 
 A missing baseline file seeds the ratchet (exit 0); the workflow then
 saves CURRENT_DIR as the next run's baseline.
@@ -37,6 +42,8 @@ REDUCTION_TOL = 0.95
 FREE_RUNNING_FACTOR = 2.0
 TENANTS_TOL = 0.95
 ISOLATION_FLOOR = 0.70
+SNOOPFILTER_TOL = 0.95
+FILTER_CEILING = 0.5
 
 
 def load(path: Path):
@@ -82,6 +89,56 @@ def check_tenant_isolation(current, failures):
         )
     else:
         print(f"tenant isolation ok: victim_ratio {ratio:.3f} >= {ISOLATION_FLOOR}")
+
+
+def check_snoopfilter_acceptance(current, failures):
+    """Absolute bar, no baseline needed: on the spill workload the
+    ownership directory must elide at least half the persist snoops."""
+    rows = {r["series"]: r for r in current["results"] if "series" in r}
+    for series in ("filtered", "unfiltered"):
+        if series not in rows:
+            failures.append(f"snoopfilter: {series} series missing")
+            return
+    filtered = rows["filtered"]["snoops_per_op"]
+    unfiltered = rows["unfiltered"]["snoops_per_op"]
+    ceiling = FILTER_CEILING * unfiltered
+    if filtered > ceiling:
+        failures.append(
+            f"snoopfilter: filtered snoops_per_op {filtered:.3f} exceeds "
+            f"{FILTER_CEILING}x unfiltered ({unfiltered:.3f}) — the "
+            f"directory no longer cuts snoops 2x on the spill workload"
+        )
+    else:
+        print(
+            f"snoopfilter acceptance ok: filtered {filtered:.3f} <= "
+            f"{FILTER_CEILING}x unfiltered {unfiltered:.3f} snoops/op"
+        )
+
+
+def ratchet_snoopfilter(baseline, current, failures):
+    base = {
+        r["series"]: r
+        for r in baseline["results"]
+        if "ops_per_kstep" in r
+    }
+    for r in current["results"]:
+        key = r.get("series")
+        if key not in base or "ops_per_kstep" not in r:
+            continue
+        floor = SNOOPFILTER_TOL * base[key]["ops_per_kstep"]
+        if r["ops_per_kstep"] < floor:
+            failures.append(
+                f"snoopfilter {key}: ops_per_kstep "
+                f"{r['ops_per_kstep']:.1f} < {SNOOPFILTER_TOL}x baseline "
+                f"{base[key]['ops_per_kstep']:.1f}"
+            )
+        ceil = SNOOPS_TOL * base[key]["snoops_per_op"]
+        if r["snoops_per_op"] > ceil:
+            failures.append(
+                f"snoopfilter {key}: snoops_per_op "
+                f"{r['snoops_per_op']:.3f} > {SNOOPS_TOL}x baseline "
+                f"{base[key]['snoops_per_op']:.3f}"
+            )
 
 
 def ratchet_tenants(baseline, current, failures):
@@ -163,6 +220,7 @@ def main() -> int:
         "ablation_epoch.json": ratchet_ablation_epoch,
         "ablation_overlap.json": ratchet_ablation_overlap,
         "tenants.json": ratchet_tenants,
+        "snoopfilter.json": ratchet_snoopfilter,
     }
 
     overlap = load(current_dir / "ablation_overlap.json")
@@ -176,6 +234,12 @@ def main() -> int:
         failures.append("current tenants.json missing")
     else:
         check_tenant_isolation(tenants, failures)
+
+    snoopfilter = load(current_dir / "snoopfilter.json")
+    if snoopfilter is None:
+        failures.append("current snoopfilter.json missing")
+    else:
+        check_snoopfilter_acceptance(snoopfilter, failures)
 
     for name, ratchet in ratchets.items():
         current = load(current_dir / name)

@@ -19,7 +19,7 @@ fn main() {
     out.config("keys", Json::U64(keys));
     out.config("ops", Json::U64(ops));
     eprintln!("measuring miss rates: {keys} keys, {ops} uniform-random get()s …");
-    let stats = measure_fig2a_miss_rates(keys, ops);
+    let (stats, device) = measure_fig2a_miss_rates(keys, ops);
 
     out.line("\nFigure 2a — AMAT estimates (ns) servicing LLC misses");
     out.line(format!(
@@ -32,6 +32,11 @@ fn main() {
     out.config("l1_miss_ratio", Json::F64(stats.l1.miss_ratio()));
     out.config("l2_miss_ratio", Json::F64(stats.l2.miss_ratio()));
     out.config("llc_miss_ratio", Json::F64(stats.llc.miss_ratio()));
+    // Snoop accounting from persisting the loaded table: how much of
+    // the epoch's host traffic the ownership directory elided.
+    out.config("snoops_sent", Json::U64(device.snoops_sent));
+    out.config("dir_filtered_snoops", Json::U64(device.dir_filtered_snoops));
+    out.config("dir_hits", Json::U64(device.dir_hits));
 
     let est = AmatEstimator::new(LatencyProfile::c6420());
     let breakdowns = est.figure_2a(&stats);

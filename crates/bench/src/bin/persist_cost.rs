@@ -15,7 +15,10 @@
 use libpax::{Heap, PHashMap, PaxConfig, PaxPool};
 use pax_baselines::{Costed, RedoSpace, WalSpace};
 use pax_bench::{BenchOut, Json};
-use pax_pm::{LatencyProfile, PoolConfig};
+use pax_cache::CacheConfig;
+use pax_device::{DeviceConfig, DirectoryConfig};
+use pax_exec::MachineParams;
+use pax_pm::{LatencyProfile, PoolConfig, LINE_SIZE};
 
 const OPS: u64 = 2_000;
 
@@ -103,6 +106,53 @@ fn main() {
         "critical path; the epoch's single persist() sent {} snoops and committed once.",
         m.snoops_sent
     ));
+
+    // Snoop-filter pair: the same spill epoch (working set 8x the host
+    // cache) persisted with and without the ownership directory, priced
+    // by the machine model's persist formula — every elided snoop saves
+    // a host round-trip, every coalesced batch one PM write service.
+    let spill = |dir: DirectoryConfig| {
+        let pool = PaxPool::create(
+            PaxConfig::default()
+                .with_pool(pool_config())
+                .with_cache(CacheConfig::tiny(16 * LINE_SIZE, 2))
+                .with_device(DeviceConfig::default().with_directory(dir)),
+        )
+        .expect("pool");
+        {
+            use libpax::MemSpace;
+            let vpm = pool.vpm();
+            for i in 0..128u64 {
+                vpm.write_u64(i * LINE_SIZE as u64, i).expect("write");
+            }
+        }
+        pool.persist().expect("persist");
+        pool.device_metrics().expect("metrics")
+    };
+    let params = MachineParams::paper();
+    out.blank();
+    out.line("epoch persist cost, 128-line spill epoch over a 16-line host cache:");
+    for (mechanism, dir) in [
+        ("pax_persist_unfiltered", DirectoryConfig::disabled()),
+        ("pax_persist_filtered", DirectoryConfig::enabled()),
+    ] {
+        let m = spill(dir);
+        let epoch_ns = params.persist_epoch_ns(m.snoops_sent, m.device_writebacks);
+        out.line(format!(
+            "  {mechanism:>23}: {} snoops ({} filtered), {} write-backs in {} batches \
+             -> {epoch_ns} ns modeled",
+            m.snoops_sent, m.dir_filtered_snoops, m.device_writebacks, m.wb_batches
+        ));
+        out.push_result(
+            Json::obj()
+                .field("mechanism", Json::str(mechanism))
+                .field("snoops_sent", Json::U64(m.snoops_sent))
+                .field("dir_filtered_snoops", Json::U64(m.dir_filtered_snoops))
+                .field("writebacks", Json::U64(m.device_writebacks))
+                .field("wb_batches", Json::U64(m.wb_batches))
+                .field("persist_epoch_ns", Json::U64(epoch_ns)),
+        );
+    }
 
     // Large-epoch flush throughput: draining the undo log's pending queue
     // is O(n) (a VecDeque pop per entry), so one big epoch must flush in

@@ -11,6 +11,7 @@
 
 use libpax::{Heap, MemSpace, PHashMap, PStructure, PaxConfig, PaxPool};
 use pax_cache::{CacheConfig, HierarchyConfig, HierarchyStats};
+use pax_device::DeviceMetrics;
 use pax_pm::PoolConfig;
 use pax_workloads::{Op, WorkloadSpec};
 
@@ -164,8 +165,10 @@ where
 
 /// Measures Fig. 2a's miss rates: uniform-random `get()`s with 8 B
 /// keys/values on a preloaded table, returning the hierarchy statistics
-/// of the *measurement phase only*.
-pub fn measure_fig2a_miss_rates(keys: u64, ops: u64) -> HierarchyStats {
+/// of the *measurement phase only* plus the device's event counters
+/// after persisting the loaded table (so the figure's JSON captures the
+/// run's snoop traffic, including the directory-elided share).
+pub fn measure_fig2a_miss_rates(keys: u64, ops: u64) -> (HierarchyStats, DeviceMetrics) {
     let pool = instrumented_pool(64 << 20);
     let spec = WorkloadSpec::fig2a_read_only(keys, 0);
     // Load phase (not measured):
@@ -182,7 +185,10 @@ pub fn measure_fig2a_miss_rates(keys: u64, ops: u64) -> HierarchyStats {
         }
     }
     let total = pool.hierarchy_stats().expect("instrumented");
-    subtract_stats(total, loaded)
+    // Close the load epoch so the snoop counters reflect a full persist.
+    pool.persist().expect("persist");
+    let metrics = pool.device_metrics().expect("metrics");
+    (subtract_stats(total, loaded), metrics)
 }
 
 fn subtract_stats(a: HierarchyStats, b: HierarchyStats) -> HierarchyStats {
@@ -220,11 +226,14 @@ mod tests {
 
     #[test]
     fn fig2a_miss_rates_are_plausible() {
-        let s = measure_fig2a_miss_rates(2_000, 4_000);
+        let (s, m) = measure_fig2a_miss_rates(2_000, 4_000);
         assert!(s.total_accesses() > 0);
         // Uniform random gets over a table larger than L1 must miss some.
         assert!(s.l1.miss_ratio() > 0.01, "L1 miss {}", s.l1.miss_ratio());
         assert!(s.l1.miss_ratio() < 1.0);
+        // The load epoch persisted, so snoop accounting is live.
+        assert!(m.persists >= 1);
+        assert_eq!(m.dir_hits + m.dir_filtered_snoops, m.undo_entries);
     }
 
     #[test]

@@ -96,6 +96,17 @@ impl<T> SetAssoc<T> {
         self.sets[set].iter().find(|w| w.addr == addr).map(|w| &w.payload)
     }
 
+    /// Looks up `addr` mutably without disturbing LRU order.
+    ///
+    /// Background maintenance (log drain, device write-back) must be
+    /// able to flip payload flags without promoting the line to MRU —
+    /// promotion would let housekeeping traffic overwrite the recency
+    /// signal left by real accesses.
+    pub fn peek_mut(&mut self, addr: LineAddr) -> Option<&mut T> {
+        let set = self.set_index(addr);
+        self.sets[set].iter_mut().find(|w| w.addr == addr).map(|w| &mut w.payload)
+    }
+
     /// Whether `addr` is resident.
     pub fn contains(&self, addr: LineAddr) -> bool {
         self.peek(addr).is_some()
@@ -228,6 +239,19 @@ mod tests {
         assert_eq!(victim, Some((LineAddr(4), "b")));
         assert!(sa.contains(LineAddr(0)));
         assert!(sa.contains(LineAddr(8)));
+    }
+
+    #[test]
+    fn peek_mut_mutates_without_promoting() {
+        // One set, two ways: 0 and 4 and 8 all collide (mod 4 = 0).
+        let mut sa: SetAssoc<u32> = SetAssoc::new(4, 2);
+        sa.insert(LineAddr(0), 1);
+        sa.insert(LineAddr(4), 2);
+        // A peek_mut of the LRU line must leave it LRU.
+        *sa.peek_mut(LineAddr(0)).unwrap() = 10;
+        let victim = sa.insert(LineAddr(8), 3);
+        assert_eq!(victim, Some((LineAddr(0), 10)));
+        assert_eq!(sa.peek_mut(LineAddr(12)), None);
     }
 
     #[test]

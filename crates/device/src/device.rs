@@ -32,6 +32,7 @@ use pax_cache::{HomeAgent, HostSnoop, ShardedHome};
 use pax_pm::{CacheLine, CrashClock, LineAddr, PmError, PmPool, Result};
 use pax_telemetry::{MetricSet, MetricSnapshot, TraceBuf, TraceEvent};
 
+use crate::directory::{coalesce_runs, DirectoryConfig};
 use crate::hbm::{HbmConfig, HbmLine};
 use crate::metrics::{DeviceCounters, DeviceMetrics};
 use crate::recovery::{recover_traced, RecoveryReport};
@@ -70,6 +71,15 @@ pub struct DeviceConfig {
     /// ([`PaxDevice::tick`]); the persist-drain budget also paces
     /// [`PaxDevice::persist_poll`].
     pub sched: SchedConfig,
+    /// Whether persist-time snoops are filtered through the per-lane
+    /// ownership directory ([`crate::OwnershipDirectory`]). Enabled by
+    /// default; [`DirectoryConfig::disabled`] restores always-snoop for
+    /// ablation.
+    pub directory: DirectoryConfig,
+    /// Maximum lines per coalesced persist write-back batch: persist
+    /// write-backs contiguous in lane-local address space share one
+    /// durable-write step, up to this many. 1 = the unbatched pipeline.
+    pub persist_wb_batch: usize,
 }
 
 impl DeviceConfig {
@@ -119,24 +129,47 @@ impl DeviceConfig {
         self
     }
 
-    /// Checks the config against a device hosting `tenants` pool
-    /// contexts. Run by [`PaxDevice::open_multi`] before any state is
-    /// built, so a bad geometry is a typed error, not a panic deep in
-    /// construction.
+    /// Returns the config with a different snoop-filter mode.
+    pub fn with_directory(mut self, directory: DirectoryConfig) -> Self {
+        self.directory = directory;
+        self
+    }
+
+    /// Returns the config with a different persist write-back batch cap.
+    /// A zero cap is rejected by [`DeviceConfig::validate`] when the
+    /// device opens.
+    pub fn with_persist_wb_batch(mut self, n: usize) -> Self {
+        self.persist_wb_batch = n;
+        self
+    }
+
+    /// Checks the config against a device hosting one pool context per
+    /// entry of `regions`. Run by [`PaxDevice::open_multi`] before any
+    /// state is built, so a bad geometry is a typed error, not a panic
+    /// deep in construction.
     ///
     /// # Errors
     ///
-    /// Returns [`PmError::Config`] when the shard count or pump interval
-    /// is zero, or the HBM cannot give each of the `shards × tenants`
-    /// lanes at least one full associativity set.
-    pub fn validate(&self, tenants: usize) -> Result<()> {
+    /// Returns [`PmError::Config`] when the shard count, pump interval,
+    /// or persist write-back batch is zero, a tenant's HBM share is zero,
+    /// or the HBM cannot give each of the `shards × tenants` lanes at
+    /// least one full associativity set.
+    pub fn validate(&self, regions: &[TenantRegion]) -> Result<()> {
         if self.shards == 0 {
             return Err(PmError::Config("shard count must be at least 1".into()));
         }
         if self.log_pump_interval == 0 {
             return Err(PmError::Config("log pump interval must be at least 1".into()));
         }
-        let lanes = self.shards * tenants.max(1);
+        if self.persist_wb_batch == 0 {
+            return Err(PmError::Config("persist write-back batch must be at least 1".into()));
+        }
+        for (t, r) in regions.iter().enumerate() {
+            if r.hbm_share == 0 {
+                return Err(PmError::Config(format!("tenant {t} has zero HBM share")));
+            }
+        }
+        let lanes = self.shards * regions.len().max(1);
         let set_bytes = self.hbm.ways * pax_pm::LINE_SIZE;
         if set_bytes == 0 || self.hbm.capacity_bytes / lanes < set_bytes {
             return Err(PmError::Config(format!(
@@ -160,6 +193,8 @@ impl Default for DeviceConfig {
             trace_capacity: 1024,
             shards: 1,
             sched: SchedConfig::default(),
+            directory: DirectoryConfig::enabled(),
+            persist_wb_batch: 8,
         }
     }
 }
@@ -249,7 +284,7 @@ impl PaxDevice {
         config: DeviceConfig,
         regions: Vec<TenantRegion>,
     ) -> Result<Self> {
-        config.validate(regions.len())?;
+        config.validate(&regions)?;
         let tenants = TenantMap::new(regions, pool.layout().data_lines)?;
         let t = tenants.len();
         let mut trace = TraceBuf::new(config.trace_capacity);
@@ -265,11 +300,27 @@ impl PaxDevice {
         }
         let stride = banks.len() / t;
         let lanes = banks.len();
+        // Slice the HBM across tenants by share (then evenly across each
+        // tenant's shards); each lane is still floored at one full set
+        // inside `DeviceShard::new`, so small shares bound, never zero.
+        let total_shares = tenants.total_hbm_shares().max(1);
         let shards: Vec<DeviceShard> = banks
             .iter()
             .enumerate()
             .map(|(i, &(base, cap))| {
-                DeviceShard::new(i, i / stride, stride, lanes, config.hbm, base, cap)
+                let tenant = i / stride;
+                let share = tenants.hbm_share(tenant) as u64;
+                let slice = (config.hbm.capacity_bytes as u64 * share
+                    / total_shares
+                    / stride as u64) as usize;
+                DeviceShard::new(
+                    i,
+                    tenant,
+                    stride,
+                    config.hbm.with_capacity_bytes(slice),
+                    base,
+                    cap,
+                )
             })
             .collect();
         let mut metrics = MetricSet::new(COMPONENT);
@@ -690,19 +741,30 @@ impl PaxDevice {
             self.shards[l].log.flush(&mut self.pool, &self.clock)?;
         }
 
-        // (2)+(3) Iterate logged lines in log order (§3.3 "iterating
-        // through each undo log entry as it persists"), lane by lane.
+        // (2) Gather: iterate logged lines in log order (§3.3 "iterating
+        // through each undo log entry as it persists"), lane by lane,
+        // snooping only the lines the ownership directory says the host
+        // may still hold modified.
+        let filter = self.config.directory.enabled;
         let mut entries = 0u64;
         for l in self.tenant_lanes(t) {
             let logged = self.shards[l].sorted_epoch_log();
             entries += logged.len() as u64;
+            let mut pending = Vec::with_capacity(logged.len());
             for (_offset, addr) in logged {
-                self.shards[l].count_snoop_sent();
-                self.trace.record(
-                    COMPONENT,
-                    TraceEvent::Coherence { op: "snp_data".into(), line: addr.0 },
-                );
-                let host_data = cache.snoop_shared(addr);
+                let host_data = if self.shards[l].dir_should_snoop(addr, filter) {
+                    self.shards[l].count_snoop_sent();
+                    self.trace.record(
+                        COMPONENT,
+                        TraceEvent::Coherence { op: "snp_data".into(), line: addr.0 },
+                    );
+                    let d = cache.snoop_shared(addr);
+                    // The snoop itself is the host's give-up evidence.
+                    self.shards[l].dir_clear(addr);
+                    d
+                } else {
+                    None
+                };
                 let shard = &mut self.shards[l];
                 let data = match host_data {
                     Some(d) => {
@@ -720,17 +782,14 @@ impl PaxDevice {
                     None => shard.hbm_peek(addr).filter(|l| l.dirty).map(|l| l.data.clone()),
                 };
                 if let Some(d) = data {
-                    let abs = self.pool.layout().vpm_to_pool(addr.0)?;
-                    tick(&self.clock, &mut self.pool)?;
-                    self.pool.write_line(abs, d)?;
-                    let shard = &mut self.shards[l];
-                    shard.count_writeback();
-                    self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
-                    shard.hbm_mark_clean(addr);
+                    pending.push((addr, d));
                 }
                 // Lines with no host data and no dirty HBM copy were
                 // already written back by the eviction/background paths.
             }
+            // (3) Write back the lane's gathered lines in coalesced
+            // batches.
+            self.write_back_batched(l, pending)?;
         }
 
         self.commit_tenant_epoch(t, entries)
@@ -777,37 +836,83 @@ impl PaxDevice {
             self.shards[l].log.flush(&mut self.pool, &self.clock)?;
         }
 
+        let filter = self.config.directory.enabled;
         let mut entries = 0u64;
         for l in self.tenant_lanes(t) {
             let logged = self.shards[l].sorted_epoch_log();
             entries += logged.len() as u64;
+            let mut pending = Vec::with_capacity(logged.len());
             for (_offset, addr) in logged {
                 // CLWB semantics: full eviction from host caches; dirty
                 // data comes back to the device, the line does NOT stay
-                // cached.
-                self.trace.record(
-                    COMPONENT,
-                    TraceEvent::Coherence { op: "snp_inv".into(), line: addr.0 },
-                );
-                let host_data = cache.snoop_invalidate(addr);
+                // cached. An unowned line can hold at most a clean Shared
+                // copy whose value the device already has, so the filter
+                // skips its invalidate too (leaving it warm — strictly
+                // kinder than real CLWB).
+                let host_data = if self.shards[l].dir_should_snoop(addr, filter) {
+                    self.trace.record(
+                        COMPONENT,
+                        TraceEvent::Coherence { op: "snp_inv".into(), line: addr.0 },
+                    );
+                    let d = cache.snoop_invalidate(addr);
+                    self.shards[l].dir_clear(addr);
+                    d
+                } else {
+                    None
+                };
                 let shard = &mut self.shards[l];
                 let data = match host_data {
                     Some(d) => Some(d),
                     None => shard.hbm_peek(addr).filter(|l| l.dirty).map(|l| l.data.clone()),
                 };
                 if let Some(d) = data {
-                    let abs = self.pool.layout().vpm_to_pool(addr.0)?;
-                    tick(&self.clock, &mut self.pool)?;
-                    self.pool.write_line(abs, d)?;
-                    let shard = &mut self.shards[l];
-                    shard.count_writeback();
-                    self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
+                    pending.push((addr, d));
+                } else {
+                    shard.hbm_mark_clean(addr);
                 }
-                self.shards[l].hbm_mark_clean(addr);
             }
+            self.write_back_batched(l, pending)?;
         }
 
         self.commit_tenant_epoch(t, entries)
+    }
+
+    /// The back half of the batched persist pipeline: issues `lane`'s
+    /// gathered write-backs as coalesced batches. Lines contiguous in
+    /// lane-local address space (successive global addresses one shard
+    /// stride apart) share a single durable-write step, up to
+    /// [`DeviceConfig::persist_wb_batch`] lines per batch — the queue/row
+    /// locality a contiguous burst enjoys on real media. Writes land in
+    /// the identical order as unbatched issue; only the step count
+    /// differs.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Crashed`] (recovery rolls the epoch back) and
+    /// media errors.
+    fn write_back_batched(
+        &mut self,
+        lane: usize,
+        pending: Vec<(LineAddr, CacheLine)>,
+    ) -> Result<()> {
+        if pending.is_empty() {
+            return Ok(());
+        }
+        let addrs: Vec<LineAddr> = pending.iter().map(|&(a, _)| a).collect();
+        for run in coalesce_runs(&addrs, self.stride as u64, self.config.persist_wb_batch) {
+            self.shards[lane].count_wb_batch();
+            tick(&self.clock, &mut self.pool)?;
+            for (addr, data) in &pending[run] {
+                let abs = self.pool.layout().vpm_to_pool(addr.0)?;
+                self.pool.write_line(abs, data.clone())?;
+                let shard = &mut self.shards[lane];
+                shard.count_writeback();
+                self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
+                shard.hbm_mark_clean(*addr);
+                shard.dir_clear(*addr);
+            }
+        }
+        Ok(())
     }
 
     /// The shared epilogue of every synchronous persist flavour: drain
@@ -885,6 +990,7 @@ impl PaxDevice {
         self.check_tenant(t)?;
         self.persist_wait_tenant(t)?;
 
+        let filter = self.config.directory.enabled;
         let mut entries = 0u64;
         let mut queue = VecDeque::new();
         let mut values = HashMap::new();
@@ -892,12 +998,18 @@ impl PaxDevice {
             let logged = self.shards[l].sorted_epoch_log();
             entries += logged.len() as u64;
             for (_offset, addr) in logged {
-                self.shards[l].count_snoop_sent();
-                self.trace.record(
-                    COMPONENT,
-                    TraceEvent::Coherence { op: "snp_data".into(), line: addr.0 },
-                );
-                let host_data = cache.snoop_shared(addr);
+                let host_data = if self.shards[l].dir_should_snoop(addr, filter) {
+                    self.shards[l].count_snoop_sent();
+                    self.trace.record(
+                        COMPONENT,
+                        TraceEvent::Coherence { op: "snp_data".into(), line: addr.0 },
+                    );
+                    let d = cache.snoop_shared(addr);
+                    self.shards[l].dir_clear(addr);
+                    d
+                } else {
+                    None
+                };
                 let shard = &mut self.shards[l];
                 let data = match host_data {
                     Some(d) => {
@@ -988,19 +1100,38 @@ impl PaxDevice {
         if lagging {
             return Ok(None);
         }
-        // Phase 2: write back the scheduler's persist-drain budget per
-        // poll (clamped to 1 so `persist_wait` always makes progress).
+        // Phase 2: write back the scheduler's persist-drain budget of
+        // *batches* per poll (clamped to 1 so `persist_wait` always makes
+        // progress). Each batch greedily extends along the queue while
+        // the lines stay contiguous in lane-local space, sharing one
+        // durable-write step like the synchronous pipeline.
         let stride = self.stride;
+        let max_batch = self.config.persist_wb_batch.max(1);
         for _ in 0..self.config.sched.persist_drain_per_tick.max(1) {
             let Some(ds) = self.draining[t].as_mut() else { break };
             let Some(addr) = ds.queue.pop_front() else { break };
             // Lines resolved early (dirty_evict ordering) have no value.
             let Some(data) = ds.values.remove(&addr) else { continue };
+            let mut batch = vec![(addr, data)];
+            while batch.len() < max_batch {
+                let Some(&next) = ds.queue.front() else { break };
+                let last = batch.last().expect("nonempty").0;
+                if next.0 != last.0.wrapping_add(stride as u64) {
+                    break;
+                }
+                let Some(d) = ds.values.remove(&next) else { break };
+                ds.queue.pop_front();
+                batch.push((next, d));
+            }
+            let lane = t * stride + addr.0 as usize % stride;
+            self.shards[lane].count_wb_batch();
             tick(&self.clock, &mut self.pool)?;
-            let abs = self.pool.layout().vpm_to_pool(addr.0)?;
-            self.pool.write_line(abs, data)?;
-            self.shards[t * stride + addr.0 as usize % stride].count_writeback();
-            self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
+            for (a, d) in batch {
+                let abs = self.pool.layout().vpm_to_pool(a.0)?;
+                self.pool.write_line(abs, d)?;
+                self.shards[lane].count_writeback();
+                self.trace.record(COMPONENT, TraceEvent::WriteBack { line: a.0 });
+            }
         }
         // Phase 3: commit once everything landed.
         let done = self.draining[t].as_ref().is_some_and(|d| d.queue.is_empty());
@@ -1117,12 +1248,21 @@ impl HomeAgent for PaxDevice {
         // host immediately — no stall for durability here.
         let epoch = self.epochs[l / self.stride];
         self.shards[l].log_if_first(&mut self.trace, epoch, addr, &old)?;
+        // The ownership grant is the directory's set point: from here the
+        // host plausibly holds the line modified. Gated so the disabled
+        // ablation leaves the directory (and its gauges) untouched.
+        if self.config.directory.enabled {
+            self.shards[l].dir_note_owned(addr);
+        }
         Ok(old)
     }
 
     fn clean_evict(&mut self, addr: LineAddr) {
         if let Ok(l) = self.lane_of(addr) {
             self.shards[l].count_clean_evict();
+            // Safe to untrack: Shared and Modified copies never coexist,
+            // so a clean eviction means no core holds the line modified.
+            self.shards[l].dir_clear(addr);
         }
         self.trace
             .record(COMPONENT, TraceEvent::Coherence { op: "clean_evict".into(), line: addr.0 });
@@ -1131,6 +1271,9 @@ impl HomeAgent for PaxDevice {
     fn dirty_evict(&mut self, addr: LineAddr, data: CacheLine) -> Result<()> {
         let l = self.lane_of(addr)?;
         self.shards[l].count_dirty_evict();
+        // The host just handed its modified copy back: the line needs no
+        // persist-time snoop until the next `RdOwn`.
+        self.shards[l].dir_clear(addr);
         self.trace
             .record(COMPONENT, TraceEvent::Coherence { op: "dirty_evict".into(), line: addr.0 });
         self.background(l)?;
@@ -1340,8 +1483,9 @@ mod tests {
         for i in 0..8u64 {
             cache.write(LineAddr(i), CacheLine::filled(0xEE), &mut device).unwrap();
         }
-        // Arm the clock so persist crashes partway through write back.
-        device.crash_clock().arm(device.crash_clock().steps_taken() + 4);
+        // Arm the clock so persist crashes partway through (the batched
+        // pipeline covers the 8-line epoch in very few durable steps).
+        device.crash_clock().arm(device.crash_clock().steps_taken() + 1);
         let err = device.persist(&mut cache).unwrap_err();
         assert!(matches!(err, PmError::Crashed));
 
@@ -1697,5 +1841,187 @@ mod tests {
             ticks
         };
         assert!(run(true) < run(false), "adaptive boost must drain a deep backlog in fewer ticks");
+    }
+
+    /// Host writes `n` lines, then gives every copy back via dirty
+    /// eviction — the directory's filtered case.
+    fn write_then_evict_all(device: &mut PaxDevice, cache: &mut CoherentCache, n: u64) {
+        for i in 0..n {
+            cache.write(LineAddr(i), CacheLine::filled(0x40 + i as u8), device).unwrap();
+        }
+        for i in 0..n {
+            let data = cache.snoop_invalidate(LineAddr(i)).unwrap();
+            device.dirty_evict(LineAddr(i), data).unwrap();
+        }
+    }
+
+    #[test]
+    fn directory_filters_snoops_for_lines_the_host_gave_up() {
+        let (mut device, mut cache) = setup();
+        write_then_evict_all(&mut device, &mut cache, 4);
+        let before = device.metrics().snoops_sent;
+        device.persist(&mut cache).unwrap();
+        let m = device.metrics();
+        assert_eq!(m.snoops_sent, before, "no snoops for lines the host handed back");
+        assert_eq!(m.dir_filtered_snoops, 4);
+        assert_eq!(m.dir_hits, 0);
+        // The filtered persist still commits the evicted values.
+        let mut pool = device.crash_into_pool();
+        for i in 0..4u64 {
+            let abs = pool.layout().vpm_to_pool(i).unwrap();
+            assert_eq!(pool.read_line(abs).unwrap(), CacheLine::filled(0x40 + i as u8));
+        }
+    }
+
+    #[test]
+    fn directory_snoops_lines_the_host_still_owns() {
+        let (mut device, mut cache) = setup();
+        for i in 0..4u64 {
+            cache.write(LineAddr(i), CacheLine::filled(9), &mut device).unwrap();
+        }
+        device.persist(&mut cache).unwrap();
+        let m = device.metrics();
+        assert_eq!(m.snoops_sent, 4, "host-cached lines must still be snooped");
+        assert_eq!(m.dir_hits, 4);
+        assert_eq!(m.dir_filtered_snoops, 0);
+    }
+
+    #[test]
+    fn disabled_directory_snoops_every_logged_line() {
+        let pool = PmPool::create(PoolConfig::small()).unwrap();
+        let config = DeviceConfig::default().with_directory(DirectoryConfig::disabled());
+        let mut device = PaxDevice::open(pool, config).unwrap();
+        let mut cache = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+        write_then_evict_all(&mut device, &mut cache, 4);
+        device.persist(&mut cache).unwrap();
+        let m = device.metrics();
+        assert_eq!(m.snoops_sent, 4, "ablation mode snoops unconditionally");
+        assert_eq!(m.dir_filtered_snoops, 0);
+        assert_eq!(m.dir_hits, 0);
+        assert_eq!(m.dir_resident, 0, "disabled directory tracks nothing");
+    }
+
+    #[test]
+    fn dir_resident_gauge_tracks_ownership_lifecycle() {
+        let (mut device, mut cache) = setup();
+        for i in 0..3u64 {
+            cache.write(LineAddr(i), CacheLine::filled(1), &mut device).unwrap();
+        }
+        assert_eq!(device.metrics().dir_resident, 3);
+        // A dirty eviction is give-up evidence.
+        let data = cache.snoop_invalidate(LineAddr(0)).unwrap();
+        device.dirty_evict(LineAddr(0), data).unwrap();
+        assert_eq!(device.metrics().dir_resident, 2);
+        // Persist snoops (and clears) the rest.
+        device.persist(&mut cache).unwrap();
+        assert_eq!(device.metrics().dir_resident, 0);
+        // Crash empties the volatile directory and its gauge.
+        for i in 0..3u64 {
+            cache.write(LineAddr(i), CacheLine::filled(2), &mut device).unwrap();
+        }
+        assert_eq!(device.metrics().dir_resident, 3);
+        let (_pool, _trace, snap) = device.crash_into_parts();
+        assert_eq!(snap.counter("dir_resident"), 0);
+    }
+
+    #[test]
+    fn persist_batches_contiguous_writebacks() {
+        let pool = PmPool::create(PoolConfig::small()).unwrap();
+        let config = DeviceConfig::default().with_persist_wb_batch(4);
+        let mut device = PaxDevice::open(pool, config).unwrap();
+        let mut cache = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+        for i in 0..8u64 {
+            cache.write(LineAddr(i), CacheLine::filled(i as u8), &mut device).unwrap();
+        }
+        device.persist(&mut cache).unwrap();
+        let m = device.metrics();
+        assert_eq!(m.device_writebacks, 8, "every line still written");
+        assert_eq!(m.wb_batches, 2, "8 contiguous lines at cap 4 = 2 batches");
+    }
+
+    #[test]
+    fn batched_persist_takes_fewer_durable_steps() {
+        let run = |batch: usize| -> u64 {
+            let pool = PmPool::create(PoolConfig::small()).unwrap();
+            let config = DeviceConfig::default().with_persist_wb_batch(batch);
+            let mut device = PaxDevice::open(pool, config).unwrap();
+            let mut cache = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+            for i in 0..16u64 {
+                cache.write(LineAddr(i), CacheLine::filled(1), &mut device).unwrap();
+            }
+            let before = device.crash_clock().steps_taken();
+            device.persist(&mut cache).unwrap();
+            device.crash_clock().steps_taken() - before
+        };
+        assert!(
+            run(8) < run(1),
+            "coalesced batches must persist the same epoch in fewer durable-write steps"
+        );
+    }
+
+    #[test]
+    fn tenant_hbm_shares_slice_lane_capacity() {
+        let pool = PmPool::create(PoolConfig::small()).unwrap();
+        let mut regions = even_split(pool.layout().data_lines, 2);
+        regions[0] = regions[0].with_hbm_share(3);
+        // Tenant 1 keeps the default share of 1.
+        let config = DeviceConfig::default().with_hbm(HbmConfig {
+            capacity_bytes: 64 * pax_pm::LINE_SIZE,
+            ways: 2,
+            policy: EvictionPolicy::Lru,
+        });
+        let device = PaxDevice::open_multi(pool, config, regions).unwrap();
+        // 64 lines split 3:1 across tenants, one lane each.
+        assert_eq!(device.shards[0].hbm.capacity_lines(), 48);
+        assert_eq!(device.shards[1].hbm.capacity_lines(), 16);
+    }
+
+    #[test]
+    fn small_hbm_share_is_floored_at_one_set() {
+        let pool = PmPool::create(PoolConfig::small()).unwrap();
+        let mut regions = even_split(pool.layout().data_lines, 2);
+        regions[0] = regions[0].with_hbm_share(63);
+        let config = DeviceConfig::default().with_hbm(HbmConfig {
+            capacity_bytes: 64 * pax_pm::LINE_SIZE,
+            ways: 8,
+            policy: EvictionPolicy::Lru,
+        });
+        let device = PaxDevice::open_multi(pool, config, regions).unwrap();
+        // Tenant 1's 1/64 share is one line — rounded up to a full 8-way
+        // set so the lane still functions.
+        assert_eq!(device.shards[1].hbm.capacity_lines(), 8);
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_batch_and_zero_share() {
+        let mk = || PmPool::create(PoolConfig::small()).unwrap();
+        let err =
+            PaxDevice::open(mk(), DeviceConfig::default().with_persist_wb_batch(0)).unwrap_err();
+        assert!(matches!(err, PmError::Config(_)), "got {err}");
+        let regions = vec![TenantRegion::new(0, 64).with_hbm_share(0)];
+        let err = PaxDevice::open_multi(mk(), DeviceConfig::default(), regions).unwrap_err();
+        assert!(matches!(err, PmError::Config(_)), "got {err}");
+        assert!(err.to_string().contains("HBM share"));
+    }
+
+    #[test]
+    fn dir_counters_conserve_across_tenant_labels() {
+        let (mut device, mut cache) = setup_tenants(2, 2);
+        let b = device.tenants().region(1).vpm_base;
+        write_then_evict_all(&mut device, &mut cache, 4);
+        for i in 0..2u64 {
+            cache.write(LineAddr(b + i), CacheLine::filled(2), &mut device).unwrap();
+        }
+        device.persist(&mut cache).unwrap();
+        let snap = device.metric_snapshot();
+        for name in ["dir_hits", "dir_filtered_snoops", "wb_batches", "snoops_sent"] {
+            assert_eq!(
+                snap.counter(&format!("tenant0/{name}")) + snap.counter(&format!("tenant1/{name}")),
+                snap.counter(name),
+                "{name} must conserve across tenant labels"
+            );
+        }
+        assert_eq!(snap.counter("dir_filtered_snoops"), 4, "tenant 0's evicted lines");
+        assert_eq!(snap.counter("dir_hits"), 2, "tenant 1's still-cached lines");
     }
 }

@@ -224,6 +224,33 @@ mod tests {
     }
 
     #[test]
+    fn filtered_snoops_never_cross_the_link() {
+        // The snoop filter's win is visible as wire traffic: lines the
+        // host dirty-evicted before the persist cost no D2H snoop
+        // messages at all.
+        let mut ep = endpoint(CxlNative);
+        // 2-way tiny host cache over 4 lines: the working set spills and
+        // every dirty line comes back via DirtyEvict.
+        let mut cache = CoherentCache::new(CacheConfig::tiny(2 * 64, 1));
+        for i in 0..4u64 {
+            cache.write(LineAddr(i), CacheLine::filled(i as u8), &mut ep).unwrap();
+        }
+        for i in 0..4u64 {
+            if let Some(data) = cache.snoop_invalidate(LineAddr(i)) {
+                ep.dirty_evict(LineAddr(i), data).unwrap();
+            }
+        }
+        let before = ep.transport().total_messages();
+        ep.persist(&mut cache).unwrap();
+        assert_eq!(
+            ep.transport().total_messages(),
+            before,
+            "no snoop pairs for lines the host already gave up"
+        );
+        assert_eq!(ep.metrics().dir_filtered_snoops, 4);
+    }
+
+    #[test]
     fn enzian_link_is_slower_than_cxl() {
         let cxl = endpoint(CxlNative);
         let enzian = endpoint(EnzianAdapter::new());

@@ -123,6 +123,12 @@ impl HbmCache {
         self.lines.len()
     }
 
+    /// Total line capacity (sets × ways) — what the configured byte
+    /// budget rounded to.
+    pub fn capacity_lines(&self) -> usize {
+        self.lines.capacity()
+    }
+
     /// Looks up `addr` for a device-side read, counting hit/miss.
     pub fn lookup(&mut self, addr: LineAddr) -> Option<&HbmLine> {
         match self.lines.get_mut(addr) {
@@ -166,20 +172,36 @@ impl HbmCache {
 
     /// Drains all dirty lines (persist-time write back), leaving clean
     /// copies resident so post-persist reads still hit.
+    ///
+    /// Cleaning happens in place: draining is housekeeping, not access,
+    /// so it must not promote the drained lines to MRU and wipe out the
+    /// recency order real reads and evictions established.
     pub fn take_dirty(&mut self) -> Vec<(LineAddr, CacheLine)> {
         let dirty: Vec<LineAddr> =
             self.lines.iter().filter(|(_, l)| l.dirty).map(|(a, _)| a).collect();
         dirty
             .into_iter()
             .map(|addr| {
-                let mut line = self.lines.remove(addr).expect("listed above");
+                let line = self.lines.peek_mut(addr).expect("listed above");
                 let data = line.data.clone();
                 line.dirty = false;
                 line.log_offset = None;
-                self.lines.insert(addr, line);
                 (addr, data)
             })
             .collect()
+    }
+
+    /// Marks `addr` clean in place (post-write-back), without disturbing
+    /// LRU order. Returns whether the line was resident.
+    pub fn mark_clean(&mut self, addr: LineAddr) -> bool {
+        match self.lines.peek_mut(addr) {
+            Some(line) => {
+                line.dirty = false;
+                line.log_offset = None;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Clears everything (power loss: HBM contents are volatile from the
@@ -261,6 +283,34 @@ mod tests {
         assert_eq!(h.resident(), 3);
         assert!(!h.peek(LineAddr(0)).unwrap().dirty);
         assert!(h.take_dirty().is_empty());
+    }
+
+    #[test]
+    fn take_dirty_preserves_lru_recency() {
+        // 1 set × 2 ways: addrs 0 and 1 collide in HbmCache's SetAssoc
+        // only if the set count is 1, so use the tiny geometry.
+        let mut h = tiny(EvictionPolicy::Lru);
+        h.insert(LineAddr(0), dirty(1, 0), 0); // LRU
+        h.insert(LineAddr(1), clean(2), 0); // MRU
+                                            // Draining must not promote addr 0: it stays the LRU victim.
+        let taken = h.take_dirty();
+        assert_eq!(taken, vec![(LineAddr(0), CacheLine::filled(1))]);
+        let victim = h.insert(LineAddr(2), clean(3), 0);
+        assert_eq!(victim.unwrap().0, LineAddr(0), "drained line must stay LRU");
+    }
+
+    #[test]
+    fn mark_clean_cleans_in_place_without_promoting() {
+        let mut h = tiny(EvictionPolicy::Lru);
+        h.insert(LineAddr(0), dirty(1, 3), 0); // LRU
+        h.insert(LineAddr(1), clean(2), 0); // MRU
+        assert!(h.mark_clean(LineAddr(0)));
+        assert!(!h.mark_clean(LineAddr(7)));
+        let line = h.peek(LineAddr(0)).unwrap();
+        assert!(!line.dirty);
+        assert_eq!(line.log_offset, None);
+        let victim = h.insert(LineAddr(2), clean(3), 0);
+        assert_eq!(victim.unwrap().0, LineAddr(0), "cleaned line must stay LRU");
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //! * [`shard`] — [`DeviceShard`]: the address-interleaved slice of the
 //!   device's per-line state (HBM sets, undo-log bank, write-back queue,
 //!   metrics); `S` shards service independent lines without contending.
+//! * [`directory`] — [`OwnershipDirectory`]: the per-lane snoop filter
+//!   tracking which lines the host plausibly holds modified, so
+//!   `persist()` skips snoops for lines the host already gave up; plus
+//!   the contiguous-run batcher of the persist write-back pipeline.
 //! * [`device`] — [`PaxDevice`]: routes `RdShared`/`RdOwn`/evictions to
 //!   the owning shard, performs undo logging on ownership requests,
 //!   coordinates write back, and implements the `persist()` epoch
@@ -52,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod directory;
 pub mod endpoint;
 pub mod hbm;
 pub mod metrics;
@@ -62,6 +67,7 @@ pub mod tenant;
 pub mod undo_log;
 
 pub use device::{DeviceConfig, PaxDevice};
+pub use directory::{coalesce_runs, DirectoryConfig, OwnershipDirectory};
 pub use endpoint::CxlEndpoint;
 pub use hbm::{EvictionPolicy, HbmCache, HbmConfig, HbmLine};
 pub use metrics::DeviceMetrics;

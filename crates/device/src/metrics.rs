@@ -55,6 +55,17 @@ pub struct DeviceMetrics {
     /// Durable-write steps donated round-robin to shards with pending
     /// work but no traffic of their own (the pump-starvation fix).
     pub sched_idle_steps: u64,
+    /// Persist-time directory lookups that confirmed the host still
+    /// plausibly owns the line (snoop required).
+    pub dir_hits: u64,
+    /// Persist-time snoops skipped because the ownership directory knew
+    /// the host no longer holds the line modified.
+    pub dir_filtered_snoops: u64,
+    /// Lines currently tracked as host-owned by the ownership directory
+    /// (an occupancy gauge, not a monotone counter).
+    pub dir_resident: u64,
+    /// Coalesced write-back batches issued by the persist pipeline.
+    pub wb_batches: u64,
 }
 
 impl DeviceMetrics {
@@ -99,6 +110,10 @@ impl std::ops::Add for DeviceMetrics {
             pm_reads: self.pm_reads + rhs.pm_reads,
             sched_ticks: self.sched_ticks + rhs.sched_ticks,
             sched_idle_steps: self.sched_idle_steps + rhs.sched_idle_steps,
+            dir_hits: self.dir_hits + rhs.dir_hits,
+            dir_filtered_snoops: self.dir_filtered_snoops + rhs.dir_filtered_snoops,
+            dir_resident: self.dir_resident + rhs.dir_resident,
+            wb_batches: self.wb_batches + rhs.wb_batches,
         }
     }
 }
@@ -123,6 +138,10 @@ pub(crate) struct DeviceCounters {
     pub(crate) pm_reads: Counter,
     pub(crate) sched_ticks: Counter,
     pub(crate) sched_idle_steps: Counter,
+    pub(crate) dir_hits: Counter,
+    pub(crate) dir_filtered_snoops: Counter,
+    pub(crate) dir_resident: Counter,
+    pub(crate) wb_batches: Counter,
 }
 
 impl DeviceCounters {
@@ -144,6 +163,10 @@ impl DeviceCounters {
             pm_reads: metrics.counter("pm_reads"),
             sched_ticks: metrics.counter("sched_ticks"),
             sched_idle_steps: metrics.counter("sched_idle_steps"),
+            dir_hits: metrics.counter("dir_hits"),
+            dir_filtered_snoops: metrics.counter("dir_filtered_snoops"),
+            dir_resident: metrics.counter("dir_resident"),
+            wb_batches: metrics.counter("wb_batches"),
         }
     }
 
@@ -165,6 +188,10 @@ impl DeviceCounters {
             pm_reads: metrics.get(self.pm_reads),
             sched_ticks: metrics.get(self.sched_ticks),
             sched_idle_steps: metrics.get(self.sched_idle_steps),
+            dir_hits: metrics.get(self.dir_hits),
+            dir_filtered_snoops: metrics.get(self.dir_filtered_snoops),
+            dir_resident: metrics.get(self.dir_resident),
+            wb_batches: metrics.get(self.wb_batches),
         }
     }
 }

@@ -31,8 +31,10 @@ pub struct SchedConfig {
     /// Dirty-durable lines each shard writes back per tick (§3.3's
     /// proactive write back).
     pub writeback_per_tick: usize,
-    /// Lines of a draining non-blocking persist written back per tick
-    /// (and per `persist_poll`).
+    /// Coalesced write-back *batches* of a draining non-blocking persist
+    /// issued per tick (and per `persist_poll`); each batch covers up to
+    /// `DeviceConfig::persist_wb_batch` contiguous lines in one
+    /// durable-write step.
     pub persist_drain_per_tick: usize,
     /// When true, each lane's effective log-drain budget adapts to its
     /// pending-log depth: it doubles (up to `log_drain_per_tick *

@@ -26,6 +26,7 @@ use std::collections::{HashMap, VecDeque};
 use pax_pm::{CacheLine, CrashClock, LineAddr, PmError, PmPool, Result};
 use pax_telemetry::{MetricSet, MetricSnapshot, TraceBuf, TraceEvent};
 
+use crate::directory::OwnershipDirectory;
 use crate::hbm::{HbmCache, HbmConfig, HbmLine};
 use crate::metrics::{DeviceCounters, DeviceMetrics};
 use crate::undo_log::{UndoEntry, UndoLog, ENTRY_LINES};
@@ -65,6 +66,9 @@ pub struct DeviceShard {
     pub(crate) epoch_log: HashMap<LineAddr, u64>,
     /// Dirty lines awaiting opportunistic write back, oldest first.
     pub(crate) writeback_queue: VecDeque<LineAddr>,
+    /// Which of this lane's lines the host plausibly holds modified —
+    /// the persist-time snoop filter. Volatile; cleared on crash.
+    pub(crate) directory: OwnershipDirectory,
     /// The shard's own counter registry.
     pub(crate) metrics: MetricSet,
     /// Counter handles into `metrics` (same registration order as the
@@ -74,23 +78,23 @@ pub struct DeviceShard {
 
 impl DeviceShard {
     /// Builds lane `index` for `tenant` at interleave phase `index %
-    /// stride`, owning a `1/lanes` slice of the HBM geometry in `hbm` and
-    /// the log bank `[log_base, log_base + log_capacity_entries)` of the
-    /// pool's log region. `lanes` is the device's total lane count
-    /// (`tenants * stride`); for a single-tenant device it equals
-    /// `stride` and this is exactly the PR-2 shard constructor.
+    /// stride`, owning the (already per-lane-sized) HBM geometry in
+    /// `hbm` and the log bank `[log_base, log_base +
+    /// log_capacity_entries)` of the pool's log region. The caller —
+    /// [`PaxDevice::open_multi`](crate::PaxDevice::open_multi) — slices
+    /// the device's total HBM capacity across lanes (weighted by each
+    /// tenant's HBM share) before construction, flooring every lane at
+    /// one full associativity set.
     pub(crate) fn new(
         index: usize,
         tenant: usize,
         stride: usize,
-        lanes: usize,
         hbm: HbmConfig,
         log_base: u64,
         log_capacity_entries: u64,
     ) -> Self {
         let per_lane = HbmConfig {
-            // Each lane gets its share of the buffer, floored at one set.
-            capacity_bytes: (hbm.capacity_bytes / lanes.max(1)).max(hbm.ways * pax_pm::LINE_SIZE),
+            capacity_bytes: hbm.capacity_bytes.max(hbm.ways * pax_pm::LINE_SIZE),
             ..hbm
         };
         let mut metrics = MetricSet::new(COMPONENT);
@@ -104,6 +108,7 @@ impl DeviceShard {
             log: UndoLog::with_region(log_base, log_capacity_entries),
             epoch_log: HashMap::new(),
             writeback_queue: VecDeque::new(),
+            directory: OwnershipDirectory::new(),
             metrics,
             ctr,
         }
@@ -180,20 +185,57 @@ impl DeviceShard {
         self.metrics.inc(self.ctr.persists);
     }
 
+    /// Counts a coalesced persist write-back batch issued by this lane.
+    pub(crate) fn count_wb_batch(&mut self) {
+        self.metrics.inc(self.ctr.wb_batches);
+    }
+
+    /// Records an `RdOwn` in the ownership directory: the host now
+    /// plausibly holds `addr` modified. `dir_resident` is an occupancy
+    /// gauge, so it moves only on tracked-set transitions.
+    pub(crate) fn dir_note_owned(&mut self, addr: LineAddr) {
+        if self.directory.note_owned(addr) {
+            self.metrics.inc(self.ctr.dir_resident);
+        }
+    }
+
+    /// Records evidence the host gave `addr` up (dirty eviction, snoop
+    /// response, CLWB invalidate, device write-back).
+    pub(crate) fn dir_clear(&mut self, addr: LineAddr) {
+        if self.directory.clear_line(addr) {
+            self.metrics.sub(self.ctr.dir_resident, 1);
+        }
+    }
+
+    /// Whether a persist must snoop the host for `addr`. With filtering
+    /// off this is unconditionally `true` (and uncounted — the exact
+    /// pre-directory behaviour); with it on, a tracked line counts a
+    /// directory hit and snoops, an untracked one counts a filtered
+    /// snoop and skips the round-trip.
+    pub(crate) fn dir_should_snoop(&mut self, addr: LineAddr, filter: bool) -> bool {
+        if !filter {
+            return true;
+        }
+        if self.directory.holds(addr) {
+            self.metrics.inc(self.ctr.dir_hits);
+            true
+        } else {
+            self.metrics.inc(self.ctr.dir_filtered_snoops);
+            false
+        }
+    }
+
     /// The log offset covering `addr` this epoch, if it was logged here.
     pub(crate) fn epoch_offset_of(&self, addr: LineAddr) -> Option<u64> {
         self.epoch_log.get(&addr).copied()
     }
 
     /// Marks any resident HBM copy of `addr` clean (its value just
-    /// reached PM through a persist-path write back).
+    /// reached PM through a persist-path write back) — in place, so
+    /// persist housekeeping does not disturb LRU recency.
     pub(crate) fn hbm_mark_clean(&mut self, addr: LineAddr) {
-        if let Some(mut line) = self.hbm_remove(addr) {
-            line.dirty = false;
-            line.log_offset = None;
-            let durable = self.log.durable_offset();
-            self.hbm_insert(addr, line, durable);
-        }
+        let key = self.hbm_key(addr);
+        self.hbm.mark_clean(key);
     }
 
     /// Starts the next epoch after a non-blocking persist captured this
@@ -240,12 +282,6 @@ impl DeviceShard {
     /// HBM peek (no hit/miss accounting), in global address space.
     pub(crate) fn hbm_peek(&self, addr: LineAddr) -> Option<&HbmLine> {
         self.hbm.peek(self.hbm_key(addr))
-    }
-
-    /// HBM remove, in global address space.
-    pub(crate) fn hbm_remove(&mut self, addr: LineAddr) -> Option<HbmLine> {
-        let key = self.hbm_key(addr);
-        self.hbm.remove(key)
     }
 
     /// HBM insert, in global address space; the victim (if any) comes
@@ -350,6 +386,7 @@ impl DeviceShard {
         pool.write_line(abs, line.data)?;
         self.metrics.inc(self.ctr.device_writebacks);
         trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
+        self.dir_clear(addr);
         Ok(())
     }
 
@@ -381,17 +418,18 @@ impl DeviceShard {
                 break; // queue is in log order; later entries aren't durable either
             }
             self.writeback_queue.pop_front();
-            if let Some(mut line) = self.hbm_remove(addr) {
-                let data = line.data.clone();
-                line.dirty = false;
-                line.log_offset = None;
-                self.hbm_insert(addr, line, durable);
+            let key = self.hbm_key(addr);
+            if let Some(data) = self.hbm.peek(key).map(|l| l.data.clone()) {
+                // Clean in place: background write-back must not promote
+                // the line to MRU and erase real-access recency.
+                self.hbm.mark_clean(key);
                 let abs = pool.layout().vpm_to_pool(addr.0)?;
                 tick(clock, pool)?;
                 pool.write_line(abs, data)?;
                 self.metrics.inc(self.ctr.device_writebacks);
                 self.metrics.inc(self.ctr.background_writebacks);
                 trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
+                self.dir_clear(addr);
             }
             budget -= 1;
         }
@@ -446,12 +484,16 @@ impl DeviceShard {
         self.log.reset_after_commit();
     }
 
-    /// Drops all volatile state (power loss).
+    /// Drops all volatile state (power loss). The ownership directory is
+    /// volatile by design — it restarts empty, and correctness never
+    /// depended on it.
     pub(crate) fn crash(&mut self) {
         self.hbm.crash();
         self.log.crash();
         self.epoch_log.clear();
         self.writeback_queue.clear();
+        self.metrics.sub(self.ctr.dir_resident, self.directory.resident() as u64);
+        self.directory.crash();
     }
 }
 
@@ -486,8 +528,8 @@ mod tests {
         let pool = PmPool::create(PoolConfig::small()).unwrap();
         let banks = split_log_region(&pool, 2);
         let hbm = HbmConfig::default_config();
-        let a = DeviceShard::new(0, 0, 2, 2, hbm, banks[0].0, banks[0].1);
-        let b = DeviceShard::new(1, 0, 2, 2, hbm, banks[1].0, banks[1].1);
+        let a = DeviceShard::new(0, 0, 2, hbm, banks[0].0, banks[0].1);
+        let b = DeviceShard::new(1, 0, 2, hbm, banks[1].0, banks[1].1);
         (pool, a, b)
     }
 
@@ -530,12 +572,12 @@ mod tests {
             0,
             0,
             2,
-            2,
-            HbmConfig { capacity_bytes: 4 * 128, ways: 2, policy: EvictionPolicy::Lru },
+            HbmConfig { capacity_bytes: 2 * 128, ways: 2, policy: EvictionPolicy::Lru },
             0,
             64,
         );
-        // Shard capacity: 4 lines (2 sets × 2 ways) after the 1/2 split.
+        // Shard capacity: 4 lines (2 sets × 2 ways) — the per-lane slice
+        // the device would hand this lane of a 4-line-per-lane buffer.
         // Insert 4 shard-0 lines (global addresses 0,2,4,6): all resident
         // only if both sets are used.
         for g in [0u64, 2, 4, 6] {

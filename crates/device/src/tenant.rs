@@ -43,17 +43,29 @@ pub struct TenantRegion {
     /// (must be nonzero; every tenant with pending work is still
     /// guaranteed at least one unit per tick regardless of weight).
     pub weight: u32,
+    /// Weighted share of the device's HBM capacity (must be nonzero):
+    /// the buffer is sliced across tenants proportionally to their
+    /// shares, the way [`TenantRegion::weight`] already splits tick
+    /// budgets. Every lane is still floored at one full associativity
+    /// set, so a small share bounds the slice, never zeroes it.
+    pub hbm_share: u32,
 }
 
 impl TenantRegion {
-    /// A region at `vpm_base` spanning `vpm_lines`, weight 1.
+    /// A region at `vpm_base` spanning `vpm_lines`, weight 1, HBM share 1.
     pub fn new(vpm_base: u64, vpm_lines: u64) -> Self {
-        TenantRegion { vpm_base, vpm_lines, weight: 1 }
+        TenantRegion { vpm_base, vpm_lines, weight: 1, hbm_share: 1 }
     }
 
     /// Returns the region with a different scheduler weight.
     pub fn with_weight(mut self, weight: u32) -> Self {
         self.weight = weight;
+        self
+    }
+
+    /// Returns the region with a different HBM capacity share.
+    pub fn with_hbm_share(mut self, share: u32) -> Self {
+        self.hbm_share = share;
         self
     }
 
@@ -118,6 +130,9 @@ impl TenantMap {
             if r.weight == 0 {
                 return Err(PmError::Config(format!("tenant {t} has zero scheduler weight")));
             }
+            if r.hbm_share == 0 {
+                return Err(PmError::Config(format!("tenant {t} has zero HBM share")));
+            }
             if r.end() > data_lines {
                 return Err(PmError::Config(format!(
                     "tenant {t} region [{}, {}) exceeds the {data_lines}-line data region",
@@ -167,6 +182,16 @@ impl TenantMap {
     /// Sum of all tenants' weights.
     pub fn total_weight(&self) -> u64 {
         self.total_weight
+    }
+
+    /// Tenant `t`'s HBM capacity share.
+    pub fn hbm_share(&self, t: TenantId) -> u32 {
+        self.regions[t].hbm_share
+    }
+
+    /// Sum of all tenants' HBM shares.
+    pub fn total_hbm_shares(&self) -> u64 {
+        self.regions.iter().map(|r| r.hbm_share as u64).sum()
     }
 
     /// The tenant owning vPM line `addr`, if any region contains it.
@@ -242,6 +267,26 @@ mod tests {
         assert!(matches!(TenantMap::new(zero_w, 100), Err(PmError::Config(_))));
         let many = even_split(4096, MAX_TENANTS + 1);
         assert!(matches!(TenantMap::new(many, 4096), Err(PmError::Config(_))));
+    }
+
+    #[test]
+    fn rejects_zero_hbm_share() {
+        let zero_s = vec![TenantRegion::new(0, 10).with_hbm_share(0)];
+        let err = TenantMap::new(zero_s, 100).unwrap_err();
+        assert!(matches!(err, PmError::Config(_)), "got {err}");
+        assert!(err.to_string().contains("HBM share"));
+    }
+
+    #[test]
+    fn hbm_shares_accumulate_and_default_to_one() {
+        let regions = vec![
+            TenantRegion::new(0, 10).with_hbm_share(3),
+            TenantRegion::new(10, 10), // default share 1
+        ];
+        let map = TenantMap::new(regions, 100).unwrap();
+        assert_eq!(map.hbm_share(0), 3);
+        assert_eq!(map.hbm_share(1), 1);
+        assert_eq!(map.total_hbm_shares(), 4);
     }
 
     #[test]

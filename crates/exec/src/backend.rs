@@ -81,6 +81,16 @@ pub struct MachineParams {
     /// `log_engine_ns.max(device_tick_ns * T)`. The default 1 leaves
     /// every number unchanged.
     pub device_tenants: usize,
+    /// Round-trip cost of one persist-time snoop to the host cache, ns
+    /// (wire to the host, LLC tag probe, data return). Only the
+    /// epoch-persist pricing ([`MachineParams::persist_epoch_ns`]) pays
+    /// it — the per-op throughput recipes never snoop — so adding the
+    /// knob changes no existing series.
+    pub snoop_ns: u64,
+    /// Lines per coalesced persist write-back batch — the model twin of
+    /// `DeviceConfig::persist_wb_batch` in `pax-device`. Lines in a
+    /// batch share one PM write admission.
+    pub writeback_batch: usize,
 }
 
 impl MachineParams {
@@ -101,7 +111,22 @@ impl MachineParams {
             log_engine_ns: 25,
             device_tick_ns: 25,
             device_tenants: 1,
+            snoop_ns: 100,
+            writeback_batch: 8,
         }
+    }
+
+    /// Prices tenant `t`'s epoch-end persist sweep from the functional
+    /// simulation's counters: every snoop the directory could not filter
+    /// pays a host round trip ([`MachineParams::snoop_ns`]), and the
+    /// write backs land in coalesced batches of
+    /// [`MachineParams::writeback_batch`] lines, each batch occupying
+    /// one PM write admission. The snoop-filter win is exactly the
+    /// `snoops` argument shrinking; the batching win is the division.
+    pub const fn persist_epoch_ns(&self, snoops: u64, writebacks: u64) -> u64 {
+        let batch = if self.writeback_batch == 0 { 1 } else { self.writeback_batch as u64 };
+        let batches = writebacks.div_ceil(batch);
+        snoops * self.snoop_ns + batches * self.pm_write_service_ns
     }
 }
 
@@ -421,6 +446,23 @@ mod tests {
             32,
         );
         assert!(sharded > contended, "S=4 {sharded} Mops vs S=1 {contended} Mops at T=4");
+    }
+
+    #[test]
+    fn persist_pricing_rewards_filtering_and_batching() {
+        let m = MachineParams::paper();
+        // The throughput recipes never touch the new knobs, so they are
+        // invisible defaults for every existing series.
+        assert_eq!(pax_mops(&m, 32), pax_mops(&MachineParams::paper(), 32));
+        // Filtering: fewer snoops, strictly cheaper sweep.
+        let unfiltered = m.persist_epoch_ns(64, 64);
+        let filtered = m.persist_epoch_ns(8, 64);
+        assert!(filtered < unfiltered, "filtered {filtered} vs unfiltered {unfiltered}");
+        // Batching: same lines, fewer PM write admissions.
+        let unbatched = MachineParams { writeback_batch: 1, ..m };
+        assert!(m.persist_epoch_ns(0, 64) < unbatched.persist_epoch_ns(0, 64));
+        // 64 lines at batch 8 = 8 admissions + 64 snoops.
+        assert_eq!(unfiltered, 64 * m.snoop_ns + 8 * m.pm_write_service_ns);
     }
 
     #[test]

@@ -105,6 +105,18 @@ impl MetricSet {
         self.counters[c.0 as usize] += delta;
     }
 
+    /// Subtracts `delta` from a counter, saturating at zero.
+    ///
+    /// Counters are monotone by convention; this exists for the handful
+    /// of *occupancy gauges* (e.g. directory residency) that must go
+    /// down as well as up. Saturation keeps a missed decrement from
+    /// wrapping into a absurdly large value.
+    #[inline]
+    pub fn sub(&mut self, c: Counter, delta: u64) {
+        let slot = &mut self.counters[c.0 as usize];
+        *slot = slot.saturating_sub(delta);
+    }
+
     /// Current value of a counter.
     #[inline]
     pub fn get(&self, c: Counter) -> u64 {
@@ -383,6 +395,16 @@ mod tests {
         assert_eq!(ms.counter("reads"), a);
         ms.inc(a);
         assert_eq!(ms.snapshot().counter("reads"), 1);
+    }
+
+    #[test]
+    fn sub_decrements_and_saturates() {
+        let (mut ms, a, _) = sample_set();
+        ms.add(a, 3);
+        ms.sub(a, 2);
+        assert_eq!(ms.get(a), 1);
+        ms.sub(a, 5);
+        assert_eq!(ms.get(a), 0);
     }
 
     #[test]

@@ -87,9 +87,11 @@ fn crash_during_persist_preserves_previous_snapshot() {
     for i in 0..32u64 {
         vpm.write_u64(i * 64, 1000 + i).unwrap();
     }
-    // Cut power a few durable writes into the persist sweep.
+    // Cut power a few durable writes into the persist sweep. (The
+    // batched write-back pipeline covers 32 contiguous lines in a
+    // handful of steps, so arm early to land before the commit.)
     let clock = pool.crash_clock().unwrap();
-    clock.arm(clock.steps_taken() + 10);
+    clock.arm(clock.steps_taken() + 2);
     let err = pool.persist().unwrap_err();
     assert!(err.is_crash());
 
