@@ -17,6 +17,9 @@ Compares the current run's --json outputs against the previous run's
   snoopfilter      ops_per_kstep      must be >= 0.95x baseline (per
                                       filtered/unfiltered series);
                    snoops_per_op      must be <= 1.05x baseline
+  fig2b_measured   mops               must be >= 0.90x baseline (per
+                                      threads point; wall-clock numbers
+                                      are noisier than modelled ones)
 
 Independently of any baseline, three absolute acceptance bars apply:
 
@@ -26,7 +29,16 @@ Independently of any baseline, three absolute acceptance bars apply:
   - the tenants isolation series: the noisy-neighbor victim keeps at
     least 70% of its solo throughput (victim_ratio >= 0.70);
   - the snoopfilter spill workload: the ownership directory must cut
-    persist snoops/op at least 2x (filtered <= 0.5x unfiltered).
+    persist snoops/op at least 2x (filtered <= 0.5x unfiltered);
+  - the fig2b_measured real-thread series: on a host with >= 8 cores
+    the 8-thread run must scale >= 1.5x over 1 thread; on a starved
+    host (CI containers are often pinned to one core, where real
+    speedup is physically impossible) the bar is instead a
+    no-collapse floor — 8 threads keep >= 0.35x of single-thread
+    throughput, i.e. shard-parallel locking degrades gracefully
+    instead of convoying. The artifact records `host_cores`
+    (std::thread::available_parallelism) so the check picks the bar
+    that the hardware can express.
 
 A missing baseline file seeds the ratchet (exit 0); the workflow then
 saves CURRENT_DIR as the next run's baseline.
@@ -44,6 +56,10 @@ TENANTS_TOL = 0.95
 ISOLATION_FLOOR = 0.70
 SNOOPFILTER_TOL = 0.95
 FILTER_CEILING = 0.5
+MEASURED_TOL = 0.90
+MEASURED_SCALING_BAR = 1.5
+MEASURED_SCALING_CORES = 8
+MEASURED_NO_COLLAPSE_FLOOR = 0.35
 
 
 def load(path: Path):
@@ -113,6 +129,64 @@ def check_snoopfilter_acceptance(current, failures):
             f"snoopfilter acceptance ok: filtered {filtered:.3f} <= "
             f"{FILTER_CEILING}x unfiltered {unfiltered:.3f} snoops/op"
         )
+
+
+def check_measured_scaling(current, failures):
+    """Absolute bar, no baseline needed: real-thread scaling of the
+    shard-parallel engine. On a host with MEASURED_SCALING_CORES or
+    more cores, the widest thread count must reach MEASURED_SCALING_BAR
+    over one thread. On a starved host (single-core CI runners cannot
+    exhibit real speedup) the bar degrades to a no-collapse floor:
+    lock contention must not convoy throughput below
+    MEASURED_NO_COLLAPSE_FLOOR of the single-thread rate."""
+    host_cores = current.get("config", {}).get("host_cores", 1)
+    rows = [r for r in current["results"] if "scaling_vs_1" in r]
+    if not rows:
+        failures.append("fig2b_measured: no scaling_vs_1 rows")
+        return
+    top = max(rows, key=lambda r: r["threads"])
+    scaling = top["scaling_vs_1"]
+    if host_cores >= MEASURED_SCALING_CORES:
+        if scaling < MEASURED_SCALING_BAR:
+            failures.append(
+                f"fig2b_measured: {top['threads']}-thread scaling "
+                f"{scaling:.2f}x below the {MEASURED_SCALING_BAR}x bar "
+                f"(host_cores={host_cores})"
+            )
+        else:
+            print(
+                f"measured scaling ok: {scaling:.2f}x at "
+                f"{top['threads']} threads >= {MEASURED_SCALING_BAR}x "
+                f"(host_cores={host_cores})"
+            )
+    elif scaling < MEASURED_NO_COLLAPSE_FLOOR:
+        failures.append(
+            f"fig2b_measured: {top['threads']}-thread throughput collapsed "
+            f"to {scaling:.2f}x of single-thread (floor "
+            f"{MEASURED_NO_COLLAPSE_FLOOR}; host_cores={host_cores} — "
+            f"contention convoy, not core starvation)"
+        )
+    else:
+        print(
+            f"measured no-collapse ok: {scaling:.2f}x at {top['threads']} "
+            f"threads >= {MEASURED_NO_COLLAPSE_FLOOR} floor "
+            f"(host_cores={host_cores} < {MEASURED_SCALING_CORES}, "
+            f"real speedup not expressible)"
+        )
+
+
+def ratchet_fig2b_measured(baseline, current, failures):
+    base = {r["threads"]: r["mops"] for r in baseline["results"] if "mops" in r}
+    for r in current["results"]:
+        key = r.get("threads")
+        if key not in base or "mops" not in r:
+            continue
+        floor = MEASURED_TOL * base[key]
+        if r["mops"] < floor:
+            failures.append(
+                f"fig2b_measured threads={key}: {r['mops']:.2f} Mops < "
+                f"{MEASURED_TOL}x baseline {base[key]:.2f}"
+            )
 
 
 def ratchet_snoopfilter(baseline, current, failures):
@@ -221,6 +295,7 @@ def main() -> int:
         "ablation_overlap.json": ratchet_ablation_overlap,
         "tenants.json": ratchet_tenants,
         "snoopfilter.json": ratchet_snoopfilter,
+        "fig2b_measured.json": ratchet_fig2b_measured,
     }
 
     overlap = load(current_dir / "ablation_overlap.json")
@@ -240,6 +315,12 @@ def main() -> int:
         failures.append("current snoopfilter.json missing")
     else:
         check_snoopfilter_acceptance(snoopfilter, failures)
+
+    measured = load(current_dir / "fig2b_measured.json")
+    if measured is None:
+        failures.append("current fig2b_measured.json missing")
+    else:
+        check_measured_scaling(measured, failures)
 
     for name, ratchet in ratchets.items():
         current = load(current_dir / name)

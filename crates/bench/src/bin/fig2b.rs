@@ -8,13 +8,61 @@
 //! paper's §5 projection: asynchronous logging ≈ PM-Direct performance.
 //!
 //! Run: `cargo run --release -p pax-bench --bin fig2b` (add `--json` for
-//! machine-readable output)
+//! machine-readable output). `--measured` switches to the *real-thread*
+//! series: N OS threads (`--threads 1,2,4,8`) storing concurrently
+//! through the `Send + Sync` `PaxPool`, timed on the wall clock — the
+//! shard-parallel engine measured, not modelled.
 
-use pax_bench::{measure_insert_profile, BenchOut, Json};
+use pax_bench::{
+    arg_value, flag, measure_insert_profile, measure_threaded_store_mops, thread_series, BenchOut,
+    Json,
+};
 use pax_exec::{Backend, MachineParams};
 use pax_pm::{LatencyProfile, Platform};
 
+/// The measured real-thread series (`--measured`): wall-clock Mops per
+/// thread count at a fixed shard interleave, plus the scaling ratio the
+/// CI ratchet enforces.
+fn run_measured() {
+    let mut out = BenchOut::from_args("fig2b_measured");
+    let threads = thread_series(&[1, 2, 4, 8]);
+    let shards: usize = arg_value("--shards").map_or(4, |v| v.parse().expect("bad --shards"));
+    let ops: u64 = arg_value("--ops").map_or(200_000, |v| v.parse().expect("bad --ops"));
+    // The ratchet gates the parallel-scaling bar on this: a host without
+    // real cores cannot exhibit real speedup, only graceful degradation.
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.config("shards", Json::U64(shards as u64));
+    out.config("ops_per_thread", Json::U64(ops));
+    out.config("host_cores", Json::U64(host_cores as u64));
+    out.line(format!(
+        "\nFigure 2b (measured) — wall-clock store throughput [Mops], S={shards}, \
+         {ops} ops/thread"
+    ));
+    let mut rows = vec![vec!["threads".to_string(), "mops".to_string(), "vs 1".to_string()]];
+    let mut base = None;
+    for &t in &threads {
+        eprintln!("measuring {t} thread(s) …");
+        let mops = measure_threaded_store_mops(t, shards, ops);
+        let b = *base.get_or_insert(mops);
+        let scaling = mops / b;
+        rows.push(vec![t.to_string(), format!("{mops:.2}"), format!("{scaling:.2}×")]);
+        out.push_result(
+            Json::obj()
+                .field("threads", Json::U64(t as u64))
+                .field("shards", Json::U64(shards as u64))
+                .field("mops", Json::F64(mops))
+                .field("scaling_vs_1", Json::F64(scaling)),
+        );
+    }
+    out.table(&rows);
+    out.finish();
+}
+
 fn main() {
+    if flag("--measured") {
+        run_measured();
+        return;
+    }
     let mut out = BenchOut::from_args("fig2b");
     eprintln!("measuring per-op insert profile from the functional simulation …");
     let profile = measure_insert_profile(20_000, 40_000);
@@ -29,7 +77,7 @@ fn main() {
     let machine = MachineParams::paper();
     let sharded = MachineParams { device_shards: 4, ..MachineParams::paper() };
     let slow_tick = MachineParams { device_tick_ns: 100, ..MachineParams::paper() };
-    let threads = [1usize, 8, 16, 24, 32];
+    let threads = thread_series(&[1, 8, 16, 24, 32]);
     // (series label, backend, machine) — the S=4 row reruns PAX (CXL) on
     // a 4-shard device (banked pipelines + log engines, cf.
     // `DeviceConfig::with_shards`); the tick=100ns row reruns it with a

@@ -12,12 +12,9 @@
 
 use libpax::{Heap, MemSpace, PHashMap, PaxConfig, PaxPool};
 use pax_baselines::{Costed, DirectPmSpace, HybridSpace, PageFaultSpace, WalSpace};
-use pax_bench::{BenchOut, Json};
+use pax_bench::{arg_value, BenchOut, Json};
 use pax_pm::{LatencyProfile, PoolConfig};
 use pax_workloads::{Op, OpMix, WorkloadSpec};
-
-const KEYS: u64 = 2_000;
-const OPS: u64 = 6_000;
 
 fn pool_config() -> PoolConfig {
     PoolConfig::small().with_data_bytes(32 << 20).with_log_bytes(256 << 20)
@@ -49,8 +46,11 @@ fn run_ops<S: MemSpace>(space: &S, spec: &WorkloadSpec, measure_from: impl FnOnc
 
 fn main() {
     let mut out = BenchOut::from_args("ycsb");
-    out.config("keys", Json::U64(KEYS));
-    out.config("ops", Json::U64(OPS));
+    // Shared CLI plumbing (same `--name value` grammar as fig2b).
+    let keys: u64 = arg_value("--keys").map_or(2_000, |v| v.parse().expect("bad --keys"));
+    let ops: u64 = arg_value("--ops").map_or(6_000, |v| v.parse().expect("bad --ops"));
+    out.config("keys", Json::U64(keys));
+    out.config("ops", Json::U64(ops));
     let profile = LatencyProfile::c6420();
     let mixes: Vec<(&str, OpMix)> = vec![
         ("fig2a read-only", OpMix::read_only()),
@@ -61,7 +61,7 @@ fn main() {
     ];
 
     out.line(format!(
-        "mechanism overhead [ns/op] — {KEYS}-key PHashMap, {OPS} ops, event counts × \
+        "mechanism overhead [ns/op] — {keys}-key PHashMap, {ops} ops, event counts × \
          cited latencies\n"
     ));
     let mut rows = vec![vec![
@@ -75,13 +75,13 @@ fn main() {
 
     for (name, mix) in mixes {
         let spec = WorkloadSpec {
-            keys: KEYS,
-            ops: OPS,
+            keys,
+            ops,
             dist: pax_workloads::KeyDistribution::Uniform,
             mix,
             seed: 11,
         };
-        let per_op = |total_ns: f64| total_ns / OPS as f64;
+        let per_op = |total_ns: f64| total_ns / ops as f64;
         // Each mechanism's cost over the op phase only; overhead columns
         // show the delta over PM-Direct (same traffic shape, no
         // consistency machinery).

@@ -11,8 +11,8 @@
 
 use libpax::{Heap, MemSpace, PHashMap, PStructure, PaxConfig, PaxPool};
 use pax_cache::{CacheConfig, HierarchyConfig, HierarchyStats};
-use pax_device::DeviceMetrics;
-use pax_pm::PoolConfig;
+use pax_device::{DeviceConfig, DeviceMetrics};
+use pax_pm::{PoolConfig, LINE_SIZE};
 use pax_workloads::{Op, WorkloadSpec};
 
 pub use pax_telemetry::{Json, Report, TelemetrySnapshot};
@@ -82,6 +82,109 @@ impl BenchOut {
             println!("{}", self.report.render());
         }
     }
+}
+
+/// Whether `name` (e.g. `--measured`) is among the process arguments.
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The value following `--name` (or inside `--name=value`), if present.
+pub fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+        if let Some(v) = a.strip_prefix(name) {
+            if let Some(v) = v.strip_prefix('=') {
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Parses a `--name 1,2,4,8`-style comma-separated count list, falling
+/// back to `default` when the flag is absent.
+///
+/// # Panics
+///
+/// Panics on an unparseable or empty list — a bench invocation error.
+pub fn arg_counts(name: &str, default: &[usize]) -> Vec<usize> {
+    match arg_value(name) {
+        None => default.to_vec(),
+        Some(v) => {
+            let counts: Vec<usize> = v
+                .split(',')
+                .map(|s| s.trim().parse().unwrap_or_else(|_| panic!("bad count in {name}: {s:?}")))
+                .collect();
+            assert!(!counts.is_empty(), "{name} needs at least one count");
+            counts
+        }
+    }
+}
+
+/// Thread-count series for a scaling bench: `--threads 1,2,4,8` when
+/// given, `default` otherwise.
+pub fn thread_series(default: &[usize]) -> Vec<usize> {
+    arg_counts("--threads", default)
+}
+
+/// Measured wall-clock store throughput in Mops: `threads` OS threads,
+/// each attached to its own tenant pool context and issuing
+/// line-granularity stores through its own core's cache against a
+/// `shards`-way interleaved device, ending in one per-tenant persist.
+///
+/// This is the *real-thread* fig2b series: no event model, no virtual
+/// clock — just the `Send + Sync` [`PaxPool`] under `std::thread` and an
+/// [`std::time::Instant`]. Tracing is disabled so the trace lock never
+/// serializes the hot path, and the working set per thread exceeds the
+/// host cache share so stores keep reaching the device's lanes.
+///
+/// # Panics
+///
+/// Panics on simulation errors (they indicate harness bugs, not results).
+pub fn measure_threaded_store_mops(threads: usize, shards: usize, ops_per_thread: u64) -> f64 {
+    let config = PaxConfig::default()
+        .with_pool(PoolConfig::small().with_data_bytes(64 << 20).with_log_bytes(128 << 20))
+        .with_cores(threads)
+        .with_tenants(threads)
+        .with_auto_persist_on_log_full()
+        .with_device(
+            DeviceConfig::default()
+                .with_shards(shards)
+                .with_trace_capacity(0)
+                // Pump the undo banks in large, infrequent batches: same
+                // per-entry durable work, far fewer acquisitions of the
+                // global media lock on the store path.
+                .with_log_pump_batch(32)
+                .with_log_pump_interval(32),
+        );
+    let pool = PaxPool::create(config).expect("pool creation cannot fail with valid config");
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let tenant = pool.attach(t).expect("attach");
+            s.spawn(move || {
+                let vpm = tenant.vpm_for_core(t);
+                let lines = tenant.vpm_bytes() / LINE_SIZE as u64;
+                // 4× the 64 KiB host cache per thread, so the stream keeps
+                // evicting into the device instead of parking in the cache.
+                let working_set = 4 * (64 << 10) / LINE_SIZE as u64;
+                let span = working_set.min(lines);
+                for i in 0..ops_per_thread {
+                    // A fixed odd stride walks the whole span co-prime to
+                    // any power-of-two set count.
+                    let line = (i * 17) % span;
+                    vpm.write_u64(line * LINE_SIZE as u64, i).expect("store");
+                }
+                tenant.persist().expect("persist");
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    (threads as u64 * ops_per_thread) as f64 / secs / 1e6
 }
 
 /// Prints a fixed-width table; first row is the header.

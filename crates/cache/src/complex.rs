@@ -15,6 +15,9 @@
 //! recollects the final value by snooping every core (§3.3), so coverage
 //! is unaffected. The tests pin this down.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
 use pax_pm::{CacheLine, LineAddr, PersistenceDomain, Result};
 use pax_telemetry::{Counter, MetricSet, MetricSnapshot};
 
@@ -325,6 +328,401 @@ impl HostSnoop for CoreComplex {
     }
 }
 
+/// Number of presence-filter slots (hash buckets over line addresses).
+const PRESENCE_SLOTS: usize = 1024;
+
+/// [`CoreComplex`] for real OS threads: per-core caches behind their own
+/// locks, cross-core coherence kept with a one-lock-at-a-time probe
+/// protocol, and a conservative presence filter that skips peer probes
+/// for lines no peer can hold.
+///
+/// The coherence *protocol* is [`CoreComplex`]'s, call for call: own-hit
+/// → peer transfer (dirty copies return ownership to the home) → home
+/// agent. What changes is the locking: each core's cache sits behind its
+/// own `Mutex`, and no operation ever holds two core locks at once — a
+/// probe locks the peer, extracts the line, unlocks, and only then locks
+/// the requesting core to install. That makes the lock order trivially
+/// acyclic (core locks are leaves of the device's `ctl → core → lane →
+/// pool` hierarchy) at the cost of a window in which a line migrates
+/// between probe and install. The contract, inherited from the paper's
+/// §3.5, absorbs that window: structure code over vPM must serialize its
+/// own conflicting same-line accesses (thread-safe structures), and any
+/// access pattern so serialized observes exactly the single-driver
+/// protocol. Under one driving thread every lock is uncontended and the
+/// call sequence is bit-identical to [`CoreComplex`].
+///
+/// The presence filter is a never-cleared bitmap: slot = hash of the
+/// line address, bits = cores that ever installed a line hashing there.
+/// A probe consults it before touching any peer lock; absent bits prove
+/// the peer never held the line (installs set the bit first), so the
+/// probe — which in [`CoreComplex`] would miss in every peer without a
+/// single home call or metric increment — is skipped without taking the
+/// locks. False positives (hash aliasing, evicted lines) only cost a
+/// redundant probe. With more than 64 cores the bit encoding would
+/// alias, so the filter disables itself and every probe runs.
+#[derive(Debug)]
+pub struct SharedComplex {
+    cores: Vec<Mutex<CoherentCache>>,
+    metrics: MetricSet,
+    cache_to_cache_transfers: Counter,
+    peer_invalidations: Counter,
+    /// Accesses issued through `read_on`/`write_on`, by home shard; grown
+    /// to the home's shard count on first use.
+    shard_traffic: RwLock<Vec<AtomicU64>>,
+    /// Per-slot core-presence bitmaps (see type docs). Empty when the
+    /// filter is disabled (`cores > 64`).
+    presence: Vec<AtomicU64>,
+}
+
+impl SharedComplex {
+    /// A complex of `n` cores, each with a private cache of `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, config: CacheConfig) -> Self {
+        assert!(n > 0, "need at least one core");
+        let mut metrics = MetricSet::new("core_complex");
+        let cache_to_cache_transfers = metrics.counter("cache_to_cache_transfers");
+        let peer_invalidations = metrics.counter("peer_invalidations");
+        let presence = if n <= 64 {
+            (0..PRESENCE_SLOTS).map(|_| AtomicU64::new(0)).collect()
+        } else {
+            Vec::new()
+        };
+        SharedComplex {
+            cores: (0..n).map(|_| Mutex::new(CoherentCache::new(config))).collect(),
+            metrics,
+            cache_to_cache_transfers,
+            peer_invalidations,
+            shard_traffic: RwLock::new(Vec::new()),
+            presence,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    fn slot(addr: LineAddr) -> usize {
+        (addr.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % PRESENCE_SLOTS
+    }
+
+    /// Records that `core` is installing a line at `addr`. Must happen
+    /// before the install is visible so absent bits stay proof of
+    /// absence.
+    fn note_present(&self, core: usize, addr: LineAddr) {
+        if !self.presence.is_empty() {
+            self.presence[Self::slot(addr)].fetch_or(1 << core, Ordering::Relaxed);
+        }
+    }
+
+    /// `false` only when no peer of `core` can possibly hold `addr`.
+    fn peer_may_hold(&self, core: usize, addr: LineAddr) -> bool {
+        if self.presence.is_empty() {
+            return true;
+        }
+        self.presence[Self::slot(addr)].load(Ordering::Relaxed) & !(1u64 << core) != 0
+    }
+
+    /// Cross-core traffic counters.
+    pub fn stats(&self) -> ComplexStats {
+        ComplexStats {
+            cache_to_cache_transfers: self.metrics.get(self.cache_to_cache_transfers),
+            peer_invalidations: self.metrics.get(self.peer_invalidations),
+        }
+    }
+
+    /// Snapshot of the complex's own registry (cross-core traffic only;
+    /// per-core cache counters come via [`SharedComplex::cache_metrics`]).
+    pub fn metrics(&self) -> MetricSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// One `"host_cache"` snapshot summing every core's cache registry.
+    pub fn cache_metrics(&self) -> MetricSnapshot {
+        self.cores
+            .iter()
+            .fold(MetricSnapshot::empty("host_cache"), |acc, c| acc.merge(&lock(c).metrics()))
+    }
+
+    /// Per-core cache statistics.
+    pub fn core_stats(&self, core: usize) -> CacheStats {
+        lock(&self.cores[core]).stats()
+    }
+
+    /// A load by `core` (see [`CoreComplex::read`] for the protocol).
+    ///
+    /// # Errors
+    ///
+    /// Propagates home-agent failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn read(
+        &self,
+        core: usize,
+        addr: LineAddr,
+        home: &mut impl HomeAgent,
+    ) -> Result<CacheLine> {
+        {
+            let mut own = lock(&self.cores[core]);
+            if own.state_of(addr).is_some() {
+                return own.read(addr, home);
+            }
+        }
+        // Probe peers before leaving the socket — one lock at a time.
+        if self.peer_may_hold(core, addr) {
+            for peer in 0..self.cores.len() {
+                if peer == core {
+                    continue;
+                }
+                let transfer = {
+                    let mut p = lock(&self.cores[peer]);
+                    if p.state_of(addr).is_some() {
+                        let was_dirty = p.state_of(addr).is_some_and(|s| s.is_dirty());
+                        let data = p.snoop_shared(addr).expect("peer held the line");
+                        Some((was_dirty, data))
+                    } else {
+                        None
+                    }
+                };
+                if let Some((was_dirty, data)) = transfer {
+                    if was_dirty {
+                        // Ownership of dirty data returns to the home when
+                        // the line becomes shared.
+                        home.dirty_evict(addr, data.clone())?;
+                    }
+                    self.metrics.inc(self.cache_to_cache_transfers);
+                    self.note_present(core, addr);
+                    lock(&self.cores[core]).install_shared(addr, data.clone(), home)?;
+                    return Ok(data);
+                }
+            }
+        }
+        self.note_present(core, addr);
+        lock(&self.cores[core]).read(addr, home)
+    }
+
+    /// A store by `core` (see [`CoreComplex::write`] for the protocol).
+    ///
+    /// # Errors
+    ///
+    /// Propagates home-agent failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn write(
+        &self,
+        core: usize,
+        addr: LineAddr,
+        data: CacheLine,
+        home: &mut impl HomeAgent,
+    ) -> Result<()> {
+        // Invalidate every peer copy; capture migrating dirty ownership.
+        let mut migrated_dirty = false;
+        if self.peer_may_hold(core, addr) {
+            for peer in 0..self.cores.len() {
+                if peer == core {
+                    continue;
+                }
+                let mut p = lock(&self.cores[peer]);
+                if p.state_of(addr).is_some() {
+                    let dirty = p.snoop_invalidate(addr);
+                    self.metrics.inc(self.peer_invalidations);
+                    if dirty.is_some() {
+                        migrated_dirty = true;
+                    }
+                }
+            }
+        }
+        self.note_present(core, addr);
+        if migrated_dirty {
+            // Silent M-to-M migration: install directly as modified.
+            self.metrics.inc(self.cache_to_cache_transfers);
+            return lock(&self.cores[core]).install_modified(addr, data, home);
+        }
+        lock(&self.cores[core]).write(addr, data, home)
+    }
+
+    /// Read-modify-write by `core`: load (with peer transfer), apply `f`,
+    /// store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates home-agent failures.
+    pub fn update(
+        &self,
+        core: usize,
+        addr: LineAddr,
+        home: &mut impl HomeAgent,
+        f: impl FnOnce(&mut CacheLine),
+    ) -> Result<()> {
+        let mut line = self.read(core, addr, home)?;
+        f(&mut line);
+        self.write(core, addr, line, home)
+    }
+
+    /// Like [`SharedComplex::read`], against a [`ShardedHome`], accounting
+    /// the access to the shard owning `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates home-agent failures.
+    pub fn read_on(
+        &self,
+        core: usize,
+        addr: LineAddr,
+        home: &mut impl ShardedHome,
+    ) -> Result<CacheLine> {
+        self.note_shard(home.shard_count(), home.shard_of_line(addr));
+        self.read(core, addr, home)
+    }
+
+    /// Like [`SharedComplex::write`], against a [`ShardedHome`], with the
+    /// same per-shard accounting as [`SharedComplex::read_on`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates home-agent failures.
+    pub fn write_on(
+        &self,
+        core: usize,
+        addr: LineAddr,
+        data: CacheLine,
+        home: &mut impl ShardedHome,
+    ) -> Result<()> {
+        self.note_shard(home.shard_count(), home.shard_of_line(addr));
+        self.write(core, addr, data, home)
+    }
+
+    /// Like [`SharedComplex::update`], against a [`ShardedHome`], with
+    /// per-shard accounting on both the load and the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates home-agent failures.
+    pub fn update_on(
+        &self,
+        core: usize,
+        addr: LineAddr,
+        home: &mut impl ShardedHome,
+        f: impl FnOnce(&mut CacheLine),
+    ) -> Result<()> {
+        let mut line = self.read_on(core, addr, home)?;
+        f(&mut line);
+        self.write_on(core, addr, line, home)
+    }
+
+    fn note_shard(&self, count: usize, shard: usize) {
+        {
+            let traffic = self.shard_traffic.read().unwrap_or_else(|e| e.into_inner());
+            if shard < traffic.len() {
+                traffic[shard].fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut traffic = self.shard_traffic.write().unwrap_or_else(|e| e.into_inner());
+        while traffic.len() < count {
+            traffic.push(AtomicU64::new(0));
+        }
+        traffic[shard].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Accesses issued through [`SharedComplex::read_on`] /
+    /// [`SharedComplex::write_on`] per home shard. Empty until the first
+    /// sharded access.
+    pub fn shard_traffic(&self) -> Vec<u64> {
+        self.shard_traffic
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Writes back every dirty line in every core.
+    ///
+    /// # Errors
+    ///
+    /// Propagates home-agent failures.
+    pub fn flush_all(&self, home: &mut impl HomeAgent) -> Result<()> {
+        for c in &self.cores {
+            lock(c).flush_all(home)?;
+        }
+        Ok(())
+    }
+
+    /// Simulates power loss across all cores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates home-agent failures during an eADR flush.
+    pub fn crash(&self, domain: PersistenceDomain, home: &mut impl HomeAgent) -> Result<()> {
+        for c in &self.cores {
+            lock(c).crash(domain, home)?;
+        }
+        Ok(())
+    }
+
+    /// Downgrades every copy of `addr` to shared, one core lock at a
+    /// time; returns the freshest data ([`HostSnoop::snoop_shared`]
+    /// through `&self`).
+    pub fn snoop_shared_all(&self, addr: LineAddr) -> Option<CacheLine> {
+        let mut best: Option<CacheLine> = None;
+        for c in &self.cores {
+            let mut c = lock(c);
+            let was_dirty = c.state_of(addr).is_some_and(|s| s.is_dirty());
+            if let Some(data) = c.snoop_shared(addr) {
+                if was_dirty || best.is_none() {
+                    best = Some(data);
+                }
+            }
+        }
+        best
+    }
+
+    /// Invalidates every copy of `addr`, one core lock at a time; returns
+    /// the data only if a copy was dirty.
+    pub fn snoop_invalidate_all(&self, addr: LineAddr) -> Option<CacheLine> {
+        let mut dirty = None;
+        for c in &self.cores {
+            if let Some(d) = lock(c).snoop_invalidate(addr) {
+                dirty = Some(d);
+            }
+        }
+        dirty
+    }
+}
+
+impl HostSnoop for SharedComplex {
+    fn snoop_shared(&mut self, addr: LineAddr) -> Option<CacheLine> {
+        self.snoop_shared_all(addr)
+    }
+
+    fn snoop_invalidate(&mut self, addr: LineAddr) -> Option<CacheLine> {
+        self.snoop_invalidate_all(addr)
+    }
+}
+
+/// Shim for `HostSnoop` callers that only have `&SharedComplex`.
+impl HostSnoop for &SharedComplex {
+    fn snoop_shared(&mut self, addr: LineAddr) -> Option<CacheLine> {
+        self.snoop_shared_all(addr)
+    }
+
+    fn snoop_invalidate(&mut self, addr: LineAddr) -> Option<CacheLine> {
+        self.snoop_invalidate_all(addr)
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,6 +860,97 @@ mod tests {
             cx_b.read(1, LineAddr(i), &mut home_b).unwrap();
         }
         assert_eq!(cx_a.stats(), cx_b.stats());
+    }
+
+    #[test]
+    fn shared_complex_matches_core_complex_single_driver() {
+        // Same op sequence through both complexes: identical stats,
+        // identical data, identical home-visible traffic.
+        let mut cx = CoreComplex::new(2, CacheConfig::tiny(4 << 10, 4));
+        let sx = SharedComplex::new(2, CacheConfig::tiny(4 << 10, 4));
+        let mut home_a = MemoryHome::new(DramMedia::new(1 << 20));
+        let mut home_b = MemoryHome::new(DramMedia::new(1 << 20));
+        for i in 0..16u64 {
+            cx.write(0, LineAddr(i), CacheLine::filled(i as u8), &mut home_a).unwrap();
+            sx.write(0, LineAddr(i), CacheLine::filled(i as u8), &mut home_b).unwrap();
+        }
+        for i in 0..16u64 {
+            let a = cx.read(1, LineAddr(i), &mut home_a).unwrap();
+            let b = sx.read(1, LineAddr(i), &mut home_b).unwrap();
+            assert_eq!(a, b);
+        }
+        cx.write(1, LineAddr(3), CacheLine::filled(99), &mut home_a).unwrap();
+        sx.write(1, LineAddr(3), CacheLine::filled(99), &mut home_b).unwrap();
+        assert_eq!(cx.stats(), sx.stats());
+        for core in 0..2 {
+            assert_eq!(cx.core_stats(core), sx.core_stats(core));
+        }
+        assert_eq!(home_a.memory().stats(), home_b.memory().stats());
+        let a: Vec<_> = cx.cache_metrics().counters().map(|(k, v)| (k.to_string(), v)).collect();
+        let b: Vec<_> = sx.cache_metrics().counters().map(|(k, v)| (k.to_string(), v)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_complex_snoops_match() {
+        let sx = SharedComplex::new(4, CacheConfig::tiny(4 << 10, 4));
+        let mut home = MemoryHome::new(DramMedia::new(1 << 20));
+        sx.read(0, LineAddr(2), &mut home).unwrap();
+        sx.write(3, LineAddr(2), CacheLine::filled(4), &mut home).unwrap();
+        assert_eq!(sx.snoop_shared_all(LineAddr(2)), Some(CacheLine::filled(4)));
+        sx.write(1, LineAddr(2), CacheLine::filled(5), &mut home).unwrap();
+        assert_eq!(sx.snoop_invalidate_all(LineAddr(2)), Some(CacheLine::filled(5)));
+        assert_eq!(sx.snoop_invalidate_all(LineAddr(2)), None);
+    }
+
+    #[test]
+    fn shared_complex_threads_on_disjoint_lines() {
+        use std::sync::Arc;
+        // 4 real threads, each its own core and a disjoint line range over
+        // a shared DRAM home behind a mutex. Every thread's final stores
+        // must be visible afterwards and no cross-core traffic may appear.
+        let sx = Arc::new(SharedComplex::new(4, CacheConfig::tiny(16 << 10, 4)));
+        let home = Arc::new(Mutex::new(MemoryHome::new(DramMedia::new(1 << 20))));
+        let mut handles = Vec::new();
+        for core in 0..4usize {
+            let sx = Arc::clone(&sx);
+            let home = Arc::clone(&home);
+            handles.push(std::thread::spawn(move || {
+                struct LockedHome(Arc<Mutex<MemoryHome<DramMedia>>>);
+                impl HomeAgent for LockedHome {
+                    fn read_shared(&mut self, addr: LineAddr) -> Result<CacheLine> {
+                        lock(&self.0).read_shared(addr)
+                    }
+                    fn read_own(&mut self, addr: LineAddr) -> Result<CacheLine> {
+                        lock(&self.0).read_own(addr)
+                    }
+                    fn clean_evict(&mut self, addr: LineAddr) {
+                        lock(&self.0).clean_evict(addr)
+                    }
+                    fn dirty_evict(&mut self, addr: LineAddr, data: CacheLine) -> Result<()> {
+                        lock(&self.0).dirty_evict(addr, data)
+                    }
+                }
+                let mut h = LockedHome(home);
+                let base = core as u64 * 1000;
+                for round in 0..50u8 {
+                    for i in 0..32u64 {
+                        sx.write(core, LineAddr(base + i), CacheLine::filled(round), &mut h)
+                            .unwrap();
+                    }
+                }
+                for i in 0..32u64 {
+                    assert_eq!(
+                        sx.read(core, LineAddr(base + i), &mut h).unwrap(),
+                        CacheLine::filled(49)
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sx.stats(), ComplexStats::default(), "disjoint lines: no peer traffic");
     }
 
     #[test]

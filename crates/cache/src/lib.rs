@@ -50,7 +50,7 @@ pub mod set;
 
 pub use amat::{AmatBreakdown, AmatEstimator, MemKind};
 pub use cache::{CacheConfig, CacheStats, CoherentCache, HomeAgent, MemoryHome};
-pub use complex::{ComplexStats, CoreComplex, HostSnoop, ShardedHome};
+pub use complex::{ComplexStats, CoreComplex, HostSnoop, ShardedHome, SharedComplex};
 pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyStats, LevelStats};
 pub use mesi::MesiState;
 pub use set::SetAssoc;

@@ -11,15 +11,27 @@
 //! (on miss) CXL request → device → HBM/undo log/PM. A crash at any point
 //! loses exactly what real hardware would lose; recovery restores the
 //! last `persist()` snapshot.
+//!
+//! # Concurrency
+//!
+//! `PaxPool`, [`PaxTenant`], and [`VPm`] are `Send + Sync`: N OS threads
+//! may issue stores concurrently, each through its own core's cache
+//! (§3.5). There is no global pool lock on the hot path — the engine
+//! sits behind an [`RwLock`] taken in *read* mode by every access and
+//! persist, so threads contend only on the fine-grained locks inside the
+//! host model and the device (per-core caches, per-lane device shards,
+//! the media). Only [`PaxPool::crash`] takes the write lock: power loss
+//! is the one event that stops the machine. See `DESIGN.md` §11 for the
+//! full lock hierarchy.
 
 use std::path::Path;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use pax_cache::{
-    CacheConfig, CacheStats, CoherentCache, CoreComplex, Hierarchy, HierarchyConfig,
-    HierarchyStats, HostSnoop,
+    CacheConfig, CacheStats, CoherentCache, ComplexStats, Hierarchy, HierarchyConfig,
+    HierarchyStats, HostSnoop, SharedComplex,
 };
 use pax_device::{even_split, DeviceConfig, DeviceMetrics, PaxDevice, RecoveryReport, TenantId};
 use pax_pm::{CrashClock, LineAddr, PmError, PmPool, PoolConfig, LINE_SIZE};
@@ -121,99 +133,180 @@ impl Default for PaxConfig {
     }
 }
 
-/// The host's cache model: one coherence unit, or per-core caches with
-/// core-to-core transfers (§3.5).
+/// The host's cache model: one coherence unit behind its own lock, or
+/// per-core caches with core-to-core transfers (§3.5), each behind its
+/// own lock so different cores' accesses proceed in parallel.
 #[derive(Debug)]
 enum HostModel {
-    Single(CoherentCache),
-    Multi(CoreComplex),
+    Single(Mutex<CoherentCache>),
+    Multi(SharedComplex),
 }
 
 impl HostModel {
+    fn new(cores: usize, config: CacheConfig) -> Self {
+        if cores <= 1 {
+            HostModel::Single(Mutex::new(CoherentCache::new(config)))
+        } else {
+            HostModel::Multi(SharedComplex::new(cores, config))
+        }
+    }
+
+    fn cores(&self) -> usize {
+        match self {
+            HostModel::Single(_) => 1,
+            HostModel::Multi(cx) => cx.cores(),
+        }
+    }
+
     fn read(
-        &mut self,
+        &self,
         core: usize,
         addr: LineAddr,
-        home: &mut PaxDevice,
+        device: &PaxDevice,
     ) -> pax_pm::Result<pax_pm::CacheLine> {
+        let mut home = device;
         match self {
-            HostModel::Single(c) => c.read(addr, home),
+            HostModel::Single(c) => c.lock().read(addr, &mut home),
             // The sharded route: same protocol, but the access is
             // accounted to the device shard owning the line, so telemetry
             // can show how the interleave spreads a multi-core workload.
-            HostModel::Multi(cx) => cx.read_on(core, addr, home),
+            HostModel::Multi(cx) => cx.read_on(core, addr, &mut home),
         }
     }
 
     fn write(
-        &mut self,
+        &self,
         core: usize,
         addr: LineAddr,
         data: pax_pm::CacheLine,
-        home: &mut PaxDevice,
+        device: &PaxDevice,
     ) -> pax_pm::Result<()> {
+        let mut home = device;
         match self {
-            HostModel::Single(c) => c.write(addr, data, home),
-            HostModel::Multi(cx) => cx.write_on(core, addr, data, home),
+            HostModel::Single(c) => c.lock().write(addr, data, &mut home),
+            HostModel::Multi(cx) => cx.write_on(core, addr, data, &mut home),
         }
     }
 
+    /// A read-modify-write. Per §3.5 the structure layer serializes its
+    /// own conflicting same-line accesses, so the load and the store are
+    /// two ordinary protocol operations, not an atomic pair.
     fn update(
-        &mut self,
+        &self,
         core: usize,
         addr: LineAddr,
-        home: &mut PaxDevice,
+        device: &PaxDevice,
         f: impl FnOnce(&mut pax_pm::CacheLine),
     ) -> pax_pm::Result<()> {
-        let mut line = self.read(core, addr, home)?;
+        let mut line = self.read(core, addr, device)?;
         f(&mut line);
-        self.write(core, addr, line, home)
+        self.write(core, addr, line, device)
+    }
+
+    /// Discards all cache state at power loss.
+    fn crash_discard(&self) {
+        match self {
+            HostModel::Single(c) => c
+                .lock()
+                .crash(pax_pm::PersistenceDomain::Adr, &mut NullHome)
+                .expect("discarding cache state cannot fail"),
+            HostModel::Multi(cx) => cx
+                .crash(pax_pm::PersistenceDomain::Adr, &mut NullHome)
+                .expect("discarding cache state cannot fail"),
+        }
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        match self {
+            HostModel::Single(c) => c.lock().stats(),
+            HostModel::Multi(cx) => cx.core_stats(0),
+        }
+    }
+
+    fn complex_stats(&self) -> Option<ComplexStats> {
+        match self {
+            HostModel::Single(_) => None,
+            HostModel::Multi(cx) => Some(cx.stats()),
+        }
+    }
+
+    fn shard_traffic(&self) -> Option<Vec<u64>> {
+        match self {
+            HostModel::Single(_) => None,
+            HostModel::Multi(cx) => Some(cx.shard_traffic()),
+        }
+    }
+
+    /// Metric snapshots in stack order (`host_cache`, plus
+    /// `core_complex` for multi-core hosts).
+    fn metric_components(&self) -> Vec<MetricSnapshot> {
+        match self {
+            HostModel::Single(c) => vec![c.lock().metrics()],
+            HostModel::Multi(cx) => vec![cx.cache_metrics(), cx.metrics()],
+        }
     }
 }
 
-impl HostSnoop for HostModel {
+/// Persist paths snoop the host through `&HostModel`: the device calls
+/// back into the host model while holding no host lock itself, and each
+/// snoop locks one core at a time.
+impl HostSnoop for &HostModel {
     fn snoop_shared(&mut self, addr: LineAddr) -> Option<pax_pm::CacheLine> {
-        match self {
-            HostModel::Single(c) => c.snoop_shared(addr),
-            HostModel::Multi(cx) => HostSnoop::snoop_shared(cx, addr),
+        match *self {
+            HostModel::Single(c) => c.lock().snoop_shared(addr),
+            HostModel::Multi(cx) => cx.snoop_shared_all(addr),
         }
     }
 
     fn snoop_invalidate(&mut self, addr: LineAddr) -> Option<pax_pm::CacheLine> {
-        match self {
-            HostModel::Single(c) => c.snoop_invalidate(addr),
-            HostModel::Multi(cx) => HostSnoop::snoop_invalidate(cx, addr),
+        match *self {
+            HostModel::Single(c) => c.lock().snoop_invalidate(addr),
+            HostModel::Multi(cx) => cx.snoop_invalidate_all(addr),
         }
     }
 }
 
-/// Forensic state preserved across a simulated power loss: the trace and
-/// final metric snapshots a debugger attached to the dead machine would
-/// still hold.
+/// Forensic state preserved across a simulated power loss: the trace,
+/// final metric snapshots, and final stats views a debugger attached to
+/// the dead machine would still hold.
 #[derive(Debug)]
 struct PostCrash {
     trace: TraceBuf,
-    /// Final `cxl`/`device`/`media` snapshots, in stack order.
+    /// Final snapshots in full stack order: host cache (plus
+    /// `core_complex`), instrumentation, `cxl`, `device`, `media`.
     components: Vec<MetricSnapshot>,
+    cache_stats: CacheStats,
+    complex_stats: Option<ComplexStats>,
+    shard_traffic: Option<Vec<u64>>,
+    hier_stats: Option<HierarchyStats>,
+}
+
+/// The running machine: everything that dies at power loss.
+#[derive(Debug)]
+struct Engine {
+    device: PaxDevice,
+    host: HostModel,
+    /// Tag-only miss-rate instrument; its own lock because it is pure
+    /// telemetry — it must not serialize the access path it measures
+    /// beyond its own bookkeeping.
+    hier: Option<Mutex<Hierarchy>>,
 }
 
 #[derive(Debug)]
 struct Inner {
     /// `None` after a simulated power loss: subsequent accesses fail with
-    /// the crash error, like a real process whose mapping died.
-    device: Option<PaxDevice>,
-    cache: HostModel,
-    hier: Option<Hierarchy>,
-    auto_persist_on_log_full: bool,
+    /// the crash error, like a real process whose mapping died. Accesses
+    /// and persists share the read side; only `crash` writes.
+    engine: RwLock<Option<Engine>>,
     /// Populated by [`PaxPool::crash`] so telemetry and the trace dump
     /// stay readable post-mortem.
-    post_crash: Option<PostCrash>,
+    post_crash: Mutex<Option<PostCrash>>,
+    auto_persist_on_log_full: bool,
 }
 
-impl Inner {
-    fn device(&mut self) -> Result<&mut PaxDevice> {
-        self.device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))
-    }
+/// Live-engine projection of the read guard, or the crash error.
+fn live(engine: &Option<Engine>) -> Result<&Engine> {
+    engine.as_ref().ok_or(PaxError::Pm(PmError::Crashed))
 }
 
 /// Sink for cache state discarded at a crash (nothing survives).
@@ -238,7 +331,7 @@ impl pax_cache::HomeAgent for NullHome {
 /// A live PAX-backed pool (see module docs).
 #[derive(Debug, Clone)]
 pub struct PaxPool {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<Inner>,
     vpm_bytes: u64,
 }
 
@@ -264,17 +357,15 @@ impl PaxPool {
         let regions = even_split(pool.layout().data_lines, config.tenants);
         let device = PaxDevice::open_multi(pool, config.device, regions)?;
         Ok(PaxPool {
-            inner: Arc::new(Mutex::new(Inner {
-                device: Some(device),
-                cache: if config.cores <= 1 {
-                    HostModel::Single(CoherentCache::new(config.cache))
-                } else {
-                    HostModel::Multi(CoreComplex::new(config.cores, config.cache))
-                },
-                hier: config.instrument.map(Hierarchy::new),
+            inner: Arc::new(Inner {
+                engine: RwLock::new(Some(Engine {
+                    device,
+                    host: HostModel::new(config.cores, config.cache),
+                    hier: config.instrument.map(|h| Mutex::new(Hierarchy::new(h))),
+                })),
+                post_crash: Mutex::new(None),
                 auto_persist_on_log_full: config.auto_persist_on_log_full,
-                post_crash: None,
-            })),
+            }),
             vpm_bytes,
         })
     }
@@ -304,12 +395,8 @@ impl PaxPool {
     ///
     /// Panics if `core` is out of range for the configured host.
     pub fn vpm_for_core(&self, core: usize) -> VPm {
-        {
-            let inner = self.inner.lock();
-            let cores = match &inner.cache {
-                HostModel::Single(_) => 1,
-                HostModel::Multi(cx) => cx.cores(),
-            };
+        if let Some(e) = self.inner.engine.read().as_ref() {
+            let cores = e.host.cores();
             assert!(core < cores, "core {core} out of range for {cores}-core host");
         }
         VPm { inner: Arc::clone(&self.inner), base_bytes: 0, vpm_bytes: self.vpm_bytes, core }
@@ -325,15 +412,15 @@ impl PaxPool {
     /// Fails with a config error for an out-of-range tenant, or if power
     /// was already lost.
     pub fn attach(&self, t: TenantId) -> Result<PaxTenant> {
-        let mut inner = self.inner.lock();
-        let device = inner.device()?;
-        if t >= device.tenant_count() {
+        let engine = self.inner.engine.read();
+        let e = live(&engine)?;
+        if t >= e.device.tenant_count() {
             return Err(PaxError::Pm(PmError::Config(format!(
                 "tenant {t} out of range for a {}-tenant pool",
-                device.tenant_count()
+                e.device.tenant_count()
             ))));
         }
-        let region = device.tenants().region(t);
+        let region = e.device.tenants().region(t);
         Ok(PaxTenant {
             inner: Arc::clone(&self.inner),
             tenant: t,
@@ -348,24 +435,24 @@ impl PaxPool {
     ///
     /// Fails if power was already lost.
     pub fn tenant_count(&self) -> Result<usize> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.tenant_count())
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.tenant_count())
     }
 
     /// Cross-core transfer statistics (multi-core hosts only).
-    pub fn complex_stats(&self) -> Option<pax_cache::ComplexStats> {
-        match &self.inner.lock().cache {
-            HostModel::Single(_) => None,
-            HostModel::Multi(cx) => Some(cx.stats()),
+    pub fn complex_stats(&self) -> Option<ComplexStats> {
+        match self.inner.engine.read().as_ref() {
+            Some(e) => e.host.complex_stats(),
+            None => self.inner.post_crash.lock().as_ref().and_then(|pc| pc.complex_stats),
         }
     }
 
     /// Accesses routed per device shard by the multi-core host model
     /// (`None` for single-core hosts; empty until the first access).
     pub fn shard_traffic(&self) -> Option<Vec<u64>> {
-        match &self.inner.lock().cache {
-            HostModel::Single(_) => None,
-            HostModel::Multi(cx) => Some(cx.shard_traffic().to_vec()),
+        match self.inner.engine.read().as_ref() {
+            Some(e) => e.host.shard_traffic(),
+            None => self.inner.post_crash.lock().as_ref().and_then(|pc| pc.shard_traffic.clone()),
         }
     }
 
@@ -375,8 +462,8 @@ impl PaxPool {
     ///
     /// Fails if power was already lost.
     pub fn shard_count(&self) -> Result<usize> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.shard_count())
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.shard_count())
     }
 
     /// Ends the current epoch: durably commits a crash-consistent
@@ -390,10 +477,9 @@ impl PaxPool {
     ///
     /// Surfaces simulated crashes and media errors.
     pub fn persist(&self) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        let Inner { device, cache, .. } = &mut *inner;
-        let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
-        Ok(device.persist(cache)?)
+        let engine = self.inner.engine.read();
+        let e = live(&engine)?;
+        Ok(e.device.persist(&mut &e.host)?)
     }
 
     /// Begins a **non-blocking** persist (the paper's §6 extension):
@@ -407,10 +493,9 @@ impl PaxPool {
     ///
     /// Surfaces simulated crashes and media errors.
     pub fn persist_async(&self) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        let Inner { device, cache, .. } = &mut *inner;
-        let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
-        Ok(device.persist_async(cache)?)
+        let engine = self.inner.engine.read();
+        let e = live(&engine)?;
+        Ok(e.device.persist_async(&mut &e.host)?)
     }
 
     /// Advances a non-blocking persist; `Some(epoch)` when it commits.
@@ -419,8 +504,8 @@ impl PaxPool {
     ///
     /// Surfaces simulated crashes and media errors.
     pub fn persist_poll(&self) -> Result<Option<u64>> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.persist_poll()?)
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.persist_poll()?)
     }
 
     /// Blocks until any non-blocking persist has committed.
@@ -429,8 +514,8 @@ impl PaxPool {
     ///
     /// Surfaces simulated crashes and media errors.
     pub fn persist_wait(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.persist_wait()?)
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.persist_wait()?)
     }
 
     /// The epoch currently draining from a non-blocking persist, if any.
@@ -439,8 +524,8 @@ impl PaxPool {
     ///
     /// Fails if power was already lost.
     pub fn persist_pending(&self) -> Result<Option<u64>> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.persist_pending())
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.persist_pending())
     }
 
     /// Advances the device's virtual-time scheduler by `ticks`: every
@@ -454,8 +539,8 @@ impl PaxPool {
     ///
     /// Surfaces simulated crashes and media errors.
     pub fn run_device(&self, ticks: u64) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.tick(ticks)?)
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.tick(ticks)?)
     }
 
     /// Virtual ticks the device scheduler has executed
@@ -465,36 +550,48 @@ impl PaxPool {
     ///
     /// Fails if power was already lost.
     pub fn device_ticks(&self) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.ticks_elapsed())
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.ticks_elapsed())
     }
 
     /// Simulates power loss, returning the pool's durable remains for a
     /// later [`PaxPool::open`]. All live handles to this pool start
     /// failing with a crash error.
     ///
+    /// This is the only operation that takes the engine lock in write
+    /// mode: it waits out every in-flight access, then stops the machine.
+    ///
     /// # Errors
     ///
     /// Returns the crash error if power was already lost.
     pub fn crash(&self) -> Result<PmPool> {
-        let mut inner = self.inner.lock();
-        let device = inner.device.take().ok_or(PaxError::Pm(PmError::Crashed))?;
+        let mut engine = self.inner.engine.write();
+        let Engine { device, host, hier } = engine.take().ok_or(PaxError::Pm(PmError::Crashed))?;
         // Host-cache contents die with power. Note that eADR would flush
         // dirty lines *to the device* — whose buffers are equally volatile
         // — so under PAX even eADR does not move the recovery point: it is
         // always the last committed epoch.
-        match &mut inner.cache {
-            HostModel::Single(c) => c
-                .crash(pax_pm::PersistenceDomain::Adr, &mut NullHome)
-                .expect("discarding cache state cannot fail"),
-            HostModel::Multi(cx) => cx
-                .crash(pax_pm::PersistenceDomain::Adr, &mut NullHome)
-                .expect("discarding cache state cannot fail"),
+        host.crash_discard();
+        let mut components = host.metric_components();
+        if let Some(h) = &hier {
+            components.push(h.lock().metrics());
         }
-        let cxl = Self::link_snapshot(&device.metrics());
+        components.push(Self::link_snapshot(&device.metrics()));
+        let cache_stats = host.cache_stats();
+        let complex_stats = host.complex_stats();
+        let shard_traffic = host.shard_traffic();
+        let hier_stats = hier.as_ref().map(|h| h.lock().stats());
         let (pm, trace, device_snapshot) = device.crash_into_parts();
-        inner.post_crash =
-            Some(PostCrash { trace, components: vec![cxl, device_snapshot, pm.media_metrics()] });
+        components.push(device_snapshot);
+        components.push(pm.media_metrics());
+        *self.inner.post_crash.lock() = Some(PostCrash {
+            trace,
+            components,
+            cache_stats,
+            complex_stats,
+            shard_traffic,
+            hier_stats,
+        });
         Ok(pm)
     }
 
@@ -505,9 +602,8 @@ impl PaxPool {
     ///
     /// Propagates file I/O errors; fails after a crash.
     pub fn save_file(&self, path: impl AsRef<Path>) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let device = inner.device()?;
-        device.save(path)?;
+        let engine = self.inner.engine.read();
+        live(&engine)?.device.save(path)?;
         Ok(())
     }
 
@@ -518,8 +614,8 @@ impl PaxPool {
     ///
     /// Fails if power was already lost.
     pub fn crash_clock(&self) -> Result<CrashClock> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.crash_clock())
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.crash_clock())
     }
 
     /// The device's event counters.
@@ -528,21 +624,26 @@ impl PaxPool {
     ///
     /// Fails if power was already lost.
     pub fn device_metrics(&self) -> Result<DeviceMetrics> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.metrics())
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.metrics())
     }
 
     /// The host cache's event counters (core 0's on a multi-core host).
     pub fn cache_stats(&self) -> CacheStats {
-        match &self.inner.lock().cache {
-            HostModel::Single(c) => c.stats(),
-            HostModel::Multi(cx) => cx.core_stats(0),
+        match self.inner.engine.read().as_ref() {
+            Some(e) => e.host.cache_stats(),
+            None => {
+                self.inner.post_crash.lock().as_ref().map(|pc| pc.cache_stats).unwrap_or_default()
+            }
         }
     }
 
     /// Miss-rate instrumentation counters, if enabled.
     pub fn hierarchy_stats(&self) -> Option<HierarchyStats> {
-        self.inner.lock().hier.as_ref().map(|h| h.stats())
+        match self.inner.engine.read().as_ref() {
+            Some(e) => e.hier.as_ref().map(|h| h.lock().stats()),
+            None => self.inner.post_crash.lock().as_ref().and_then(|pc| pc.hier_stats),
+        }
     }
 
     /// The implied CXL link traffic of the synchronous host↔device path,
@@ -565,33 +666,31 @@ impl PaxPool {
     /// stack order: host cache (plus `core_complex` and `cache_hierarchy`
     /// when configured), `cxl`, `device`, `media`.
     ///
-    /// Works after a crash too: [`PaxPool::crash`] stashes the device-side
-    /// components' final snapshots, so post-mortem accounting (e.g. "how
+    /// Works after a crash too: [`PaxPool::crash`] stashes every
+    /// component's final snapshot, so post-mortem accounting (e.g. "how
     /// many undo entries had been appended when power died?") keeps
     /// working while accesses fail.
     pub fn telemetry(&self) -> TelemetrySnapshot {
-        let inner = self.inner.lock();
-        let mut components = Vec::new();
-        match &inner.cache {
-            HostModel::Single(c) => components.push(c.metrics()),
-            HostModel::Multi(cx) => {
-                components.push(cx.cache_metrics());
-                components.push(cx.metrics());
+        match self.inner.engine.read().as_ref() {
+            Some(e) => {
+                let mut components = e.host.metric_components();
+                if let Some(h) = &e.hier {
+                    components.push(h.lock().metrics());
+                }
+                components.push(Self::link_snapshot(&e.device.metrics()));
+                components.push(e.device.metric_snapshot());
+                components.push(e.device.media_metrics());
+                TelemetrySnapshot::new(components)
             }
+            None => TelemetrySnapshot::new(
+                self.inner
+                    .post_crash
+                    .lock()
+                    .as_ref()
+                    .map(|pc| pc.components.clone())
+                    .unwrap_or_default(),
+            ),
         }
-        if let Some(h) = &inner.hier {
-            components.push(h.metrics());
-        }
-        match (&inner.device, &inner.post_crash) {
-            (Some(d), _) => {
-                components.push(Self::link_snapshot(&d.metrics()));
-                components.push(d.metric_snapshot());
-                components.push(d.pool().media_metrics());
-            }
-            (None, Some(pc)) => components.extend(pc.components.iter().cloned()),
-            (None, None) => {}
-        }
-        TelemetrySnapshot::new(components)
     }
 
     /// The device's structured trace as JSON lines (oldest first).
@@ -600,11 +699,15 @@ impl PaxPool {
     /// the stashed final trace, whose last events are the log appends and
     /// the injected crash — the forensic record replay tooling consumes.
     pub fn trace_dump(&self) -> String {
-        let inner = self.inner.lock();
-        match (&inner.device, &inner.post_crash) {
-            (Some(d), _) => d.trace_dump(),
-            (None, Some(pc)) => pc.trace.dump_json_lines(),
-            (None, None) => String::new(),
+        match self.inner.engine.read().as_ref() {
+            Some(e) => e.device.trace_dump(),
+            None => self
+                .inner
+                .post_crash
+                .lock()
+                .as_ref()
+                .map(|pc| pc.trace.dump_json_lines())
+                .unwrap_or_default(),
         }
     }
 
@@ -614,8 +717,8 @@ impl PaxPool {
     ///
     /// Fails if power was already lost.
     pub fn recovery_report(&self) -> Result<RecoveryReport> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.recovery_report())
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.recovery_report())
     }
 
     /// The committed (recovery-point) epoch.
@@ -624,8 +727,8 @@ impl PaxPool {
     ///
     /// Fails if power was already lost.
     pub fn committed_epoch(&self) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.committed_epoch()?)
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.committed_epoch()?)
     }
 
     /// Bytes of vPM exposed to the application.
@@ -640,7 +743,7 @@ impl PaxPool {
 /// machine.
 #[derive(Debug, Clone)]
 pub struct PaxTenant {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<Inner>,
     tenant: TenantId,
     base_bytes: u64,
     vpm_bytes: u64,
@@ -682,10 +785,9 @@ impl PaxTenant {
     ///
     /// Surfaces simulated crashes and media errors.
     pub fn persist(&self) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        let Inner { device, cache, .. } = &mut *inner;
-        let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
-        Ok(device.persist_tenant(self.tenant, cache)?)
+        let engine = self.inner.engine.read();
+        let e = live(&engine)?;
+        Ok(e.device.persist_tenant(self.tenant, &mut &e.host)?)
     }
 
     /// Begins a non-blocking persist of this tenant's epoch (§6).
@@ -694,10 +796,9 @@ impl PaxTenant {
     ///
     /// Surfaces simulated crashes and media errors.
     pub fn persist_async(&self) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        let Inner { device, cache, .. } = &mut *inner;
-        let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
-        Ok(device.persist_async_tenant(self.tenant, cache)?)
+        let engine = self.inner.engine.read();
+        let e = live(&engine)?;
+        Ok(e.device.persist_async_tenant(self.tenant, &mut &e.host)?)
     }
 
     /// Advances this tenant's non-blocking persist; `Some(epoch)` when it
@@ -707,8 +808,8 @@ impl PaxTenant {
     ///
     /// Surfaces simulated crashes and media errors.
     pub fn persist_poll(&self) -> Result<Option<u64>> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.persist_poll_tenant(self.tenant)?)
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.persist_poll_tenant(self.tenant)?)
     }
 
     /// Completes this tenant's non-blocking persist, if one is draining.
@@ -717,8 +818,8 @@ impl PaxTenant {
     ///
     /// Surfaces simulated crashes and media errors.
     pub fn persist_wait(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.persist_wait_tenant(self.tenant)?)
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.persist_wait_tenant(self.tenant)?)
     }
 
     /// The epoch this tenant is currently draining, if any.
@@ -727,8 +828,8 @@ impl PaxTenant {
     ///
     /// Fails if power was already lost.
     pub fn persist_pending(&self) -> Result<Option<u64>> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.persist_pending_tenant(self.tenant))
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.persist_pending_tenant(self.tenant))
     }
 
     /// This tenant's committed (recovery-point) epoch.
@@ -737,8 +838,8 @@ impl PaxTenant {
     ///
     /// Fails if power was already lost.
     pub fn committed_epoch(&self) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        Ok(inner.device()?.committed_epoch_for(self.tenant)?)
+        let engine = self.inner.engine.read();
+        Ok(live(&engine)?.device.committed_epoch_for(self.tenant)?)
     }
 }
 
@@ -746,7 +847,7 @@ impl PaxTenant {
 /// host-cache → CXL → device path (see module docs).
 #[derive(Debug, Clone)]
 pub struct VPm {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<Inner>,
     /// First byte of the mapped window in device vPM space (non-zero for
     /// a tenant's mapping, whose address 0 is its extent's base).
     base_bytes: u64,
@@ -788,15 +889,14 @@ impl VPm {
 impl MemSpace for VPm {
     fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<()> {
         self.check(addr, buf.len())?;
-        let mut inner = self.inner.lock();
+        let engine = self.inner.engine.read();
+        let e = live(&engine)?;
         let mut done = 0;
         for (line, off, n) in Self::pieces(self.base_bytes + addr, buf.len()) {
-            let Inner { device, cache, hier, .. } = &mut *inner;
-            let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
-            if let Some(h) = hier {
-                h.access(line);
+            if let Some(h) = &e.hier {
+                h.lock().access(line);
             }
-            let data = cache.read(self.core, line, device)?;
+            let data = e.host.read(self.core, line, &e.device)?;
             buf[done..done + n].copy_from_slice(data.read_at(off, n));
             done += n;
         }
@@ -805,41 +905,41 @@ impl MemSpace for VPm {
 
     fn write_bytes(&self, addr: u64, data: &[u8]) -> Result<()> {
         self.check(addr, data.len())?;
-        let mut inner = self.inner.lock();
+        let engine = self.inner.engine.read();
+        let e = live(&engine)?;
         let mut done = 0;
         for (line, off, n) in Self::pieces(self.base_bytes + addr, data.len()) {
-            let Inner { device, cache, hier, auto_persist_on_log_full, .. } = &mut *inner;
-            let device = device.as_mut().ok_or(PaxError::Pm(PmError::Crashed))?;
-            if let Some(h) = hier {
-                h.access(line);
+            if let Some(h) = &e.hier {
+                h.lock().access(line);
             }
-            let write_once = |cache: &mut HostModel, device: &mut PaxDevice| {
+            let write_once = || {
                 if off == 0 && n == LINE_SIZE {
-                    cache.write(
+                    e.host.write(
                         self.core,
                         line,
                         pax_pm::CacheLine::from_bytes(&data[done..done + n]),
-                        device,
+                        &e.device,
                     )
                 } else {
-                    cache
-                        .update(self.core, line, device, |l| l.write_at(off, &data[done..done + n]))
+                    e.host.update(self.core, line, &e.device, |l| {
+                        l.write_at(off, &data[done..done + n])
+                    })
                 }
             };
-            match write_once(cache, device) {
+            match write_once() {
                 Ok(()) => {}
-                Err(PmError::LogFull { .. }) if *auto_persist_on_log_full => {
+                Err(PmError::LogFull { .. }) if self.inner.auto_persist_on_log_full => {
                     // §3.2: persist periodically to limit undo log growth
                     // — here, exactly when growth hits the limit, and only
                     // for the tenant whose bank filled: another tenant's
                     // open epoch must not be committed on its behalf.
-                    match device.tenant_of(line) {
-                        Some(t) => device.persist_tenant(t, cache)?,
-                        None => device.persist(cache)?,
+                    match e.device.tenant_of(line) {
+                        Some(t) => e.device.persist_tenant(t, &mut &e.host)?,
+                        None => e.device.persist(&mut &e.host)?,
                     };
-                    write_once(cache, device)?;
+                    write_once()?;
                 }
-                Err(e) => return Err(e.into()),
+                Err(err) => return Err(err.into()),
             }
             done += n;
         }
@@ -1065,5 +1165,57 @@ mod tests {
         }
         assert!(a.committed_epoch().unwrap() >= 1, "A auto-persisted on log full");
         assert_eq!(b.committed_epoch().unwrap(), 0, "B's open epoch was not committed for it");
+    }
+
+    #[test]
+    fn pool_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PaxPool>();
+        assert_send_sync::<PaxTenant>();
+        assert_send_sync::<VPm>();
+    }
+
+    #[test]
+    fn concurrent_tenant_threads_store_and_persist() {
+        let config = PaxConfig::default()
+            .with_cores(4)
+            .with_tenants(4)
+            .with_device(DeviceConfig::default().with_shards(4));
+        let pool = PaxPool::create(config).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let tenant = pool.attach(t).unwrap();
+                s.spawn(move || {
+                    let vpm = tenant.vpm_for_core(t);
+                    let lines = tenant.vpm_bytes() / LINE_SIZE as u64;
+                    for i in 0..64u64 {
+                        vpm.write_u64((i % lines) * LINE_SIZE as u64, i + 1).unwrap();
+                    }
+                    tenant.persist().unwrap();
+                });
+            }
+        });
+        for t in 0..4 {
+            let tenant = pool.attach(t).unwrap();
+            assert_eq!(tenant.committed_epoch().unwrap(), 1);
+            // Line 0's last writer is the largest i ≡ 0 (mod lines).
+            let lines = tenant.vpm_bytes() / LINE_SIZE as u64;
+            let expected = (63 / lines) * lines + 1;
+            assert_eq!(tenant.vpm().read_u64(0).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn telemetry_and_stats_survive_a_crash() {
+        let config =
+            PaxConfig::default().with_cores(2).with_device(DeviceConfig::default().with_shards(2));
+        let pool = PaxPool::create(config).unwrap();
+        pool.vpm().write_u64(0, 1).unwrap();
+        let live_traffic = pool.shard_traffic().unwrap();
+        pool.crash().unwrap();
+        assert_eq!(pool.shard_traffic().unwrap(), live_traffic);
+        assert!(pool.complex_stats().is_some());
+        assert!(pool.telemetry().counter("device", "rd_own") >= 1);
+        assert!(pool.trace_dump().contains("crash"));
     }
 }

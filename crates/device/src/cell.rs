@@ -1,0 +1,91 @@
+//! Interior-mutability cells for the concurrent device.
+//!
+//! The refactor to a `Send + Sync` [`PaxDevice`](crate::PaxDevice) keeps
+//! the PM media and the trace buffer global (the ISSUE's per-shard locks
+//! cover the undo banks, HBM sets, and write-back queues — which live in
+//! the per-lane [`DeviceShard`](crate::shard::DeviceShard) mutexes), but
+//! both must now be reachable from `&self`. These cells wrap them:
+//!
+//! * [`PoolCell`] — the single media lock. Shard engines receive
+//!   `&PoolCell` and lock it only around actual durable-write steps, so
+//!   an HBM hit or an undo-bank append never touches the global lock.
+//!   **Never call a `&PoolCell`-taking function while holding its
+//!   guard** — the `Mutex` is not reentrant.
+//! * [`TraceCell`] — the trace lock, with the enabled flag hoisted out:
+//!   a device opened with `trace_capacity = 0` (every measured bench)
+//!   records through an unsynchronized boolean check and never takes the
+//!   lock at all.
+//!
+//! Both recover from poisoning (a panicked thread must not wedge every
+//! other thread's persist), matching the vendored `parking_lot` shim's
+//! policy.
+
+use std::sync::{Mutex, MutexGuard, TryLockError};
+
+use pax_pm::PmPool;
+use pax_telemetry::{TraceBuf, TraceEvent};
+
+/// Locks a mutex, recovering the guard from a poisoned lock.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Tries to lock a mutex without blocking, recovering from poison;
+/// `None` only when the lock is held by another thread.
+pub(crate) fn try_lock<T>(m: &Mutex<T>) -> Option<MutexGuard<'_, T>> {
+    match m.try_lock() {
+        Ok(g) => Some(g),
+        Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+        Err(TryLockError::WouldBlock) => None,
+    }
+}
+
+/// The device's PM media behind its single lock (see module docs).
+#[derive(Debug)]
+pub(crate) struct PoolCell(Mutex<PmPool>);
+
+impl PoolCell {
+    pub(crate) fn new(pool: PmPool) -> Self {
+        PoolCell(Mutex::new(pool))
+    }
+
+    /// Locks the media. Hold the guard only across the durable-write
+    /// steps that need it.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, PmPool> {
+        lock(&self.0)
+    }
+
+    pub(crate) fn into_inner(self) -> PmPool {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The device's trace buffer behind a lock, skipped entirely when
+/// tracing is disabled (see module docs).
+#[derive(Debug)]
+pub(crate) struct TraceCell {
+    enabled: bool,
+    inner: Mutex<TraceBuf>,
+}
+
+impl TraceCell {
+    pub(crate) fn new(trace: TraceBuf) -> Self {
+        TraceCell { enabled: trace.is_enabled(), inner: Mutex::new(trace) }
+    }
+
+    /// Appends a record; a no-op without the lock when tracing is off.
+    pub(crate) fn record(&self, component: &'static str, event: TraceEvent) {
+        if self.enabled {
+            lock(&self.inner).record(component, event);
+        }
+    }
+
+    /// Direct access for dump/forensics paths.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, TraceBuf> {
+        lock(&self.inner)
+    }
+
+    pub(crate) fn into_inner(self) -> TraceBuf {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -27,11 +27,14 @@
 //! default) degenerates to the classic sharded device exactly.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use pax_cache::{HomeAgent, HostSnoop, ShardedHome};
 use pax_pm::{CacheLine, CrashClock, LineAddr, PmError, PmPool, Result};
 use pax_telemetry::{MetricSet, MetricSnapshot, TraceBuf, TraceEvent};
 
+use crate::cell::{lock, try_lock, PoolCell, TraceCell};
 use crate::directory::{coalesce_runs, DirectoryConfig};
 use crate::hbm::{HbmConfig, HbmLine};
 use crate::metrics::{DeviceCounters, DeviceMetrics};
@@ -39,6 +42,7 @@ use crate::recovery::{recover_traced, RecoveryReport};
 use crate::sched::{weighted_budget, DeviceScheduler, SchedConfig};
 use crate::shard::{split_log_region, tick, DeviceShard};
 use crate::tenant::{TenantId, TenantMap, TenantRegion};
+use crate::undo_log::LogWatermark;
 
 /// Component name stamped on the device's metrics and trace records.
 const COMPONENT: &str = "device";
@@ -219,9 +223,28 @@ struct DrainState {
 }
 
 /// The PAX persistence accelerator (see module docs).
+///
+/// # Concurrency
+///
+/// Every public method takes `&self`: the device is `Send + Sync`, and N
+/// OS threads may issue stores concurrently (one tenant/core per thread;
+/// see DESIGN.md §11). The lock order is
+/// **ctl (`draining[t]`) → host core → lane (`shards[l]`) → pool →
+/// trace**. Persist paths hold their tenant's ctl lock for their whole
+/// duration; hot paths only ever `try_lock` it (a contended ctl implies a
+/// concurrent persist, and non-blocking [`DrainState`]s exist only in
+/// single-driver mode, so skipping is correct there). Hot paths never
+/// hold a lane lock across a call that acquires another lane or a host
+/// core. Epoch counters and the per-lane durable log watermarks are
+/// atomics, read lock-free. Epoch commit — which takes ctl, flushes every
+/// lane of the tenant, and writes the header slot — is the only
+/// cross-shard rendezvous.
 #[derive(Debug)]
 pub struct PaxDevice {
-    pool: PmPool,
+    /// The PM media behind its single global lock; engines lock it only
+    /// around actual durable-write steps (HBM hits and undo-bank appends
+    /// never touch it).
+    pool: PoolCell,
     clock: CrashClock,
     config: DeviceConfig,
     /// The validated tenant layout; [`PaxDevice::open`] installs a single
@@ -230,15 +253,22 @@ pub struct PaxDevice {
     /// Physical interleave `S`: tenant `t`'s line `addr` lives in lane
     /// `t*S + addr % S`.
     stride: usize,
-    /// The per-line state, one [`DeviceShard`] per lane (`T*S` total,
-    /// tenant-major).
-    shards: Vec<DeviceShard>,
+    /// The per-line state, one lane mutex per [`DeviceShard`] (`T*S`
+    /// total, tenant-major): each guards its slice's undo bank, HBM sets,
+    /// and write-back queue, so disjoint lanes never contend.
+    shards: Vec<Mutex<DeviceShard>>,
+    /// Per-lane durable watermarks, shared with each lane's
+    /// [`crate::UndoLog`]: drain polling checks durability without taking
+    /// any lane lock.
+    watermarks: Vec<Arc<LogWatermark>>,
     /// Per tenant: the epoch currently being built (= that tenant's
-    /// committed epoch + 1).
-    epochs: Vec<u64>,
-    /// Per tenant: a previous epoch still being made durable
-    /// (non-blocking persist).
-    draining: Vec<Option<DrainState>>,
+    /// committed epoch + 1). Written only under that tenant's ctl lock;
+    /// hot paths read it lock-free.
+    epochs: Vec<AtomicU64>,
+    /// Per tenant: the persist control (ctl) lock, guarding any epoch
+    /// still being made durable (non-blocking persist). Top of the lock
+    /// order.
+    draining: Vec<Mutex<Option<DrainState>>>,
     /// Virtual-time run-queue state: per-lane pump credits and adaptive
     /// boosts, the round-robin idle-service cursor, and the tick counter.
     sched: DeviceScheduler,
@@ -248,7 +278,7 @@ pub struct PaxDevice {
     /// Counter handles into `metrics`.
     ctr: DeviceCounters,
     /// Bounded structured event trace (crash forensics, replay tests).
-    trace: TraceBuf,
+    trace: TraceCell,
     /// Recovery performed when the device was opened.
     recovery: RecoveryReport,
 }
@@ -342,19 +372,21 @@ impl PaxDevice {
             let gauge = metrics.counter(name);
             metrics.add(gauge, value as u64);
         }
+        let watermarks = shards.iter().map(|s| s.log.watermark()).collect();
         Ok(PaxDevice {
-            pool,
+            pool: PoolCell::new(pool),
             clock: CrashClock::new(),
             config,
             tenants,
             stride,
-            shards,
-            epochs,
-            draining: (0..t).map(|_| None).collect(),
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            watermarks,
+            epochs: epochs.into_iter().map(AtomicU64::new).collect(),
+            draining: (0..t).map(|_| Mutex::new(None)).collect(),
             sched: DeviceScheduler::new(lanes),
             metrics,
             ctr,
-            trace,
+            trace: TraceCell::new(trace),
             recovery,
         })
     }
@@ -367,17 +399,17 @@ impl PaxDevice {
     /// The epoch currently being built (tenant 0's on a multi-tenant
     /// device; see [`PaxDevice::current_epoch_for`]).
     pub fn current_epoch(&self) -> u64 {
-        self.epochs[0]
+        self.epochs[0].load(Ordering::Acquire)
     }
 
     /// The epoch tenant `t` is currently building.
     pub fn current_epoch_for(&self, t: TenantId) -> u64 {
-        self.epochs[t]
+        self.epochs[t].load(Ordering::Acquire)
     }
 
     /// The committed (recovery-point) epoch (tenant 0's).
-    pub fn committed_epoch(&mut self) -> Result<u64> {
-        self.pool.committed_epoch()
+    pub fn committed_epoch(&self) -> Result<u64> {
+        self.pool.lock().committed_epoch()
     }
 
     /// Tenant `t`'s committed (recovery-point) epoch.
@@ -386,8 +418,8 @@ impl PaxDevice {
     ///
     /// Surfaces [`PmError::Config`] for an out-of-range tenant and media
     /// errors.
-    pub fn committed_epoch_for(&mut self, t: TenantId) -> Result<u64> {
-        self.pool.committed_epoch_for(t)
+    pub fn committed_epoch_for(&self, t: TenantId) -> Result<u64> {
+        self.pool.lock().committed_epoch_for(t)
     }
 
     /// Physical shards each tenant's per-line state is interleaved
@@ -416,7 +448,7 @@ impl PaxDevice {
     pub fn metrics(&self) -> DeviceMetrics {
         self.shards
             .iter()
-            .map(|s| s.view_metrics())
+            .map(|s| lock(s).view_metrics())
             .fold(self.ctr.view(&self.metrics), |acc, m| acc + m)
     }
 
@@ -427,50 +459,46 @@ impl PaxDevice {
     /// tenant under `tenant{t}/` — both rollups conserve: the labeled
     /// counters sum to the plain totals.
     pub fn metric_snapshot(&self) -> MetricSnapshot {
-        let mut snap =
-            self.shards.iter().fold(self.metrics.snapshot(), |acc, s| acc.merge(&s.snapshot()));
+        let lanes: Vec<MetricSnapshot> = self.shards.iter().map(|s| lock(s).snapshot()).collect();
+        let mut snap = lanes.iter().fold(self.metrics.snapshot(), |acc, s| acc.merge(s));
         if self.stride > 1 {
-            for (i, lane) in self.shards.iter().enumerate() {
-                snap = snap.merge_labeled(&format!("shard{}", i % self.stride), &lane.snapshot());
+            for (i, lane) in lanes.iter().enumerate() {
+                snap = snap.merge_labeled(&format!("shard{}", i % self.stride), lane);
             }
         }
         if self.tenants.len() > 1 {
-            for (i, lane) in self.shards.iter().enumerate() {
-                snap = snap.merge_labeled(&format!("tenant{}", i / self.stride), &lane.snapshot());
+            for (i, lane) in lanes.iter().enumerate() {
+                snap = snap.merge_labeled(&format!("tenant{}", i / self.stride), lane);
             }
         }
         snap
     }
 
-    /// The device's structured event trace.
-    pub fn trace(&self) -> &TraceBuf {
-        &self.trace
-    }
-
     /// The trace serialized as JSON lines (oldest first).
     pub fn trace_dump(&self) -> String {
-        self.trace.dump_json_lines()
+        self.trace.lock().dump_json_lines()
     }
 
     /// Undo-log entries appended in the current epoch (all lanes).
     pub fn epoch_log_len(&self) -> usize {
-        self.shards.iter().map(|s| s.epoch_log_len()).sum()
+        self.shards.iter().map(|s| lock(s).epoch_log_len()).sum()
     }
 
     /// Undo-log entries tenant `t` appended in its current epoch.
     pub fn epoch_log_len_for(&self, t: TenantId) -> usize {
-        self.tenant_lanes(t).map(|l| self.shards[l].epoch_log_len()).sum()
+        self.tenant_lanes(t).map(|l| lock(&self.shards[l]).epoch_log_len()).sum()
     }
 
-    /// Total entries drained durably across all lane log banks.
+    /// Total entries drained durably across all lane log banks — read
+    /// from the shared atomic watermarks, no lane lock taken.
     pub fn log_durable_offset(&self) -> u64 {
-        self.shards.iter().map(|s| s.log_durable_offset()).sum()
+        self.watermarks.iter().map(|w| w.durable()).sum()
     }
 
     /// Undo-log entries tenant `t` has appended but not yet drained
     /// durably — the backlog the scheduler's weighted budgets work off.
     pub fn log_pending_for(&self, t: TenantId) -> usize {
-        self.tenant_lanes(t).map(|l| self.shards[l].log.pending_len()).sum()
+        self.tenant_lanes(t).map(|l| lock(&self.shards[l]).log.pending_len()).sum()
     }
 
     /// A handle to the crash clock shared with this device; arm it to cut
@@ -481,8 +509,12 @@ impl PaxDevice {
 
     /// HBM read hit rate so far (aggregated over lanes).
     pub fn hbm_hit_rate(&self) -> f64 {
-        let hits: u64 = self.shards.iter().map(|s| s.hbm.hits()).sum();
-        let misses: u64 = self.shards.iter().map(|s| s.hbm.misses()).sum();
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for s in &self.shards {
+            let shard = lock(s);
+            hits += shard.hbm.hits();
+            misses += shard.hbm.misses();
+        }
         let total = hits + misses;
         if total == 0 {
             0.0
@@ -491,9 +523,10 @@ impl PaxDevice {
         }
     }
 
-    /// Read-only view of the pool (tests assert on durable state).
-    pub fn pool(&self) -> &PmPool {
-        &self.pool
+    /// Snapshot of the media's counter registry (reads, writes, drains)
+    /// for the benchmark stack's cross-layer report.
+    pub fn media_metrics(&self) -> MetricSnapshot {
+        self.pool.lock().media_metrics()
     }
 
     /// Simulates device power loss and returns the pool in its
@@ -507,17 +540,18 @@ impl PaxDevice {
     /// trace (with the injected [`TraceEvent::Crash`] appended) and the
     /// final metric snapshot — forensic state a real crash would leave in
     /// the debugger, which the pool layer stashes for post-mortems.
-    pub fn crash_into_parts(mut self) -> (PmPool, TraceBuf, MetricSnapshot) {
-        self.trace.record(COMPONENT, TraceEvent::Crash { epoch: self.epochs[0] });
-        for shard in &mut self.shards {
-            shard.crash();
+    pub fn crash_into_parts(self) -> (PmPool, TraceBuf, MetricSnapshot) {
+        self.trace
+            .record(COMPONENT, TraceEvent::Crash { epoch: self.epochs[0].load(Ordering::Acquire) });
+        for shard in &self.shards {
+            lock(shard).crash();
         }
-        for d in &mut self.draining {
-            *d = None;
+        for d in &self.draining {
+            *lock(d) = None;
         }
-        self.pool.crash();
+        self.pool.lock().crash();
         let snapshot = self.metric_snapshot();
-        (self.pool, self.trace, snapshot)
+        (self.pool.into_inner(), self.trace.into_inner(), snapshot)
     }
 
     /// Saves the pool's durable state to `path` (see
@@ -527,15 +561,15 @@ impl PaxDevice {
     /// # Errors
     ///
     /// Propagates file I/O errors.
-    pub fn save(&mut self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        self.pool.save(path)
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        self.pool.lock().save(path)
     }
 
     /// Gracefully detaches, returning the pool *without* simulating a
     /// crash (durable state only; equivalent to crash for PAX since
     /// consistency never depends on a clean shutdown).
     pub fn into_pool(self) -> PmPool {
-        self.pool
+        self.pool.into_inner()
     }
 
     /// The lanes belonging to tenant `t`, in phase order.
@@ -553,23 +587,28 @@ impl PaxDevice {
     fn lane_of(&self, addr: LineAddr) -> Result<usize> {
         match self.tenants.tenant_of(addr) {
             Some(t) => Ok(t * self.stride + addr.0 as usize % self.stride),
-            None => {
-                Err(PmError::OutOfBounds { addr, capacity_lines: self.pool.layout().data_lines })
-            }
+            None => Err(PmError::OutOfBounds {
+                addr,
+                capacity_lines: self.pool.lock().layout().data_lines,
+            }),
         }
     }
 
     /// The device's view of the current contents of the vPM line at
     /// `addr` (owned by `lane`): the lane's HBM first, then the owning
     /// tenant's draining-epoch captured value, then PM.
-    fn resolve(&mut self, lane: usize, addr: LineAddr) -> Result<CacheLine> {
+    ///
+    /// Hot path: the ctl lock is only tried — a contended ctl means a
+    /// concurrent persist, and drain states exist only in single-driver
+    /// mode, so there is no captured value to miss.
+    fn resolve(&self, lane: usize, addr: LineAddr) -> Result<CacheLine> {
         let t = lane / self.stride;
-        let drain_value = self.draining[t].as_ref().and_then(|d| d.values.get(&addr)).cloned();
-        let shard = &mut self.shards[lane];
-        shard.resolve(
-            &mut self.pool,
+        let drain_value = try_lock(&self.draining[t])
+            .and_then(|g| g.as_ref().and_then(|d| d.values.get(&addr)).cloned());
+        lock(&self.shards[lane]).resolve(
+            &self.pool,
             &self.clock,
-            &mut self.trace,
+            &self.trace,
             self.config.cache_clean_reads,
             drain_value,
             addr,
@@ -583,16 +622,15 @@ impl PaxDevice {
     /// every pump donates one round-robin step to a different lane with
     /// pending work — so a lane without traffic still drains instead of
     /// starving until the next `persist()`.
-    fn background(&mut self, lane: usize) -> Result<()> {
+    fn background(&self, lane: usize) -> Result<()> {
         if !self.sched.charge(lane, self.config.log_pump_interval) {
             return Ok(());
         }
-        self.persist_poll()?;
-        let shard = &mut self.shards[lane];
-        shard.background(
-            &mut self.pool,
+        self.persist_poll_try()?;
+        lock(&self.shards[lane]).background(
+            &self.pool,
             &self.clock,
-            &mut self.trace,
+            &self.trace,
             self.config.log_pump_batch,
             self.config.writeback_batch,
         )?;
@@ -601,15 +639,16 @@ impl PaxDevice {
         let idle_log = self.config.log_pump_batch.min(1);
         let idle_wb = self.config.writeback_batch.min(1);
         if self.shards.len() > 1 && idle_log + idle_wb > 0 {
-            let shards = &self.shards;
-            let idle =
-                self.sched.next_idle(shards.len(), lane, |s| shards[s].has_background_work());
+            // A lane busy on another thread is simply not idle this round.
+            let idle = self.sched.next_idle(self.shards.len(), lane, |s| {
+                try_lock(&self.shards[s]).is_some_and(|g| g.has_background_work())
+            });
             if let Some(s) = idle {
                 let before = self.clock.steps_taken();
-                self.shards[s].background(
-                    &mut self.pool,
+                lock(&self.shards[s]).background(
+                    &self.pool,
                     &self.clock,
-                    &mut self.trace,
+                    &self.trace,
                     idle_log,
                     idle_wb,
                 )?;
@@ -642,18 +681,16 @@ impl PaxDevice {
     ///
     /// Surfaces [`PmError::Crashed`] when the crash clock fires mid-tick,
     /// and media errors.
-    pub fn tick(&mut self, n: u64) -> Result<u64> {
+    pub fn tick(&self, n: u64) -> Result<u64> {
         let cfg = self.config.sched;
         let mut total = 0u64;
         for _ in 0..n {
             let before = self.clock.steps_taken();
-            if self.draining.iter().any(Option::is_some) {
-                self.persist_poll()?;
-            }
+            self.persist_poll()?;
             for s in 0..self.stride {
                 let active: Vec<usize> = (0..self.tenants.len())
                     .map(|t| t * self.stride + s)
-                    .filter(|&l| self.shards[l].has_background_work())
+                    .filter(|&l| lock(&self.shards[l]).has_background_work())
                     .collect();
                 let active_weight: u64 =
                     active.iter().map(|&l| self.tenants.weight(l / self.stride) as u64).sum();
@@ -662,10 +699,10 @@ impl PaxDevice {
                     let log_budget =
                         weighted_budget(self.sched.log_budget(l, &cfg), w, active_weight);
                     let wb_budget = weighted_budget(cfg.writeback_per_tick, w, active_weight);
-                    self.shards[l].background(
-                        &mut self.pool,
+                    lock(&self.shards[l]).background(
+                        &self.pool,
                         &self.clock,
-                        &mut self.trace,
+                        &self.trace,
                         log_budget,
                         wb_budget,
                     )?;
@@ -673,7 +710,7 @@ impl PaxDevice {
             }
             if cfg.adaptive {
                 for l in 0..self.shards.len() {
-                    let pending = self.shards[l].log.pending_len();
+                    let pending = lock(&self.shards[l]).log.pending_len();
                     self.sched.observe_log_depth(l, pending, &cfg);
                 }
             }
@@ -702,7 +739,7 @@ impl PaxDevice {
     ///
     /// Surfaces [`PmError::Crashed`] when the crash clock fires mid-epoch
     /// — recovery will roll the epoch back — and media errors.
-    pub fn persist(&mut self, cache: &mut impl HostSnoop) -> Result<u64> {
+    pub fn persist(&self, cache: &mut impl HostSnoop) -> Result<u64> {
         let mut first = 0;
         for t in 0..self.tenants.len() {
             let committed = self.persist_tenant(t, cache)?;
@@ -730,50 +767,63 @@ impl PaxDevice {
     ///
     /// Surfaces [`PmError::Config`] for an out-of-range tenant,
     /// [`PmError::Crashed`], and media errors.
-    pub fn persist_tenant(&mut self, t: TenantId, cache: &mut impl HostSnoop) -> Result<u64> {
+    pub fn persist_tenant(&self, t: TenantId, cache: &mut impl HostSnoop) -> Result<u64> {
         self.check_tenant(t)?;
-        // (0) A non-blocking persist by this tenant may still be
-        // draining; its epochs commit in order.
-        self.persist_wait_tenant(t)?;
+        // (0) Take the tenant's ctl lock for the whole barrier (the top
+        // of the lock order — see the struct docs). A non-blocking
+        // persist by this tenant may still be draining; its epochs commit
+        // in order, completed through the held guard.
+        let mut ctl = lock(&self.draining[t]);
+        while ctl.is_some() {
+            self.poll_drain(t, &mut ctl)?;
+        }
         // (1) All of t's pre-images durable before any further write
         // back.
         for l in self.tenant_lanes(t) {
-            self.shards[l].log.flush(&mut self.pool, &self.clock)?;
+            lock(&self.shards[l]).log.flush(&mut self.pool.lock(), &self.clock)?;
         }
 
         // (2) Gather: iterate logged lines in log order (§3.3 "iterating
         // through each undo log entry as it persists"), lane by lane,
         // snooping only the lines the ownership directory says the host
-        // may still hold modified.
+        // may still hold modified. The lane lock is dropped around each
+        // snoop — the host core locks order *before* lane locks.
         let filter = self.config.directory.enabled;
         let mut entries = 0u64;
         for l in self.tenant_lanes(t) {
-            let logged = self.shards[l].sorted_epoch_log();
+            let logged = lock(&self.shards[l]).sorted_epoch_log();
             entries += logged.len() as u64;
             let mut pending = Vec::with_capacity(logged.len());
             for (_offset, addr) in logged {
-                let host_data = if self.shards[l].dir_should_snoop(addr, filter) {
-                    self.shards[l].count_snoop_sent();
+                let should_snoop = {
+                    let mut shard = lock(&self.shards[l]);
+                    let should = shard.dir_should_snoop(addr, filter);
+                    if should {
+                        shard.count_snoop_sent();
+                    }
+                    should
+                };
+                let host_data = if should_snoop {
                     self.trace.record(
                         COMPONENT,
                         TraceEvent::Coherence { op: "snp_data".into(), line: addr.0 },
                     );
                     let d = cache.snoop_shared(addr);
                     // The snoop itself is the host's give-up evidence.
-                    self.shards[l].dir_clear(addr);
+                    lock(&self.shards[l]).dir_clear(addr);
                     d
                 } else {
                     None
                 };
-                let shard = &mut self.shards[l];
+                let mut shard = lock(&self.shards[l]);
                 let data = match host_data {
                     Some(d) => {
                         shard.count_snoop_data_returned();
                         // Refresh the HBM copy so post-persist reads hit.
                         shard.hbm_refresh_clean(
-                            &mut self.pool,
+                            &self.pool,
                             &self.clock,
-                            &mut self.trace,
+                            &self.trace,
                             addr,
                             d.clone(),
                         )?;
@@ -781,6 +831,7 @@ impl PaxDevice {
                     }
                     None => shard.hbm_peek(addr).filter(|l| l.dirty).map(|l| l.data.clone()),
                 };
+                drop(shard);
                 if let Some(d) = data {
                     pending.push((addr, d));
                 }
@@ -802,7 +853,7 @@ impl PaxDevice {
     /// # Errors
     ///
     /// Surfaces [`PmError::Crashed`] and media errors.
-    pub fn persist_clwb(&mut self, cache: &mut impl HostSnoop) -> Result<u64> {
+    pub fn persist_clwb(&self, cache: &mut impl HostSnoop) -> Result<u64> {
         let mut first = 0;
         for t in 0..self.tenants.len() {
             let committed = self.persist_clwb_tenant(t, cache)?;
@@ -829,17 +880,20 @@ impl PaxDevice {
     ///
     /// Surfaces [`PmError::Config`] for an out-of-range tenant,
     /// [`PmError::Crashed`], and media errors.
-    pub fn persist_clwb_tenant(&mut self, t: TenantId, cache: &mut impl HostSnoop) -> Result<u64> {
+    pub fn persist_clwb_tenant(&self, t: TenantId, cache: &mut impl HostSnoop) -> Result<u64> {
         self.check_tenant(t)?;
-        self.persist_wait_tenant(t)?;
+        let mut ctl = lock(&self.draining[t]);
+        while ctl.is_some() {
+            self.poll_drain(t, &mut ctl)?;
+        }
         for l in self.tenant_lanes(t) {
-            self.shards[l].log.flush(&mut self.pool, &self.clock)?;
+            lock(&self.shards[l]).log.flush(&mut self.pool.lock(), &self.clock)?;
         }
 
         let filter = self.config.directory.enabled;
         let mut entries = 0u64;
         for l in self.tenant_lanes(t) {
-            let logged = self.shards[l].sorted_epoch_log();
+            let logged = lock(&self.shards[l]).sorted_epoch_log();
             entries += logged.len() as u64;
             let mut pending = Vec::with_capacity(logged.len());
             for (_offset, addr) in logged {
@@ -849,18 +903,19 @@ impl PaxDevice {
                 // copy whose value the device already has, so the filter
                 // skips its invalidate too (leaving it warm — strictly
                 // kinder than real CLWB).
-                let host_data = if self.shards[l].dir_should_snoop(addr, filter) {
+                let should_snoop = lock(&self.shards[l]).dir_should_snoop(addr, filter);
+                let host_data = if should_snoop {
                     self.trace.record(
                         COMPONENT,
                         TraceEvent::Coherence { op: "snp_inv".into(), line: addr.0 },
                     );
                     let d = cache.snoop_invalidate(addr);
-                    self.shards[l].dir_clear(addr);
+                    lock(&self.shards[l]).dir_clear(addr);
                     d
                 } else {
                     None
                 };
-                let shard = &mut self.shards[l];
+                let mut shard = lock(&self.shards[l]);
                 let data = match host_data {
                     Some(d) => Some(d),
                     None => shard.hbm_peek(addr).filter(|l| l.dirty).map(|l| l.data.clone()),
@@ -890,22 +945,21 @@ impl PaxDevice {
     ///
     /// Surfaces [`PmError::Crashed`] (recovery rolls the epoch back) and
     /// media errors.
-    fn write_back_batched(
-        &mut self,
-        lane: usize,
-        pending: Vec<(LineAddr, CacheLine)>,
-    ) -> Result<()> {
+    fn write_back_batched(&self, lane: usize, pending: Vec<(LineAddr, CacheLine)>) -> Result<()> {
         if pending.is_empty() {
             return Ok(());
         }
         let addrs: Vec<LineAddr> = pending.iter().map(|&(a, _)| a).collect();
+        let mut shard = lock(&self.shards[lane]);
         for run in coalesce_runs(&addrs, self.stride as u64, self.config.persist_wb_batch) {
-            self.shards[lane].count_wb_batch();
-            tick(&self.clock, &mut self.pool)?;
+            shard.count_wb_batch();
+            tick(&self.clock, &mut self.pool.lock())?;
             for (addr, data) in &pending[run] {
-                let abs = self.pool.layout().vpm_to_pool(addr.0)?;
-                self.pool.write_line(abs, data.clone())?;
-                let shard = &mut self.shards[lane];
+                {
+                    let mut pm = self.pool.lock();
+                    let abs = pm.layout().vpm_to_pool(addr.0)?;
+                    pm.write_line(abs, data.clone())?;
+                }
                 shard.count_writeback();
                 self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
                 shard.hbm_mark_clean(*addr);
@@ -924,23 +978,23 @@ impl PaxDevice {
     ///
     /// Surfaces [`PmError::Crashed`] (the commit record never made it —
     /// recovery rolls the epoch back) and media errors.
-    fn commit_tenant_epoch(&mut self, t: TenantId, entries: u64) -> Result<u64> {
+    fn commit_tenant_epoch(&self, t: TenantId, entries: u64) -> Result<u64> {
         // (4) Everything reaches media before the commit record.
-        self.pool.drain();
+        self.pool.lock().drain();
 
         // (5) The atomic epoch commit — one record covers the tenant's
         // lanes, and only that tenant's header slot moves.
-        tick(&self.clock, &mut self.pool)?;
-        let committed = self.epochs[t];
-        self.pool.commit_epoch_for(t, committed)?;
+        tick(&self.clock, &mut self.pool.lock())?;
+        let committed = self.epochs[t].load(Ordering::Acquire);
+        self.pool.lock().commit_epoch_for(t, committed)?;
 
         for l in self.tenant_lanes(t) {
-            self.shards[l].reset_after_commit();
+            lock(&self.shards[l]).reset_after_commit();
         }
-        self.epochs[t] = committed + 1;
+        self.epochs[t].store(committed + 1, Ordering::Release);
         // Charged to the tenant's phase-0 lane so per-tenant rollups
         // conserve the persist count.
-        self.shards[t * self.stride].count_persist();
+        lock(&self.shards[t * self.stride]).count_persist();
         self.trace.record(COMPONENT, TraceEvent::EpochCommit { epoch: committed, entries });
         Ok(committed)
     }
@@ -963,7 +1017,7 @@ impl PaxDevice {
     /// # Errors
     ///
     /// Surfaces [`PmError::Crashed`] and media errors.
-    pub fn persist_async(&mut self, cache: &mut impl HostSnoop) -> Result<u64> {
+    pub fn persist_async(&self, cache: &mut impl HostSnoop) -> Result<u64> {
         self.persist_async_tenant(0, cache)
     }
 
@@ -986,38 +1040,48 @@ impl PaxDevice {
     /// [`PmError::Crashed`], and media errors. If an earlier non-blocking
     /// persist by the same tenant is still draining it is completed first
     /// (a tenant's epochs commit in order).
-    pub fn persist_async_tenant(&mut self, t: TenantId, cache: &mut impl HostSnoop) -> Result<u64> {
+    pub fn persist_async_tenant(&self, t: TenantId, cache: &mut impl HostSnoop) -> Result<u64> {
         self.check_tenant(t)?;
-        self.persist_wait_tenant(t)?;
+        let mut ctl = lock(&self.draining[t]);
+        while ctl.is_some() {
+            self.poll_drain(t, &mut ctl)?;
+        }
 
         let filter = self.config.directory.enabled;
         let mut entries = 0u64;
         let mut queue = VecDeque::new();
         let mut values = HashMap::new();
         for l in self.tenant_lanes(t) {
-            let logged = self.shards[l].sorted_epoch_log();
+            let logged = lock(&self.shards[l]).sorted_epoch_log();
             entries += logged.len() as u64;
             for (_offset, addr) in logged {
-                let host_data = if self.shards[l].dir_should_snoop(addr, filter) {
-                    self.shards[l].count_snoop_sent();
+                let should_snoop = {
+                    let mut shard = lock(&self.shards[l]);
+                    let should = shard.dir_should_snoop(addr, filter);
+                    if should {
+                        shard.count_snoop_sent();
+                    }
+                    should
+                };
+                let host_data = if should_snoop {
                     self.trace.record(
                         COMPONENT,
                         TraceEvent::Coherence { op: "snp_data".into(), line: addr.0 },
                     );
                     let d = cache.snoop_shared(addr);
-                    self.shards[l].dir_clear(addr);
+                    lock(&self.shards[l]).dir_clear(addr);
                     d
                 } else {
                     None
                 };
-                let shard = &mut self.shards[l];
+                let mut shard = lock(&self.shards[l]);
                 let data = match host_data {
                     Some(d) => {
                         shard.count_snoop_data_returned();
                         shard.hbm_refresh_clean(
-                            &mut self.pool,
+                            &self.pool,
                             &self.clock,
-                            &mut self.trace,
+                            &self.trace,
                             addr,
                             d.clone(),
                         )?;
@@ -1034,6 +1098,7 @@ impl PaxDevice {
                         _ => None,
                     },
                 };
+                drop(shard);
                 if let Some(d) = data {
                     queue.push_back(addr);
                     values.insert(addr, d);
@@ -1044,13 +1109,13 @@ impl PaxDevice {
         // Each of the tenant's banks must drain through the epoch's last
         // entry; commit will recycle exactly those slots.
         let flush_to: Vec<u64> =
-            self.tenant_lanes(t).map(|l| self.shards[l].log.appended()).collect();
-        let epoch = self.epochs[t];
-        self.draining[t] = Some(DrainState { epoch, queue, values, flush_to, entries });
+            self.tenant_lanes(t).map(|l| lock(&self.shards[l]).log.appended()).collect();
+        let epoch = self.epochs[t].load(Ordering::Acquire);
+        *ctl = Some(DrainState { epoch, queue, values, flush_to, entries });
         for l in self.tenant_lanes(t) {
-            self.shards[l].begin_next_epoch();
+            lock(&self.shards[l]).begin_next_epoch();
         }
-        self.epochs[t] = epoch + 1;
+        self.epochs[t].store(epoch + 1, Ordering::Release);
         Ok(epoch)
     }
 
@@ -1062,7 +1127,7 @@ impl PaxDevice {
     /// # Errors
     ///
     /// Surfaces [`PmError::Crashed`] and media errors.
-    pub fn persist_poll(&mut self) -> Result<Option<u64>> {
+    pub fn persist_poll(&self) -> Result<Option<u64>> {
         let mut committed = None;
         for t in 0..self.tenants.len() {
             if let Some(e) = self.persist_poll_tenant(t)? {
@@ -1072,6 +1137,19 @@ impl PaxDevice {
         Ok(committed)
     }
 
+    /// Hot-path variant of [`PaxDevice::persist_poll`]: a tenant whose
+    /// ctl lock is contended is skipped (the concurrent persist holding
+    /// it is already advancing that drain). In single-driver mode every
+    /// `try_lock` succeeds, so the behaviour is identical.
+    fn persist_poll_try(&self) -> Result<()> {
+        for t in 0..self.tenants.len() {
+            if let Some(mut ctl) = try_lock(&self.draining[t]) {
+                self.poll_drain(t, &mut ctl)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Advances tenant `t`'s in-flight non-blocking persist by a bounded
     /// amount; `Some(epoch)` the moment it durably commits.
     ///
@@ -1079,19 +1157,33 @@ impl PaxDevice {
     ///
     /// Surfaces [`PmError::Config`] for an out-of-range tenant,
     /// [`PmError::Crashed`], and media errors.
-    pub fn persist_poll_tenant(&mut self, t: TenantId) -> Result<Option<u64>> {
+    pub fn persist_poll_tenant(&self, t: TenantId) -> Result<Option<u64>> {
         self.check_tenant(t)?;
-        let Some(flush_to) = self.draining[t].as_ref().map(|d| d.flush_to.clone()) else {
+        let mut ctl = lock(&self.draining[t]);
+        self.poll_drain(t, &mut ctl)
+    }
+
+    /// The drain engine behind every poll flavour, operating on the
+    /// tenant's already-locked ctl slot (so persist barriers can complete
+    /// an in-flight drain through the guard they hold, without reentrant
+    /// locking).
+    fn poll_drain(&self, t: TenantId, ctl: &mut Option<DrainState>) -> Result<Option<u64>> {
+        let Some(flush_to) = ctl.as_ref().map(|d| d.flush_to.clone()) else {
             return Ok(None);
         };
         // Phase 1: the tenant's undo entries for the epoch must be
-        // durable first.
+        // durable first. The atomic watermarks answer the common
+        // already-durable case without taking any lane lock.
         let batch = self.config.log_pump_batch.max(1);
         let mut lagging = false;
         for (i, &target) in flush_to.iter().enumerate() {
-            let shard = &mut self.shards[t * self.stride + i];
+            let l = t * self.stride + i;
+            if self.watermarks[l].durable() >= target {
+                continue;
+            }
+            let mut shard = lock(&self.shards[l]);
             if shard.log.durable_offset() < target {
-                shard.log.pump(&mut self.pool, &self.clock, batch)?;
+                shard.log.pump(&mut self.pool.lock(), &self.clock, batch)?;
                 if shard.log.durable_offset() < target {
                     lagging = true;
                 }
@@ -1108,7 +1200,7 @@ impl PaxDevice {
         let stride = self.stride;
         let max_batch = self.config.persist_wb_batch.max(1);
         for _ in 0..self.config.sched.persist_drain_per_tick.max(1) {
-            let Some(ds) = self.draining[t].as_mut() else { break };
+            let Some(ds) = ctl.as_mut() else { break };
             let Some(addr) = ds.queue.pop_front() else { break };
             // Lines resolved early (dirty_evict ordering) have no value.
             let Some(data) = ds.values.remove(&addr) else { continue };
@@ -1124,23 +1216,26 @@ impl PaxDevice {
                 batch.push((next, d));
             }
             let lane = t * stride + addr.0 as usize % stride;
-            self.shards[lane].count_wb_batch();
-            tick(&self.clock, &mut self.pool)?;
+            lock(&self.shards[lane]).count_wb_batch();
+            tick(&self.clock, &mut self.pool.lock())?;
             for (a, d) in batch {
-                let abs = self.pool.layout().vpm_to_pool(a.0)?;
-                self.pool.write_line(abs, d)?;
-                self.shards[lane].count_writeback();
+                {
+                    let mut pm = self.pool.lock();
+                    let abs = pm.layout().vpm_to_pool(a.0)?;
+                    pm.write_line(abs, d)?;
+                }
+                lock(&self.shards[lane]).count_writeback();
                 self.trace.record(COMPONENT, TraceEvent::WriteBack { line: a.0 });
             }
         }
         // Phase 3: commit once everything landed.
-        let done = self.draining[t].as_ref().is_some_and(|d| d.queue.is_empty());
+        let done = ctl.as_ref().is_some_and(|d| d.queue.is_empty());
         if done {
-            let ds = self.draining[t].take().expect("checked");
-            self.pool.drain();
-            tick(&self.clock, &mut self.pool)?;
-            self.pool.commit_epoch_for(t, ds.epoch)?;
-            self.shards[t * self.stride].count_persist();
+            let ds = ctl.take().expect("checked");
+            self.pool.lock().drain();
+            tick(&self.clock, &mut self.pool.lock())?;
+            self.pool.lock().commit_epoch_for(t, ds.epoch)?;
+            lock(&self.shards[t * self.stride]).count_persist();
             self.trace.record(
                 COMPONENT,
                 TraceEvent::EpochCommit { epoch: ds.epoch, entries: ds.entries },
@@ -1152,7 +1247,7 @@ impl PaxDevice {
             // never happens, and the region filled up with committed
             // entries until spurious `LogFull`.)
             for (i, &target) in ds.flush_to.iter().enumerate() {
-                self.shards[t * self.stride + i].log.recycle_to(target);
+                lock(&self.shards[t * self.stride + i]).log.recycle_to(target);
             }
             return Ok(Some(ds.epoch));
         }
@@ -1164,7 +1259,7 @@ impl PaxDevice {
     /// # Errors
     ///
     /// Surfaces [`PmError::Crashed`] and media errors.
-    pub fn persist_wait(&mut self) -> Result<()> {
+    pub fn persist_wait(&self) -> Result<()> {
         for t in 0..self.tenants.len() {
             self.persist_wait_tenant(t)?;
         }
@@ -1176,9 +1271,10 @@ impl PaxDevice {
     /// # Errors
     ///
     /// Surfaces [`PmError::Crashed`] and media errors.
-    pub fn persist_wait_tenant(&mut self, t: TenantId) -> Result<()> {
-        while self.draining[t].is_some() {
-            self.persist_poll_tenant(t)?;
+    pub fn persist_wait_tenant(&self, t: TenantId) -> Result<()> {
+        let mut ctl = lock(&self.draining[t]);
+        while ctl.is_some() {
+            self.poll_drain(t, &mut ctl)?;
         }
         Ok(())
     }
@@ -1186,94 +1282,110 @@ impl PaxDevice {
     /// The epoch currently draining from a non-blocking persist, if any
     /// tenant has one (the first, scanning in tenant order).
     pub fn persist_pending(&self) -> Option<u64> {
-        self.draining.iter().flatten().next().map(|d| d.epoch)
+        self.draining.iter().find_map(|d| lock(d).as_ref().map(|ds| ds.epoch))
     }
 
     /// The epoch tenant `t` is currently draining, if any.
     pub fn persist_pending_tenant(&self, t: TenantId) -> Option<u64> {
-        self.draining.get(t)?.as_ref().map(|d| d.epoch)
+        lock(self.draining.get(t)?).as_ref().map(|d| d.epoch)
     }
 
     /// Writes the owning tenant's draining-epoch value for `addr` to PM
     /// immediately, if one is pending — called before a newer value for
     /// the same line can be buffered, preserving write-back order across
-    /// epochs.
-    fn drain_one_line_now(&mut self, addr: LineAddr) -> Result<()> {
+    /// epochs. Hot path: the ctl lock is only tried (drain states are
+    /// single-driver-only; see [`PaxDevice::resolve`]).
+    fn drain_one_line_now(&self, addr: LineAddr) -> Result<()> {
         let Some(t) = self.tenants.tenant_of(addr) else {
             return Ok(());
         };
         let s = addr.0 as usize % self.stride;
-        let Some(ds) = self.draining[t].as_mut() else {
+        let Some(mut ctl) = try_lock(&self.draining[t]) else {
+            return Ok(());
+        };
+        let Some(ds) = ctl.as_mut() else {
             return Ok(());
         };
         let Some(data) = ds.values.remove(&addr) else {
             return Ok(());
         };
         let flush_to = ds.flush_to[s];
-        let shard = &mut self.shards[t * self.stride + s];
+        let mut shard = lock(&self.shards[t * self.stride + s]);
         while shard.log.durable_offset() < flush_to {
             shard.count_forced_flush();
-            if shard.log.pump(&mut self.pool, &self.clock, usize::MAX)? == 0 {
+            if shard.log.pump(&mut self.pool.lock(), &self.clock, usize::MAX)? == 0 {
                 return Err(PmError::ProtocolViolation {
                     invariant: "draining epoch's undo entries are neither durable nor pending",
                 });
             }
         }
-        tick(&self.clock, &mut self.pool)?;
-        let abs = self.pool.layout().vpm_to_pool(addr.0)?;
-        self.pool.write_line(abs, data)?;
+        tick(&self.clock, &mut self.pool.lock())?;
+        {
+            let mut pm = self.pool.lock();
+            let abs = pm.layout().vpm_to_pool(addr.0)?;
+            pm.write_line(abs, data)?;
+        }
         shard.count_writeback();
         self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
         Ok(())
     }
 }
 
-impl HomeAgent for PaxDevice {
-    fn read_shared(&mut self, addr: LineAddr) -> Result<CacheLine> {
+impl PaxDevice {
+    /// `RdShared` service, shared by both [`HomeAgent`] impls.
+    fn home_read_shared(&self, addr: LineAddr) -> Result<CacheLine> {
         let l = self.lane_of(addr)?;
-        self.shards[l].count_rd_shared();
+        lock(&self.shards[l]).count_rd_shared();
         self.trace
             .record(COMPONENT, TraceEvent::Coherence { op: "rd_shared".into(), line: addr.0 });
         self.background(l)?;
         self.resolve(l, addr)
     }
 
-    fn read_own(&mut self, addr: LineAddr) -> Result<CacheLine> {
+    /// `RdOwn` service, shared by both [`HomeAgent`] impls.
+    fn home_read_own(&self, addr: LineAddr) -> Result<CacheLine> {
         let l = self.lane_of(addr)?;
-        self.shards[l].count_rd_own();
+        lock(&self.shards[l]).count_rd_own();
         self.trace.record(COMPONENT, TraceEvent::Coherence { op: "rd_own".into(), line: addr.0 });
         self.background(l)?;
         let old = self.resolve(l, addr)?;
         // The paper's key move: log asynchronously and acknowledge the
         // host immediately — no stall for durability here.
-        let epoch = self.epochs[l / self.stride];
-        self.shards[l].log_if_first(&mut self.trace, epoch, addr, &old)?;
+        let epoch = self.epochs[l / self.stride].load(Ordering::Acquire);
+        let mut shard = lock(&self.shards[l]);
+        shard.log_if_first(&self.trace, epoch, addr, &old)?;
         // The ownership grant is the directory's set point: from here the
         // host plausibly holds the line modified. Gated so the disabled
         // ablation leaves the directory (and its gauges) untouched.
         if self.config.directory.enabled {
-            self.shards[l].dir_note_owned(addr);
+            shard.dir_note_owned(addr);
         }
         Ok(old)
     }
 
-    fn clean_evict(&mut self, addr: LineAddr) {
+    /// Clean-eviction service, shared by both [`HomeAgent`] impls.
+    fn home_clean_evict(&self, addr: LineAddr) {
         if let Ok(l) = self.lane_of(addr) {
-            self.shards[l].count_clean_evict();
+            let mut shard = lock(&self.shards[l]);
+            shard.count_clean_evict();
             // Safe to untrack: Shared and Modified copies never coexist,
             // so a clean eviction means no core holds the line modified.
-            self.shards[l].dir_clear(addr);
+            shard.dir_clear(addr);
         }
         self.trace
             .record(COMPONENT, TraceEvent::Coherence { op: "clean_evict".into(), line: addr.0 });
     }
 
-    fn dirty_evict(&mut self, addr: LineAddr, data: CacheLine) -> Result<()> {
+    /// Dirty-eviction service, shared by both [`HomeAgent`] impls.
+    fn home_dirty_evict(&self, addr: LineAddr, data: CacheLine) -> Result<()> {
         let l = self.lane_of(addr)?;
-        self.shards[l].count_dirty_evict();
-        // The host just handed its modified copy back: the line needs no
-        // persist-time snoop until the next `RdOwn`.
-        self.shards[l].dir_clear(addr);
+        {
+            let mut shard = lock(&self.shards[l]);
+            shard.count_dirty_evict();
+            // The host just handed its modified copy back: the line needs
+            // no persist-time snoop until the next `RdOwn`.
+            shard.dir_clear(addr);
+        }
         self.trace
             .record(COMPONENT, TraceEvent::Coherence { op: "dirty_evict".into(), line: addr.0 });
         self.background(l)?;
@@ -1281,21 +1393,24 @@ impl HomeAgent for PaxDevice {
         // this line must reach PM before any newer value can (otherwise a
         // stale drain write could land on top of this epoch's write back).
         self.drain_one_line_now(addr)?;
-        let epoch = self.epochs[l / self.stride];
-        let offset = match self.shards[l].epoch_offset_of(addr) {
+        let epoch = self.epochs[l / self.stride].load(Ordering::Acquire);
+        let mut shard = lock(&self.shards[l]);
+        let offset = match shard.epoch_offset_of(addr) {
             Some(o) => o,
             None => {
                 // Protocol anomaly: an eviction for a line we never saw an
                 // ownership request for this epoch. The PM copy is still
                 // the epoch-start value (write back is log-gated), so log
                 // it now.
-                self.shards[l].count_unlogged_dirty_evict();
-                let abs = self.pool.layout().vpm_to_pool(addr.0)?;
-                let old = self.pool.read_line(abs)?;
-                self.shards[l].log_if_first(&mut self.trace, epoch, addr, &old)?
+                shard.count_unlogged_dirty_evict();
+                let old = {
+                    let mut pm = self.pool.lock();
+                    let abs = pm.layout().vpm_to_pool(addr.0)?;
+                    pm.read_line(abs)?
+                };
+                shard.log_if_first(&self.trace, epoch, addr, &old)?
             }
         };
-        let shard = &mut self.shards[l];
         let durable = shard.log.durable_offset();
         let victim = shard.hbm_insert(
             addr,
@@ -1304,9 +1419,48 @@ impl HomeAgent for PaxDevice {
         );
         shard.writeback_queue.push_back(addr);
         if let Some((vaddr, vline)) = victim {
-            shard.dispose_victim(&mut self.pool, &self.clock, &mut self.trace, vaddr, vline)?;
+            shard.dispose_victim(&self.pool, &self.clock, &self.trace, vaddr, vline)?;
         }
         Ok(())
+    }
+}
+
+impl HomeAgent for PaxDevice {
+    fn read_shared(&mut self, addr: LineAddr) -> Result<CacheLine> {
+        self.home_read_shared(addr)
+    }
+
+    fn read_own(&mut self, addr: LineAddr) -> Result<CacheLine> {
+        self.home_read_own(addr)
+    }
+
+    fn clean_evict(&mut self, addr: LineAddr) {
+        self.home_clean_evict(addr);
+    }
+
+    fn dirty_evict(&mut self, addr: LineAddr, data: CacheLine) -> Result<()> {
+        self.home_dirty_evict(addr, data)
+    }
+}
+
+/// The concurrent-engine entry point: every thread holds its own
+/// `&PaxDevice` and serves coherence requests against the shared device
+/// (the device is `Sync`; interior locks do the serializing).
+impl HomeAgent for &PaxDevice {
+    fn read_shared(&mut self, addr: LineAddr) -> Result<CacheLine> {
+        self.home_read_shared(addr)
+    }
+
+    fn read_own(&mut self, addr: LineAddr) -> Result<CacheLine> {
+        self.home_read_own(addr)
+    }
+
+    fn clean_evict(&mut self, addr: LineAddr) {
+        self.home_clean_evict(addr);
+    }
+
+    fn dirty_evict(&mut self, addr: LineAddr, data: CacheLine) -> Result<()> {
+        self.home_dirty_evict(addr, data)
     }
 }
 
@@ -1319,6 +1473,16 @@ impl ShardedHome for PaxDevice {
         self.tenants.tenant_of(addr).map_or(addr.0 as usize % self.stride, |t| {
             t * self.stride + addr.0 as usize % self.stride
         })
+    }
+}
+
+impl ShardedHome for &PaxDevice {
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of_line(&self, addr: LineAddr) -> usize {
+        ShardedHome::shard_of_line(*self, addr)
     }
 }
 
@@ -1352,8 +1516,14 @@ mod tests {
     }
 
     #[test]
+    fn device_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PaxDevice>();
+    }
+
+    #[test]
     fn open_fresh_pool_starts_epoch_one() {
-        let (mut device, _) = setup();
+        let (device, _) = setup();
         assert_eq!(device.current_epoch(), 1);
         assert_eq!(device.committed_epoch().unwrap(), 0);
         assert_eq!(device.recovery_report().rolled_back, 0);
@@ -1972,8 +2142,8 @@ mod tests {
         });
         let device = PaxDevice::open_multi(pool, config, regions).unwrap();
         // 64 lines split 3:1 across tenants, one lane each.
-        assert_eq!(device.shards[0].hbm.capacity_lines(), 48);
-        assert_eq!(device.shards[1].hbm.capacity_lines(), 16);
+        assert_eq!(lock(&device.shards[0]).hbm.capacity_lines(), 48);
+        assert_eq!(lock(&device.shards[1]).hbm.capacity_lines(), 16);
     }
 
     #[test]
@@ -1989,7 +2159,7 @@ mod tests {
         let device = PaxDevice::open_multi(pool, config, regions).unwrap();
         // Tenant 1's 1/64 share is one line — rounded up to a full 8-way
         // set so the lane still functions.
-        assert_eq!(device.shards[1].hbm.capacity_lines(), 8);
+        assert_eq!(lock(&device.shards[1]).hbm.capacity_lines(), 8);
     }
 
     #[test]

@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod cell;
 pub mod device;
 pub mod directory;
 pub mod endpoint;

@@ -17,6 +17,8 @@
 //! step to a different shard that has pending work but no traffic — so a
 //! shard can no longer starve behind a skewed access pattern.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
 /// Per-tick engine budgets of a [`DeviceScheduler`].
 ///
 /// The defaults match the request-path pump rates
@@ -114,17 +116,23 @@ pub(crate) fn weighted_budget(base: usize, weight: u64, active_weight: u64) -> u
 /// Deterministic run-queue state for one device: virtual time, per-shard
 /// foreground pump credits, and the round-robin cursor for idle-shard
 /// service (see module docs).
+///
+/// All state is atomic and every method takes `&self`: foreground
+/// threads charge their own lane's credit without serializing on a
+/// scheduler lock. Under a single driver the relaxed atomics degenerate
+/// to plain sequential updates, so tick-schedule replay determinism is
+/// untouched.
 #[derive(Debug)]
 pub struct DeviceScheduler {
     /// Virtual ticks executed so far.
-    ticks: u64,
+    ticks: AtomicU64,
     /// Foreground requests each lane has accumulated toward its next
     /// pump (its private run-queue depth).
-    credits: Vec<usize>,
+    credits: Vec<AtomicUsize>,
     /// Round-robin cursor over lanes for the donated idle-lane step.
-    cursor: usize,
+    cursor: AtomicUsize,
     /// Adaptive log-drain boost multiplier per lane (1 = base rate).
-    boosts: Vec<usize>,
+    boosts: Vec<AtomicUsize>,
 }
 
 impl DeviceScheduler {
@@ -132,14 +140,19 @@ impl DeviceScheduler {
     /// shard pair; an unsharded single-tenant device has exactly one).
     pub(crate) fn new(lanes: usize) -> Self {
         let lanes = lanes.max(1);
-        DeviceScheduler { ticks: 0, credits: vec![0; lanes], cursor: 0, boosts: vec![1; lanes] }
+        DeviceScheduler {
+            ticks: AtomicU64::new(0),
+            credits: (0..lanes).map(|_| AtomicUsize::new(0)).collect(),
+            cursor: AtomicUsize::new(0),
+            boosts: (0..lanes).map(|_| AtomicUsize::new(1)).collect(),
+        }
     }
 
     /// The effective log-drain budget of `lane` this tick: the configured
     /// base times the lane's adaptive boost (1 when adaptive mode is off).
     pub(crate) fn log_budget(&self, lane: usize, cfg: &SchedConfig) -> usize {
         if cfg.adaptive {
-            cfg.log_drain_per_tick * self.boosts[lane]
+            cfg.log_drain_per_tick * self.boosts[lane].load(Ordering::Relaxed)
         } else {
             cfg.log_drain_per_tick
         }
@@ -147,46 +160,48 @@ impl DeviceScheduler {
 
     /// The current adaptive boost multiplier of `lane`.
     pub fn boost(&self, lane: usize) -> usize {
-        self.boosts[lane]
+        self.boosts[lane].load(Ordering::Relaxed)
     }
 
     /// Feeds `lane`'s observed pending-log depth into the adaptive
     /// controller. Depth is device state, never wall-clock, preserving
     /// the replay-determinism contract.
-    pub(crate) fn observe_log_depth(&mut self, lane: usize, pending: usize, cfg: &SchedConfig) {
+    pub(crate) fn observe_log_depth(&self, lane: usize, pending: usize, cfg: &SchedConfig) {
         if !cfg.adaptive {
             return;
         }
-        let boost = &mut self.boosts[lane];
+        let boost = &self.boosts[lane];
+        let cur = boost.load(Ordering::Relaxed);
         if pending >= cfg.log_high_water {
-            *boost = (*boost * 2).min(cfg.log_boost_max.max(1));
+            boost.store((cur * 2).min(cfg.log_boost_max.max(1)), Ordering::Relaxed);
         } else if pending <= cfg.log_low_water {
-            *boost = (*boost / 2).max(1);
+            boost.store((cur / 2).max(1), Ordering::Relaxed);
         }
     }
 
     /// Virtual ticks executed so far.
     pub fn ticks(&self) -> u64 {
-        self.ticks
+        self.ticks.load(Ordering::Relaxed)
     }
 
     /// Advances virtual time by one tick.
-    pub(crate) fn advance(&mut self) -> u64 {
-        self.ticks += 1;
-        self.ticks
+    pub(crate) fn advance(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Charges one foreground request to `shard`'s run queue; `true` when
     /// the shard has accumulated `interval` requests and its pump is due
     /// (the credit resets).
-    pub(crate) fn charge(&mut self, shard: usize, interval: usize) -> bool {
-        let credit = &mut self.credits[shard];
-        *credit += 1;
-        if *credit >= interval.max(1) {
-            *credit = 0;
-            true
-        } else {
-            false
+    pub(crate) fn charge(&self, shard: usize, interval: usize) -> bool {
+        let interval = interval.max(1);
+        let credit = &self.credits[shard];
+        let mut cur = credit.load(Ordering::Relaxed);
+        loop {
+            let (next, due) = if cur + 1 >= interval { (0, true) } else { (cur + 1, false) };
+            match credit.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return due,
+                Err(now) => cur = now,
+            }
         }
     }
 
@@ -194,15 +209,16 @@ impl DeviceScheduler {
     /// work, scanning round-robin from the cursor (which advances past the
     /// pick, so service rotates fairly under sustained skew).
     pub(crate) fn next_idle(
-        &mut self,
+        &self,
         shards: usize,
         routed: usize,
         has_work: impl Fn(usize) -> bool,
     ) -> Option<usize> {
+        let cursor = self.cursor.load(Ordering::Relaxed);
         for i in 0..shards {
-            let s = (self.cursor + i) % shards;
+            let s = (cursor + i) % shards;
             if s != routed && has_work(s) {
-                self.cursor = (s + 1) % shards;
+                self.cursor.store((s + 1) % shards, Ordering::Relaxed);
                 return Some(s);
             }
         }
@@ -224,7 +240,7 @@ mod tests {
 
     #[test]
     fn charge_is_per_shard_and_respects_the_interval() {
-        let mut sched = DeviceScheduler::new(2);
+        let sched = DeviceScheduler::new(2);
         // Interval 2: every other request per shard, independently.
         assert!(!sched.charge(0, 2));
         assert!(!sched.charge(1, 2), "shard 1's credit is its own");
@@ -238,7 +254,7 @@ mod tests {
 
     #[test]
     fn next_idle_round_robins_and_skips_the_routed_shard() {
-        let mut sched = DeviceScheduler::new(4);
+        let sched = DeviceScheduler::new(4);
         let all = |_s: usize| true;
         assert_eq!(sched.next_idle(4, 0, all), Some(1));
         assert_eq!(sched.next_idle(4, 0, all), Some(2));
@@ -263,7 +279,7 @@ mod tests {
     #[test]
     fn adaptive_boost_grows_at_high_water_and_decays_at_low_water() {
         let cfg = SchedConfig::default().with_adaptive_watermarks(8, 2, 4);
-        let mut sched = DeviceScheduler::new(1);
+        let sched = DeviceScheduler::new(1);
         assert_eq!(sched.log_budget(0, &cfg), cfg.log_drain_per_tick);
         sched.observe_log_depth(0, 8, &cfg);
         assert_eq!(sched.boost(0), 2);
@@ -285,7 +301,7 @@ mod tests {
     #[test]
     fn non_adaptive_mode_ignores_depth_observations() {
         let cfg = SchedConfig::default();
-        let mut sched = DeviceScheduler::new(1);
+        let sched = DeviceScheduler::new(1);
         sched.observe_log_depth(0, 1_000, &cfg);
         assert_eq!(sched.boost(0), 1);
         assert_eq!(sched.log_budget(0, &cfg), cfg.log_drain_per_tick);
@@ -293,7 +309,7 @@ mod tests {
 
     #[test]
     fn virtual_time_is_monotonic() {
-        let mut sched = DeviceScheduler::new(1);
+        let sched = DeviceScheduler::new(1);
         assert_eq!(sched.ticks(), 0);
         assert_eq!(sched.advance(), 1);
         assert_eq!(sched.advance(), 2);

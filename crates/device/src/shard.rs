@@ -24,7 +24,9 @@
 use std::collections::{HashMap, VecDeque};
 
 use pax_pm::{CacheLine, CrashClock, LineAddr, PmError, PmPool, Result};
-use pax_telemetry::{MetricSet, MetricSnapshot, TraceBuf, TraceEvent};
+use pax_telemetry::{MetricSet, MetricSnapshot, TraceEvent};
+
+use crate::cell::{PoolCell, TraceCell};
 
 use crate::directory::OwnershipDirectory;
 use crate::hbm::{HbmCache, HbmConfig, HbmLine};
@@ -301,9 +303,9 @@ impl DeviceShard {
     /// post-snoop refresh), disposing of any victim.
     pub(crate) fn hbm_refresh_clean(
         &mut self,
-        pool: &mut PmPool,
+        pool: &PoolCell,
         clock: &CrashClock,
-        trace: &mut TraceBuf,
+        trace: &TraceCell,
         addr: LineAddr,
         data: CacheLine,
     ) -> Result<()> {
@@ -320,9 +322,9 @@ impl DeviceShard {
     /// then a draining epoch's captured value, then PM.
     pub(crate) fn resolve(
         &mut self,
-        pool: &mut PmPool,
+        pool: &PoolCell,
         clock: &CrashClock,
-        trace: &mut TraceBuf,
+        trace: &TraceCell,
         cache_clean_reads: bool,
         drain_value: Option<CacheLine>,
         addr: LineAddr,
@@ -337,9 +339,12 @@ impl DeviceShard {
         if let Some(data) = drain_value {
             return Ok(data);
         }
-        let abs = pool.layout().vpm_to_pool(addr.0)?;
-        self.metrics.inc(self.ctr.pm_reads);
-        let data = pool.read_line(abs)?;
+        let data = {
+            let mut pm = pool.lock();
+            let abs = pm.layout().vpm_to_pool(addr.0)?;
+            self.metrics.inc(self.ctr.pm_reads);
+            pm.read_line(abs)?
+        };
         if cache_clean_reads {
             self.hbm_refresh_clean(pool, clock, trace, addr, data.clone())?;
         }
@@ -357,9 +362,9 @@ impl DeviceShard {
     /// instead of spinning.
     pub(crate) fn dispose_victim(
         &mut self,
-        pool: &mut PmPool,
+        pool: &PoolCell,
         clock: &CrashClock,
-        trace: &mut TraceBuf,
+        trace: &TraceCell,
         addr: LineAddr,
         line: HbmLine,
     ) -> Result<()> {
@@ -373,7 +378,7 @@ impl DeviceShard {
                 // eviction avoids.
                 self.metrics.inc(self.ctr.forced_log_flushes);
                 while self.log.durable_offset() <= offset {
-                    if self.log.pump(pool, clock, 1)? == 0 {
+                    if self.log.pump(&mut pool.lock(), clock, 1)? == 0 {
                         return Err(PmError::ProtocolViolation {
                             invariant: "HBM victim's undo entry is neither durable nor pending",
                         });
@@ -381,9 +386,12 @@ impl DeviceShard {
                 }
             }
         }
-        let abs = pool.layout().vpm_to_pool(addr.0)?;
-        tick(clock, pool)?;
-        pool.write_line(abs, line.data)?;
+        {
+            let mut pm = pool.lock();
+            let abs = pm.layout().vpm_to_pool(addr.0)?;
+            tick(clock, &mut pm)?;
+            pm.write_line(abs, line.data)?;
+        }
         self.metrics.inc(self.ctr.device_writebacks);
         trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
         self.dir_clear(addr);
@@ -395,13 +403,15 @@ impl DeviceShard {
     /// whose entries are durable.
     pub(crate) fn background(
         &mut self,
-        pool: &mut PmPool,
+        pool: &PoolCell,
         clock: &CrashClock,
-        trace: &mut TraceBuf,
+        trace: &TraceCell,
         log_pump_batch: usize,
         writeback_batch: usize,
     ) -> Result<()> {
-        self.log.pump(pool, clock, log_pump_batch)?;
+        if log_pump_batch > 0 && self.log.pending_len() > 0 {
+            self.log.pump(&mut pool.lock(), clock, log_pump_batch)?;
+        }
         let mut budget = writeback_batch;
         while budget > 0 {
             let Some(&addr) = self.writeback_queue.front() else { break };
@@ -423,9 +433,12 @@ impl DeviceShard {
                 // Clean in place: background write-back must not promote
                 // the line to MRU and erase real-access recency.
                 self.hbm.mark_clean(key);
-                let abs = pool.layout().vpm_to_pool(addr.0)?;
-                tick(clock, pool)?;
-                pool.write_line(abs, data)?;
+                {
+                    let mut pm = pool.lock();
+                    let abs = pm.layout().vpm_to_pool(addr.0)?;
+                    tick(clock, &mut pm)?;
+                    pm.write_line(abs, data)?;
+                }
                 self.metrics.inc(self.ctr.device_writebacks);
                 self.metrics.inc(self.ctr.background_writebacks);
                 trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
@@ -448,7 +461,7 @@ impl DeviceShard {
     /// returning the covering log offset.
     pub(crate) fn log_if_first(
         &mut self,
-        trace: &mut TraceBuf,
+        trace: &TraceCell,
         epoch: u64,
         addr: LineAddr,
         old: &CacheLine,
@@ -596,11 +609,12 @@ mod tests {
         // The pinned invariant: a dirty victim whose covering log offset
         // is neither durable nor pending is corrupt state. The drain loop
         // must surface it, not spin forever pumping an empty buffer.
-        let (mut pool, mut a, _b) = shard_pair();
+        let (pool, mut a, _b) = shard_pair();
+        let pool = PoolCell::new(pool);
         let clock = CrashClock::new();
-        let mut trace = TraceBuf::disabled();
+        let trace = TraceCell::new(pax_telemetry::TraceBuf::disabled());
         let line = HbmLine { data: CacheLine::filled(1), dirty: true, log_offset: Some(99) };
-        let err = a.dispose_victim(&mut pool, &clock, &mut trace, LineAddr(0), line).unwrap_err();
+        let err = a.dispose_victim(&pool, &clock, &trace, LineAddr(0), line).unwrap_err();
         assert!(
             matches!(err, PmError::ProtocolViolation { .. }),
             "expected a protocol-invariant error, got {err}"
@@ -609,13 +623,15 @@ mod tests {
 
     #[test]
     fn dispose_victim_drains_pending_entry_then_writes_back() {
-        let (mut pool, mut a, _b) = shard_pair();
+        let (pool, mut a, _b) = shard_pair();
+        let pool = PoolCell::new(pool);
         let clock = CrashClock::new();
-        let mut trace = TraceBuf::disabled();
-        let off = a.log_if_first(&mut trace, 1, LineAddr(0), &CacheLine::zeroed()).unwrap();
+        let trace = TraceCell::new(pax_telemetry::TraceBuf::disabled());
+        let off = a.log_if_first(&trace, 1, LineAddr(0), &CacheLine::zeroed()).unwrap();
         let line = HbmLine { data: CacheLine::filled(7), dirty: true, log_offset: Some(off) };
-        a.dispose_victim(&mut pool, &clock, &mut trace, LineAddr(0), line).unwrap();
+        a.dispose_victim(&pool, &clock, &trace, LineAddr(0), line).unwrap();
         assert!(a.log.durable_offset() > off, "covering entry was drained first");
+        let mut pool = pool.into_inner();
         let abs = pool.layout().vpm_to_pool(0).unwrap();
         assert_eq!(pool.read_line(abs).unwrap(), CacheLine::filled(7));
     }
@@ -624,10 +640,10 @@ mod tests {
     fn shard_banks_append_independently() {
         let (mut pool, mut a, mut b) = shard_pair();
         let clock = CrashClock::new();
-        let mut trace = TraceBuf::disabled();
-        a.log_if_first(&mut trace, 1, LineAddr(0), &CacheLine::filled(1)).unwrap();
-        b.log_if_first(&mut trace, 1, LineAddr(1), &CacheLine::filled(2)).unwrap();
-        b.log_if_first(&mut trace, 1, LineAddr(3), &CacheLine::filled(3)).unwrap();
+        let trace = TraceCell::new(pax_telemetry::TraceBuf::disabled());
+        a.log_if_first(&trace, 1, LineAddr(0), &CacheLine::filled(1)).unwrap();
+        b.log_if_first(&trace, 1, LineAddr(1), &CacheLine::filled(2)).unwrap();
+        b.log_if_first(&trace, 1, LineAddr(3), &CacheLine::filled(3)).unwrap();
         a.log.flush(&mut pool, &clock).unwrap();
         b.log.flush(&mut pool, &clock).unwrap();
         assert_eq!(a.log.durable_offset(), 1);

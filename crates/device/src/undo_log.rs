@@ -39,8 +39,33 @@
 //! the entry being durable — so skipping it is always sound.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use pax_pm::{CacheLine, CrashOutcome, LineAddr, PmError, PmPool, Result, LINE_SIZE};
+
+/// The durable watermark of one [`UndoLog`], shared out-of-band.
+///
+/// The watermark is the llfree-style atomic that lets readers order
+/// against the log *without* taking the lane lock that guards the
+/// writer: `pump` publishes with a release store **after** the entry's
+/// two lines are durably in the pool, and [`LogWatermark::durable`]
+/// reads with an acquire load — so any offset a reader observes is
+/// backed by media. `persist_poll`'s fast path uses this to skip
+/// already-durable banks lock-free.
+#[derive(Debug, Default)]
+pub struct LogWatermark(AtomicU64);
+
+impl LogWatermark {
+    /// Entries known durable (acquire).
+    pub fn durable(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    fn publish(&self, durable: u64) {
+        self.0.store(durable, Ordering::Release);
+    }
+}
 
 /// Lines per undo-log entry (header + pre-image).
 pub const ENTRY_LINES: u64 = 2;
@@ -122,8 +147,10 @@ pub struct UndoLog {
     /// entries is O(N), not the O(N²) a `Vec::remove(0)` loop would be.
     pending: VecDeque<UndoEntry>,
     /// Logical offset of the durable watermark (entries drained to media
-    /// over the writer's lifetime; monotonic, never resets).
-    durable: u64,
+    /// over the writer's lifetime; monotonic, never resets). Shared as an
+    /// atomic so lock-free readers can order against it — see
+    /// [`LogWatermark`].
+    durable: Arc<LogWatermark>,
     /// Logical offsets below this belong to committed epochs; their slots
     /// may be overwritten.
     recycled_below: u64,
@@ -148,7 +175,7 @@ impl UndoLog {
     pub fn with_region(region_start: u64, capacity_entries: u64) -> Self {
         UndoLog {
             pending: VecDeque::new(),
-            durable: 0,
+            durable: Arc::new(LogWatermark::default()),
             recycled_below: 0,
             region_start,
             capacity_entries,
@@ -159,13 +186,19 @@ impl UndoLog {
     /// Entries known durable; write back of a data line tagged with offset
     /// `o` is legal once `o < durable_offset()`.
     pub fn durable_offset(&self) -> u64 {
-        self.durable
+        self.durable.durable()
+    }
+
+    /// A shared handle onto this writer's durable watermark, readable
+    /// without whatever lock guards the writer itself.
+    pub fn watermark(&self) -> Arc<LogWatermark> {
+        Arc::clone(&self.durable)
     }
 
     /// Entries appended so far over the writer's lifetime (durable +
     /// pending). The next append gets this offset.
     pub fn appended(&self) -> u64 {
-        self.durable + self.pending.len() as u64
+        self.durable.durable() + self.pending.len() as u64
     }
 
     /// Entries awaiting the background drain.
@@ -232,12 +265,15 @@ impl UndoLog {
                 return Err(PmError::Crashed);
             }
             let entry = self.pending.pop_front().expect("n bounded by pending length");
-            let base = self.slot_base(self.durable);
+            let durable = self.durable.durable();
+            let base = self.slot_base(durable);
             pool.write_line(LineAddr(base), entry.header_line())?;
             pool.write_line(LineAddr(base + 1), entry.old.clone())?;
-            // The watermark only advances once both lines are durable.
+            // The watermark only advances once both lines are durable:
+            // the release store publishes the drained media state to any
+            // thread that acquires the new offset.
             pool.drain();
-            self.durable += 1;
+            self.durable.publish(durable + 1);
             self.bytes_written += (ENTRY_LINES as usize * LINE_SIZE) as u64;
         }
         Ok(n)
@@ -261,7 +297,7 @@ impl UndoLog {
     /// durable offset (an undrained entry cannot belong to a committed
     /// epoch) and never moves backwards.
     pub fn recycle_to(&mut self, watermark: u64) {
-        self.recycled_below = self.recycled_below.max(watermark.min(self.durable));
+        self.recycled_below = self.recycled_below.max(watermark.min(self.durable.durable()));
     }
 
     /// Recycles the whole region after a fully-drained epoch commits (the
@@ -270,7 +306,7 @@ impl UndoLog {
     /// epochs and are ignored by recovery.
     pub fn reset_after_commit(&mut self) {
         debug_assert!(self.pending.is_empty(), "reset with undrained entries");
-        self.recycle_to(self.durable);
+        self.recycle_to(self.durable.durable());
     }
 
     /// Drops the volatile tail (power loss).

@@ -1,4 +1,18 @@
 //! Named counter / histogram registry with snapshot, diff, and merge.
+//!
+//! Counter and histogram *slots* are atomics: once a handle is
+//! registered, recording through it takes `&self`, so components shared
+//! across OS threads (the concurrent `PaxPool` hot path) account events
+//! without a lock. Registration ([`MetricSet::counter`] /
+//! [`MetricSet::histogram`]) still takes `&mut self` — components
+//! register at construction, before the set is shared.
+//!
+//! All slot updates use relaxed ordering: metrics are statistics, not
+//! synchronization. A snapshot taken while other threads record is
+//! internally consistent per counter but is not a cross-counter fence;
+//! conservation-law checks should snapshot at quiescent points.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::json::Json;
 
@@ -19,26 +33,55 @@ pub struct Histogram(u32);
 /// `2..=3`, and so on up to bucket 64.
 const BUCKETS: usize = 65;
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Hist {
-    count: u64,
-    sum: u64,
-    min: u64,
-    max: u64,
-    buckets: [u64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
 }
 
 impl Hist {
     fn new() -> Self {
-        Hist { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: [0; BUCKETS] }
+        Hist {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
     }
 
-    fn record(&mut self, value: u64) {
-        self.count += 1;
-        self.sum = self.sum.saturating_add(value);
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-        self.buckets[(64 - value.leading_zeros()) as usize] += 1;
+    fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating add via a CAS loop; overflow is astronomically rare
+        // but the non-atomic code saturated, so this does too.
+        let mut sum = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = sum.saturating_add(value);
+            match self.sum.compare_exchange_weak(sum, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(cur) => sum = cur,
+            }
+        }
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[(64 - value.leading_zeros()) as usize].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Clone for Hist {
+    fn clone(&self) -> Self {
+        Hist {
+            count: AtomicU64::new(self.count.load(Ordering::Relaxed)),
+            sum: AtomicU64::new(self.sum.load(Ordering::Relaxed)),
+            min: AtomicU64::new(self.min.load(Ordering::Relaxed)),
+            max: AtomicU64::new(self.max.load(Ordering::Relaxed)),
+            buckets: std::array::from_fn(|i| {
+                AtomicU64::new(self.buckets[i].load(Ordering::Relaxed))
+            }),
+        }
     }
 }
 
@@ -47,13 +90,33 @@ impl Hist {
 /// Each simulated component (`pm`, `cxl`, `host_cache`, `device`, …)
 /// owns exactly one set; the component's legacy typed stats structs are
 /// derived views over it, so there is a single copy of every number.
-#[derive(Debug, Clone)]
+///
+/// Recording is `&self` (atomic slots, see module docs) so a set shared
+/// behind an `Arc` or embedded in a `Sync` component stays lock-free on
+/// the hot path.
+#[derive(Debug)]
 pub struct MetricSet {
     component: &'static str,
     counter_names: Vec<&'static str>,
-    counters: Vec<u64>,
+    counters: Vec<AtomicU64>,
     histogram_names: Vec<&'static str>,
     histograms: Vec<Hist>,
+}
+
+impl Clone for MetricSet {
+    fn clone(&self) -> Self {
+        MetricSet {
+            component: self.component,
+            counter_names: self.counter_names.clone(),
+            counters: self
+                .counters
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
+            histogram_names: self.histogram_names.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
 }
 
 impl MetricSet {
@@ -79,7 +142,7 @@ impl MetricSet {
             return Counter(i as u32);
         }
         self.counter_names.push(name);
-        self.counters.push(0);
+        self.counters.push(AtomicU64::new(0));
         Counter((self.counters.len() - 1) as u32)
     }
 
@@ -95,14 +158,14 @@ impl MetricSet {
 
     /// Adds one to a counter.
     #[inline]
-    pub fn inc(&mut self, c: Counter) {
-        self.counters[c.0 as usize] += 1;
+    pub fn inc(&self, c: Counter) {
+        self.counters[c.0 as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `delta` to a counter.
     #[inline]
-    pub fn add(&mut self, c: Counter, delta: u64) {
-        self.counters[c.0 as usize] += delta;
+    pub fn add(&self, c: Counter, delta: u64) {
+        self.counters[c.0 as usize].fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Subtracts `delta` from a counter, saturating at zero.
@@ -112,20 +175,27 @@ impl MetricSet {
     /// down as well as up. Saturation keeps a missed decrement from
     /// wrapping into a absurdly large value.
     #[inline]
-    pub fn sub(&mut self, c: Counter, delta: u64) {
-        let slot = &mut self.counters[c.0 as usize];
-        *slot = slot.saturating_sub(delta);
+    pub fn sub(&self, c: Counter, delta: u64) {
+        let slot = &self.counters[c.0 as usize];
+        let mut cur = slot.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(delta);
+            match slot.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
     }
 
     /// Current value of a counter.
     #[inline]
     pub fn get(&self, c: Counter) -> u64 {
-        self.counters[c.0 as usize]
+        self.counters[c.0 as usize].load(Ordering::Relaxed)
     }
 
     /// Records one observation into a histogram.
     #[inline]
-    pub fn record(&mut self, h: Histogram, value: u64) {
+    pub fn record(&self, h: Histogram, value: u64) {
         self.histograms[h.0 as usize].record(value);
     }
 
@@ -137,21 +207,22 @@ impl MetricSet {
                 .counter_names
                 .iter()
                 .zip(&self.counters)
-                .map(|(n, v)| (n.to_string(), *v))
+                .map(|(n, v)| (n.to_string(), v.load(Ordering::Relaxed)))
                 .collect(),
             histograms: self
                 .histogram_names
                 .iter()
                 .zip(&self.histograms)
                 .map(|(n, h)| {
+                    let count = h.count.load(Ordering::Relaxed);
                     (
                         n.to_string(),
                         HistogramSnapshot {
-                            count: h.count,
-                            sum: h.sum,
-                            min: if h.count == 0 { 0 } else { h.min },
-                            max: h.max,
-                            buckets: h.buckets.to_vec(),
+                            count,
+                            sum: h.sum.load(Ordering::Relaxed),
+                            min: if count == 0 { 0 } else { h.min.load(Ordering::Relaxed) },
+                            max: h.max.load(Ordering::Relaxed),
+                            buckets: h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
                         },
                     )
                 })
@@ -399,7 +470,7 @@ mod tests {
 
     #[test]
     fn sub_decrements_and_saturates() {
-        let (mut ms, a, _) = sample_set();
+        let (ms, a, _) = sample_set();
         ms.add(a, 3);
         ms.sub(a, 2);
         assert_eq!(ms.get(a), 1);
@@ -409,7 +480,7 @@ mod tests {
 
     #[test]
     fn snapshot_diff_isolates_an_interval() {
-        let (mut ms, a, b) = sample_set();
+        let (ms, a, b) = sample_set();
         ms.add(a, 10);
         let before = ms.snapshot();
         ms.add(a, 5);
@@ -421,7 +492,7 @@ mod tests {
 
     #[test]
     fn diff_saturates_instead_of_wrapping() {
-        let (mut ms, a, _) = sample_set();
+        let (ms, a, _) = sample_set();
         ms.add(a, 7);
         let high = ms.snapshot();
         let fresh = MetricSet::new("dev").snapshot();
@@ -430,7 +501,7 @@ mod tests {
 
     #[test]
     fn merge_adds_shared_and_keeps_disjoint_counters() {
-        let (mut ms1, a, _) = sample_set();
+        let (ms1, a, _) = sample_set();
         ms1.add(a, 3);
         let mut ms2 = MetricSet::new("dev");
         let r = ms2.counter("reads");
@@ -497,7 +568,7 @@ mod tests {
 
     #[test]
     fn telemetry_snapshot_lookup_and_diff() {
-        let (mut ms, a, _) = sample_set();
+        let (ms, a, _) = sample_set();
         ms.add(a, 2);
         let t0 = TelemetrySnapshot::new(vec![ms.snapshot()]);
         ms.add(a, 3);
@@ -508,8 +579,40 @@ mod tests {
     }
 
     #[test]
+    fn recording_is_lock_free_across_threads() {
+        // Handles registered up front; recording then takes &self, so the
+        // set can be shared across OS threads without a lock.
+        let mut ms = MetricSet::new("dev");
+        let c = ms.counter("events");
+        let h = ms.histogram("lat");
+        let ms = std::sync::Arc::new(ms);
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let ms = std::sync::Arc::clone(&ms);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        ms.inc(c);
+                        ms.record(h, t * per_thread + i + 1);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(ms.get(c), threads * per_thread);
+        let snap = ms.snapshot();
+        let hist = snap.histogram("lat").unwrap();
+        assert_eq!(hist.count, threads * per_thread);
+        assert_eq!(hist.min, 1);
+        assert_eq!(hist.max, threads * per_thread);
+    }
+
+    #[test]
     fn snapshot_json_contains_all_counters() {
-        let (mut ms, a, b) = sample_set();
+        let (ms, a, b) = sample_set();
         ms.inc(a);
         ms.add(b, 2);
         let rendered = ms.snapshot().to_json().render();

@@ -5,6 +5,16 @@
 //! [`rngs::StdRng`]. The generator is xoshiro256** seeded via splitmix64
 //! — statistically strong for simulation workloads and fully
 //! deterministic per seed, which is all the workload generators need.
+//!
+//! # Real-thread soundness
+//!
+//! The shim holds no global or thread-local state — no lazily seeded
+//! process RNG, no `thread_rng()` — so there is nothing to race on.
+//! [`rngs::StdRng`] is a plain owned struct (`Send`, and trivially
+//! `Sync` as there are no interior-mutability cells); the intended
+//! multi-thread pattern is one generator per thread, seeded with
+//! distinct values. Streams are then deterministic per seed regardless
+//! of scheduling, which is what the seeded stress tests rely on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -211,6 +221,33 @@ mod tests {
         for _ in 0..100 {
             let roll: u8 = rng.gen_range(0..100);
             assert!(roll < 100);
+        }
+    }
+
+    #[test]
+    fn multithread_streams_are_independent_and_deterministic() {
+        // One generator per thread (the intended concurrency pattern):
+        // each thread's stream must match the single-threaded reference
+        // for its seed, no matter how the OS schedules them.
+        fn assert_send<T: Send>() {}
+        assert_send::<StdRng>();
+
+        let reference: Vec<Vec<u64>> = (0..4u64)
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(100 + t);
+                (0..1000).map(|_| rng.next_u64()).collect()
+            })
+            .collect();
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(100 + t);
+                    (0..1000).map(|_| rng.next_u64()).collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        for (t, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap(), reference[t], "thread {t} stream diverged");
         }
     }
 }

@@ -1,0 +1,109 @@
+//! Determinism regression: single-driver mode is bit-identical.
+//!
+//! The concurrent engine refactor made `PaxPool` `Send + Sync` with
+//! per-shard locking, but the contract for a *single* driver thread is
+//! unchanged: the same seed and the same op/persist/tick schedule must
+//! produce byte-identical durable state, an identical telemetry
+//! snapshot, and an identical device trace. Every lock in the engine is
+//! uncontended on this path, so lock acquisition order — the only
+//! source of nondeterminism the refactor could have introduced — is
+//! fixed by program order.
+
+use libpax::{MemSpace, PaxConfig, PaxPool};
+use pax_device::DeviceConfig;
+use pax_pm::{PoolConfig, LINE_SIZE};
+use pax_telemetry::TelemetrySnapshot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SPAN_LINES: u64 = 512;
+const OPS: u64 = 3_000;
+
+fn config() -> PaxConfig {
+    PaxConfig::default()
+        .with_pool(PoolConfig::small().with_data_bytes(8 << 20).with_log_bytes(64 << 20))
+        .with_device(DeviceConfig::default().with_shards(4))
+}
+
+struct RunResult {
+    durable: Vec<u8>,
+    telemetry: TelemetrySnapshot,
+    post_crash_telemetry: TelemetrySnapshot,
+    trace: String,
+    committed_epoch: u64,
+}
+
+/// Drops the `"seq":N,` prefix from every trace event line.
+fn strip_seq(trace: &str) -> String {
+    trace
+        .lines()
+        .map(|l| match l.find("\"component\"") {
+            Some(i) => &l[i..],
+            None => l,
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// One seeded single-driver run over a fixed schedule: seeded writes,
+/// persists every 257 ops, explicit device ticks every 97 ops, a
+/// persisted body plus an unpersisted tail, then a crash and reopen.
+fn run_once(seed: u64) -> RunResult {
+    let pool = PaxPool::create(config()).unwrap();
+    let vpm = pool.vpm();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for i in 0..OPS {
+        let line = rng.gen_range(0u64..SPAN_LINES);
+        vpm.write_u64(line * LINE_SIZE as u64, rng.gen()).unwrap();
+        if i % 257 == 256 {
+            pool.persist().unwrap();
+        }
+        if i % 97 == 96 {
+            pool.run_device(3).unwrap();
+        }
+    }
+    pool.persist().unwrap();
+    // An unpersisted tail the crash must roll back — identically.
+    for _ in 0..64 {
+        let line = rng.gen_range(0u64..SPAN_LINES);
+        vpm.write_u64(line * LINE_SIZE as u64, rng.gen()).unwrap();
+    }
+
+    let telemetry = pool.telemetry();
+    let pm = pool.crash().unwrap();
+    let post_crash_telemetry = pool.telemetry();
+    let pool = PaxPool::open(pm, config()).unwrap();
+    // The trace `seq` counter is process-global (it orders events across
+    // pools), so it keeps counting between the two runs; the determinism
+    // contract covers event content and order, not the global numbering.
+    let trace = strip_seq(&pool.trace_dump());
+    let committed_epoch = pool.committed_epoch().unwrap();
+    let vpm = pool.vpm();
+    let mut durable = vec![0u8; (SPAN_LINES * LINE_SIZE as u64) as usize];
+    vpm.read_bytes(0, &mut durable).unwrap();
+    RunResult { durable, telemetry, post_crash_telemetry, trace, committed_epoch }
+}
+
+#[test]
+fn single_driver_runs_are_bit_identical() {
+    let a = run_once(42);
+    let b = run_once(42);
+    assert_eq!(a.committed_epoch, b.committed_epoch, "committed epoch diverged");
+    assert!(a.durable == b.durable, "durable bytes diverged between identical runs");
+    assert_eq!(a.telemetry, b.telemetry, "live telemetry diverged");
+    assert_eq!(
+        a.post_crash_telemetry, b.post_crash_telemetry,
+        "post-crash telemetry stash diverged"
+    );
+    assert_eq!(a.trace, b.trace, "recovery trace diverged");
+}
+
+#[test]
+fn different_seeds_actually_diverge() {
+    // Sanity for the test above: the schedule is seed-sensitive, so a
+    // pass is not vacuous.
+    let a = run_once(1);
+    let b = run_once(2);
+    assert!(a.durable != b.durable, "different seeds must produce different state");
+}
