@@ -20,6 +20,9 @@ Compares the current run's --json outputs against the previous run's
   fig2b_measured   mops               must be >= 0.90x baseline (per
                                       threads point; wall-clock numbers
                                       are noisier than modelled ones)
+  logappend        mops               must be >= 0.90x baseline (per
+                                      (threads, mode) point; same
+                                      wall-clock noise budget)
 
 Independently of any baseline, three absolute acceptance bars apply:
 
@@ -39,6 +42,15 @@ Independently of any baseline, three absolute acceptance bars apply:
     instead of convoying. The artifact records `host_cores`
     (std::thread::available_parallelism) so the check picks the bar
     that the hardware can express.
+  - the logappend same-lane append series: on a host with >= 4 cores
+    the lock-free CAS bank must scale >= 1.3x from 1 to 4 appender
+    threads (the mutex engine structurally cannot); on a starved host
+    the bar degrades to a no-collapse floor (>= 0.15x). On every host
+    the CAS engine's top-width scaling must be at least 0.9x the
+    mutex engine's — the lock-free path must never convoy harder than
+    the lock it replaced. The floor is deliberately NOT applied to
+    the `locked` series: its collapse under contention is the
+    behavior the CAS engine exists to remove.
 
 A missing baseline file seeds the ratchet (exit 0); the workflow then
 saves CURRENT_DIR as the next run's baseline.
@@ -60,6 +72,10 @@ MEASURED_TOL = 0.90
 MEASURED_SCALING_BAR = 1.5
 MEASURED_SCALING_CORES = 8
 MEASURED_NO_COLLAPSE_FLOOR = 0.35
+LOGAPPEND_TOL = 0.90
+LOGAPPEND_SCALING_BAR = 1.3
+LOGAPPEND_SCALING_CORES = 4
+LOGAPPEND_NO_COLLAPSE_FLOOR = 0.15
 
 
 def load(path: Path):
@@ -173,6 +189,90 @@ def check_measured_scaling(current, failures):
             f"(host_cores={host_cores} < {MEASURED_SCALING_CORES}, "
             f"real speedup not expressible)"
         )
+
+
+def check_logappend_scaling(current, failures):
+    """Absolute bars, no baseline needed: the lock-free CAS undo bank
+    must actually remove the same-lane append serialization. On a host
+    with LOGAPPEND_SCALING_CORES or more cores, the CAS engine's widest
+    thread count must scale LOGAPPEND_SCALING_BAR over one thread; on a
+    starved host real speedup is impossible, so the bar degrades to a
+    no-collapse floor. On every host the CAS engine's scaling must be at
+    least the mutex engine's at the same width — if the CAS path ever
+    convoys harder than the lock it replaced, that is a regression
+    regardless of core count."""
+    host_cores = current.get("config", {}).get("host_cores", 1)
+    by_mode = {}
+    for r in current["results"]:
+        if "scaling_vs_1" in r and "mode" in r:
+            by_mode.setdefault(r["mode"], []).append(r)
+    if "cas" not in by_mode:
+        failures.append("logappend: cas series missing")
+        return
+    top = max(by_mode["cas"], key=lambda r: r["threads"])
+    scaling = top["scaling_vs_1"]
+    if host_cores >= LOGAPPEND_SCALING_CORES:
+        if scaling < LOGAPPEND_SCALING_BAR:
+            failures.append(
+                f"logappend: cas {top['threads']}-thread scaling "
+                f"{scaling:.2f}x below the {LOGAPPEND_SCALING_BAR}x bar "
+                f"(host_cores={host_cores}) — same-lane appends are "
+                f"serializing again"
+            )
+        else:
+            print(
+                f"logappend scaling ok: cas {scaling:.2f}x at "
+                f"{top['threads']} threads >= {LOGAPPEND_SCALING_BAR}x "
+                f"(host_cores={host_cores})"
+            )
+    elif scaling < LOGAPPEND_NO_COLLAPSE_FLOOR:
+        failures.append(
+            f"logappend: cas {top['threads']}-thread throughput collapsed "
+            f"to {scaling:.2f}x of single-thread (floor "
+            f"{LOGAPPEND_NO_COLLAPSE_FLOOR}; host_cores={host_cores})"
+        )
+    else:
+        print(
+            f"logappend no-collapse ok: cas {scaling:.2f}x at "
+            f"{top['threads']} threads >= {LOGAPPEND_NO_COLLAPSE_FLOOR} "
+            f"floor (host_cores={host_cores} < {LOGAPPEND_SCALING_CORES})"
+        )
+    locked = by_mode.get("locked", [])
+    locked_top = max(locked, key=lambda r: r["threads"], default=None)
+    if locked_top and locked_top["threads"] == top["threads"]:
+        # 10% slack: the two engines can sit near parity on starved
+        # hosts, and run-to-run jitter should not fail the build there.
+        if scaling < 0.9 * locked_top["scaling_vs_1"]:
+            failures.append(
+                f"logappend: cas scaling {scaling:.2f}x trails the mutex "
+                f"engine's {locked_top['scaling_vs_1']:.2f}x at "
+                f"{top['threads']} threads — the lock-free path convoys "
+                f"harder than the lock it replaced"
+            )
+        else:
+            print(
+                f"logappend cas-vs-locked ok: {scaling:.2f}x >= "
+                f"{locked_top['scaling_vs_1']:.2f}x at {top['threads']} threads"
+            )
+
+
+def ratchet_logappend(baseline, current, failures):
+    base = {
+        (r["threads"], r["mode"]): r["mops"]
+        for r in baseline["results"]
+        if "mops" in r and "mode" in r
+    }
+    for r in current["results"]:
+        key = (r.get("threads"), r.get("mode"))
+        if key not in base or "mops" not in r:
+            continue
+        floor = LOGAPPEND_TOL * base[key]
+        if r["mops"] < floor:
+            failures.append(
+                f"logappend threads={key[0]} mode={key[1]}: "
+                f"{r['mops']:.2f} Mops < {LOGAPPEND_TOL}x baseline "
+                f"{base[key]:.2f}"
+            )
 
 
 def ratchet_fig2b_measured(baseline, current, failures):
@@ -296,6 +396,7 @@ def main() -> int:
         "tenants.json": ratchet_tenants,
         "snoopfilter.json": ratchet_snoopfilter,
         "fig2b_measured.json": ratchet_fig2b_measured,
+        "logappend.json": ratchet_logappend,
     }
 
     overlap = load(current_dir / "ablation_overlap.json")
@@ -321,6 +422,12 @@ def main() -> int:
         failures.append("current fig2b_measured.json missing")
     else:
         check_measured_scaling(measured, failures)
+
+    logappend = load(current_dir / "logappend.json")
+    if logappend is None:
+        failures.append("current logappend.json missing")
+    else:
+        check_logappend_scaling(logappend, failures)
 
     for name, ratchet in ratchets.items():
         current = load(current_dir / name)

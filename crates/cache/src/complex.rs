@@ -412,18 +412,31 @@ impl SharedComplex {
     /// Records that `core` is installing a line at `addr`. Must happen
     /// before the install is visible so absent bits stay proof of
     /// absence.
+    ///
+    /// Ordering: `Release`, pairing with the `Acquire` load in
+    /// [`SharedComplex::peer_may_hold`]. The bit is set *before* the
+    /// core's install is published (the install happens under the core
+    /// lock taken after this call); a relaxed store here could let
+    /// another thread observe the installed line through the core lock
+    /// while still reading a stale zero bit — and a zero bit licenses
+    /// skipping that core's probe entirely.
     fn note_present(&self, core: usize, addr: LineAddr) {
         if !self.presence.is_empty() {
-            self.presence[Self::slot(addr)].fetch_or(1 << core, Ordering::Relaxed);
+            self.presence[Self::slot(addr)].fetch_or(1 << core, Ordering::Release);
         }
     }
 
     /// `false` only when no peer of `core` can possibly hold `addr`.
+    ///
+    /// Ordering: `Acquire`, pairing with [`SharedComplex::note_present`]'s
+    /// `Release` `fetch_or` — a set bit happens-after the installer
+    /// announced itself, so a `false` here is real proof of absence, not
+    /// a stale read racing an in-flight install.
     fn peer_may_hold(&self, core: usize, addr: LineAddr) -> bool {
         if self.presence.is_empty() {
             return true;
         }
-        self.presence[Self::slot(addr)].load(Ordering::Relaxed) & !(1u64 << core) != 0
+        self.presence[Self::slot(addr)].load(Ordering::Acquire) & !(1u64 << core) != 0
     }
 
     /// Cross-core traffic counters.

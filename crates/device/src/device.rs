@@ -42,7 +42,7 @@ use crate::recovery::{recover_traced, RecoveryReport};
 use crate::sched::{weighted_budget, DeviceScheduler, SchedConfig};
 use crate::shard::{split_log_region, tick, DeviceShard};
 use crate::tenant::{TenantId, TenantMap, TenantRegion};
-use crate::undo_log::LogWatermark;
+use crate::undo_log::{AtomicBank, LogWatermark};
 
 /// Component name stamped on the device's metrics and trace records.
 const COMPONENT: &str = "device";
@@ -84,6 +84,18 @@ pub struct DeviceConfig {
     /// write-backs contiguous in lane-local address space share one
     /// durable-write step, up to this many. 1 = the unbatched pipeline.
     pub persist_wb_batch: usize,
+    /// When true, each lane's undo bank uses the original mutex-guarded
+    /// append engine instead of the lock-free CAS bank — the
+    /// differential baseline for `tests/lockfree_log.rs`. Defaults to
+    /// the `locked-log` cargo feature (off ⇒ CAS), so CI can run the
+    /// whole suite under either engine.
+    pub locked_log: bool,
+    /// Consecutive skipped non-blocking polls of one tenant's drain
+    /// after which [`PaxDevice::background`]'s poll falls back to a
+    /// patient (bounded-spin) acquisition of the ctl lock, so a
+    /// store-heavy thread mix cannot starve an async persist
+    /// indefinitely.
+    pub poll_skip_limit: u64,
 }
 
 impl DeviceConfig {
@@ -147,6 +159,27 @@ impl DeviceConfig {
         self
     }
 
+    /// Returns the config with the original mutex-guarded undo-bank
+    /// append engine (the lock-free CAS bank's differential baseline).
+    pub fn with_locked_log(mut self) -> Self {
+        self.locked_log = true;
+        self
+    }
+
+    /// Returns the config with the lock-free CAS undo-bank engine,
+    /// overriding the `locked-log` cargo feature's default.
+    pub fn with_cas_log(mut self) -> Self {
+        self.locked_log = false;
+        self
+    }
+
+    /// Returns the config with a different poll-starvation threshold. A
+    /// zero limit is rejected by [`DeviceConfig::validate`].
+    pub fn with_poll_skip_limit(mut self, n: u64) -> Self {
+        self.poll_skip_limit = n;
+        self
+    }
+
     /// Checks the config against a device hosting one pool context per
     /// entry of `regions`. Run by [`PaxDevice::open_multi`] before any
     /// state is built, so a bad geometry is a typed error, not a panic
@@ -167,6 +200,9 @@ impl DeviceConfig {
         }
         if self.persist_wb_batch == 0 {
             return Err(PmError::Config("persist write-back batch must be at least 1".into()));
+        }
+        if self.poll_skip_limit == 0 {
+            return Err(PmError::Config("poll skip limit must be at least 1".into()));
         }
         for (t, r) in regions.iter().enumerate() {
             if r.hbm_share == 0 {
@@ -199,6 +235,8 @@ impl Default for DeviceConfig {
             sched: SchedConfig::default(),
             directory: DirectoryConfig::enabled(),
             persist_wb_batch: 8,
+            locked_log: cfg!(feature = "locked-log"),
+            poll_skip_limit: 64,
         }
     }
 }
@@ -233,12 +271,23 @@ struct DrainState {
 /// trace**. Persist paths hold their tenant's ctl lock for their whole
 /// duration; hot paths only ever `try_lock` it (a contended ctl implies a
 /// concurrent persist, and non-blocking [`DrainState`]s exist only in
-/// single-driver mode, so skipping is correct there). Hot paths never
-/// hold a lane lock across a call that acquires another lane or a host
-/// core. Epoch counters and the per-lane durable log watermarks are
-/// atomics, read lock-free. Epoch commit — which takes ctl, flushes every
-/// lane of the tenant, and writes the header slot — is the only
-/// cross-shard rendezvous.
+/// single-driver mode, so skipping is correct there — the bounded-spin
+/// starvation fallback in `poll_one_tenant` likewise never blocks on ctl,
+/// because `SharedComplex::write` reaches this code while holding a host
+/// core lock and a hard `lock()` would invert ctl → core). Hot paths
+/// never hold a lane lock across a call that acquires another lane or a
+/// host core. Epoch counters and the per-lane durable log watermarks are
+/// atomics, read lock-free.
+///
+/// Under the default CAS undo bank ([`crate::AtomicBank`]) the log hot
+/// paths sit *outside* this hierarchy entirely: append reserves a slot
+/// with a CAS on the bank's packed tail word (no lock at all — the lane
+/// lock at append call sites guards only HBM/directory state), and the
+/// pump/flush media handoff takes **pool only**, never the lane lock.
+/// Only [`DeviceConfig::with_locked_log`] routes both back under the lane
+/// mutex. Epoch commit — which takes ctl, flushes every lane of the
+/// tenant, and writes the header slot — is the only cross-shard
+/// rendezvous.
 #[derive(Debug)]
 pub struct PaxDevice {
     /// The PM media behind its single global lock; engines lock it only
@@ -261,6 +310,11 @@ pub struct PaxDevice {
     /// [`crate::UndoLog`]: drain polling checks durability without taking
     /// any lane lock.
     watermarks: Vec<Arc<LogWatermark>>,
+    /// Per-lane handles to the lock-free CAS undo banks (`None` for every
+    /// lane under [`DeviceConfig::with_locked_log`]). Pump and flush paths
+    /// use these to drain the log holding only the pool lock, never the
+    /// lane lock.
+    log_banks: Vec<Option<Arc<AtomicBank>>>,
     /// Per tenant: the epoch currently being built (= that tenant's
     /// committed epoch + 1). Written only under that tenant's ctl lock;
     /// hot paths read it lock-free.
@@ -269,6 +323,13 @@ pub struct PaxDevice {
     /// still being made durable (non-blocking persist). Top of the lock
     /// order.
     draining: Vec<Mutex<Option<DrainState>>>,
+    /// Per tenant: consecutive `persist_poll_try` passes that found the
+    /// ctl lock contended and skipped the tenant. At
+    /// [`DeviceConfig::poll_skip_limit`] the poll escalates to a bounded
+    /// spin (see `poll_one_tenant`) so an async drain cannot be starved by
+    /// hot-path ctl traffic. Relaxed ordering: a pure heuristic counter,
+    /// it guards no data.
+    poll_skips: Vec<AtomicU64>,
     /// Virtual-time run-queue state: per-lane pump credits and adaptive
     /// boosts, the round-robin idle-service cursor, and the tick counter.
     sched: DeviceScheduler,
@@ -350,6 +411,7 @@ impl PaxDevice {
                     config.hbm.with_capacity_bytes(slice),
                     base,
                     cap,
+                    config.locked_log,
                 )
             })
             .collect();
@@ -373,6 +435,7 @@ impl PaxDevice {
             metrics.add(gauge, value as u64);
         }
         let watermarks = shards.iter().map(|s| s.log.watermark()).collect();
+        let log_banks = shards.iter().map(|s| s.log.bank()).collect();
         Ok(PaxDevice {
             pool: PoolCell::new(pool),
             clock: CrashClock::new(),
@@ -381,8 +444,10 @@ impl PaxDevice {
             stride,
             shards: shards.into_iter().map(Mutex::new).collect(),
             watermarks,
+            log_banks,
             epochs: epochs.into_iter().map(AtomicU64::new).collect(),
             draining: (0..t).map(|_| Mutex::new(None)).collect(),
+            poll_skips: (0..t).map(|_| AtomicU64::new(0)).collect(),
             sched: DeviceScheduler::new(lanes),
             metrics,
             ctr,
@@ -627,13 +692,7 @@ impl PaxDevice {
             return Ok(());
         }
         self.persist_poll_try()?;
-        lock(&self.shards[lane]).background(
-            &self.pool,
-            &self.clock,
-            &self.trace,
-            self.config.log_pump_batch,
-            self.config.writeback_batch,
-        )?;
+        self.lane_background(lane, self.config.log_pump_batch, self.config.writeback_batch)?;
         // The donated idle-lane step runs at unit rate, gated on the same
         // knobs (a device with pumping disabled stays fully quiescent).
         let idle_log = self.config.log_pump_batch.min(1);
@@ -645,17 +704,40 @@ impl PaxDevice {
             });
             if let Some(s) = idle {
                 let before = self.clock.steps_taken();
-                lock(&self.shards[s]).background(
-                    &self.pool,
-                    &self.clock,
-                    &self.trace,
-                    idle_log,
-                    idle_wb,
-                )?;
+                self.lane_background(s, idle_log, idle_wb)?;
                 self.metrics.add(self.ctr.sched_idle_steps, self.clock.steps_taken() - before);
             }
         }
         Ok(())
+    }
+
+    /// One lane's background step: pump up to `log_batch` undo entries to
+    /// media, then run the lane's write-back engine for `wb_batch` lines.
+    /// Under the default CAS bank the pump happens **before** and
+    /// **without** the lane lock — the media handoff serializes on the
+    /// pool lock alone, so concurrent appenders on the same lane are
+    /// never stalled behind it — and the lane lock is then taken only for
+    /// the write-back queue. The locked baseline runs both under the lane
+    /// mutex, exactly as before this split. Both engines issue the
+    /// identical pump-then-write-back step sequence, so single-driver
+    /// runs stay bit-identical across modes.
+    fn lane_background(&self, lane: usize, log_batch: usize, wb_batch: usize) -> Result<()> {
+        let lane_log_batch = match &self.log_banks[lane] {
+            Some(bank) => {
+                if log_batch > 0 && bank.pending_len() > 0 {
+                    bank.pump(&mut self.pool.lock(), &self.clock, log_batch)?;
+                }
+                0
+            }
+            None => log_batch,
+        };
+        lock(&self.shards[lane]).background(
+            &self.pool,
+            &self.clock,
+            &self.trace,
+            lane_log_batch,
+            wb_batch,
+        )
     }
 
     /// Advances the device's free-running engines by `n` **virtual
@@ -699,13 +781,7 @@ impl PaxDevice {
                     let log_budget =
                         weighted_budget(self.sched.log_budget(l, &cfg), w, active_weight);
                     let wb_budget = weighted_budget(cfg.writeback_per_tick, w, active_weight);
-                    lock(&self.shards[l]).background(
-                        &self.pool,
-                        &self.clock,
-                        &self.trace,
-                        log_budget,
-                        wb_budget,
-                    )?;
+                    self.lane_background(l, log_budget, wb_budget)?;
                 }
             }
             if cfg.adaptive {
@@ -780,7 +856,7 @@ impl PaxDevice {
         // (1) All of t's pre-images durable before any further write
         // back.
         for l in self.tenant_lanes(t) {
-            lock(&self.shards[l]).log.flush(&mut self.pool.lock(), &self.clock)?;
+            self.flush_lane_log(l)?;
         }
 
         // (2) Gather: iterate logged lines in log order (§3.3 "iterating
@@ -887,7 +963,7 @@ impl PaxDevice {
             self.poll_drain(t, &mut ctl)?;
         }
         for l in self.tenant_lanes(t) {
-            lock(&self.shards[l]).log.flush(&mut self.pool.lock(), &self.clock)?;
+            self.flush_lane_log(l)?;
         }
 
         let filter = self.config.directory.enabled;
@@ -991,12 +1067,27 @@ impl PaxDevice {
         for l in self.tenant_lanes(t) {
             lock(&self.shards[l]).reset_after_commit();
         }
+        // Release pairs with the Acquire load in `home_read_own`: a store
+        // thread that tags an undo entry with the new epoch number must
+        // also observe the recycled banks and reset per-epoch state
+        // published above.
         self.epochs[t].store(committed + 1, Ordering::Release);
         // Charged to the tenant's phase-0 lane so per-tenant rollups
         // conserve the persist count.
         lock(&self.shards[t * self.stride]).count_persist();
         self.trace.record(COMPONENT, TraceEvent::EpochCommit { epoch: committed, entries });
         Ok(committed)
+    }
+
+    /// Drains lane `l`'s undo bank to full durability. The CAS bank
+    /// flushes holding only the pool lock around each media step —
+    /// appenders on the lane keep reserving and publishing concurrently —
+    /// while the locked baseline flushes under the lane mutex as before.
+    fn flush_lane_log(&self, l: usize) -> Result<()> {
+        match &self.log_banks[l] {
+            Some(bank) => bank.flush(&mut self.pool.lock(), &self.clock),
+            None => lock(&self.shards[l]).log.flush(&mut self.pool.lock(), &self.clock),
+        }
     }
 
     /// Typed guard for the tenant-indexed entry points.
@@ -1115,6 +1206,9 @@ impl PaxDevice {
         for l in self.tenant_lanes(t) {
             lock(&self.shards[l]).begin_next_epoch();
         }
+        // Release pairs with the Acquire load in `home_read_own`: appends
+        // tagged with the next epoch happen-after the lanes rolled their
+        // per-epoch dedup maps above.
         self.epochs[t].store(epoch + 1, Ordering::Release);
         Ok(epoch)
     }
@@ -1139,12 +1233,54 @@ impl PaxDevice {
 
     /// Hot-path variant of [`PaxDevice::persist_poll`]: a tenant whose
     /// ctl lock is contended is skipped (the concurrent persist holding
-    /// it is already advancing that drain). In single-driver mode every
-    /// `try_lock` succeeds, so the behaviour is identical.
+    /// it is usually advancing that drain itself). In single-driver mode
+    /// every `try_lock` succeeds, so the behaviour is identical. Each
+    /// skip is counted (`persist_poll_skipped`), and a tenant skipped
+    /// [`DeviceConfig::poll_skip_limit`] times in a row escalates to a
+    /// bounded spin so a store-heavy thread mix cannot starve an async
+    /// drain indefinitely — see [`PaxDevice::poll_one_tenant`].
     fn persist_poll_try(&self) -> Result<()> {
         for t in 0..self.tenants.len() {
+            self.poll_one_tenant(t)?;
+        }
+        Ok(())
+    }
+
+    /// One tenant's non-blocking poll with starvation protection.
+    ///
+    /// On a successful `try_lock` the skip streak resets and the drain
+    /// advances as usual. On contention the skip is counted and, once the
+    /// streak reaches [`DeviceConfig::poll_skip_limit`], the poll retries
+    /// a bounded number of times with [`std::thread::yield_now`] between
+    /// attempts. It must **never** hard-`lock()` the ctl slot: this code
+    /// runs from `SharedComplex::write` while a host core lock is held,
+    /// and a persist barrier holds ctl while blocking on core locks for
+    /// its snoops (ctl orders *before* cores in the lock hierarchy), so
+    /// blocking here would deadlock. If the spin loses anyway, the ctl
+    /// holder is itself a poll or persist advancing the same drain — its
+    /// progress is the forward guarantee, and the streak stays armed so
+    /// the very next poll spins again.
+    fn poll_one_tenant(&self, t: TenantId) -> Result<()> {
+        // Bounded spin length for the starvation fallback. Big enough to
+        // outlast a poll-sized critical section on the other side, small
+        // enough that a long persist barrier cannot capture hot paths.
+        const BOUNDED_POLL_SPINS: usize = 128;
+        if let Some(mut ctl) = try_lock(&self.draining[t]) {
+            self.poll_skips[t].store(0, Ordering::Relaxed);
+            self.poll_drain(t, &mut ctl)?;
+            return Ok(());
+        }
+        self.metrics.inc(self.ctr.persist_poll_skipped);
+        let streak = self.poll_skips[t].fetch_add(1, Ordering::Relaxed) + 1;
+        if streak < self.config.poll_skip_limit {
+            return Ok(());
+        }
+        for _ in 0..BOUNDED_POLL_SPINS {
+            std::thread::yield_now();
             if let Some(mut ctl) = try_lock(&self.draining[t]) {
+                self.poll_skips[t].store(0, Ordering::Relaxed);
                 self.poll_drain(t, &mut ctl)?;
+                return Ok(());
             }
         }
         Ok(())
@@ -1173,7 +1309,9 @@ impl PaxDevice {
         };
         // Phase 1: the tenant's undo entries for the epoch must be
         // durable first. The atomic watermarks answer the common
-        // already-durable case without taking any lane lock.
+        // already-durable case without taking any lane lock, and under
+        // the CAS bank the pump itself needs none either — the media
+        // handoff serializes on the pool lock alone.
         let batch = self.config.log_pump_batch.max(1);
         let mut lagging = false;
         for (i, &target) in flush_to.iter().enumerate() {
@@ -1181,11 +1319,18 @@ impl PaxDevice {
             if self.watermarks[l].durable() >= target {
                 continue;
             }
-            let mut shard = lock(&self.shards[l]);
-            if shard.log.durable_offset() < target {
-                shard.log.pump(&mut self.pool.lock(), &self.clock, batch)?;
-                if shard.log.durable_offset() < target {
+            if let Some(bank) = &self.log_banks[l] {
+                bank.pump(&mut self.pool.lock(), &self.clock, batch)?;
+                if bank.durable_offset() < target {
                     lagging = true;
+                }
+            } else {
+                let mut shard = lock(&self.shards[l]);
+                if shard.log.durable_offset() < target {
+                    shard.log.pump(&mut self.pool.lock(), &self.clock, batch)?;
+                    if shard.log.durable_offset() < target {
+                        lagging = true;
+                    }
                 }
             }
         }
@@ -1350,7 +1495,11 @@ impl PaxDevice {
         self.background(l)?;
         let old = self.resolve(l, addr)?;
         // The paper's key move: log asynchronously and acknowledge the
-        // host immediately — no stall for durability here.
+        // host immediately — no stall for durability here. Acquire pairs
+        // with the Release stores in `commit_tenant_epoch` /
+        // `persist_async_tenant`: reading epoch N+1 guarantees this
+        // thread also sees the lane state those commits published before
+        // bumping the counter.
         let epoch = self.epochs[l / self.stride].load(Ordering::Acquire);
         let mut shard = lock(&self.shards[l]);
         shard.log_if_first(&self.trace, epoch, addr, &old)?;
@@ -1499,8 +1648,12 @@ mod tests {
     }
 
     fn setup_sharded(shards: usize) -> (PaxDevice, CoherentCache) {
+        setup_cfg(DeviceConfig::default(), shards)
+    }
+
+    fn setup_cfg(config: DeviceConfig, shards: usize) -> (PaxDevice, CoherentCache) {
         let pool = PmPool::create(PoolConfig::small()).unwrap();
-        let device = PaxDevice::open(pool, DeviceConfig::default().with_shards(shards)).unwrap();
+        let device = PaxDevice::open(pool, config.with_shards(shards)).unwrap();
         let cache = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
         (device, cache)
     }
@@ -2193,5 +2346,65 @@ mod tests {
         }
         assert_eq!(snap.counter("dir_filtered_snoops"), 4, "tenant 0's evicted lines");
         assert_eq!(snap.counter("dir_hits"), 2, "tenant 1's still-cached lines");
+    }
+
+    /// Regression for the `persist_poll_try` starvation bug: a contended
+    /// ctl lock used to be skipped silently and forever. Now every skip
+    /// is counted, and once the streak passes `poll_skip_limit` the poll
+    /// escalates to the bounded spin — which wins as soon as the holder
+    /// lets go, so the async drain commits instead of starving.
+    #[test]
+    fn contended_poll_counts_skips_and_drains_after_release() {
+        let (mut device, mut cache) = setup_cfg(DeviceConfig::default().with_poll_skip_limit(4), 1);
+        for i in 0..6u64 {
+            cache.write(LineAddr(i), CacheLine::filled(i as u8), &mut device).unwrap();
+        }
+        let epoch = device.persist_async(&mut cache).unwrap();
+        {
+            // A persist barrier on another thread, frozen mid-flight.
+            let _ctl = lock(&device.draining[0]);
+            for _ in 0..6 {
+                device.persist_poll_try().unwrap();
+            }
+            let m = device.metrics();
+            assert_eq!(m.persist_poll_skipped, 6, "every contended poll must be counted");
+            assert_eq!(device.poll_skips[0].load(Ordering::Relaxed), 6, "streak armed");
+        }
+        // Holder gone: the next poll takes the fast path, resets the
+        // streak, and the drain advances to commit.
+        while device.persist_pending().is_some() {
+            device.persist_poll_try().unwrap();
+        }
+        assert_eq!(device.poll_skips[0].load(Ordering::Relaxed), 0, "streak reset");
+        assert_eq!(device.committed_epoch().unwrap(), epoch);
+    }
+
+    /// The two undo-bank engines must drive the machine identically in
+    /// single-driver mode: same metrics, same durable epoch, same media
+    /// state. (`tests/lockfree_log.rs` proves the byte-level half across
+    /// random seeds; this is the quick in-crate smoke check.)
+    #[test]
+    fn cas_and_locked_engines_tick_identically() {
+        let run = |config: DeviceConfig| {
+            let pool = PmPool::create(PoolConfig::small()).unwrap();
+            let mut device = PaxDevice::open(pool, config.with_shards(2)).unwrap();
+            let mut cache = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+            for i in 0..32u64 {
+                cache.write(LineAddr(i % 11), CacheLine::filled(i as u8), &mut device).unwrap();
+            }
+            device.tick(8).unwrap();
+            device.persist(&mut cache).unwrap();
+            (device.metrics(), device.committed_epoch().unwrap())
+        };
+        let cas = run(DeviceConfig::default().with_cas_log());
+        let locked = run(DeviceConfig::default().with_locked_log());
+        assert_eq!(cas, locked);
+    }
+
+    #[test]
+    fn config_rejects_zero_poll_skip_limit() {
+        let pool = PmPool::create(PoolConfig::small()).unwrap();
+        let err = PaxDevice::open(pool, DeviceConfig::default().with_poll_skip_limit(0));
+        assert!(matches!(err.unwrap_err(), PmError::Config(_)));
     }
 }

@@ -66,6 +66,19 @@ pub struct DeviceMetrics {
     pub dir_resident: u64,
     /// Coalesced write-back batches issued by the persist pipeline.
     pub wb_batches: u64,
+    /// Failed reservation CAS attempts in the lock-free undo bank
+    /// (contention on the packed tail word; zero under a single driver
+    /// or the locked-log baseline).
+    pub log_cas_retries: u64,
+    /// Undo-bank slots currently reserved but not yet published (an
+    /// occupancy gauge over the reserve→fill window, not a monotone
+    /// counter; zero at every quiescent point).
+    pub log_reserved: u64,
+    /// Non-blocking persist polls skipped because a tenant's drain
+    /// control lock was contended (see
+    /// [`PaxDevice::persist_poll`](crate::PaxDevice::persist_poll)'s
+    /// starvation fallback).
+    pub persist_poll_skipped: u64,
 }
 
 impl DeviceMetrics {
@@ -114,6 +127,9 @@ impl std::ops::Add for DeviceMetrics {
             dir_filtered_snoops: self.dir_filtered_snoops + rhs.dir_filtered_snoops,
             dir_resident: self.dir_resident + rhs.dir_resident,
             wb_batches: self.wb_batches + rhs.wb_batches,
+            log_cas_retries: self.log_cas_retries + rhs.log_cas_retries,
+            log_reserved: self.log_reserved + rhs.log_reserved,
+            persist_poll_skipped: self.persist_poll_skipped + rhs.persist_poll_skipped,
         }
     }
 }
@@ -142,6 +158,9 @@ pub(crate) struct DeviceCounters {
     pub(crate) dir_filtered_snoops: Counter,
     pub(crate) dir_resident: Counter,
     pub(crate) wb_batches: Counter,
+    pub(crate) log_cas_retries: Counter,
+    pub(crate) log_reserved: Counter,
+    pub(crate) persist_poll_skipped: Counter,
 }
 
 impl DeviceCounters {
@@ -167,6 +186,9 @@ impl DeviceCounters {
             dir_filtered_snoops: metrics.counter("dir_filtered_snoops"),
             dir_resident: metrics.counter("dir_resident"),
             wb_batches: metrics.counter("wb_batches"),
+            log_cas_retries: metrics.counter("log_cas_retries"),
+            log_reserved: metrics.counter("log_reserved"),
+            persist_poll_skipped: metrics.counter("persist_poll_skipped"),
         }
     }
 
@@ -192,6 +214,9 @@ impl DeviceCounters {
             dir_filtered_snoops: metrics.get(self.dir_filtered_snoops),
             dir_resident: metrics.get(self.dir_resident),
             wb_batches: metrics.get(self.wb_batches),
+            log_cas_retries: metrics.get(self.log_cas_retries),
+            log_reserved: metrics.get(self.log_reserved),
+            persist_poll_skipped: metrics.get(self.persist_poll_skipped),
         }
     }
 }

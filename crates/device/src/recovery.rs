@@ -39,6 +39,14 @@ pub fn recover(pool: &mut PmPool) -> Result<RecoveryReport> {
 /// Like [`recover`], emitting a [`TraceEvent::RecoveryStep`] per rolled
 /// back line into `trace` so the rollback order is replayable.
 ///
+/// Slots a lock-free appender *reserved but never published* are
+/// structurally invisible here: the pump only drains published entries,
+/// so such a slot's media is stale or garbage, and
+/// [`UndoLog::scan`] rejects any header whose commit mark or checksum —
+/// which covers the mark — does not verify. Recovery therefore never
+/// replays a half-filled entry, whatever instant the crash hit the
+/// reserve→fill window.
+///
 /// # Errors
 ///
 /// Surfaces media errors from the scan and rollback writes.
@@ -213,6 +221,35 @@ mod tests {
         let abs1 = pool.layout().vpm_to_pool(9).unwrap();
         assert_eq!(pool.read_line(abs0).unwrap(), CacheLine::filled(0xA0));
         assert_eq!(pool.read_line(abs1).unwrap(), CacheLine::filled(0xFF), "tenant 1 untouched");
+    }
+
+    /// A reserved-but-unpublished slot can leave at worst a
+    /// plausible-looking header without its commit mark; recovery must
+    /// treat it as empty space, not as an entry to roll back.
+    #[test]
+    fn unpublished_slot_is_never_replayed() {
+        let mut pool = PmPool::create(PoolConfig::small()).unwrap();
+        let clock = CrashClock::new();
+        let mut log = UndoLog::new(&pool);
+        log.append(UndoEntry::single(1, LineAddr(5), CacheLine::filled(0xAA))).unwrap();
+        log.flush(&mut pool, &clock).unwrap();
+        let abs = pool.layout().vpm_to_pool(5).unwrap();
+        pool.write_line(abs, CacheLine::filled(0xBB)).unwrap();
+        pool.drain();
+
+        // Model the crash landing inside the reserve→fill window: the
+        // header reached media but publication (the commit mark) never
+        // did.
+        let header = LineAddr(pool.layout().log_start().0);
+        let mut line = pool.read_line(header).unwrap();
+        line.write_at(crate::undo_log::COMMIT_OFFSET, &[0u8]);
+        pool.write_line(header, line).unwrap();
+        pool.drain();
+
+        let r = recover(&mut pool).unwrap();
+        assert_eq!(r.scanned, 0, "unpublished slot must not scan as an entry");
+        assert_eq!(r.rolled_back, 0);
+        assert_eq!(pool.read_line(abs).unwrap(), CacheLine::filled(0xBB), "line untouched");
     }
 
     #[test]

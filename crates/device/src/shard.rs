@@ -94,6 +94,7 @@ impl DeviceShard {
         hbm: HbmConfig,
         log_base: u64,
         log_capacity_entries: u64,
+        locked_log: bool,
     ) -> Self {
         let per_lane = HbmConfig {
             capacity_bytes: hbm.capacity_bytes.max(hbm.ways * pax_pm::LINE_SIZE),
@@ -107,7 +108,7 @@ impl DeviceShard {
             phase: (index % stride.max(1)) as u64,
             stride: stride as u64,
             hbm: HbmCache::new(per_lane),
-            log: UndoLog::with_region(log_base, log_capacity_entries),
+            log: UndoLog::with_region_mode(log_base, log_capacity_entries, locked_log),
             epoch_log: HashMap::new(),
             writeback_queue: VecDeque::new(),
             directory: OwnershipDirectory::new(),
@@ -127,13 +128,37 @@ impl DeviceShard {
     }
 
     /// Snapshot of this shard's counter registry (component `device`).
-    pub(crate) fn snapshot(&self) -> MetricSnapshot {
+    pub(crate) fn snapshot(&mut self) -> MetricSnapshot {
+        self.sync_log_metrics();
         self.metrics.snapshot()
     }
 
     /// Typed view over this shard's counters.
-    pub(crate) fn view_metrics(&self) -> DeviceMetrics {
+    pub(crate) fn view_metrics(&mut self) -> DeviceMetrics {
+        self.sync_log_metrics();
         self.ctr.view(&self.metrics)
+    }
+
+    /// Reconciles the CAS bank's internal contention telemetry into the
+    /// lane's registry: `log_cas_retries` is monotone (add the delta),
+    /// `log_reserved` is a gauge (snap to the current in-flight count).
+    /// A locked-engine lane reports both as zero.
+    fn sync_log_metrics(&mut self) {
+        let Some(bank) = self.log.bank() else { return };
+        let retries = bank.cas_retries();
+        let seen = self.metrics.get(self.ctr.log_cas_retries);
+        if retries > seen {
+            self.metrics.add(self.ctr.log_cas_retries, retries - seen);
+        }
+        let reserved = bank.in_flight();
+        let shown = self.metrics.get(self.ctr.log_reserved);
+        match reserved.cmp(&shown) {
+            std::cmp::Ordering::Greater => {
+                self.metrics.add(self.ctr.log_reserved, reserved - shown)
+            }
+            std::cmp::Ordering::Less => self.metrics.sub(self.ctr.log_reserved, shown - reserved),
+            std::cmp::Ordering::Equal => {}
+        }
     }
 
     /// Counts a `RdShared` routed to this shard.
@@ -541,8 +566,8 @@ mod tests {
         let pool = PmPool::create(PoolConfig::small()).unwrap();
         let banks = split_log_region(&pool, 2);
         let hbm = HbmConfig::default_config();
-        let a = DeviceShard::new(0, 0, 2, hbm, banks[0].0, banks[0].1);
-        let b = DeviceShard::new(1, 0, 2, hbm, banks[1].0, banks[1].1);
+        let a = DeviceShard::new(0, 0, 2, hbm, banks[0].0, banks[0].1, false);
+        let b = DeviceShard::new(1, 0, 2, hbm, banks[1].0, banks[1].1, false);
         (pool, a, b)
     }
 
@@ -588,6 +613,7 @@ mod tests {
             HbmConfig { capacity_bytes: 2 * 128, ways: 2, policy: EvictionPolicy::Lru },
             0,
             64,
+            false,
         );
         // Shard capacity: 4 lines (2 sets × 2 ways) — the per-lane slice
         // the device would hand this lane of a 4-line-per-lane buffer.

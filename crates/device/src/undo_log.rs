@@ -23,24 +23,51 @@
 //!    committing epoch N frees exactly N's slots, even while epoch N+1 is
 //!    already appending.
 //!
+//! # Two append engines, one contract
+//!
+//! The volatile tail has two interchangeable implementations:
+//!
+//! * **Locked** — the original `VecDeque` guarded by whatever lock guards
+//!   the writer (the lane mutex in the device). Kept as the differential
+//!   baseline behind `DeviceConfig::with_locked_log` / the `locked-log`
+//!   cargo feature.
+//! * **CAS** ([`AtomicBank`], the default) — a lock-free llfree-style
+//!   reserve-then-fill ring: a CAS on one packed tail word reserves a
+//!   slot, the entry is filled, then *release-published* via a per-slot
+//!   ready word; the pump consumes a contiguous published prefix with an
+//!   acquire scan. Concurrent appenders never serialize on a mutex, and
+//!   the pump's media handoff needs no lane lock at all.
+//!
+//! Under a single driving thread the two engines issue the *identical*
+//! sequence of media writes and crash-clock ticks (`tests/determinism.rs`
+//! pins it; `tests/lockfree_log.rs` proves byte-identical durable state
+//! differentially).
+//!
 //! # On-media format
 //!
 //! Each entry occupies [`ENTRY_LINES`] = 2 consecutive lines in its slot
 //! of the pool's log region:
 //!
 //! ```text
-//! line 0 (header): magic[8] | epoch u64 | vpm_line u64 | checksum u64 | tenant u32
+//! line 0 (header): magic[8] | epoch u64 | vpm_line u64 | checksum u64 | tenant u32 | commit u8
 //! line 1 (data):   the 64-byte pre-image of the logged line
 //! ```
 //!
-//! The checksum folds the data line with the header fields so recovery can
-//! detect (and safely skip) entries torn by a crash mid-append: a torn
-//! entry's data write back cannot have happened — write back is gated on
-//! the entry being durable — so skipping it is always sound.
+//! The checksum folds the data line with the header fields — including
+//! the commit mark — so recovery can detect (and safely skip) entries
+//! torn by a crash mid-append: a torn entry's data write back cannot have
+//! happened — write back is gated on the entry being durable — so
+//! skipping it is always sound. The commit mark exists for the CAS
+//! engine: a slot that was *reserved* but never *published* at the moment
+//! of a crash never reaches media at all (the pump only drains published
+//! slots), so whatever the slot's media lines hold is either a stale
+//! committed entry or garbage that fails the magic/commit/checksum
+//! gauntlet — reserved-but-unready slots are structurally invisible to
+//! recovery.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use pax_pm::{CacheLine, CrashOutcome, LineAddr, PmError, PmPool, Result, LINE_SIZE};
 
@@ -57,7 +84,8 @@ use pax_pm::{CacheLine, CrashOutcome, LineAddr, PmError, PmPool, Result, LINE_SI
 pub struct LogWatermark(AtomicU64);
 
 impl LogWatermark {
-    /// Entries known durable (acquire).
+    /// Entries known durable (acquire; pairs with the release store in
+    /// the pump after the media drain).
     pub fn durable(&self) -> u64 {
         self.0.load(Ordering::Acquire)
     }
@@ -71,6 +99,14 @@ impl LogWatermark {
 pub const ENTRY_LINES: u64 = 2;
 
 const LOG_MAGIC: &[u8; 8] = b"PAXUNDO1";
+
+/// Header byte offset of the commit mark.
+pub(crate) const COMMIT_OFFSET: usize = 36;
+
+/// Value of the commit mark in every published header. [`UndoEntry::parse`]
+/// rejects anything else, so a slot whose header was never fully written
+/// by the pump (or was scribbled) cannot masquerade as a log record.
+const COMMIT_MARK: u8 = 1;
 
 /// One undo-log record: "line `vpm_line` held `old` at the start of
 /// `epoch`".
@@ -101,6 +137,7 @@ impl UndoEntry {
         sum ^= self.epoch.rotate_left(17);
         sum ^= self.vpm_line.0.rotate_left(31);
         sum ^= (self.tenant as u64).rotate_left(47);
+        sum ^= (COMMIT_MARK as u64).rotate_left(11);
         for chunk in self.old.as_bytes().chunks(8) {
             let mut b = [0u8; 8];
             b.copy_from_slice(chunk);
@@ -116,11 +153,18 @@ impl UndoEntry {
         l.write_at(16, &self.vpm_line.0.to_le_bytes());
         l.write_at(24, &self.checksum().to_le_bytes());
         l.write_at(32, &self.tenant.to_le_bytes());
+        l.write_at(COMMIT_OFFSET, &[COMMIT_MARK]);
         l
     }
 
     fn parse(header: &CacheLine, data: &CacheLine) -> Option<UndoEntry> {
         if header.read_at(0, 8) != LOG_MAGIC {
+            return None;
+        }
+        // The commit mark gates everything else: only the pump writes
+        // headers, and it only drains *published* slots, so a cleared
+        // mark means the slot never held a completed append.
+        if header.read_at(COMMIT_OFFSET, 1) != [COMMIT_MARK] {
             return None;
         }
         let mut buf = [0u8; 8];
@@ -138,32 +182,356 @@ impl UndoEntry {
     }
 }
 
-/// The device's undo-log writer: volatile append buffer + durable
+/// Reserved-tail bits of the packed word (low 48: the monotonic logical
+/// offset of the next reservation; 2⁴⁸ appends outlives any simulation).
+const TAIL_MASK: u64 = (1 << 48) - 1;
+/// One reservation in flight, in the high 16 bits of the packed word.
+const INFLIGHT_UNIT: u64 = 1 << 48;
+
+/// A 64-byte-aligned atomic so the hot tail word and the recycle
+/// watermark never share a cache line with each other (or a neighbor) —
+/// false sharing between appenders and recyclers would serialize the very
+/// path the CAS exists to scale.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedAtomicU64(AtomicU64);
+
+/// One reserve-then-fill slot of an [`AtomicBank`].
+///
+/// `ready == 0` means empty; `ready == offset + 1` means the pre-image
+/// for logical offset `offset` is published (the `+1` keeps 0 free for
+/// "empty", and comparing against the *exact* expected offset is what
+/// makes the check ABA-proof across ring laps: a slot republished on a
+/// later lap holds a different offset, so a stale pump scan can never
+/// mistake it for the entry it is waiting on).
+///
+/// The entry box is a `Mutex` only because the crate forbids `unsafe`;
+/// by protocol it is uncontended — exactly one appender owns a reserved
+/// slot until it publishes, and exactly one pump consumes it after.
+#[derive(Debug)]
+struct Slot {
+    ready: AtomicU64,
+    entry: Mutex<Option<Box<UndoEntry>>>,
+}
+
+/// Lock-free undo-bank tail: CAS reservation on a packed head/tail word,
+/// per-slot release publication, acquire-scan consumption (llfree-style).
+///
+/// All methods take `&self`. The protocol, in memory-ordering terms:
+///
+/// 1. **Reserve** — a CAS on the packed word claims logical offset `o`
+///    and bumps the in-flight count (one word so the `log_reserved`
+///    gauge is exact). The fullness check `tail − recycled ≥ capacity`
+///    loads `recycled` with *acquire*, pairing with the *release*
+///    `fetch_max` in [`AtomicBank::recycle_to`]; transitively (see step
+///    4) the reservation happens-after the pump finished with the slot's
+///    previous lap, so overwriting it is safe.
+/// 2. **Fill** — the appender writes the entry into slot `o % capacity`
+///    (uncontended by construction).
+/// 3. **Publish** — `ready.store(o + 1, Release)`: everything the
+///    appender wrote becomes visible to whoever acquires the ready word.
+///    The in-flight count drops.
+/// 4. **Consume** — the pump (externally serialized: it requires
+///    `&mut PmPool`, and the device's media pool sits behind one mutex)
+///    scans the contiguous published prefix from the durable watermark
+///    with `ready.load(Acquire)`, writes both lines to media, clears
+///    `ready`, drains, then `durable.publish(o + 1)` (release). Commit
+///    recycles with a release `fetch_max`, closing the loop back to
+///    step 1.
+#[derive(Debug)]
+pub struct AtomicBank {
+    /// Packed word: low 48 bits = reserved tail (monotonic logical
+    /// offset), high 16 bits = reservations in flight (reserved, not yet
+    /// published).
+    state: PaddedAtomicU64,
+    /// Logical offsets below this belong to committed epochs; their
+    /// slots may be reused. Only grows (release `fetch_max`).
+    recycled: PaddedAtomicU64,
+    /// The shared durable watermark (entries drained to media).
+    durable: Arc<LogWatermark>,
+    /// The volatile ring, one slot per in-capacity logical offset.
+    slots: Box<[Slot]>,
+    /// Failed reservation CAS attempts (contention telemetry).
+    cas_retries: AtomicU64,
+    /// Total bytes of log writes issued (write-amplification benches).
+    bytes_written: AtomicU64,
+    /// First pool line of this bank's slice of the log region.
+    region_start: u64,
+    /// Capacity of this bank's slice, in entries.
+    capacity_entries: u64,
+}
+
+impl AtomicBank {
+    fn new(region_start: u64, capacity_entries: u64, durable: Arc<LogWatermark>) -> Self {
+        let slots = (0..capacity_entries)
+            .map(|_| Slot { ready: AtomicU64::new(0), entry: Mutex::new(None) })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        AtomicBank {
+            state: PaddedAtomicU64::default(),
+            recycled: PaddedAtomicU64::default(),
+            durable,
+            slots,
+            cas_retries: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            region_start,
+            capacity_entries,
+        }
+    }
+
+    /// The logical offset the next reservation will claim (= entries
+    /// appended over the bank's lifetime).
+    pub fn reserved(&self) -> u64 {
+        self.state.0.load(Ordering::Relaxed) & TAIL_MASK
+    }
+
+    /// Reservations currently in flight (reserved, not yet published) —
+    /// the `log_reserved` gauge.
+    pub fn in_flight(&self) -> u64 {
+        self.state.0.load(Ordering::Relaxed) >> 48
+    }
+
+    /// Failed reservation CAS attempts so far — the `log_cas_retries`
+    /// counter.
+    pub fn cas_retries(&self) -> u64 {
+        self.cas_retries.load(Ordering::Relaxed)
+    }
+
+    /// Entries known durable.
+    pub fn durable_offset(&self) -> u64 {
+        self.durable.durable()
+    }
+
+    /// A shared handle onto the durable watermark.
+    pub fn watermark(&self) -> Arc<LogWatermark> {
+        Arc::clone(&self.durable)
+    }
+
+    /// Entries reserved but not yet durable. (Loads `durable` first:
+    /// both only grow and `durable ≤ tail` at every instant, so the
+    /// later tail load can only over-approximate, never underflow.)
+    pub fn pending_len(&self) -> usize {
+        let durable = self.durable.durable();
+        self.reserved().saturating_sub(durable) as usize
+    }
+
+    /// Entries whose slots are still held by uncommitted epochs.
+    pub fn live_entries(&self) -> u64 {
+        let recycled = self.recycled.0.load(Ordering::Acquire);
+        self.reserved().saturating_sub(recycled)
+    }
+
+    /// Capacity of this bank's region slice, in entries.
+    pub fn capacity_entries(&self) -> u64 {
+        self.capacity_entries
+    }
+
+    /// Total log bytes issued to media.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Pool line of the slot backing logical offset `offset`.
+    fn slot_base(&self, offset: u64) -> u64 {
+        self.region_start + (offset % self.capacity_entries) * ENTRY_LINES
+    }
+
+    /// Lock-free append: reserve a slot with one CAS, fill it, publish
+    /// it. Returns the entry's logical offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PmError::LogFull`] when every slot is held by an
+    /// uncommitted epoch — the same `tail − recycled ≥ capacity`
+    /// condition as the locked engine's `live_entries()` check, so both
+    /// engines refuse the same append.
+    pub fn append(&self, entry: UndoEntry) -> Result<u64> {
+        let mut cur = self.state.0.load(Ordering::Relaxed);
+        let offset = loop {
+            let tail = cur & TAIL_MASK;
+            // Acquire on `recycled` pairs with the release `fetch_max`
+            // in `recycle_to`: if the check admits us, the pump's last
+            // use of the slot we are about to overwrite happened-before
+            // this load (pump cleared `ready` → release-published
+            // durable → committer acquired durable and release-maxed
+            // `recycled` → we acquire `recycled`).
+            if tail - self.recycled.0.load(Ordering::Acquire) >= self.capacity_entries {
+                return Err(PmError::LogFull { capacity_entries: self.capacity_entries });
+            }
+            let next = ((cur >> 48) + 1) << 48 | (tail + 1);
+            match self.state.0.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break tail,
+                Err(now) => {
+                    self.cas_retries.fetch_add(1, Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    cur = now;
+                }
+            }
+        };
+        let slot = &self.slots[(offset % self.capacity_entries) as usize];
+        debug_assert_eq!(
+            slot.ready.load(Ordering::Relaxed),
+            0,
+            "reserved slot {offset} still published from a previous lap"
+        );
+        *slot.entry.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+            Some(Box::new(entry));
+        // Release: the filled entry becomes visible to the pump's
+        // acquire scan exactly when the ready word does. `offset + 1`
+        // (not a bare flag) makes the scan ABA-proof across ring laps.
+        slot.ready.store(offset + 1, Ordering::Release);
+        self.state.0.fetch_sub(INFLIGHT_UNIT, Ordering::Relaxed);
+        Ok(offset)
+    }
+
+    /// Drains up to `max_entries` of the *contiguous published prefix*
+    /// to the log region and advances the durable watermark. Returns
+    /// entries drained; stops early at the first unpublished slot.
+    ///
+    /// Needs no lane lock: callers are serialized by `&mut PmPool` (the
+    /// media pool lock), which is exactly the resource the pump consumes.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Crashed`] if the pool's crash clock fires, and
+    /// media errors from the pool.
+    pub fn pump(
+        &self,
+        pool: &mut PmPool,
+        clock: &pax_pm::CrashClock,
+        max_entries: usize,
+    ) -> Result<usize> {
+        let mut drained = 0;
+        while drained < max_entries {
+            let durable = self.durable.durable();
+            let slot = &self.slots[(durable % self.capacity_entries) as usize];
+            // Acquire pairs with the publisher's release store: observing
+            // `durable + 1` makes the boxed entry visible.
+            if slot.ready.load(Ordering::Acquire) != durable + 1 {
+                break;
+            }
+            if clock.tick() == CrashOutcome::Crashed {
+                pool.crash();
+                return Err(PmError::Crashed);
+            }
+            let entry = slot
+                .entry
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                .expect("published slot holds its entry");
+            // Clearing `ready` before publishing durability keeps the
+            // reuse chain intact: clear → durable release → recycle
+            // release-max → reserver acquire — a future lap's appender
+            // can only see an empty slot.
+            slot.ready.store(0, Ordering::Release);
+            let base = self.slot_base(durable);
+            pool.write_line(LineAddr(base), entry.header_line())?;
+            pool.write_line(LineAddr(base + 1), entry.old.clone())?;
+            // The watermark only advances once both lines are durable:
+            // the release store publishes the drained media state to any
+            // thread that acquires the new offset.
+            pool.drain();
+            self.durable.publish(durable + 1);
+            self.bytes_written
+                .fetch_add((ENTRY_LINES as usize * LINE_SIZE) as u64, Ordering::Relaxed);
+            drained += 1;
+        }
+        Ok(drained)
+    }
+
+    /// Drains until everything reserved *at entry* is durable (the
+    /// synchronous step inside `persist()`).
+    ///
+    /// If the scan meets a reservation that is filled but not yet
+    /// published (only possible with a concurrent appender), it yields
+    /// and re-scans — the publisher finishes without taking any lock, so
+    /// this cannot live-lock.
+    ///
+    /// # Errors
+    ///
+    /// See [`AtomicBank::pump`].
+    pub fn flush(&self, pool: &mut PmPool, clock: &pax_pm::CrashClock) -> Result<()> {
+        let target = self.reserved();
+        while self.durable.durable() < target {
+            if self.pump(pool, clock, usize::MAX)? == 0 {
+                std::thread::yield_now();
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks every entry below logical offset `watermark` as committed,
+    /// freeing its slot for reuse; clamped to the durable offset and
+    /// never regresses. The release `fetch_max` pairs with the acquire
+    /// load in [`AtomicBank::append`]'s fullness check (see the protocol
+    /// docs on the type).
+    pub fn recycle_to(&self, watermark: u64) {
+        let clamped = watermark.min(self.durable.durable());
+        self.recycled.0.fetch_max(clamped, Ordering::AcqRel);
+    }
+
+    /// Recycles the whole region after a fully-drained epoch commits.
+    pub fn reset_after_commit(&self) {
+        debug_assert_eq!(self.pending_len(), 0, "reset with undrained entries");
+        self.recycle_to(self.durable.durable());
+    }
+
+    /// Drops the volatile tail (power loss): reservations, published
+    /// entries, and in-flight counts all vanish; only media (and the
+    /// watermark describing it) survives. Callers must have exclusive
+    /// access in practice (the engine's crash path is stop-the-world).
+    pub fn crash(&self) {
+        for slot in self.slots.iter() {
+            slot.ready.store(0, Ordering::Relaxed);
+            *slot.entry.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+        }
+        self.state.0.store(self.durable.durable(), Ordering::Relaxed);
+    }
+}
+
+/// The volatile append engine backing one [`UndoLog`].
+#[derive(Debug)]
+enum Backing {
+    /// The original mutex-guarded tail (guarded by the caller's lock).
+    Locked {
+        /// Entries appended but not yet written durably, oldest first.
+        /// A `VecDeque` because `pump` drains from the front: draining N
+        /// entries is O(N), not the O(N²) a `Vec::remove(0)` loop would
+        /// be.
+        pending: VecDeque<UndoEntry>,
+        /// Logical offsets below this belong to committed epochs.
+        recycled_below: u64,
+        /// Total bytes of log writes issued.
+        bytes_written: u64,
+    },
+    /// The lock-free reserve-then-fill ring.
+    Cas(Arc<AtomicBank>),
+}
+
+/// The device's undo-log writer: volatile append engine + durable
 /// watermark over (a slice of) the pool's log region.
 #[derive(Debug)]
 pub struct UndoLog {
-    /// Entries appended but not yet written durably, oldest first.
-    /// A `VecDeque` because `pump` drains from the front: draining N
-    /// entries is O(N), not the O(N²) a `Vec::remove(0)` loop would be.
-    pending: VecDeque<UndoEntry>,
+    backing: Backing,
     /// Logical offset of the durable watermark (entries drained to media
     /// over the writer's lifetime; monotonic, never resets). Shared as an
     /// atomic so lock-free readers can order against it — see
     /// [`LogWatermark`].
     durable: Arc<LogWatermark>,
-    /// Logical offsets below this belong to committed epochs; their slots
-    /// may be overwritten.
-    recycled_below: u64,
     /// First pool line of this writer's slice of the log region.
     region_start: u64,
     /// Capacity of this writer's slice, in entries.
     capacity_entries: u64,
-    /// Total bytes of log writes issued (for write-amplification benches).
-    bytes_written: u64,
 }
 
 impl UndoLog {
-    /// A log writer over a pool's whole log region.
+    /// A CAS-engine log writer over a pool's whole log region.
     pub fn new(pool: &PmPool) -> Self {
         let layout = pool.layout();
         Self::with_region(layout.log_start().0, layout.log_lines / ENTRY_LINES)
@@ -171,15 +539,41 @@ impl UndoLog {
 
     /// A log writer over `capacity_entries` slots starting at pool line
     /// `region_start` — how a sharded device gives each shard its own
-    /// bank of the log region.
+    /// bank of the log region. Uses the lock-free CAS engine.
     pub fn with_region(region_start: u64, capacity_entries: u64) -> Self {
-        UndoLog {
-            pending: VecDeque::new(),
-            durable: Arc::new(LogWatermark::default()),
-            recycled_below: 0,
-            region_start,
-            capacity_entries,
-            bytes_written: 0,
+        Self::with_region_mode(region_start, capacity_entries, false)
+    }
+
+    /// Like [`UndoLog::with_region`] but `locked` selects the original
+    /// mutex-guarded engine (the `DeviceConfig::with_locked_log`
+    /// differential baseline).
+    pub fn with_region_mode(region_start: u64, capacity_entries: u64, locked: bool) -> Self {
+        let durable = Arc::new(LogWatermark::default());
+        let backing = if locked {
+            Backing::Locked { pending: VecDeque::new(), recycled_below: 0, bytes_written: 0 }
+        } else {
+            Backing::Cas(Arc::new(AtomicBank::new(
+                region_start,
+                capacity_entries,
+                Arc::clone(&durable),
+            )))
+        };
+        UndoLog { backing, durable, region_start, capacity_entries }
+    }
+
+    /// A locked-engine log writer over a pool's whole log region.
+    pub fn new_locked(pool: &PmPool) -> Self {
+        let layout = pool.layout();
+        Self::with_region_mode(layout.log_start().0, layout.log_lines / ENTRY_LINES, true)
+    }
+
+    /// The lock-free bank, when this writer uses the CAS engine — the
+    /// handle the device shares so appends and pumps can bypass the lane
+    /// lock entirely.
+    pub fn bank(&self) -> Option<Arc<AtomicBank>> {
+        match &self.backing {
+            Backing::Cas(bank) => Some(Arc::clone(bank)),
+            Backing::Locked { .. } => None,
         }
     }
 
@@ -198,17 +592,26 @@ impl UndoLog {
     /// Entries appended so far over the writer's lifetime (durable +
     /// pending). The next append gets this offset.
     pub fn appended(&self) -> u64 {
-        self.durable.durable() + self.pending.len() as u64
+        match &self.backing {
+            Backing::Locked { pending, .. } => self.durable.durable() + pending.len() as u64,
+            Backing::Cas(bank) => bank.reserved(),
+        }
     }
 
     /// Entries awaiting the background drain.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        match &self.backing {
+            Backing::Locked { pending, .. } => pending.len(),
+            Backing::Cas(bank) => bank.pending_len(),
+        }
     }
 
     /// Entries whose slots are still held by uncommitted epochs.
     pub fn live_entries(&self) -> u64 {
-        self.appended() - self.recycled_below
+        match &self.backing {
+            Backing::Locked { recycled_below, .. } => self.appended() - recycled_below,
+            Backing::Cas(bank) => bank.live_entries(),
+        }
     }
 
     /// Capacity of this writer's region slice, in entries.
@@ -218,12 +621,10 @@ impl UndoLog {
 
     /// Total log bytes issued to media.
     pub fn bytes_written(&self) -> u64 {
-        self.bytes_written
-    }
-
-    /// Pool line of the slot backing logical offset `offset`.
-    fn slot_base(&self, offset: u64) -> u64 {
-        self.region_start + (offset % self.capacity_entries) * ENTRY_LINES
+        match &self.backing {
+            Backing::Locked { bytes_written, .. } => *bytes_written,
+            Backing::Cas(bank) => bank.bytes_written(),
+        }
     }
 
     /// Appends an entry, returning its logical offset.
@@ -237,12 +638,17 @@ impl UndoLog {
     /// uncommitted epoch; the caller (libpax) should `persist()` to
     /// recycle the region.
     pub fn append(&mut self, entry: UndoEntry) -> Result<u64> {
-        if self.live_entries() >= self.capacity_entries {
-            return Err(PmError::LogFull { capacity_entries: self.capacity_entries });
+        match &mut self.backing {
+            Backing::Locked { pending, recycled_below, .. } => {
+                let appended = self.durable.durable() + pending.len() as u64;
+                if appended - *recycled_below >= self.capacity_entries {
+                    return Err(PmError::LogFull { capacity_entries: self.capacity_entries });
+                }
+                pending.push_back(entry);
+                Ok(appended)
+            }
+            Backing::Cas(bank) => bank.append(entry),
         }
-        let offset = self.appended();
-        self.pending.push_back(entry);
-        Ok(offset)
     }
 
     /// Drains up to `max_entries` pending entries to the log region and
@@ -258,25 +664,30 @@ impl UndoLog {
         clock: &pax_pm::CrashClock,
         max_entries: usize,
     ) -> Result<usize> {
-        let n = max_entries.min(self.pending.len());
-        for _ in 0..n {
-            if clock.tick() == CrashOutcome::Crashed {
-                pool.crash();
-                return Err(PmError::Crashed);
+        match &mut self.backing {
+            Backing::Locked { pending, bytes_written, .. } => {
+                let n = max_entries.min(pending.len());
+                for _ in 0..n {
+                    if clock.tick() == CrashOutcome::Crashed {
+                        pool.crash();
+                        return Err(PmError::Crashed);
+                    }
+                    let entry = pending.pop_front().expect("n bounded by pending length");
+                    let durable = self.durable.durable();
+                    let base = self.region_start + (durable % self.capacity_entries) * ENTRY_LINES;
+                    pool.write_line(LineAddr(base), entry.header_line())?;
+                    pool.write_line(LineAddr(base + 1), entry.old.clone())?;
+                    // The watermark only advances once both lines are
+                    // durable: the release store publishes the drained
+                    // media state to any thread acquiring the offset.
+                    pool.drain();
+                    self.durable.publish(durable + 1);
+                    *bytes_written += (ENTRY_LINES as usize * LINE_SIZE) as u64;
+                }
+                Ok(n)
             }
-            let entry = self.pending.pop_front().expect("n bounded by pending length");
-            let durable = self.durable.durable();
-            let base = self.slot_base(durable);
-            pool.write_line(LineAddr(base), entry.header_line())?;
-            pool.write_line(LineAddr(base + 1), entry.old.clone())?;
-            // The watermark only advances once both lines are durable:
-            // the release store publishes the drained media state to any
-            // thread that acquires the new offset.
-            pool.drain();
-            self.durable.publish(durable + 1);
-            self.bytes_written += (ENTRY_LINES as usize * LINE_SIZE) as u64;
+            Backing::Cas(bank) => bank.pump(pool, clock, max_entries),
         }
-        Ok(n)
     }
 
     /// Drains everything pending (the synchronous step inside `persist()`).
@@ -285,7 +696,10 @@ impl UndoLog {
     ///
     /// See [`UndoLog::pump`].
     pub fn flush(&mut self, pool: &mut PmPool, clock: &pax_pm::CrashClock) -> Result<()> {
-        while !self.pending.is_empty() {
+        if let Backing::Cas(bank) = &self.backing {
+            return bank.flush(pool, clock);
+        }
+        while self.pending_len() > 0 {
             self.pump(pool, clock, usize::MAX)?;
         }
         Ok(())
@@ -297,7 +711,12 @@ impl UndoLog {
     /// durable offset (an undrained entry cannot belong to a committed
     /// epoch) and never moves backwards.
     pub fn recycle_to(&mut self, watermark: u64) {
-        self.recycled_below = self.recycled_below.max(watermark.min(self.durable.durable()));
+        match &mut self.backing {
+            Backing::Locked { recycled_below, .. } => {
+                *recycled_below = (*recycled_below).max(watermark.min(self.durable.durable()));
+            }
+            Backing::Cas(bank) => bank.recycle_to(watermark),
+        }
     }
 
     /// Recycles the whole region after a fully-drained epoch commits (the
@@ -305,22 +724,29 @@ impl UndoLog {
     /// ownership resets. Stale entries left on media belong to committed
     /// epochs and are ignored by recovery.
     pub fn reset_after_commit(&mut self) {
-        debug_assert!(self.pending.is_empty(), "reset with undrained entries");
-        self.recycle_to(self.durable.durable());
+        debug_assert_eq!(self.pending_len(), 0, "reset with undrained entries");
+        let durable = self.durable.durable();
+        self.recycle_to(durable);
     }
 
     /// Drops the volatile tail (power loss).
     pub fn crash(&mut self) {
-        self.pending.clear();
+        match &mut self.backing {
+            Backing::Locked { pending, .. } => pending.clear(),
+            Backing::Cas(bank) => bank.crash(),
+        }
     }
 
     /// Scans the pool's log region for valid entries (recovery, §3.4).
     ///
     /// Every slot is parsed; torn or never-written slots fail checksum
-    /// validation and are skipped. Returns entries in on-media slot order
-    /// — **not** append order once the ring has wrapped; recovery orders
-    /// rollback by epoch, which slot reuse cannot disturb (a slot is only
-    /// overwritten after its epoch commits).
+    /// validation and are skipped, and slots whose header lacks the
+    /// commit mark — which is what a reserved-but-never-published CAS
+    /// slot's media can look like at worst — are rejected the same way.
+    /// Returns entries in on-media slot order — **not** append order once
+    /// the ring has wrapped; recovery orders rollback by epoch, which
+    /// slot reuse cannot disturb (a slot is only overwritten after its
+    /// epoch commits).
     ///
     /// # Errors
     ///
@@ -358,6 +784,11 @@ mod tests {
         UndoEntry::single(epoch, LineAddr(line), CacheLine::filled(fill))
     }
 
+    /// Both engines over a pool's whole log region, for parity loops.
+    fn both_modes(p: &PmPool) -> Vec<UndoLog> {
+        vec![UndoLog::new(p), UndoLog::new_locked(p)]
+    }
+
     #[test]
     fn tenant_tag_round_trips_and_is_checksummed() {
         let mut p = pool();
@@ -379,28 +810,85 @@ mod tests {
     }
 
     #[test]
-    fn append_assigns_monotonic_offsets() {
-        let p = pool();
-        let mut log = UndoLog::new(&p);
-        assert_eq!(log.append(entry(1, 0, 0)).unwrap(), 0);
-        assert_eq!(log.append(entry(1, 1, 0)).unwrap(), 1);
-        assert_eq!(log.appended(), 2);
-        assert_eq!(log.durable_offset(), 0); // nothing drained yet
-    }
-
-    #[test]
-    fn pump_advances_watermark_incrementally() {
+    fn cleared_commit_mark_is_invisible_to_scan() {
         let mut p = pool();
         let clock = CrashClock::new();
         let mut log = UndoLog::new(&p);
-        for i in 0..5 {
-            log.append(entry(1, i, i as u8)).unwrap();
-        }
-        assert_eq!(log.pump(&mut p, &clock, 2).unwrap(), 2);
-        assert_eq!(log.durable_offset(), 2);
-        assert_eq!(log.pending_len(), 3);
+        log.append(entry(1, 7, 0xAA)).unwrap();
         log.flush(&mut p, &clock).unwrap();
-        assert_eq!(log.durable_offset(), 5);
+        assert_eq!(UndoLog::scan(&mut p).unwrap().len(), 1);
+        // Zeroing just the commit mark models the worst a
+        // reserved-but-unpublished slot could leave behind: a
+        // plausible-looking header that never completed publication.
+        let header = LineAddr(p.layout().log_start().0);
+        let mut line = p.read_line(header).unwrap();
+        line.write_at(COMMIT_OFFSET, &[0u8]);
+        p.write_line(header, line).unwrap();
+        p.drain();
+        assert!(UndoLog::scan(&mut p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn append_assigns_monotonic_offsets_in_both_modes() {
+        let p = pool();
+        for mut log in both_modes(&p) {
+            assert_eq!(log.append(entry(1, 0, 0)).unwrap(), 0);
+            assert_eq!(log.append(entry(1, 1, 0)).unwrap(), 1);
+            assert_eq!(log.appended(), 2);
+            assert_eq!(log.durable_offset(), 0); // nothing drained yet
+        }
+    }
+
+    #[test]
+    fn pump_advances_watermark_incrementally_in_both_modes() {
+        let clock = CrashClock::new();
+        for locked in [false, true] {
+            let mut p = pool();
+            let layout = p.layout();
+            let mut log = UndoLog::with_region_mode(
+                layout.log_start().0,
+                layout.log_lines / ENTRY_LINES,
+                locked,
+            );
+            for i in 0..5 {
+                log.append(entry(1, i, i as u8)).unwrap();
+            }
+            assert_eq!(log.pump(&mut p, &clock, 2).unwrap(), 2);
+            assert_eq!(log.durable_offset(), 2);
+            assert_eq!(log.pending_len(), 3);
+            log.flush(&mut p, &clock).unwrap();
+            assert_eq!(log.durable_offset(), 5);
+            assert_eq!(log.bytes_written(), 5 * 128);
+        }
+    }
+
+    #[test]
+    fn engines_produce_identical_media_bytes() {
+        // The differential core: same appends through either engine ⇒
+        // byte-identical log region.
+        let clock = CrashClock::new();
+        let mut images = Vec::new();
+        for locked in [false, true] {
+            let mut p = pool();
+            let layout = p.layout();
+            let mut log = UndoLog::with_region_mode(
+                layout.log_start().0,
+                layout.log_lines / ENTRY_LINES,
+                locked,
+            );
+            for i in 0..32u64 {
+                log.append(UndoEntry {
+                    tenant: (i % 3) as u32,
+                    ..entry(1 + i / 10, i % 7, i as u8)
+                })
+                .unwrap();
+            }
+            log.flush(&mut p, &clock).unwrap();
+            let lines: Vec<CacheLine> =
+                (0..64).map(|i| p.read_line(LineAddr(layout.log_start().0 + i)).unwrap()).collect();
+            images.push(lines);
+        }
+        assert_eq!(images[0], images[1]);
     }
 
     #[test]
@@ -418,18 +906,26 @@ mod tests {
     }
 
     #[test]
-    fn pending_entries_are_lost_on_crash() {
-        let mut p = pool();
+    fn pending_entries_are_lost_on_crash_in_both_modes() {
         let clock = CrashClock::new();
-        let mut log = UndoLog::new(&p);
-        log.append(entry(1, 0, 1)).unwrap();
-        log.pump(&mut p, &clock, 1).unwrap();
-        log.append(entry(1, 1, 2)).unwrap();
-        log.crash();
-        p.crash();
-        let scanned = UndoLog::scan(&mut p).unwrap();
-        assert_eq!(scanned.len(), 1, "only the drained entry survives");
-        assert_eq!(scanned[0].1.vpm_line, LineAddr(0));
+        for locked in [false, true] {
+            let mut p = pool();
+            let layout = p.layout();
+            let mut log = UndoLog::with_region_mode(
+                layout.log_start().0,
+                layout.log_lines / ENTRY_LINES,
+                locked,
+            );
+            log.append(entry(1, 0, 1)).unwrap();
+            log.pump(&mut p, &clock, 1).unwrap();
+            log.append(entry(1, 1, 2)).unwrap();
+            log.crash();
+            p.crash();
+            assert_eq!(log.pending_len(), 0);
+            let scanned = UndoLog::scan(&mut p).unwrap();
+            assert_eq!(scanned.len(), 1, "only the drained entry survives");
+            assert_eq!(scanned[0].1.vpm_line, LineAddr(0));
+        }
     }
 
     #[test]
@@ -447,14 +943,15 @@ mod tests {
     }
 
     #[test]
-    fn log_full_is_reported() {
+    fn log_full_is_reported_in_both_modes() {
         let mut cfg = PoolConfig::small();
         cfg.log_bytes = 4 * LINE_SIZE; // room for 2 entries
         let p = PmPool::create(cfg).unwrap();
-        let mut log = UndoLog::new(&p);
-        log.append(entry(1, 0, 0)).unwrap();
-        log.append(entry(1, 1, 0)).unwrap();
-        assert!(matches!(log.append(entry(1, 2, 0)), Err(PmError::LogFull { .. })));
+        for mut log in both_modes(&p) {
+            log.append(entry(1, 0, 0)).unwrap();
+            log.append(entry(1, 1, 0)).unwrap();
+            assert!(matches!(log.append(entry(1, 2, 0)), Err(PmError::LogFull { .. })));
+        }
     }
 
     #[test]
@@ -479,43 +976,53 @@ mod tests {
     }
 
     #[test]
-    fn recycle_to_frees_slots_incrementally() {
-        let mut cfg = PoolConfig::small();
-        cfg.log_bytes = 8 * LINE_SIZE; // 4 slots
-        let mut p = PmPool::create(cfg).unwrap();
+    fn recycle_to_frees_slots_incrementally_in_both_modes() {
         let clock = CrashClock::new();
-        let mut log = UndoLog::new(&p);
-        for i in 0..4 {
-            log.append(entry(1, i, 0)).unwrap();
+        for locked in [false, true] {
+            let mut cfg = PoolConfig::small();
+            cfg.log_bytes = 8 * LINE_SIZE; // 4 slots
+            let mut p = PmPool::create(cfg).unwrap();
+            let layout = p.layout();
+            let mut log = UndoLog::with_region_mode(layout.log_start().0, 4, locked);
+            for i in 0..4 {
+                log.append(entry(1, i, 0)).unwrap();
+            }
+            assert!(matches!(log.append(entry(2, 9, 0)), Err(PmError::LogFull { .. })));
+            log.flush(&mut p, &clock).unwrap();
+            // Epoch 1 committed up to offset 2: two slots free, two live.
+            log.recycle_to(2);
+            assert_eq!(log.live_entries(), 2);
+            assert_eq!(log.append(entry(2, 9, 0)).unwrap(), 4);
+            assert_eq!(log.append(entry(2, 10, 0)).unwrap(), 5);
+            assert!(matches!(log.append(entry(2, 11, 0)), Err(PmError::LogFull { .. })));
+            // The wrapped entries physically overwrite the recycled slots.
+            log.flush(&mut p, &clock).unwrap();
+            let scanned = UndoLog::scan(&mut p).unwrap();
+            assert_eq!(scanned.len(), 4);
+            assert_eq!(scanned.iter().filter(|(_, e)| e.epoch == 2).count(), 2);
         }
-        assert!(matches!(log.append(entry(2, 9, 0)), Err(PmError::LogFull { .. })));
-        log.flush(&mut p, &clock).unwrap();
-        // Epoch 1 committed up to offset 2: two slots free, two still live.
-        log.recycle_to(2);
-        assert_eq!(log.live_entries(), 2);
-        assert_eq!(log.append(entry(2, 9, 0)).unwrap(), 4);
-        assert_eq!(log.append(entry(2, 10, 0)).unwrap(), 5);
-        assert!(matches!(log.append(entry(2, 11, 0)), Err(PmError::LogFull { .. })));
-        // The wrapped entries physically overwrite the recycled slots.
-        log.flush(&mut p, &clock).unwrap();
-        let scanned = UndoLog::scan(&mut p).unwrap();
-        assert_eq!(scanned.len(), 4);
-        assert_eq!(scanned.iter().filter(|(_, e)| e.epoch == 2).count(), 2);
     }
 
     #[test]
     fn recycle_to_clamps_to_durable_and_never_regresses() {
-        let mut p = pool();
         let clock = CrashClock::new();
-        let mut log = UndoLog::new(&p);
-        for i in 0..3 {
-            log.append(entry(1, i, 0)).unwrap();
+        for locked in [false, true] {
+            let mut p = pool();
+            let layout = p.layout();
+            let mut log = UndoLog::with_region_mode(
+                layout.log_start().0,
+                layout.log_lines / ENTRY_LINES,
+                locked,
+            );
+            for i in 0..3 {
+                log.append(entry(1, i, 0)).unwrap();
+            }
+            log.pump(&mut p, &clock, 1).unwrap();
+            log.recycle_to(99); // clamped: only 1 entry is durable
+            assert_eq!(log.live_entries(), 2);
+            log.recycle_to(0); // never regresses
+            assert_eq!(log.live_entries(), 2);
         }
-        log.pump(&mut p, &clock, 1).unwrap();
-        log.recycle_to(99); // clamped: only 1 entry is durable
-        assert_eq!(log.live_entries(), 2);
-        log.recycle_to(0); // never regresses
-        assert_eq!(log.live_entries(), 2);
     }
 
     #[test]
@@ -539,17 +1046,25 @@ mod tests {
     }
 
     #[test]
-    fn crash_clock_interrupts_pump() {
-        let mut p = pool();
-        let clock = CrashClock::new();
-        let mut log = UndoLog::new(&p);
-        for i in 0..4 {
-            log.append(entry(1, i, 0)).unwrap();
+    fn crash_clock_interrupts_pump_in_both_modes() {
+        for locked in [false, true] {
+            let mut p = pool();
+            let clock = CrashClock::new();
+            let layout = p.layout();
+            let mut log = UndoLog::with_region_mode(
+                layout.log_start().0,
+                layout.log_lines / ENTRY_LINES,
+                locked,
+            );
+            for i in 0..4 {
+                log.append(entry(1, i, 0)).unwrap();
+            }
+            clock.arm(clock.steps_taken() + 2); // two pump steps, then crash
+            assert_eq!(log.pump(&mut p, &clock, 2).unwrap(), 2);
+            assert!(matches!(log.flush(&mut p, &clock), Err(PmError::Crashed)));
+            assert_eq!(log.durable_offset(), 2);
+            clock.reset();
         }
-        clock.arm(2); // two pump steps succeed, third crashes
-        assert_eq!(log.pump(&mut p, &clock, 2).unwrap(), 2);
-        assert!(matches!(log.flush(&mut p, &clock), Err(PmError::Crashed)));
-        assert_eq!(log.durable_offset(), 2);
     }
 
     #[test]
@@ -583,5 +1098,73 @@ mod tests {
         // Generous bound: a linear drain spends ~100 ns/entry; the
         // quadratic one spent tens of µs/entry at this size.
         assert!(per_entry_ns < 10_000, "drain took {per_entry_ns} ns/entry");
+    }
+
+    #[test]
+    fn concurrent_appends_reserve_unique_contiguous_offsets() {
+        // The lock-free claim itself: N threads hammering one bank get
+        // disjoint offsets covering exactly 0..N*OPS, every reservation
+        // is published, and the in-flight gauge settles back to zero.
+        const THREADS: usize = 4;
+        const OPS: u64 = 2_000;
+        let log = UndoLog::with_region(0, THREADS as u64 * OPS + 1);
+        let bank = log.bank().unwrap();
+        let per_thread: Vec<Vec<u64>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let bank = Arc::clone(&bank);
+                    s.spawn(move || {
+                        (0..OPS)
+                            .map(|i| {
+                                bank.append(UndoEntry { tenant: t as u32, ..entry(1, i, t as u8) })
+                                    .unwrap()
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<u64> = per_thread.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..THREADS as u64 * OPS).collect();
+        assert_eq!(all, expect, "offsets must be unique and contiguous");
+        assert_eq!(bank.reserved(), THREADS as u64 * OPS);
+        assert_eq!(bank.in_flight(), 0, "every reservation was published");
+        assert_eq!(bank.pending_len(), THREADS * OPS as usize);
+    }
+
+    #[test]
+    fn concurrent_appends_drain_through_a_racing_pump() {
+        // Appenders and the pump run simultaneously; the pump's acquire
+        // scan must only ever consume published entries, in offset order,
+        // and everything drains.
+        const THREADS: usize = 3;
+        const OPS: u64 = 1_000;
+        let mut cfg = PoolConfig::small();
+        cfg.log_bytes = ((THREADS as u64 * OPS + 1) * ENTRY_LINES) as usize * LINE_SIZE;
+        let mut p = PmPool::create(cfg).unwrap();
+        let clock = CrashClock::new();
+        let log = UndoLog::new(&p);
+        let bank = log.bank().unwrap();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let bank = Arc::clone(&bank);
+                s.spawn(move || {
+                    for i in 0..OPS {
+                        bank.append(UndoEntry { tenant: t as u32, ..entry(1, i, t as u8) })
+                            .unwrap();
+                    }
+                });
+            }
+            // This thread is the pump (it owns the pool exclusively).
+            while bank.durable_offset() < THREADS as u64 * OPS {
+                if bank.pump(&mut p, &clock, 64).unwrap() == 0 {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        assert_eq!(bank.durable_offset(), THREADS as u64 * OPS);
+        assert_eq!(UndoLog::scan(&mut p).unwrap().len(), THREADS * OPS as usize);
     }
 }

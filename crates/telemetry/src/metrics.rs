@@ -101,6 +101,12 @@ pub struct MetricSet {
     counters: Vec<AtomicU64>,
     histogram_names: Vec<&'static str>,
     histograms: Vec<Hist>,
+    /// Times [`MetricSet::sub`] would have driven a counter below zero.
+    /// A nonzero value is an accounting bug in the instrumented component
+    /// — saturation used to clamp it silently; now debug builds assert
+    /// and every build surfaces the count as a synthetic
+    /// `metric_underflows` counter in [`MetricSet::snapshot`].
+    underflows: AtomicU64,
 }
 
 impl Clone for MetricSet {
@@ -115,6 +121,7 @@ impl Clone for MetricSet {
                 .collect(),
             histogram_names: self.histogram_names.clone(),
             histograms: self.histograms.clone(),
+            underflows: AtomicU64::new(self.underflows.load(Ordering::Relaxed)),
         }
     }
 }
@@ -128,6 +135,7 @@ impl MetricSet {
             counters: Vec::new(),
             histogram_names: Vec::new(),
             histograms: Vec::new(),
+            underflows: AtomicU64::new(0),
         }
     }
 
@@ -173,7 +181,11 @@ impl MetricSet {
     /// Counters are monotone by convention; this exists for the handful
     /// of *occupancy gauges* (e.g. directory residency) that must go
     /// down as well as up. Saturation keeps a missed decrement from
-    /// wrapping into a absurdly large value.
+    /// wrapping into an absurdly large value — but an underflow is still
+    /// a conservation bug in the caller, so it is **not** silent: debug
+    /// builds `debug_assert!`, and every build counts the event into the
+    /// synthetic `metric_underflows` counter that
+    /// [`MetricSet::snapshot`] emits whenever it is nonzero.
     #[inline]
     pub fn sub(&self, c: Counter, delta: u64) {
         let slot = &self.counters[c.0 as usize];
@@ -181,10 +193,27 @@ impl MetricSet {
         loop {
             let next = cur.saturating_sub(delta);
             match slot.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
-                Ok(_) => break,
+                Ok(_) => {
+                    // Judged on the value the exchange actually replaced,
+                    // so a racing add can't produce a phantom underflow.
+                    if cur < delta {
+                        self.underflows.fetch_add(1, Ordering::Relaxed);
+                        debug_assert!(
+                            false,
+                            "metric underflow: {}/{} at {} minus {}",
+                            self.component, self.counter_names[c.0 as usize], cur, delta
+                        );
+                    }
+                    break;
+                }
                 Err(now) => cur = now,
             }
         }
+    }
+
+    /// Times [`MetricSet::sub`] underflowed (zero in a healthy run).
+    pub fn underflows(&self) -> u64 {
+        self.underflows.load(Ordering::Relaxed)
     }
 
     /// Current value of a counter.
@@ -199,16 +228,24 @@ impl MetricSet {
         self.histograms[h.0 as usize].record(value);
     }
 
-    /// An owned, point-in-time copy of every metric in the set.
+    /// An owned, point-in-time copy of every metric in the set. A set
+    /// that has ever underflowed additionally reports a synthetic
+    /// `metric_underflows` counter, so release-build accounting bugs
+    /// show up in dumps instead of being clamped away.
     pub fn snapshot(&self) -> MetricSnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counter_names
+            .iter()
+            .zip(&self.counters)
+            .map(|(n, v)| (n.to_string(), v.load(Ordering::Relaxed)))
+            .collect();
+        let underflows = self.underflows.load(Ordering::Relaxed);
+        if underflows > 0 {
+            counters.push(("metric_underflows".to_string(), underflows));
+        }
         MetricSnapshot {
             component: self.component.to_string(),
-            counters: self
-                .counter_names
-                .iter()
-                .zip(&self.counters)
-                .map(|(n, v)| (n.to_string(), v.load(Ordering::Relaxed)))
-                .collect(),
+            counters,
             histograms: self
                 .histogram_names
                 .iter()
@@ -469,13 +506,29 @@ mod tests {
     }
 
     #[test]
-    fn sub_decrements_and_saturates() {
+    fn sub_decrements_gauges() {
         let (ms, a, _) = sample_set();
         ms.add(a, 3);
         ms.sub(a, 2);
         assert_eq!(ms.get(a), 1);
-        ms.sub(a, 5);
+        ms.sub(a, 1);
         assert_eq!(ms.get(a), 0);
+        assert_eq!(ms.underflows(), 0, "exact accounting must not trip the alarm");
+        assert_eq!(ms.snapshot().counter("metric_underflows"), 0, "no synthetic counter");
+    }
+
+    /// Underflow is a caller-side conservation bug: debug builds assert,
+    /// release builds saturate but count the event and surface it as a
+    /// synthetic `metric_underflows` counter in snapshots.
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "metric underflow"))]
+    fn sub_underflow_is_loud() {
+        let (ms, a, _) = sample_set();
+        ms.add(a, 3);
+        ms.sub(a, 5);
+        assert_eq!(ms.get(a), 0, "still saturates instead of wrapping");
+        assert_eq!(ms.underflows(), 1);
+        assert_eq!(ms.snapshot().counter("metric_underflows"), 1);
     }
 
     #[test]

@@ -124,6 +124,107 @@ fn run_seed(seed: u64) {
     }
 }
 
+/// Seeded crash-point stress for the lock-free undo bank itself: several
+/// appender threads hammer one `AtomicBank` while this thread pumps it to
+/// a real pool with a crash clock armed mid-drain — so the crash lands
+/// while appenders are inside their reserve→fill windows. Whatever the
+/// instant, the media scan (what recovery replays) must contain exactly
+/// the contiguous durable prefix, and every scanned entry must be one an
+/// appender actually *published* (its `append` returned): a reserved but
+/// unpublished slot never reaches recovery.
+fn crash_window_seed(seed: u64) {
+    use pax_device::UndoEntry;
+    use pax_pm::{CacheLine, CrashClock, LineAddr, PmPool};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    const APPENDERS: u64 = 3;
+    const APPEND_OPS: u64 = 400;
+    let pool = PmPool::create(PoolConfig::small().with_log_bytes(1 << 20)).unwrap();
+    let log = pax_device::UndoLog::new(&pool);
+    let bank = log.bank().expect("default engine is the CAS bank");
+    let clock = CrashClock::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Each pumped entry ticks the clock once; arming below the total
+    // guarantees the cut hits mid-drain, with append traffic in flight.
+    clock.arm(rng.gen_range(1..APPENDERS * APPEND_OPS / 2));
+
+    let pool = Mutex::new(pool);
+    let stop = AtomicBool::new(false);
+    let done = AtomicUsize::new(0);
+    let published: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..APPENDERS)
+            .map(|a| {
+                let (bank, stop, done) = (&bank, &stop, &done);
+                s.spawn(move || {
+                    let mut mine = Vec::new();
+                    for i in 0..APPEND_OPS {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let line = a * APPEND_OPS + i; // globally unique tag
+                        let entry =
+                            UndoEntry::single(1, LineAddr(line), CacheLine::filled(a as u8));
+                        match bank.append(entry) {
+                            Ok(_) => mine.push(line),
+                            Err(_) => break, // LogFull: capacity exhausted early
+                        }
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                    mine
+                })
+            })
+            .collect();
+        // Pump on this thread until the crash fires or everything drains.
+        loop {
+            match bank.pump(&mut pool.lock().unwrap(), &clock, 8) {
+                Ok(0) => {
+                    if done.load(Ordering::Relaxed) == APPENDERS as usize && bank.pending_len() == 0
+                    {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    stop.store(true, Ordering::Relaxed);
+                    break; // crashed
+                }
+            }
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let durable = bank.durable_offset();
+    let published: std::collections::HashSet<u64> = published.into_iter().flatten().collect();
+    let mut pool = pool.into_inner().unwrap();
+    let scanned = pax_device::UndoLog::scan(&mut pool).unwrap();
+    assert_eq!(
+        scanned.len() as u64,
+        durable,
+        "seed {seed}: media must hold exactly the durable prefix"
+    );
+    let slots: Vec<u64> = scanned.iter().map(|&(slot, _)| slot).collect();
+    assert_eq!(slots, (0..durable).collect::<Vec<u64>>(), "contiguous prefix, no holes");
+    for (_, entry) in &scanned {
+        assert!(
+            published.contains(&entry.vpm_line.0),
+            "seed {seed}: slot for line {} was never published by an appender",
+            entry.vpm_line.0
+        );
+    }
+    // And the full recovery path agrees: it replays scanned entries only.
+    let report = pax_device::recover(&mut pool).unwrap();
+    assert_eq!(report.scanned as u64, durable);
+}
+
+#[test]
+fn crash_in_reserve_fill_window_replays_only_published_slots() {
+    for seed in [11, 4242, 777_001] {
+        crash_window_seed(seed);
+    }
+}
+
 #[test]
 fn seeded_crash_stress_early() {
     run_seed(7);
