@@ -23,6 +23,9 @@ Compares the current run's --json outputs against the previous run's
   logappend        mops               must be >= 0.90x baseline (per
                                       (threads, mode) point; same
                                       wall-clock noise budget)
+  persistency      ops_per_kstep      must be >= 0.90x baseline (per
+                                      model series: strict / epoch /
+                                      buffered2 / buffered4)
 
 Independently of any baseline, three absolute acceptance bars apply:
 
@@ -51,6 +54,10 @@ Independently of any baseline, three absolute acceptance bars apply:
     the lock it replaced. The floor is deliberately NOT applied to
     the `locked` series: its collapse under contention is the
     behavior the CAS engine exists to remove.
+  - the persistency flush-heavy ablation: buffered-epoch with K=4 must
+    sustain at least 1.3x the strict model's ops/kstep — relaxing the
+    persistency model has to buy real throughput back, or the
+    abstraction is pure overhead.
 
 A missing baseline file seeds the ratchet (exit 0); the workflow then
 saves CURRENT_DIR as the next run's baseline.
@@ -76,6 +83,8 @@ LOGAPPEND_TOL = 0.90
 LOGAPPEND_SCALING_BAR = 1.3
 LOGAPPEND_SCALING_CORES = 4
 LOGAPPEND_NO_COLLAPSE_FLOOR = 0.15
+PERSISTENCY_TOL = 0.90
+PERSISTENCY_BUFFERED_BAR = 1.3
 
 
 def load(path: Path):
@@ -256,6 +265,53 @@ def check_logappend_scaling(current, failures):
             )
 
 
+def check_persistency_acceptance(current, failures):
+    """Absolute bar, no baseline needed: on the flush-heavy mix the
+    buffered-epoch model (K=4) must sustain PERSISTENCY_BUFFERED_BAR
+    times the strict model's deterministic throughput. The models are
+    a semantics/performance dial — if loosening the contract to
+    'K closes may roll back' does not buy back throughput over
+    'every store is durable', the dial is broken."""
+    rows = {r["series"]: r for r in current["results"] if "ops_per_kstep" in r}
+    for series in ("strict", "buffered4"):
+        if series not in rows:
+            failures.append(f"persistency: {series} series missing")
+            return
+    strict = rows["strict"]["ops_per_kstep"]
+    buffered = rows["buffered4"]["ops_per_kstep"]
+    bar = PERSISTENCY_BUFFERED_BAR * strict
+    if buffered < bar:
+        failures.append(
+            f"persistency: buffered4 ops_per_kstep {buffered:.1f} below "
+            f"{PERSISTENCY_BUFFERED_BAR}x strict ({strict:.1f}) — relaxing "
+            f"the model no longer buys throughput on the flush-heavy mix"
+        )
+    else:
+        print(
+            f"persistency acceptance ok: buffered4 {buffered:.1f} >= "
+            f"{PERSISTENCY_BUFFERED_BAR}x strict {strict:.1f} ops/kstep"
+        )
+
+
+def ratchet_persistency(baseline, current, failures):
+    base = {
+        r["series"]: r["ops_per_kstep"]
+        for r in baseline["results"]
+        if "ops_per_kstep" in r
+    }
+    for r in current["results"]:
+        key = r.get("series")
+        if key not in base or "ops_per_kstep" not in r:
+            continue
+        floor = PERSISTENCY_TOL * base[key]
+        if r["ops_per_kstep"] < floor:
+            failures.append(
+                f"persistency {key}: ops_per_kstep "
+                f"{r['ops_per_kstep']:.1f} < {PERSISTENCY_TOL}x baseline "
+                f"{base[key]:.1f}"
+            )
+
+
 def ratchet_logappend(baseline, current, failures):
     base = {
         (r["threads"], r["mode"]): r["mops"]
@@ -397,6 +453,7 @@ def main() -> int:
         "snoopfilter.json": ratchet_snoopfilter,
         "fig2b_measured.json": ratchet_fig2b_measured,
         "logappend.json": ratchet_logappend,
+        "persistency.json": ratchet_persistency,
     }
 
     overlap = load(current_dir / "ablation_overlap.json")
@@ -428,6 +485,12 @@ def main() -> int:
         failures.append("current logappend.json missing")
     else:
         check_logappend_scaling(logappend, failures)
+
+    persistency = load(current_dir / "persistency.json")
+    if persistency is None:
+        failures.append("current persistency.json missing")
+    else:
+        check_persistency_acceptance(persistency, failures)
 
     for name, ratchet in ratchets.items():
         current = load(current_dir / name)

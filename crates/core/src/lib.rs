@@ -58,6 +58,7 @@ pub mod structures;
 
 pub use error::PaxError;
 pub use heap::Heap;
+pub use pax_pm::PersistencyModel;
 pub use pod::Pod;
 pub use pool::{PaxConfig, PaxPool, PaxTenant, VPm};
 pub use snapshotter::{HwSnapshotter, PStructure, Persistent};

@@ -34,7 +34,7 @@ use pax_cache::{
     HierarchyStats, HostSnoop, SharedComplex,
 };
 use pax_device::{even_split, DeviceConfig, DeviceMetrics, PaxDevice, RecoveryReport, TenantId};
-use pax_pm::{CrashClock, LineAddr, PmError, PmPool, PoolConfig, LINE_SIZE};
+use pax_pm::{CrashClock, LineAddr, PersistencyModel, PmError, PmPool, PoolConfig, LINE_SIZE};
 use pax_telemetry::{MetricSet, MetricSnapshot, TelemetrySnapshot, TraceBuf};
 
 use crate::error::PaxError;
@@ -115,6 +115,17 @@ impl PaxConfig {
     /// pool opens.
     pub fn with_tenants(mut self, n: usize) -> Self {
         self.tenants = n;
+        self
+    }
+
+    /// Returns the config with a different persistency model (see
+    /// [`PersistencyModel`]): the ordering/durability contract the pool
+    /// layer, device drain engine, scheduler, and recovery all enforce.
+    /// The default, [`PersistencyModel::Epoch`], is the engine's
+    /// historical behavior. Shorthand for setting
+    /// [`DeviceConfig::persistency`] on [`PaxConfig::device`].
+    pub fn with_persistency(mut self, model: PersistencyModel) -> Self {
+        self.device.persistency = model;
         self
     }
 }
@@ -927,7 +938,20 @@ impl MemSpace for VPm {
                 }
             };
             match write_once() {
-                Ok(()) => {}
+                Ok(()) => {
+                    // Strict persistency: every completed line store is
+                    // its own durable epoch. The barrier must run here,
+                    // at the pool layer — the device acknowledges RdOwn
+                    // before the host writes the new data, so only the
+                    // store's completion point sees the value that has to
+                    // become durable.
+                    if e.device.persistency().persist_per_store() {
+                        match e.device.tenant_of(line) {
+                            Some(t) => e.device.persist_tenant(t, &mut &e.host)?,
+                            None => e.device.persist(&mut &e.host)?,
+                        };
+                    }
+                }
                 Err(PmError::LogFull { .. }) if self.inner.auto_persist_on_log_full => {
                     // §3.2: persist periodically to limit undo log growth
                     // — here, exactly when growth hits the limit, and only

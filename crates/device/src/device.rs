@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use pax_cache::{HomeAgent, HostSnoop, ShardedHome};
-use pax_pm::{CacheLine, CrashClock, LineAddr, PmError, PmPool, Result};
+use pax_pm::{CacheLine, CrashClock, LineAddr, PersistencyModel, PmError, PmPool, Result};
 use pax_telemetry::{MetricSet, MetricSnapshot, TraceBuf, TraceEvent};
 
 use crate::cell::{lock, try_lock, PoolCell, TraceCell};
@@ -39,7 +39,7 @@ use crate::directory::{coalesce_runs, DirectoryConfig};
 use crate::hbm::{HbmConfig, HbmLine};
 use crate::metrics::{DeviceCounters, DeviceMetrics};
 use crate::recovery::{recover_traced, RecoveryReport};
-use crate::sched::{weighted_budget, DeviceScheduler, SchedConfig};
+use crate::sched::{persist_drain_budget, weighted_budget, DeviceScheduler, SchedConfig};
 use crate::shard::{split_log_region, tick, DeviceShard};
 use crate::tenant::{TenantId, TenantMap, TenantRegion};
 use crate::undo_log::{AtomicBank, LogWatermark};
@@ -96,6 +96,12 @@ pub struct DeviceConfig {
     /// store-heavy thread mix cannot starve an async persist
     /// indefinitely.
     pub poll_skip_limit: u64,
+    /// The ordering/durability contract the device enforces
+    /// ([`PersistencyModel`]): strict (every store its own durable
+    /// epoch), epoch (the synchronous-barrier default), or
+    /// buffered-epoch (up to K closed epochs drain asynchronously,
+    /// retired in order).
+    pub persistency: PersistencyModel,
 }
 
 impl DeviceConfig {
@@ -180,6 +186,14 @@ impl DeviceConfig {
         self
     }
 
+    /// Returns the config with a different persistency model. An invalid
+    /// model (buffered depth 0) is rejected by
+    /// [`DeviceConfig::validate`] when the device opens.
+    pub fn with_persistency(mut self, model: PersistencyModel) -> Self {
+        self.persistency = model;
+        self
+    }
+
     /// Checks the config against a device hosting one pool context per
     /// entry of `regions`. Run by [`PaxDevice::open_multi`] before any
     /// state is built, so a bad geometry is a typed error, not a panic
@@ -189,8 +203,9 @@ impl DeviceConfig {
     ///
     /// Returns [`PmError::Config`] when the shard count, pump interval,
     /// or persist write-back batch is zero, a tenant's HBM share is zero,
-    /// or the HBM cannot give each of the `shards × tenants` lanes at
-    /// least one full associativity set.
+    /// the persistency model is invalid (buffered depth 0), or the HBM
+    /// cannot give each of the `shards × tenants` lanes at least one full
+    /// associativity set.
     pub fn validate(&self, regions: &[TenantRegion]) -> Result<()> {
         if self.shards == 0 {
             return Err(PmError::Config("shard count must be at least 1".into()));
@@ -204,6 +219,7 @@ impl DeviceConfig {
         if self.poll_skip_limit == 0 {
             return Err(PmError::Config("poll skip limit must be at least 1".into()));
         }
+        self.persistency.validate().map_err(PmError::Config)?;
         for (t, r) in regions.iter().enumerate() {
             if r.hbm_share == 0 {
                 return Err(PmError::Config(format!("tenant {t} has zero HBM share")));
@@ -237,8 +253,26 @@ impl Default for DeviceConfig {
             persist_wb_batch: 8,
             locked_log: cfg!(feature = "locked-log"),
             poll_skip_limit: 64,
+            persistency: PersistencyModel::Epoch,
         }
     }
+}
+
+/// Which persist flavour a [`PaxDevice::sweep_lane`] gather serves. The
+/// three flavours share the whole log-order iteration and differ only in
+/// snoop opcode and HBM housekeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SweepMode {
+    /// `SnpData` downgrade; the caller writes gathered lines back
+    /// immediately (synchronous barrier).
+    Snoop,
+    /// `SnpInv` full eviction — the §4 CLWB ablation baseline.
+    Clwb,
+    /// `SnpData` downgrade capturing values for a deferred drain
+    /// (non-blocking / buffered-epoch close): dirty HBM copies are
+    /// marked clean at capture time, because their write back happens
+    /// later from the drain queue.
+    Capture,
 }
 
 /// In-flight state of one tenant's non-blocking persist (§6 "make
@@ -319,10 +353,12 @@ pub struct PaxDevice {
     /// committed epoch + 1). Written only under that tenant's ctl lock;
     /// hot paths read it lock-free.
     epochs: Vec<AtomicU64>,
-    /// Per tenant: the persist control (ctl) lock, guarding any epoch
-    /// still being made durable (non-blocking persist). Top of the lock
-    /// order.
-    draining: Vec<Mutex<Option<DrainState>>>,
+    /// Per tenant: the persist control (ctl) lock, guarding the queue of
+    /// epochs still being made durable (non-blocking and buffered-epoch
+    /// persists), oldest first — retirement is strictly in order. Depth
+    /// is bounded by [`PersistencyModel::max_open_epochs`] (1 under
+    /// strict/epoch, K under buffered-epoch). Top of the lock order.
+    draining: Vec<Mutex<VecDeque<DrainState>>>,
     /// Per tenant: consecutive `persist_poll_try` passes that found the
     /// ctl lock contended and skipped the tenant. At
     /// [`DeviceConfig::poll_skip_limit`] the poll escalates to a bounded
@@ -434,6 +470,15 @@ impl PaxDevice {
             let gauge = metrics.counter(name);
             metrics.add(gauge, value as u64);
         }
+        // So is the persistency model: a report's persist counts mean
+        // different things under different ordering contracts.
+        for (name, value) in [
+            ("persistency_model", config.persistency.code()),
+            ("persistency_depth", config.persistency.max_open_epochs() as u64),
+        ] {
+            let gauge = metrics.counter(name);
+            metrics.add(gauge, value);
+        }
         let watermarks = shards.iter().map(|s| s.log.watermark()).collect();
         let log_banks = shards.iter().map(|s| s.log.bank()).collect();
         Ok(PaxDevice {
@@ -446,7 +491,7 @@ impl PaxDevice {
             watermarks,
             log_banks,
             epochs: epochs.into_iter().map(AtomicU64::new).collect(),
-            draining: (0..t).map(|_| Mutex::new(None)).collect(),
+            draining: (0..t).map(|_| Mutex::new(VecDeque::new())).collect(),
             poll_skips: (0..t).map(|_| AtomicU64::new(0)).collect(),
             sched: DeviceScheduler::new(lanes),
             metrics,
@@ -506,6 +551,11 @@ impl PaxDevice {
     /// The tenant owning vPM line `addr`, if any region contains it.
     pub fn tenant_of(&self, addr: LineAddr) -> Option<TenantId> {
         self.tenants.tenant_of(addr)
+    }
+
+    /// The ordering/durability contract the device was opened with.
+    pub fn persistency(&self) -> PersistencyModel {
+        self.config.persistency
     }
 
     /// Cumulative event counters: the field-wise sum of every lane's
@@ -612,7 +662,7 @@ impl PaxDevice {
             lock(shard).crash();
         }
         for d in &self.draining {
-            *lock(d) = None;
+            lock(d).clear();
         }
         self.pool.lock().crash();
         let snapshot = self.metric_snapshot();
@@ -661,7 +711,8 @@ impl PaxDevice {
 
     /// The device's view of the current contents of the vPM line at
     /// `addr` (owned by `lane`): the lane's HBM first, then the owning
-    /// tenant's draining-epoch captured value, then PM.
+    /// tenant's draining-epoch captured value (the *newest* queued epoch
+    /// holding one, since later epochs supersede earlier), then PM.
     ///
     /// Hot path: the ctl lock is only tried — a contended ctl means a
     /// concurrent persist, and drain states exist only in single-driver
@@ -669,7 +720,7 @@ impl PaxDevice {
     fn resolve(&self, lane: usize, addr: LineAddr) -> Result<CacheLine> {
         let t = lane / self.stride;
         let drain_value = try_lock(&self.draining[t])
-            .and_then(|g| g.as_ref().and_then(|d| d.values.get(&addr)).cloned());
+            .and_then(|g| g.iter().rev().find_map(|d| d.values.get(&addr)).cloned());
         lock(&self.shards[lane]).resolve(
             &self.pool,
             &self.clock,
@@ -845,12 +896,18 @@ impl PaxDevice {
     /// [`PmError::Crashed`], and media errors.
     pub fn persist_tenant(&self, t: TenantId, cache: &mut impl HostSnoop) -> Result<u64> {
         self.check_tenant(t)?;
+        // Buffered-epoch semantics: `persist()` is an epoch *close*, not
+        // a barrier — capture the epoch, return immediately, and let it
+        // retire in the background behind up to K-1 earlier closes.
+        if self.config.persistency.closes_async() {
+            return self.persist_async_tenant(t, cache);
+        }
         // (0) Take the tenant's ctl lock for the whole barrier (the top
-        // of the lock order — see the struct docs). A non-blocking
-        // persist by this tenant may still be draining; its epochs commit
-        // in order, completed through the held guard.
+        // of the lock order — see the struct docs). Non-blocking persists
+        // by this tenant may still be draining; their epochs commit in
+        // order, completed through the held guard.
         let mut ctl = lock(&self.draining[t]);
-        while ctl.is_some() {
+        while !ctl.is_empty() {
             self.poll_drain(t, &mut ctl)?;
         }
         // (1) All of t's pre-images durable before any further write
@@ -859,67 +916,17 @@ impl PaxDevice {
             self.flush_lane_log(l)?;
         }
 
-        // (2) Gather: iterate logged lines in log order (§3.3 "iterating
-        // through each undo log entry as it persists"), lane by lane,
-        // snooping only the lines the ownership directory says the host
-        // may still hold modified. The lane lock is dropped around each
-        // snoop — the host core locks order *before* lane locks.
-        let filter = self.config.directory.enabled;
+        // (2)+(3) Gather and write back, lane by lane — the per-lane
+        // interleave keeps the durable-step order identical to the
+        // pre-refactor pipeline (see [`PaxDevice::sweep_lane`]).
         let mut entries = 0u64;
         for l in self.tenant_lanes(t) {
-            let logged = lock(&self.shards[l]).sorted_epoch_log();
-            entries += logged.len() as u64;
-            let mut pending = Vec::with_capacity(logged.len());
-            for (_offset, addr) in logged {
-                let should_snoop = {
-                    let mut shard = lock(&self.shards[l]);
-                    let should = shard.dir_should_snoop(addr, filter);
-                    if should {
-                        shard.count_snoop_sent();
-                    }
-                    should
-                };
-                let host_data = if should_snoop {
-                    self.trace.record(
-                        COMPONENT,
-                        TraceEvent::Coherence { op: "snp_data".into(), line: addr.0 },
-                    );
-                    let d = cache.snoop_shared(addr);
-                    // The snoop itself is the host's give-up evidence.
-                    lock(&self.shards[l]).dir_clear(addr);
-                    d
-                } else {
-                    None
-                };
-                let mut shard = lock(&self.shards[l]);
-                let data = match host_data {
-                    Some(d) => {
-                        shard.count_snoop_data_returned();
-                        // Refresh the HBM copy so post-persist reads hit.
-                        shard.hbm_refresh_clean(
-                            &self.pool,
-                            &self.clock,
-                            &self.trace,
-                            addr,
-                            d.clone(),
-                        )?;
-                        Some(d)
-                    }
-                    None => shard.hbm_peek(addr).filter(|l| l.dirty).map(|l| l.data.clone()),
-                };
-                drop(shard);
-                if let Some(d) = data {
-                    pending.push((addr, d));
-                }
-                // Lines with no host data and no dirty HBM copy were
-                // already written back by the eviction/background paths.
-            }
-            // (3) Write back the lane's gathered lines in coalesced
-            // batches.
+            let (logged, pending) = self.sweep_lane(l, cache, SweepMode::Snoop)?;
+            entries += logged;
             self.write_back_batched(l, pending)?;
         }
 
-        self.commit_tenant_epoch(t, entries)
+        self.retire_epoch(t, entries)
     }
 
     /// Ends every tenant's epoch using **CLWB-style forced flushes**
@@ -958,54 +965,127 @@ impl PaxDevice {
     /// [`PmError::Crashed`], and media errors.
     pub fn persist_clwb_tenant(&self, t: TenantId, cache: &mut impl HostSnoop) -> Result<u64> {
         self.check_tenant(t)?;
+        // Always a synchronous barrier, regardless of the configured
+        // persistency model: this flavour exists as the §4 ablation
+        // baseline, and buffering it would erase exactly the
+        // serialized-eviction cost it measures.
         let mut ctl = lock(&self.draining[t]);
-        while ctl.is_some() {
+        while !ctl.is_empty() {
             self.poll_drain(t, &mut ctl)?;
         }
         for l in self.tenant_lanes(t) {
             self.flush_lane_log(l)?;
         }
 
-        let filter = self.config.directory.enabled;
         let mut entries = 0u64;
         for l in self.tenant_lanes(t) {
-            let logged = lock(&self.shards[l]).sorted_epoch_log();
-            entries += logged.len() as u64;
-            let mut pending = Vec::with_capacity(logged.len());
-            for (_offset, addr) in logged {
-                // CLWB semantics: full eviction from host caches; dirty
-                // data comes back to the device, the line does NOT stay
-                // cached. An unowned line can hold at most a clean Shared
-                // copy whose value the device already has, so the filter
-                // skips its invalidate too (leaving it warm — strictly
-                // kinder than real CLWB).
-                let should_snoop = lock(&self.shards[l]).dir_should_snoop(addr, filter);
-                let host_data = if should_snoop {
-                    self.trace.record(
-                        COMPONENT,
-                        TraceEvent::Coherence { op: "snp_inv".into(), line: addr.0 },
-                    );
-                    let d = cache.snoop_invalidate(addr);
-                    lock(&self.shards[l]).dir_clear(addr);
-                    d
-                } else {
-                    None
-                };
-                let mut shard = lock(&self.shards[l]);
-                let data = match host_data {
-                    Some(d) => Some(d),
-                    None => shard.hbm_peek(addr).filter(|l| l.dirty).map(|l| l.data.clone()),
-                };
-                if let Some(d) = data {
-                    pending.push((addr, d));
-                } else {
-                    shard.hbm_mark_clean(addr);
-                }
-            }
+            let (logged, pending) = self.sweep_lane(l, cache, SweepMode::Clwb)?;
+            entries += logged;
             self.write_back_batched(l, pending)?;
         }
 
-        self.commit_tenant_epoch(t, entries)
+        self.retire_epoch(t, entries)
+    }
+
+    /// The shared persist-time gather behind every persist flavour:
+    /// iterates lane `l`'s logged lines in log order (§3.3 "iterating
+    /// through each undo log entry as it persists"), snooping only the
+    /// lines the ownership directory says the host may still hold
+    /// modified, and returns the lane's epoch-log length plus the
+    /// `(addr, value)` pairs that still need a PM write back. The lane
+    /// lock is dropped around each snoop — host core locks order
+    /// *before* lane locks. What varies per [`SweepMode`]:
+    ///
+    /// * `Snoop` — downgrade; returned host data refreshes the HBM copy
+    ///   so post-persist reads stay warm.
+    /// * `Clwb` — full eviction from host caches; dirty data comes back
+    ///   to the device, the line does NOT stay host-cached. An unowned
+    ///   line can hold at most a clean Shared copy whose value the
+    ///   device already has, so the directory filter skips its
+    ///   invalidate too (leaving it warm — strictly kinder than real
+    ///   CLWB). Lines with no dirty copy anywhere are marked clean in
+    ///   HBM.
+    /// * `Capture` — downgrade for a deferred drain: dirty HBM copies
+    ///   are captured *and marked clean now*, since the write back
+    ///   happens later from the drain queue.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces [`PmError::Crashed`] and media errors.
+    fn sweep_lane(
+        &self,
+        l: usize,
+        cache: &mut impl HostSnoop,
+        mode: SweepMode,
+    ) -> Result<(u64, Vec<(LineAddr, CacheLine)>)> {
+        let filter = self.config.directory.enabled;
+        let logged = lock(&self.shards[l]).sorted_epoch_log();
+        let entries = logged.len() as u64;
+        let mut pending = Vec::with_capacity(logged.len());
+        for (_offset, addr) in logged {
+            let should_snoop = {
+                let mut shard = lock(&self.shards[l]);
+                let should = shard.dir_should_snoop(addr, filter);
+                // CLWB invalidates rather than snoops; only the
+                // downgrade flavours count toward `snoops_sent`.
+                if should && mode != SweepMode::Clwb {
+                    shard.count_snoop_sent();
+                }
+                should
+            };
+            let host_data = if should_snoop {
+                let op = if mode == SweepMode::Clwb { "snp_inv" } else { "snp_data" };
+                self.trace.record(COMPONENT, TraceEvent::Coherence { op: op.into(), line: addr.0 });
+                let d = match mode {
+                    SweepMode::Clwb => cache.snoop_invalidate(addr),
+                    _ => cache.snoop_shared(addr),
+                };
+                // The snoop itself is the host's give-up evidence.
+                lock(&self.shards[l]).dir_clear(addr);
+                d
+            } else {
+                None
+            };
+            let mut shard = lock(&self.shards[l]);
+            let data = match (host_data, mode) {
+                (Some(d), SweepMode::Clwb) => Some(d),
+                (Some(d), _) => {
+                    shard.count_snoop_data_returned();
+                    // Refresh the HBM copy so post-persist reads hit.
+                    shard.hbm_refresh_clean(
+                        &self.pool,
+                        &self.clock,
+                        &self.trace,
+                        addr,
+                        d.clone(),
+                    )?;
+                    Some(d)
+                }
+                (None, SweepMode::Capture) => match shard.hbm_peek(addr) {
+                    Some(line) if line.dirty => {
+                        let d = line.data.clone();
+                        shard.hbm_mark_clean(addr);
+                        Some(d)
+                    }
+                    // Already written back during the epoch; PM is
+                    // current.
+                    _ => None,
+                },
+                (None, _) => {
+                    shard.hbm_peek(addr).filter(|line| line.dirty).map(|line| line.data.clone())
+                }
+            };
+            if data.is_none() && mode == SweepMode::Clwb {
+                shard.hbm_mark_clean(addr);
+            }
+            drop(shard);
+            if let Some(d) = data {
+                pending.push((addr, d));
+            }
+            // Lines with no host data and no dirty HBM copy were already
+            // written back by the eviction/background paths.
+        }
+        Ok((entries, pending))
     }
 
     /// The back half of the batched persist pipeline: issues `lane`'s
@@ -1045,16 +1125,18 @@ impl PaxDevice {
         Ok(())
     }
 
-    /// The shared epilogue of every synchronous persist flavour: drain
-    /// PM, atomically commit tenant `t`'s built epoch into its header
-    /// slot, reset `t`'s lanes' per-epoch state (recycling their log
-    /// banks), and advance `t`'s epoch counter.
+    /// The shared retirement epilogue of every synchronous persist
+    /// flavour (the model-independent half of an epoch's life: buffered
+    /// closes retire through `poll_drain`'s phase 3 instead): drain PM,
+    /// atomically commit tenant `t`'s built epoch into its header slot,
+    /// reset `t`'s lanes' per-epoch state (recycling their log banks),
+    /// and advance `t`'s epoch counter.
     ///
     /// # Errors
     ///
     /// Surfaces [`PmError::Crashed`] (the commit record never made it —
     /// recovery rolls the epoch back) and media errors.
-    fn commit_tenant_epoch(&self, t: TenantId, entries: u64) -> Result<u64> {
+    fn retire_epoch(&self, t: TenantId, entries: u64) -> Result<u64> {
         // (4) Everything reaches media before the commit record.
         self.pool.lock().drain();
 
@@ -1134,66 +1216,25 @@ impl PaxDevice {
     pub fn persist_async_tenant(&self, t: TenantId, cache: &mut impl HostSnoop) -> Result<u64> {
         self.check_tenant(t)?;
         let mut ctl = lock(&self.draining[t]);
-        while ctl.is_some() {
+        // Admission: the model bounds how many closed-but-uncommitted
+        // epochs may be in flight (1 under strict/epoch — the classic
+        // non-blocking persist — K under buffered-epoch). At capacity
+        // the *oldest* close is completed first: retirement is strictly
+        // in order, so recovery always lands on a prefix-closed cut.
+        let cap = self.config.persistency.max_open_epochs().max(1);
+        while ctl.len() >= cap {
             self.poll_drain(t, &mut ctl)?;
         }
 
-        let filter = self.config.directory.enabled;
         let mut entries = 0u64;
         let mut queue = VecDeque::new();
         let mut values = HashMap::new();
         for l in self.tenant_lanes(t) {
-            let logged = lock(&self.shards[l]).sorted_epoch_log();
-            entries += logged.len() as u64;
-            for (_offset, addr) in logged {
-                let should_snoop = {
-                    let mut shard = lock(&self.shards[l]);
-                    let should = shard.dir_should_snoop(addr, filter);
-                    if should {
-                        shard.count_snoop_sent();
-                    }
-                    should
-                };
-                let host_data = if should_snoop {
-                    self.trace.record(
-                        COMPONENT,
-                        TraceEvent::Coherence { op: "snp_data".into(), line: addr.0 },
-                    );
-                    let d = cache.snoop_shared(addr);
-                    lock(&self.shards[l]).dir_clear(addr);
-                    d
-                } else {
-                    None
-                };
-                let mut shard = lock(&self.shards[l]);
-                let data = match host_data {
-                    Some(d) => {
-                        shard.count_snoop_data_returned();
-                        shard.hbm_refresh_clean(
-                            &self.pool,
-                            &self.clock,
-                            &self.trace,
-                            addr,
-                            d.clone(),
-                        )?;
-                        Some(d)
-                    }
-                    None => match shard.hbm_peek(addr) {
-                        Some(l) if l.dirty => {
-                            let d = l.data.clone();
-                            shard.hbm_mark_clean(addr);
-                            Some(d)
-                        }
-                        // Already written back during the epoch; PM is
-                        // current.
-                        _ => None,
-                    },
-                };
-                drop(shard);
-                if let Some(d) = data {
-                    queue.push_back(addr);
-                    values.insert(addr, d);
-                }
+            let (logged, captured) = self.sweep_lane(l, cache, SweepMode::Capture)?;
+            entries += logged;
+            for (addr, d) in captured {
+                queue.push_back(addr);
+                values.insert(addr, d);
             }
         }
 
@@ -1202,7 +1243,7 @@ impl PaxDevice {
         let flush_to: Vec<u64> =
             self.tenant_lanes(t).map(|l| lock(&self.shards[l]).log.appended()).collect();
         let epoch = self.epochs[t].load(Ordering::Acquire);
-        *ctl = Some(DrainState { epoch, queue, values, flush_to, entries });
+        ctl.push_back(DrainState { epoch, queue, values, flush_to, entries });
         for l in self.tenant_lanes(t) {
             lock(&self.shards[l]).begin_next_epoch();
         }
@@ -1303,8 +1344,11 @@ impl PaxDevice {
     /// tenant's already-locked ctl slot (so persist barriers can complete
     /// an in-flight drain through the guard they hold, without reentrant
     /// locking).
-    fn poll_drain(&self, t: TenantId, ctl: &mut Option<DrainState>) -> Result<Option<u64>> {
-        let Some(flush_to) = ctl.as_ref().map(|d| d.flush_to.clone()) else {
+    /// Retirement is strictly in order: only the *front* (oldest) queued
+    /// epoch drains and commits, so under buffered-epoch the durable
+    /// image always reflects a prefix-closed cut of epoch history.
+    fn poll_drain(&self, t: TenantId, ctl: &mut VecDeque<DrainState>) -> Result<Option<u64>> {
+        let Some(flush_to) = ctl.front().map(|d| d.flush_to.clone()) else {
             return Ok(None);
         };
         // Phase 1: the tenant's undo entries for the epoch must be
@@ -1344,8 +1388,12 @@ impl PaxDevice {
         // durable-write step like the synchronous pipeline.
         let stride = self.stride;
         let max_batch = self.config.persist_wb_batch.max(1);
-        for _ in 0..self.config.sched.persist_drain_per_tick.max(1) {
-            let Some(ds) = ctl.as_mut() else { break };
+        // The budget scales with queue depth so a buffered device drains
+        // K epochs as fast as a synchronous one drains one; with ≤ 1
+        // queued epoch (strict/epoch) this is exactly the historical
+        // `persist_drain_per_tick` budget.
+        for _ in 0..persist_drain_budget(&self.config.sched, ctl.len()) {
+            let Some(ds) = ctl.front_mut() else { break };
             let Some(addr) = ds.queue.pop_front() else { break };
             // Lines resolved early (dirty_evict ordering) have no value.
             let Some(data) = ds.values.remove(&addr) else { continue };
@@ -1374,9 +1422,9 @@ impl PaxDevice {
             }
         }
         // Phase 3: commit once everything landed.
-        let done = ctl.as_ref().is_some_and(|d| d.queue.is_empty());
+        let done = ctl.front().is_some_and(|d| d.queue.is_empty());
         if done {
-            let ds = ctl.take().expect("checked");
+            let ds = ctl.pop_front().expect("checked");
             self.pool.lock().drain();
             tick(&self.clock, &mut self.pool.lock())?;
             self.pool.lock().commit_epoch_for(t, ds.epoch)?;
@@ -1418,21 +1466,22 @@ impl PaxDevice {
     /// Surfaces [`PmError::Crashed`] and media errors.
     pub fn persist_wait_tenant(&self, t: TenantId) -> Result<()> {
         let mut ctl = lock(&self.draining[t]);
-        while ctl.is_some() {
+        while !ctl.is_empty() {
             self.poll_drain(t, &mut ctl)?;
         }
         Ok(())
     }
 
     /// The epoch currently draining from a non-blocking persist, if any
-    /// tenant has one (the first, scanning in tenant order).
+    /// tenant has one (the first, scanning in tenant order; under
+    /// buffered-epoch, the oldest queued epoch — the next to retire).
     pub fn persist_pending(&self) -> Option<u64> {
-        self.draining.iter().find_map(|d| lock(d).as_ref().map(|ds| ds.epoch))
+        self.draining.iter().find_map(|d| lock(d).front().map(|ds| ds.epoch))
     }
 
-    /// The epoch tenant `t` is currently draining, if any.
+    /// The epoch tenant `t` will retire next, if any are draining.
     pub fn persist_pending_tenant(&self, t: TenantId) -> Option<u64> {
-        lock(self.draining.get(t)?).as_ref().map(|d| d.epoch)
+        lock(self.draining.get(t)?).front().map(|d| d.epoch)
     }
 
     /// Writes the owning tenant's draining-epoch value for `addr` to PM
@@ -1448,30 +1497,33 @@ impl PaxDevice {
         let Some(mut ctl) = try_lock(&self.draining[t]) else {
             return Ok(());
         };
-        let Some(ds) = ctl.as_mut() else {
-            return Ok(());
-        };
-        let Some(data) = ds.values.remove(&addr) else {
-            return Ok(());
-        };
-        let flush_to = ds.flush_to[s];
-        let mut shard = lock(&self.shards[t * self.stride + s]);
-        while shard.log.durable_offset() < flush_to {
-            shard.count_forced_flush();
-            if shard.log.pump(&mut self.pool.lock(), &self.clock, usize::MAX)? == 0 {
-                return Err(PmError::ProtocolViolation {
-                    invariant: "draining epoch's undo entries are neither durable nor pending",
-                });
+        // Oldest epoch first: every queued epoch's buffered value for the
+        // line must reach PM in close order before any newer value can be
+        // captured, or a crash could leave a newer value under an older
+        // committed epoch.
+        for ds in ctl.iter_mut() {
+            let Some(data) = ds.values.remove(&addr) else {
+                continue;
+            };
+            let flush_to = ds.flush_to[s];
+            let mut shard = lock(&self.shards[t * self.stride + s]);
+            while shard.log.durable_offset() < flush_to {
+                shard.count_forced_flush();
+                if shard.log.pump(&mut self.pool.lock(), &self.clock, usize::MAX)? == 0 {
+                    return Err(PmError::ProtocolViolation {
+                        invariant: "draining epoch's undo entries are neither durable nor pending",
+                    });
+                }
             }
+            tick(&self.clock, &mut self.pool.lock())?;
+            {
+                let mut pm = self.pool.lock();
+                let abs = pm.layout().vpm_to_pool(addr.0)?;
+                pm.write_line(abs, data)?;
+            }
+            shard.count_writeback();
+            self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
         }
-        tick(&self.clock, &mut self.pool.lock())?;
-        {
-            let mut pm = self.pool.lock();
-            let abs = pm.layout().vpm_to_pool(addr.0)?;
-            pm.write_line(abs, data)?;
-        }
-        shard.count_writeback();
-        self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
         Ok(())
     }
 }
@@ -1496,7 +1548,7 @@ impl PaxDevice {
         let old = self.resolve(l, addr)?;
         // The paper's key move: log asynchronously and acknowledge the
         // host immediately — no stall for durability here. Acquire pairs
-        // with the Release stores in `commit_tenant_epoch` /
+        // with the Release stores in `retire_epoch` /
         // `persist_async_tenant`: reading epoch N+1 guarantees this
         // thread also sees the lane state those commits published before
         // bumping the counter.

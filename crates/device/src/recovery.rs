@@ -25,6 +25,13 @@ pub struct RecoveryReport {
     pub scanned: usize,
     /// Entries rolled back (tagged with an epoch newer than committed).
     pub rolled_back: usize,
+    /// How many epochs of history the rollback unwound: the maximum, over
+    /// all tenants, of `newest rolled-back entry's epoch − the tenant's
+    /// committed epoch`. Zero when nothing rolled back. This is the
+    /// quantity each [`PersistencyModel`](pax_pm::PersistencyModel)
+    /// bounds: ≤ `rollback_bound() + 1` (its buffered closes plus the one
+    /// open epoch a crash always forfeits).
+    pub rollback_gap: u64,
 }
 
 /// Rolls the pool back to its last committed snapshot.
@@ -67,6 +74,7 @@ pub fn recover_traced(pool: &mut PmPool, trace: &mut TraceBuf) -> Result<Recover
     // Each entry rolls back against *its own tenant's* committed epoch —
     // tenant A crashing mid-epoch must not unwind B's committed data.
     let mut committed_for = std::collections::HashMap::new();
+    let mut rollback_gap = 0u64;
     for (_, entry) in entries.iter() {
         let tenant = entry.tenant as usize;
         let tenant_committed = match committed_for.entry(tenant) {
@@ -85,12 +93,13 @@ pub fn recover_traced(pool: &mut PmPool, trace: &mut TraceBuf) -> Result<Recover
                 TraceEvent::RecoveryStep { epoch: entry.epoch, line: entry.vpm_line.0 },
             );
             rolled_back += 1;
+            rollback_gap = rollback_gap.max(entry.epoch - tenant_committed);
         }
     }
     // The §3.4 SFENCE: rollback writes reach media before execution
     // continues.
     pool.drain();
-    Ok(RecoveryReport { committed_epoch: committed, scanned, rolled_back })
+    Ok(RecoveryReport { committed_epoch: committed, scanned, rolled_back, rollback_gap })
 }
 
 #[cfg(test)]
@@ -103,7 +112,10 @@ mod tests {
     fn clean_pool_recovers_to_epoch_zero() {
         let mut pool = PmPool::create(PoolConfig::small()).unwrap();
         let r = recover(&mut pool).unwrap();
-        assert_eq!(r, RecoveryReport { committed_epoch: 0, scanned: 0, rolled_back: 0 });
+        assert_eq!(
+            r,
+            RecoveryReport { committed_epoch: 0, scanned: 0, rolled_back: 0, rollback_gap: 0 }
+        );
     }
 
     #[test]
@@ -179,6 +191,39 @@ mod tests {
             CacheLine::filled(0x22),
             "oldest uncommitted pre-image must win"
         );
+        assert_eq!(r.rollback_gap, 2, "epochs 2 and 3 unwound against committed epoch 1");
+    }
+
+    #[test]
+    fn rollback_gap_is_the_deepest_unwind_across_tenants() {
+        // Tenant 0 loses one epoch (2 vs committed 1); tenant 1 loses
+        // three (5 vs committed 2). The report's gap is the worst case —
+        // the quantity a persistency model's rollback bound caps.
+        let mut pool = PmPool::create(PoolConfig::small()).unwrap();
+        let clock = CrashClock::new();
+        pool.commit_epoch_for(0, 1).unwrap();
+        pool.commit_epoch_for(1, 2).unwrap();
+
+        let mut log = UndoLog::new(&pool);
+        log.append(UndoEntry {
+            epoch: 2,
+            vpm_line: LineAddr(3),
+            tenant: 0,
+            old: CacheLine::filled(0xA0),
+        })
+        .unwrap();
+        log.append(UndoEntry {
+            epoch: 5,
+            vpm_line: LineAddr(8),
+            tenant: 1,
+            old: CacheLine::filled(0xB0),
+        })
+        .unwrap();
+        log.flush(&mut pool, &clock).unwrap();
+
+        let r = recover(&mut pool).unwrap();
+        assert_eq!(r.rolled_back, 2);
+        assert_eq!(r.rollback_gap, 3, "tenant 1's epoch-5 entry vs committed epoch 2");
     }
 
     #[test]

@@ -102,6 +102,16 @@ impl Default for SchedConfig {
     }
 }
 
+/// Per-poll persist-drain budget, scaled by how many closed epochs the
+/// tenant has queued: `persist_drain_per_tick * open_epochs`, each term
+/// floored at 1. With at most one queued epoch (the strict and epoch
+/// persistency models) this is exactly the historical per-poll budget;
+/// under buffered-epoch the drain engine keeps per-epoch service constant
+/// as the queue deepens instead of letting K epochs share one budget.
+pub(crate) fn persist_drain_budget(cfg: &SchedConfig, open_epochs: usize) -> usize {
+    cfg.persist_drain_per_tick.max(1).saturating_mul(open_epochs.max(1))
+}
+
 /// Weighted share of a per-shard tick budget: `base * weight /
 /// active_weight`, floored at 1 so a tenant with pending work always
 /// makes progress — starvation is impossible by construction, whatever
@@ -274,6 +284,19 @@ mod tests {
         // Tiny weights still make progress; a zero base stays disabled.
         assert_eq!(weighted_budget(2, 1, 100), 1);
         assert_eq!(weighted_budget(0, 1, 2), 0);
+    }
+
+    #[test]
+    fn persist_drain_budget_scales_with_queued_epochs() {
+        let cfg = SchedConfig::default();
+        // Empty or single-epoch queues get exactly the legacy budget.
+        assert_eq!(persist_drain_budget(&cfg, 0), cfg.persist_drain_per_tick);
+        assert_eq!(persist_drain_budget(&cfg, 1), cfg.persist_drain_per_tick);
+        // Deeper buffered-epoch queues scale linearly.
+        assert_eq!(persist_drain_budget(&cfg, 4), 4 * cfg.persist_drain_per_tick);
+        // A zero configured budget still makes progress (persist_wait
+        // must terminate).
+        assert_eq!(persist_drain_budget(&cfg.with_persist_drain(0), 2), 2);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! real `PHashMap` on the real device model — so the timing model cannot
 //! drift from the implementation.
 
-use pax_pm::{LatencyProfile, Platform};
+use pax_pm::{LatencyProfile, PersistencyModel, Platform};
 
 use crate::engine::{OpRecipe, Resource, SimMachine, SimReport, Stage};
 
@@ -127,6 +127,41 @@ impl MachineParams {
         let batch = if self.writeback_batch == 0 { 1 } else { self.writeback_batch as u64 };
         let batches = writebacks.div_ceil(batch);
         snoops * self.snoop_ns + batches * self.pm_write_service_ns
+    }
+
+    /// Prices the *caller-visible* cost of closing an epoch of `snoops`
+    /// snoop-eligible lines and `writebacks` dirty lines under each
+    /// [`PersistencyModel`] — the ordering-cost axis of "Exploring Memory
+    /// Persistency Models for GPUs":
+    ///
+    /// * `Strict` — there is no epoch to amortise over: every store in
+    ///   the would-be epoch pays its own full barrier (one snoop, one
+    ///   unbatched log write, one unbatched data write). Neither the
+    ///   write-back batching nor the snoop filter can help, which is
+    ///   exactly why strict ordering costs integer factors more.
+    /// * `Epoch` — the synchronous barrier: the whole
+    ///   [`MachineParams::persist_epoch_ns`] sweep plus one commit-record
+    ///   write, paid once per epoch.
+    /// * `BufferedEpoch` — the close returns after capturing the epoch;
+    ///   the sweep drains in the background, so the caller pays only the
+    ///   commit-record admission.
+    pub const fn epoch_close_visible_ns(
+        &self,
+        model: PersistencyModel,
+        snoops: u64,
+        writebacks: u64,
+    ) -> u64 {
+        match model {
+            PersistencyModel::Strict => {
+                let stores = if writebacks > snoops { writebacks } else { snoops };
+                let stores = if stores == 0 { 1 } else { stores };
+                stores * (self.snoop_ns + 2 * self.pm_write_service_ns)
+            }
+            PersistencyModel::Epoch => {
+                self.persist_epoch_ns(snoops, writebacks) + self.pm_write_service_ns
+            }
+            PersistencyModel::BufferedEpoch { .. } => self.pm_write_service_ns,
+        }
     }
 }
 
@@ -463,6 +498,32 @@ mod tests {
         assert!(m.persist_epoch_ns(0, 64) < unbatched.persist_epoch_ns(0, 64));
         // 64 lines at batch 8 = 8 admissions + 64 snoops.
         assert_eq!(unfiltered, 64 * m.snoop_ns + 8 * m.pm_write_service_ns);
+    }
+
+    #[test]
+    fn persistency_models_price_in_strict_order() {
+        let m = MachineParams::paper();
+        // A 64-store epoch, snoop-filtered down to 8 host round trips.
+        let strict = m.epoch_close_visible_ns(PersistencyModel::Strict, 64, 64);
+        let epoch = m.epoch_close_visible_ns(PersistencyModel::Epoch, 8, 64);
+        let buffered = m.epoch_close_visible_ns(PersistencyModel::buffered(4), 8, 64);
+        assert!(
+            strict > epoch && epoch > buffered,
+            "strict {strict} > epoch {epoch} > buffered {buffered}"
+        );
+        // Strict forfeits both amortisations: per store, one snoop plus
+        // an unbatched log write and data write.
+        assert_eq!(strict, 64 * (m.snoop_ns + 2 * m.pm_write_service_ns));
+        // Epoch pays the sweep plus one commit record.
+        assert_eq!(epoch, m.persist_epoch_ns(8, 64) + m.pm_write_service_ns);
+        // Buffered pays only the commit record, whatever the epoch size.
+        assert_eq!(buffered, m.pm_write_service_ns);
+        assert_eq!(
+            m.epoch_close_visible_ns(PersistencyModel::buffered(2), 1000, 1000),
+            m.pm_write_service_ns
+        );
+        // An empty strict epoch still prices one store's barrier.
+        assert!(m.epoch_close_visible_ns(PersistencyModel::Strict, 0, 0) > 0);
     }
 
     #[test]

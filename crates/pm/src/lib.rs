@@ -15,6 +15,9 @@
 //!   paper).
 //! * [`crash`] — deterministic crash injection ([`CrashClock`]) so tests can
 //!   cut power between any two simulation steps and exercise recovery.
+//! * [`persistency`] — the switchable ordering/durability contract
+//!   ([`PersistencyModel`]: strict / epoch / buffered-epoch) the pool,
+//!   device, scheduler, and recovery layers all consult.
 //! * [`latency`] — latency and bandwidth constants for DRAM, Optane DC PMM,
 //!   CXL and Enzian taken from the sources the paper cites (Yang et al.,
 //!   FAST '20; CXL 2.0; Cock et al., ASPLOS '22).
@@ -42,6 +45,7 @@ pub mod error;
 pub mod latency;
 pub mod line;
 pub mod media;
+pub mod persistency;
 pub mod pool;
 
 pub use crash::{CrashClock, CrashOutcome};
@@ -49,6 +53,7 @@ pub use error::PmError;
 pub use latency::{BandwidthProfile, LatencyProfile, MediaLatency, Platform};
 pub use line::{CacheLine, LineAddr, LINE_SIZE, PAGE_SIZE};
 pub use media::{DramMedia, MediaStats, Memory, PersistenceDomain, PmMedia};
+pub use persistency::PersistencyModel;
 pub use pool::{PmPool, PoolConfig, PoolLayout, MAX_TENANTS};
 
 /// Result alias used throughout the PM substrate.

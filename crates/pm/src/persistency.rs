@@ -1,0 +1,197 @@
+//! Configurable persistency models (§2 of "Exploring Memory Persistency
+//! Models for GPUs"; the ROADMAP's "configurable persistency semantics"
+//! knob).
+//!
+//! The engine's ordering/durability contract used to be an implicit
+//! property of the datapath: every layer assumed epoch persistency with a
+//! synchronous epoch barrier. [`PersistencyModel`] makes the contract an
+//! explicit, switchable policy that `PaxConfig`/`DeviceConfig` thread
+//! through the pool, the device's drain engine, the per-lane schedulers,
+//! and recovery:
+//!
+//! * [`PersistencyModel::Strict`] — every completed store is its own
+//!   durable epoch. The pool layer closes (and synchronously commits) an
+//!   epoch after each line store, so no completed store is ever rolled
+//!   back. This is the ordering-cost baseline: maximal safety, one full
+//!   persist barrier per store.
+//! * [`PersistencyModel::Epoch`] — the engine's historical behavior, and
+//!   the default. `persist()` is a synchronous barrier: flush the undo
+//!   banks, snoop, write back, drain, atomically commit. A crash loses at
+//!   most the one open epoch.
+//! * [`PersistencyModel::BufferedEpoch`] — epochs close *asynchronously*:
+//!   `persist()` captures the epoch and returns immediately, and the
+//!   device may hold up to `k` closed-but-uncommitted epochs in flight,
+//!   retiring them strictly in order. Recovery rolls back to the newest
+//!   *fully retired* epoch, so a crash loses at most `k` closed epochs
+//!   (plus the open one) — always a prefix-closed cut of epoch history.
+
+use core::fmt;
+
+/// Which ordering/durability contract the engine enforces between stores
+/// and crash-recovery points. See the module docs for the three models'
+/// semantics and recovery bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PersistencyModel {
+    /// Every completed store is its own durable epoch: the pool layer
+    /// runs a full persist barrier after each line store. No completed
+    /// store is ever rolled back.
+    Strict,
+    /// Epoch persistency with a synchronous `persist()` barrier — the
+    /// engine's historical behavior. Rollback is bounded by the one open
+    /// epoch.
+    #[default]
+    Epoch,
+    /// Epochs close asynchronously and the device holds up to `k`
+    /// closed-but-uncommitted epochs, retired strictly in order.
+    /// Rollback is bounded by `k` closed epochs (plus the open one) and
+    /// is always prefix-closed.
+    BufferedEpoch {
+        /// Maximum closed-but-uncommitted epochs the device may buffer.
+        /// Must be at least 1 (validated when the device opens).
+        k: usize,
+    },
+}
+
+impl PersistencyModel {
+    /// Shorthand for [`PersistencyModel::BufferedEpoch`] with depth `k`.
+    pub const fn buffered(k: usize) -> Self {
+        PersistencyModel::BufferedEpoch { k }
+    }
+
+    /// How many closed-but-uncommitted epochs the device may hold in its
+    /// drain queue before an epoch close must block on retirement:
+    /// `Strict` and `Epoch` allow one in-flight drain (the non-blocking
+    /// `persist_async` path), `BufferedEpoch { k }` allows `k`.
+    pub const fn max_open_epochs(self) -> usize {
+        match self {
+            PersistencyModel::Strict | PersistencyModel::Epoch => 1,
+            PersistencyModel::BufferedEpoch { k } => k,
+        }
+    }
+
+    /// The model's documented recovery contract: the maximum number of
+    /// epochs whose *close returned to the caller* that a crash may still
+    /// roll back. `Strict` loses no completed store (0); `Epoch` loses at
+    /// most the epoch a crash interrupts (≤ 1); `BufferedEpoch { k }`
+    /// loses at most the `k` buffered closes (≤ k). The currently *open*
+    /// (never-closed) epoch additionally rolls back under every model.
+    pub const fn rollback_bound(self) -> u64 {
+        match self {
+            PersistencyModel::Strict => 0,
+            PersistencyModel::Epoch => 1,
+            PersistencyModel::BufferedEpoch { k } => k as u64,
+        }
+    }
+
+    /// Whether the pool layer must close (and synchronously commit) an
+    /// epoch after every completed line store.
+    pub const fn persist_per_store(self) -> bool {
+        matches!(self, PersistencyModel::Strict)
+    }
+
+    /// Whether an explicit `persist()` closes the epoch asynchronously
+    /// (returns before the epoch is durable) instead of acting as a
+    /// synchronous barrier.
+    pub const fn closes_async(self) -> bool {
+        matches!(self, PersistencyModel::BufferedEpoch { .. })
+    }
+
+    /// Stable label for telemetry, bench reports, and trace forensics.
+    pub fn label(self) -> String {
+        match self {
+            PersistencyModel::Strict => "strict".into(),
+            PersistencyModel::Epoch => "epoch".into(),
+            PersistencyModel::BufferedEpoch { k } => format!("buffered{k}"),
+        }
+    }
+
+    /// Numeric code for metric gauges (0 = strict, 1 = epoch,
+    /// 2 = buffered-epoch), model-family only — pair with
+    /// [`PersistencyModel::max_open_epochs`] for the depth.
+    pub const fn code(self) -> u64 {
+        match self {
+            PersistencyModel::Strict => 0,
+            PersistencyModel::Epoch => 1,
+            PersistencyModel::BufferedEpoch { .. } => 2,
+        }
+    }
+
+    /// Checks the model's parameters; a `BufferedEpoch` depth of zero
+    /// would deadlock every epoch close.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the invalid parameter.
+    pub fn validate(self) -> core::result::Result<(), String> {
+        match self {
+            PersistencyModel::BufferedEpoch { k: 0 } => {
+                Err("buffered-epoch depth k must be at least 1".into())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for PersistencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_the_default() {
+        assert_eq!(PersistencyModel::default(), PersistencyModel::Epoch);
+    }
+
+    #[test]
+    fn rollback_bounds_are_ordered() {
+        let strict = PersistencyModel::Strict;
+        let epoch = PersistencyModel::Epoch;
+        let buffered = PersistencyModel::buffered(4);
+        assert_eq!(strict.rollback_bound(), 0);
+        assert_eq!(epoch.rollback_bound(), 1);
+        assert_eq!(buffered.rollback_bound(), 4);
+        assert!(strict.rollback_bound() < epoch.rollback_bound());
+        assert!(epoch.rollback_bound() < buffered.rollback_bound());
+    }
+
+    #[test]
+    fn open_epoch_capacity_matches_the_buffer_depth() {
+        assert_eq!(PersistencyModel::Strict.max_open_epochs(), 1);
+        assert_eq!(PersistencyModel::Epoch.max_open_epochs(), 1);
+        assert_eq!(PersistencyModel::buffered(3).max_open_epochs(), 3);
+    }
+
+    #[test]
+    fn only_strict_persists_per_store_and_only_buffered_closes_async() {
+        assert!(PersistencyModel::Strict.persist_per_store());
+        assert!(!PersistencyModel::Epoch.persist_per_store());
+        assert!(!PersistencyModel::buffered(2).persist_per_store());
+        assert!(!PersistencyModel::Strict.closes_async());
+        assert!(!PersistencyModel::Epoch.closes_async());
+        assert!(PersistencyModel::buffered(2).closes_async());
+    }
+
+    #[test]
+    fn labels_and_codes_are_stable() {
+        assert_eq!(PersistencyModel::Strict.label(), "strict");
+        assert_eq!(PersistencyModel::Epoch.label(), "epoch");
+        assert_eq!(PersistencyModel::buffered(4).label(), "buffered4");
+        assert_eq!(PersistencyModel::Strict.code(), 0);
+        assert_eq!(PersistencyModel::Epoch.code(), 1);
+        assert_eq!(PersistencyModel::buffered(2).code(), 2);
+        assert_eq!(format!("{}", PersistencyModel::buffered(2)), "buffered2");
+    }
+
+    #[test]
+    fn zero_depth_buffered_is_rejected() {
+        assert!(PersistencyModel::buffered(0).validate().is_err());
+        assert!(PersistencyModel::buffered(1).validate().is_ok());
+        assert!(PersistencyModel::Strict.validate().is_ok());
+        assert!(PersistencyModel::Epoch.validate().is_ok());
+    }
+}

@@ -1,6 +1,7 @@
 //! Operation mixes.
 
-/// Percentages of each operation type in a workload (must sum to 100).
+/// Percentages of each operation type in a workload (must sum to 100),
+/// plus an optional persist cadence for flush-heavy mixes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpMix {
     /// Point lookups.
@@ -11,6 +12,11 @@ pub struct OpMix {
     pub update_pct: u8,
     /// Removals.
     pub remove_pct: u8,
+    /// Issue a `persist()` after every `n` operations; 0 (the default
+    /// for every preset but [`OpMix::flush_heavy`]) never persists
+    /// mid-run. This is the knob that stresses a persistency model's
+    /// barrier frequency instead of only its store throughput.
+    pub persist_every: usize,
 }
 
 impl OpMix {
@@ -20,7 +26,7 @@ impl OpMix {
     ///
     /// Panics if the fields do not sum to 100.
     pub fn new(read_pct: u8, insert_pct: u8, update_pct: u8, remove_pct: u8) -> Self {
-        let m = OpMix { read_pct, insert_pct, update_pct, remove_pct };
+        let m = OpMix { read_pct, insert_pct, update_pct, remove_pct, persist_every: 0 };
         assert_eq!(
             read_pct as u32 + insert_pct as u32 + update_pct as u32 + remove_pct as u32,
             100,
@@ -31,27 +37,41 @@ impl OpMix {
 
     /// Fig. 2a's workload: 100% `get()`.
     pub const fn read_only() -> Self {
-        OpMix { read_pct: 100, insert_pct: 0, update_pct: 0, remove_pct: 0 }
+        OpMix { read_pct: 100, insert_pct: 0, update_pct: 0, remove_pct: 0, persist_every: 0 }
     }
 
     /// Fig. 2b's workload: write-only inserts.
     pub const fn write_only() -> Self {
-        OpMix { read_pct: 0, insert_pct: 100, update_pct: 0, remove_pct: 0 }
+        OpMix { read_pct: 0, insert_pct: 100, update_pct: 0, remove_pct: 0, persist_every: 0 }
     }
 
     /// YCSB-A: 50% reads, 50% updates.
     pub const fn ycsb_a() -> Self {
-        OpMix { read_pct: 50, insert_pct: 0, update_pct: 50, remove_pct: 0 }
+        OpMix { read_pct: 50, insert_pct: 0, update_pct: 50, remove_pct: 0, persist_every: 0 }
     }
 
     /// YCSB-B: 95% reads, 5% updates.
     pub const fn ycsb_b() -> Self {
-        OpMix { read_pct: 95, insert_pct: 0, update_pct: 5, remove_pct: 0 }
+        OpMix { read_pct: 95, insert_pct: 0, update_pct: 5, remove_pct: 0, persist_every: 0 }
     }
 
     /// A churn mix exercising allocation recycling: inserts vs removals.
     pub const fn churn() -> Self {
-        OpMix { read_pct: 20, insert_pct: 40, update_pct: 0, remove_pct: 40 }
+        OpMix { read_pct: 20, insert_pct: 40, update_pct: 0, remove_pct: 40, persist_every: 0 }
+    }
+
+    /// The flush-heavy mix: write-only inserts with a persist barrier
+    /// every 8 operations — transaction-log cadence, where the
+    /// persistency model's barrier cost dominates end-to-end throughput.
+    pub const fn flush_heavy() -> Self {
+        OpMix { read_pct: 0, insert_pct: 100, update_pct: 0, remove_pct: 0, persist_every: 8 }
+    }
+
+    /// Returns the mix persisting after every `n` operations (0 disables
+    /// mid-run persists).
+    pub const fn persist_every(mut self, n: usize) -> Self {
+        self.persist_every = n;
+        self
     }
 
     /// Fraction of operations that mutate state.
@@ -72,6 +92,7 @@ mod tests {
             OpMix::ycsb_a(),
             OpMix::ycsb_b(),
             OpMix::churn(),
+            OpMix::flush_heavy(),
         ] {
             assert_eq!(
                 m.read_pct as u32 + m.insert_pct as u32 + m.update_pct as u32 + m.remove_pct as u32,
@@ -91,5 +112,14 @@ mod tests {
         assert_eq!(OpMix::read_only().write_fraction(), 0.0);
         assert_eq!(OpMix::write_only().write_fraction(), 1.0);
         assert_eq!(OpMix::ycsb_a().write_fraction(), 0.5);
+    }
+
+    #[test]
+    fn persist_cadence_defaults_off_and_composes() {
+        assert_eq!(OpMix::write_only().persist_every, 0);
+        assert_eq!(OpMix::new(50, 50, 0, 0).persist_every, 0);
+        assert_eq!(OpMix::flush_heavy().persist_every, 8);
+        assert_eq!(OpMix::write_only().persist_every(4).persist_every, 4);
+        assert_eq!(OpMix::flush_heavy().persist_every(0).persist_every, 0);
     }
 }

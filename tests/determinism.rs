@@ -49,7 +49,11 @@ fn strip_seq(trace: &str) -> String {
 /// persists every 257 ops, explicit device ticks every 97 ops, a
 /// persisted body plus an unpersisted tail, then a crash and reopen.
 fn run_once(seed: u64) -> RunResult {
-    let pool = PaxPool::create(config()).unwrap();
+    run_once_with(seed, config())
+}
+
+fn run_once_with(seed: u64, config: PaxConfig) -> RunResult {
+    let pool = PaxPool::create(config).unwrap();
     let vpm = pool.vpm();
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -73,7 +77,7 @@ fn run_once(seed: u64) -> RunResult {
     let telemetry = pool.telemetry();
     let pm = pool.crash().unwrap();
     let post_crash_telemetry = pool.telemetry();
-    let pool = PaxPool::open(pm, config()).unwrap();
+    let pool = PaxPool::open(pm, config).unwrap();
     // The trace `seq` counter is process-global (it orders events across
     // pools), so it keeps counting between the two runs; the determinism
     // contract covers event content and order, not the global numbering.
@@ -97,6 +101,22 @@ fn single_driver_runs_are_bit_identical() {
         "post-crash telemetry stash diverged"
     );
     assert_eq!(a.trace, b.trace, "recovery trace diverged");
+}
+
+/// The `PersistencyModel` refactor's compatibility pin: explicitly
+/// selecting `Epoch` — the default — is not a different engine. Durable
+/// bytes, committed epoch, telemetry, and the seq-normalized trace all
+/// stay bit-identical to a config that never mentions persistency.
+#[test]
+fn explicit_epoch_model_is_bit_identical_to_the_default() {
+    use libpax::PersistencyModel;
+    let a = run_once(42);
+    let b = run_once_with(42, config().with_persistency(PersistencyModel::Epoch));
+    assert_eq!(a.committed_epoch, b.committed_epoch, "committed epoch diverged");
+    assert!(a.durable == b.durable, "durable bytes diverged under explicit Epoch");
+    assert_eq!(a.telemetry, b.telemetry, "telemetry diverged under explicit Epoch");
+    assert_eq!(a.post_crash_telemetry, b.post_crash_telemetry);
+    assert_eq!(a.trace, b.trace, "trace diverged under explicit Epoch");
 }
 
 #[test]
