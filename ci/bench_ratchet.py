@@ -26,6 +26,9 @@ Compares the current run's --json outputs against the previous run's
   persistency      ops_per_kstep      must be >= 0.90x baseline (per
                                       model series: strict / epoch /
                                       buffered2 / buffered4)
+  allocbench       mops               must be >= 0.90x baseline (per
+                                      (threads, mode) point: bitmap
+                                      thread series + heap baseline)
 
 Independently of any baseline, three absolute acceptance bars apply:
 
@@ -58,6 +61,13 @@ Independently of any baseline, three absolute acceptance bars apply:
     sustain at least 1.3x the strict model's ops/kstep — relaxing the
     persistency model has to buy real throughput back, or the
     abstraction is pure overhead.
+  - the allocbench slot-churn series: on a host with >= 4 cores the
+    bitmap allocator's per-core trees must scale >= 1.3x from 1 to 4
+    threads (the single-free-list heap structurally cannot); on a
+    starved host the bar degrades to a no-collapse floor (>= 0.15x).
+    Independently, every recovery row must keep the attach-time bitmap
+    scan linear: scan_steps <= 2x pool_frames — recovery IS
+    construction, so a super-linear scan means the §3.4 story broke.
 
 A missing baseline file seeds the ratchet (exit 0); the workflow then
 saves CURRENT_DIR as the next run's baseline.
@@ -85,6 +95,11 @@ LOGAPPEND_SCALING_CORES = 4
 LOGAPPEND_NO_COLLAPSE_FLOOR = 0.15
 PERSISTENCY_TOL = 0.90
 PERSISTENCY_BUFFERED_BAR = 1.3
+ALLOCBENCH_TOL = 0.90
+ALLOCBENCH_SCALING_BAR = 1.3
+ALLOCBENCH_SCALING_CORES = 4
+ALLOCBENCH_NO_COLLAPSE_FLOOR = 0.15
+ALLOCBENCH_SCAN_FACTOR = 2.0
 
 
 def load(path: Path):
@@ -262,6 +277,97 @@ def check_logappend_scaling(current, failures):
             print(
                 f"logappend cas-vs-locked ok: {scaling:.2f}x >= "
                 f"{locked_top['scaling_vs_1']:.2f}x at {top['threads']} threads"
+            )
+
+
+def check_allocbench_scaling(current, failures):
+    """Absolute bars, no baseline needed. Scaling: on a host with
+    ALLOCBENCH_SCALING_CORES or more cores, the bitmap allocator's
+    widest thread count must scale ALLOCBENCH_SCALING_BAR over one
+    thread (per-core claimed trees must remove free-list contention);
+    on a starved host the bar degrades to a no-collapse floor.
+    Recovery: every recovery row keeps the attach-time scan linear in
+    pool frames (scan_steps <= ALLOCBENCH_SCAN_FACTOR x pool_frames) —
+    attach IS recovery, so the scan's complexity is the recovery
+    story."""
+    host_cores = current.get("config", {}).get("host_cores", 1)
+    bitmap = [
+        r for r in current["results"]
+        if r.get("mode") == "bitmap" and "scaling_vs_1" in r
+    ]
+    if not bitmap:
+        failures.append("allocbench: bitmap series missing")
+        return
+    top = max(bitmap, key=lambda r: r["threads"])
+    scaling = top["scaling_vs_1"]
+    if host_cores >= ALLOCBENCH_SCALING_CORES:
+        if scaling < ALLOCBENCH_SCALING_BAR:
+            failures.append(
+                f"allocbench: bitmap {top['threads']}-thread scaling "
+                f"{scaling:.2f}x below the {ALLOCBENCH_SCALING_BAR}x bar "
+                f"(host_cores={host_cores}) — per-core trees are "
+                f"contending again"
+            )
+        else:
+            print(
+                f"allocbench scaling ok: bitmap {scaling:.2f}x at "
+                f"{top['threads']} threads >= {ALLOCBENCH_SCALING_BAR}x "
+                f"(host_cores={host_cores})"
+            )
+    elif scaling < ALLOCBENCH_NO_COLLAPSE_FLOOR:
+        failures.append(
+            f"allocbench: bitmap {top['threads']}-thread throughput "
+            f"collapsed to {scaling:.2f}x of single-thread (floor "
+            f"{ALLOCBENCH_NO_COLLAPSE_FLOOR}; host_cores={host_cores})"
+        )
+    else:
+        print(
+            f"allocbench no-collapse ok: bitmap {scaling:.2f}x at "
+            f"{top['threads']} threads >= {ALLOCBENCH_NO_COLLAPSE_FLOOR} "
+            f"floor (host_cores={host_cores} < {ALLOCBENCH_SCALING_CORES})"
+        )
+    recovery = [r for r in current["results"] if r.get("series") == "recovery"]
+    if not recovery:
+        failures.append("allocbench: recovery series missing")
+        return
+    for r in recovery:
+        bound = ALLOCBENCH_SCAN_FACTOR * r["pool_frames"]
+        if r["scan_steps"] > bound:
+            failures.append(
+                f"allocbench recovery at {r['pool_bytes']} bytes: "
+                f"scan_steps {r['scan_steps']} exceeds "
+                f"{ALLOCBENCH_SCAN_FACTOR}x pool_frames "
+                f"({r['pool_frames']}) — the recovery scan went "
+                f"super-linear"
+            )
+    if all(
+        r["scan_steps"] <= ALLOCBENCH_SCAN_FACTOR * r["pool_frames"]
+        for r in recovery
+    ):
+        widest = max(recovery, key=lambda r: r["pool_frames"])
+        print(
+            f"allocbench recovery ok: scan linear up to "
+            f"{widest['pool_frames']} frames "
+            f"({widest['scan_steps']} steps, {widest['scan_ns']} ns)"
+        )
+
+
+def ratchet_allocbench(baseline, current, failures):
+    base = {
+        (r["threads"], r["mode"]): r["mops"]
+        for r in baseline["results"]
+        if "mops" in r and "mode" in r
+    }
+    for r in current["results"]:
+        key = (r.get("threads"), r.get("mode"))
+        if key not in base or "mops" not in r:
+            continue
+        floor = ALLOCBENCH_TOL * base[key]
+        if r["mops"] < floor:
+            failures.append(
+                f"allocbench threads={key[0]} mode={key[1]}: "
+                f"{r['mops']:.3f} Mops < {ALLOCBENCH_TOL}x baseline "
+                f"{base[key]:.3f}"
             )
 
 
@@ -454,6 +560,7 @@ def main() -> int:
         "fig2b_measured.json": ratchet_fig2b_measured,
         "logappend.json": ratchet_logappend,
         "persistency.json": ratchet_persistency,
+        "allocbench.json": ratchet_allocbench,
     }
 
     overlap = load(current_dir / "ablation_overlap.json")
@@ -491,6 +598,12 @@ def main() -> int:
         failures.append("current persistency.json missing")
     else:
         check_persistency_acceptance(persistency, failures)
+
+    allocbench = load(current_dir / "allocbench.json")
+    if allocbench is None:
+        failures.append("current allocbench.json missing")
+    else:
+        check_allocbench_scaling(allocbench, failures)
 
     for name, ratchet in ratchets.items():
         current = load(current_dir / name)

@@ -1,0 +1,156 @@
+//! The lower allocator: contiguous-run search and bit mutation over the
+//! persistent frame bitmap.
+//!
+//! In llfree terms this is the "lower" half — given one tree's (or the
+//! whole space's) bitmap words, find a run of clear bits, set it, clear
+//! it. All functions here either operate on an in-memory word slice
+//! (pure, unit-testable) or perform the read-modify-write against the
+//! [`MemSpace`](libpax::MemSpace); callers (the upper allocator) hold the
+//! owning tree's lock around every media call, which is what makes the
+//! non-atomic read-modify-write of a shared word safe.
+
+use libpax::{MemSpace, PaxError, Result};
+
+use crate::layout::Geometry;
+
+/// Outcome of a run search: the start frame (relative to the scanned
+/// slice) if found, plus how many frames were examined (the
+/// `alloc_scan_frames` metric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Scan {
+    pub found: Option<u64>,
+    pub steps: u64,
+}
+
+fn bit(words: &[u64], idx: u64) -> bool {
+    words[(idx / 64) as usize] >> (idx % 64) & 1 == 1
+}
+
+/// Finds `need` contiguous clear bits among the first `nframes` bits of
+/// `words`, preferring run starts at or after `start` (wrapping back to
+/// 0 for the tail of the search). Runs never wrap: a hit `p` always has
+/// `p + need <= nframes`.
+pub(crate) fn find_run(words: &[u64], nframes: u64, need: u64, start: u64) -> Scan {
+    debug_assert!(need >= 1);
+    let mut steps = 0u64;
+    if need > nframes {
+        return Scan { found: None, steps };
+    }
+    let start = start.min(nframes - 1);
+    // Two passes over run starts: [start..) then [0..start).
+    for (lo, hi) in [(start, nframes), (0, start)] {
+        let mut p = lo;
+        while p < hi && p + need <= nframes {
+            // Extend a run from p; on a set bit, restart just past it.
+            let mut k = 0;
+            while k < need {
+                steps += 1;
+                if bit(words, p + k) {
+                    break;
+                }
+                k += 1;
+            }
+            if k == need {
+                return Scan { found: Some(p), steps };
+            }
+            p += k + 1;
+        }
+    }
+    Scan { found: None, steps }
+}
+
+/// Loads the `nframes.div_ceil(64)` bitmap words holding frames
+/// `[base, base + nframes)`, where `base` is 64-aligned (tree starts
+/// always are).
+pub(crate) fn load_words<S: MemSpace>(
+    space: &S,
+    geom: &Geometry,
+    base: u64,
+    nframes: u64,
+) -> Result<Vec<u64>> {
+    debug_assert_eq!(base % 64, 0);
+    let first = base / 64;
+    let n = nframes.div_ceil(64);
+    let mut buf = vec![0u8; (n * 8) as usize];
+    space.read_bytes(geom.word_addr(first), &mut buf)?;
+    Ok(buf.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+}
+
+/// Applies a run mutation to frames `[frame, frame + n)` on media:
+/// `set = true` marks them allocated, `set = false` frees them. Every
+/// touched bit must currently hold the opposite value; a same-value bit
+/// means a double free (or handing out live frames) and fails the whole
+/// call with [`PaxError::Corrupt`] before any word is written.
+pub(crate) fn flip_run<S: MemSpace>(
+    space: &S,
+    geom: &Geometry,
+    frame: u64,
+    n: u64,
+    set: bool,
+) -> Result<()> {
+    let first_word = frame / 64;
+    let last_word = (frame + n - 1) / 64;
+    let mut words = Vec::with_capacity((last_word - first_word + 1) as usize);
+    for w in first_word..=last_word {
+        let lo = (w * 64).max(frame) % 64;
+        let hi = ((w + 1) * 64).min(frame + n) - w * 64;
+        let mask = if hi - lo == 64 { u64::MAX } else { ((1u64 << (hi - lo)) - 1) << lo };
+        let cur = space.read_u64(geom.word_addr(w))?;
+        let expect = if set { 0 } else { mask };
+        if cur & mask != expect {
+            return Err(PaxError::Corrupt(format!(
+                "pax-alloc: frames [{frame}, {}) are not uniformly {} (word {w})",
+                frame + n,
+                if set { "free" } else { "allocated — double free?" },
+            )));
+        }
+        words.push((w, if set { cur | mask } else { cur & !mask }));
+    }
+    for (w, val) in words {
+        space.write_u64(geom.word_addr(w), val)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_runs_and_counts_steps() {
+        // Frames: 0..=2 used, 3..=9 free (10 frames).
+        let words = vec![0b111u64];
+        let s = find_run(&words, 10, 4, 0);
+        assert_eq!(s.found, Some(3));
+        assert!(s.steps >= 4);
+        assert_eq!(find_run(&words, 10, 7, 0).found, Some(3));
+        assert_eq!(find_run(&words, 10, 8, 0).found, None);
+        assert_eq!(find_run(&words, 10, 11, 0).found, None, "larger than slice");
+    }
+
+    #[test]
+    fn cursor_prefers_later_runs_then_wraps() {
+        // Free everywhere; cursor at 5 → run starts at 5.
+        let words = vec![0u64];
+        assert_eq!(find_run(&words, 64, 3, 5).found, Some(5));
+        // Only frames 0..3 free: cursor past them still finds them by wrap.
+        let words = vec![!0u64 << 3];
+        assert_eq!(find_run(&words, 64, 3, 10).found, Some(0));
+    }
+
+    #[test]
+    fn runs_cross_word_boundaries() {
+        // Frames 62..=65 are the only free run, straddling words 0 and 1.
+        let words = vec![(1u64 << 62) - 1, !0u64 << 2];
+        assert_eq!(find_run(&words, 128, 4, 0).found, Some(62));
+        assert_eq!(find_run(&words, 128, 5, 0).found, None);
+    }
+
+    #[test]
+    fn run_never_wraps_around_the_end() {
+        // Frames 0..2 and 8..9 free, 2..8 used: no 4-run exists even
+        // though 2 + 2 = 4 frames are free at the edges.
+        let words = vec![0b00_1111_1100u64];
+        assert_eq!(find_run(&words, 10, 4, 0).found, None);
+    }
+}

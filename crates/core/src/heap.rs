@@ -181,17 +181,56 @@ impl<S: MemSpace> Heap<S> {
 
     /// Returns `len` bytes at `addr` to the heap.
     ///
+    /// Walks the free list first: a block that is already on it (or that
+    /// overlaps a block on it) is a double free and corrupts the list if
+    /// admitted, so it is rejected instead. The freed block is coalesced
+    /// with the current list head when the two are contiguous — the
+    /// trivially-adjacent case that LIFO free patterns (grow-and-release
+    /// structures) produce constantly.
+    ///
     /// # Errors
     ///
     /// Returns [`PaxError::Corrupt`] for addresses outside the heap's
-    /// allocatable range, and propagates space I/O errors.
+    /// allocatable range and for double frees, and propagates space I/O
+    /// errors.
     pub fn free(&self, addr: u64, len: u64) -> Result<()> {
         let need = Self::round_up(len);
         let bump = self.space.read_u64(OFF_BUMP)?;
         if addr < DATA_START || addr + need > bump {
             return Err(PaxError::Corrupt(format!("free of unallocated range {addr:#x}")));
         }
+        // Re-free detection: the block must not overlap any chain member.
         let head = self.space.read_u64(OFF_FREE)?;
+        let mut cur = head;
+        while cur != 0 {
+            let next = self.space.read_u64(cur)?;
+            let blen = self.space.read_u64(cur + 8)?;
+            if addr < cur + blen && cur < addr + need {
+                return Err(PaxError::Corrupt(format!(
+                    "double free: {addr:#x}+{need} overlaps free block {cur:#x}+{blen}"
+                )));
+            }
+            cur = next;
+        }
+        if head != 0 {
+            let head_next = self.space.read_u64(head)?;
+            let head_len = self.space.read_u64(head + 8)?;
+            if addr + need == head {
+                // Freed block sits immediately before the head: merge both
+                // into one block starting at `addr`.
+                self.space.write_u64(addr, head_next)?;
+                self.space.write_u64(addr + 8, need + head_len)?;
+                self.space.write_u64(OFF_FREE, addr)?;
+                self.bump_count(-1)?;
+                return Ok(());
+            }
+            if head + head_len == addr {
+                // Freed block sits immediately after the head: extend it.
+                self.space.write_u64(head + 8, head_len + need)?;
+                self.bump_count(-1)?;
+                return Ok(());
+            }
+        }
         self.space.write_u64(addr, head)?;
         self.space.write_u64(addr + 8, need)?;
         self.space.write_u64(OFF_FREE, addr)?;
@@ -201,7 +240,17 @@ impl<S: MemSpace> Heap<S> {
 
     fn bump_count(&self, delta: i64) -> Result<()> {
         let c = self.space.read_u64(OFF_COUNT)?;
-        self.space.write_u64(OFF_COUNT, c.wrapping_add(delta as u64))
+        let next = if delta >= 0 {
+            c.saturating_add(delta as u64)
+        } else {
+            // Mirrors `MetricSet::sub`: an underflowing decrement is a
+            // caller bug — loud in debug builds, saturating in release so
+            // the persistent counter never wraps to ~2^64 live objects.
+            let d = delta.unsigned_abs();
+            debug_assert!(c >= d, "live-allocation counter underflow: {c} - {d}");
+            c.saturating_sub(d)
+        };
+        self.space.write_u64(OFF_COUNT, next)
     }
 
     /// Typed convenience: allocates and writes an encoded value.
@@ -309,6 +358,81 @@ mod tests {
         assert_eq!(Heap::<VolatileSpace>::round_up(1), MIN_ALLOC);
         assert_eq!(Heap::<VolatileSpace>::round_up(16), 16);
         assert_eq!(Heap::<VolatileSpace>::round_up(17), 24);
+    }
+
+    #[test]
+    fn double_free_is_rejected_not_admitted() {
+        let h = heap(1 << 16);
+        let a = h.alloc(64).unwrap();
+        let _pad = h.alloc(64).unwrap();
+        h.free(a, 64).unwrap();
+        // Re-freeing the same block must not push it onto the list again
+        // (a second entry for `a` makes first-fit hand the block out
+        // twice).
+        assert!(matches!(h.free(a, 64), Err(PaxError::Corrupt(_))));
+        assert_eq!(h.live_allocations().unwrap(), 1);
+    }
+
+    #[test]
+    fn double_free_deep_in_the_chain_is_detected() {
+        let h = heap(1 << 16);
+        let blocks: Vec<u64> = (0..4).map(|_| h.alloc(64).unwrap()).collect();
+        let _pad = h.alloc(64).unwrap();
+        // Free in reverse with gaps so the chain holds several members.
+        h.free(blocks[0], 64).unwrap();
+        h.free(blocks[2], 64).unwrap();
+        // blocks[0] is no longer the head (blocks[2] is) — the walk must
+        // still find it.
+        assert!(matches!(h.free(blocks[0], 64), Err(PaxError::Corrupt(_))));
+        // Overlapping partial re-free is just as corrupt.
+        assert!(matches!(h.free(blocks[2] + 16, 16), Err(PaxError::Corrupt(_))));
+    }
+
+    #[test]
+    fn adjacent_frees_coalesce_into_one_block() {
+        let h = heap(1 << 16);
+        let a = h.alloc(64).unwrap();
+        let b = h.alloc(64).unwrap();
+        let _pad = h.alloc(64).unwrap();
+        // Free `a` then the block right after it: the second free must
+        // extend the head instead of adding a second list entry, so a
+        // 128-byte request fits without consuming fresh bump space.
+        h.free(a, 64).unwrap();
+        h.free(b, 64).unwrap();
+        let headroom = h.headroom().unwrap();
+        let big = h.alloc(128).unwrap();
+        assert_eq!(big, a, "coalesced block should serve the large request");
+        assert_eq!(h.headroom().unwrap(), headroom, "no bump space consumed");
+    }
+
+    #[test]
+    fn coalesce_freed_block_before_head() {
+        let h = heap(1 << 16);
+        let a = h.alloc(64).unwrap();
+        let b = h.alloc(64).unwrap();
+        let _pad = h.alloc(64).unwrap();
+        // Free the *later* block first, then its predecessor: the merge
+        // runs in the addr+need == head direction.
+        h.free(b, 64).unwrap();
+        h.free(a, 64).unwrap();
+        let big = h.alloc(128).unwrap();
+        assert_eq!(big, a);
+    }
+
+    #[test]
+    fn underflowing_count_saturates_instead_of_wrapping() {
+        let h = heap(1 << 16);
+        let a = h.alloc(64).unwrap();
+        // Zero the live counter behind the heap's back, then free: the
+        // decrement must not wrap to u64::MAX.
+        h.space().write_u64(OFF_COUNT, 0).unwrap();
+        let free = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.free(a, 64)));
+        if let Ok(r) = free {
+            // Release build: the free succeeds and the counter saturates.
+            r.unwrap();
+            assert_eq!(h.live_allocations().unwrap(), 0);
+        }
+        // Debug build: the debug_assert fired — underflow was loud.
     }
 
     #[test]

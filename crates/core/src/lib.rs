@@ -32,6 +32,10 @@
 //!   over plain memory (the "DRAM" world); [`VPm`] implements it over the
 //!   host-cache + PAX-device simulation. *The structure code is identical
 //!   in both worlds* — that is the paper's black-box-reuse claim in code.
+//! * [`allocator`] — [`PmAllocator`]: the allocator seam. Structures are
+//!   generic over it, so the first-fit [`Heap`] and the scalable
+//!   `pax-alloc` bitmap allocator are interchangeable under the same
+//!   structure code.
 //! * [`heap`] — a first-fit persistent heap (bump + free list) whose
 //!   metadata lives inside the space it manages, so PAX's undo logging
 //!   covers allocator state like any other data (§3.4 "recovers the
@@ -48,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod allocator;
 pub mod error;
 pub mod heap;
 pub mod pod;
@@ -56,13 +61,14 @@ pub mod snapshotter;
 pub mod space;
 pub mod structures;
 
+pub use allocator::PmAllocator;
 pub use error::PaxError;
 pub use heap::Heap;
 pub use pax_pm::PersistencyModel;
 pub use pod::Pod;
 pub use pool::{PaxConfig, PaxPool, PaxTenant, VPm};
 pub use snapshotter::{HwSnapshotter, PStructure, Persistent};
-pub use space::{MemSpace, VolatileSpace};
+pub use space::{MemSpace, StripedSpace, VolatileSpace};
 pub use structures::{PBTreeMap, PHashMap, PList, PRing, PVec};
 
 /// Result alias for libpax operations.

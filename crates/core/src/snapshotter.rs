@@ -18,52 +18,59 @@
 use std::ops::Deref;
 use std::path::Path;
 
+use crate::allocator::PmAllocator;
 use crate::heap::Heap;
 use crate::pool::{PaxConfig, PaxPool, VPm};
 use crate::space::MemSpace;
 use crate::Result;
 
-/// A structure that can be rooted in (and recovered from) a heap.
+/// A structure that can be rooted in (and recovered from) an allocator.
 ///
-/// Implemented by every collection in [`structures`](crate::structures).
-/// `attach` must treat "fresh heap" and "existing structure" uniformly so
-/// construction and recovery are indistinguishable to the application.
-pub trait PStructure<S: MemSpace>: Sized {
-    /// Opens the structure rooted in `heap`, creating it on first use.
+/// Implemented by every collection in [`structures`](crate::structures),
+/// for any [`PmAllocator`] (the default `A = Heap<S>` keeps existing code
+/// unchanged). `attach` must treat "fresh allocator" and "existing
+/// structure" uniformly so construction and recovery are indistinguishable
+/// to the application.
+pub trait PStructure<S: MemSpace, A: PmAllocator<S> = Heap<S>>: Sized {
+    /// Opens the structure rooted in `alloc`, creating it on first use.
     ///
     /// # Errors
     ///
     /// Implementations surface corruption and allocation failures.
-    fn attach(heap: Heap<S>) -> Result<Self>;
+    fn attach(alloc: A) -> Result<Self>;
 }
 
-impl<K: crate::Pod + Ord, V: crate::Pod, S: MemSpace> PStructure<S> for crate::PBTreeMap<K, V, S> {
-    fn attach(heap: Heap<S>) -> Result<Self> {
-        crate::PBTreeMap::attach(heap)
+impl<K: crate::Pod + Ord, V: crate::Pod, S: MemSpace, A: PmAllocator<S>> PStructure<S, A>
+    for crate::PBTreeMap<K, V, S, A>
+{
+    fn attach(alloc: A) -> Result<Self> {
+        crate::PBTreeMap::attach(alloc)
     }
 }
 
-impl<K: crate::Pod, V: crate::Pod, S: MemSpace> PStructure<S> for crate::PHashMap<K, V, S> {
-    fn attach(heap: Heap<S>) -> Result<Self> {
-        crate::PHashMap::attach(heap)
+impl<K: crate::Pod, V: crate::Pod, S: MemSpace, A: PmAllocator<S>> PStructure<S, A>
+    for crate::PHashMap<K, V, S, A>
+{
+    fn attach(alloc: A) -> Result<Self> {
+        crate::PHashMap::attach(alloc)
     }
 }
 
-impl<T: crate::Pod, S: MemSpace> PStructure<S> for crate::PVec<T, S> {
-    fn attach(heap: Heap<S>) -> Result<Self> {
-        crate::PVec::attach(heap)
+impl<T: crate::Pod, S: MemSpace, A: PmAllocator<S>> PStructure<S, A> for crate::PVec<T, S, A> {
+    fn attach(alloc: A) -> Result<Self> {
+        crate::PVec::attach(alloc)
     }
 }
 
-impl<T: crate::Pod, S: MemSpace> PStructure<S> for crate::PList<T, S> {
-    fn attach(heap: Heap<S>) -> Result<Self> {
-        crate::PList::attach(heap)
+impl<T: crate::Pod, S: MemSpace, A: PmAllocator<S>> PStructure<S, A> for crate::PList<T, S, A> {
+    fn attach(alloc: A) -> Result<Self> {
+        crate::PList::attach(alloc)
     }
 }
 
-impl<T: crate::Pod, S: MemSpace> PStructure<S> for crate::PRing<T, S> {
-    fn attach(heap: Heap<S>) -> Result<Self> {
-        crate::PRing::attach(heap)
+impl<T: crate::Pod, S: MemSpace, A: PmAllocator<S>> PStructure<S, A> for crate::PRing<T, S, A> {
+    fn attach(alloc: A) -> Result<Self> {
+        crate::PRing::attach(alloc)
     }
 }
 
@@ -141,6 +148,23 @@ impl<T: PStructure<VPm>> Persistent<T> {
     pub fn new(snapshotter: &HwSnapshotter) -> Result<Self> {
         let heap = Heap::attach(snapshotter.vpm())?;
         Ok(Persistent { inner: T::attach(heap)? })
+    }
+}
+
+impl<T> Persistent<T> {
+    /// Attaches the structure through an explicit allocator, for pools
+    /// managed by an allocator other than the default [`Heap`] (e.g. the
+    /// `pax-alloc` bitmap allocator). The allocator must already wrap the
+    /// pool's vPM so undo logging covers its metadata.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator and structure attach errors.
+    pub fn new_in<A: PmAllocator<VPm>>(alloc: A) -> Result<Self>
+    where
+        T: PStructure<VPm, A>,
+    {
+        Ok(Persistent { inner: T::attach(alloc)? })
     }
 }
 

@@ -143,6 +143,119 @@ impl MemSpace for VolatileSpace {
     }
 }
 
+/// Volatile memory under per-stripe locks: the multicore "DRAM" world.
+///
+/// [`VolatileSpace`] guards the whole byte range with one mutex, which
+/// serializes every access and hides any parallelism in the layers above
+/// it. `StripedSpace` shards the range into fixed-size stripes, each
+/// behind its own lock, so accesses to different stripes proceed
+/// concurrently — the property the `pax-alloc` bitmap allocator's
+/// per-core subtrees are designed to exploit (different cores touch
+/// different stripes).
+///
+/// An access that crosses a stripe boundary is served piecewise, taking
+/// one stripe lock at a time in address order. Within a single call the
+/// bytes of *each stripe* are read or written atomically, but the call
+/// as a whole is not a single atomic unit across stripes — the same
+/// contract real cache-line-grained memory gives multicore code, and
+/// sufficient for every structure in this workspace (each structure
+/// serializes its own mutations; allocator metadata words never span
+/// stripes).
+#[derive(Debug, Clone)]
+pub struct StripedSpace {
+    stripes: Arc<Vec<Mutex<Vec<u8>>>>,
+    stripe_bytes: u64,
+    capacity: u64,
+}
+
+/// Default stripe width for [`StripedSpace::new`].
+pub const DEFAULT_STRIPE_BYTES: u64 = 4096;
+
+impl StripedSpace {
+    /// A zero-filled striped space of `capacity_bytes` with the default
+    /// 4 KiB stripe width.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self::with_stripe(capacity_bytes, DEFAULT_STRIPE_BYTES as usize)
+    }
+
+    /// A zero-filled striped space with an explicit stripe width.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stripe_bytes` is 0 or not a multiple of 8 (metadata
+    /// words must never straddle a stripe).
+    pub fn with_stripe(capacity_bytes: usize, stripe_bytes: usize) -> Self {
+        assert!(
+            stripe_bytes > 0 && stripe_bytes.is_multiple_of(8),
+            "stripe must be a multiple of 8 bytes"
+        );
+        let n = capacity_bytes.div_ceil(stripe_bytes);
+        let stripes = (0..n)
+            .map(|i| {
+                let len = (capacity_bytes - i * stripe_bytes).min(stripe_bytes);
+                Mutex::new(vec![0u8; len])
+            })
+            .collect();
+        StripedSpace {
+            stripes: Arc::new(stripes),
+            stripe_bytes: stripe_bytes as u64,
+            capacity: capacity_bytes as u64,
+        }
+    }
+
+    fn check(&self, addr: u64, len: usize) -> Result<()> {
+        if addr.checked_add(len as u64).is_none_or(|end| end > self.capacity) {
+            return Err(PaxError::OutOfMemory {
+                requested: addr.saturating_add(len as u64),
+                capacity: self.capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Visits each stripe segment of `[addr, addr+len)` in address order.
+    fn for_segments(
+        &self,
+        addr: u64,
+        len: usize,
+        mut f: impl FnMut(&Mutex<Vec<u8>>, usize, usize, usize),
+    ) {
+        let mut off = 0usize;
+        while off < len {
+            let a = addr + off as u64;
+            let stripe = (a / self.stripe_bytes) as usize;
+            let in_stripe = (a % self.stripe_bytes) as usize;
+            let take = (len - off).min(self.stripe_bytes as usize - in_stripe);
+            f(&self.stripes[stripe], in_stripe, off, take);
+            off += take;
+        }
+    }
+}
+
+impl MemSpace for StripedSpace {
+    fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<()> {
+        self.check(addr, buf.len())?;
+        self.for_segments(addr, buf.len(), |stripe, in_stripe, off, take| {
+            let bytes = stripe.lock();
+            buf[off..off + take].copy_from_slice(&bytes[in_stripe..in_stripe + take]);
+        });
+        Ok(())
+    }
+
+    fn write_bytes(&self, addr: u64, data: &[u8]) -> Result<()> {
+        self.check(addr, data.len())?;
+        self.for_segments(addr, data.len(), |stripe, in_stripe, off, take| {
+            let mut bytes = stripe.lock();
+            bytes[in_stripe..in_stripe + take].copy_from_slice(&data[off..off + take]);
+        });
+        Ok(())
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +288,49 @@ mod tests {
         let b = a.clone();
         a.write_u64(0, 42).unwrap();
         assert_eq!(b.read_u64(0).unwrap(), 42);
+    }
+
+    #[test]
+    fn striped_round_trips_across_stripe_boundaries() {
+        // Tiny stripes so a medium write crosses several of them.
+        let s = StripedSpace::with_stripe(256, 16);
+        let data: Vec<u8> = (0..100).collect();
+        s.write_bytes(7, &data).unwrap();
+        let mut buf = vec![0u8; 100];
+        s.read_bytes(7, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        s.write_u64(248, 0xFEED).unwrap();
+        assert_eq!(s.read_u64(248).unwrap(), 0xFEED);
+    }
+
+    #[test]
+    fn striped_enforces_bounds_and_tail_stripe() {
+        // 100 bytes with 64-byte stripes: the tail stripe is short.
+        let s = StripedSpace::with_stripe(100, 64);
+        assert_eq!(s.capacity_bytes(), 100);
+        s.write_u64(92, 9).unwrap();
+        assert_eq!(s.read_u64(92).unwrap(), 9);
+        assert!(s.write_u64(93, 1).is_err());
+        assert!(s.read_u64(u64::MAX - 3).is_err());
+    }
+
+    #[test]
+    fn striped_clones_share_memory_across_threads() {
+        let s = StripedSpace::with_stripe(1 << 16, 512);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..64u64 {
+                        s.write_u64((t * 64 + i) * 8, t * 1000 + i).unwrap();
+                    }
+                });
+            }
+        });
+        for t in 0..4u64 {
+            for i in 0..64u64 {
+                assert_eq!(s.read_u64((t * 64 + i) * 8).unwrap(), t * 1000 + i);
+            }
+        }
     }
 }

@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::allocator::PmAllocator;
 use crate::error::PaxError;
 use crate::heap::Heap;
 use crate::pod::Pod;
@@ -74,17 +75,17 @@ const TAG_INTERNAL: u64 = 2;
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct PBTreeMap<K, V, S = crate::VPm>
+pub struct PBTreeMap<K, V, S = crate::VPm, A = Heap<S>>
 where
     S: MemSpace,
 {
-    heap: Heap<S>,
+    heap: A,
     header: u64,
     lock: Arc<Mutex<()>>,
-    _marker: PhantomData<(K, V)>,
+    _marker: PhantomData<(K, V, S)>,
 }
 
-impl<K: Pod + Ord, V: Pod, S: MemSpace> PBTreeMap<K, V, S> {
+impl<K: Pod + Ord, V: Pod, S: MemSpace, A: PmAllocator<S>> PBTreeMap<K, V, S, A> {
     fn leaf_bytes() -> u64 {
         N_KEYS + (MAX_KEYS * (K::SIZE + V::SIZE)) as u64
     }
@@ -180,11 +181,11 @@ impl<K: Pod + Ord, V: Pod, S: MemSpace> PBTreeMap<K, V, S> {
     ///
     /// Returns [`PaxError::Corrupt`] if the heap root is another
     /// structure; propagates allocation/space errors.
-    pub fn attach(heap: Heap<S>) -> Result<Self> {
+    pub fn attach(heap: A) -> Result<Self> {
         let root = heap.root()?;
         let header = if root == 0 {
             let header = heap.alloc(HEADER_BYTES)?;
-            let tree = PBTreeMap::<K, V, S> {
+            let tree = PBTreeMap::<K, V, S, A> {
                 heap: heap.clone(),
                 header,
                 lock: Arc::new(Mutex::new(())),
@@ -565,9 +566,9 @@ impl<K: Pod + Ord, V: Pod, S: MemSpace> PBTreeMap<K, V, S> {
         Ok(())
     }
 
-    /// The heap this tree lives in. (The `free_node` path is reserved for
-    /// a future compaction pass.)
-    pub fn heap(&self) -> &Heap<S> {
+    /// The allocator this tree lives in. (The `free_node` path is reserved
+    /// for a future compaction pass.)
+    pub fn heap(&self) -> &A {
         let _ = Self::free_node; // silence: kept for compaction
         &self.heap
     }

@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::allocator::PmAllocator;
 use crate::error::PaxError;
 use crate::heap::Heap;
 use crate::pod::Pod;
@@ -53,17 +54,17 @@ const N_KEY: u64 = 8;
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct PHashMap<K, V, S = crate::VPm>
+pub struct PHashMap<K, V, S = crate::VPm, A = Heap<S>>
 where
     S: MemSpace,
 {
-    heap: Heap<S>,
+    heap: A,
     header: u64,
     lock: Arc<Mutex<()>>,
-    _marker: PhantomData<(K, V)>,
+    _marker: PhantomData<(K, V, S)>,
 }
 
-impl<K: Pod, V: Pod, S: MemSpace> PHashMap<K, V, S> {
+impl<K: Pod, V: Pod, S: MemSpace, A: PmAllocator<S>> PHashMap<K, V, S, A> {
     fn node_bytes() -> u64 {
         8 + K::SIZE as u64 + V::SIZE as u64
     }
@@ -78,7 +79,7 @@ impl<K: Pod, V: Pod, S: MemSpace> PHashMap<K, V, S> {
     ///
     /// Returns [`PaxError::Corrupt`] when the root points at something
     /// that is not a map, and propagates allocation/space errors.
-    pub fn attach(heap: Heap<S>) -> Result<Self> {
+    pub fn attach(heap: A) -> Result<Self> {
         let root = heap.root()?;
         let header = if root == 0 {
             let header = heap.alloc(HEADER_BYTES)?;
@@ -100,7 +101,7 @@ impl<K: Pod, V: Pod, S: MemSpace> PHashMap<K, V, S> {
         Ok(PHashMap { heap, header, lock: Arc::new(Mutex::new(())), _marker: PhantomData })
     }
 
-    fn alloc_buckets(heap: &Heap<S>, n: u64) -> Result<u64> {
+    fn alloc_buckets(heap: &A, n: u64) -> Result<u64> {
         let addr = heap.alloc(n * 8)?;
         for i in 0..n {
             heap.space().write_u64(addr + i * 8, 0)?;
@@ -297,8 +298,8 @@ impl<K: Pod, V: Pod, S: MemSpace> PHashMap<K, V, S> {
         Ok(self.meta()?.1)
     }
 
-    /// The heap this map lives in.
-    pub fn heap(&self) -> &Heap<S> {
+    /// The allocator this map lives in.
+    pub fn heap(&self) -> &A {
         &self.heap
     }
 }

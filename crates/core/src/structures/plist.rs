@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::allocator::PmAllocator;
 use crate::error::PaxError;
 use crate::heap::Heap;
 use crate::pod::Pod;
@@ -46,17 +47,17 @@ const N_VALUE: u64 = 16;
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct PList<T, S = crate::VPm>
+pub struct PList<T, S = crate::VPm, A = Heap<S>>
 where
     S: MemSpace,
 {
-    heap: Heap<S>,
+    heap: A,
     header: u64,
     lock: Arc<Mutex<()>>,
-    _marker: PhantomData<T>,
+    _marker: PhantomData<(T, S)>,
 }
 
-impl<T: Pod, S: MemSpace> PList<T, S> {
+impl<T: Pod, S: MemSpace, A: PmAllocator<S>> PList<T, S, A> {
     fn node_bytes() -> u64 {
         16 + T::SIZE as u64
     }
@@ -67,7 +68,7 @@ impl<T: Pod, S: MemSpace> PList<T, S> {
     ///
     /// Returns [`PaxError::Corrupt`] if the root is something else, and
     /// propagates allocation/space errors.
-    pub fn attach(heap: Heap<S>) -> Result<Self> {
+    pub fn attach(heap: A) -> Result<Self> {
         let root = heap.root()?;
         let header = if root == 0 {
             let header = heap.alloc(HEADER_BYTES)?;
@@ -239,8 +240,8 @@ impl<T: Pod, S: MemSpace> PList<T, S> {
         Ok(out)
     }
 
-    /// The heap this list lives in.
-    pub fn heap(&self) -> &Heap<S> {
+    /// The allocator this list lives in.
+    pub fn heap(&self) -> &A {
         &self.heap
     }
 }

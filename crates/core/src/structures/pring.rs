@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::allocator::PmAllocator;
 use crate::error::PaxError;
 use crate::heap::Heap;
 use crate::pod::Pod;
@@ -44,17 +45,17 @@ const HEADER_BYTES: u64 = 40;
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct PRing<T, S = crate::VPm>
+pub struct PRing<T, S = crate::VPm, A = Heap<S>>
 where
     S: MemSpace,
 {
-    heap: Heap<S>,
+    heap: A,
     header: u64,
     lock: Arc<Mutex<()>>,
-    _marker: PhantomData<T>,
+    _marker: PhantomData<(T, S)>,
 }
 
-impl<T: Pod, S: MemSpace> PRing<T, S> {
+impl<T: Pod, S: MemSpace, A: PmAllocator<S>> PRing<T, S, A> {
     /// Creates a ring of `capacity` slots rooted in `heap`, or attaches
     /// to the existing one (in which case `capacity` is ignored — the
     /// persisted capacity wins).
@@ -63,7 +64,7 @@ impl<T: Pod, S: MemSpace> PRing<T, S> {
     ///
     /// Returns [`PaxError::Corrupt`] if the root is another structure;
     /// propagates allocation errors. `capacity` must be non-zero.
-    pub fn create(heap: Heap<S>, capacity: u64) -> Result<Self> {
+    pub fn create(heap: A, capacity: u64) -> Result<Self> {
         let root = heap.root()?;
         let header = if root == 0 {
             if capacity == 0 {
@@ -95,7 +96,7 @@ impl<T: Pod, S: MemSpace> PRing<T, S> {
     /// # Errors
     ///
     /// See [`PRing::create`].
-    pub fn attach(heap: Heap<S>) -> Result<Self> {
+    pub fn attach(heap: A) -> Result<Self> {
         Self::create(heap, 64)
     }
 
@@ -188,8 +189,8 @@ impl<T: Pod, S: MemSpace> PRing<T, S> {
         Ok(Some(super::read_pod(s, data + (head % cap) * T::SIZE as u64)?))
     }
 
-    /// The heap this ring lives in.
-    pub fn heap(&self) -> &Heap<S> {
+    /// The allocator this ring lives in.
+    pub fn heap(&self) -> &A {
         &self.heap
     }
 }

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::allocator::PmAllocator;
 use crate::error::PaxError;
 use crate::heap::Heap;
 use crate::pod::Pod;
@@ -42,24 +43,24 @@ const INITIAL_CAP: u64 = 8;
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct PVec<T, S = crate::VPm>
+pub struct PVec<T, S = crate::VPm, A = Heap<S>>
 where
     S: MemSpace,
 {
-    heap: Heap<S>,
+    heap: A,
     header: u64,
     lock: Arc<Mutex<()>>,
-    _marker: PhantomData<T>,
+    _marker: PhantomData<(T, S)>,
 }
 
-impl<T: Pod, S: MemSpace> PVec<T, S> {
+impl<T: Pod, S: MemSpace, A: PmAllocator<S>> PVec<T, S, A> {
     /// Opens the vector rooted in `heap`, creating it on first use.
     ///
     /// # Errors
     ///
     /// Returns [`PaxError::Corrupt`] if the heap root is something else,
     /// and propagates allocation/space errors.
-    pub fn attach(heap: Heap<S>) -> Result<Self> {
+    pub fn attach(heap: A) -> Result<Self> {
         let root = heap.root()?;
         let header = if root == 0 {
             let header = heap.alloc(HEADER_BYTES)?;
@@ -194,8 +195,8 @@ impl<T: Pod, S: MemSpace> PVec<T, S> {
         (0..len).map(|i| read_pod(s, data + i * T::SIZE as u64)).collect()
     }
 
-    /// The heap this vector lives in.
-    pub fn heap(&self) -> &Heap<S> {
+    /// The allocator this vector lives in.
+    pub fn heap(&self) -> &A {
         &self.heap
     }
 }

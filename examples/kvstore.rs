@@ -11,7 +11,8 @@
 //! reopened — the persistent structure carries over with no
 //! serialization/deserialization step, only `map_pool`.
 
-use libpax::{HwSnapshotter, PHashMap, PVec, PaxConfig, Persistent};
+use libpax::{HwSnapshotter, PHashMap, PVec, PaxConfig, PaxPool, Persistent, VPm};
+use pax_alloc::BitmapAlloc;
 use pax_pm::PoolConfig;
 
 /// Fixed-size keys: a 16-byte user id.
@@ -92,6 +93,38 @@ fn main() -> libpax::Result<()> {
         log.push(total)?;
         audit_pool.persist()?;
         println!("audit recorded; invariant held.");
+    }
+
+    // ---- Session 4: the same store over the scalable allocator. ----
+    // The structures are allocator-generic: the identical PHashMap code
+    // runs over pax-alloc's llfree-style bitmap allocator, whose
+    // metadata lives inside the pool's vPM so undo logging covers it
+    // (§3.4). `attach` doubles as recovery: it scans the bitmap and
+    // rebuilds the volatile per-core index.
+    {
+        let pool = PaxPool::create(config())?;
+        let alloc = BitmapAlloc::attach(pool.vpm())?;
+        let balances: Persistent<PHashMap<UserId, u64, VPm, BitmapAlloc<VPm>>> =
+            Persistent::new_in(alloc.clone())?;
+        for n in 0..1_000 {
+            balances.insert(user(n), 100)?;
+        }
+        pool.persist()?;
+        let snap = alloc.metrics_snapshot();
+        println!("session 4 (pax-alloc): {} accounts over the bitmap allocator", balances.len()?);
+        println!(
+            "  telemetry: {} live frames, {} fast hits, {} tree steals, \
+             {} frames scanned, fragmentation {}‰",
+            alloc.live_frames(),
+            snap.counter("alloc_fast_hits"),
+            snap.counter("alloc_tree_steals"),
+            snap.counter("alloc_scan_frames"),
+            alloc.fragmentation_permille(),
+        );
+        println!(
+            "  attach-time recovery scan covered {} frames",
+            alloc.recovery_stats().scan_steps
+        );
     }
 
     std::fs::remove_file(&path).map_err(pax_pm::PmError::from)?;
