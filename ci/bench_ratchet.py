@@ -29,6 +29,9 @@ Compares the current run's --json outputs against the previous run's
   allocbench       mops               must be >= 0.90x baseline (per
                                       (threads, mode) point: bitmap
                                       thread series + heap baseline)
+  hbmstore         mops               must be >= 0.90x baseline (per
+                                      (threads, mode) point: lockfree
+                                      and locked HBM set-index engines)
 
 Independently of any baseline, three absolute acceptance bars apply:
 
@@ -68,6 +71,15 @@ Independently of any baseline, three absolute acceptance bars apply:
     Independently, every recovery row must keep the attach-time bitmap
     scan linear: scan_steps <= 2x pool_frames — recovery IS
     construction, so a super-linear scan means the §3.4 story broke.
+  - the hbmstore same-lane store storm: on a host with >= 4 cores the
+    lock-free HBM set index must scale >= 1.3x from 1 to 4 storing
+    threads (the lane-mutex engine structurally cannot); on a starved
+    host the bar degrades to a no-collapse floor (>= 0.15x). On every
+    host the lockfree engine's top-width scaling must be at least
+    0.9x the locked engine's — the per-set spinlock must never convoy
+    harder than the lane lock it replaced. The floor is deliberately
+    NOT applied to the `locked` series: its collapse under same-lane
+    contention is the behavior the set index exists to remove.
 
 A missing baseline file seeds the ratchet (exit 0); the workflow then
 saves CURRENT_DIR as the next run's baseline.
@@ -100,6 +112,10 @@ ALLOCBENCH_SCALING_BAR = 1.3
 ALLOCBENCH_SCALING_CORES = 4
 ALLOCBENCH_NO_COLLAPSE_FLOOR = 0.15
 ALLOCBENCH_SCAN_FACTOR = 2.0
+HBMSTORE_TOL = 0.90
+HBMSTORE_SCALING_BAR = 1.3
+HBMSTORE_SCALING_CORES = 4
+HBMSTORE_NO_COLLAPSE_FLOOR = 0.15
 
 
 def load(path: Path):
@@ -352,6 +368,90 @@ def check_allocbench_scaling(current, failures):
         )
 
 
+def check_hbmstore_scaling(current, failures):
+    """Absolute bars, no baseline needed: the lock-free HBM set index
+    must actually take the lane mutex off the store hot path. On a host
+    with HBMSTORE_SCALING_CORES or more cores, the lockfree engine's
+    widest thread count must scale HBMSTORE_SCALING_BAR over one
+    thread; on a starved host real speedup is impossible, so the bar
+    degrades to a no-collapse floor. On every host the lockfree
+    engine's scaling must be at least 0.9x the locked engine's at the
+    same width — the per-set spinlock must never convoy harder than
+    the lane lock it replaced."""
+    host_cores = current.get("config", {}).get("host_cores", 1)
+    by_mode = {}
+    for r in current["results"]:
+        if "scaling_vs_1" in r and "mode" in r:
+            by_mode.setdefault(r["mode"], []).append(r)
+    if "lockfree" not in by_mode:
+        failures.append("hbmstore: lockfree series missing")
+        return
+    top = max(by_mode["lockfree"], key=lambda r: r["threads"])
+    scaling = top["scaling_vs_1"]
+    if host_cores >= HBMSTORE_SCALING_CORES:
+        if scaling < HBMSTORE_SCALING_BAR:
+            failures.append(
+                f"hbmstore: lockfree {top['threads']}-thread scaling "
+                f"{scaling:.2f}x below the {HBMSTORE_SCALING_BAR}x bar "
+                f"(host_cores={host_cores}) — same-lane stores are "
+                f"serializing on the set index again"
+            )
+        else:
+            print(
+                f"hbmstore scaling ok: lockfree {scaling:.2f}x at "
+                f"{top['threads']} threads >= {HBMSTORE_SCALING_BAR}x "
+                f"(host_cores={host_cores})"
+            )
+    elif scaling < HBMSTORE_NO_COLLAPSE_FLOOR:
+        failures.append(
+            f"hbmstore: lockfree {top['threads']}-thread throughput "
+            f"collapsed to {scaling:.2f}x of single-thread (floor "
+            f"{HBMSTORE_NO_COLLAPSE_FLOOR}; host_cores={host_cores})"
+        )
+    else:
+        print(
+            f"hbmstore no-collapse ok: lockfree {scaling:.2f}x at "
+            f"{top['threads']} threads >= {HBMSTORE_NO_COLLAPSE_FLOOR} "
+            f"floor (host_cores={host_cores} < {HBMSTORE_SCALING_CORES})"
+        )
+    locked = by_mode.get("locked", [])
+    locked_top = max(locked, key=lambda r: r["threads"], default=None)
+    if locked_top and locked_top["threads"] == top["threads"]:
+        # Same 10% slack as logappend: near-parity plus jitter on a
+        # starved host should not fail the build.
+        if scaling < 0.9 * locked_top["scaling_vs_1"]:
+            failures.append(
+                f"hbmstore: lockfree scaling {scaling:.2f}x trails the "
+                f"locked engine's {locked_top['scaling_vs_1']:.2f}x at "
+                f"{top['threads']} threads — the set index convoys "
+                f"harder than the lane lock it replaced"
+            )
+        else:
+            print(
+                f"hbmstore lockfree-vs-locked ok: {scaling:.2f}x >= "
+                f"{locked_top['scaling_vs_1']:.2f}x at {top['threads']} threads"
+            )
+
+
+def ratchet_hbmstore(baseline, current, failures):
+    base = {
+        (r["threads"], r["mode"]): r["mops"]
+        for r in baseline["results"]
+        if "mops" in r and "mode" in r
+    }
+    for r in current["results"]:
+        key = (r.get("threads"), r.get("mode"))
+        if key not in base or "mops" not in r:
+            continue
+        floor = HBMSTORE_TOL * base[key]
+        if r["mops"] < floor:
+            failures.append(
+                f"hbmstore threads={key[0]} mode={key[1]}: "
+                f"{r['mops']:.2f} Mops < {HBMSTORE_TOL}x baseline "
+                f"{base[key]:.2f}"
+            )
+
+
 def ratchet_allocbench(baseline, current, failures):
     base = {
         (r["threads"], r["mode"]): r["mops"]
@@ -561,6 +661,7 @@ def main() -> int:
         "logappend.json": ratchet_logappend,
         "persistency.json": ratchet_persistency,
         "allocbench.json": ratchet_allocbench,
+        "hbmstore.json": ratchet_hbmstore,
     }
 
     overlap = load(current_dir / "ablation_overlap.json")
@@ -604,6 +705,12 @@ def main() -> int:
         failures.append("current allocbench.json missing")
     else:
         check_allocbench_scaling(allocbench, failures)
+
+    hbmstore = load(current_dir / "hbmstore.json")
+    if hbmstore is None:
+        failures.append("current hbmstore.json missing")
+    else:
+        check_hbmstore_scaling(hbmstore, failures)
 
     for name, ratchet in ratchets.items():
         current = load(current_dir / name)

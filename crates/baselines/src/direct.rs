@@ -119,7 +119,7 @@ mod tests {
     fn structures_run_unmodified() {
         let space = DirectPmSpace::new(1 << 20);
         let heap = Heap::attach(space.clone()).unwrap();
-        let m: PHashMap<u64, u64, _> = PHashMap::attach(heap).unwrap();
+        let m: PHashMap<u64, u64, _, Heap<_>> = PHashMap::attach(heap).unwrap();
         m.insert(1, 10).unwrap();
         assert_eq!(m.get(1).unwrap(), Some(10));
     }

@@ -295,7 +295,7 @@ mod tests {
         let space = WalSpace::create(PoolConfig::small().with_data_bytes(4 << 20)).unwrap();
         {
             let heap = Heap::attach(space.clone()).unwrap();
-            let m: PHashMap<u64, u64, _> = PHashMap::attach(heap).unwrap();
+            let m: PHashMap<u64, u64, _, Heap<_>> = PHashMap::attach(heap).unwrap();
             space
                 .tx(|| {
                     m.insert(1, 100)?;
@@ -306,7 +306,8 @@ mod tests {
         }
         let pool = space.crash().unwrap();
         let space2 = WalSpace::open(pool).unwrap();
-        let m2: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(space2).unwrap()).unwrap();
+        let m2: PHashMap<u64, u64, _, Heap<_>> =
+            PHashMap::attach(Heap::attach(space2).unwrap()).unwrap();
         assert_eq!(m2.get(1).unwrap(), Some(100));
         assert_eq!(m2.get(2).unwrap(), Some(200));
     }

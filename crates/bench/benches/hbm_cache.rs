@@ -15,7 +15,7 @@ fn config(policy: EvictionPolicy) -> HbmConfig {
 
 fn bench_lookup(c: &mut Criterion) {
     let mut g = c.benchmark_group("hbm");
-    let mut h = HbmCache::new(config(EvictionPolicy::PreferDurable));
+    let h = HbmCache::new(config(EvictionPolicy::PreferDurable));
     for i in 0..8192u64 {
         h.insert(LineAddr(i), line(i, false), 0);
     }
@@ -40,7 +40,7 @@ fn bench_insert(c: &mut Criterion) {
         g.bench_function(name, |b| {
             b.iter_batched(
                 || HbmCache::new(config(policy)),
-                |mut h| {
+                |h| {
                     // Insert 4× capacity worth of dirty lines: every
                     // insert past capacity exercises victim selection.
                     for i in 0..4096u64 {
@@ -61,13 +61,13 @@ fn bench_take_dirty(c: &mut Criterion) {
     g.bench_function("take_dirty_1k", |b| {
         b.iter_batched(
             || {
-                let mut h = HbmCache::new(config(EvictionPolicy::PreferDurable));
+                let h = HbmCache::new(config(EvictionPolicy::PreferDurable));
                 for i in 0..1024u64 {
                     h.insert(LineAddr(i), line(i, true), 0);
                 }
                 h
             },
-            |mut h| {
+            |h| {
                 let dirty = h.take_dirty();
                 assert_eq!(dirty.len(), 1024);
                 h

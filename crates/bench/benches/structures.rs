@@ -12,7 +12,7 @@ use pax_pm::PoolConfig;
 const N: u64 = 512;
 
 fn insert_n<S: MemSpace>(space: S) {
-    let map: PHashMap<u64, u64, S> =
+    let map: PHashMap<u64, u64, S, Heap<S>> =
         PHashMap::attach(Heap::attach(space).expect("heap")).expect("map");
     for k in 0..N {
         map.insert(k, k).expect("insert");
@@ -67,7 +67,7 @@ fn bench_gets(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
 
     let space = VolatileSpace::new(4 << 20);
-    let map: PHashMap<u64, u64, _> =
+    let map: PHashMap<u64, u64, _, Heap<_>> =
         PHashMap::attach(Heap::attach(space).expect("heap")).expect("map");
     for k in 0..N {
         map.insert(k, k).expect("insert");

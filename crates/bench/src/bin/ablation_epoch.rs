@@ -37,7 +37,7 @@ fn main() {
                 .with_pool(PoolConfig::small().with_data_bytes(32 << 20).with_log_bytes(64 << 20)),
         )
         .expect("pool");
-        let map: PHashMap<u64, u64, _> =
+        let map: PHashMap<u64, u64, _, Heap<_>> =
             PHashMap::attach(Heap::attach(pool.vpm()).expect("heap")).expect("map");
 
         let mut peak_log = 0u64;

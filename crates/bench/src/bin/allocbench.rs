@@ -1,6 +1,6 @@
 //! Allocator engine comparison: llfree-style bitmap vs first-fit heap.
 //!
-//! Two series, one artifact (`BENCH_allocbench.json`):
+//! Three series, one artifact (`BENCH_allocbench.json`):
 //!
 //! * **Throughput** — N OS threads churn a slot table of mixed-size
 //!   allocations (alloc on an empty slot, free on a full one) against a
@@ -9,6 +9,12 @@
 //!   `heap` mode runs the serial first-fit [`Heap`](libpax::Heap) as the
 //!   single-thread baseline it is (its free list has one lock and O(list)
 //!   frees, so it only appears at `threads = 1`).
+//! * **Fragment** — an adversarial layout: carpet the pool with
+//!   single-frame allocations, free every other one so *every* tree is
+//!   partial (recorded as `frag_permille_peak`/`frag_permille_end` in
+//!   the row), then churn mixed sizes over the holes. Exercises the
+//!   partial-first reserve policy's worst case and keeps the
+//!   partial-tree permille gauge honest (> 0‰ by construction).
 //! * **Recovery** — `attach` IS recovery for the bitmap allocator: the
 //!   series times the full attach-time bitmap scan at growing pool sizes
 //!   with a quarter of the frames live, recording `scan_steps` so CI can
@@ -93,6 +99,56 @@ fn measure_heap(ops: u64) -> (u64, f64) {
     (ops, ops as f64 / start.elapsed().as_secs_f64() / 1e6)
 }
 
+/// Adversarial fragmentation: carpet the pool with single-frame
+/// allocations, then free every other one, leaving each tree
+/// Swiss-cheesed (free != 0 and free != tree capacity, i.e. *partial* in
+/// the [`fragmentation_permille`](BitmapAlloc::fragmentation_permille)
+/// sense). The timed churn then runs mixed sizes over that hostile
+/// layout, so multi-frame requests must skip holes and steal across
+/// partial trees instead of bump-allocating from empty ones. Returns
+/// (Mops, peak partial-tree permille, end permille, telemetry).
+fn measure_fragmentation(ops: u64) -> (u64, f64, u64, u64, Vec<(&'static str, Json)>) {
+    // The Swiss-cheese layout defeats the partial-first reserve policy on
+    // purpose: multi-frame requests scan whole partial trees before
+    // falling back to the empty half of the pool. That makes each op
+    // orders of magnitude costlier than the friendly churn, so run a
+    // shorter honest sample (same trick as the heap baseline).
+    let ops = (ops / 8).max(1_000);
+    let alloc = BitmapAlloc::attach(StripedSpace::new(POOL_BYTES)).expect("striped space formats");
+    let frame = pax_alloc::layout::FRAME_BYTES;
+    // Phase A: pepper ~half the frames with live single-frame allocs.
+    let carpet = alloc.geometry().frames / 2;
+    let mut live: Vec<u64> = (0..carpet)
+        .map(|_| alloc.alloc(frame).expect("carpet fill fits in half the pool"))
+        .collect();
+    // Phase B: free alternate allocations — every tree ends up partial.
+    let mut keep = false;
+    live.retain(|&addr| {
+        keep = !keep;
+        if !keep {
+            alloc.free(addr, frame).expect("free of carpet frame");
+        }
+        keep
+    });
+    let frag_peak = alloc.fragmentation_permille();
+    // Phase C: the measured churn, over the fragmented layout.
+    let start = Instant::now();
+    churn(&alloc, ops, 0xF2A6);
+    let mops = ops as f64 / start.elapsed().as_secs_f64() / 1e6;
+    let frag_end = alloc.fragmentation_permille();
+    let frag_ops = ops;
+    for addr in live {
+        alloc.free(addr, frame).expect("drain carpet");
+    }
+    let snap = alloc.metrics_snapshot();
+    let telemetry = vec![
+        ("fast_hits", Json::U64(snap.counter("alloc_fast_hits"))),
+        ("tree_steals", Json::U64(snap.counter("alloc_tree_steals"))),
+        ("scan_frames", Json::U64(snap.counter("alloc_scan_frames"))),
+    ];
+    (frag_ops, mops, frag_peak, frag_end, telemetry)
+}
+
 /// Recovery-as-construction cost: fill a pool a quarter full, then time
 /// a cold `attach` (the whole recovery path) against it. Returns
 /// (pool_frames, live_frames, scan_steps, scan_ns).
@@ -162,6 +218,25 @@ fn main() {
         rows.push(vec![t.to_string(), format!("{bitmap:.2}"), format!("{scaling:.2}×"), heap]);
     }
     out.table(&rows);
+
+    out.line("\nAdversarial fragmentation (alternate-free carpet, then mixed-size churn)");
+    eprintln!("fragmentation storm …");
+    let (frag_ops, frag_mops, frag_peak, frag_end, frag_telemetry) = measure_fragmentation(ops);
+    out.table(&[
+        vec!["Mops".to_string(), "partial ‰ peak".to_string(), "partial ‰ end".to_string()],
+        vec![format!("{frag_mops:.3}"), frag_peak.to_string(), frag_end.to_string()],
+    ]);
+    let mut frag_row = Json::obj()
+        .field("series", Json::str("fragment"))
+        .field("threads", Json::U64(1))
+        .field("ops", Json::U64(frag_ops))
+        .field("mops", Json::F64(frag_mops))
+        .field("frag_permille_peak", Json::U64(frag_peak))
+        .field("frag_permille_end", Json::U64(frag_end));
+    for (key, value) in frag_telemetry {
+        frag_row = frag_row.field(key, value);
+    }
+    out.push_result(frag_row);
 
     out.line("\nRecovery scan (attach == recover), quarter-full pools");
     let mut rrows = vec![vec!["pool".to_string(), "frames".to_string(), "scan µs".to_string()]];

@@ -35,7 +35,7 @@ fn main() {
     // PMDK-style undo WAL: one tx per insert.
     let wal = WalSpace::create(pool_config()).expect("wal");
     {
-        let map: PHashMap<u64, u64, _> =
+        let map: PHashMap<u64, u64, _, Heap<_>> =
             PHashMap::attach(Heap::attach(wal.clone()).expect("heap")).expect("map");
         for k in 0..OPS {
             wal.tx(|| map.insert(k, k).map(|_| ())).expect("tx insert");
@@ -46,7 +46,7 @@ fn main() {
     // Redo WAL: one tx per insert.
     let redo = RedoSpace::create(pool_config()).expect("redo");
     {
-        let map: PHashMap<u64, u64, _> =
+        let map: PHashMap<u64, u64, _, Heap<_>> =
             PHashMap::attach(Heap::attach(redo.clone()).expect("heap")).expect("map");
         for k in 0..OPS {
             redo.tx(|| map.insert(k, k).map(|_| ())).expect("tx insert");
@@ -57,7 +57,7 @@ fn main() {
     // PAX: group commit — one persist() for the whole batch (§3.2).
     let pax = PaxPool::create(PaxConfig::default().with_pool(pool_config())).expect("pool");
     {
-        let map: PHashMap<u64, u64, _> =
+        let map: PHashMap<u64, u64, _, Heap<_>> =
             PHashMap::attach(Heap::attach(pax.vpm()).expect("heap")).expect("map");
         for k in 0..OPS {
             map.insert(k, k).expect("insert");

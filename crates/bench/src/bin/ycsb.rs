@@ -23,7 +23,7 @@ fn pool_config() -> PoolConfig {
 /// Loads the table, then runs the measured op phase; `measure_from` is
 /// called between the two so load-phase events are excluded.
 fn run_ops<S: MemSpace>(space: &S, spec: &WorkloadSpec, measure_from: impl FnOnce()) {
-    let map: PHashMap<u64, u64, S> =
+    let map: PHashMap<u64, u64, S, Heap<S>> =
         PHashMap::attach(Heap::attach(space.clone()).expect("heap")).expect("map");
     for k in spec.load_keys() {
         map.insert(k, k).expect("load");

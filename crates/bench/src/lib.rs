@@ -237,10 +237,13 @@ pub fn instrumented_pool(data_bytes: usize) -> PaxPool {
 /// Panics on simulation errors (they indicate harness bugs, not results).
 pub fn run_workload<S: MemSpace>(space: S, spec: &WorkloadSpec) -> u64
 where
-    PHashMap<u64, u64, S>: PStructure<S>,
+    PHashMap<u64, u64, S, Heap<S>>: PStructure<S, Heap<S>>,
 {
+    // Pinned to the serial `Heap` so the figure workloads keep their
+    // historical allocation pattern (the `BitmapAlloc` default changes
+    // address layout, which would shift measured miss rates).
     let heap = Heap::attach(space).expect("heap attach");
-    let map: PHashMap<u64, u64, S> = PHashMap::attach(heap).expect("map attach");
+    let map: PHashMap<u64, u64, S, Heap<S>> = PHashMap::attach(heap).expect("map attach");
     // Preload so reads hit (the paper's read benchmarks run on a loaded
     // table).
     if spec.mix.read_pct > 0 || spec.mix.update_pct > 0 {
@@ -281,7 +284,7 @@ pub fn measure_fig2a_miss_rates(keys: u64, ops: u64) -> (HierarchyStats, DeviceM
     // Measurement phase:
     let spec = WorkloadSpec::fig2a_read_only(keys, ops);
     let heap = Heap::attach(pool.vpm()).expect("heap");
-    let map: PHashMap<u64, u64, _> = PHashMap::attach(heap).expect("map");
+    let map: PHashMap<u64, u64, _, Heap<_>> = PHashMap::attach(heap).expect("map");
     for op in spec.ops() {
         if let Op::Get(k) = op {
             map.get(k).expect("get");

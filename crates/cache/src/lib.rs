@@ -5,8 +5,10 @@
 //! addresses. This crate models the host side:
 //!
 //! * [`set`] — a generic set-associative array with LRU replacement,
-//!   reused by every cache in the workspace (L1/L2/LLC here, the device
-//!   HBM cache in `pax-device`).
+//!   reused by every cache in the workspace (L1/L2/LLC here).
+//! * [`concurrent`] — the shared (`&self`) twin of [`set`]: per-set
+//!   locks plus a lock-free presence probe, used by the device HBM
+//!   cache in `pax-device` so same-lane stores scale across threads.
 //! * [`mesi`] — MESI coherence states and their legal transitions.
 //! * [`cache`] — the functional, data-carrying coherent cache
 //!   ([`CoherentCache`]): it holds real line contents, requests lines from
@@ -44,6 +46,7 @@
 pub mod amat;
 pub mod cache;
 pub mod complex;
+pub mod concurrent;
 pub mod hierarchy;
 pub mod mesi;
 pub mod set;
@@ -51,6 +54,7 @@ pub mod set;
 pub use amat::{AmatBreakdown, AmatEstimator, MemKind};
 pub use cache::{CacheConfig, CacheStats, CoherentCache, HomeAgent, MemoryHome};
 pub use complex::{ComplexStats, CoreComplex, HostSnoop, ShardedHome, SharedComplex};
+pub use concurrent::ConcurrentSetAssoc;
 pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyStats, LevelStats};
 pub use mesi::MesiState;
 pub use set::SetAssoc;

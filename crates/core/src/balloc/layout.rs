@@ -4,9 +4,9 @@
 //! bit per frame, set = allocated), one persisted `u32` free counter per
 //! tree, and the frame data region. Everything before the data region is
 //! allocator metadata, and all of it lives *inside* the managed
-//! [`MemSpace`](libpax::MemSpace) — so when the space is a pool's vPM,
+//! [`MemSpace`](crate::MemSpace) — so when the space is a pool's vPM,
 //! undo logging rolls allocator state back together with user data
-//! (§3.4), exactly like the first-fit [`Heap`](libpax::Heap).
+//! (§3.4), exactly like the first-fit [`Heap`](crate::Heap).
 //!
 //! ```text
 //! | header 64B | bitmap words | tree counters | pad | frames ... |
@@ -18,7 +18,7 @@
 //! boundaries always coincide with word boundaries and per-tree locking
 //! never straddles a word.
 
-use libpax::PaxError;
+use crate::PaxError;
 
 /// Identifies a formatted pax-alloc space ("PAXALOC1").
 pub const MAGIC: u64 = u64::from_le_bytes(*b"PAXALOC1");

@@ -5,13 +5,13 @@
 //! whole space's) bitmap words, find a run of clear bits, set it, clear
 //! it. All functions here either operate on an in-memory word slice
 //! (pure, unit-testable) or perform the read-modify-write against the
-//! [`MemSpace`](libpax::MemSpace); callers (the upper allocator) hold the
+//! [`MemSpace`](crate::MemSpace); callers (the upper allocator) hold the
 //! owning tree's lock around every media call, which is what makes the
 //! non-atomic read-modify-write of a shared word safe.
 
-use libpax::{MemSpace, PaxError, Result};
+use crate::{MemSpace, PaxError, Result};
 
-use crate::layout::Geometry;
+use super::layout::Geometry;
 
 /// Outcome of a run search: the start frame (relative to the scanned
 /// slice) if found, plus how many frames were examined (the

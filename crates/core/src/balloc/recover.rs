@@ -9,9 +9,9 @@
 //! [`RecoveryStats`] so benchmarks can assert it stays linear in the
 //! pool's frame count.
 
-use libpax::{MemSpace, Result};
+use crate::{MemSpace, Result};
 
-use crate::layout::{Geometry, LayoutError};
+use super::layout::{Geometry, LayoutError};
 
 /// What the attach-time scan did, for telemetry and the recovery-cost
 /// bound in CI (`allocbench` emits these per pool size).
@@ -32,7 +32,7 @@ pub struct RecoveryStats {
 ///
 /// # Errors
 ///
-/// [`LayoutError::CounterMismatch`] (as [`PaxError::Corrupt`](libpax::PaxError::Corrupt))
+/// [`LayoutError::CounterMismatch`] (as [`PaxError::Corrupt`](crate::PaxError::Corrupt))
 /// when a persisted counter disagrees with the bits, and
 /// [`LayoutError::TailBits`] when bits are set past the last frame.
 pub(crate) fn rebuild<S: MemSpace>(
@@ -57,7 +57,7 @@ pub(crate) fn rebuild<S: MemSpace>(
     let mut steps = 0u64;
     for tree in 0..geom.trees {
         let nframes = geom.frames_in_tree(tree);
-        let first_word = (tree * crate::layout::TREE_FRAMES) / 64;
+        let first_word = (tree * super::layout::TREE_FRAMES) / 64;
         let nwords = nframes.div_ceil(64);
         let mut used = 0u64;
         for w in first_word..first_word + nwords {

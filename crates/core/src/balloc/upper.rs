@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::layout::Geometry;
+use super::layout::Geometry;
 
 const CLAIMED: u64 = 1 << 63;
 const COUNT_MASK: u64 = u32::MAX as u64;
@@ -159,7 +159,7 @@ impl TreeIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::layout::Geometry;
+    use crate::balloc::layout::Geometry;
 
     fn geom() -> Geometry {
         // Big enough for several full trees.

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod allocator;
+pub mod balloc;
 pub mod error;
 pub mod heap;
 pub mod pod;
@@ -62,6 +63,7 @@ pub mod space;
 pub mod structures;
 
 pub use allocator::PmAllocator;
+pub use balloc::{BitmapAlloc, DEFAULT_CORES};
 pub use error::PaxError;
 pub use heap::Heap;
 pub use pax_pm::PersistencyModel;

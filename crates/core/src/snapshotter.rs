@@ -19,7 +19,7 @@ use std::ops::Deref;
 use std::path::Path;
 
 use crate::allocator::PmAllocator;
-use crate::heap::Heap;
+use crate::balloc::BitmapAlloc;
 use crate::pool::{PaxConfig, PaxPool, VPm};
 use crate::space::MemSpace;
 use crate::Result;
@@ -27,11 +27,13 @@ use crate::Result;
 /// A structure that can be rooted in (and recovered from) an allocator.
 ///
 /// Implemented by every collection in [`structures`](crate::structures),
-/// for any [`PmAllocator`] (the default `A = Heap<S>` keeps existing code
-/// unchanged). `attach` must treat "fresh allocator" and "existing
-/// structure" uniformly so construction and recovery are indistinguishable
-/// to the application.
-pub trait PStructure<S: MemSpace, A: PmAllocator<S> = Heap<S>>: Sized {
+/// for any [`PmAllocator`]. The default `A = BitmapAlloc<S>` is the
+/// scalable llfree-style allocator (since PR 10); the serial first-fit
+/// [`Heap`](crate::Heap) stays available by naming it explicitly, and is
+/// CI's differential baseline. `attach` must treat "fresh allocator" and
+/// "existing structure" uniformly so construction and recovery are
+/// indistinguishable to the application.
+pub trait PStructure<S: MemSpace, A: PmAllocator<S> = BitmapAlloc<S>>: Sized {
     /// Opens the structure rooted in `alloc`, creating it on first use.
     ///
     /// # Errors
@@ -139,23 +141,30 @@ pub struct Persistent<T> {
 
 impl<T: PStructure<VPm>> Persistent<T> {
     /// Attaches (or recovers, §3.4) the structure in the snapshotter's
-    /// pool. "From the application's perspective, there is no difference
-    /// between constructing a new persistent map and recovering one."
+    /// pool, over the default [`BitmapAlloc`] allocator. "From the
+    /// application's perspective, there is no difference between
+    /// constructing a new persistent map and recovering one."
+    ///
+    /// A pool formatted by another allocator (e.g. the first-fit
+    /// [`Heap`](crate::Heap)) is rejected with a bad-magic error rather
+    /// than silently reinterpreted — keep opening such pools through
+    /// [`Persistent::new_in`].
     ///
     /// # Errors
     ///
-    /// Propagates heap and structure attach errors.
+    /// Propagates allocator and structure attach errors.
     pub fn new(snapshotter: &HwSnapshotter) -> Result<Self> {
-        let heap = Heap::attach(snapshotter.vpm())?;
-        Ok(Persistent { inner: T::attach(heap)? })
+        let alloc = BitmapAlloc::attach(snapshotter.vpm())?;
+        Ok(Persistent { inner: T::attach(alloc)? })
     }
 }
 
 impl<T> Persistent<T> {
     /// Attaches the structure through an explicit allocator, for pools
-    /// managed by an allocator other than the default [`Heap`] (e.g. the
-    /// `pax-alloc` bitmap allocator). The allocator must already wrap the
-    /// pool's vPM so undo logging covers its metadata.
+    /// managed by an allocator other than the default [`BitmapAlloc`]
+    /// (e.g. the serial first-fit [`Heap`](crate::Heap) baseline). The
+    /// allocator must already wrap the pool's vPM so undo logging covers
+    /// its metadata.
     ///
     /// # Errors
     ///

@@ -29,6 +29,7 @@ use parking_lot::Mutex;
 
 use crate::allocator::PmAllocator;
 use crate::error::PaxError;
+#[cfg(test)]
 use crate::heap::Heap;
 use crate::pod::Pod;
 use crate::space::MemSpace;
@@ -64,7 +65,7 @@ const TAG_INTERNAL: u64 = 2;
 ///
 /// # fn main() -> libpax::Result<()> {
 /// let heap = Heap::attach(VolatileSpace::new(1 << 20))?;
-/// let map: PBTreeMap<u64, u64, _> = PBTreeMap::attach(heap)?;
+/// let map: PBTreeMap<u64, u64, _, Heap<_>> = PBTreeMap::attach(heap)?;
 /// map.insert(3, 30)?;
 /// map.insert(1, 10)?;
 /// map.insert(2, 20)?;
@@ -75,7 +76,7 @@ const TAG_INTERNAL: u64 = 2;
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct PBTreeMap<K, V, S = crate::VPm, A = Heap<S>>
+pub struct PBTreeMap<K, V, S = crate::VPm, A = crate::balloc::BitmapAlloc<S>>
 where
     S: MemSpace,
 {
@@ -579,7 +580,7 @@ mod tests {
     use super::*;
     use crate::space::VolatileSpace;
 
-    fn tree() -> PBTreeMap<u64, u64, VolatileSpace> {
+    fn tree() -> PBTreeMap<u64, u64, VolatileSpace, Heap<VolatileSpace>> {
         PBTreeMap::attach(Heap::attach(VolatileSpace::new(8 << 20)).unwrap()).unwrap()
     }
 
@@ -690,13 +691,14 @@ mod tests {
     fn reattach_preserves_tree() {
         let space = VolatileSpace::new(8 << 20);
         {
-            let t: PBTreeMap<u64, u64, _> =
+            let t: PBTreeMap<u64, u64, _, Heap<_>> =
                 PBTreeMap::attach(Heap::attach(space.clone()).unwrap()).unwrap();
             for k in 0..100 {
                 t.insert(k, k).unwrap();
             }
         }
-        let t: PBTreeMap<u64, u64, _> = PBTreeMap::attach(Heap::attach(space).unwrap()).unwrap();
+        let t: PBTreeMap<u64, u64, _, Heap<_>> =
+            PBTreeMap::attach(Heap::attach(space).unwrap()).unwrap();
         assert_eq!(t.len().unwrap(), 100);
         assert_eq!(t.get(42).unwrap(), Some(42));
         t.check_invariants().unwrap();

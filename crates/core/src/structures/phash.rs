@@ -12,6 +12,7 @@ use parking_lot::Mutex;
 
 use crate::allocator::PmAllocator;
 use crate::error::PaxError;
+#[cfg(test)]
 use crate::heap::Heap;
 use crate::pod::Pod;
 use crate::space::MemSpace;
@@ -45,7 +46,7 @@ const N_KEY: u64 = 8;
 ///
 /// # fn main() -> libpax::Result<()> {
 /// let heap = Heap::attach(VolatileSpace::new(1 << 20))?;
-/// let map: PHashMap<u64, u64, _> = PHashMap::attach(heap)?;
+/// let map: PHashMap<u64, u64, _, Heap<_>> = PHashMap::attach(heap)?;
 /// map.insert(1, 100)?;
 /// assert_eq!(map.get(1)?, Some(100));
 /// assert_eq!(map.remove(1)?, Some(100));
@@ -54,7 +55,7 @@ const N_KEY: u64 = 8;
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct PHashMap<K, V, S = crate::VPm, A = Heap<S>>
+pub struct PHashMap<K, V, S = crate::VPm, A = crate::balloc::BitmapAlloc<S>>
 where
     S: MemSpace,
 {
@@ -309,7 +310,7 @@ mod tests {
     use super::*;
     use crate::space::VolatileSpace;
 
-    fn map() -> PHashMap<u64, u64, VolatileSpace> {
+    fn map() -> PHashMap<u64, u64, VolatileSpace, Heap<VolatileSpace>> {
         PHashMap::attach(Heap::attach(VolatileSpace::new(4 << 20)).unwrap()).unwrap()
     }
 
@@ -357,18 +358,19 @@ mod tests {
     fn reattach_finds_existing_map() {
         let space = VolatileSpace::new(4 << 20);
         {
-            let m: PHashMap<u64, u64, _> =
+            let m: PHashMap<u64, u64, _, Heap<_>> =
                 PHashMap::attach(Heap::attach(space.clone()).unwrap()).unwrap();
             m.insert(7, 77).unwrap();
         }
-        let m2: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(space).unwrap()).unwrap();
+        let m2: PHashMap<u64, u64, _, Heap<_>> =
+            PHashMap::attach(Heap::attach(space).unwrap()).unwrap();
         assert_eq!(m2.get(7).unwrap(), Some(77));
     }
 
     #[test]
     fn array_keys_work() {
         let heap = Heap::attach(VolatileSpace::new(1 << 20)).unwrap();
-        let m: PHashMap<[u8; 8], u32, _> = PHashMap::attach(heap).unwrap();
+        let m: PHashMap<[u8; 8], u32, _, Heap<_>> = PHashMap::attach(heap).unwrap();
         m.insert(*b"keykey01", 5).unwrap();
         assert_eq!(m.get(*b"keykey01").unwrap(), Some(5));
         assert_eq!(m.get(*b"keykey02").unwrap(), None);
@@ -396,7 +398,10 @@ mod tests {
         let heap = Heap::attach(space).unwrap();
         let junk = heap.alloc(64).unwrap();
         heap.set_root(junk).unwrap();
-        assert!(matches!(PHashMap::<u64, u64, _>::attach(heap), Err(PaxError::Corrupt(_))));
+        assert!(matches!(
+            PHashMap::<u64, u64, _, Heap<_>>::attach(heap),
+            Err(PaxError::Corrupt(_))
+        ));
     }
 
     #[test]

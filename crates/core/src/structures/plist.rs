@@ -7,6 +7,7 @@ use parking_lot::Mutex;
 
 use crate::allocator::PmAllocator;
 use crate::error::PaxError;
+#[cfg(test)]
 use crate::heap::Heap;
 use crate::pod::Pod;
 use crate::space::MemSpace;
@@ -36,7 +37,7 @@ const N_VALUE: u64 = 16;
 /// use libpax::{Heap, PList, VolatileSpace};
 ///
 /// # fn main() -> libpax::Result<()> {
-/// let l: PList<u64, _> = PList::attach(Heap::attach(VolatileSpace::new(1 << 20))?)?;
+/// let l: PList<u64, _, Heap<_>> = PList::attach(Heap::attach(VolatileSpace::new(1 << 20))?)?;
 /// l.push_back(2)?;
 /// l.push_front(1)?;
 /// l.push_back(3)?;
@@ -47,7 +48,7 @@ const N_VALUE: u64 = 16;
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct PList<T, S = crate::VPm, A = Heap<S>>
+pub struct PList<T, S = crate::VPm, A = crate::balloc::BitmapAlloc<S>>
 where
     S: MemSpace,
 {
@@ -251,7 +252,7 @@ mod tests {
     use super::*;
     use crate::space::VolatileSpace;
 
-    fn list() -> PList<u64, VolatileSpace> {
+    fn list() -> PList<u64, VolatileSpace, Heap<VolatileSpace>> {
         PList::attach(Heap::attach(VolatileSpace::new(1 << 20)).unwrap()).unwrap()
     }
 
@@ -307,11 +308,12 @@ mod tests {
     fn reattach_preserves_order() {
         let space = VolatileSpace::new(1 << 20);
         {
-            let l: PList<u32, _> = PList::attach(Heap::attach(space.clone()).unwrap()).unwrap();
+            let l: PList<u32, _, Heap<_>> =
+                PList::attach(Heap::attach(space.clone()).unwrap()).unwrap();
             l.push_back(1).unwrap();
             l.push_back(2).unwrap();
         }
-        let l2: PList<u32, _> = PList::attach(Heap::attach(space).unwrap()).unwrap();
+        let l2: PList<u32, _, Heap<_>> = PList::attach(Heap::attach(space).unwrap()).unwrap();
         assert_eq!(l2.to_vec().unwrap(), vec![1, 2]);
     }
 }

@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 
 use crate::allocator::PmAllocator;
 use crate::error::PaxError;
+#[cfg(test)]
 use crate::heap::Heap;
 use crate::pod::Pod;
 use crate::space::MemSpace;
@@ -36,7 +37,7 @@ const HEADER_BYTES: u64 = 40;
 ///
 /// # fn main() -> libpax::Result<()> {
 /// let heap = Heap::attach(VolatileSpace::new(1 << 20))?;
-/// let ring: PRing<u64, _> = PRing::create(heap, 4)?;
+/// let ring: PRing<u64, _, Heap<_>> = PRing::create(heap, 4)?;
 /// ring.push(1)?;
 /// ring.push(2)?;
 /// assert_eq!(ring.pop()?, Some(1));
@@ -45,7 +46,7 @@ const HEADER_BYTES: u64 = 40;
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct PRing<T, S = crate::VPm, A = Heap<S>>
+pub struct PRing<T, S = crate::VPm, A = crate::balloc::BitmapAlloc<S>>
 where
     S: MemSpace,
 {
@@ -200,7 +201,7 @@ mod tests {
     use super::*;
     use crate::space::VolatileSpace;
 
-    fn ring(cap: u64) -> PRing<u32, VolatileSpace> {
+    fn ring(cap: u64) -> PRing<u32, VolatileSpace, Heap<VolatileSpace>> {
         PRing::create(Heap::attach(VolatileSpace::new(1 << 20)).unwrap(), cap).unwrap()
     }
 
@@ -244,11 +245,12 @@ mod tests {
     fn reattach_preserves_contents_and_capacity() {
         let space = VolatileSpace::new(1 << 20);
         {
-            let r: PRing<u32, _> = PRing::create(Heap::attach(space.clone()).unwrap(), 3).unwrap();
+            let r: PRing<u32, _, Heap<_>> =
+                PRing::create(Heap::attach(space.clone()).unwrap(), 3).unwrap();
             r.push(7).unwrap();
         }
         // Different capacity argument is ignored on reattach.
-        let r: PRing<u32, _> = PRing::create(Heap::attach(space).unwrap(), 999).unwrap();
+        let r: PRing<u32, _, Heap<_>> = PRing::create(Heap::attach(space).unwrap(), 999).unwrap();
         assert_eq!(r.capacity().unwrap(), 3);
         assert_eq!(r.pop().unwrap(), Some(7));
     }
@@ -256,6 +258,6 @@ mod tests {
     #[test]
     fn zero_capacity_rejected() {
         let heap = Heap::attach(VolatileSpace::new(1 << 20)).unwrap();
-        assert!(PRing::<u32, _>::create(heap, 0).is_err());
+        assert!(PRing::<u32, _, Heap<_>>::create(heap, 0).is_err());
     }
 }

@@ -7,6 +7,7 @@ use parking_lot::Mutex;
 
 use crate::allocator::PmAllocator;
 use crate::error::PaxError;
+#[cfg(test)]
 use crate::heap::Heap;
 use crate::pod::Pod;
 use crate::space::MemSpace;
@@ -33,7 +34,7 @@ const INITIAL_CAP: u64 = 8;
 /// use libpax::{Heap, PVec, VolatileSpace};
 ///
 /// # fn main() -> libpax::Result<()> {
-/// let v: PVec<u32, _> = PVec::attach(Heap::attach(VolatileSpace::new(1 << 20))?)?;
+/// let v: PVec<u32, _, Heap<_>> = PVec::attach(Heap::attach(VolatileSpace::new(1 << 20))?)?;
 /// v.push(3)?;
 /// v.push(5)?;
 /// assert_eq!(v.get(1)?, Some(5));
@@ -43,7 +44,7 @@ const INITIAL_CAP: u64 = 8;
 /// # }
 /// ```
 #[derive(Debug, Clone)]
-pub struct PVec<T, S = crate::VPm, A = Heap<S>>
+pub struct PVec<T, S = crate::VPm, A = crate::balloc::BitmapAlloc<S>>
 where
     S: MemSpace,
 {
@@ -206,7 +207,7 @@ mod tests {
     use super::*;
     use crate::space::VolatileSpace;
 
-    fn vec_u32() -> PVec<u32, VolatileSpace> {
+    fn vec_u32() -> PVec<u32, VolatileSpace, Heap<VolatileSpace>> {
         PVec::attach(Heap::attach(VolatileSpace::new(1 << 20)).unwrap()).unwrap()
     }
 
@@ -250,12 +251,13 @@ mod tests {
     fn reattach_preserves_contents() {
         let space = VolatileSpace::new(1 << 20);
         {
-            let v: PVec<u64, _> = PVec::attach(Heap::attach(space.clone()).unwrap()).unwrap();
+            let v: PVec<u64, _, Heap<_>> =
+                PVec::attach(Heap::attach(space.clone()).unwrap()).unwrap();
             for i in 0..20 {
                 v.push(i).unwrap();
             }
         }
-        let v2: PVec<u64, _> = PVec::attach(Heap::attach(space).unwrap()).unwrap();
+        let v2: PVec<u64, _, Heap<_>> = PVec::attach(Heap::attach(space).unwrap()).unwrap();
         assert_eq!(v2.len().unwrap(), 20);
         assert_eq!(v2.get(19).unwrap(), Some(19));
     }
@@ -263,7 +265,7 @@ mod tests {
     #[test]
     fn float_elements() {
         let heap = Heap::attach(VolatileSpace::new(1 << 20)).unwrap();
-        let v: PVec<f64, _> = PVec::attach(heap).unwrap();
+        let v: PVec<f64, _, Heap<_>> = PVec::attach(heap).unwrap();
         v.push(3.75).unwrap();
         assert_eq!(v.get(0).unwrap(), Some(3.75));
     }

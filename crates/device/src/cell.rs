@@ -16,7 +16,13 @@
 //!   records through an unsynchronized boolean check and never takes the
 //!   lock at all.
 //!
-//! Both recover from poisoning (a panicked thread must not wedge every
+//! * [`WbGate`] — one per lane: serializes that lane's *write-back
+//!   drains* (background steps, persist batches, forced drains) against
+//!   each other now that the drains no longer all run under the lane's
+//!   `Mutex<DeviceShard>`. Lock order: ctl → core → lane → wb-gate →
+//!   HBM set → pool → trace (DESIGN.md §15).
+//!
+//! All recover from poisoning (a panicked thread must not wedge every
 //! other thread's persist), matching the vendored `parking_lot` shim's
 //! policy.
 
@@ -57,6 +63,20 @@ impl PoolCell {
 
     pub(crate) fn into_inner(self) -> PmPool {
         self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A lane's write-back drain gate (see module docs). Consumers of the
+/// lane's [`WbQueue`](crate::shard::WbQueue) must hold this for the
+/// whole pop-check-write sequence so two drains never interleave their
+/// queue pops with their PM writes.
+#[derive(Debug, Default)]
+pub(crate) struct WbGate(Mutex<()>);
+
+impl WbGate {
+    /// Locks the gate. Take the lane mutex (if taking it at all) first.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, ()> {
+        lock(&self.0)
     }
 }
 

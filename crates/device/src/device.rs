@@ -27,8 +27,8 @@
 //! default) degenerates to the classic sharded device exactly.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use pax_cache::{HomeAgent, HostSnoop, ShardedHome};
 use pax_pm::{CacheLine, CrashClock, LineAddr, PersistencyModel, PmError, PmPool, Result};
@@ -40,7 +40,7 @@ use crate::hbm::{HbmConfig, HbmLine};
 use crate::metrics::{DeviceCounters, DeviceMetrics};
 use crate::recovery::{recover_traced, RecoveryReport};
 use crate::sched::{persist_drain_budget, weighted_budget, DeviceScheduler, SchedConfig};
-use crate::shard::{split_log_region, tick, DeviceShard};
+use crate::shard::{split_log_region, tick, DeviceShard, LaneHandles};
 use crate::tenant::{TenantId, TenantMap, TenantRegion};
 use crate::undo_log::{AtomicBank, LogWatermark};
 
@@ -90,6 +90,16 @@ pub struct DeviceConfig {
     /// the `locked-log` cargo feature (off ⇒ CAS), so CI can run the
     /// whole suite under either engine.
     pub locked_log: bool,
+    /// When true, every hot-path protocol section re-acquires the lane's
+    /// `Mutex<DeviceShard>` — the pre-lock-free-HBM engine, kept as the
+    /// CI-differential baseline for `tests/hbm_lockfree.rs`. When false
+    /// (the default), stores, evictions, and the persist sweep go through
+    /// the lane's shared handles (concurrent HBM set index, striped
+    /// epoch-log map, striped directory, atomic counters) and the hit
+    /// path takes no lane mutex at all. Defaults to the `locked-hbm`
+    /// cargo feature (off ⇒ lock-free), so CI can run the whole suite
+    /// under either engine.
+    pub locked_hbm: bool,
     /// Consecutive skipped non-blocking polls of one tenant's drain
     /// after which [`PaxDevice::background`]'s poll falls back to a
     /// patient (bounded-spin) acquisition of the ctl lock, so a
@@ -179,6 +189,21 @@ impl DeviceConfig {
         self
     }
 
+    /// Returns the config with the mutex-guarded lane engine (the
+    /// lock-free HBM set index's differential baseline): every hot-path
+    /// protocol section runs under the lane's `Mutex<DeviceShard>`.
+    pub fn with_locked_hbm(mut self) -> Self {
+        self.locked_hbm = true;
+        self
+    }
+
+    /// Returns the config with the lock-free concurrent HBM engine,
+    /// overriding the `locked-hbm` cargo feature's default.
+    pub fn with_lockfree_hbm(mut self) -> Self {
+        self.locked_hbm = false;
+        self
+    }
+
     /// Returns the config with a different poll-starvation threshold. A
     /// zero limit is rejected by [`DeviceConfig::validate`].
     pub fn with_poll_skip_limit(mut self, n: u64) -> Self {
@@ -252,6 +277,7 @@ impl Default for DeviceConfig {
             directory: DirectoryConfig::enabled(),
             persist_wb_batch: 8,
             locked_log: cfg!(feature = "locked-log"),
+            locked_hbm: cfg!(feature = "locked-hbm"),
             poll_skip_limit: 64,
             persistency: PersistencyModel::Epoch,
         }
@@ -301,27 +327,42 @@ struct DrainState {
 /// Every public method takes `&self`: the device is `Send + Sync`, and N
 /// OS threads may issue stores concurrently (one tenant/core per thread;
 /// see DESIGN.md §11). The lock order is
-/// **ctl (`draining[t]`) → host core → lane (`shards[l]`) → pool →
-/// trace**. Persist paths hold their tenant's ctl lock for their whole
-/// duration; hot paths only ever `try_lock` it (a contended ctl implies a
-/// concurrent persist, and non-blocking [`DrainState`]s exist only in
-/// single-driver mode, so skipping is correct there — the bounded-spin
-/// starvation fallback in `poll_one_tenant` likewise never blocks on ctl,
-/// because `SharedComplex::write` reaches this code while holding a host
-/// core lock and a hard `lock()` would invert ctl → core). Hot paths
-/// never hold a lane lock across a call that acquires another lane or a
-/// host core. Epoch counters and the per-lane durable log watermarks are
-/// atomics, read lock-free.
+/// **ctl (`draining[t]`) → host core → lane (`shards[l]`) → wb-gate →
+/// HBM set / directory stripe / epoch-log stripe → pool → trace**
+/// (DESIGN.md §15). Persist paths hold their tenant's ctl lock for their
+/// whole duration; hot paths only ever `try_lock` it (a contended ctl
+/// implies a concurrent persist, and non-blocking [`DrainState`]s exist
+/// only in single-driver mode, so skipping is correct there — the
+/// bounded-spin starvation fallback in `poll_one_tenant` likewise never
+/// blocks on ctl, because `SharedComplex::write` reaches this code while
+/// holding a host core lock and a hard `lock()` would invert ctl →
+/// core). Hot paths never hold a lane lock across a call that acquires
+/// another lane or a host core. Epoch counters and the per-lane durable
+/// log watermarks are atomics, read lock-free.
+///
+/// **The lane mutex is off the store hot path** (PR 10): each lane's
+/// hot state — the concurrent HBM set index, the striped epoch-log map,
+/// the write-back queue, the striped ownership directory, and the atomic
+/// counter registry — is reachable through shared [`LaneHandles`] held
+/// alongside (not inside) the `Mutex<DeviceShard>`, so `RdShared` /
+/// `RdOwn` / eviction service and the persist sweep on the *same lane*
+/// proceed with no lane-mutex acquisition at all. The mutex survives for
+/// the locked-mode undo log (`&mut UndoLog`), commit-time epoch reset,
+/// and recovery/snapshot sync; write-back *drains* serialize on the
+/// per-lane [`WbGate`](crate::cell::WbGate) instead (lane — when held at
+/// all — orders before wb-gate). [`DeviceConfig::with_locked_hbm`]
+/// restores the mutex-guarded engine as the CI-differential baseline,
+/// and `lane_lock_acquisitions` counts every acquisition so tests can
+/// assert the zero-lock hit path.
 ///
 /// Under the default CAS undo bank ([`crate::AtomicBank`]) the log hot
 /// paths sit *outside* this hierarchy entirely: append reserves a slot
-/// with a CAS on the bank's packed tail word (no lock at all — the lane
-/// lock at append call sites guards only HBM/directory state), and the
+/// with a CAS on the bank's packed tail word (no lock at all), and the
 /// pump/flush media handoff takes **pool only**, never the lane lock.
 /// Only [`DeviceConfig::with_locked_log`] routes both back under the lane
-/// mutex. Epoch commit — which takes ctl, flushes every lane of the
-/// tenant, and writes the header slot — is the only cross-shard
-/// rendezvous.
+/// mutex (which is why `locked_log` implies the locked-lane engine).
+/// Epoch commit — which takes ctl, flushes every lane of the tenant, and
+/// writes the header slot — is the only cross-shard rendezvous.
 #[derive(Debug)]
 pub struct PaxDevice {
     /// The PM media behind its single global lock; engines lock it only
@@ -337,9 +378,29 @@ pub struct PaxDevice {
     /// `t*S + addr % S`.
     stride: usize,
     /// The per-line state, one lane mutex per [`DeviceShard`] (`T*S`
-    /// total, tenant-major): each guards its slice's undo bank, HBM sets,
-    /// and write-back queue, so disjoint lanes never contend.
+    /// total, tenant-major). Since PR 10 the mutex guards only the
+    /// locked-mode undo log and commit/recovery-time state sync; hot
+    /// paths go through `lanes` instead.
     shards: Vec<Mutex<DeviceShard>>,
+    /// Shared hot-path handles, one clone per lane (index-aligned with
+    /// `shards`): the concurrent HBM index, epoch-log map, write-back
+    /// queue, directory, counters, wb-gate, watermark, and CAS bank.
+    /// Everything a store or persist sweep touches without the lane
+    /// mutex.
+    lanes: Vec<LaneHandles>,
+    /// Whether hot-path protocol sections must take the lane mutex:
+    /// [`DeviceConfig::locked_hbm`] (the differential baseline), or
+    /// [`DeviceConfig::locked_log`] (whose append/pump need
+    /// `&mut UndoLog` from the guard).
+    hot_locked: bool,
+    /// Cumulative lane-mutex acquisitions, all paths. The lock-free
+    /// engine's tentpole invariant — a warm same-lane store storm takes
+    /// zero — is asserted through this counter.
+    lane_lock_acquisitions: AtomicU64,
+    /// Per tenant: depth of its non-blocking drain queue, mirrored out
+    /// of `draining` so hot paths can skip the ctl `try_lock` entirely
+    /// in the common nothing-draining case. Updated under ctl.
+    drain_depth: Vec<AtomicUsize>,
     /// Per-lane durable watermarks, shared with each lane's
     /// [`crate::UndoLog`]: drain polling checks durability without taking
     /// any lane lock.
@@ -481,6 +542,7 @@ impl PaxDevice {
         }
         let watermarks = shards.iter().map(|s| s.log.watermark()).collect();
         let log_banks = shards.iter().map(|s| s.log.bank()).collect();
+        let lane_handles = shards.iter().map(|s| s.handles()).collect();
         Ok(PaxDevice {
             pool: PoolCell::new(pool),
             clock: CrashClock::new(),
@@ -488,6 +550,10 @@ impl PaxDevice {
             tenants,
             stride,
             shards: shards.into_iter().map(Mutex::new).collect(),
+            lanes: lane_handles,
+            hot_locked: config.locked_hbm || config.locked_log,
+            lane_lock_acquisitions: AtomicU64::new(0),
+            drain_depth: (0..t).map(|_| AtomicUsize::new(0)).collect(),
             watermarks,
             log_banks,
             epochs: epochs.into_iter().map(AtomicU64::new).collect(),
@@ -594,14 +660,15 @@ impl PaxDevice {
         self.trace.lock().dump_json_lines()
     }
 
-    /// Undo-log entries appended in the current epoch (all lanes).
+    /// Undo-log entries appended in the current epoch (all lanes) — read
+    /// through the shared handles, no lane lock taken.
     pub fn epoch_log_len(&self) -> usize {
-        self.shards.iter().map(|s| lock(s).epoch_log_len()).sum()
+        self.lanes.iter().map(|h| h.epoch_log.len()).sum()
     }
 
     /// Undo-log entries tenant `t` appended in its current epoch.
     pub fn epoch_log_len_for(&self, t: TenantId) -> usize {
-        self.tenant_lanes(t).map(|l| lock(&self.shards[l]).epoch_log_len()).sum()
+        self.tenant_lanes(t).map(|l| self.lanes[l].epoch_log.len()).sum()
     }
 
     /// Total entries drained durably across all lane log banks — read
@@ -612,8 +679,15 @@ impl PaxDevice {
 
     /// Undo-log entries tenant `t` has appended but not yet drained
     /// durably — the backlog the scheduler's weighted budgets work off.
+    /// Lock-free under the CAS banks; the locked-log baseline reads
+    /// through the lane guard.
     pub fn log_pending_for(&self, t: TenantId) -> usize {
-        self.tenant_lanes(t).map(|l| lock(&self.shards[l]).log.pending_len()).sum()
+        self.tenant_lanes(t)
+            .map(|l| match &self.log_banks[l] {
+                Some(bank) => bank.pending_len(),
+                None => self.lock_lane(l).log.pending_len(),
+            })
+            .sum()
     }
 
     /// A handle to the crash clock shared with this device; arm it to cut
@@ -622,13 +696,46 @@ impl PaxDevice {
         self.clock.clone()
     }
 
-    /// HBM read hit rate so far (aggregated over lanes).
+    /// Cumulative `Mutex<DeviceShard>` (lane-mutex) acquisitions, all
+    /// paths. With the default lock-free HBM engine a warm same-lane
+    /// store path must not move this counter at all — asserted by
+    /// `store_hit_path_takes_no_lane_lock` and `tests/hbm_lockfree.rs`.
+    pub fn lane_lock_acquisitions(&self) -> u64 {
+        self.lane_lock_acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Locks lane `l`'s mutex, counting the acquisition.
+    fn lock_lane(&self, l: usize) -> MutexGuard<'_, DeviceShard> {
+        self.lane_lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        lock(&self.shards[l])
+    }
+
+    /// Non-blocking [`PaxDevice::lock_lane`]; only successful
+    /// acquisitions count.
+    fn try_lock_lane(&self, l: usize) -> Option<MutexGuard<'_, DeviceShard>> {
+        let g = try_lock(&self.shards[l]);
+        if g.is_some() {
+            self.lane_lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        }
+        g
+    }
+
+    /// The hot-path lane guard: `Some` exactly when the device runs a
+    /// locked baseline engine (`locked_hbm`, or `locked_log`, whose
+    /// append/pump need `&mut UndoLog`). Hot paths hold it per protocol
+    /// section and never across [`PaxDevice::background`] or another
+    /// lane.
+    fn hot_guard(&self, l: usize) -> Option<MutexGuard<'_, DeviceShard>> {
+        self.hot_locked.then(|| self.lock_lane(l))
+    }
+
+    /// HBM read hit rate so far (aggregated over lanes) — pure atomic
+    /// reads through the shared handles, no lock taken.
     pub fn hbm_hit_rate(&self) -> f64 {
         let (mut hits, mut misses) = (0u64, 0u64);
-        for s in &self.shards {
-            let shard = lock(s);
-            hits += shard.hbm.hits();
-            misses += shard.hbm.misses();
+        for h in &self.lanes {
+            hits += h.hbm.hits();
+            misses += h.hbm.misses();
         }
         let total = hits + misses;
         if total == 0 {
@@ -663,6 +770,9 @@ impl PaxDevice {
         }
         for d in &self.draining {
             lock(d).clear();
+        }
+        for d in &self.drain_depth {
+            d.store(0, Ordering::Release);
         }
         self.pool.lock().crash();
         let snapshot = self.metric_snapshot();
@@ -714,20 +824,28 @@ impl PaxDevice {
     /// tenant's draining-epoch captured value (the *newest* queued epoch
     /// holding one, since later epochs supersede earlier), then PM.
     ///
-    /// Hot path: the ctl lock is only tried — a contended ctl means a
-    /// concurrent persist, and drain states exist only in single-driver
-    /// mode, so there is no captured value to miss.
+    /// Hot path: the ctl lock is skipped outright while the tenant's
+    /// drain queue is empty (the atomic depth mirror), and only *tried*
+    /// otherwise — a contended ctl means a concurrent persist, and drain
+    /// states exist only in single-driver mode, so there is no captured
+    /// value to miss.
     fn resolve(&self, lane: usize, addr: LineAddr) -> Result<CacheLine> {
         let t = lane / self.stride;
-        let drain_value = try_lock(&self.draining[t])
-            .and_then(|g| g.iter().rev().find_map(|d| d.values.get(&addr)).cloned());
-        lock(&self.shards[lane]).resolve(
+        let drain_value = if self.drain_depth[t].load(Ordering::Acquire) == 0 {
+            None
+        } else {
+            try_lock(&self.draining[t])
+                .and_then(|g| g.iter().rev().find_map(|d| d.values.get(&addr)).cloned())
+        };
+        let mut hot = self.hot_guard(lane);
+        self.lanes[lane].resolve(
             &self.pool,
             &self.clock,
             &self.trace,
             self.config.cache_clean_reads,
             drain_value,
             addr,
+            hot.as_deref_mut().map(|s| &mut s.log),
         )
     }
 
@@ -749,9 +867,15 @@ impl PaxDevice {
         let idle_log = self.config.log_pump_batch.min(1);
         let idle_wb = self.config.writeback_batch.min(1);
         if self.shards.len() > 1 && idle_log + idle_wb > 0 {
-            // A lane busy on another thread is simply not idle this round.
             let idle = self.sched.next_idle(self.shards.len(), lane, |s| {
-                try_lock(&self.shards[s]).is_some_and(|g| g.has_background_work())
+                !self.lanes[s].writeback_queue.is_empty()
+                    || match &self.log_banks[s] {
+                        Some(bank) => bank.pending_len() > 0,
+                        // Locked-log pending length lives behind the lane
+                        // guard; a lane busy on another thread is simply
+                        // not idle this round.
+                        None => self.try_lock_lane(s).is_some_and(|g| g.log.pending_len() > 0),
+                    }
             });
             if let Some(s) = idle {
                 let before = self.clock.steps_taken();
@@ -782,7 +906,13 @@ impl PaxDevice {
             }
             None => log_batch,
         };
-        lock(&self.shards[lane]).background(
+        // Fast path: nothing for the guarded engine to do — the CAS pump
+        // above already ran — so a pure store storm's background step
+        // never touches the lane mutex at all.
+        if lane_log_batch == 0 && (wb_batch == 0 || self.lanes[lane].writeback_queue.is_empty()) {
+            return Ok(());
+        }
+        self.lock_lane(lane).background(
             &self.pool,
             &self.clock,
             &self.trace,
@@ -823,7 +953,7 @@ impl PaxDevice {
             for s in 0..self.stride {
                 let active: Vec<usize> = (0..self.tenants.len())
                     .map(|t| t * self.stride + s)
-                    .filter(|&l| lock(&self.shards[l]).has_background_work())
+                    .filter(|&l| self.lane_has_background_work(l))
                     .collect();
                 let active_weight: u64 =
                     active.iter().map(|&l| self.tenants.weight(l / self.stride) as u64).sum();
@@ -837,7 +967,10 @@ impl PaxDevice {
             }
             if cfg.adaptive {
                 for l in 0..self.shards.len() {
-                    let pending = lock(&self.shards[l]).log.pending_len();
+                    let pending = match &self.log_banks[l] {
+                        Some(bank) => bank.pending_len(),
+                        None => self.lock_lane(l).log.pending_len(),
+                    };
                     self.sched.observe_log_depth(l, pending, &cfg);
                 }
             }
@@ -855,6 +988,18 @@ impl PaxDevice {
     /// Virtual ticks the scheduler has executed ([`PaxDevice::tick`]).
     pub fn ticks_elapsed(&self) -> u64 {
         self.sched.ticks()
+    }
+
+    /// Whether lane `l` has background work pending (undo entries not
+    /// yet durable, or queued write-backs), observed through the shared
+    /// handles — the locked-log baseline alone reads pending length
+    /// behind the lane guard.
+    fn lane_has_background_work(&self, l: usize) -> bool {
+        !self.lanes[l].writeback_queue.is_empty()
+            || match &self.log_banks[l] {
+                Some(bank) => bank.pending_len() > 0,
+                None => self.lock_lane(l).log.pending_len() > 0,
+            }
     }
 
     /// Ends every tenant's current epoch in tenant order and returns
@@ -992,9 +1137,11 @@ impl PaxDevice {
     /// through each undo log entry as it persists"), snooping only the
     /// lines the ownership directory says the host may still hold
     /// modified, and returns the lane's epoch-log length plus the
-    /// `(addr, value)` pairs that still need a PM write back. The lane
-    /// lock is dropped around each snoop — host core locks order
-    /// *before* lane locks. What varies per [`SweepMode`]:
+    /// `(addr, value)` pairs that still need a PM write back. Runs
+    /// through the lane's shared handles — lock-free mode takes no lane
+    /// mutex; the locked baseline re-acquires it per protocol section,
+    /// dropped around each snoop (host core locks order *before* lane
+    /// locks). What varies per [`SweepMode`]:
     ///
     /// * `Snoop` — downgrade; returned host data refreshes the HBM copy
     ///   so post-persist reads stay warm.
@@ -1019,17 +1166,18 @@ impl PaxDevice {
         mode: SweepMode,
     ) -> Result<(u64, Vec<(LineAddr, CacheLine)>)> {
         let filter = self.config.directory.enabled;
-        let logged = lock(&self.shards[l]).sorted_epoch_log();
+        let h = &self.lanes[l];
+        let logged = h.epoch_log.sorted();
         let entries = logged.len() as u64;
         let mut pending = Vec::with_capacity(logged.len());
         for (_offset, addr) in logged {
             let should_snoop = {
-                let mut shard = lock(&self.shards[l]);
-                let should = shard.dir_should_snoop(addr, filter);
+                let _hot = self.hot_guard(l);
+                let should = h.dir_should_snoop(addr, filter);
                 // CLWB invalidates rather than snoops; only the
                 // downgrade flavours count toward `snoops_sent`.
                 if should && mode != SweepMode::Clwb {
-                    shard.count_snoop_sent();
+                    h.count_snoop_sent();
                 }
                 should
             };
@@ -1041,30 +1189,36 @@ impl PaxDevice {
                     _ => cache.snoop_shared(addr),
                 };
                 // The snoop itself is the host's give-up evidence.
-                lock(&self.shards[l]).dir_clear(addr);
+                let _hot = self.hot_guard(l);
+                h.dir_clear(addr);
                 d
             } else {
                 None
             };
-            let mut shard = lock(&self.shards[l]);
+            let mut hot = self.hot_guard(l);
             let data = match (host_data, mode) {
                 (Some(d), SweepMode::Clwb) => Some(d),
                 (Some(d), _) => {
-                    shard.count_snoop_data_returned();
+                    h.count_snoop_data_returned();
                     // Refresh the HBM copy so post-persist reads hit.
-                    shard.hbm_refresh_clean(
+                    // Replace-mode: the host just returned the
+                    // authoritative value, so any resident (possibly
+                    // stale-dirty) copy must lose.
+                    h.hbm_refresh_clean(
                         &self.pool,
                         &self.clock,
                         &self.trace,
+                        hot.as_deref_mut().map(|s| &mut s.log),
                         addr,
                         d.clone(),
+                        false,
                     )?;
                     Some(d)
                 }
-                (None, SweepMode::Capture) => match shard.hbm_peek(addr) {
+                (None, SweepMode::Capture) => match h.hbm_peek(addr) {
                     Some(line) if line.dirty => {
                         let d = line.data.clone();
-                        shard.hbm_mark_clean(addr);
+                        h.hbm_mark_clean(addr);
                         Some(d)
                     }
                     // Already written back during the epoch; PM is
@@ -1072,13 +1226,13 @@ impl PaxDevice {
                     _ => None,
                 },
                 (None, _) => {
-                    shard.hbm_peek(addr).filter(|line| line.dirty).map(|line| line.data.clone())
+                    h.hbm_peek(addr).filter(|line| line.dirty).map(|line| line.data.clone())
                 }
             };
             if data.is_none() && mode == SweepMode::Clwb {
-                shard.hbm_mark_clean(addr);
+                h.hbm_mark_clean(addr);
             }
-            drop(shard);
+            drop(hot);
             if let Some(d) = data {
                 pending.push((addr, d));
             }
@@ -1106,9 +1260,15 @@ impl PaxDevice {
             return Ok(());
         }
         let addrs: Vec<LineAddr> = pending.iter().map(|&(a, _)| a).collect();
-        let mut shard = lock(&self.shards[lane]);
+        let h = &self.lanes[lane];
+        // Lane guard (locked baseline only) before the wb-gate — the
+        // fixed drain order. The gate keeps a concurrent background
+        // drain from landing a stale HBM copy on top of these
+        // just-snooped values.
+        let _hot = self.hot_guard(lane);
+        let _gate = h.wb_gate.lock();
         for run in coalesce_runs(&addrs, self.stride as u64, self.config.persist_wb_batch) {
-            shard.count_wb_batch();
+            h.count_wb_batch();
             tick(&self.clock, &mut self.pool.lock())?;
             for (addr, data) in &pending[run] {
                 {
@@ -1116,10 +1276,10 @@ impl PaxDevice {
                     let abs = pm.layout().vpm_to_pool(addr.0)?;
                     pm.write_line(abs, data.clone())?;
                 }
-                shard.count_writeback();
+                h.count_writeback();
                 self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
-                shard.hbm_mark_clean(*addr);
-                shard.dir_clear(*addr);
+                h.hbm_mark_clean(*addr);
+                h.dir_clear(*addr);
             }
         }
         Ok(())
@@ -1147,7 +1307,7 @@ impl PaxDevice {
         self.pool.lock().commit_epoch_for(t, committed)?;
 
         for l in self.tenant_lanes(t) {
-            lock(&self.shards[l]).reset_after_commit();
+            self.lock_lane(l).reset_after_commit();
         }
         // Release pairs with the Acquire load in `home_read_own`: a store
         // thread that tags an undo entry with the new epoch number must
@@ -1156,7 +1316,7 @@ impl PaxDevice {
         self.epochs[t].store(committed + 1, Ordering::Release);
         // Charged to the tenant's phase-0 lane so per-tenant rollups
         // conserve the persist count.
-        lock(&self.shards[t * self.stride]).count_persist();
+        self.lanes[t * self.stride].count_persist();
         self.trace.record(COMPONENT, TraceEvent::EpochCommit { epoch: committed, entries });
         Ok(committed)
     }
@@ -1168,7 +1328,7 @@ impl PaxDevice {
     fn flush_lane_log(&self, l: usize) -> Result<()> {
         match &self.log_banks[l] {
             Some(bank) => bank.flush(&mut self.pool.lock(), &self.clock),
-            None => lock(&self.shards[l]).log.flush(&mut self.pool.lock(), &self.clock),
+            None => self.lock_lane(l).log.flush(&mut self.pool.lock(), &self.clock),
         }
     }
 
@@ -1241,11 +1401,15 @@ impl PaxDevice {
         // Each of the tenant's banks must drain through the epoch's last
         // entry; commit will recycle exactly those slots.
         let flush_to: Vec<u64> =
-            self.tenant_lanes(t).map(|l| lock(&self.shards[l]).log.appended()).collect();
+            self.tenant_lanes(t).map(|l| self.lock_lane(l).log.appended()).collect();
         let epoch = self.epochs[t].load(Ordering::Acquire);
         ctl.push_back(DrainState { epoch, queue, values, flush_to, entries });
+        // Mirror of the queue depth for the lock-free fast paths:
+        // `resolve` / `drain_one_line_now` skip their ctl `try_lock`
+        // entirely while this reads 0 (DESIGN.md §15).
+        self.drain_depth[t].fetch_add(1, Ordering::Release);
         for l in self.tenant_lanes(t) {
-            lock(&self.shards[l]).begin_next_epoch();
+            self.lock_lane(l).begin_next_epoch();
         }
         // Release pairs with the Acquire load in `home_read_own`: appends
         // tagged with the next epoch happen-after the lanes rolled their
@@ -1369,7 +1533,7 @@ impl PaxDevice {
                     lagging = true;
                 }
             } else {
-                let mut shard = lock(&self.shards[l]);
+                let mut shard = self.lock_lane(l);
                 if shard.log.durable_offset() < target {
                     shard.log.pump(&mut self.pool.lock(), &self.clock, batch)?;
                     if shard.log.durable_offset() < target {
@@ -1409,7 +1573,13 @@ impl PaxDevice {
                 batch.push((next, d));
             }
             let lane = t * stride + addr.0 as usize % stride;
-            lock(&self.shards[lane]).count_wb_batch();
+            let h = &self.lanes[lane];
+            // Lane (locked baseline only) before wb-gate: the gate
+            // serializes this drain's PM writes against the lane's
+            // background write-back consumer.
+            let _hot = self.hot_guard(lane);
+            let _gate = h.wb_gate.lock();
+            h.count_wb_batch();
             tick(&self.clock, &mut self.pool.lock())?;
             for (a, d) in batch {
                 {
@@ -1417,7 +1587,7 @@ impl PaxDevice {
                     let abs = pm.layout().vpm_to_pool(a.0)?;
                     pm.write_line(abs, d)?;
                 }
-                lock(&self.shards[lane]).count_writeback();
+                h.count_writeback();
                 self.trace.record(COMPONENT, TraceEvent::WriteBack { line: a.0 });
             }
         }
@@ -1425,10 +1595,11 @@ impl PaxDevice {
         let done = ctl.front().is_some_and(|d| d.queue.is_empty());
         if done {
             let ds = ctl.pop_front().expect("checked");
+            self.drain_depth[t].fetch_sub(1, Ordering::Release);
             self.pool.lock().drain();
             tick(&self.clock, &mut self.pool.lock())?;
             self.pool.lock().commit_epoch_for(t, ds.epoch)?;
-            lock(&self.shards[t * self.stride]).count_persist();
+            self.lanes[t * self.stride].count_persist();
             self.trace.record(
                 COMPONENT,
                 TraceEvent::EpochCommit { epoch: ds.epoch, entries: ds.entries },
@@ -1440,7 +1611,11 @@ impl PaxDevice {
             // never happens, and the region filled up with committed
             // entries until spurious `LogFull`.)
             for (i, &target) in ds.flush_to.iter().enumerate() {
-                lock(&self.shards[t * self.stride + i]).log.recycle_to(target);
+                let l = t * self.stride + i;
+                match &self.log_banks[l] {
+                    Some(bank) => bank.recycle_to(target),
+                    None => self.lock_lane(l).log.recycle_to(target),
+                }
             }
             return Ok(Some(ds.epoch));
         }
@@ -1494,6 +1669,12 @@ impl PaxDevice {
             return Ok(());
         };
         let s = addr.0 as usize % self.stride;
+        // Lock-free fast path: no drain in flight for this tenant means
+        // nothing to order against (the depth mirror is bumped under ctl
+        // before any value is queued, so a racing close is observed).
+        if self.drain_depth[t].load(Ordering::Acquire) == 0 {
+            return Ok(());
+        }
         let Some(mut ctl) = try_lock(&self.draining[t]) else {
             return Ok(());
         };
@@ -1506,10 +1687,24 @@ impl PaxDevice {
                 continue;
             };
             let flush_to = ds.flush_to[s];
-            let mut shard = lock(&self.shards[t * self.stride + s]);
-            while shard.log.durable_offset() < flush_to {
-                shard.count_forced_flush();
-                if shard.log.pump(&mut self.pool.lock(), &self.clock, usize::MAX)? == 0 {
+            let lane = t * self.stride + s;
+            let h = &self.lanes[lane];
+            let mut hot = self.hot_guard(lane);
+            let _gate = h.wb_gate.lock();
+            while h.watermark.durable() < flush_to {
+                h.count_forced_flush();
+                let pumped = match (&self.log_banks[lane], hot.as_deref_mut()) {
+                    (Some(bank), _) => bank.pump(&mut self.pool.lock(), &self.clock, usize::MAX)?,
+                    (None, Some(shard)) => {
+                        shard.log.pump(&mut self.pool.lock(), &self.clock, usize::MAX)?
+                    }
+                    (None, None) => {
+                        return Err(PmError::ProtocolViolation {
+                            invariant: "locked-log lane pumped without the lane guard",
+                        })
+                    }
+                };
+                if pumped == 0 {
                     return Err(PmError::ProtocolViolation {
                         invariant: "draining epoch's undo entries are neither durable nor pending",
                     });
@@ -1521,7 +1716,7 @@ impl PaxDevice {
                 let abs = pm.layout().vpm_to_pool(addr.0)?;
                 pm.write_line(abs, data)?;
             }
-            shard.count_writeback();
+            h.count_writeback();
             self.trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
         }
         Ok(())
@@ -1532,7 +1727,10 @@ impl PaxDevice {
     /// `RdShared` service, shared by both [`HomeAgent`] impls.
     fn home_read_shared(&self, addr: LineAddr) -> Result<CacheLine> {
         let l = self.lane_of(addr)?;
-        lock(&self.shards[l]).count_rd_shared();
+        {
+            let _hot = self.hot_guard(l);
+            self.lanes[l].count_rd_shared();
+        }
         self.trace
             .record(COMPONENT, TraceEvent::Coherence { op: "rd_shared".into(), line: addr.0 });
         self.background(l)?;
@@ -1542,7 +1740,10 @@ impl PaxDevice {
     /// `RdOwn` service, shared by both [`HomeAgent`] impls.
     fn home_read_own(&self, addr: LineAddr) -> Result<CacheLine> {
         let l = self.lane_of(addr)?;
-        lock(&self.shards[l]).count_rd_own();
+        {
+            let _hot = self.hot_guard(l);
+            self.lanes[l].count_rd_own();
+        }
         self.trace.record(COMPONENT, TraceEvent::Coherence { op: "rd_own".into(), line: addr.0 });
         self.background(l)?;
         let old = self.resolve(l, addr)?;
@@ -1553,13 +1754,17 @@ impl PaxDevice {
         // thread also sees the lane state those commits published before
         // bumping the counter.
         let epoch = self.epochs[l / self.stride].load(Ordering::Acquire);
-        let mut shard = lock(&self.shards[l]);
-        shard.log_if_first(&self.trace, epoch, addr, &old)?;
-        // The ownership grant is the directory's set point: from here the
-        // host plausibly holds the line modified. Gated so the disabled
-        // ablation leaves the directory (and its gauges) untouched.
-        if self.config.directory.enabled {
-            shard.dir_note_owned(addr);
+        {
+            let h = &self.lanes[l];
+            let mut hot = self.hot_guard(l);
+            h.log_if_first(&self.trace, hot.as_deref_mut().map(|s| &mut s.log), epoch, addr, &old)?;
+            // The ownership grant is the directory's set point: from here
+            // the host plausibly holds the line modified. Gated so the
+            // disabled ablation leaves the directory (and its gauges)
+            // untouched.
+            if self.config.directory.enabled {
+                h.dir_note_owned(addr);
+            }
         }
         Ok(old)
     }
@@ -1567,11 +1772,11 @@ impl PaxDevice {
     /// Clean-eviction service, shared by both [`HomeAgent`] impls.
     fn home_clean_evict(&self, addr: LineAddr) {
         if let Ok(l) = self.lane_of(addr) {
-            let mut shard = lock(&self.shards[l]);
-            shard.count_clean_evict();
+            let _hot = self.hot_guard(l);
+            self.lanes[l].count_clean_evict();
             // Safe to untrack: Shared and Modified copies never coexist,
             // so a clean eviction means no core holds the line modified.
-            shard.dir_clear(addr);
+            self.lanes[l].dir_clear(addr);
         }
         self.trace
             .record(COMPONENT, TraceEvent::Coherence { op: "clean_evict".into(), line: addr.0 });
@@ -1581,11 +1786,11 @@ impl PaxDevice {
     fn home_dirty_evict(&self, addr: LineAddr, data: CacheLine) -> Result<()> {
         let l = self.lane_of(addr)?;
         {
-            let mut shard = lock(&self.shards[l]);
-            shard.count_dirty_evict();
+            let _hot = self.hot_guard(l);
+            self.lanes[l].count_dirty_evict();
             // The host just handed its modified copy back: the line needs
             // no persist-time snoop until the next `RdOwn`.
-            shard.dir_clear(addr);
+            self.lanes[l].dir_clear(addr);
         }
         self.trace
             .record(COMPONENT, TraceEvent::Coherence { op: "dirty_evict".into(), line: addr.0 });
@@ -1595,33 +1800,43 @@ impl PaxDevice {
         // stale drain write could land on top of this epoch's write back).
         self.drain_one_line_now(addr)?;
         let epoch = self.epochs[l / self.stride].load(Ordering::Acquire);
-        let mut shard = lock(&self.shards[l]);
-        let offset = match shard.epoch_offset_of(addr) {
+        let h = &self.lanes[l];
+        let mut hot = self.hot_guard(l);
+        let offset = match h.epoch_offset_of(addr) {
             Some(o) => o,
             None => {
                 // Protocol anomaly: an eviction for a line we never saw an
                 // ownership request for this epoch. The PM copy is still
                 // the epoch-start value (write back is log-gated), so log
                 // it now.
-                shard.count_unlogged_dirty_evict();
+                h.count_unlogged_dirty_evict();
                 let old = {
                     let mut pm = self.pool.lock();
                     let abs = pm.layout().vpm_to_pool(addr.0)?;
                     pm.read_line(abs)?
                 };
-                shard.log_if_first(&self.trace, epoch, addr, &old)?
+                h.log_if_first(
+                    &self.trace,
+                    hot.as_deref_mut().map(|s| &mut s.log),
+                    epoch,
+                    addr,
+                    &old,
+                )?
             }
         };
-        let durable = shard.log.durable_offset();
-        let victim = shard.hbm_insert(
+        // Insert-then-dispose keeps a dirty victim indexed until its PM
+        // write retires (the victim closure runs under the set lock);
+        // the queue push happens-after the insert, matching the
+        // consumer's pop-then-peek protocol.
+        h.hbm_insert_disposing(
+            &self.pool,
+            &self.clock,
+            &self.trace,
+            hot.as_deref_mut().map(|s| &mut s.log),
             addr,
             HbmLine { data, dirty: true, log_offset: Some(offset) },
-            durable,
-        );
-        shard.writeback_queue.push_back(addr);
-        if let Some((vaddr, vline)) = victim {
-            shard.dispose_victim(&self.pool, &self.clock, &self.trace, vaddr, vline)?;
-        }
+        )?;
+        h.writeback_queue.push_back(addr);
         Ok(())
     }
 }
@@ -2347,8 +2562,8 @@ mod tests {
         });
         let device = PaxDevice::open_multi(pool, config, regions).unwrap();
         // 64 lines split 3:1 across tenants, one lane each.
-        assert_eq!(lock(&device.shards[0]).hbm.capacity_lines(), 48);
-        assert_eq!(lock(&device.shards[1]).hbm.capacity_lines(), 16);
+        assert_eq!(device.lanes[0].hbm.capacity_lines(), 48);
+        assert_eq!(device.lanes[1].hbm.capacity_lines(), 16);
     }
 
     #[test]
@@ -2364,7 +2579,7 @@ mod tests {
         let device = PaxDevice::open_multi(pool, config, regions).unwrap();
         // Tenant 1's 1/64 share is one line — rounded up to a full 8-way
         // set so the lane still functions.
-        assert_eq!(lock(&device.shards[1]).hbm.capacity_lines(), 8);
+        assert_eq!(device.lanes[1].hbm.capacity_lines(), 8);
     }
 
     #[test]
@@ -2451,6 +2666,87 @@ mod tests {
         let cas = run(DeviceConfig::default().with_cas_log());
         let locked = run(DeviceConfig::default().with_locked_log());
         assert_eq!(cas, locked);
+    }
+
+    /// Same twin-engine check for the HBM index: the concurrent set
+    /// index and the mutex-era engine must drive the machine identically
+    /// in single-driver mode. (`tests/hbm_lockfree.rs` proves the
+    /// byte-level half across random seeds.)
+    #[test]
+    fn lockfree_and_locked_hbm_tick_identically() {
+        let run = |config: DeviceConfig| {
+            let pool = PmPool::create(PoolConfig::small()).unwrap();
+            let mut device = PaxDevice::open(pool, config.with_shards(2)).unwrap();
+            let mut cache = CoherentCache::new(CacheConfig::tiny(16 << 10, 8));
+            for i in 0..32u64 {
+                cache.write(LineAddr(i % 11), CacheLine::filled(i as u8), &mut device).unwrap();
+            }
+            device.tick(8).unwrap();
+            device.persist(&mut cache).unwrap();
+            (device.metrics(), device.committed_epoch().unwrap())
+        };
+        let lockfree = run(DeviceConfig::default().with_lockfree_hbm());
+        let locked = run(DeviceConfig::default().with_locked_hbm());
+        assert_eq!(lockfree, locked);
+    }
+
+    /// The ISSUE's acceptance bar: a warm same-lane store takes **no**
+    /// `Mutex<DeviceShard>` acquisition under the default (lock-free)
+    /// engine, and still does under the `with_locked_hbm` baseline.
+    /// Drives `read_own` through the `&PaxDevice` home agent directly —
+    /// a host cache would keep the lines in M state and hide the device
+    /// hot path entirely.
+    #[test]
+    fn store_hit_path_takes_no_lane_lock() {
+        let run = |config: DeviceConfig| -> u64 {
+            let pool = PmPool::create(PoolConfig::small()).unwrap();
+            let device = PaxDevice::open(pool, config).unwrap();
+            let mut home = &device;
+            // Warm: first touch of each line misses HBM and may evict.
+            for i in 0..16u64 {
+                home.read_own(LineAddr(i)).unwrap();
+            }
+            let before = device.lane_lock_acquisitions();
+            for _ in 0..4 {
+                for i in 0..16u64 {
+                    home.read_own(LineAddr(i)).unwrap();
+                }
+            }
+            device.lane_lock_acquisitions() - before
+        };
+        assert_eq!(
+            run(DeviceConfig::default().with_cas_log().with_lockfree_hbm()),
+            0,
+            "lockfree store hit path must not touch the lane mutex"
+        );
+        assert!(
+            run(DeviceConfig::default().with_locked_hbm()) > 0,
+            "locked baseline keeps the lane mutex on the hot path"
+        );
+    }
+
+    /// Four real threads hammering one lane: the atomic counters must
+    /// conserve exactly (no lost increments) and the epoch-log dedup
+    /// must admit each line once.
+    #[test]
+    fn concurrent_same_lane_stores_preserve_telemetry_conservation() {
+        let pool = PmPool::create(PoolConfig::small()).unwrap();
+        let config = DeviceConfig::default().with_cas_log().with_lockfree_hbm();
+        let device = PaxDevice::open(pool, config).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut home = &device;
+                    for i in 0..200u64 {
+                        home.read_own(LineAddr(i % 16)).unwrap();
+                    }
+                });
+            }
+        });
+        let m = device.metrics();
+        assert_eq!(m.rd_own, 800, "every RdOwn counted");
+        assert_eq!(m.undo_entries, 16, "epoch-log dedup admits each line once");
+        assert_eq!(m.hbm_hits + m.hbm_misses, 800, "every resolve classified");
     }
 
     #[test]

@@ -35,6 +35,8 @@
 
 use std::collections::HashSet;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use pax_pm::LineAddr;
 
@@ -66,46 +68,84 @@ impl Default for DirectoryConfig {
     }
 }
 
+/// Number of independently locked stripes in the directory. Tracked
+/// lines hash across stripes so concurrent stores on the same lane
+/// rarely contend on a directory lock.
+const DIR_STRIPES: usize = 16;
+
 /// Tracks, per vPM line of one lane, whether the host plausibly holds
 /// the line modified (see module docs). Purely volatile device state:
 /// ticks never mutate it, and [`OwnershipDirectory::crash`] empties it.
-#[derive(Debug, Default)]
+///
+/// Since PR 10 the set is striped across [`DIR_STRIPES`] mutexes with an
+/// atomic residency counter, so hot-path `RdOwn`/eviction epilogues can
+/// update it through a shared reference without the lane mutex
+/// (DESIGN.md §15). Each operation touches exactly one stripe lock.
+#[derive(Debug)]
 pub struct OwnershipDirectory {
-    owned: HashSet<LineAddr>,
+    stripes: Vec<Mutex<HashSet<LineAddr>>>,
+    resident: AtomicUsize,
+}
+
+impl Default for OwnershipDirectory {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OwnershipDirectory {
     /// An empty directory (nothing tracked — maximally conservative).
     pub fn new() -> Self {
-        Self::default()
+        OwnershipDirectory {
+            stripes: (0..DIR_STRIPES).map(|_| Mutex::new(HashSet::new())).collect(),
+            resident: AtomicUsize::new(0),
+        }
+    }
+
+    fn stripe(&self, addr: LineAddr) -> &Mutex<HashSet<LineAddr>> {
+        let i = (addr.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize;
+        &self.stripes[i % DIR_STRIPES]
     }
 
     /// Records an `RdOwn`: the host now plausibly holds `addr` modified.
     /// Returns `true` when the line was not already tracked.
-    pub fn note_owned(&mut self, addr: LineAddr) -> bool {
-        self.owned.insert(addr)
+    pub fn note_owned(&self, addr: LineAddr) -> bool {
+        let new = self.stripe(addr).lock().unwrap_or_else(|e| e.into_inner()).insert(addr);
+        if new {
+            self.resident.fetch_add(1, Ordering::Relaxed);
+        }
+        new
     }
 
     /// Records evidence the host gave `addr` up (dirty eviction, snoop
     /// response, CLWB invalidate, device write-back). Returns `true`
     /// when the line was tracked.
-    pub fn clear_line(&mut self, addr: LineAddr) -> bool {
-        self.owned.remove(&addr)
+    pub fn clear_line(&self, addr: LineAddr) -> bool {
+        let was = self.stripe(addr).lock().unwrap_or_else(|e| e.into_inner()).remove(&addr);
+        if was {
+            self.resident.fetch_sub(1, Ordering::Relaxed);
+        }
+        was
     }
 
     /// Whether the host plausibly holds `addr` modified.
     pub fn holds(&self, addr: LineAddr) -> bool {
-        self.owned.contains(&addr)
+        self.stripe(addr).lock().unwrap_or_else(|e| e.into_inner()).contains(&addr)
     }
 
     /// Lines currently tracked.
     pub fn resident(&self) -> usize {
-        self.owned.len()
+        self.resident.load(Ordering::Relaxed)
     }
 
     /// Power loss: the directory is volatile and restarts empty.
-    pub fn crash(&mut self) {
-        self.owned.clear();
+    pub fn crash(&self) {
+        for stripe in &self.stripes {
+            let mut set = stripe.lock().unwrap_or_else(|e| e.into_inner());
+            let n = set.len();
+            set.clear();
+            self.resident.fetch_sub(n, Ordering::Relaxed);
+        }
     }
 }
 
@@ -146,7 +186,7 @@ mod tests {
 
     #[test]
     fn tracks_own_then_clear_lifecycle() {
-        let mut dir = OwnershipDirectory::new();
+        let dir = OwnershipDirectory::new();
         assert!(!dir.holds(LineAddr(3)));
         assert!(dir.note_owned(LineAddr(3)));
         assert!(!dir.note_owned(LineAddr(3)), "re-own of a tracked line is not new");
@@ -160,7 +200,7 @@ mod tests {
 
     #[test]
     fn crash_empties_the_directory() {
-        let mut dir = OwnershipDirectory::new();
+        let dir = OwnershipDirectory::new();
         dir.note_owned(LineAddr(1));
         dir.note_owned(LineAddr(2));
         dir.crash();

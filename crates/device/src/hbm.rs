@@ -13,8 +13,18 @@
 //! "the device buffer's eviction policy can try to minimize stalls by
 //! preferring to evict cache lines whose undo log entries are already
 //! durable". The `ablation_eviction` bench quantifies the difference.
+//!
+//! Since PR 10 the buffer is a *concurrent* index
+//! ([`ConcurrentSetAssoc`]): every method takes `&self`, hit/miss
+//! counters are atomics, and same-lane stores probe and update the set
+//! index without holding the lane's `Mutex<DeviceShard>` (DESIGN.md
+//! §15). Eviction disposal runs inside the per-set critical section via
+//! [`HbmCache::insert_then`], so a dirty victim is never invisible while
+//! its data is still in flight to PM.
 
-use pax_cache::SetAssoc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pax_cache::ConcurrentSetAssoc;
 use pax_pm::{CacheLine, LineAddr};
 
 /// A line resident in device HBM.
@@ -78,43 +88,47 @@ impl Default for HbmConfig {
     }
 }
 
-/// The HBM buffer (see module docs).
+/// The HBM buffer (see module docs). All methods take `&self`; share it
+/// across threads behind an `Arc`.
 #[derive(Debug)]
 pub struct HbmCache {
-    lines: SetAssoc<HbmLine>,
+    lines: ConcurrentSetAssoc<HbmLine>,
     policy: EvictionPolicy,
-    hits: u64,
-    misses: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl HbmCache {
     /// An empty buffer with the given geometry.
     pub fn new(config: HbmConfig) -> Self {
         HbmCache {
-            lines: SetAssoc::with_capacity_bytes(config.capacity_bytes, config.ways),
+            lines: ConcurrentSetAssoc::with_capacity_bytes(config.capacity_bytes, config.ways),
             policy: config.policy,
-            hits: 0,
-            misses: 0,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
     /// Read hits observed so far.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Read misses observed so far.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.load(Ordering::Relaxed)
     }
 
-    /// Read hit rate (0 when never read).
+    /// Read hit rate (0 when never read). Snapshot of the atomic
+    /// counters; under concurrent traffic the two loads may straddle an
+    /// update, which only skews the ratio by one access.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let hits = self.hits();
+        let total = hits + self.misses();
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            hits as f64 / total as f64
         }
     }
 
@@ -129,44 +143,84 @@ impl HbmCache {
         self.lines.capacity()
     }
 
-    /// Looks up `addr` for a device-side read, counting hit/miss.
-    pub fn lookup(&mut self, addr: LineAddr) -> Option<&HbmLine> {
-        match self.lines.get_mut(addr) {
-            Some(l) => {
-                self.hits += 1;
-                Some(&*l)
+    /// Looks up `addr` for a device-side read, counting hit/miss. The
+    /// line is cloned out so no set lock is held by the caller.
+    pub fn lookup(&self, addr: LineAddr) -> Option<HbmLine> {
+        match self.lines.get(addr, |l| l.clone()) {
+            Some(line) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(line)
             }
             None => {
-                self.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
     /// Looks up without counting (internal state checks).
-    pub fn peek(&self, addr: LineAddr) -> Option<&HbmLine> {
-        self.lines.peek(addr)
+    pub fn peek(&self, addr: LineAddr) -> Option<HbmLine> {
+        self.lines.peek(addr, |l| l.clone())
+    }
+
+    fn prefer(&self, durable_offset: u64) -> impl Fn(&HbmLine) -> bool {
+        let policy = self.policy;
+        move |l: &HbmLine| match policy {
+            EvictionPolicy::Lru => true,
+            EvictionPolicy::PreferDurable => {
+                !l.dirty || l.log_offset.is_none_or(|o| o < durable_offset)
+            }
+        }
     }
 
     /// Inserts or replaces `addr`, returning an evicted victim (if any)
-    /// for the device to dispose of. `durable_offset` is the log
+    /// for the caller to dispose of. `durable_offset` is the log
     /// watermark, consulted by [`EvictionPolicy::PreferDurable`].
+    ///
+    /// Note the victim is returned *after* the set critical section
+    /// ends; concurrent hot paths should use [`insert_then`] so disposal
+    /// happens before the victim becomes invisible.
+    ///
+    /// [`insert_then`]: Self::insert_then
     pub fn insert(
-        &mut self,
+        &self,
         addr: LineAddr,
         line: HbmLine,
         durable_offset: u64,
     ) -> Option<(LineAddr, HbmLine)> {
-        match self.policy {
-            EvictionPolicy::Lru => self.lines.insert(addr, line),
-            EvictionPolicy::PreferDurable => self.lines.insert_with_policy(addr, line, |l| {
-                !l.dirty || l.log_offset.is_none_or(|o| o < durable_offset)
-            }),
-        }
+        self.insert_then(addr, line, durable_offset, |a, l| (a, l))
+    }
+
+    /// Inserts or replaces `addr`; if a victim is evicted, `dispose`
+    /// runs on it *while the set lock is still held* and its result is
+    /// returned. See [`ConcurrentSetAssoc::insert_with`] for the
+    /// visibility guarantee this provides.
+    pub fn insert_then<R>(
+        &self,
+        addr: LineAddr,
+        line: HbmLine,
+        durable_offset: u64,
+        dispose: impl FnOnce(LineAddr, HbmLine) -> R,
+    ) -> Option<R> {
+        self.lines.insert_with(addr, line, self.prefer(durable_offset), dispose)
+    }
+
+    /// Inserts a line at `addr` only if absent (miss-path read refresh):
+    /// a concurrent dirty insert must not be overwritten by the stale
+    /// clean copy the reader fetched from PM. Victim disposal as in
+    /// [`insert_then`](Self::insert_then).
+    pub fn insert_clean_if_absent_then<R>(
+        &self,
+        addr: LineAddr,
+        line: HbmLine,
+        durable_offset: u64,
+        dispose: impl FnOnce(LineAddr, HbmLine) -> R,
+    ) -> Option<R> {
+        self.lines.insert_if_absent_with(addr, line, self.prefer(durable_offset), dispose)
     }
 
     /// Removes `addr` from the buffer.
-    pub fn remove(&mut self, addr: LineAddr) -> Option<HbmLine> {
+    pub fn remove(&self, addr: LineAddr) -> Option<HbmLine> {
         self.lines.remove(addr)
     }
 
@@ -176,37 +230,32 @@ impl HbmCache {
     /// Cleaning happens in place: draining is housekeeping, not access,
     /// so it must not promote the drained lines to MRU and wipe out the
     /// recency order real reads and evictions established.
-    pub fn take_dirty(&mut self) -> Vec<(LineAddr, CacheLine)> {
-        let dirty: Vec<LineAddr> =
-            self.lines.iter().filter(|(_, l)| l.dirty).map(|(a, _)| a).collect();
-        dirty
-            .into_iter()
-            .map(|addr| {
-                let line = self.lines.peek_mut(addr).expect("listed above");
-                let data = line.data.clone();
+    pub fn take_dirty(&self) -> Vec<(LineAddr, CacheLine)> {
+        let mut drained = Vec::new();
+        self.lines.for_each_mut(|addr, line| {
+            if line.dirty {
+                drained.push((addr, line.data.clone()));
                 line.dirty = false;
                 line.log_offset = None;
-                (addr, data)
-            })
-            .collect()
+            }
+        });
+        drained
     }
 
     /// Marks `addr` clean in place (post-write-back), without disturbing
     /// LRU order. Returns whether the line was resident.
-    pub fn mark_clean(&mut self, addr: LineAddr) -> bool {
-        match self.lines.peek_mut(addr) {
-            Some(line) => {
+    pub fn mark_clean(&self, addr: LineAddr) -> bool {
+        self.lines
+            .peek_mut(addr, |line| {
                 line.dirty = false;
                 line.log_offset = None;
-                true
-            }
-            None => false,
-        }
+            })
+            .is_some()
     }
 
     /// Clears everything (power loss: HBM contents are volatile from the
     /// crash-consistency standpoint — the log already captured pre-images).
-    pub fn crash(&mut self) {
+    pub fn crash(&self) {
         self.lines.clear();
     }
 }
@@ -230,7 +279,7 @@ mod tests {
 
     #[test]
     fn lookup_counts_hits_and_misses() {
-        let mut h = tiny(EvictionPolicy::Lru);
+        let h = tiny(EvictionPolicy::Lru);
         h.insert(LineAddr(0), clean(1), 0);
         assert!(h.lookup(LineAddr(0)).is_some());
         assert!(h.lookup(LineAddr(1)).is_none());
@@ -241,7 +290,7 @@ mod tests {
 
     #[test]
     fn prefer_durable_evicts_logged_line_first() {
-        let mut h = tiny(EvictionPolicy::PreferDurable);
+        let h = tiny(EvictionPolicy::PreferDurable);
         // Two dirty lines: offset 0 (durable: watermark 1) and offset 5
         // (not durable). LRU order would evict addr 0 first either way,
         // so make the non-durable line the LRU one.
@@ -253,7 +302,7 @@ mod tests {
 
     #[test]
     fn prefer_durable_falls_back_to_lru() {
-        let mut h = tiny(EvictionPolicy::PreferDurable);
+        let h = tiny(EvictionPolicy::PreferDurable);
         h.insert(LineAddr(0), dirty(1, 7), 0); // not durable
         h.insert(LineAddr(1), dirty(2, 8), 0); // not durable
         let victim = h.insert(LineAddr(2), clean(3), 0);
@@ -262,7 +311,7 @@ mod tests {
 
     #[test]
     fn lru_policy_ignores_durability() {
-        let mut h = tiny(EvictionPolicy::Lru);
+        let h = tiny(EvictionPolicy::Lru);
         h.insert(LineAddr(0), dirty(1, 99), 0); // not durable, LRU
         h.insert(LineAddr(1), clean(2), 0);
         let victim = h.insert(LineAddr(2), clean(3), 0);
@@ -271,7 +320,7 @@ mod tests {
 
     #[test]
     fn take_dirty_returns_and_cleans() {
-        let mut h = HbmCache::new(HbmConfig::default_config());
+        let h = HbmCache::new(HbmConfig::default_config());
         h.insert(LineAddr(0), dirty(1, 0), 0);
         h.insert(LineAddr(1), clean(2), 0);
         h.insert(LineAddr(2), dirty(3, 1), 0);
@@ -287,9 +336,9 @@ mod tests {
 
     #[test]
     fn take_dirty_preserves_lru_recency() {
-        // 1 set × 2 ways: addrs 0 and 1 collide in HbmCache's SetAssoc
+        // 1 set × 2 ways: addrs 0 and 1 collide in HbmCache's set index
         // only if the set count is 1, so use the tiny geometry.
-        let mut h = tiny(EvictionPolicy::Lru);
+        let h = tiny(EvictionPolicy::Lru);
         h.insert(LineAddr(0), dirty(1, 0), 0); // LRU
         h.insert(LineAddr(1), clean(2), 0); // MRU
                                             // Draining must not promote addr 0: it stays the LRU victim.
@@ -301,7 +350,7 @@ mod tests {
 
     #[test]
     fn mark_clean_cleans_in_place_without_promoting() {
-        let mut h = tiny(EvictionPolicy::Lru);
+        let h = tiny(EvictionPolicy::Lru);
         h.insert(LineAddr(0), dirty(1, 3), 0); // LRU
         h.insert(LineAddr(1), clean(2), 0); // MRU
         assert!(h.mark_clean(LineAddr(0)));
@@ -314,8 +363,18 @@ mod tests {
     }
 
     #[test]
+    fn insert_if_absent_keeps_resident_line() {
+        let h = tiny(EvictionPolicy::Lru);
+        h.insert(LineAddr(0), dirty(1, 3), 5);
+        assert!(h.insert_clean_if_absent_then(LineAddr(0), clean(9), 5, |a, l| (a, l)).is_none());
+        let line = h.peek(LineAddr(0)).unwrap();
+        assert!(line.dirty, "refresh must not clobber a resident dirty line");
+        assert_eq!(line.data, CacheLine::filled(1));
+    }
+
+    #[test]
     fn crash_clears_buffer() {
-        let mut h = HbmCache::new(HbmConfig::default_config());
+        let h = HbmCache::new(HbmConfig::default_config());
         h.insert(LineAddr(0), dirty(1, 0), 0);
         h.crash();
         assert_eq!(h.resident(), 0);

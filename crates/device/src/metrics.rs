@@ -49,6 +49,15 @@ pub struct DeviceMetrics {
     pub hbm_read_hits: u64,
     /// Reads that had to touch PM.
     pub pm_reads: u64,
+    /// HBM set-index lookups that hit (the buffer's own atomic counter,
+    /// synced into the registry at snapshot time; unlike `hbm_read_hits`
+    /// this also counts resolve-path probes that found dirty lines).
+    pub hbm_hits: u64,
+    /// HBM set-index lookups that missed (atomic, synced at snapshot).
+    pub hbm_misses: u64,
+    /// Lines currently resident in the lane's HBM slice (an occupancy
+    /// gauge like `dir_resident`, conserving across tenant×shard labels).
+    pub hbm_resident: u64,
     /// Virtual ticks executed by the device scheduler
     /// ([`PaxDevice::tick`](crate::PaxDevice::tick)).
     pub sched_ticks: u64,
@@ -121,6 +130,9 @@ impl std::ops::Add for DeviceMetrics {
             persists: self.persists + rhs.persists,
             hbm_read_hits: self.hbm_read_hits + rhs.hbm_read_hits,
             pm_reads: self.pm_reads + rhs.pm_reads,
+            hbm_hits: self.hbm_hits + rhs.hbm_hits,
+            hbm_misses: self.hbm_misses + rhs.hbm_misses,
+            hbm_resident: self.hbm_resident + rhs.hbm_resident,
             sched_ticks: self.sched_ticks + rhs.sched_ticks,
             sched_idle_steps: self.sched_idle_steps + rhs.sched_idle_steps,
             dir_hits: self.dir_hits + rhs.dir_hits,
@@ -152,6 +164,9 @@ pub(crate) struct DeviceCounters {
     pub(crate) persists: Counter,
     pub(crate) hbm_read_hits: Counter,
     pub(crate) pm_reads: Counter,
+    pub(crate) hbm_hits: Counter,
+    pub(crate) hbm_misses: Counter,
+    pub(crate) hbm_resident: Counter,
     pub(crate) sched_ticks: Counter,
     pub(crate) sched_idle_steps: Counter,
     pub(crate) dir_hits: Counter,
@@ -180,6 +195,9 @@ impl DeviceCounters {
             persists: metrics.counter("persists"),
             hbm_read_hits: metrics.counter("hbm_read_hits"),
             pm_reads: metrics.counter("pm_reads"),
+            hbm_hits: metrics.counter("hbm_hits"),
+            hbm_misses: metrics.counter("hbm_misses"),
+            hbm_resident: metrics.counter("hbm_resident"),
             sched_ticks: metrics.counter("sched_ticks"),
             sched_idle_steps: metrics.counter("sched_idle_steps"),
             dir_hits: metrics.counter("dir_hits"),
@@ -208,6 +226,9 @@ impl DeviceCounters {
             persists: metrics.get(self.persists),
             hbm_read_hits: metrics.get(self.hbm_read_hits),
             pm_reads: metrics.get(self.pm_reads),
+            hbm_hits: metrics.get(self.hbm_hits),
+            hbm_misses: metrics.get(self.hbm_misses),
+            hbm_resident: metrics.get(self.hbm_resident),
             sched_ticks: metrics.get(self.sched_ticks),
             sched_idle_steps: metrics.get(self.sched_idle_steps),
             dir_hits: metrics.get(self.dir_hits),

@@ -1,4 +1,4 @@
-//! Address-interleaved device shards.
+//! Address-interleaved device shards and their shared lane state.
 //!
 //! The paper's home agent pipelines independent lines; a monolithic
 //! [`PaxDevice`](crate::PaxDevice) cannot express that — every request
@@ -20,22 +20,529 @@
 //! What stays *global* is the epoch: `persist()` is a cross-shard barrier
 //! — flush every bank, snoop, write back, then one atomic `commit_epoch`
 //! — so sharding changes concurrency, never crash-consistency semantics.
+//!
+//! # Lane handles (PR 10)
+//!
+//! Since PR 10 a lane's hot-path state — the concurrent HBM index, the
+//! striped epoch-log map, the write-back queue, the ownership directory,
+//! and the metric registry — lives behind `Arc`s collected in
+//! [`LaneHandles`]. The [`PaxDevice`] keeps one clone per lane *outside*
+//! the lane mutex, so `RdShared`/`RdOwn`/eviction traffic and the
+//! persist sweep on the same lane proceed without ever acquiring
+//! `Mutex<DeviceShard>`. The mutex now guards only what genuinely needs
+//! exclusivity: the locked-mode undo log (`&mut UndoLog`) and
+//! recovery/snapshot-time state sync. Write-back *drains* serialize on
+//! the lane's [`WbGate`](crate::cell::WbGate) instead. See DESIGN.md
+//! §15 for the full protocol and ordering invariants.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use pax_pm::{CacheLine, CrashClock, LineAddr, PmError, PmPool, Result};
 use pax_telemetry::{MetricSet, MetricSnapshot, TraceEvent};
 
-use crate::cell::{PoolCell, TraceCell};
+use crate::cell::{lock, PoolCell, TraceCell, WbGate};
 
 use crate::directory::OwnershipDirectory;
 use crate::hbm::{HbmCache, HbmConfig, HbmLine};
 use crate::metrics::{DeviceCounters, DeviceMetrics};
-use crate::undo_log::{UndoEntry, UndoLog, ENTRY_LINES};
+use crate::undo_log::{AtomicBank, LogWatermark, UndoEntry, UndoLog, ENTRY_LINES};
 
 /// Component name stamped on every shard's metrics and trace records —
 /// identical to the device's, so merged snapshots stay one `device` row.
 pub(crate) const COMPONENT: &str = "device";
+
+/// Number of independently locked stripes in the per-epoch logged-line
+/// map, so concurrent first-writes on one lane rarely contend.
+const EPOCH_LOG_STRIPES: usize = 16;
+
+/// The per-epoch "which lines are already undo-logged" map, striped for
+/// concurrency. `try_insert` holds one stripe lock across the
+/// dedup-check *and* the caller's log append, making
+/// "log exactly once per line per epoch" atomic under concurrent
+/// `RdOwn`s to the same line.
+#[derive(Debug, Default)]
+pub(crate) struct EpochLog {
+    stripes: Vec<Mutex<HashMap<LineAddr, u64>>>,
+    len: AtomicUsize,
+}
+
+impl EpochLog {
+    pub(crate) fn new() -> Self {
+        EpochLog {
+            stripes: (0..EPOCH_LOG_STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn stripe(&self, addr: LineAddr) -> &Mutex<HashMap<LineAddr, u64>> {
+        let i = (addr.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize;
+        &self.stripes[i % EPOCH_LOG_STRIPES]
+    }
+
+    /// Returns `addr`'s existing offset, or runs `make` (the log append)
+    /// under the stripe lock and records its result. `make` must not
+    /// acquire any lock that can wait on an `EpochLog` stripe — the
+    /// CAS-bank append and the locked-mode append (which requires the
+    /// lane mutex, ordered *before* stripes) both qualify.
+    pub(crate) fn try_insert(
+        &self,
+        addr: LineAddr,
+        make: impl FnOnce() -> Result<u64>,
+    ) -> Result<u64> {
+        let mut map = lock(self.stripe(addr));
+        if let Some(&off) = map.get(&addr) {
+            return Ok(off);
+        }
+        let off = make()?;
+        map.insert(addr, off);
+        self.len.fetch_add(1, Ordering::Relaxed);
+        Ok(off)
+    }
+
+    /// The offset covering `addr` this epoch, if it was logged.
+    pub(crate) fn offset_of(&self, addr: LineAddr) -> Option<u64> {
+        lock(self.stripe(addr)).get(&addr).copied()
+    }
+
+    /// Number of lines logged this epoch.
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// The epoch's logged lines in log-offset order (§3.3 "iterating
+    /// through each undo log entry as it persists"). Locks stripes one
+    /// at a time in index order; the sort makes the result independent
+    /// of stripe assignment, so it is deterministic.
+    pub(crate) fn sorted(&self) -> Vec<(u64, LineAddr)> {
+        let mut logged = Vec::with_capacity(self.len());
+        for stripe in &self.stripes {
+            logged.extend(lock(stripe).iter().map(|(a, o)| (*o, *a)));
+        }
+        logged.sort_unstable();
+        logged
+    }
+
+    /// Forgets every logged line (epoch boundary).
+    pub(crate) fn clear(&self) {
+        for stripe in &self.stripes {
+            let mut map = lock(stripe);
+            let n = map.len();
+            map.clear();
+            self.len.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The lane's dirty-line write-back queue, shareable across threads.
+/// Producers (`home_dirty_evict`) only push; consumers (background
+/// steps, forced drains) additionally serialize on the lane's
+/// [`WbGate`](crate::cell::WbGate) so pops pair with their PM writes.
+#[derive(Debug, Default)]
+pub(crate) struct WbQueue {
+    queue: Mutex<VecDeque<LineAddr>>,
+    len: AtomicUsize,
+}
+
+impl WbQueue {
+    pub(crate) fn push_back(&self, addr: LineAddr) {
+        lock(&self.queue).push_back(addr);
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The oldest queued line, without popping it.
+    pub(crate) fn front(&self) -> Option<LineAddr> {
+        lock(&self.queue).front().copied()
+    }
+
+    pub(crate) fn pop_front(&self) -> Option<LineAddr> {
+        let popped = lock(&self.queue).pop_front();
+        if popped.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        popped
+    }
+
+    pub(crate) fn clear(&self) {
+        let mut q = lock(&self.queue);
+        let n = q.len();
+        q.clear();
+        self.len.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len.load(Ordering::Relaxed) == 0
+    }
+}
+
+/// Shared (`Arc`-held) handles to one lane's hot-path state — everything
+/// a store or persist sweep touches without the lane mutex (module
+/// docs). Cloning is cheap; the [`PaxDevice`] keeps one clone per lane
+/// alongside (not inside) the `Mutex<DeviceShard>`.
+///
+/// The only lane state *not* here is the [`UndoLog`]: in the default
+/// CAS mode its `AtomicBank`/watermark `Arc`s **are** here (`bank`,
+/// `watermark`), and in locked-log mode callers pass
+/// `Option<&mut UndoLog>` obtained from the lane guard.
+#[derive(Debug, Clone)]
+pub(crate) struct LaneHandles {
+    /// The tenant (pool context) this lane belongs to.
+    pub(crate) tenant: usize,
+    /// This lane's interleave phase: it owns lines with `addr % stride
+    /// == phase` (within its tenant's region).
+    pub(crate) phase: u64,
+    /// Physical address-interleave stride (the device's shard count `S`,
+    /// *not* its lane count).
+    pub(crate) stride: u64,
+    /// This lane's slice of the HBM buffer, keyed by lane-local line.
+    pub(crate) hbm: Arc<HbmCache>,
+    /// vPM lines undo-logged this epoch → their log entry offset.
+    pub(crate) epoch_log: Arc<EpochLog>,
+    /// Dirty lines awaiting opportunistic write back, oldest first.
+    pub(crate) writeback_queue: Arc<WbQueue>,
+    /// Which of this lane's lines the host plausibly holds modified —
+    /// the persist-time snoop filter. Volatile; cleared on crash.
+    pub(crate) directory: Arc<OwnershipDirectory>,
+    /// The lane's counter registry (recording is `&self`/atomic).
+    pub(crate) metrics: Arc<MetricSet>,
+    /// Counter handles into `metrics` (same registration order as the
+    /// device's, so typed views compose by field-wise addition).
+    pub(crate) ctr: DeviceCounters,
+    /// Serializes this lane's write-back drains (see module docs).
+    pub(crate) wb_gate: Arc<WbGate>,
+    /// The lane's durable log watermark — shared with the `UndoLog` in
+    /// both engine modes, so `watermark.durable()` always equals
+    /// `log.durable_offset()`.
+    pub(crate) watermark: Arc<LogWatermark>,
+    /// The CAS undo bank (`None` in locked-log mode).
+    pub(crate) bank: Option<Arc<AtomicBank>>,
+}
+
+impl LaneHandles {
+    /// Counts a `RdShared` routed to this lane.
+    pub(crate) fn count_rd_shared(&self) {
+        self.metrics.inc(self.ctr.rd_shared);
+    }
+
+    /// Counts a `RdOwn` routed to this lane.
+    pub(crate) fn count_rd_own(&self) {
+        self.metrics.inc(self.ctr.rd_own);
+    }
+
+    /// Counts a clean eviction routed to this lane.
+    pub(crate) fn count_clean_evict(&self) {
+        self.metrics.inc(self.ctr.clean_evicts);
+    }
+
+    /// Counts a dirty eviction routed to this lane.
+    pub(crate) fn count_dirty_evict(&self) {
+        self.metrics.inc(self.ctr.dirty_evicts);
+    }
+
+    /// Counts a dirty eviction for a line this lane never logged.
+    pub(crate) fn count_unlogged_dirty_evict(&self) {
+        self.metrics.inc(self.ctr.unlogged_dirty_evicts);
+    }
+
+    /// Counts a line this lane wrote back to PM.
+    pub(crate) fn count_writeback(&self) {
+        self.metrics.inc(self.ctr.device_writebacks);
+    }
+
+    /// Counts a background (opportunistic) write back.
+    pub(crate) fn count_background_writeback(&self) {
+        self.metrics.inc(self.ctr.background_writebacks);
+    }
+
+    /// Counts a stall that forced a synchronous log flush on this lane.
+    pub(crate) fn count_forced_flush(&self) {
+        self.metrics.inc(self.ctr.forced_log_flushes);
+    }
+
+    /// Counts a persist-path snoop sent for a line this lane logged.
+    pub(crate) fn count_snoop_sent(&self) {
+        self.metrics.inc(self.ctr.snoops_sent);
+    }
+
+    /// Counts a snoop that returned host data.
+    pub(crate) fn count_snoop_data_returned(&self) {
+        self.metrics.inc(self.ctr.snoop_data_returned);
+    }
+
+    /// Counts an epoch commit against this lane's tenant (charged to the
+    /// tenant's phase-0 lane so per-tenant rollups conserve `persists`).
+    pub(crate) fn count_persist(&self) {
+        self.metrics.inc(self.ctr.persists);
+    }
+
+    /// Counts a coalesced persist write-back batch issued by this lane.
+    pub(crate) fn count_wb_batch(&self) {
+        self.metrics.inc(self.ctr.wb_batches);
+    }
+
+    /// Records an `RdOwn` in the ownership directory: the host now
+    /// plausibly holds `addr` modified. `dir_resident` is an occupancy
+    /// gauge, so it moves only on tracked-set transitions.
+    pub(crate) fn dir_note_owned(&self, addr: LineAddr) {
+        if self.directory.note_owned(addr) {
+            self.metrics.inc(self.ctr.dir_resident);
+        }
+    }
+
+    /// Records evidence the host gave `addr` up (dirty eviction, snoop
+    /// response, CLWB invalidate, device write-back).
+    pub(crate) fn dir_clear(&self, addr: LineAddr) {
+        if self.directory.clear_line(addr) {
+            self.metrics.sub(self.ctr.dir_resident, 1);
+        }
+    }
+
+    /// Whether a persist must snoop the host for `addr`. With filtering
+    /// off this is unconditionally `true` (and uncounted — the exact
+    /// pre-directory behaviour); with it on, a tracked line counts a
+    /// directory hit and snoops, an untracked one counts a filtered
+    /// snoop and skips the round-trip.
+    pub(crate) fn dir_should_snoop(&self, addr: LineAddr, filter: bool) -> bool {
+        if !filter {
+            return true;
+        }
+        if self.directory.holds(addr) {
+            self.metrics.inc(self.ctr.dir_hits);
+            true
+        } else {
+            self.metrics.inc(self.ctr.dir_filtered_snoops);
+            false
+        }
+    }
+
+    /// The log offset covering `addr` this epoch, if it was logged here.
+    pub(crate) fn epoch_offset_of(&self, addr: LineAddr) -> Option<u64> {
+        self.epoch_log.offset_of(addr)
+    }
+
+    /// Maps a global vPM line (which satisfies `addr % stride == phase`)
+    /// to the lane-local key the HBM slice is indexed by. Interleaved
+    /// addresses stride by `stride`; dividing it out keeps the slice's
+    /// sets uniformly used (a power-of-two stride would otherwise alias
+    /// every lane-resident line into `sets/stride` sets). Two tenants'
+    /// lanes at the same phase key identically but into disjoint
+    /// [`HbmCache`] instances, so no disambiguation is needed.
+    pub(crate) fn hbm_key(&self, addr: LineAddr) -> LineAddr {
+        debug_assert_eq!(addr.0 % self.stride, self.phase, "line routed to wrong lane");
+        LineAddr(addr.0 / self.stride)
+    }
+
+    /// Inverse of [`LaneHandles::hbm_key`].
+    pub(crate) fn hbm_unkey(&self, local: LineAddr) -> LineAddr {
+        LineAddr(local.0 * self.stride + self.phase)
+    }
+
+    /// HBM lookup counting hit/miss, in global address space.
+    pub(crate) fn hbm_lookup(&self, addr: LineAddr) -> Option<HbmLine> {
+        self.hbm.lookup(self.hbm_key(addr))
+    }
+
+    /// HBM peek (no hit/miss accounting), in global address space.
+    pub(crate) fn hbm_peek(&self, addr: LineAddr) -> Option<HbmLine> {
+        self.hbm.peek(self.hbm_key(addr))
+    }
+
+    /// Marks any resident HBM copy of `addr` clean (its value just
+    /// reached PM through a persist-path write back) — in place, so
+    /// persist housekeeping does not disturb LRU recency.
+    pub(crate) fn hbm_mark_clean(&self, addr: LineAddr) {
+        self.hbm.mark_clean(self.hbm_key(addr));
+    }
+
+    /// Inserts `addr` into HBM, disposing of any evicted victim *inside
+    /// the set's critical section* — the victim is never absent from the
+    /// index while its dirty data is still in flight to PM.
+    ///
+    /// `locked_log` is the lane-guard log borrow for locked-log mode
+    /// (`None` under the default CAS engine, whose bank handle lives in
+    /// `self.bank`).
+    pub(crate) fn hbm_insert_disposing(
+        &self,
+        pool: &PoolCell,
+        clock: &CrashClock,
+        trace: &TraceCell,
+        locked_log: Option<&mut UndoLog>,
+        addr: LineAddr,
+        line: HbmLine,
+    ) -> Result<()> {
+        let durable = self.watermark.durable();
+        let key = self.hbm_key(addr);
+        match self.hbm.insert_then(key, line, durable, |vlocal, vline| {
+            self.dispose_victim(pool, clock, trace, locked_log, self.hbm_unkey(vlocal), vline)
+        }) {
+            Some(res) => res,
+            None => Ok(()),
+        }
+    }
+
+    /// Re-inserts `addr` as a clean copy of `data`. Two call sites with
+    /// different race disciplines:
+    ///
+    /// * persist sweep / snoop refresh (`if_absent = false`): the host
+    ///   just returned the authoritative value — replace whatever HBM
+    ///   holds;
+    /// * miss-path read refresh (`if_absent = true`): the PM copy the
+    ///   reader fetched is *stale* relative to any concurrently inserted
+    ///   dirty line, so an existing entry must win.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn hbm_refresh_clean(
+        &self,
+        pool: &PoolCell,
+        clock: &CrashClock,
+        trace: &TraceCell,
+        locked_log: Option<&mut UndoLog>,
+        addr: LineAddr,
+        data: CacheLine,
+        if_absent: bool,
+    ) -> Result<()> {
+        let durable = self.watermark.durable();
+        let key = self.hbm_key(addr);
+        let line = HbmLine { data, dirty: false, log_offset: None };
+        let dispose = |vlocal: LineAddr, vline: HbmLine| {
+            self.dispose_victim(pool, clock, trace, locked_log, self.hbm_unkey(vlocal), vline)
+        };
+        let disposed = if if_absent {
+            self.hbm.insert_clean_if_absent_then(key, line, durable, dispose)
+        } else {
+            self.hbm.insert_then(key, line, durable, dispose)
+        };
+        match disposed {
+            Some(res) => res,
+            None => Ok(()),
+        }
+    }
+
+    /// The lane's view of the current contents of `addr`: HBM first,
+    /// then a draining epoch's captured value, then PM.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn resolve(
+        &self,
+        pool: &PoolCell,
+        clock: &CrashClock,
+        trace: &TraceCell,
+        cache_clean_reads: bool,
+        drain_value: Option<CacheLine>,
+        addr: LineAddr,
+        locked_log: Option<&mut UndoLog>,
+    ) -> Result<CacheLine> {
+        if let Some(l) = self.hbm_lookup(addr) {
+            self.metrics.inc(self.ctr.hbm_read_hits);
+            return Ok(l.data);
+        }
+        // A draining epoch's final values are newer than PM until their
+        // write back lands.
+        if let Some(data) = drain_value {
+            return Ok(data);
+        }
+        let data = {
+            let mut pm = pool.lock();
+            let abs = pm.layout().vpm_to_pool(addr.0)?;
+            self.metrics.inc(self.ctr.pm_reads);
+            pm.read_line(abs)?
+        };
+        if cache_clean_reads {
+            // if_absent: a concurrent RdOwn may have inserted a dirty
+            // line for this address since the PM read above — the stale
+            // clean copy must not clobber it.
+            self.hbm_refresh_clean(pool, clock, trace, locked_log, addr, data.clone(), true)?;
+        }
+        Ok(data)
+    }
+
+    /// Undo-logs `addr` if this is its first modification of the epoch,
+    /// returning the covering log offset. The epoch-log stripe lock is
+    /// held across the append, so concurrent first-writes to one line
+    /// append exactly once.
+    pub(crate) fn log_if_first(
+        &self,
+        trace: &TraceCell,
+        locked_log: Option<&mut UndoLog>,
+        epoch: u64,
+        addr: LineAddr,
+        old: &CacheLine,
+    ) -> Result<u64> {
+        self.epoch_log.try_insert(addr, || {
+            let entry =
+                UndoEntry { epoch, vpm_line: addr, tenant: self.tenant as u32, old: old.clone() };
+            let offset = match (&self.bank, locked_log) {
+                (Some(bank), _) => bank.append(entry)?,
+                (None, Some(log)) => log.append(entry)?,
+                (None, None) => {
+                    return Err(PmError::ProtocolViolation {
+                        invariant: "locked-log lane appended without the lane guard",
+                    })
+                }
+            };
+            self.metrics.inc(self.ctr.undo_entries);
+            trace.record(COMPONENT, TraceEvent::LogAppend { epoch, line: addr.0 });
+            Ok(offset)
+        })
+    }
+
+    /// Writes an HBM eviction victim back to PM if dirty, stalling for a
+    /// log flush when its undo entry is not yet durable. `addr` is the
+    /// victim's *global* address.
+    ///
+    /// The stall is bounded: every iteration must drain an entry from the
+    /// lane's pending buffer. A victim whose covering offset is neither
+    /// durable nor pending cannot exist (offsets are monotonic and
+    /// assigned by this lane's own appends) — if it does, the state is
+    /// corrupt and the loop surfaces [`PmError::ProtocolViolation`]
+    /// instead of spinning.
+    pub(crate) fn dispose_victim(
+        &self,
+        pool: &PoolCell,
+        clock: &CrashClock,
+        trace: &TraceCell,
+        mut locked_log: Option<&mut UndoLog>,
+        addr: LineAddr,
+        line: HbmLine,
+    ) -> Result<()> {
+        if !line.dirty {
+            return Ok(());
+        }
+        if let Some(offset) = line.log_offset {
+            if offset >= self.watermark.durable() {
+                // §3.3: the victim's pre-image must be durable before the
+                // new value may reach PM. This is the stall PreferDurable
+                // eviction avoids.
+                self.metrics.inc(self.ctr.forced_log_flushes);
+                while self.watermark.durable() <= offset {
+                    let pumped = match (&self.bank, locked_log.as_deref_mut()) {
+                        (Some(bank), _) => bank.pump(&mut pool.lock(), clock, 1)?,
+                        (None, Some(log)) => log.pump(&mut pool.lock(), clock, 1)?,
+                        (None, None) => {
+                            return Err(PmError::ProtocolViolation {
+                                invariant: "locked-log lane pumped without the lane guard",
+                            })
+                        }
+                    };
+                    if pumped == 0 {
+                        return Err(PmError::ProtocolViolation {
+                            invariant: "HBM victim's undo entry is neither durable nor pending",
+                        });
+                    }
+                }
+            }
+        }
+        {
+            let mut pm = pool.lock();
+            let abs = pm.layout().vpm_to_pool(addr.0)?;
+            tick(clock, &mut pm)?;
+            pm.write_line(abs, line.data)?;
+        }
+        self.metrics.inc(self.ctr.device_writebacks);
+        trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
+        self.dir_clear(addr);
+        Ok(())
+    }
+}
 
 /// One address-interleaved slice of the device's per-line state (see
 /// module docs).
@@ -47,35 +554,19 @@ pub(crate) const COMPONENT: &str = "device";
 /// belong to exactly one tenant — which is what lets one tenant's epoch
 /// flush, commit, and recycle without touching another's. A
 /// single-tenant device's lanes are exactly its shards.
+///
+/// Hot-path state lives in shared [`LaneHandles`] (`self.h`); the struct
+/// behind the lane mutex keeps only the [`UndoLog`] (whose locked-mode
+/// backing needs `&mut`) and snapshot-sync bookkeeping.
 #[derive(Debug)]
 pub struct DeviceShard {
     /// This lane's index within the device (`tenant * interleave +
     /// phase`).
     index: u64,
-    /// The tenant (pool context) this lane belongs to.
-    tenant: usize,
-    /// This lane's interleave phase: it owns lines with `addr % stride ==
-    /// phase` (within its tenant's region).
-    phase: u64,
-    /// Physical address-interleave stride (the device's shard count `S`,
-    /// *not* its lane count).
-    stride: u64,
-    /// This shard's slice of the HBM buffer, keyed by shard-local line.
-    pub(crate) hbm: HbmCache,
+    /// Shared hot-path handles; the device clones these out at open.
+    pub(crate) h: LaneHandles,
     /// This shard's undo-log bank.
     pub(crate) log: UndoLog,
-    /// vPM lines undo-logged this epoch → their log entry offset.
-    pub(crate) epoch_log: HashMap<LineAddr, u64>,
-    /// Dirty lines awaiting opportunistic write back, oldest first.
-    pub(crate) writeback_queue: VecDeque<LineAddr>,
-    /// Which of this lane's lines the host plausibly holds modified —
-    /// the persist-time snoop filter. Volatile; cleared on crash.
-    pub(crate) directory: OwnershipDirectory,
-    /// The shard's own counter registry.
-    pub(crate) metrics: MetricSet,
-    /// Counter handles into `metrics` (same registration order as the
-    /// device's, so typed views compose by field-wise addition).
-    pub(crate) ctr: DeviceCounters,
 }
 
 impl DeviceShard {
@@ -102,19 +593,28 @@ impl DeviceShard {
         };
         let mut metrics = MetricSet::new(COMPONENT);
         let ctr = DeviceCounters::register(&mut metrics);
-        DeviceShard {
-            index: index as u64,
+        let log = UndoLog::with_region_mode(log_base, log_capacity_entries, locked_log);
+        let h = LaneHandles {
             tenant,
             phase: (index % stride.max(1)) as u64,
             stride: stride as u64,
-            hbm: HbmCache::new(per_lane),
-            log: UndoLog::with_region_mode(log_base, log_capacity_entries, locked_log),
-            epoch_log: HashMap::new(),
-            writeback_queue: VecDeque::new(),
-            directory: OwnershipDirectory::new(),
-            metrics,
+            hbm: Arc::new(HbmCache::new(per_lane)),
+            epoch_log: Arc::new(EpochLog::new()),
+            writeback_queue: Arc::new(WbQueue::default()),
+            directory: Arc::new(OwnershipDirectory::new()),
+            metrics: Arc::new(metrics),
             ctr,
-        }
+            wb_gate: Arc::new(WbGate::default()),
+            watermark: log.watermark(),
+            bank: log.bank(),
+        };
+        DeviceShard { index: index as u64, h, log }
+    }
+
+    /// A clone of this lane's shared hot-path handles, for the device to
+    /// keep outside the lane mutex.
+    pub(crate) fn handles(&self) -> LaneHandles {
+        self.h.clone()
     }
 
     /// This lane's index.
@@ -124,19 +624,21 @@ impl DeviceShard {
 
     /// The tenant (pool context) this lane serves.
     pub fn tenant(&self) -> usize {
-        self.tenant
+        self.h.tenant
     }
 
     /// Snapshot of this shard's counter registry (component `device`).
     pub(crate) fn snapshot(&mut self) -> MetricSnapshot {
         self.sync_log_metrics();
-        self.metrics.snapshot()
+        self.sync_hbm_metrics();
+        self.h.metrics.snapshot()
     }
 
     /// Typed view over this shard's counters.
     pub(crate) fn view_metrics(&mut self) -> DeviceMetrics {
         self.sync_log_metrics();
-        self.ctr.view(&self.metrics)
+        self.sync_hbm_metrics();
+        self.h.ctr.view(&self.h.metrics)
     }
 
     /// Reconciles the CAS bank's internal contention telemetry into the
@@ -145,137 +647,54 @@ impl DeviceShard {
     /// A locked-engine lane reports both as zero.
     fn sync_log_metrics(&mut self) {
         let Some(bank) = self.log.bank() else { return };
+        let metrics = &self.h.metrics;
         let retries = bank.cas_retries();
-        let seen = self.metrics.get(self.ctr.log_cas_retries);
+        let seen = metrics.get(self.h.ctr.log_cas_retries);
         if retries > seen {
-            self.metrics.add(self.ctr.log_cas_retries, retries - seen);
+            metrics.add(self.h.ctr.log_cas_retries, retries - seen);
         }
         let reserved = bank.in_flight();
-        let shown = self.metrics.get(self.ctr.log_reserved);
+        let shown = metrics.get(self.h.ctr.log_reserved);
         match reserved.cmp(&shown) {
-            std::cmp::Ordering::Greater => {
-                self.metrics.add(self.ctr.log_reserved, reserved - shown)
-            }
-            std::cmp::Ordering::Less => self.metrics.sub(self.ctr.log_reserved, shown - reserved),
+            std::cmp::Ordering::Greater => metrics.add(self.h.ctr.log_reserved, reserved - shown),
+            std::cmp::Ordering::Less => metrics.sub(self.h.ctr.log_reserved, shown - reserved),
             std::cmp::Ordering::Equal => {}
         }
     }
 
-    /// Counts a `RdShared` routed to this shard.
-    pub(crate) fn count_rd_shared(&mut self) {
-        self.metrics.inc(self.ctr.rd_shared);
-    }
-
-    /// Counts a `RdOwn` routed to this shard.
-    pub(crate) fn count_rd_own(&mut self) {
-        self.metrics.inc(self.ctr.rd_own);
-    }
-
-    /// Counts a clean eviction routed to this shard.
-    pub(crate) fn count_clean_evict(&mut self) {
-        self.metrics.inc(self.ctr.clean_evicts);
-    }
-
-    /// Counts a dirty eviction routed to this shard.
-    pub(crate) fn count_dirty_evict(&mut self) {
-        self.metrics.inc(self.ctr.dirty_evicts);
-    }
-
-    /// Counts a dirty eviction for a line this shard never logged.
-    pub(crate) fn count_unlogged_dirty_evict(&mut self) {
-        self.metrics.inc(self.ctr.unlogged_dirty_evicts);
-    }
-
-    /// Counts a line this shard wrote back to PM.
-    pub(crate) fn count_writeback(&mut self) {
-        self.metrics.inc(self.ctr.device_writebacks);
-    }
-
-    /// Counts a stall that forced a synchronous log flush on this shard.
-    pub(crate) fn count_forced_flush(&mut self) {
-        self.metrics.inc(self.ctr.forced_log_flushes);
-    }
-
-    /// Counts a persist-path snoop sent for a line this lane logged.
-    pub(crate) fn count_snoop_sent(&mut self) {
-        self.metrics.inc(self.ctr.snoops_sent);
-    }
-
-    /// Counts a snoop that returned host data.
-    pub(crate) fn count_snoop_data_returned(&mut self) {
-        self.metrics.inc(self.ctr.snoop_data_returned);
-    }
-
-    /// Counts an epoch commit against this lane's tenant (charged to the
-    /// tenant's phase-0 lane so per-tenant rollups conserve `persists`).
-    pub(crate) fn count_persist(&mut self) {
-        self.metrics.inc(self.ctr.persists);
-    }
-
-    /// Counts a coalesced persist write-back batch issued by this lane.
-    pub(crate) fn count_wb_batch(&mut self) {
-        self.metrics.inc(self.ctr.wb_batches);
-    }
-
-    /// Records an `RdOwn` in the ownership directory: the host now
-    /// plausibly holds `addr` modified. `dir_resident` is an occupancy
-    /// gauge, so it moves only on tracked-set transitions.
-    pub(crate) fn dir_note_owned(&mut self, addr: LineAddr) {
-        if self.directory.note_owned(addr) {
-            self.metrics.inc(self.ctr.dir_resident);
+    /// Reconciles the HBM buffer's atomic counters into the registry:
+    /// `hbm_hits`/`hbm_misses` are monotone (add the delta since last
+    /// sync), `hbm_resident` is an occupancy gauge (snap to current).
+    fn sync_hbm_metrics(&mut self) {
+        let metrics = &self.h.metrics;
+        for (current, counter) in
+            [(self.h.hbm.hits(), self.h.ctr.hbm_hits), (self.h.hbm.misses(), self.h.ctr.hbm_misses)]
+        {
+            let seen = metrics.get(counter);
+            if current > seen {
+                metrics.add(counter, current - seen);
+            }
         }
-    }
-
-    /// Records evidence the host gave `addr` up (dirty eviction, snoop
-    /// response, CLWB invalidate, device write-back).
-    pub(crate) fn dir_clear(&mut self, addr: LineAddr) {
-        if self.directory.clear_line(addr) {
-            self.metrics.sub(self.ctr.dir_resident, 1);
+        let resident = self.h.hbm.resident() as u64;
+        let shown = metrics.get(self.h.ctr.hbm_resident);
+        match resident.cmp(&shown) {
+            std::cmp::Ordering::Greater => metrics.add(self.h.ctr.hbm_resident, resident - shown),
+            std::cmp::Ordering::Less => metrics.sub(self.h.ctr.hbm_resident, shown - resident),
+            std::cmp::Ordering::Equal => {}
         }
-    }
-
-    /// Whether a persist must snoop the host for `addr`. With filtering
-    /// off this is unconditionally `true` (and uncounted — the exact
-    /// pre-directory behaviour); with it on, a tracked line counts a
-    /// directory hit and snoops, an untracked one counts a filtered
-    /// snoop and skips the round-trip.
-    pub(crate) fn dir_should_snoop(&mut self, addr: LineAddr, filter: bool) -> bool {
-        if !filter {
-            return true;
-        }
-        if self.directory.holds(addr) {
-            self.metrics.inc(self.ctr.dir_hits);
-            true
-        } else {
-            self.metrics.inc(self.ctr.dir_filtered_snoops);
-            false
-        }
-    }
-
-    /// The log offset covering `addr` this epoch, if it was logged here.
-    pub(crate) fn epoch_offset_of(&self, addr: LineAddr) -> Option<u64> {
-        self.epoch_log.get(&addr).copied()
-    }
-
-    /// Marks any resident HBM copy of `addr` clean (its value just
-    /// reached PM through a persist-path write back) — in place, so
-    /// persist housekeeping does not disturb LRU recency.
-    pub(crate) fn hbm_mark_clean(&mut self, addr: LineAddr) {
-        let key = self.hbm_key(addr);
-        self.hbm.mark_clean(key);
     }
 
     /// Starts the next epoch after a non-blocking persist captured this
     /// one: per-epoch maps reset, but the log bank stays live until the
     /// drain commits and recycles it.
     pub(crate) fn begin_next_epoch(&mut self) {
-        self.epoch_log.clear();
-        self.writeback_queue.clear();
+        self.h.epoch_log.clear();
+        self.h.writeback_queue.clear();
     }
 
     /// Undo-log entries appended in the current epoch on this shard.
     pub fn epoch_log_len(&self) -> usize {
-        self.epoch_log.len()
+        self.h.epoch_log.len()
     }
 
     /// This shard's durable log watermark.
@@ -283,108 +702,25 @@ impl DeviceShard {
         self.log.durable_offset()
     }
 
-    /// Maps a global vPM line (which satisfies `addr % stride == phase`)
-    /// to the lane-local key the HBM slice is indexed by. Interleaved
-    /// addresses stride by `stride`; dividing it out keeps the slice's
-    /// sets uniformly used (a power-of-two stride would otherwise alias
-    /// every lane-resident line into `sets/stride` sets). Two tenants'
-    /// lanes at the same phase key identically but into disjoint
-    /// [`HbmCache`] instances, so no disambiguation is needed.
-    fn hbm_key(&self, addr: LineAddr) -> LineAddr {
-        debug_assert_eq!(addr.0 % self.stride, self.phase, "line routed to wrong lane");
-        LineAddr(addr.0 / self.stride)
-    }
-
-    /// Inverse of [`DeviceShard::hbm_key`].
-    fn hbm_unkey(&self, local: LineAddr) -> LineAddr {
-        LineAddr(local.0 * self.stride + self.phase)
-    }
-
-    /// HBM lookup counting hit/miss, in global address space.
-    pub(crate) fn hbm_lookup(&mut self, addr: LineAddr) -> Option<&HbmLine> {
-        let key = self.hbm_key(addr);
-        self.hbm.lookup(key)
-    }
-
-    /// HBM peek (no hit/miss accounting), in global address space.
-    pub(crate) fn hbm_peek(&self, addr: LineAddr) -> Option<&HbmLine> {
-        self.hbm.peek(self.hbm_key(addr))
-    }
-
     /// HBM insert, in global address space; the victim (if any) comes
-    /// back with its global address.
+    /// back with its global address. Test-path helper — hot paths use
+    /// [`LaneHandles::hbm_insert_disposing`] so disposal happens inside
+    /// the set's critical section.
+    #[cfg(test)]
     pub(crate) fn hbm_insert(
         &mut self,
         addr: LineAddr,
         line: HbmLine,
         durable_offset: u64,
     ) -> Option<(LineAddr, HbmLine)> {
-        let key = self.hbm_key(addr);
-        let victim = self.hbm.insert(key, line, durable_offset);
-        victim.map(|(local, l)| (self.hbm_unkey(local), l))
+        let key = self.h.hbm_key(addr);
+        let victim = self.h.hbm.insert(key, line, durable_offset);
+        victim.map(|(local, l)| (self.h.hbm_unkey(local), l))
     }
 
-    /// Re-inserts `addr` as a clean copy of `data` (post-write back or
-    /// post-snoop refresh), disposing of any victim.
-    pub(crate) fn hbm_refresh_clean(
-        &mut self,
-        pool: &PoolCell,
-        clock: &CrashClock,
-        trace: &TraceCell,
-        addr: LineAddr,
-        data: CacheLine,
-    ) -> Result<()> {
-        let durable = self.log.durable_offset();
-        let victim =
-            self.hbm_insert(addr, HbmLine { data, dirty: false, log_offset: None }, durable);
-        if let Some((vaddr, vline)) = victim {
-            self.dispose_victim(pool, clock, trace, vaddr, vline)?;
-        }
-        Ok(())
-    }
-
-    /// The shard's view of the current contents of `addr`: HBM first,
-    /// then a draining epoch's captured value, then PM.
-    pub(crate) fn resolve(
-        &mut self,
-        pool: &PoolCell,
-        clock: &CrashClock,
-        trace: &TraceCell,
-        cache_clean_reads: bool,
-        drain_value: Option<CacheLine>,
-        addr: LineAddr,
-    ) -> Result<CacheLine> {
-        if let Some(l) = self.hbm_lookup(addr) {
-            let data = l.data.clone();
-            self.metrics.inc(self.ctr.hbm_read_hits);
-            return Ok(data);
-        }
-        // A draining epoch's final values are newer than PM until their
-        // write back lands.
-        if let Some(data) = drain_value {
-            return Ok(data);
-        }
-        let data = {
-            let mut pm = pool.lock();
-            let abs = pm.layout().vpm_to_pool(addr.0)?;
-            self.metrics.inc(self.ctr.pm_reads);
-            pm.read_line(abs)?
-        };
-        if cache_clean_reads {
-            self.hbm_refresh_clean(pool, clock, trace, addr, data.clone())?;
-        }
-        Ok(data)
-    }
-
-    /// Writes an HBM eviction victim back to PM if dirty, stalling for a
-    /// log flush when its undo entry is not yet durable.
-    ///
-    /// The stall is bounded: every iteration must drain an entry from the
-    /// shard's pending buffer. A victim whose covering offset is neither
-    /// durable nor pending cannot exist (offsets are monotonic and
-    /// assigned by this shard's own appends) — if it does, the state is
-    /// corrupt and the loop surfaces [`PmError::ProtocolViolation`]
-    /// instead of spinning.
+    /// Lane-guard delegate of [`LaneHandles::dispose_victim`] (test-path
+    /// helper; hot paths pass the guard's log explicitly).
+    #[cfg(test)]
     pub(crate) fn dispose_victim(
         &mut self,
         pool: &PoolCell,
@@ -393,39 +729,29 @@ impl DeviceShard {
         addr: LineAddr,
         line: HbmLine,
     ) -> Result<()> {
-        if !line.dirty {
-            return Ok(());
-        }
-        if let Some(offset) = line.log_offset {
-            if offset >= self.log.durable_offset() {
-                // §3.3: the victim's pre-image must be durable before the
-                // new value may reach PM. This is the stall PreferDurable
-                // eviction avoids.
-                self.metrics.inc(self.ctr.forced_log_flushes);
-                while self.log.durable_offset() <= offset {
-                    if self.log.pump(&mut pool.lock(), clock, 1)? == 0 {
-                        return Err(PmError::ProtocolViolation {
-                            invariant: "HBM victim's undo entry is neither durable nor pending",
-                        });
-                    }
-                }
-            }
-        }
-        {
-            let mut pm = pool.lock();
-            let abs = pm.layout().vpm_to_pool(addr.0)?;
-            tick(clock, &mut pm)?;
-            pm.write_line(abs, line.data)?;
-        }
-        self.metrics.inc(self.ctr.device_writebacks);
-        trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
-        self.dir_clear(addr);
-        Ok(())
+        let h = self.h.clone();
+        h.dispose_victim(pool, clock, trace, Some(&mut self.log), addr, line)
+    }
+
+    /// Lane-guard delegate of [`LaneHandles::log_if_first`] (test-path
+    /// helper; hot paths pass the guard's log explicitly).
+    #[cfg(test)]
+    pub(crate) fn log_if_first(
+        &mut self,
+        trace: &TraceCell,
+        epoch: u64,
+        addr: LineAddr,
+        old: &CacheLine,
+    ) -> Result<u64> {
+        let h = self.h.clone();
+        h.log_if_first(trace, Some(&mut self.log), epoch, addr, old)
     }
 
     /// One background step for this shard's free-running engines: drain
     /// some log entries, then opportunistically write back dirty lines
-    /// whose entries are durable.
+    /// whose entries are durable. The write-back loop holds the lane's
+    /// [`WbGate`](crate::cell::WbGate) so persist-path drains never
+    /// interleave with it.
     pub(crate) fn background(
         &mut self,
         pool: &PoolCell,
@@ -437,88 +763,48 @@ impl DeviceShard {
         if log_pump_batch > 0 && self.log.pending_len() > 0 {
             self.log.pump(&mut pool.lock(), clock, log_pump_batch)?;
         }
+        let h = self.h.clone();
+        let _gate = h.wb_gate.lock();
         let mut budget = writeback_batch;
         while budget > 0 {
-            let Some(&addr) = self.writeback_queue.front() else { break };
-            let durable = self.log.durable_offset();
-            let ready = match self.hbm_peek(addr) {
+            let Some(addr) = h.writeback_queue.front() else { break };
+            let durable = h.watermark.durable();
+            let ready = match h.hbm_peek(addr) {
                 Some(l) if l.dirty => l.log_offset.is_none_or(|o| o < durable),
                 // Cleaned or evicted through another path; just drop it.
                 _ => {
-                    self.writeback_queue.pop_front();
+                    h.writeback_queue.pop_front();
                     continue;
                 }
             };
             if !ready {
                 break; // queue is in log order; later entries aren't durable either
             }
-            self.writeback_queue.pop_front();
-            let key = self.hbm_key(addr);
-            if let Some(data) = self.hbm.peek(key).map(|l| l.data.clone()) {
+            h.writeback_queue.pop_front();
+            if let Some(data) = h.hbm_peek(addr).map(|l| l.data) {
                 // Clean in place: background write-back must not promote
                 // the line to MRU and erase real-access recency.
-                self.hbm.mark_clean(key);
+                h.hbm_mark_clean(addr);
                 {
                     let mut pm = pool.lock();
                     let abs = pm.layout().vpm_to_pool(addr.0)?;
                     tick(clock, &mut pm)?;
                     pm.write_line(abs, data)?;
                 }
-                self.metrics.inc(self.ctr.device_writebacks);
-                self.metrics.inc(self.ctr.background_writebacks);
+                h.count_writeback();
+                h.count_background_writeback();
                 trace.record(COMPONENT, TraceEvent::WriteBack { line: addr.0 });
-                self.dir_clear(addr);
+                h.dir_clear(addr);
             }
             budget -= 1;
         }
         Ok(())
     }
 
-    /// Whether this shard's run queue has background work pending: undo
-    /// entries not yet durable, or dirty lines awaiting write back. The
-    /// scheduler consults this to donate idle-shard steps (and to skip
-    /// shards a tick would visit for nothing).
-    pub(crate) fn has_background_work(&self) -> bool {
-        self.log.pending_len() > 0 || !self.writeback_queue.is_empty()
-    }
-
-    /// Undo-logs `addr` if this is its first modification of the epoch,
-    /// returning the covering log offset.
-    pub(crate) fn log_if_first(
-        &mut self,
-        trace: &TraceCell,
-        epoch: u64,
-        addr: LineAddr,
-        old: &CacheLine,
-    ) -> Result<u64> {
-        if let Some(&off) = self.epoch_log.get(&addr) {
-            return Ok(off);
-        }
-        let offset = self.log.append(UndoEntry {
-            epoch,
-            vpm_line: addr,
-            tenant: self.tenant as u32,
-            old: old.clone(),
-        })?;
-        self.epoch_log.insert(addr, offset);
-        self.metrics.inc(self.ctr.undo_entries);
-        trace.record(COMPONENT, TraceEvent::LogAppend { epoch, line: addr.0 });
-        Ok(offset)
-    }
-
-    /// The epoch's logged lines in this shard, in log-offset order (§3.3
-    /// "iterating through each undo log entry as it persists").
-    pub(crate) fn sorted_epoch_log(&self) -> Vec<(u64, LineAddr)> {
-        let mut logged: Vec<(u64, LineAddr)> =
-            self.epoch_log.iter().map(|(a, o)| (*o, *a)).collect();
-        logged.sort_unstable();
-        logged
-    }
-
     /// Per-epoch volatile state reset after a fully-drained commit.
     pub(crate) fn reset_after_commit(&mut self) {
-        self.epoch_log.clear();
-        self.writeback_queue.clear();
+        self.h.epoch_log.clear();
+        self.h.writeback_queue.clear();
         self.log.reset_after_commit();
     }
 
@@ -526,12 +812,12 @@ impl DeviceShard {
     /// volatile by design — it restarts empty, and correctness never
     /// depended on it.
     pub(crate) fn crash(&mut self) {
-        self.hbm.crash();
+        self.h.hbm.crash();
         self.log.crash();
-        self.epoch_log.clear();
-        self.writeback_queue.clear();
-        self.metrics.sub(self.ctr.dir_resident, self.directory.resident() as u64);
-        self.directory.crash();
+        self.h.epoch_log.clear();
+        self.h.writeback_queue.clear();
+        self.h.metrics.sub(self.h.ctr.dir_resident, self.h.directory.resident() as u64);
+        self.h.directory.crash();
     }
 }
 
@@ -595,10 +881,10 @@ mod tests {
     fn hbm_keys_round_trip_and_stay_disjoint() {
         let (_pool, a, b) = shard_pair();
         for addr in [0u64, 2, 4, 100] {
-            assert_eq!(a.hbm_unkey(a.hbm_key(LineAddr(addr))), LineAddr(addr));
+            assert_eq!(a.h.hbm_unkey(a.h.hbm_key(LineAddr(addr))), LineAddr(addr));
         }
         for addr in [1u64, 3, 5, 101] {
-            assert_eq!(b.hbm_unkey(b.hbm_key(LineAddr(addr))), LineAddr(addr));
+            assert_eq!(b.h.hbm_unkey(b.h.hbm_key(LineAddr(addr))), LineAddr(addr));
         }
     }
 
@@ -627,7 +913,7 @@ mod tests {
             );
             assert!(v.is_none(), "line {g} must not evict");
         }
-        assert_eq!(shard.hbm.resident(), 4);
+        assert_eq!(shard.h.hbm.resident(), 4);
     }
 
     #[test]
@@ -676,5 +962,34 @@ mod tests {
         assert_eq!(b.log.durable_offset(), 2);
         // Every entry is visible to the (global) recovery scan.
         assert_eq!(UndoLog::scan(&mut pool).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn epoch_log_dedupes_and_sorts_deterministically() {
+        let log = EpochLog::new();
+        for (addr, off) in [(7u64, 2u64), (1, 0), (4, 1)] {
+            assert_eq!(log.try_insert(LineAddr(addr), || Ok(off)).unwrap(), off);
+        }
+        // Re-insert must return the recorded offset without calling make.
+        assert_eq!(log.try_insert(LineAddr(7), || panic!("dedup must skip make")).unwrap(), 2);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.sorted(), vec![(0, LineAddr(1)), (1, LineAddr(4)), (2, LineAddr(7))]);
+        log.clear();
+        assert_eq!(log.len(), 0);
+        assert!(log.sorted().is_empty());
+    }
+
+    #[test]
+    fn wb_queue_is_fifo_and_tracks_len() {
+        let q = WbQueue::default();
+        assert!(q.is_empty());
+        q.push_back(LineAddr(1));
+        q.push_back(LineAddr(2));
+        assert_eq!(q.front(), Some(LineAddr(1)));
+        assert_eq!(q.pop_front(), Some(LineAddr(1)));
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop_front(), None);
     }
 }

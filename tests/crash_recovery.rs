@@ -13,7 +13,7 @@ fn config() -> PaxConfig {
 fn unpersisted_operations_roll_back() {
     let pool = PaxPool::create(config()).unwrap();
     {
-        let map: PHashMap<u64, u64, _> =
+        let map: PHashMap<u64, u64, _, Heap<_>> =
             PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
         map.insert(1, 100).unwrap();
         map.insert(2, 200).unwrap();
@@ -24,7 +24,8 @@ fn unpersisted_operations_roll_back() {
     }
     let pm = pool.crash().unwrap();
     let pool = PaxPool::open(pm, config()).unwrap();
-    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _, Heap<_>> =
+        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     assert_eq!(map.get(1).unwrap(), Some(100), "remove rolled back");
     assert_eq!(map.get(2).unwrap(), Some(200));
     assert_eq!(map.get(3).unwrap(), None, "unpersisted insert rolled back");
@@ -62,7 +63,7 @@ fn repeated_crashes_between_epochs() {
             None => PaxPool::create(config()).unwrap(),
             Some(p) => PaxPool::open(p, config()).unwrap(),
         };
-        let vec: PVec<u64, _> = PVec::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+        let vec: PVec<u64, _, Heap<_>> = PVec::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
         assert_eq!(vec.len().unwrap(), round, "round {round}");
         vec.push(round).unwrap();
         pool.persist().unwrap();
@@ -71,7 +72,7 @@ fn repeated_crashes_between_epochs() {
         pm = Some(pool.crash().unwrap());
     }
     let pool = PaxPool::open(pm.unwrap(), config()).unwrap();
-    let vec: PVec<u64, _> = PVec::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let vec: PVec<u64, _, Heap<_>> = PVec::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     assert_eq!(vec.to_vec().unwrap(), vec![0, 1, 2, 3, 4]);
 }
 
@@ -158,6 +159,7 @@ fn recovery_is_transparent_for_fresh_pools() {
     let report = pool.recovery_report().unwrap();
     assert_eq!(report.rolled_back, 0);
     assert_eq!(report.committed_epoch, 0);
-    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _, Heap<_>> =
+        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     assert!(map.is_empty().unwrap());
 }

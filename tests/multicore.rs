@@ -135,7 +135,7 @@ mod libpax_level {
         let pool = PaxPool::create(config(4)).unwrap();
         // Each "thread" gets its own core's mapping; the structure code is
         // identical — only the space handle differs.
-        let maps: Vec<PHashMap<u64, u64, _>> = (0..4)
+        let maps: Vec<PHashMap<u64, u64, _, Heap<_>>> = (0..4)
             .map(|core| PHashMap::attach(Heap::attach(pool.vpm_for_core(core)).unwrap()).unwrap())
             .collect();
         for (core, map) in maps.iter().enumerate() {
@@ -151,7 +151,7 @@ mod libpax_level {
         pool.persist().unwrap();
         let pm = pool.crash().unwrap();
         let pool = PaxPool::open(pm, config(1)).unwrap(); // reopen single-core
-        let map: PHashMap<u64, u64, _> =
+        let map: PHashMap<u64, u64, _, Heap<_>> =
             PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
         assert_eq!(map.len().unwrap(), 200);
     }

@@ -124,7 +124,8 @@ fn crash_while_draining_recovers_to_previous_epoch() {
 #[test]
 fn overlapping_epochs_with_structures() {
     let pool = PaxPool::create(config()).unwrap();
-    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _, Heap<_>> =
+        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
 
     let mut committed_lens = Vec::new();
     for batch in 0..6u64 {
@@ -139,7 +140,8 @@ fn overlapping_epochs_with_structures() {
 
     let pm = pool.crash().unwrap();
     let pool = PaxPool::open(pm, config()).unwrap();
-    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _, Heap<_>> =
+        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     assert_eq!(map.len().unwrap(), 300);
     assert_eq!(map.get(523).unwrap(), Some(5));
 }

@@ -42,7 +42,7 @@ proptest! {
         actions in proptest::collection::vec(action_strategy(), 1..120)
     ) {
         let pool = PaxPool::create(config()).unwrap();
-        let map: PHashMap<u64, u64, _> =
+        let map: PHashMap<u64, u64, _, Heap<_>> =
             PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
 
         let mut model: StdMap<u64, u64> = StdMap::new();
@@ -67,7 +67,7 @@ proptest! {
 
         let pm = pool.crash().unwrap();
         let pool = PaxPool::open(pm, config()).unwrap();
-        let map: PHashMap<u64, u64, _> =
+        let map: PHashMap<u64, u64, _, Heap<_>> =
             PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
         let mut recovered: Vec<(u64, u64)> = map.entries().unwrap();
         recovered.sort_unstable();
@@ -84,7 +84,7 @@ proptest! {
         crash_offset in 0u64..400,
     ) {
         let pool = PaxPool::create(config()).unwrap();
-        let map: PHashMap<u64, u64, _> =
+        let map: PHashMap<u64, u64, _, Heap<_>> =
             PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
 
         // Epoch 1: a known-good snapshot.
@@ -114,7 +114,7 @@ proptest! {
 
         let pm = pool.crash().unwrap();
         let pool = PaxPool::open(pm, config()).unwrap();
-        let map: PHashMap<u64, u64, _> =
+        let map: PHashMap<u64, u64, _, Heap<_>> =
             PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
         let mut recovered: Vec<(u64, u64)> = map.entries().unwrap();
         recovered.sort_unstable();
@@ -237,7 +237,7 @@ proptest! {
         use pax_telemetry::{TraceBuf, TraceEvent};
 
         let pool = PaxPool::create(config()).unwrap();
-        let map: PHashMap<u64, u64, _> =
+        let map: PHashMap<u64, u64, _, Heap<_>> =
             PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
 
         // Epoch 1 commits; epoch 2 dies somewhere in the middle.
@@ -380,7 +380,7 @@ proptest! {
     ) {
         use libpax::PBTreeMap;
         let pool = PaxPool::create(config()).unwrap();
-        let map: PBTreeMap<u64, u64, _> =
+        let map: PBTreeMap<u64, u64, _, Heap<_>> =
             PBTreeMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
 
         let mut model: std::collections::BTreeMap<u64, u64> = Default::default();
@@ -401,7 +401,7 @@ proptest! {
         }
         let pm = pool.crash().unwrap();
         let pool = PaxPool::open(pm, config()).unwrap();
-        let map: PBTreeMap<u64, u64, _> =
+        let map: PBTreeMap<u64, u64, _, Heap<_>> =
             PBTreeMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
         map.check_invariants().unwrap();
         let recovered = map.entries().unwrap();

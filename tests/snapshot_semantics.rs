@@ -125,7 +125,7 @@ fn structure_level_snapshot_equality() {
     // without any extra ops; recovered entries must match exactly.
     let build = |extra_garbage: bool| -> Vec<(u64, u64)> {
         let pool = PaxPool::create(config()).unwrap();
-        let map: PHashMap<u64, u64, _> =
+        let map: PHashMap<u64, u64, _, Heap<_>> =
             PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
         for k in 0..200u64 {
             map.insert(k, k * 7).unwrap();
@@ -141,7 +141,7 @@ fn structure_level_snapshot_equality() {
         }
         let pm = pool.crash().unwrap();
         let pool = PaxPool::open(pm, config()).unwrap();
-        let map: PHashMap<u64, u64, _> =
+        let map: PHashMap<u64, u64, _, Heap<_>> =
             PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
         let mut e = map.entries().unwrap();
         e.sort_unstable();

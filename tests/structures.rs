@@ -20,7 +20,8 @@ fn pool() -> PaxPool {
 #[test]
 fn hashmap_behaves_identically_volatile_and_persistent() {
     fn drive<S: libpax::MemSpace>(space: S) -> Vec<(u64, u64)> {
-        let m: PHashMap<u64, u64, S> = PHashMap::attach(Heap::attach(space).unwrap()).unwrap();
+        let m: PHashMap<u64, u64, S, Heap<S>> =
+            PHashMap::attach(Heap::attach(space).unwrap()).unwrap();
         for k in 0..300u64 {
             m.insert(k, k * k).unwrap();
         }
@@ -42,7 +43,7 @@ fn hashmap_behaves_identically_volatile_and_persistent() {
 #[test]
 fn vec_and_list_on_vpm() {
     let p1 = pool();
-    let v: PVec<u64, _> = PVec::attach(Heap::attach(p1.vpm()).unwrap()).unwrap();
+    let v: PVec<u64, _, Heap<_>> = PVec::attach(Heap::attach(p1.vpm()).unwrap()).unwrap();
     for i in 0..500 {
         v.push(i).unwrap();
     }
@@ -51,7 +52,7 @@ fn vec_and_list_on_vpm() {
     assert_eq!(v.pop().unwrap(), Some(499));
 
     let p2 = pool();
-    let l: PList<u64, _> = PList::attach(Heap::attach(p2.vpm()).unwrap()).unwrap();
+    let l: PList<u64, _, Heap<_>> = PList::attach(Heap::attach(p2.vpm()).unwrap()).unwrap();
     for i in 0..100 {
         l.push_back(i).unwrap();
         l.push_front(1000 + i).unwrap();
@@ -64,7 +65,8 @@ fn vec_and_list_on_vpm() {
 #[test]
 fn hashmap_growth_survives_persist_and_crash() {
     let pool = pool();
-    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _, Heap<_>> =
+        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     // Enough inserts to trigger several rehashes.
     for k in 0..2_000u64 {
         map.insert(k, k + 1).unwrap();
@@ -74,7 +76,8 @@ fn hashmap_growth_survives_persist_and_crash() {
 
     let pm = pool.crash().unwrap();
     let pool = PaxPool::open(pm, config()).unwrap();
-    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _, Heap<_>> =
+        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     assert_eq!(map.len().unwrap(), 2_000);
     for k in (0..2_000u64).step_by(37) {
         assert_eq!(map.get(k).unwrap(), Some(k + 1), "key {k}");
@@ -87,7 +90,8 @@ fn crash_mid_rehash_rolls_back_cleanly() {
     // over the threshold (rehash) without persisting; crash. The
     // recovered map must be the pre-rehash snapshot, fully intact.
     let pool = pool();
-    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _, Heap<_>> =
+        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     for k in 0..31u64 {
         map.insert(k, k).unwrap();
     }
@@ -101,7 +105,8 @@ fn crash_mid_rehash_rolls_back_cleanly() {
 
     let pm = pool.crash().unwrap();
     let pool = PaxPool::open(pm, config()).unwrap();
-    let map: PHashMap<u64, u64, _> = PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let map: PHashMap<u64, u64, _, Heap<_>> =
+        PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     assert_eq!(map.bucket_count().unwrap(), buckets_before);
     assert_eq!(map.len().unwrap(), 31);
     for k in 0..31u64 {
@@ -112,7 +117,7 @@ fn crash_mid_rehash_rolls_back_cleanly() {
 #[test]
 fn vec_growth_mid_epoch_crash() {
     let pool = pool();
-    let v: PVec<u32, _> = PVec::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let v: PVec<u32, _, Heap<_>> = PVec::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     for i in 0..8u32 {
         v.push(i).unwrap(); // exactly the initial capacity
     }
@@ -122,7 +127,7 @@ fn vec_growth_mid_epoch_crash() {
 
     let pm = pool.crash().unwrap();
     let pool = PaxPool::open(pm, config()).unwrap();
-    let v: PVec<u32, _> = PVec::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
+    let v: PVec<u32, _, Heap<_>> = PVec::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     assert_eq!(v.to_vec().unwrap(), (0..8).collect::<Vec<u32>>());
 }
 
@@ -130,7 +135,7 @@ fn vec_growth_mid_epoch_crash() {
 fn multiple_structure_types_share_the_same_code_paths() {
     // Wide-element structures exercise multi-line values.
     let pool = pool();
-    let m: PHashMap<[u8; 24], [u8; 40], _> =
+    let m: PHashMap<[u8; 24], [u8; 40], _, Heap<_>> =
         PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     let key = |i: u8| -> [u8; 24] { [i; 24] };
     let val = |i: u8| -> [u8; 40] { [i.wrapping_mul(3); 40] };
@@ -140,7 +145,7 @@ fn multiple_structure_types_share_the_same_code_paths() {
     pool.persist().unwrap();
     let pm = pool.crash().unwrap();
     let pool = PaxPool::open(pm, config()).unwrap();
-    let m: PHashMap<[u8; 24], [u8; 40], _> =
+    let m: PHashMap<[u8; 24], [u8; 40], _, Heap<_>> =
         PHashMap::attach(Heap::attach(pool.vpm()).unwrap()).unwrap();
     for i in 0..50u8 {
         assert_eq!(m.get(key(i)).unwrap(), Some(val(i)), "key {i}");
@@ -167,7 +172,7 @@ fn byte_level_access_patterns() {
 #[test]
 fn ring_buffer_survives_crash_at_snapshot() {
     let p = pool();
-    let r: PRing<u64, _> = PRing::create(Heap::attach(p.vpm()).unwrap(), 8).unwrap();
+    let r: PRing<u64, _, Heap<_>> = PRing::create(Heap::attach(p.vpm()).unwrap(), 8).unwrap();
     for i in 0..6 {
         assert!(r.push(i).unwrap());
     }
@@ -179,7 +184,7 @@ fn ring_buffer_survives_crash_at_snapshot() {
 
     let pm = p.crash().unwrap();
     let p = PaxPool::open(pm, config()).unwrap();
-    let r: PRing<u64, _> = PRing::attach(Heap::attach(p.vpm()).unwrap()).unwrap();
+    let r: PRing<u64, _, Heap<_>> = PRing::attach(Heap::attach(p.vpm()).unwrap()).unwrap();
     assert_eq!(r.len().unwrap(), 5);
     assert_eq!(r.pop().unwrap(), Some(1));
     assert_eq!(r.capacity().unwrap(), 8);
@@ -191,7 +196,8 @@ fn btree_crash_mid_split_rolls_back() {
     // multi-node split without persisting; crash. The recovered tree must
     // be the pre-split snapshot with all invariants intact.
     let p = pool();
-    let t: PBTreeMap<u64, u64, _> = PBTreeMap::attach(Heap::attach(p.vpm()).unwrap()).unwrap();
+    let t: PBTreeMap<u64, u64, _, Heap<_>> =
+        PBTreeMap::attach(Heap::attach(p.vpm()).unwrap()).unwrap();
     for k in 0..7u64 {
         t.insert(k, k).unwrap(); // MAX_KEYS for MIN_DEGREE=4
     }
@@ -203,7 +209,8 @@ fn btree_crash_mid_split_rolls_back() {
 
     let pm = p.crash().unwrap();
     let p = PaxPool::open(pm, config()).unwrap();
-    let t: PBTreeMap<u64, u64, _> = PBTreeMap::attach(Heap::attach(p.vpm()).unwrap()).unwrap();
+    let t: PBTreeMap<u64, u64, _, Heap<_>> =
+        PBTreeMap::attach(Heap::attach(p.vpm()).unwrap()).unwrap();
     t.check_invariants().unwrap();
     assert_eq!(t.len().unwrap(), 7);
     assert_eq!(t.entries().unwrap(), (0..7).map(|k| (k, k)).collect::<Vec<_>>());
@@ -212,14 +219,16 @@ fn btree_crash_mid_split_rolls_back() {
 #[test]
 fn btree_range_scans_on_persistent_space() {
     let p = pool();
-    let t: PBTreeMap<u64, u64, _> = PBTreeMap::attach(Heap::attach(p.vpm()).unwrap()).unwrap();
+    let t: PBTreeMap<u64, u64, _, Heap<_>> =
+        PBTreeMap::attach(Heap::attach(p.vpm()).unwrap()).unwrap();
     for k in 0..500u64 {
         t.insert(k * 2, k).unwrap();
     }
     p.persist().unwrap();
     let pm = p.crash().unwrap();
     let p = PaxPool::open(pm, config()).unwrap();
-    let t: PBTreeMap<u64, u64, _> = PBTreeMap::attach(Heap::attach(p.vpm()).unwrap()).unwrap();
+    let t: PBTreeMap<u64, u64, _, Heap<_>> =
+        PBTreeMap::attach(Heap::attach(p.vpm()).unwrap()).unwrap();
     let r = t.range(100, 110).unwrap();
     assert_eq!(r, vec![(100, 50), (102, 51), (104, 52), (106, 53), (108, 54), (110, 55)]);
     t.check_invariants().unwrap();
